@@ -1,0 +1,28 @@
+// Shared helpers for the reproduction benches: consistent table printing
+// and the trial-averaging the paper uses ("average and standard deviation
+// over a minimum of 5 trials").
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include "util/stats.h"
+
+namespace lwfs::bench {
+
+inline constexpr int kTrials = 5;
+
+/// Mean/stddev over kTrials calls of `run(seed)`.
+inline RunningStats OverTrials(const std::function<double(std::uint64_t)>& run) {
+  RunningStats stats;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) stats.Add(run(seed));
+  return stats;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace lwfs::bench

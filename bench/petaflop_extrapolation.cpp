@@ -1,0 +1,44 @@
+// §4 closing-paragraph reproduction: scale the dev-cluster model to a
+// theoretical petaflop machine with 100,000 compute nodes and 2,000 I/O
+// nodes, and measure what fraction of the checkpoint the file-creation
+// phase consumes for the traditional PFS vs. LWFS.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "simapps/checkpoint_sim.h"
+#include "util/machines.h"
+
+int main() {
+  using namespace lwfs;
+  using namespace lwfs::simapps;
+
+  const PetaflopSpec& spec = Petaflop();
+  bench::PrintHeader(
+      "Petaflop extrapolation (Section 4): 100,000 compute nodes, 2,000 I/O nodes");
+
+  ClusterParams params = ClusterParams::DevCluster(
+      static_cast<int>(spec.compute_nodes), static_cast<int>(spec.io_nodes));
+  params.chunk_bytes = 256ull << 20;  // coarse chunks: 100k actors
+  params.jitter = 0;
+
+  std::printf("%12s %14s %12s %12s %10s\n", "state/node", "implementation",
+              "create (s)", "total (s)", "create %");
+  for (std::uint64_t gb : {1ull, 2ull, 5ull}) {
+    const std::uint64_t bytes = gb << 30;
+    for (auto [kind, name] :
+         {std::pair{CheckpointKind::kPfsFilePerProcess, "Lustre f-p-p"},
+          std::pair{CheckpointKind::kLwfsObjectPerProcess, "LWFS obj-p-p"}}) {
+      auto r = SimulateCheckpoint(kind, params, bytes, 1);
+      std::printf("%9llu GB %14s %12.1f %12.1f %9.2f%%\n",
+                  static_cast<unsigned long long>(gb), name, r.create_time,
+                  r.total_time, 100.0 * r.create_time / r.total_time);
+    }
+  }
+
+  std::printf(
+      "\nPaper claim: with conservative scaling, creating the files for a\n"
+      "checkpoint on this machine takes multiple minutes — roughly 10%% of\n"
+      "the total checkpoint time — because every create serializes at the\n"
+      "metadata server, while the LWFS create phase stays negligible.\n");
+  return 0;
+}

@@ -1,0 +1,413 @@
+#include "checkpoint/checkpoint.h"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "comm/collectives.h"
+#include "core/protocol.h"
+
+namespace lwfs::checkpoint {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Collects the first error any rank hits.
+class ErrorCollector {
+ public:
+  void Record(const Status& status) {
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (first_.ok()) first_ = status;
+  }
+  [[nodiscard]] Status first() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_;
+  }
+
+ private:
+    mutable std::mutex mutex_;
+  Status first_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LwfsCheckpoint
+// ---------------------------------------------------------------------------
+
+Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
+                                            const Config& config,
+                                            const std::vector<Buffer>& states) {
+  const auto nranks = static_cast<std::uint32_t>(states.size());
+  if (nranks == 0) return InvalidArgument("no ranks");
+  const auto nservers =
+      static_cast<std::uint32_t>(runtime.deployment().storage.size());
+
+  // Rank 0's client coordinates the transaction (Figure 8 line 1).
+  auto coordinator_client = runtime.MakeClient();
+  core::TxnParticipants participants;
+  for (std::uint32_t s = 0; s < nservers; ++s) {
+    participants.storage_servers.push_back(s);
+  }
+  participants.naming = true;
+  auto txn = coordinator_client->BeginTxn(config.journal_server, config.cap,
+                                          participants);
+  if (!txn.ok()) return txn.status();
+
+  ErrorCollector errors;
+  std::atomic<std::uint64_t> created{0};
+
+  // Rank clients and the communicator group they share (the checkpoint's
+  // collectives run over the same fabric as its I/O).
+  std::vector<std::unique_ptr<core::Client>> clients;
+  std::vector<std::unique_ptr<comm::Communicator>> comms;
+  {
+    std::vector<std::shared_ptr<portals::Nic>> nics;
+    std::vector<portals::Nid> members;
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      clients.push_back(runtime.MakeClient());
+      nics.push_back(runtime.fabric().CreateNic());
+      members.push_back(nics.back()->nid());
+    }
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      auto comm = comm::Communicator::Create(nics[r], members,
+                                             static_cast<int>(r));
+      if (!comm.ok()) return comm.status();
+      comms.push_back(std::move(*comm));
+    }
+  }
+  constexpr std::uint32_t kCapTag = 1;
+  constexpr std::uint32_t kMetaTag = 10;
+
+  const auto t_start = Clock::now();
+  std::atomic<double> create_phase_s{0};
+
+  // CHECKPOINT() body, one thread per rank.  Rank 0 distributes the
+  // capability with the logarithmic broadcast of §3.1.2 / Figure 4-a;
+  // every rank creates and dumps its own object (Figure 8 lines 2-3);
+  // rank 0 gathers the metadata (line 7), writes the metadata object and
+  // stages the name (lines 5, 9).
+  {
+    std::vector<std::thread> ranks;
+    ranks.reserve(nranks);
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      ranks.emplace_back([&, r] {
+        core::Client& client = *clients[r];
+        comm::Communicator& comm = *comms[r];
+
+        // Capability distribution: transferable bytes over the wire.
+        Buffer cap_wire;
+        if (r == 0) {
+          Encoder enc;
+          config.cap.Encode(enc);
+          cap_wire = std::move(enc).Take();
+        }
+        Status distributed = comm.Bcast(0, kCapTag, cap_wire);
+        if (!distributed.ok()) {
+          errors.Record(distributed);
+          return;
+        }
+        Decoder cap_dec(cap_wire);
+        auto cap = security::Capability::Decode(cap_dec);
+        if (!cap.ok()) {
+          errors.Record(cap.status());
+          return;
+        }
+
+        const std::uint32_t server = r % nservers;
+        const auto t_create = Clock::now();
+        auto oid = client.CreateObject(server, *cap, (*txn)->id());
+        if (!oid.ok()) {
+          errors.Record(oid.status());
+          (void)comm.Gather(0, kMetaTag, {});  // keep the collective whole
+          return;
+        }
+        created.fetch_add(1, std::memory_order_relaxed);
+        // Track the longest create among ranks as the create-phase time.
+        const double dt = Seconds(t_create, Clock::now());
+        double cur = create_phase_s.load();
+        while (dt > cur && !create_phase_s.compare_exchange_weak(cur, dt)) {
+        }
+        Status written = client.WriteObject(server, *cap, *oid, 0,
+                                            ByteSpan(states[r]));
+        if (!written.ok()) errors.Record(written);
+
+        // Contribute (ref, size) to the rank-0 gather.
+        Encoder contribution;
+        core::EncodeObjectRef(contribution,
+                              storage::ObjectRef{config.cid, server, *oid});
+        contribution.PutU64(states[r].size());
+        auto gathered = comm.Gather(0, kMetaTag,
+                                    written.ok() ? ByteSpan(contribution.buffer())
+                                                 : ByteSpan{});
+        if (!gathered.ok()) {
+          errors.Record(gathered.status());
+          return;
+        }
+
+        if (r == 0) {
+          // Figure 8 lines 4-10 on rank 0 proper.
+          Encoder metadata;
+          metadata.PutU32(nranks);
+          for (const Buffer& entry : *gathered) {
+            if (entry.empty()) {
+              errors.Record(Aborted("a rank failed to dump"));
+              return;
+            }
+            metadata.PutRaw(ByteSpan(entry));
+          }
+          const std::uint32_t md_server = 0;
+          auto mdobj = client.CreateObject(md_server, *cap, (*txn)->id());
+          if (!mdobj.ok()) {
+            errors.Record(mdobj.status());
+            return;
+          }
+          created.fetch_add(1, std::memory_order_relaxed);
+          Status md_written = client.WriteObject(md_server, *cap, *mdobj, 0,
+                                                 ByteSpan(metadata.buffer()));
+          if (!md_written.ok()) {
+            errors.Record(md_written);
+            return;
+          }
+          errors.Record(client.StageLinkName(
+              (*txn)->id(), config.path,
+              storage::ObjectRef{config.cid, md_server, *mdobj}));
+        }
+      });
+    }
+    for (std::thread& t : ranks) t.join();
+  }
+  LWFS_RETURN_IF_ERROR(errors.first());
+
+  LWFS_RETURN_IF_ERROR((*txn)->Commit());
+  const auto t_end = Clock::now();
+
+  CheckpointStats stats;
+  stats.seconds = Seconds(t_start, t_end);
+  stats.create_seconds = create_phase_s.load();
+  stats.dump_seconds = stats.seconds - stats.create_seconds;
+  for (const Buffer& s : states) stats.bytes += s.size();
+  stats.creates = created.load();
+  return stats;
+}
+
+Result<std::vector<Buffer>> LwfsCheckpoint::Restore(
+    core::ServiceRuntime& runtime, const security::Capability& cap,
+    const std::string& path) {
+  auto client = runtime.MakeClient();
+  auto md_ref = client->LookupName(path);
+  if (!md_ref.ok()) return md_ref.status();
+
+  auto md_attr = client->GetAttr(md_ref->server_index, cap, md_ref->oid);
+  if (!md_attr.ok()) return md_attr.status();
+  auto metadata = client->ReadObjectAlloc(md_ref->server_index, cap,
+                                          md_ref->oid, 0, md_attr->size);
+  if (!metadata.ok()) return metadata.status();
+
+  Decoder dec(*metadata);
+  auto nranks = dec.GetU32();
+  if (!nranks.ok()) return nranks.status();
+  struct Entry {
+    storage::ObjectRef ref;
+    std::uint64_t size;
+  };
+  // Each entry occupies 28 metadata bytes; a corrupt count must not drive
+  // allocation.
+  if (*nranks > dec.remaining() / 28) {
+    return DataLoss("corrupt checkpoint metadata (rank count)");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(*nranks);
+  for (std::uint32_t r = 0; r < *nranks; ++r) {
+    auto ref = core::DecodeObjectRef(dec);
+    auto size = dec.GetU64();
+    if (!ref.ok() || !size.ok()) return DataLoss("corrupt checkpoint metadata");
+    entries.push_back(Entry{*ref, *size});
+  }
+
+  std::vector<Buffer> states(*nranks);
+  ErrorCollector errors;
+  std::vector<std::thread> ranks;
+  ranks.reserve(*nranks);
+  for (std::uint32_t r = 0; r < *nranks; ++r) {
+    ranks.emplace_back([&, r] {
+      auto rank_client = runtime.MakeClient();
+      auto data = rank_client->ReadObjectAlloc(entries[r].ref.server_index,
+                                               cap, entries[r].ref.oid, 0,
+                                               entries[r].size);
+      if (!data.ok()) {
+        errors.Record(data.status());
+        return;
+      }
+      states[r] = std::move(*data);
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  LWFS_RETURN_IF_ERROR(errors.first());
+  return states;
+}
+
+// ---------------------------------------------------------------------------
+// PfsFilePerProcess
+// ---------------------------------------------------------------------------
+
+Result<CheckpointStats> PfsFilePerProcess::Run(
+    pfs::PfsRuntime& runtime, const Config& config,
+    const std::vector<Buffer>& states) {
+  const auto nranks = static_cast<std::uint32_t>(states.size());
+  if (nranks == 0) return InvalidArgument("no ranks");
+
+  ErrorCollector errors;
+  std::atomic<double> create_phase_s{0};
+  const auto t_start = Clock::now();
+  {
+    std::vector<std::thread> ranks;
+    ranks.reserve(nranks);
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      ranks.emplace_back([&, r] {
+        auto client = runtime.MakeClient(pfs::ConsistencyMode::kRelaxed);
+        const std::string path =
+            config.base_path + "." + std::to_string(r);
+        const auto t_create = Clock::now();
+        // Every rank's create funnels through the centralized MDS.
+        auto file = client->Create(path, config.stripes_per_file);
+        if (!file.ok()) {
+          errors.Record(file.status());
+          return;
+        }
+        const double dt = Seconds(t_create, Clock::now());
+        double cur = create_phase_s.load();
+        while (dt > cur && !create_phase_s.compare_exchange_weak(cur, dt)) {
+        }
+        Status written = client->Write(*file, 0, ByteSpan(states[r]));
+        if (!written.ok()) {
+          errors.Record(written);
+          return;
+        }
+        errors.Record(client->Sync(*file, states[r].size()));
+      });
+    }
+    for (std::thread& t : ranks) t.join();
+  }
+  LWFS_RETURN_IF_ERROR(errors.first());
+  const auto t_end = Clock::now();
+
+  CheckpointStats stats;
+  stats.seconds = Seconds(t_start, t_end);
+  stats.create_seconds = create_phase_s.load();
+  stats.dump_seconds = stats.seconds - stats.create_seconds;
+  for (const Buffer& s : states) stats.bytes += s.size();
+  stats.creates = nranks;
+  return stats;
+}
+
+Result<std::vector<Buffer>> PfsFilePerProcess::Restore(
+    pfs::PfsRuntime& runtime, const Config& config, std::uint32_t nranks) {
+  std::vector<Buffer> states(nranks);
+  ErrorCollector errors;
+  std::vector<std::thread> ranks;
+  ranks.reserve(nranks);
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    ranks.emplace_back([&, r] {
+      auto client = runtime.MakeClient(pfs::ConsistencyMode::kRelaxed);
+      const std::string path = config.base_path + "." + std::to_string(r);
+      auto file = client->Open(path);
+      if (!file.ok()) {
+        errors.Record(file.status());
+        return;
+      }
+      Buffer data(file->attr.size, 0);
+      auto n = client->Read(*file, 0, MutableByteSpan(data));
+      if (!n.ok()) {
+        errors.Record(n.status());
+        return;
+      }
+      data.resize(static_cast<std::size_t>(*n));
+      states[r] = std::move(data);
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  LWFS_RETURN_IF_ERROR(errors.first());
+  return states;
+}
+
+// ---------------------------------------------------------------------------
+// PfsSharedFile
+// ---------------------------------------------------------------------------
+
+Result<CheckpointStats> PfsSharedFile::Run(pfs::PfsRuntime& runtime,
+                                           const Config& config,
+                                           const std::vector<Buffer>& states) {
+  const auto nranks = static_cast<std::uint32_t>(states.size());
+  if (nranks == 0) return InvalidArgument("no ranks");
+
+  // Rank offsets: disjoint slices of one file.
+  std::vector<std::uint64_t> offsets(nranks, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    offsets[r] = total;
+    total += states[r].size();
+  }
+
+  const auto t_start = Clock::now();
+  // Rank 0 creates the single shared file (one MDS create).
+  auto rank0 = runtime.MakeClient(config.mode);
+  auto file = rank0->Create(config.path, config.stripe_count);
+  if (!file.ok()) return file.status();
+  const double create_s = Seconds(t_start, Clock::now());
+
+  ErrorCollector errors;
+  {
+    std::vector<std::thread> ranks;
+    ranks.reserve(nranks);
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      ranks.emplace_back([&, r] {
+        auto client = runtime.MakeClient(config.mode);
+        Status written =
+            client->Write(*file, offsets[r], ByteSpan(states[r]));
+        errors.Record(written);
+      });
+    }
+    for (std::thread& t : ranks) t.join();
+  }
+  LWFS_RETURN_IF_ERROR(errors.first());
+  LWFS_RETURN_IF_ERROR(rank0->Sync(*file, total));
+  const auto t_end = Clock::now();
+
+  CheckpointStats stats;
+  stats.seconds = Seconds(t_start, t_end);
+  stats.create_seconds = create_s;
+  stats.dump_seconds = stats.seconds - stats.create_seconds;
+  stats.bytes = total;
+  stats.creates = 1;
+  return stats;
+}
+
+Result<std::vector<Buffer>> PfsSharedFile::Restore(
+    pfs::PfsRuntime& runtime, const Config& config,
+    const std::vector<std::uint64_t>& sizes) {
+  auto client = runtime.MakeClient(config.mode);
+  auto file = client->Open(config.path);
+  if (!file.ok()) return file.status();
+  std::vector<Buffer> states(sizes.size());
+  std::uint64_t offset = 0;
+  for (std::size_t r = 0; r < sizes.size(); ++r) {
+    Buffer data(sizes[r], 0);
+    auto n = client->Read(*file, offset, MutableByteSpan(data));
+    if (!n.ok()) return n.status();
+    if (*n != sizes[r]) return DataLoss("short read restoring shared file");
+    states[r] = std::move(data);
+    offset += sizes[r];
+  }
+  return states;
+}
+
+}  // namespace lwfs::checkpoint

@@ -1,0 +1,221 @@
+#include "comm/collectives.h"
+
+#include <thread>
+
+namespace lwfs::comm {
+
+Result<std::unique_ptr<Communicator>> Communicator::Create(
+    std::shared_ptr<portals::Nic> nic, std::vector<portals::Nid> members,
+    int rank) {
+  if (members.empty()) return InvalidArgument("empty group");
+  if (rank < 0 || rank >= static_cast<int>(members.size())) {
+    return InvalidArgument("rank out of range");
+  }
+  if (members[static_cast<std::size_t>(rank)] != nic->nid()) {
+    return InvalidArgument("members[rank] must be this NIC");
+  }
+  auto comm = std::unique_ptr<Communicator>(
+      new Communicator(std::move(nic), std::move(members), rank));
+  portals::MeOptions options;
+  options.allow_put = true;
+  options.message_mode = true;
+  auto me = comm->nic_->Attach(kCollectivePortal, 0, ~0ULL, {}, options,
+                               &comm->eq_);
+  if (!me.ok()) return me.status();
+  comm->me_ = *me;
+  return comm;
+}
+
+Communicator::~Communicator() {
+  if (me_ != portals::kInvalidMeHandle) (void)nic_->Detach(me_);
+  eq_.Close();
+}
+
+Status Communicator::Send(int dest, std::uint32_t tag, ByteSpan data) {
+  if (dest < 0 || dest >= size()) return InvalidArgument("bad destination");
+  // Bounded receiver queues: back off and resend on overflow, like the
+  // RPC layer.
+  int backoff_us = 10;
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Status s = nic_->Put(members_[static_cast<std::size_t>(dest)],
+                         kCollectivePortal, MakeMatch(rank_, tag), data);
+    if (s.ok() || s.code() != ErrorCode::kResourceExhausted) return s;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, 2000);
+  }
+  return ResourceExhausted("peer receive queue stayed full");
+}
+
+Result<Buffer> Communicator::Recv(int src, std::uint32_t tag,
+                                  std::chrono::milliseconds timeout) {
+  if (src < 0 || src >= size()) return InvalidArgument("bad source");
+  const auto key = std::make_pair(src, tag);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto it = stash_.find(key);
+    if (it != stash_.end() && !it->second.empty()) {
+      Buffer out = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) stash_.erase(it);
+      return out;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Timeout("collective receive timed out");
+    auto event = eq_.WaitFor(deadline - now);
+    if (!event) return Timeout("collective receive timed out");
+    const int event_src = static_cast<int>(event->match_bits & 0xFFFF);
+    const auto event_tag =
+        static_cast<std::uint32_t>(event->match_bits >> 16);
+    stash_[std::make_pair(event_src, event_tag)].push_back(
+        std::move(event->payload));
+  }
+}
+
+Status Communicator::Barrier(std::uint32_t tag) {
+  // Gather a zero-byte token to rank 0, then broadcast one back.
+  auto gathered = Gather(0, tag, {});
+  if (!gathered.ok()) return gathered.status();
+  Buffer token;
+  return Bcast(0, tag + 1, token);
+}
+
+Status Communicator::Bcast(int root, std::uint32_t tag, Buffer& data) {
+  const int relative = Relative(rank_, root);
+  int mask = 1;
+  // Receive phase: wait for the parent (if any).
+  while (mask < size()) {
+    if (relative & mask) {
+      auto got = Recv(Absolute(relative - mask, root), tag);
+      if (!got.ok()) return got.status();
+      data = std::move(*got);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward phase: send to children at decreasing distances.
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size()) {
+      LWFS_RETURN_IF_ERROR(
+          Send(Absolute(relative + mask, root), tag, ByteSpan(data)));
+    }
+    mask >>= 1;
+  }
+  return OkStatus();
+}
+
+Result<std::vector<Buffer>> Communicator::Gather(int root, std::uint32_t tag,
+                                                 ByteSpan mine) {
+  const int relative = Relative(rank_, root);
+  // Accumulate (relative rank -> contribution) for our subtree.
+  std::map<int, Buffer> bundle;
+  bundle.emplace(relative, Buffer(mine.begin(), mine.end()));
+
+  int mask = 1;
+  while (mask < size()) {
+    if ((relative & mask) == 0) {
+      // We are a parent at this level: absorb the child's subtree.
+      if (relative + mask < size()) {
+        auto packed = Recv(Absolute(relative + mask, root), tag);
+        if (!packed.ok()) return packed.status();
+        Decoder dec(*packed);
+        auto count = dec.GetU32();
+        if (!count.ok()) return count.status();
+        for (std::uint32_t i = 0; i < *count; ++i) {
+          auto vrank = dec.GetU32();
+          auto payload = dec.GetBytes();
+          if (!vrank.ok() || !payload.ok()) {
+            return Internal("malformed gather bundle");
+          }
+          bundle.emplace(static_cast<int>(*vrank), std::move(*payload));
+        }
+      }
+      mask <<= 1;
+    } else {
+      // We are a child: ship the whole subtree to the parent and stop.
+      Encoder enc;
+      enc.PutU32(static_cast<std::uint32_t>(bundle.size()));
+      for (const auto& [vrank, payload] : bundle) {
+        enc.PutU32(static_cast<std::uint32_t>(vrank));
+        enc.PutBytes(ByteSpan(payload));
+      }
+      LWFS_RETURN_IF_ERROR(
+          Send(Absolute(relative - mask, root), tag, ByteSpan(enc.buffer())));
+      return std::vector<Buffer>{};
+    }
+  }
+
+  // Root: reorder by absolute rank.
+  std::vector<Buffer> out(static_cast<std::size_t>(size()));
+  for (auto& [vrank, payload] : bundle) {
+    out[static_cast<std::size_t>(Absolute(vrank, root))] = std::move(payload);
+  }
+  return out;
+}
+
+Result<Buffer> Communicator::Scatter(int root, std::uint32_t tag,
+                                     const std::vector<Buffer>& pieces) {
+  const int relative = Relative(rank_, root);
+  std::map<int, Buffer> bundle;  // relative rank -> piece, for our subtree
+  int recv_mask = 1;
+
+  if (rank_ == root) {
+    if (pieces.size() != static_cast<std::size_t>(size())) {
+      return InvalidArgument("scatter needs one piece per rank");
+    }
+    for (int r = 0; r < size(); ++r) {
+      bundle.emplace(Relative(r, root), pieces[static_cast<std::size_t>(r)]);
+    }
+    while (recv_mask < size()) recv_mask <<= 1;
+  } else {
+    // Receive our subtree's bundle from the parent.
+    while (recv_mask < size()) {
+      if (relative & recv_mask) {
+        auto packed = Recv(Absolute(relative - recv_mask, root), tag);
+        if (!packed.ok()) return packed.status();
+        Decoder dec(*packed);
+        auto count = dec.GetU32();
+        if (!count.ok()) return count.status();
+        for (std::uint32_t i = 0; i < *count; ++i) {
+          auto vrank = dec.GetU32();
+          auto payload = dec.GetBytes();
+          if (!vrank.ok() || !payload.ok()) {
+            return Internal("malformed scatter bundle");
+          }
+          bundle.emplace(static_cast<int>(*vrank), std::move(*payload));
+        }
+        break;
+      }
+      recv_mask <<= 1;
+    }
+  }
+
+  // Forward sub-bundles to children: child at relative+m owns relative
+  // ranks [relative+m, relative+2m).
+  for (int m = recv_mask >> 1; m > 0; m >>= 1) {
+    const int child = relative + m;
+    if (child >= size()) continue;
+    Encoder enc;
+    std::uint32_t count = 0;
+    Encoder entries;
+    for (int v = child; v < child + m && v < size(); ++v) {
+      auto it = bundle.find(v);
+      if (it == bundle.end()) return Internal("scatter bundle hole");
+      entries.PutU32(static_cast<std::uint32_t>(v));
+      entries.PutBytes(ByteSpan(it->second));
+      ++count;
+    }
+    enc.PutU32(count);
+    enc.PutRaw(ByteSpan(entries.buffer()));
+    LWFS_RETURN_IF_ERROR(
+        Send(Absolute(child, root), tag, ByteSpan(enc.buffer())));
+    // Drop what we forwarded.
+    for (int v = child; v < child + m && v < size(); ++v) bundle.erase(v);
+  }
+
+  auto mine = bundle.find(relative);
+  if (mine == bundle.end()) return Internal("scatter lost own piece");
+  return std::move(mine->second);
+}
+
+}  // namespace lwfs::comm

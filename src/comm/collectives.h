@@ -1,0 +1,103 @@
+// Log-time collectives over the portals fabric.
+//
+// The paper's client-side protocols lean on MPI-style collectives: "Once
+// the initiating client has the capability, it can use a logarithmic
+// 'scatter' routine to distribute capabilities to other client
+// processors" (§3.1.2, Figure 4-a), and the checkpoint's metadata gather
+// (Figure 8 line 7).  This module provides those primitives — point-to-
+// point send/recv with tag matching plus binomial-tree barrier /
+// broadcast / gather / scatter — so the application layers above the
+// LWFS-core are built the way the paper describes, not with shared
+// memory.
+//
+// A Communicator is owned by exactly one thread (like an MPI rank).  All
+// members of a group must be constructed before any collective starts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "portals/portals.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lwfs::comm {
+
+/// Portal index used by collectives (0-3 belong to the RPC layer).
+inline constexpr portals::PortalIndex kCollectivePortal = 5;
+
+class Communicator {
+ public:
+  /// Join a group: `members[i]` is the NIC id of rank i; `rank` is ours.
+  /// The NIC may be shared with an rpc client (different portals).
+  static Result<std::unique_ptr<Communicator>> Create(
+      std::shared_ptr<portals::Nic> nic, std::vector<portals::Nid> members,
+      int rank);
+  ~Communicator();
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+
+  // ---- Point to point -----------------------------------------------------
+  Status Send(int dest, std::uint32_t tag, ByteSpan data);
+  /// Blocking receive of the next message with (src, tag); out-of-order
+  /// arrivals are stashed.
+  Result<Buffer> Recv(int src, std::uint32_t tag,
+                      std::chrono::milliseconds timeout =
+                          std::chrono::milliseconds(10000));
+
+  // ---- Collectives (binomial trees, O(log n) rounds) ------------------------
+  /// All ranks must call with the same tag; returns when everyone arrived.
+  Status Barrier(std::uint32_t tag);
+
+  /// Root's `data` is delivered into every rank's `data`.
+  Status Bcast(int root, std::uint32_t tag, Buffer& data);
+
+  /// Every rank contributes `mine`; root receives all contributions
+  /// ordered by rank (non-roots get an empty vector).
+  Result<std::vector<Buffer>> Gather(int root, std::uint32_t tag,
+                                     ByteSpan mine);
+
+  /// Root provides size() pieces; every rank returns its own.  This is
+  /// the Figure 4-a capability-distribution primitive.
+  Result<Buffer> Scatter(int root, std::uint32_t tag,
+                         const std::vector<Buffer>& pieces);
+
+ private:
+  Communicator(std::shared_ptr<portals::Nic> nic,
+               std::vector<portals::Nid> members, int rank)
+      : nic_(std::move(nic)),
+        members_(std::move(members)),
+        rank_(rank),
+        eq_(4096) {}
+
+  /// rank relative to `root` (binomial trees are rooted at 0).
+  [[nodiscard]] int Relative(int rank, int root) const {
+    return (rank - root + size()) % size();
+  }
+  [[nodiscard]] int Absolute(int relative, int root) const {
+    return (relative + root) % size();
+  }
+
+  static portals::MatchBits MakeMatch(int src, std::uint32_t tag) {
+    return (static_cast<portals::MatchBits>(tag) << 16) |
+           static_cast<portals::MatchBits>(src & 0xFFFF);
+  }
+
+  std::shared_ptr<portals::Nic> nic_;
+  std::vector<portals::Nid> members_;
+  int rank_;
+  portals::EventQueue eq_;
+  portals::MeHandle me_ = portals::kInvalidMeHandle;
+  // Out-of-order stash: (src, tag) -> FIFO of payloads.
+  std::map<std::pair<int, std::uint32_t>, std::deque<Buffer>> stash_;
+};
+
+}  // namespace lwfs::comm

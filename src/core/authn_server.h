@@ -1,0 +1,29 @@
+// RPC binding of the authentication service (Figure 3).
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.h"
+#include "rpc/rpc.h"
+#include "security/authn.h"
+
+namespace lwfs::core {
+
+class AuthnServer {
+ public:
+  AuthnServer(std::shared_ptr<portals::Nic> nic,
+              security::AuthnService* service,
+              rpc::ServerOptions options = {});
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
+  [[nodiscard]] security::AuthnService* service() { return service_; }
+
+ private:
+  security::AuthnService* service_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace lwfs::core

@@ -1,0 +1,133 @@
+#include "core/authz_server.h"
+
+#include "util/logging.h"
+
+namespace lwfs::core {
+
+namespace {
+Result<security::Credential> ReadCred(Decoder& req) {
+  return security::Credential::Decode(req);
+}
+}  // namespace
+
+AuthzServer::AuthzServer(std::shared_ptr<portals::Nic> nic,
+                         security::AuthzService* service,
+                         rpc::ServerOptions options)
+    : service_(service),
+      server_(nic, options),
+      control_client_(std::move(nic)) {
+  service_->SetRevocationSink(this);
+
+  server_.RegisterHandler(
+      kOpCreateContainer,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cred = ReadCred(req);
+        if (!cred.ok()) return cred.status();
+        auto cid = service_->CreateContainer(*cred);
+        if (!cid.ok()) return cid.status();
+        Encoder reply;
+        reply.PutU64(cid->value);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOpGetCap, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cred = ReadCred(req);
+        auto cid = req.GetU64();
+        auto ops = req.GetU32();
+        if (!cred.ok() || !cid.ok() || !ops.ok()) {
+          return InvalidArgument("malformed getcap request");
+        }
+        auto cap =
+            service_->GetCap(*cred, storage::ContainerId{*cid}, *ops);
+        if (!cap.ok()) return cap.status();
+        Encoder reply;
+        cap->Encode(reply);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOpVerifyCap,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto server_id = req.GetU32();
+        auto cap = security::Capability::Decode(req);
+        if (!server_id.ok() || !cap.ok()) {
+          return InvalidArgument("malformed verify request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->VerifyForServer(*server_id, *cap));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpSetGrant,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cred = ReadCred(req);
+        auto cid = req.GetU64();
+        auto grantee = req.GetU64();
+        auto ops = req.GetU32();
+        if (!cred.ok() || !cid.ok() || !grantee.ok() || !ops.ok()) {
+          return InvalidArgument("malformed setgrant request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->SetGrant(
+            *cred, storage::ContainerId{*cid}, *grantee, *ops));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpRevokeCapability,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cred = ReadCred(req);
+        auto cap_id = req.GetU64();
+        if (!cred.ok() || !cap_id.ok()) {
+          return InvalidArgument("malformed revoke request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->RevokeCap(*cred, *cap_id));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpRefreshCap,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cred = ReadCred(req);
+        auto cap = security::Capability::Decode(req);
+        if (!cred.ok() || !cap.ok()) {
+          return InvalidArgument("malformed refresh request");
+        }
+        auto fresh = service_->RefreshCap(*cred, *cap);
+        if (!fresh.ok()) return fresh.status();
+        Encoder reply;
+        fresh->Encode(reply);
+        return std::move(reply).Take();
+      });
+}
+
+void AuthzServer::SetStorageNids(std::vector<portals::Nid> nids) {
+  std::lock_guard<std::mutex> lock(nids_mutex_);
+  storage_nids_ = std::move(nids);
+}
+
+void AuthzServer::InvalidateCaps(security::ServerId server,
+                                 const std::vector<std::uint64_t>& cap_ids) {
+  portals::Nid target;
+  {
+    std::lock_guard<std::mutex> lock(nids_mutex_);
+    if (server >= storage_nids_.size()) {
+      LWFS_WARN << "invalidation for unknown storage server " << server;
+      return;
+    }
+    target = storage_nids_[server];
+  }
+  Encoder req;
+  req.PutU32(static_cast<std::uint32_t>(cap_ids.size()));
+  for (std::uint64_t id : cap_ids) req.PutU64(id);
+  rpc::CallOptions options;
+  options.request_portal = rpc::kControlPortal;
+  auto reply = control_client_.Call(target, kOpInvalidateCaps,
+                                    ByteSpan(req.buffer()), options);
+  if (!reply.ok()) {
+    LWFS_ERROR << "cap invalidation to server " << server
+               << " failed: " << reply.status().ToString();
+  }
+}
+
+}  // namespace lwfs::core

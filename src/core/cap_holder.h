@@ -1,0 +1,61 @@
+// Auto-refreshing capability holder.
+//
+// §5 contrasts LWFS with NASD on expiry: "NASD does not automatically
+// refresh expired capabilities ... for operations like a checkpoint, with
+// large gaps between file accesses, the cost of re-acquiring expired
+// capabilities is still a problem."  CapHolder keeps a capability usable
+// across arbitrary gaps: `Get()` returns the current capability, renewing
+// it through the authorization service shortly before it expires.  A
+// refresh re-runs policy, so revoked rights do not silently survive.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "core/client.h"
+#include "security/authn.h"
+#include "security/types.h"
+
+namespace lwfs::core {
+
+class CapHolder {
+ public:
+  /// `refresh_margin_us`: renew when less than this much lifetime remains.
+  CapHolder(Client* client, security::Credential cred,
+            security::Capability cap, security::NowFn now,
+            std::int64_t refresh_margin_us = 5LL * 1000 * 1000)
+      : client_(client),
+        cred_(std::move(cred)),
+        cap_(std::move(cap)),
+        now_(std::move(now)),
+        margin_us_(refresh_margin_us) {}
+
+  /// Current capability, refreshed if close to expiry.  Fails if the
+  /// refresh is denied (policy changed) — callers see the denial instead
+  /// of a stale capability.
+  Result<security::Capability> Get() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cap_.expires_us - now_() > margin_us_) return cap_;
+    auto fresh = client_->RefreshCap(cred_, cap_);
+    if (!fresh.ok()) return fresh.status();
+    cap_ = *fresh;
+    ++refreshes_;
+    return cap_;
+  }
+
+  [[nodiscard]] std::uint64_t refreshes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return refreshes_;
+  }
+
+ private:
+  Client* client_;
+  security::Credential cred_;
+  security::Capability cap_;
+  security::NowFn now_;
+  std::int64_t margin_us_;
+  mutable std::mutex mutex_;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace lwfs::core

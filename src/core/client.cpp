@@ -1,0 +1,514 @@
+#include "core/client.h"
+
+#include <thread>
+
+namespace lwfs::core {
+
+// ---------------------------------------------------------------------------
+// RemoteParticipant
+// ---------------------------------------------------------------------------
+
+Result<bool> RemoteParticipant::Prepare(txn::TxnId txid) {
+  Encoder req;
+  req.PutU64(txid);
+  auto reply = rpc_->Call(nid_, kOpTxnPrepare, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return dec.GetBool();
+}
+
+Status RemoteParticipant::Commit(txn::TxnId txid) {
+  Encoder req;
+  req.PutU64(txid);
+  auto reply = rpc_->Call(nid_, kOpTxnCommit, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status RemoteParticipant::Abort(txn::TxnId txid) {
+  Encoder req;
+  req.PutU64(txid);
+  auto reply = rpc_->Call(nid_, kOpTxnAbort, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteObjectStore
+// ---------------------------------------------------------------------------
+
+Result<storage::ObjectId> RemoteObjectStore::Create(storage::ContainerId cid) {
+  if (cid != cap_.cid) {
+    return PermissionDenied("capability is for a different container");
+  }
+  return client_->CreateObject(server_, cap_);
+}
+Status RemoteObjectStore::Remove(storage::ObjectId oid) {
+  return client_->RemoveObject(server_, cap_, oid);
+}
+Status RemoteObjectStore::Write(storage::ObjectId oid, std::uint64_t offset,
+                                ByteSpan data) {
+  return client_->WriteObject(server_, cap_, oid, offset, data);
+}
+Result<Buffer> RemoteObjectStore::Read(storage::ObjectId oid,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  return client_->ReadObjectAlloc(server_, cap_, oid, offset, length);
+}
+Status RemoteObjectStore::Truncate(storage::ObjectId oid, std::uint64_t size) {
+  return client_->TruncateObject(server_, cap_, oid, size);
+}
+Result<storage::ObjAttr> RemoteObjectStore::GetAttr(storage::ObjectId oid) {
+  return client_->GetAttr(server_, cap_, oid);
+}
+Result<std::vector<storage::ObjectId>> RemoteObjectStore::List(
+    storage::ContainerId cid) {
+  if (cid != cap_.cid) {
+    return PermissionDenied("capability is for a different container");
+  }
+  return client_->ListObjects(server_, cap_);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(std::shared_ptr<portals::Nic> nic, Deployment deployment)
+    : nic_(nic), deployment_(std::move(deployment)), rpc_(nic) {}
+
+Result<portals::Nid> Client::StorageNid(std::uint32_t server) const {
+  if (server >= deployment_.storage.size()) {
+    return InvalidArgument("no such storage server index");
+  }
+  return deployment_.storage[server];
+}
+
+Result<security::Credential> Client::Login(const std::string& principal,
+                                           const std::string& secret) {
+  Encoder req;
+  req.PutString(principal);
+  req.PutString(secret);
+  auto reply = rpc_.Call(deployment_.authn, kOpLogin, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return security::Credential::Decode(dec);
+}
+
+Status Client::RevokeCred(std::uint64_t cred_id) {
+  Encoder req;
+  req.PutU64(cred_id);
+  auto reply =
+      rpc_.Call(deployment_.authn, kOpRevokeCred, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<storage::ContainerId> Client::CreateContainer(
+    const security::Credential& cred) {
+  Encoder req;
+  cred.Encode(req);
+  auto reply =
+      rpc_.Call(deployment_.authz, kOpCreateContainer, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  auto cid = dec.GetU64();
+  if (!cid.ok()) return cid.status();
+  return storage::ContainerId{*cid};
+}
+
+Result<security::Capability> Client::GetCap(const security::Credential& cred,
+                                            storage::ContainerId cid,
+                                            std::uint32_t ops) {
+  Encoder req;
+  cred.Encode(req);
+  req.PutU64(cid.value);
+  req.PutU32(ops);
+  auto reply = rpc_.Call(deployment_.authz, kOpGetCap, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return security::Capability::Decode(dec);
+}
+
+Result<security::Capability> Client::RefreshCap(
+    const security::Credential& cred, const security::Capability& cap) {
+  Encoder req;
+  cred.Encode(req);
+  cap.Encode(req);
+  auto reply =
+      rpc_.Call(deployment_.authz, kOpRefreshCap, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return security::Capability::Decode(dec);
+}
+
+Status Client::SetGrant(const security::Credential& cred,
+                        storage::ContainerId cid, security::Uid grantee,
+                        std::uint32_t ops) {
+  Encoder req;
+  cred.Encode(req);
+  req.PutU64(cid.value);
+  req.PutU64(grantee);
+  req.PutU32(ops);
+  auto reply =
+      rpc_.Call(deployment_.authz, kOpSetGrant, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status Client::RevokeCap(const security::Credential& cred,
+                         std::uint64_t cap_id) {
+  Encoder req;
+  cred.Encode(req);
+  req.PutU64(cap_id);
+  auto reply = rpc_.Call(deployment_.authz, kOpRevokeCapability,
+                         ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<storage::ObjectId> Client::CreateObject(std::uint32_t server,
+                                               const security::Capability& cap,
+                                               txn::TxnId txid) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(txid);
+  auto reply = rpc_.Call(*nid, kOpObjCreate, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  auto oid = dec.GetU64();
+  if (!oid.ok()) return oid.status();
+  return storage::ObjectId{*oid};
+}
+
+Status Client::WriteObject(std::uint32_t server,
+                           const security::Capability& cap,
+                           storage::ObjectId oid, std::uint64_t offset,
+                           ByteSpan data) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(oid.value);
+  req.PutU64(offset);
+  rpc::CallOptions options;
+  options.bulk_out = data;  // registered for the server to pull
+  auto reply = rpc_.Call(*nid, kOpObjWrite, ByteSpan(req.buffer()), options);
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<std::uint64_t> Client::ReadObject(std::uint32_t server,
+                                         const security::Capability& cap,
+                                         storage::ObjectId oid,
+                                         std::uint64_t offset,
+                                         MutableByteSpan out) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(oid.value);
+  req.PutU64(offset);
+  req.PutU64(out.size());
+  rpc::CallOptions options;
+  options.bulk_in = out;  // registered for the server to push
+  auto reply = rpc_.Call(*nid, kOpObjRead, ByteSpan(req.buffer()), options);
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return dec.GetU64();
+}
+
+Result<Buffer> Client::ReadObjectAlloc(std::uint32_t server,
+                                       const security::Capability& cap,
+                                       storage::ObjectId oid,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  Buffer out(length, 0);
+  auto n = ReadObject(server, cap, oid, offset, MutableByteSpan(out));
+  if (!n.ok()) return n.status();
+  out.resize(static_cast<std::size_t>(*n));
+  return out;
+}
+
+Status Client::RemoveObject(std::uint32_t server,
+                            const security::Capability& cap,
+                            storage::ObjectId oid, txn::TxnId txid) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(oid.value);
+  req.PutU64(txid);
+  auto reply = rpc_.Call(*nid, kOpObjRemove, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<storage::ObjAttr> Client::GetAttr(std::uint32_t server,
+                                         const security::Capability& cap,
+                                         storage::ObjectId oid) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(oid.value);
+  auto reply = rpc_.Call(*nid, kOpObjGetAttr, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return DecodeObjAttr(dec);
+}
+
+Result<std::vector<storage::ObjectId>> Client::ListObjects(
+    std::uint32_t server, const security::Capability& cap) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  auto reply = rpc_.Call(*nid, kOpObjList, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  auto count = dec.GetU32();
+  if (!count.ok()) return count.status();
+  if (*count > dec.remaining() / 8) {
+    return Internal("object count exceeds reply payload");
+  }
+  std::vector<storage::ObjectId> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto oid = dec.GetU64();
+    if (!oid.ok()) return oid.status();
+    out.push_back(storage::ObjectId{*oid});
+  }
+  return out;
+}
+
+Status Client::TruncateObject(std::uint32_t server,
+                              const security::Capability& cap,
+                              storage::ObjectId oid, std::uint64_t size) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(oid.value);
+  req.PutU64(size);
+  auto reply = rpc_.Call(*nid, kOpObjTruncate, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<Client::FilterOutcome> Client::FilterObject(
+    std::uint32_t server, const security::Capability& cap,
+    storage::ObjectId oid, std::uint64_t offset, std::uint64_t length,
+    const FilterSpec& spec, MutableByteSpan result) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  Encoder req;
+  cap.Encode(req);
+  req.PutU64(oid.value);
+  req.PutU64(offset);
+  req.PutU64(length);
+  spec.Encode(req);
+  rpc::CallOptions options;
+  options.bulk_in = result;  // the server pushes only the filter output
+  auto reply = rpc_.Call(*nid, kOpObjFilter, ByteSpan(req.buffer()), options);
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  auto result_bytes = dec.GetU64();
+  auto input_bytes = dec.GetU64();
+  if (!result_bytes.ok() || !input_bytes.ok()) {
+    return Internal("malformed filter reply");
+  }
+  return FilterOutcome{*result_bytes, *input_bytes};
+}
+
+Result<Buffer> Client::FilterObjectAlloc(std::uint32_t server,
+                                         const security::Capability& cap,
+                                         storage::ObjectId oid,
+                                         std::uint64_t offset,
+                                         std::uint64_t length,
+                                         const FilterSpec& spec) {
+  // Worst case for the built-in filters: never larger than the input, but
+  // histograms on tiny inputs can exceed it.
+  const std::uint64_t worst =
+      std::max<std::uint64_t>(length, 8ull * spec.bins + 64);
+  Buffer out(static_cast<std::size_t>(worst), 0);
+  auto outcome =
+      FilterObject(server, cap, oid, offset, length, spec, MutableByteSpan(out));
+  if (!outcome.ok()) return outcome.status();
+  out.resize(static_cast<std::size_t>(outcome->result_bytes));
+  return out;
+}
+
+// ---- Naming ----------------------------------------------------------------
+
+Status Client::Mkdir(std::string_view path, bool recursive) {
+  Encoder req;
+  req.PutString(path);
+  req.PutBool(recursive);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameMkdir, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status Client::LinkName(std::string_view path, const storage::ObjectRef& ref) {
+  Encoder req;
+  req.PutString(path);
+  EncodeObjectRef(req, ref);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameLink, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status Client::StageLinkName(txn::TxnId txid, std::string_view path,
+                             const storage::ObjectRef& ref) {
+  Encoder req;
+  req.PutU64(txid);
+  req.PutString(path);
+  EncodeObjectRef(req, ref);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameStageLink, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<storage::ObjectRef> Client::LookupName(std::string_view path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameLookup, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return DecodeObjectRef(dec);
+}
+
+Status Client::UnlinkName(std::string_view path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameUnlink, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status Client::RmdirName(std::string_view path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameRmdir, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status Client::RenameName(std::string_view from, std::string_view to) {
+  Encoder req;
+  req.PutString(from);
+  req.PutString(to);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameRename, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<std::vector<naming::DirEntry>> Client::ListNames(
+    std::string_view path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply =
+      rpc_.Call(deployment_.naming, kOpNameList, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  auto count = dec.GetU32();
+  if (!count.ok()) return count.status();
+  if (*count > dec.remaining()) {
+    return Internal("entry count exceeds reply payload");
+  }
+  std::vector<naming::DirEntry> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    naming::DirEntry entry;
+    auto name = dec.GetString();
+    auto is_dir = dec.GetBool();
+    auto has_ref = dec.GetBool();
+    if (!name.ok() || !is_dir.ok() || !has_ref.ok()) {
+      return InvalidArgument("malformed list reply");
+    }
+    entry.name = std::move(*name);
+    entry.is_directory = *is_dir;
+    if (*has_ref) {
+      auto ref = DecodeObjectRef(dec);
+      if (!ref.ok()) return ref.status();
+      entry.ref = *ref;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// ---- Locks -------------------------------------------------------------------
+
+Result<txn::LockId> Client::TryLock(const txn::LockKey& key,
+                                    const txn::LockRange& range,
+                                    txn::LockMode mode) {
+  Encoder req;
+  req.PutU64(key.container);
+  req.PutU64(key.resource);
+  req.PutU64(range.start);
+  req.PutU64(range.end);
+  req.PutBool(mode == txn::LockMode::kExclusive);
+  auto reply = rpc_.Call(deployment_.locks, kOpLockTry, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  return dec.GetU64();
+}
+
+Result<txn::LockId> Client::LockBlocking(const txn::LockKey& key,
+                                         const txn::LockRange& range,
+                                         txn::LockMode mode,
+                                         std::chrono::milliseconds max_wait) {
+  const auto deadline = std::chrono::steady_clock::now() + max_wait;
+  int backoff_us = 50;
+  for (;;) {
+    auto id = TryLock(key, range, mode);
+    if (id.ok() || id.status().code() != ErrorCode::kResourceExhausted) {
+      return id;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Timeout("lock wait timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, 5000);
+  }
+}
+
+Status Client::Unlock(txn::LockId id) {
+  Encoder req;
+  req.PutU64(id);
+  auto reply =
+      rpc_.Call(deployment_.locks, kOpLockRelease, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+// ---- Transactions --------------------------------------------------------------
+
+Result<std::unique_ptr<Transaction>> Client::BeginTxn(
+    std::uint32_t journal_server, const security::Capability& journal_cap,
+    const TxnParticipants& participants) {
+  auto txn = std::make_unique<Transaction>();
+  txn->journal_store_ =
+      std::make_unique<RemoteObjectStore>(this, journal_server, journal_cap);
+  auto journal =
+      txn::Journal::Create(txn->journal_store_.get(), journal_cap.cid);
+  if (!journal.ok()) return journal.status();
+  txn->journal_ = std::make_unique<txn::Journal>(*journal);
+
+  std::vector<txn::Participant*> raw;
+  for (std::uint32_t server : participants.storage_servers) {
+    auto nid = StorageNid(server);
+    if (!nid.ok()) return nid.status();
+    txn->stubs_.push_back(std::make_unique<RemoteParticipant>(
+        &rpc_, *nid, "storage:" + std::to_string(server)));
+    raw.push_back(txn->stubs_.back().get());
+  }
+  if (participants.naming) {
+    txn->stubs_.push_back(std::make_unique<RemoteParticipant>(
+        &rpc_, deployment_.naming, "naming"));
+    raw.push_back(txn->stubs_.back().get());
+  }
+
+  txn->coordinator_ = std::make_unique<txn::Coordinator>(txn->journal_.get());
+  auto txid = txn->coordinator_->Begin(std::move(raw));
+  if (!txid.ok()) return txid.status();
+  txn->id_ = *txid;
+  return txn;
+}
+
+}  // namespace lwfs::core

@@ -1,0 +1,226 @@
+// lwfs::core::Client — the public LWFS-core client API.
+//
+// Mirrors the programming model of Figure 8: authenticate once, create a
+// container, acquire capabilities, then talk *directly* to storage servers
+// (exposing their parallelism — design guideline 3 of §3), with optional
+// naming, locking, and distributed transactions layered on top.
+//
+// Everything is addressed explicitly: object operations name the storage
+// server they go to, because data distribution is application policy, not
+// core policy (§3.1.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filters.h"
+#include "core/protocol.h"
+#include "naming/naming.h"
+#include "rpc/rpc.h"
+#include "security/types.h"
+#include "storage/ids.h"
+#include "storage/object_store.h"
+#include "txn/journal.h"
+#include "txn/lock_table.h"
+#include "txn/two_phase.h"
+#include "util/status.h"
+
+namespace lwfs::core {
+
+/// Where the services live.  Built by ServiceRuntime (in-process testbed) or
+/// by hand for a custom deployment.
+struct Deployment {
+  portals::Nid authn = portals::kInvalidNid;
+  portals::Nid authz = portals::kInvalidNid;
+  portals::Nid naming = portals::kInvalidNid;
+  portals::Nid locks = portals::kInvalidNid;
+  std::vector<portals::Nid> storage;
+};
+
+class Client;
+
+/// txn::Participant stub that forwards prepare/commit/abort over RPC.
+class RemoteParticipant final : public txn::Participant {
+ public:
+  RemoteParticipant(rpc::RpcClient* rpc, portals::Nid nid, std::string name)
+      : rpc_(rpc), nid_(nid), name_(std::move(name)) {}
+
+  Result<bool> Prepare(txn::TxnId txid) override;
+  Status Commit(txn::TxnId txid) override;
+  Status Abort(txn::TxnId txid) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  rpc::RpcClient* rpc_;
+  portals::Nid nid_;
+  std::string name_;
+};
+
+/// storage::ObjectStore adapter over one remote storage server + capability.
+/// Lets client-side components built against ObjectStore (notably
+/// txn::Journal) operate on remote objects unchanged.
+class RemoteObjectStore final : public storage::ObjectStore {
+ public:
+  RemoteObjectStore(Client* client, std::uint32_t server_index,
+                    security::Capability cap)
+      : client_(client), server_(server_index), cap_(std::move(cap)) {}
+
+  Result<storage::ObjectId> Create(storage::ContainerId cid) override;
+  Status CreateWithId(storage::ContainerId, storage::ObjectId) override {
+    return InvalidArgument("CreateWithId is not part of the wire protocol");
+  }
+  Status Remove(storage::ObjectId oid) override;
+  Status Write(storage::ObjectId oid, std::uint64_t offset,
+               ByteSpan data) override;
+  Result<Buffer> Read(storage::ObjectId oid, std::uint64_t offset,
+                      std::uint64_t length) override;
+  Status Truncate(storage::ObjectId oid, std::uint64_t size) override;
+  Result<storage::ObjAttr> GetAttr(storage::ObjectId oid) override;
+  Result<std::vector<storage::ObjectId>> List(storage::ContainerId) override;
+  std::uint64_t ObjectCount() override { return 0; }  // not tracked remotely
+
+ private:
+  Client* client_;
+  std::uint32_t server_;
+  security::Capability cap_;
+};
+
+/// A distributed transaction in flight.  Created by Client::BeginTxn; the
+/// journal lives as an object on a storage server (§3.4 durability).
+class Transaction {
+ public:
+  [[nodiscard]] txn::TxnId id() const { return id_; }
+  Status Commit() { return coordinator_->Commit(id_); }
+  Status Abort() { return coordinator_->Abort(id_); }
+  [[nodiscard]] txn::Journal* journal() { return journal_.get(); }
+  [[nodiscard]] txn::Coordinator* coordinator() { return coordinator_.get(); }
+
+ private:
+  friend class Client;
+  txn::TxnId id_ = 0;
+  std::unique_ptr<RemoteObjectStore> journal_store_;
+  std::unique_ptr<txn::Journal> journal_;
+  std::vector<std::unique_ptr<RemoteParticipant>> stubs_;
+  std::unique_ptr<txn::Coordinator> coordinator_;
+};
+
+/// Which services participate in a transaction.
+struct TxnParticipants {
+  std::vector<std::uint32_t> storage_servers;
+  bool naming = false;
+};
+
+class Client {
+ public:
+  Client(std::shared_ptr<portals::Nic> nic, Deployment deployment);
+
+  // ---- Authentication ----------------------------------------------------
+  Result<security::Credential> Login(const std::string& principal,
+                                     const std::string& secret);
+  Status RevokeCred(std::uint64_t cred_id);
+
+  // ---- Authorization -----------------------------------------------------
+  Result<storage::ContainerId> CreateContainer(
+      const security::Credential& cred);
+  Result<security::Capability> GetCap(const security::Credential& cred,
+                                      storage::ContainerId cid,
+                                      std::uint32_t ops);
+  Result<security::Capability> RefreshCap(const security::Credential& cred,
+                                          const security::Capability& cap);
+  Status SetGrant(const security::Credential& cred, storage::ContainerId cid,
+                  security::Uid grantee, std::uint32_t ops);
+  Status RevokeCap(const security::Credential& cred, std::uint64_t cap_id);
+
+  // ---- Object storage (direct to storage servers) -------------------------
+  Result<storage::ObjectId> CreateObject(std::uint32_t server,
+                                         const security::Capability& cap,
+                                         txn::TxnId txid = 0);
+  Status WriteObject(std::uint32_t server, const security::Capability& cap,
+                     storage::ObjectId oid, std::uint64_t offset,
+                     ByteSpan data);
+  /// Read into caller memory; returns bytes actually read (short at EOF).
+  Result<std::uint64_t> ReadObject(std::uint32_t server,
+                                   const security::Capability& cap,
+                                   storage::ObjectId oid, std::uint64_t offset,
+                                   MutableByteSpan out);
+  Result<Buffer> ReadObjectAlloc(std::uint32_t server,
+                                 const security::Capability& cap,
+                                 storage::ObjectId oid, std::uint64_t offset,
+                                 std::uint64_t length);
+  Status RemoveObject(std::uint32_t server, const security::Capability& cap,
+                      storage::ObjectId oid, txn::TxnId txid = 0);
+  Result<storage::ObjAttr> GetAttr(std::uint32_t server,
+                                   const security::Capability& cap,
+                                   storage::ObjectId oid);
+  Result<std::vector<storage::ObjectId>> ListObjects(
+      std::uint32_t server, const security::Capability& cap);
+  Status TruncateObject(std::uint32_t server, const security::Capability& cap,
+                        storage::ObjectId oid, std::uint64_t size);
+
+  /// Active-storage filter (§6 "remote filtering"): run `spec` server-side
+  /// over object bytes [offset, offset+length) (a float64 array) and
+  /// receive only the result.  Returns {result bytes, input bytes reduced}.
+  struct FilterOutcome {
+    std::uint64_t result_bytes = 0;
+    std::uint64_t input_bytes = 0;
+  };
+  Result<FilterOutcome> FilterObject(std::uint32_t server,
+                                     const security::Capability& cap,
+                                     storage::ObjectId oid,
+                                     std::uint64_t offset, std::uint64_t length,
+                                     const FilterSpec& spec,
+                                     MutableByteSpan result);
+  /// Convenience: allocates a result buffer sized for the worst case.
+  Result<Buffer> FilterObjectAlloc(std::uint32_t server,
+                                   const security::Capability& cap,
+                                   storage::ObjectId oid, std::uint64_t offset,
+                                   std::uint64_t length,
+                                   const FilterSpec& spec);
+
+  // ---- Naming --------------------------------------------------------------
+  Status Mkdir(std::string_view path, bool recursive = false);
+  Status LinkName(std::string_view path, const storage::ObjectRef& ref);
+  Status StageLinkName(txn::TxnId txid, std::string_view path,
+                       const storage::ObjectRef& ref);
+  Result<storage::ObjectRef> LookupName(std::string_view path);
+  Status UnlinkName(std::string_view path);
+  Status RmdirName(std::string_view path);
+  Status RenameName(std::string_view from, std::string_view to);
+  Result<std::vector<naming::DirEntry>> ListNames(std::string_view path);
+
+  // ---- Locks ----------------------------------------------------------------
+  Result<txn::LockId> TryLock(const txn::LockKey& key,
+                              const txn::LockRange& range, txn::LockMode mode);
+  /// Poll TryLock with backoff until granted or `max_wait` elapses.
+  Result<txn::LockId> LockBlocking(const txn::LockKey& key,
+                                   const txn::LockRange& range,
+                                   txn::LockMode mode,
+                                   std::chrono::milliseconds max_wait =
+                                       std::chrono::milliseconds(10000));
+  Status Unlock(txn::LockId id);
+
+  // ---- Transactions ---------------------------------------------------------
+  /// Begin a distributed transaction whose journal is an object created in
+  /// `journal_cap`'s container on `journal_server`.
+  Result<std::unique_ptr<Transaction>> BeginTxn(
+      std::uint32_t journal_server, const security::Capability& journal_cap,
+      const TxnParticipants& participants);
+
+  // ---- Introspection ---------------------------------------------------------
+  [[nodiscard]] portals::Nid nid() const { return rpc_.nid(); }
+  [[nodiscard]] const Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
+  [[nodiscard]] std::size_t storage_server_count() const {
+    return deployment_.storage.size();
+  }
+
+ private:
+  Result<portals::Nid> StorageNid(std::uint32_t server) const;
+
+  std::shared_ptr<portals::Nic> nic_;
+  Deployment deployment_;
+  rpc::RpcClient rpc_;
+};
+
+}  // namespace lwfs::core

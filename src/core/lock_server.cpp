@@ -1,0 +1,39 @@
+#include "core/lock_server.h"
+
+namespace lwfs::core {
+
+LockServer::LockServer(std::shared_ptr<portals::Nic> nic,
+                       txn::LockTable* table, rpc::ServerOptions options)
+    : table_(table), server_(std::move(nic), options) {
+  server_.RegisterHandler(
+      kOpLockTry, [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
+        auto container = req.GetU64();
+        auto resource = req.GetU64();
+        auto start = req.GetU64();
+        auto end = req.GetU64();
+        auto exclusive = req.GetBool();
+        if (!container.ok() || !resource.ok() || !start.ok() || !end.ok() ||
+            !exclusive.ok()) {
+          return InvalidArgument("malformed lock request");
+        }
+        auto id = table_->TryAcquire(
+            txn::LockKey{*container, *resource}, txn::LockRange{*start, *end},
+            *exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
+            /*owner=*/ctx.client());
+        if (!id.ok()) return id.status();
+        Encoder reply;
+        reply.PutU64(*id);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOpLockRelease,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto id = req.GetU64();
+        if (!id.ok()) return id.status();
+        LWFS_RETURN_IF_ERROR(table_->Release(*id));
+        return Buffer{};
+      });
+}
+
+}  // namespace lwfs::core

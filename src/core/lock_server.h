@@ -1,0 +1,32 @@
+// RPC binding of the lock service (§3.4).
+//
+// Lock acquisition over RPC is try-based: a busy lock returns
+// kResourceExhausted and the *client* polls with backoff, so no server
+// worker thread is ever parked holding a request slot.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.h"
+#include "rpc/rpc.h"
+#include "txn/lock_table.h"
+
+namespace lwfs::core {
+
+class LockServer {
+ public:
+  LockServer(std::shared_ptr<portals::Nic> nic, txn::LockTable* table,
+             rpc::ServerOptions options = {});
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
+  [[nodiscard]] txn::LockTable* table() { return table_; }
+
+ private:
+  txn::LockTable* table_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace lwfs::core

@@ -1,0 +1,136 @@
+#include "core/naming_server.h"
+
+namespace lwfs::core {
+
+NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
+                           naming::NamingService* service,
+                           rpc::ServerOptions options)
+    : service_(service), server_(std::move(nic), options) {
+  server_.RegisterHandler(
+      kOpNameMkdir,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        auto recursive = req.GetBool();
+        if (!path.ok() || !recursive.ok()) {
+          return InvalidArgument("malformed mkdir request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->Mkdir(*path, *recursive));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpNameLink,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        auto ref = DecodeObjectRef(req);
+        if (!path.ok() || !ref.ok()) {
+          return InvalidArgument("malformed link request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->Link(*path, *ref));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpNameStageLink,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        auto path = req.GetString();
+        auto ref = DecodeObjectRef(req);
+        if (!txid.ok() || !path.ok() || !ref.ok()) {
+          return InvalidArgument("malformed staged-link request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->StageLink(*txid, *path, *ref));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpNameLookup,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        auto ref = service_->Lookup(*path);
+        if (!ref.ok()) return ref.status();
+        Encoder reply;
+        EncodeObjectRef(reply, *ref);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOpNameUnlink,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        LWFS_RETURN_IF_ERROR(service_->Unlink(*path));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpNameRmdir,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        LWFS_RETURN_IF_ERROR(service_->Rmdir(*path));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpNameRename,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto from = req.GetString();
+        auto to = req.GetString();
+        if (!from.ok() || !to.ok()) {
+          return InvalidArgument("malformed rename request");
+        }
+        LWFS_RETURN_IF_ERROR(service_->Rename(*from, *to));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOpNameList,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        auto entries = service_->List(*path);
+        if (!entries.ok()) return entries.status();
+        Encoder reply;
+        reply.PutU32(static_cast<std::uint32_t>(entries->size()));
+        for (const naming::DirEntry& e : *entries) {
+          reply.PutString(e.name);
+          reply.PutBool(e.is_directory);
+          reply.PutBool(e.ref.has_value());
+          if (e.ref) EncodeObjectRef(reply, *e.ref);
+        }
+        return std::move(reply).Take();
+      });
+
+  // Two-phase-commit participant endpoints.
+  server_.RegisterHandler(
+      kOpTxnPrepare,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        if (!txid.ok()) return txid.status();
+        auto vote = service_->participant()->Prepare(*txid);
+        if (!vote.ok()) return vote.status();
+        Encoder reply;
+        reply.PutBool(*vote);
+        return std::move(reply).Take();
+      });
+  server_.RegisterHandler(
+      kOpTxnCommit,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        if (!txid.ok()) return txid.status();
+        LWFS_RETURN_IF_ERROR(service_->participant()->Commit(*txid));
+        return Buffer{};
+      });
+  server_.RegisterHandler(
+      kOpTxnAbort,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        if (!txid.ok()) return txid.status();
+        LWFS_RETURN_IF_ERROR(service_->participant()->Abort(*txid));
+        return Buffer{};
+      });
+}
+
+}  // namespace lwfs::core

@@ -1,0 +1,36 @@
+// RPC binding of the naming service.
+//
+// Naming is a client-extension service (Figure 3): applications that want a
+// namespace talk to it, applications that do not (or bring their own) never
+// pay for it.  It is also a two-phase-commit participant so that name
+// creation can be made atomic with the object writes it describes
+// (Figure 8, CREATENAME inside the transaction).
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.h"
+#include "naming/naming.h"
+#include "rpc/rpc.h"
+
+namespace lwfs::core {
+
+class NamingServer {
+ public:
+  NamingServer(std::shared_ptr<portals::Nic> nic,
+               naming::NamingService* service, rpc::ServerOptions options = {});
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
+  [[nodiscard]] naming::NamingService* service() { return service_; }
+
+  [[nodiscard]] static std::string participant_name() { return "naming"; }
+
+ private:
+  naming::NamingService* service_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace lwfs::core

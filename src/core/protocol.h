@@ -1,0 +1,102 @@
+// Wire protocol of the LWFS services.
+//
+// One opcode space shared by every service; each service only registers the
+// handlers it owns.  Request/reply bodies are Encoder/Decoder-framed; bulk
+// object data never travels in a request — it moves through the
+// server-directed bulk path (rpc::ServerContext::PullBulk/PushBulk).
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/rpc.h"
+#include "security/types.h"
+#include "storage/ids.h"
+#include "storage/object_store.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lwfs::core {
+
+enum Op : rpc::Opcode {
+  // Authentication service.
+  kOpLogin = 1,
+  kOpRevokeCred = 2,
+
+  // Authorization service.
+  kOpCreateContainer = 10,
+  kOpGetCap = 11,
+  kOpVerifyCap = 12,  // storage server -> authz
+  kOpSetGrant = 13,
+  kOpRevokeCapability = 14,
+  kOpRefreshCap = 15,
+
+  // Storage service (data plane).
+  kOpObjCreate = 30,
+  kOpObjWrite = 31,
+  kOpObjRead = 32,
+  kOpObjRemove = 33,
+  kOpObjGetAttr = 34,
+  kOpObjList = 35,
+  kOpObjTruncate = 36,
+  /// Active-storage filter: run a reduction at the server, ship the result.
+  kOpObjFilter = 37,
+
+  // Storage service (control plane; sent to rpc::kControlPortal).
+  kOpInvalidateCaps = 40,
+
+  // Two-phase-commit participant ops (storage and naming services).
+  kOpTxnPrepare = 50,
+  kOpTxnCommit = 51,
+  kOpTxnAbort = 52,
+
+  // Naming service.
+  kOpNameMkdir = 60,
+  kOpNameLink = 61,
+  kOpNameLookup = 62,
+  kOpNameUnlink = 63,
+  kOpNameList = 64,
+  kOpNameStageLink = 65,
+  kOpNameRmdir = 66,
+  kOpNameRename = 67,
+
+  // Lock service.
+  kOpLockTry = 80,
+  kOpLockRelease = 81,
+};
+
+// ---- Shared encode/decode helpers -----------------------------------------
+
+inline void EncodeObjAttr(Encoder& enc, const storage::ObjAttr& attr) {
+  enc.PutU64(attr.cid.value);
+  enc.PutU64(attr.size);
+  enc.PutU64(attr.version);
+}
+
+inline Result<storage::ObjAttr> DecodeObjAttr(Decoder& dec) {
+  auto cid = dec.GetU64();
+  auto size = dec.GetU64();
+  auto version = dec.GetU64();
+  if (!cid.ok() || !size.ok() || !version.ok()) {
+    return InvalidArgument("malformed object attributes");
+  }
+  return storage::ObjAttr{storage::ContainerId{*cid}, *size, *version};
+}
+
+inline void EncodeObjectRef(Encoder& enc, const storage::ObjectRef& ref) {
+  enc.PutU64(ref.cid.value);
+  enc.PutU32(ref.server_index);
+  enc.PutU64(ref.oid.value);
+}
+
+inline Result<storage::ObjectRef> DecodeObjectRef(Decoder& dec) {
+  auto cid = dec.GetU64();
+  auto server = dec.GetU32();
+  auto oid = dec.GetU64();
+  if (!cid.ok() || !server.ok() || !oid.ok()) {
+    return InvalidArgument("malformed object reference");
+  }
+  return storage::ObjectRef{storage::ContainerId{*cid}, *server,
+                            storage::ObjectId{*oid}};
+}
+
+}  // namespace lwfs::core

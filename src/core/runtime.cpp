@@ -1,0 +1,132 @@
+#include "core/runtime.h"
+
+#include <fstream>
+
+namespace lwfs::core {
+
+Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
+    RuntimeOptions options) {
+  auto rt = std::unique_ptr<ServiceRuntime>(new ServiceRuntime());
+  rt->options_ = options;
+
+  // Keys stay inside the issuing services; nothing else ever sees them.
+  const security::SipKey authn_key{0x1234567890ABCDEFULL, 0x0F1E2D3C4B5A6978ULL};
+  const security::SipKey authz_key{0xFEDCBA0987654321ULL, 0x13579BDF2468ACE0ULL};
+
+  rt->authn_service_ = std::make_unique<security::AuthnService>(
+      &rt->users_, authn_key, options.authn);
+  rt->authz_service_ = std::make_unique<security::AuthzService>(
+      rt->authn_service_.get(), authz_key, options.authz);
+  rt->naming_service_ = std::make_unique<naming::NamingService>();
+
+  // Credential revocation must drop the authorization service's cached
+  // verification (in a distributed deployment this is a control RPC; the
+  // two services share a process here).
+  security::AuthzService* authz = rt->authz_service_.get();
+  rt->authn_service_->SetRevocationObserver(
+      [authz](std::uint64_t cred_id) { authz->ForgetCredential(cred_id); });
+
+  rt->authn_server_ = std::make_unique<AuthnServer>(
+      rt->fabric_.CreateNic(), rt->authn_service_.get(),
+      options.control_services);
+  rt->authz_server_ = std::make_unique<AuthzServer>(
+      rt->fabric_.CreateNic(), rt->authz_service_.get(),
+      options.control_services);
+  rt->naming_server_ = std::make_unique<NamingServer>(
+      rt->fabric_.CreateNic(), rt->naming_service_.get(),
+      options.control_services);
+  rt->lock_server_ = std::make_unique<LockServer>(
+      rt->fabric_.CreateNic(), &rt->lock_table_, options.control_services);
+
+  LWFS_RETURN_IF_ERROR(rt->authn_server_->Start());
+  LWFS_RETURN_IF_ERROR(rt->authz_server_->Start());
+  LWFS_RETURN_IF_ERROR(rt->naming_server_->Start());
+  LWFS_RETURN_IF_ERROR(rt->lock_server_->Start());
+
+  // The NASD-contrast mode hands the signing key to the storage servers —
+  // exactly the trust extension §3.1.2 criticizes; done here so the
+  // ablations and tests can measure its consequences.
+  StorageServerOptions storage_options = options.storage;
+  if (storage_options.verify_mode == VerifyMode::kSharedKey) {
+    storage_options.shared_key = authz_key;
+  }
+
+  std::vector<portals::Nid> storage_nids;
+  for (int i = 0; i < options.storage_servers; ++i) {
+    std::unique_ptr<storage::ObjectStore> store;
+    switch (options.backend) {
+      case RuntimeOptions::Backend::kMemory:
+        store = std::make_unique<storage::MemObjectStore>();
+        break;
+      case RuntimeOptions::Backend::kBlock:
+        store = std::make_unique<storage::BlockObjectStore>(
+            options.device_blocks, options.block_size);
+        break;
+      case RuntimeOptions::Backend::kFile: {
+        auto opened = storage::FileObjectStore::Open(
+            options.file_store_root + "/s" + std::to_string(i));
+        if (!opened.ok()) return opened.status();
+        store = std::move(*opened);
+        break;
+      }
+    }
+    rt->stores_.push_back(std::move(store));
+    auto server = std::make_unique<StorageServer>(
+        rt->fabric_.CreateNic(), static_cast<std::uint32_t>(i),
+        rt->stores_.back().get(), rt->authz_server_->nid(),
+        options.authz.now, storage_options);
+    LWFS_RETURN_IF_ERROR(server->Start());
+    storage_nids.push_back(server->nid());
+    rt->storage_servers_.push_back(std::move(server));
+  }
+  rt->authz_server_->SetStorageNids(storage_nids);
+
+  if (!options.naming_snapshot_file.empty()) {
+    std::ifstream in(options.naming_snapshot_file, std::ios::binary);
+    if (in) {
+      Buffer snapshot((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+      LWFS_RETURN_IF_ERROR(rt->naming_service_->Restore(ByteSpan(snapshot)));
+    }
+  }
+
+  rt->deployment_.authn = rt->authn_server_->nid();
+  rt->deployment_.authz = rt->authz_server_->nid();
+  rt->deployment_.naming = rt->naming_server_->nid();
+  rt->deployment_.locks = rt->lock_server_->nid();
+  rt->deployment_.storage = std::move(storage_nids);
+  return rt;
+}
+
+ServiceRuntime::~ServiceRuntime() {
+  // Stop order: storage first (they call into authz), then control services.
+  for (auto& server : storage_servers_) server->Stop();
+  if (lock_server_) lock_server_->Stop();
+  if (naming_server_) naming_server_->Stop();
+  if (authz_server_) authz_server_->Stop();
+  if (authn_server_) authn_server_->Stop();
+}
+
+void ServiceRuntime::AddUser(const std::string& name, const std::string& secret,
+                             security::Uid uid) {
+  users_.AddPrincipal(name, secret, uid);
+}
+
+std::unique_ptr<Client> ServiceRuntime::MakeClient() {
+  return std::make_unique<Client>(fabric_.CreateNic(), deployment_);
+}
+
+Status ServiceRuntime::SaveNamingSnapshot() {
+  if (options_.naming_snapshot_file.empty()) {
+    return FailedPrecondition("no naming_snapshot_file configured");
+  }
+  Buffer snapshot = naming_service_->Serialize();
+  std::ofstream out(options_.naming_snapshot_file,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return Internal("cannot open naming snapshot file");
+  out.write(reinterpret_cast<const char*>(snapshot.data()),
+            static_cast<std::streamsize>(snapshot.size()));
+  return out ? OkStatus() : Internal("naming snapshot write failed");
+}
+
+}  // namespace lwfs::core

@@ -1,0 +1,109 @@
+// ServiceRuntime: an in-process LWFS deployment.
+//
+// Stands up the full Figure 3 picture — authentication server,
+// authorization server, m storage servers, plus the optional naming and
+// lock services — each on its own NIC over one portals fabric, and hands
+// out clients.  Examples, tests, and the real-stack benches all build on
+// this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/authn_server.h"
+#include "core/authz_server.h"
+#include "core/client.h"
+#include "core/lock_server.h"
+#include "core/naming_server.h"
+#include "core/storage_server.h"
+#include "naming/naming.h"
+#include "portals/portals.h"
+#include "security/authn.h"
+#include "security/authz.h"
+#include "storage/object_store.h"
+#include "txn/lock_table.h"
+
+namespace lwfs::core {
+
+struct RuntimeOptions {
+  /// Number of storage servers (the paper's "m").
+  int storage_servers = 4;
+
+  enum class Backend { kMemory, kBlock, kFile };
+  Backend backend = Backend::kMemory;
+  /// kFile: per-server directories `<file_store_root>/s<i>` are created.
+  std::string file_store_root;
+  /// kBlock: device geometry per server.
+  std::uint64_t device_blocks = 1 << 16;
+  std::uint32_t block_size = 4096;
+
+  StorageServerOptions storage;
+  rpc::ServerOptions control_services;  // authn/authz/naming/locks
+
+  security::AuthnOptions authn;
+  security::AuthzOptions authz;
+
+  /// If set, the namespace is restored from this file at Start (when it
+  /// exists) and can be saved back with SaveNamingSnapshot().  Pairs with
+  /// Backend::kFile for deployments that survive process restarts.
+  std::string naming_snapshot_file;
+};
+
+class ServiceRuntime {
+ public:
+  /// Build and start everything.  The runtime owns all services.
+  static Result<std::unique_ptr<ServiceRuntime>> Start(RuntimeOptions options);
+
+  ~ServiceRuntime();
+  ServiceRuntime(const ServiceRuntime&) = delete;
+  ServiceRuntime& operator=(const ServiceRuntime&) = delete;
+
+  /// Register a principal with the (mock) external authenticator.
+  void AddUser(const std::string& name, const std::string& secret,
+               security::Uid uid);
+
+  /// A fresh client endpoint (own NIC) pointed at this deployment.
+  std::unique_ptr<Client> MakeClient();
+
+  /// Persist the namespace to options.naming_snapshot_file.
+  Status SaveNamingSnapshot();
+
+  [[nodiscard]] const Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] portals::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] security::AuthnService& authn() { return *authn_service_; }
+  [[nodiscard]] security::AuthzService& authz() { return *authz_service_; }
+  [[nodiscard]] naming::NamingService& naming() { return *naming_service_; }
+  [[nodiscard]] txn::LockTable& locks() { return lock_table_; }
+  [[nodiscard]] int storage_count() const {
+    return static_cast<int>(storage_servers_.size());
+  }
+  [[nodiscard]] StorageServer& storage_server(int i) {
+    return *storage_servers_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] storage::ObjectStore& store(int i) {
+    return *stores_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  ServiceRuntime() = default;
+
+  portals::Fabric fabric_;
+  RuntimeOptions options_;
+  Deployment deployment_;
+
+  security::TableAuthenticator users_;
+  std::unique_ptr<security::AuthnService> authn_service_;
+  std::unique_ptr<security::AuthzService> authz_service_;
+  std::unique_ptr<naming::NamingService> naming_service_;
+  txn::LockTable lock_table_;
+
+  std::unique_ptr<AuthnServer> authn_server_;
+  std::unique_ptr<AuthzServer> authz_server_;
+  std::unique_ptr<NamingServer> naming_server_;
+  std::unique_ptr<LockServer> lock_server_;
+  std::vector<std::unique_ptr<storage::ObjectStore>> stores_;
+  std::vector<std::unique_ptr<StorageServer>> storage_servers_;
+};
+
+}  // namespace lwfs::core

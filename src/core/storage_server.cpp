@@ -1,0 +1,347 @@
+#include "core/storage_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lwfs::core {
+
+namespace {
+rpc::ServerOptions ControlOptions() {
+  rpc::ServerOptions options;
+  options.request_portal = rpc::kControlPortal;
+  options.worker_threads = 1;
+  options.request_queue_depth = 1024;
+  return options;
+}
+}  // namespace
+
+StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
+                             std::uint32_t server_id,
+                             storage::ObjectStore* store,
+                             portals::Nid authz_nid, security::NowFn now,
+                             StorageServerOptions options)
+    : server_id_(server_id),
+      store_(store),
+      authz_nid_(authz_nid),
+      now_(std::move(now)),
+      options_(options),
+      participant_(participant_name()),
+      data_server_(nic, options.rpc),
+      control_server_(nic, ControlOptions()),
+      authz_client_(std::move(nic)) {
+  RegisterDataHandlers();
+  RegisterControlHandlers();
+}
+
+Status StorageServer::Start() {
+  LWFS_RETURN_IF_ERROR(data_server_.Start());
+  return control_server_.Start();
+}
+
+void StorageServer::Stop() {
+  data_server_.Stop();
+  control_server_.Stop();
+}
+
+Status StorageServer::Authorize(const security::Capability& cap,
+                                std::uint32_t needed_ops,
+                                storage::ContainerId target_cid) {
+  // Cheap structural checks first: the capability must name the container
+  // and grant the operation class.
+  if (cap.cid != target_cid) {
+    return PermissionDenied("capability is for a different container");
+  }
+  if ((needed_ops & ~cap.ops) != 0) {
+    return PermissionDenied("capability does not grant operation");
+  }
+  // Expiry is visible in the capability; no round trip needed.
+  if (cap.expires_us <= now_()) {
+    return PermissionDenied("capability expired");
+  }
+
+  if (options_.verify_mode == VerifyMode::kSharedKey) {
+    // NASD/T10 scheme: local signature check with the shared key.  No
+    // message, no back pointer — and therefore no revocation path.
+    if (cap.tag != security::SipTag(options_.shared_key,
+                                    ByteSpan(cap.SignedBytes()))) {
+      return PermissionDenied("capability signature mismatch");
+    }
+    return OkStatus();
+  }
+
+  // Verified before?  (Figure 4-b: cache hit skips step 2 entirely.)
+  if (options_.verify_mode == VerifyMode::kAuthzWithCache &&
+      cap_cache_.Lookup(cap, now_())) {
+    return OkStatus();
+  }
+  // Miss: one verify round trip to the authorization service, which also
+  // records the back pointer for revocation.
+  remote_verifies_.fetch_add(1, std::memory_order_relaxed);
+  Encoder req;
+  req.PutU32(server_id_);
+  cap.Encode(req);
+  auto reply = authz_client_.Call(authz_nid_, kOpVerifyCap,
+                                  ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  if (options_.verify_mode == VerifyMode::kAuthzWithCache) {
+    cap_cache_.Insert(cap);
+  }
+  return OkStatus();
+}
+
+Result<storage::ObjAttr> StorageServer::CheckObject(
+    const security::Capability& cap, storage::ObjectId oid) {
+  auto attr = store_->GetAttr(oid);
+  if (!attr.ok()) return attr.status();
+  if (attr->cid != cap.cid) {
+    // Do not leak existence of objects in other containers.
+    return NotFound("no such object");
+  }
+  return attr;
+}
+
+void StorageServer::RegisterDataHandlers() {
+  data_server_.RegisterHandler(
+      kOpObjCreate,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto txid = req.GetU64();
+        if (!cap.ok() || !txid.ok()) {
+          return InvalidArgument("malformed create request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpCreate, cap->cid));
+        auto oid = store_->Create(cap->cid);
+        if (!oid.ok()) return oid.status();
+        if (*txid != 0) {
+          // Eager create + compensating remove: the object is invisible
+          // until a name commits, so eager application is safe.
+          participant_.Join(*txid);
+          storage::ObjectId created = *oid;
+          participant_.AddUndo(*txid, [this, created] {
+            (void)store_->Remove(created);
+          });
+        }
+        Encoder reply;
+        reply.PutU64(oid->value);
+        return std::move(reply).Take();
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjWrite,
+      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto oid = req.GetU64();
+        auto offset = req.GetU64();
+        if (!cap.ok() || !oid.ok() || !offset.ok()) {
+          return InvalidArgument("malformed write request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpWrite, cap->cid));
+        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+
+        // Server-directed pull, one bounded chunk at a time (Figure 6).
+        const std::uint64_t total = ctx.bulk_out_size();
+        Buffer chunk;
+        std::uint64_t moved = 0;
+        while (moved < total) {
+          const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+              options_.bulk_chunk_bytes, total - moved));
+          chunk.resize(n);
+          LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
+          LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
+                                             *offset + moved,
+                                             ByteSpan(chunk)));
+          moved += n;
+        }
+        Encoder reply;
+        reply.PutU64(moved);
+        return std::move(reply).Take();
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjRead,
+      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto oid = req.GetU64();
+        auto offset = req.GetU64();
+        auto length = req.GetU64();
+        if (!cap.ok() || !oid.ok() || !offset.ok() || !length.ok()) {
+          return InvalidArgument("malformed read request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
+        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+
+        const std::uint64_t want =
+            std::min<std::uint64_t>(*length, ctx.bulk_in_size());
+        std::uint64_t moved = 0;
+        while (moved < want) {
+          const std::uint64_t n =
+              std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - moved);
+          auto data = store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
+          if (!data.ok()) return data.status();
+          if (data->empty()) break;  // EOF
+          // Server-directed push into the client's registered region.
+          LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), moved));
+          moved += data->size();
+          if (data->size() < n) break;  // short read: EOF
+        }
+        Encoder reply;
+        reply.PutU64(moved);
+        return std::move(reply).Take();
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjRemove,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto oid = req.GetU64();
+        auto txid = req.GetU64();
+        if (!cap.ok() || !oid.ok() || !txid.ok()) {
+          return InvalidArgument("malformed remove request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRemove, cap->cid));
+        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+        if (*txid != 0) {
+          // Destructive op: defer to commit.
+          participant_.Join(*txid);
+          storage::ObjectId victim{*oid};
+          participant_.StageApply(*txid, [this, victim] {
+            return store_->Remove(victim);
+          });
+        } else {
+          LWFS_RETURN_IF_ERROR(store_->Remove(storage::ObjectId{*oid}));
+        }
+        return Buffer{};
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjGetAttr,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto oid = req.GetU64();
+        if (!cap.ok() || !oid.ok()) {
+          return InvalidArgument("malformed getattr request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
+        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+        Encoder reply;
+        EncodeObjAttr(reply, *attr);
+        return std::move(reply).Take();
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjList,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        if (!cap.ok()) return cap.status();
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
+        auto ids = store_->List(cap->cid);
+        if (!ids.ok()) return ids.status();
+        Encoder reply;
+        reply.PutU32(static_cast<std::uint32_t>(ids->size()));
+        for (storage::ObjectId oid : *ids) reply.PutU64(oid.value);
+        return std::move(reply).Take();
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjFilter,
+      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto oid = req.GetU64();
+        auto offset = req.GetU64();
+        auto length = req.GetU64();
+        auto spec = FilterSpec::Decode(req);
+        if (!cap.ok() || !oid.ok() || !offset.ok() || !length.ok() ||
+            !spec.ok()) {
+          return InvalidArgument("malformed filter request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
+        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+        // The whole point: the data is read and reduced *here*; only the
+        // result crosses the network.
+        auto data = store_->Read(storage::ObjectId{*oid}, *offset, *length);
+        if (!data.ok()) return data.status();
+        auto result = ApplyFilter(*spec, ByteSpan(*data));
+        if (!result.ok()) return result.status();
+        if (result->size() > ctx.bulk_in_size()) {
+          return ResourceExhausted("client result region too small");
+        }
+        if (!result->empty()) {
+          LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*result)));
+        }
+        Encoder reply;
+        reply.PutU64(result->size());
+        reply.PutU64(data->size());
+        return std::move(reply).Take();
+      });
+
+  data_server_.RegisterHandler(
+      kOpObjTruncate,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto cap = security::Capability::Decode(req);
+        auto oid = req.GetU64();
+        auto size = req.GetU64();
+        if (!cap.ok() || !oid.ok() || !size.ok()) {
+          return InvalidArgument("malformed truncate request");
+        }
+        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpWrite, cap->cid));
+        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+        LWFS_RETURN_IF_ERROR(store_->Truncate(storage::ObjectId{*oid}, *size));
+        return Buffer{};
+      });
+
+  // Two-phase-commit participant endpoints.
+  data_server_.RegisterHandler(
+      kOpTxnPrepare,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        if (!txid.ok()) return txid.status();
+        auto vote = participant_.Prepare(*txid);
+        if (!vote.ok()) return vote.status();
+        Encoder reply;
+        reply.PutBool(*vote);
+        return std::move(reply).Take();
+      });
+  data_server_.RegisterHandler(
+      kOpTxnCommit,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        if (!txid.ok()) return txid.status();
+        LWFS_RETURN_IF_ERROR(participant_.Commit(*txid));
+        return Buffer{};
+      });
+  data_server_.RegisterHandler(
+      kOpTxnAbort,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto txid = req.GetU64();
+        if (!txid.ok()) return txid.status();
+        LWFS_RETURN_IF_ERROR(participant_.Abort(*txid));
+        return Buffer{};
+      });
+}
+
+void StorageServer::RegisterControlHandlers() {
+  control_server_.RegisterHandler(
+      kOpInvalidateCaps,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto count = req.GetU32();
+        if (!count.ok()) return count.status();
+        std::vector<std::uint64_t> ids;
+        ids.reserve(*count);
+        for (std::uint32_t i = 0; i < *count; ++i) {
+          auto id = req.GetU64();
+          if (!id.ok()) return id.status();
+          ids.push_back(*id);
+        }
+        cap_cache_.Invalidate(ids);
+        return Buffer{};
+      });
+}
+
+}  // namespace lwfs::core

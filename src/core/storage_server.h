@@ -1,0 +1,110 @@
+// LWFS storage server.
+//
+// Binds an ObjectStore (the OBD) to the network and enforces — but never
+// decides — access policy (Figure 7): every data operation carries a
+// capability, checked against the local verified-capability cache and, on a
+// miss, against the authorization service (Figure 4-b).  Bulk data moves
+// under server control: writes pull from the client, reads push to it
+// (Figure 6).
+//
+// The server is also a two-phase-commit participant: object creations
+// inside a transaction are applied eagerly (fresh objects are invisible
+// until named) with a compensating remove staged for abort.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "core/filters.h"
+#include "core/protocol.h"
+#include "rpc/rpc.h"
+#include "security/authn.h"
+#include "security/cap_cache.h"
+#include "security/types.h"
+#include "storage/object_store.h"
+#include "txn/two_phase.h"
+
+namespace lwfs::core {
+
+/// How the storage server establishes that a capability is genuine.
+enum class VerifyMode {
+  /// The LWFS scheme (§3.1.2): ask the authorization service once, cache
+  /// the verdict; the authz service records a back pointer and can revoke.
+  kAuthzWithCache,
+  /// LWFS scheme with the cache disabled: every request verifies remotely
+  /// (the E6 ablation baseline).
+  kAuthzEveryRequest,
+  /// The NASD/T10 scheme the paper argues *against*: the storage server
+  /// holds the authorization service's signing key and verifies locally.
+  /// Fast and offline — but the authz service must now trust the storage
+  /// server not to mint capabilities, and revocation by cache
+  /// invalidation is impossible (tests demonstrate both consequences).
+  kSharedKey,
+};
+
+struct StorageServerOptions {
+  rpc::ServerOptions rpc;
+  /// Server pulls/pushes bulk data in chunks of this size, which bounds its
+  /// per-request buffer footprint no matter how large the client's I/O is
+  /// (the essence of server-directed flow control).
+  std::size_t bulk_chunk_bytes = 1 << 20;
+  VerifyMode verify_mode = VerifyMode::kAuthzWithCache;
+  /// kSharedKey only: the authorization service's signing key.
+  security::SipKey shared_key;
+};
+
+class StorageServer {
+ public:
+  /// `server_id` is this server's index in the deployment (used as the
+  /// back-pointer identity at the authorization service).
+  StorageServer(std::shared_ptr<portals::Nic> nic, std::uint32_t server_id,
+                storage::ObjectStore* store, portals::Nid authz_nid,
+                security::NowFn now, StorageServerOptions options = {});
+
+  Status Start();
+  void Stop();
+
+  [[nodiscard]] portals::Nid nid() const { return data_server_.nid(); }
+  [[nodiscard]] std::uint32_t server_id() const { return server_id_; }
+  [[nodiscard]] security::CapCache& cap_cache() { return cap_cache_; }
+  [[nodiscard]] txn::StagedParticipant& participant() { return participant_; }
+  [[nodiscard]] storage::ObjectStore* store() { return store_; }
+
+  /// Remote verifications performed (cache misses that went to authz).
+  [[nodiscard]] std::uint64_t remote_verifies() const {
+    return remote_verifies_.load(std::memory_order_relaxed);
+  }
+
+  /// Participant name as used in transaction BEGIN records.
+  [[nodiscard]] std::string participant_name() const {
+    return "storage:" + std::to_string(server_id_);
+  }
+
+ private:
+  void RegisterDataHandlers();
+  void RegisterControlHandlers();
+
+  /// Authorize `cap` for `needed_ops`: structural checks, cache lookup,
+  /// remote verify on miss, then op/container check.
+  Status Authorize(const security::Capability& cap, std::uint32_t needed_ops,
+                   storage::ContainerId target_cid);
+
+  /// Check that `oid` exists and belongs to `cap`'s container; returns the
+  /// attribute.
+  Result<storage::ObjAttr> CheckObject(const security::Capability& cap,
+                                       storage::ObjectId oid);
+
+  const std::uint32_t server_id_;
+  storage::ObjectStore* store_;
+  const portals::Nid authz_nid_;
+  security::NowFn now_;
+  StorageServerOptions options_;
+  security::CapCache cap_cache_;
+  txn::StagedParticipant participant_;
+  rpc::RpcServer data_server_;
+  rpc::RpcServer control_server_;
+  rpc::RpcClient authz_client_;
+  std::atomic<std::uint64_t> remote_verifies_{0};
+};
+
+}  // namespace lwfs::core

@@ -1,0 +1,182 @@
+#include "libio/dataset.h"
+
+#include <algorithm>
+
+namespace lwfs::io {
+
+namespace {
+constexpr std::uint32_t kHeaderMagic = 0x4C444154;  // "LDAT"
+}  // namespace
+
+Result<std::vector<SlabRun>> MapHyperslab(const DatasetSpec& spec,
+                                          std::span<const std::uint64_t> start,
+                                          std::span<const std::uint64_t> count) {
+  const std::size_t ndims = spec.dims.size();
+  if (ndims == 0) return InvalidArgument("dataset has no dimensions");
+  if (start.size() != ndims || count.size() != ndims) {
+    return InvalidArgument("start/count rank mismatch");
+  }
+  std::uint64_t slab_elems = 1;
+  for (std::size_t d = 0; d < ndims; ++d) {
+    if (count[d] == 0) return std::vector<SlabRun>{};
+    if (start[d] + count[d] > spec.dims[d]) {
+      return OutOfRange("hyperslab exceeds dataset extent");
+    }
+    slab_elems *= count[d];
+  }
+
+  // Row-major strides in elements.
+  std::vector<std::uint64_t> stride(ndims, 1);
+  for (std::size_t d = ndims - 1; d > 0; --d) {
+    stride[d - 1] = stride[d] * spec.dims[d];
+  }
+
+  // The innermost contiguous run: merge trailing dimensions that the slab
+  // covers completely.
+  std::size_t run_dims = 1;  // trailing dims folded into one run
+  std::uint64_t run_elems = count[ndims - 1];
+  while (run_dims < ndims && count[ndims - run_dims] == spec.dims[ndims - run_dims]) {
+    ++run_dims;
+    if (run_dims <= ndims) {
+      run_elems = 1;
+      for (std::size_t d = ndims - run_dims; d < ndims; ++d) run_elems *= count[d];
+    }
+  }
+  const std::size_t outer_dims = ndims - run_dims;
+
+  std::vector<SlabRun> runs;
+  runs.reserve(static_cast<std::size_t>(slab_elems / std::max<std::uint64_t>(run_elems, 1)));
+  std::vector<std::uint64_t> idx(outer_dims, 0);
+  for (;;) {
+    std::uint64_t elem_offset = 0;
+    for (std::size_t d = 0; d < outer_dims; ++d) {
+      elem_offset += (start[d] + idx[d]) * stride[d];
+    }
+    for (std::size_t d = outer_dims; d < ndims; ++d) {
+      elem_offset += start[d] * stride[d];
+    }
+    runs.push_back(SlabRun{elem_offset * spec.elem_size,
+                           run_elems * spec.elem_size});
+    // Odometer over the outer dimensions.
+    std::size_t d = outer_dims;
+    while (d > 0) {
+      --d;
+      if (++idx[d] < count[d]) break;
+      idx[d] = 0;
+      if (d == 0) return runs;
+    }
+    if (outer_dims == 0) return runs;
+  }
+}
+
+Result<Dataset> Dataset::Create(fs::LwfsFs* fs, const std::string& path,
+                                DatasetSpec spec,
+                                std::map<std::string, std::string> attributes) {
+  if (spec.dims.empty() || spec.elem_size == 0) {
+    return InvalidArgument("bad dataset spec");
+  }
+  Dataset ds(fs, path);
+  ds.spec_ = std::move(spec);
+  ds.attributes_ = std::move(attributes);
+
+  // Header file.
+  Encoder enc;
+  enc.PutU32(kHeaderMagic);
+  enc.PutU32(ds.spec_.elem_size);
+  enc.PutU32(static_cast<std::uint32_t>(ds.spec_.dims.size()));
+  for (std::uint64_t d : ds.spec_.dims) enc.PutU64(d);
+  enc.PutU32(static_cast<std::uint32_t>(ds.attributes_.size()));
+  for (const auto& [key, value] : ds.attributes_) {
+    enc.PutString(key);
+    enc.PutString(value);
+  }
+  auto header = fs->Create(HeaderPath(path));
+  if (!header.ok()) return header.status();
+  LWFS_RETURN_IF_ERROR(fs->Write(*header, 0, ByteSpan(enc.buffer())));
+  LWFS_RETURN_IF_ERROR(fs->Flush(*header));
+
+  auto file = fs->Create(path);
+  if (!file.ok()) return file.status();
+  ds.file_ = std::move(*file);
+  return ds;
+}
+
+Result<Dataset> Dataset::Open(fs::LwfsFs* fs, const std::string& path) {
+  Dataset ds(fs, path);
+  auto header = fs->Open(HeaderPath(path));
+  if (!header.ok()) return header.status();
+  auto size = fs->Size(*header);
+  if (!size.ok()) return size.status();
+  Buffer raw(static_cast<std::size_t>(*size), 0);
+  auto n = fs->Read(*header, 0, MutableByteSpan(raw));
+  if (!n.ok()) return n.status();
+
+  Decoder dec(raw);
+  auto magic = dec.GetU32();
+  if (!magic.ok() || *magic != kHeaderMagic) {
+    return DataLoss("bad dataset header for " + path);
+  }
+  auto elem_size = dec.GetU32();
+  auto ndims = dec.GetU32();
+  if (!elem_size.ok() || !ndims.ok()) return DataLoss("truncated header");
+  ds.spec_.elem_size = *elem_size;
+  for (std::uint32_t d = 0; d < *ndims; ++d) {
+    auto dim = dec.GetU64();
+    if (!dim.ok()) return DataLoss("truncated dims");
+    ds.spec_.dims.push_back(*dim);
+  }
+  auto nattrs = dec.GetU32();
+  if (!nattrs.ok()) return DataLoss("truncated attributes");
+  for (std::uint32_t a = 0; a < *nattrs; ++a) {
+    auto key = dec.GetString();
+    auto value = dec.GetString();
+    if (!key.ok() || !value.ok()) return DataLoss("truncated attribute");
+    ds.attributes_.emplace(std::move(*key), std::move(*value));
+  }
+
+  auto file = fs->Open(path);
+  if (!file.ok()) return file.status();
+  ds.file_ = std::move(*file);
+  return ds;
+}
+
+Status Dataset::WriteSlab(std::span<const std::uint64_t> start,
+                          std::span<const std::uint64_t> count,
+                          ByteSpan data) {
+  auto runs = MapHyperslab(spec_, start, count);
+  if (!runs.ok()) return runs.status();
+  std::uint64_t consumed = 0;
+  for (const SlabRun& run : *runs) consumed += run.length;
+  if (consumed != data.size()) {
+    return InvalidArgument("data size does not match hyperslab");
+  }
+  std::uint64_t pos = 0;
+  for (const SlabRun& run : *runs) {
+    LWFS_RETURN_IF_ERROR(fs_->Write(
+        file_, run.file_offset,
+        data.subspan(static_cast<std::size_t>(pos),
+                     static_cast<std::size_t>(run.length))));
+    pos += run.length;
+  }
+  return OkStatus();
+}
+
+Result<Buffer> Dataset::ReadSlab(std::span<const std::uint64_t> start,
+                                 std::span<const std::uint64_t> count) {
+  auto runs = MapHyperslab(spec_, start, count);
+  if (!runs.ok()) return runs.status();
+  std::uint64_t total = 0;
+  for (const SlabRun& run : *runs) total += run.length;
+  Buffer out(static_cast<std::size_t>(total), 0);
+  std::uint64_t pos = 0;
+  for (const SlabRun& run : *runs) {
+    auto span = MutableByteSpan(out).subspan(
+        static_cast<std::size_t>(pos), static_cast<std::size_t>(run.length));
+    auto n = fs_->Read(file_, run.file_offset, span);
+    if (!n.ok()) return n.status();
+    pos += run.length;
+  }
+  return out;
+}
+
+}  // namespace lwfs::io

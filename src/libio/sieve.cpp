@@ -1,0 +1,108 @@
+#include "libio/sieve.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lwfs::io {
+
+namespace {
+
+Status ValidateFragments(std::span<const Fragment> fragments,
+                         MutableByteSpan out) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    if (fragments[i].second == 0) return InvalidArgument("empty fragment");
+    if (i > 0 && fragments[i - 1].first + fragments[i - 1].second >
+                     fragments[i].first) {
+      return InvalidArgument("fragments must be sorted and disjoint");
+    }
+    total += fragments[i].second;
+  }
+  if (total != out.size()) {
+    return InvalidArgument("output buffer does not match fragment total");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<SieveStats> SievedRead(fs::LwfsFs& fs, fs::FileHandle& file,
+                              std::span<const Fragment> fragments,
+                              MutableByteSpan out,
+                              const SieveOptions& options) {
+  LWFS_RETURN_IF_ERROR(ValidateFragments(fragments, out));
+  SieveStats stats;
+  Buffer window;
+
+  std::size_t i = 0;
+  std::uint64_t out_pos = 0;
+  while (i < fragments.size()) {
+    // Grow a candidate window while it stays under the cap and dense
+    // enough.
+    std::size_t j = i + 1;
+    std::uint64_t needed = fragments[i].second;
+    std::uint64_t span_end = fragments[i].first + fragments[i].second;
+    while (j < fragments.size()) {
+      const std::uint64_t new_end = fragments[j].first + fragments[j].second;
+      const std::uint64_t new_span = new_end - fragments[i].first;
+      const std::uint64_t new_needed = needed + fragments[j].second;
+      if (new_span > options.max_window_bytes) break;
+      if (static_cast<double>(new_needed) / static_cast<double>(new_span) <
+          options.density_threshold) {
+        break;
+      }
+      needed = new_needed;
+      span_end = new_end;
+      ++j;
+    }
+
+    const std::uint64_t span = span_end - fragments[i].first;
+    stats.bytes_needed += needed;
+    if (j - i > 1) {
+      // Sieve: one spanning read, then extract.
+      window.resize(static_cast<std::size_t>(span));
+      auto n = fs.Read(file, fragments[i].first, MutableByteSpan(window));
+      if (!n.ok()) return n.status();
+      ++stats.requests;
+      stats.bytes_transferred += span;
+      for (std::size_t k = i; k < j; ++k) {
+        const std::uint64_t rel = fragments[k].first - fragments[i].first;
+        std::memcpy(out.data() + out_pos, window.data() + rel,
+                    static_cast<std::size_t>(fragments[k].second));
+        out_pos += fragments[k].second;
+      }
+    } else {
+      // Lone/sparse fragment: read it directly.
+      auto span_out = out.subspan(static_cast<std::size_t>(out_pos),
+                                  static_cast<std::size_t>(fragments[i].second));
+      auto n = fs.Read(file, fragments[i].first, span_out);
+      if (!n.ok()) return n.status();
+      ++stats.requests;
+      stats.bytes_transferred += fragments[i].second;
+      out_pos += fragments[i].second;
+    }
+    i = j;
+  }
+  return stats;
+}
+
+Result<SieveStats> DirectRead(fs::LwfsFs& fs, fs::FileHandle& file,
+                              std::span<const Fragment> fragments,
+                              MutableByteSpan out) {
+  LWFS_RETURN_IF_ERROR(ValidateFragments(fragments, out));
+  SieveStats stats;
+  std::uint64_t out_pos = 0;
+  for (const Fragment& frag : fragments) {
+    auto span = out.subspan(static_cast<std::size_t>(out_pos),
+                            static_cast<std::size_t>(frag.second));
+    auto n = fs.Read(file, frag.first, span);
+    if (!n.ok()) return n.status();
+    ++stats.requests;
+    stats.bytes_transferred += frag.second;
+    stats.bytes_needed += frag.second;
+    out_pos += frag.second;
+  }
+  return stats;
+}
+
+}  // namespace lwfs::io

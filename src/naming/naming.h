@@ -1,0 +1,98 @@
+// Naming service: paths -> object references.
+//
+// Naming is deliberately *not* part of the LWFS-core (Figure 3): it is one
+// of the optional client services layered above it.  The checkpoint library
+// uses it to bind a human-readable checkpoint path to the metadata object
+// that describes a checkpoint's data objects, and the PFS-over-LWFS layer
+// uses it as its namespace.
+//
+// Names can be created transactionally: a staged link only becomes visible
+// when the surrounding two-phase transaction commits (Figure 8 line 9 runs
+// inside a transaction).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/ids.h"
+#include "txn/two_phase.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lwfs::naming {
+
+/// Split "/a/b/c" into {"a","b","c"}.  Rejects empty components, "." and
+/// "..", and paths not starting with '/'.
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+struct DirEntry {
+  std::string name;
+  bool is_directory = false;
+  std::optional<storage::ObjectRef> ref;  // set for links
+};
+
+class NamingService {
+ public:
+  NamingService();
+
+  /// Create a directory (and parents with `recursive`).
+  Status Mkdir(std::string_view path, bool recursive = false);
+
+  /// Bind `path` to an object reference.  Parent directory must exist;
+  /// the name must not.
+  Status Link(std::string_view path, const storage::ObjectRef& ref);
+
+  /// Stage a link inside transaction `txid`: invisible until commit, gone
+  /// on abort.
+  Status StageLink(txn::TxnId txid, std::string_view path,
+                   const storage::ObjectRef& ref);
+
+  Result<storage::ObjectRef> Lookup(std::string_view path) const;
+
+  Status Unlink(std::string_view path);
+
+  /// Remove an empty directory.
+  Status Rmdir(std::string_view path);
+
+  Status Rename(std::string_view from, std::string_view to);
+
+  Result<std::vector<DirEntry>> List(std::string_view dir_path) const;
+
+  [[nodiscard]] bool Exists(std::string_view path) const;
+
+  /// The two-phase-commit participant representing this service.
+  [[nodiscard]] txn::Participant* participant() { return &participant_; }
+
+  [[nodiscard]] std::uint64_t link_count() const;
+
+  /// Serialize the whole namespace (for snapshots: the naming service is a
+  /// client-extension service, so durability is the deployment's choice —
+  /// e.g. ServiceRuntime persists snapshots next to a file-backed store).
+  [[nodiscard]] Buffer Serialize() const;
+
+  /// Replace the namespace with a serialized snapshot.  Staged
+  /// (uncommitted) links are not part of snapshots.
+  Status Restore(ByteSpan snapshot);
+
+ private:
+  struct Node {
+    bool is_directory = true;
+    std::optional<storage::ObjectRef> ref;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  /// Walk to the node at `parts`; nullptr if absent.  Lock held by caller.
+  Node* WalkLocked(const std::vector<std::string>& parts) const;
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<Node> root_;
+  std::uint64_t links_ = 0;
+  txn::StagedParticipant participant_;
+};
+
+}  // namespace lwfs::naming

@@ -1,0 +1,179 @@
+#include "pfs/client.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace lwfs::pfs {
+
+PfsClient::PfsClient(std::shared_ptr<portals::Nic> nic,
+                     PfsDeployment deployment, ConsistencyMode mode)
+    : deployment_(std::move(deployment)), mode_(mode), rpc_(std::move(nic)) {}
+
+Result<FileAttr> PfsClient::DecodeAttrReply(const Buffer& reply) const {
+  Decoder dec(reply);
+  auto ino = dec.GetU64();
+  auto size = dec.GetU64();
+  auto layout = DecodeLayout(dec);
+  if (!ino.ok() || !size.ok() || !layout.ok()) {
+    return InvalidArgument("malformed attr reply");
+  }
+  FileAttr attr;
+  attr.ino = *ino;
+  attr.size = *size;
+  attr.layout = std::move(*layout);
+  return attr;
+}
+
+Result<OpenFile> PfsClient::Create(const std::string& path,
+                                   std::uint32_t stripe_count) {
+  Encoder req;
+  req.PutString(path);
+  req.PutU32(stripe_count);
+  auto reply = rpc_.Call(deployment_.mds, kPfsCreate, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  auto attr = DecodeAttrReply(*reply);
+  if (!attr.ok()) return attr.status();
+  return OpenFile{path, std::move(*attr)};
+}
+
+Result<OpenFile> PfsClient::Open(const std::string& path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply = rpc_.Call(deployment_.mds, kPfsOpen, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  auto attr = DecodeAttrReply(*reply);
+  if (!attr.ok()) return attr.status();
+  return OpenFile{path, std::move(*attr)};
+}
+
+Status PfsClient::Unlink(const std::string& path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply = rpc_.Call(deployment_.mds, kPfsUnlink, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Result<FileAttr> PfsClient::GetAttr(const std::string& path) {
+  Encoder req;
+  req.PutString(path);
+  auto reply = rpc_.Call(deployment_.mds, kPfsGetAttr, ByteSpan(req.buffer()));
+  if (!reply.ok()) return reply.status();
+  return DecodeAttrReply(*reply);
+}
+
+Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
+                                          std::uint64_t end) {
+  // Poll with backoff: the MDS lock manager is try-based over RPC.
+  int backoff_us = 50;
+  for (;;) {
+    Encoder req;
+    req.PutU64(ino);
+    req.PutU64(start);
+    req.PutU64(end);
+    req.PutBool(true);  // exclusive
+    auto reply =
+        rpc_.Call(deployment_.mds, kPfsLockTry, ByteSpan(req.buffer()));
+    if (reply.ok()) {
+      Decoder dec(*reply);
+      return dec.GetU64();
+    }
+    if (reply.status().code() != ErrorCode::kResourceExhausted) {
+      return reply.status();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, 5000);
+  }
+}
+
+Status PfsClient::UnlockExtent(txn::LockId id) {
+  Encoder req;
+  req.PutU64(id);
+  auto reply =
+      rpc_.Call(deployment_.mds, kPfsLockRelease, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+Status PfsClient::Write(const OpenFile& file, std::uint64_t offset,
+                        ByteSpan data) {
+  std::optional<txn::LockId> lock;
+  if (mode_ == ConsistencyMode::kPosixLocking) {
+    auto id = LockExtent(file.attr.ino, offset, offset + data.size());
+    if (!id.ok()) return id.status();
+    lock = *id;
+  }
+
+  Status result = OkStatus();
+  const auto chunks = MapExtent(
+      file.attr.layout.stripe_size,
+      static_cast<std::uint32_t>(file.attr.layout.stripes.size()), offset,
+      data.size());
+  for (const StripeChunk& chunk : chunks) {
+    const StripeTarget& target = file.attr.layout.stripes[chunk.stripe_index];
+    if (target.ost_index >= deployment_.osts.size()) {
+      result = Internal("layout names unknown OST");
+      break;
+    }
+    Encoder req;
+    req.PutU64(target.oid.value);
+    req.PutU64(chunk.object_offset);
+    rpc::CallOptions options;
+    options.bulk_out =
+        data.subspan(static_cast<std::size_t>(chunk.file_offset - offset),
+                     static_cast<std::size_t>(chunk.length));
+    auto reply = rpc_.Call(deployment_.osts[target.ost_index], kOstWrite,
+                           ByteSpan(req.buffer()), options);
+    if (!reply.ok()) {
+      result = reply.status();
+      break;
+    }
+  }
+
+  if (lock) {
+    Status unlock = UnlockExtent(*lock);
+    if (result.ok()) result = unlock;
+  }
+  return result;
+}
+
+Result<std::uint64_t> PfsClient::Read(const OpenFile& file,
+                                      std::uint64_t offset,
+                                      MutableByteSpan out) {
+  std::uint64_t total = 0;
+  const auto chunks = MapExtent(
+      file.attr.layout.stripe_size,
+      static_cast<std::uint32_t>(file.attr.layout.stripes.size()), offset,
+      out.size());
+  for (const StripeChunk& chunk : chunks) {
+    const StripeTarget& target = file.attr.layout.stripes[chunk.stripe_index];
+    if (target.ost_index >= deployment_.osts.size()) {
+      return Internal("layout names unknown OST");
+    }
+    Encoder req;
+    req.PutU64(target.oid.value);
+    req.PutU64(chunk.object_offset);
+    req.PutU64(chunk.length);
+    rpc::CallOptions options;
+    options.bulk_in =
+        out.subspan(static_cast<std::size_t>(chunk.file_offset - offset),
+                    static_cast<std::size_t>(chunk.length));
+    auto reply = rpc_.Call(deployment_.osts[target.ost_index], kOstRead,
+                           ByteSpan(req.buffer()), options);
+    if (!reply.ok()) return reply.status();
+    Decoder dec(*reply);
+    auto moved = dec.GetU64();
+    if (!moved.ok()) return moved.status();
+    total += *moved;
+    if (*moved < chunk.length) break;  // EOF within this stripe object
+  }
+  return total;
+}
+
+Status PfsClient::Sync(const OpenFile& file, std::uint64_t size_hint) {
+  Encoder req;
+  req.PutString(file.path);
+  req.PutU64(size_hint);
+  auto reply = rpc_.Call(deployment_.mds, kPfsSetSize, ByteSpan(req.buffer()));
+  return reply.ok() ? OkStatus() : reply.status();
+}
+
+}  // namespace lwfs::pfs

@@ -1,0 +1,76 @@
+// Client of the traditional-PFS baseline.
+//
+// Provides the POSIX-ish file model the paper's alternative checkpoint
+// implementations use: open/create a striped file, write/read byte extents,
+// close.  In kPosixLocking mode every write takes an exclusive extent lock
+// at the MDS first — the consistency machinery that halves shared-file
+// checkpoint throughput in Figure 9.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pfs/mds.h"
+#include "pfs/protocol.h"
+#include "rpc/rpc.h"
+#include "txn/lock_table.h"
+#include "util/status.h"
+
+namespace lwfs::pfs {
+
+/// Consistency behaviour of PfsClient::Write.
+enum class ConsistencyMode {
+  /// POSIX-style: exclusive extent lock around every write.
+  kPosixLocking,
+  /// Relaxed: no locks; the application coordinates (what PVFS does, §6).
+  kRelaxed,
+};
+
+struct PfsDeployment {
+  portals::Nid mds = portals::kInvalidNid;
+  std::vector<portals::Nid> osts;
+};
+
+struct OpenFile {
+  std::string path;
+  FileAttr attr;
+};
+
+class PfsClient {
+ public:
+  PfsClient(std::shared_ptr<portals::Nic> nic, PfsDeployment deployment,
+            ConsistencyMode mode = ConsistencyMode::kPosixLocking);
+
+  Result<OpenFile> Create(const std::string& path, std::uint32_t stripe_count);
+  Result<OpenFile> Open(const std::string& path);
+  Status Unlink(const std::string& path);
+  Result<FileAttr> GetAttr(const std::string& path);
+
+  /// Write `data` at `offset`, striping across OSTs.  Takes/releases the
+  /// extent lock in kPosixLocking mode.
+  Status Write(const OpenFile& file, std::uint64_t offset, ByteSpan data);
+
+  /// Read into `out`; returns bytes read.
+  Result<std::uint64_t> Read(const OpenFile& file, std::uint64_t offset,
+                             MutableByteSpan out);
+
+  /// Publish the file size to the MDS (close/sync semantics).
+  Status Sync(const OpenFile& file, std::uint64_t size_hint);
+
+  [[nodiscard]] ConsistencyMode mode() const { return mode_; }
+  [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
+
+ private:
+  Result<txn::LockId> LockExtent(Ino ino, std::uint64_t start,
+                                 std::uint64_t end);
+  Status UnlockExtent(txn::LockId id);
+  Result<FileAttr> DecodeAttrReply(const Buffer& reply) const;
+
+  PfsDeployment deployment_;
+  ConsistencyMode mode_;
+  rpc::RpcClient rpc_;
+};
+
+}  // namespace lwfs::pfs

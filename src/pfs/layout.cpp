@@ -1,0 +1,31 @@
+#include "pfs/layout.h"
+
+#include <algorithm>
+
+namespace lwfs::pfs {
+
+std::vector<StripeChunk> MapExtent(std::uint32_t stripe_size,
+                                   std::uint32_t stripe_count,
+                                   std::uint64_t offset,
+                                   std::uint64_t length) {
+  std::vector<StripeChunk> chunks;
+  if (stripe_size == 0 || stripe_count == 0 || length == 0) return chunks;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::uint64_t stripe_number = pos / stripe_size;    // global stripe
+    const std::uint64_t in_stripe = pos % stripe_size;
+    const auto stripe_index =
+        static_cast<std::uint32_t>(stripe_number % stripe_count);
+    const std::uint64_t row = stripe_number / stripe_count;   // stripe "row"
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(stripe_size - in_stripe, remaining);
+    chunks.push_back(StripeChunk{stripe_index, row * stripe_size + in_stripe,
+                                 pos, chunk});
+    pos += chunk;
+    remaining -= chunk;
+  }
+  return chunks;
+}
+
+}  // namespace lwfs::pfs

@@ -1,0 +1,134 @@
+#include "pfs/mds_server.h"
+
+namespace lwfs::pfs {
+
+MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
+                     std::vector<portals::Nid> ost_nids,
+                     MdsOptions mds_options, rpc::ServerOptions rpc_options)
+    : ost_nids_(std::move(ost_nids)),
+      ost_client_(nic),
+      server_(std::move(nic), rpc_options) {
+  auto create_on_ost =
+      [this](std::uint32_t ost) -> Result<storage::ObjectId> {
+    if (ost >= ost_nids_.size()) return InvalidArgument("bad ost index");
+    auto reply = ost_client_.Call(ost_nids_[ost], kOstCreate, {});
+    if (!reply.ok()) return reply.status();
+    Decoder dec(*reply);
+    auto oid = dec.GetU64();
+    if (!oid.ok()) return oid.status();
+    return storage::ObjectId{*oid};
+  };
+  auto remove_on_ost = [this](std::uint32_t ost,
+                              storage::ObjectId oid) -> Status {
+    if (ost >= ost_nids_.size()) return InvalidArgument("bad ost index");
+    Encoder req;
+    req.PutU64(oid.value);
+    auto reply = ost_client_.Call(ost_nids_[ost], kOstRemove,
+                                  ByteSpan(req.buffer()));
+    return reply.ok() ? OkStatus() : reply.status();
+  };
+  service_ = std::make_unique<MdsService>(
+      static_cast<std::uint32_t>(ost_nids_.size()), create_on_ost,
+      remove_on_ost, mds_options);
+
+  auto encode_attr = [](const FileAttr& attr) {
+    Encoder reply;
+    reply.PutU64(attr.ino);
+    reply.PutU64(attr.size);
+    EncodeLayout(reply, attr.layout);
+    return std::move(reply).Take();
+  };
+
+  server_.RegisterHandler(
+      kPfsCreate, [this, encode_attr](rpc::ServerContext&,
+                                      Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        auto stripes = req.GetU32();
+        if (!path.ok() || !stripes.ok()) {
+          return InvalidArgument("malformed create");
+        }
+        auto attr = service_->Create(*path, *stripes);
+        if (!attr.ok()) return attr.status();
+        return encode_attr(*attr);
+      });
+
+  server_.RegisterHandler(
+      kPfsOpen, [this, encode_attr](rpc::ServerContext&,
+                                    Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        auto attr = service_->Open(*path);
+        if (!attr.ok()) return attr.status();
+        return encode_attr(*attr);
+      });
+
+  server_.RegisterHandler(
+      kPfsGetAttr, [this, encode_attr](rpc::ServerContext&,
+                                       Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        auto attr = service_->GetAttr(*path);
+        if (!attr.ok()) return attr.status();
+        return encode_attr(*attr);
+      });
+
+  server_.RegisterHandler(
+      kPfsUnlink, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        if (!path.ok()) return path.status();
+        LWFS_RETURN_IF_ERROR(service_->Unlink(*path));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kPfsSetSize, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto path = req.GetString();
+        auto size = req.GetU64();
+        if (!path.ok() || !size.ok()) {
+          return InvalidArgument("malformed setsize");
+        }
+        LWFS_RETURN_IF_ERROR(service_->SetSize(*path, *size));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kPfsList, [this](rpc::ServerContext&, Decoder&) -> Result<Buffer> {
+        auto names = service_->List();
+        if (!names.ok()) return names.status();
+        Encoder reply;
+        reply.PutU32(static_cast<std::uint32_t>(names->size()));
+        for (const std::string& n : *names) reply.PutString(n);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kPfsLockTry, [this](rpc::ServerContext& ctx,
+                          Decoder& req) -> Result<Buffer> {
+        auto ino = req.GetU64();
+        auto start = req.GetU64();
+        auto end = req.GetU64();
+        auto exclusive = req.GetBool();
+        if (!ino.ok() || !start.ok() || !end.ok() || !exclusive.ok()) {
+          return InvalidArgument("malformed lock request");
+        }
+        auto id = service_->TryLock(
+            *ino, *start, *end,
+            *exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
+            ctx.client());
+        if (!id.ok()) return id.status();
+        Encoder reply;
+        reply.PutU64(*id);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kPfsLockRelease,
+      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto id = req.GetU64();
+        if (!id.ok()) return id.status();
+        LWFS_RETURN_IF_ERROR(service_->ReleaseLock(*id));
+        return Buffer{};
+      });
+}
+
+}  // namespace lwfs::pfs

@@ -1,0 +1,38 @@
+// RPC binding of the PFS metadata server.
+//
+// The MDS creates stripe objects on the OSTs itself (over RPC), so every
+// file create costs one client->MDS round trip plus `stripe_count`
+// MDS->OST round trips, all serialized at the MDS — the Figure 10 create
+// bottleneck.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pfs/mds.h"
+#include "pfs/protocol.h"
+#include "rpc/rpc.h"
+
+namespace lwfs::pfs {
+
+class MdsServer {
+ public:
+  /// `ost_nids[i]` is the OST for stripe placement index i.
+  MdsServer(std::shared_ptr<portals::Nic> nic,
+            std::vector<portals::Nid> ost_nids, MdsOptions mds_options = {},
+            rpc::ServerOptions rpc_options = {});
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
+  [[nodiscard]] MdsService& service() { return *service_; }
+
+ private:
+  std::vector<portals::Nid> ost_nids_;
+  rpc::RpcClient ost_client_;
+  std::unique_ptr<MdsService> service_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace lwfs::pfs

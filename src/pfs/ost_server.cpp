@@ -1,0 +1,92 @@
+#include "pfs/ost_server.h"
+
+#include <algorithm>
+
+namespace lwfs::pfs {
+
+OstServer::OstServer(std::shared_ptr<portals::Nic> nic,
+                     storage::ObjectStore* store, OstOptions options)
+    : store_(store), options_(options), server_(std::move(nic), options.rpc) {
+  server_.RegisterHandler(
+      kOstCreate, [this](rpc::ServerContext&, Decoder&) -> Result<Buffer> {
+        auto oid = store_->Create(kOstContainer);
+        if (!oid.ok()) return oid.status();
+        Encoder reply;
+        reply.PutU64(oid->value);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOstWrite,
+      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
+        auto oid = req.GetU64();
+        auto offset = req.GetU64();
+        if (!oid.ok() || !offset.ok()) {
+          return InvalidArgument("malformed ost write");
+        }
+        const std::uint64_t total = ctx.bulk_out_size();
+        Buffer chunk;
+        std::uint64_t moved = 0;
+        while (moved < total) {
+          const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+              options_.bulk_chunk_bytes, total - moved));
+          chunk.resize(n);
+          LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
+          LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
+                                             *offset + moved, ByteSpan(chunk)));
+          moved += n;
+        }
+        Encoder reply;
+        reply.PutU64(moved);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOstRead,
+      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
+        auto oid = req.GetU64();
+        auto offset = req.GetU64();
+        auto length = req.GetU64();
+        if (!oid.ok() || !offset.ok() || !length.ok()) {
+          return InvalidArgument("malformed ost read");
+        }
+        const std::uint64_t want =
+            std::min<std::uint64_t>(*length, ctx.bulk_in_size());
+        std::uint64_t moved = 0;
+        while (moved < want) {
+          const std::uint64_t n =
+              std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - moved);
+          auto data = store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
+          if (!data.ok()) return data.status();
+          if (data->empty()) break;
+          LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), moved));
+          moved += data->size();
+          if (data->size() < n) break;
+        }
+        Encoder reply;
+        reply.PutU64(moved);
+        return std::move(reply).Take();
+      });
+
+  server_.RegisterHandler(
+      kOstRemove, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto oid = req.GetU64();
+        if (!oid.ok()) return oid.status();
+        LWFS_RETURN_IF_ERROR(store_->Remove(storage::ObjectId{*oid}));
+        return Buffer{};
+      });
+
+  server_.RegisterHandler(
+      kOstGetAttr, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
+        auto oid = req.GetU64();
+        if (!oid.ok()) return oid.status();
+        auto attr = store_->GetAttr(storage::ObjectId{*oid});
+        if (!attr.ok()) return attr.status();
+        Encoder reply;
+        reply.PutU64(attr->size);
+        reply.PutU64(attr->version);
+        return std::move(reply).Take();
+      });
+}
+
+}  // namespace lwfs::pfs

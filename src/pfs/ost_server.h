@@ -1,0 +1,44 @@
+// Object storage target of the traditional-PFS baseline.
+//
+// Same data path mechanics as the LWFS storage server (server-directed bulk
+// movement over the shared substrate) but *no* capability checks: the
+// baseline trusts any client on the network, the trust model §5 criticizes
+// in Lustre/PVFS.  Keeping the data path identical is what makes the
+// LWFS-vs-PFS comparison about architecture, not implementation quality.
+#pragma once
+
+#include <memory>
+
+#include "pfs/protocol.h"
+#include "rpc/rpc.h"
+#include "storage/object_store.h"
+
+namespace lwfs::pfs {
+
+struct OstOptions {
+  rpc::ServerOptions rpc;
+  std::size_t bulk_chunk_bytes = 1 << 20;
+};
+
+class OstServer {
+ public:
+  /// All OST objects live in this fixed container (the baseline has no
+  /// container concept; access control is the MDS's problem).
+  static constexpr storage::ContainerId kOstContainer{1};
+
+  OstServer(std::shared_ptr<portals::Nic> nic, storage::ObjectStore* store,
+            OstOptions options = {});
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
+  [[nodiscard]] storage::ObjectStore* store() { return store_; }
+
+ private:
+  storage::ObjectStore* store_;
+  OstOptions options_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace lwfs::pfs

@@ -1,0 +1,39 @@
+#include "pfs/pfs_runtime.h"
+
+namespace lwfs::pfs {
+
+Result<std::unique_ptr<PfsRuntime>> PfsRuntime::Start(
+    portals::Fabric* fabric, PfsRuntimeOptions options) {
+  auto rt = std::unique_ptr<PfsRuntime>(new PfsRuntime());
+  rt->fabric_ = fabric;
+
+  std::vector<portals::Nid> ost_nids;
+  for (int i = 0; i < options.ost_count; ++i) {
+    rt->stores_.push_back(std::make_unique<storage::MemObjectStore>());
+    auto ost = std::make_unique<OstServer>(fabric->CreateNic(),
+                                           rt->stores_.back().get(),
+                                           options.ost);
+    LWFS_RETURN_IF_ERROR(ost->Start());
+    ost_nids.push_back(ost->nid());
+    rt->ost_servers_.push_back(std::move(ost));
+  }
+
+  rt->mds_server_ = std::make_unique<MdsServer>(
+      fabric->CreateNic(), ost_nids, options.mds, options.mds_rpc);
+  LWFS_RETURN_IF_ERROR(rt->mds_server_->Start());
+
+  rt->deployment_.mds = rt->mds_server_->nid();
+  rt->deployment_.osts = std::move(ost_nids);
+  return rt;
+}
+
+PfsRuntime::~PfsRuntime() {
+  if (mds_server_) mds_server_->Stop();
+  for (auto& ost : ost_servers_) ost->Stop();
+}
+
+std::unique_ptr<PfsClient> PfsRuntime::MakeClient(ConsistencyMode mode) {
+  return std::make_unique<PfsClient>(fabric_->CreateNic(), deployment_, mode);
+}
+
+}  // namespace lwfs::pfs

@@ -1,0 +1,55 @@
+// In-process deployment of the traditional-PFS baseline: one MDS, m OSTs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pfs/client.h"
+#include "pfs/mds_server.h"
+#include "pfs/ost_server.h"
+#include "portals/portals.h"
+#include "storage/object_store.h"
+
+namespace lwfs::pfs {
+
+struct PfsRuntimeOptions {
+  int ost_count = 4;
+  MdsOptions mds;
+  OstOptions ost;
+  rpc::ServerOptions mds_rpc;
+};
+
+class PfsRuntime {
+ public:
+  /// `fabric` must outlive the runtime (share one fabric with an LWFS
+  /// ServiceRuntime to host both stacks side by side).
+  static Result<std::unique_ptr<PfsRuntime>> Start(portals::Fabric* fabric,
+                                                   PfsRuntimeOptions options);
+
+  ~PfsRuntime();
+  PfsRuntime(const PfsRuntime&) = delete;
+  PfsRuntime& operator=(const PfsRuntime&) = delete;
+
+  std::unique_ptr<PfsClient> MakeClient(
+      ConsistencyMode mode = ConsistencyMode::kPosixLocking);
+
+  [[nodiscard]] const PfsDeployment& deployment() const { return deployment_; }
+  [[nodiscard]] MdsService& mds() { return mds_server_->service(); }
+  [[nodiscard]] int ost_count() const {
+    return static_cast<int>(ost_servers_.size());
+  }
+  [[nodiscard]] storage::ObjectStore& ost_store(int i) {
+    return *stores_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  PfsRuntime() = default;
+
+  portals::Fabric* fabric_ = nullptr;
+  PfsDeployment deployment_;
+  std::vector<std::unique_ptr<storage::ObjectStore>> stores_;
+  std::vector<std::unique_ptr<OstServer>> ost_servers_;
+  std::unique_ptr<MdsServer> mds_server_;
+};
+
+}  // namespace lwfs::pfs

@@ -1,0 +1,255 @@
+#include "portals/portals.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace lwfs::portals {
+
+// ---------------------------------------------------------------------------
+// Nic
+// ---------------------------------------------------------------------------
+
+Nic::~Nic() { fabric_->Unregister(nid_); }
+
+Result<MeHandle> Nic::Attach(PortalIndex portal, MatchBits match_bits,
+                             MatchBits ignore_bits, MutableByteSpan region,
+                             const MeOptions& options, EventQueue* eq,
+                             std::uint64_t user_data) {
+  if (options.message_mode && !region.empty()) {
+    return InvalidArgument("message-mode entry must not carry a region");
+  }
+  if (!options.message_mode && region.empty() && options.allow_put) {
+    return InvalidArgument("region-mode put entry needs a region");
+  }
+  if (!options.allow_put && !options.allow_get) {
+    return InvalidArgument("entry must allow put or get");
+  }
+  if (options.message_mode && eq == nullptr) {
+    return InvalidArgument("message-mode entry needs an event queue");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  MeHandle handle = next_handle_++;
+  portal_table_[portal].push_back(MatchEntry{handle, match_bits, ignore_bits,
+                                             region, options, eq, user_data});
+  return handle;
+}
+
+Status Nic::Detach(MeHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [portal, entries] : portal_table_) {
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&](const MatchEntry& e) { return e.handle == handle; });
+    if (it != entries.end()) {
+      entries.erase(it);
+      return OkStatus();
+    }
+  }
+  return OkStatus();  // already auto-unlinked: fine
+}
+
+Nic::MatchEntry* Nic::FindLocked(PortalIndex portal, MatchBits bits,
+                                 bool want_put) {
+  auto it = portal_table_.find(portal);
+  if (it == portal_table_.end()) return nullptr;
+  for (MatchEntry& e : it->second) {
+    const bool op_ok = want_put ? e.options.allow_put : e.options.allow_get;
+    if (!op_ok) continue;
+    if ((e.match_bits & ~e.ignore_bits) == (bits & ~e.ignore_bits)) return &e;
+  }
+  return nullptr;
+}
+
+void Nic::UnlinkLocked(PortalIndex portal, MeHandle handle) {
+  auto it = portal_table_.find(portal);
+  if (it == portal_table_.end()) return;
+  auto& entries = it->second;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const MatchEntry& e) { return e.handle == handle; }),
+                entries.end());
+}
+
+Status Nic::Put(Nid target, PortalIndex portal, MatchBits match_bits,
+                ByteSpan data, std::size_t remote_offset,
+                std::uint64_t hdr_data) {
+  if (fabric_->IsNodeDown(target) || fabric_->IsNodeDown(nid_)) {
+    return Unavailable("node down");
+  }
+  std::shared_ptr<Nic> dest = fabric_->Route(target);
+  if (!dest) return Unavailable("no such node");
+  // Count optimistically before delivery: the receiver may wake up on the
+  // event and inspect fabric stats before this thread runs again, so the
+  // count must already be visible.  Undone on failure.
+  fabric_->CountPut(data.size());
+  Status s = dest->AcceptPut(nid_, portal, match_bits, data, remote_offset,
+                             hdr_data);
+  if (!s.ok()) {
+    fabric_->UncountPut(data.size());
+    if (s.code() == ErrorCode::kResourceExhausted) fabric_->CountRejected();
+  }
+  return s;
+}
+
+Status Nic::Get(Nid target, PortalIndex portal, MatchBits match_bits,
+                MutableByteSpan out, std::size_t remote_offset) {
+  if (fabric_->IsNodeDown(target) || fabric_->IsNodeDown(nid_)) {
+    return Unavailable("node down");
+  }
+  std::shared_ptr<Nic> dest = fabric_->Route(target);
+  if (!dest) return Unavailable("no such node");
+  fabric_->CountGet(out.size());
+  Status s = dest->AcceptGet(nid_, portal, match_bits, out, remote_offset);
+  if (!s.ok()) {
+    fabric_->UncountGet(out.size());
+    if (s.code() == ErrorCode::kResourceExhausted) fabric_->CountRejected();
+  }
+  return s;
+}
+
+Status Nic::AcceptPut(Nid initiator, PortalIndex portal, MatchBits match_bits,
+                      ByteSpan data, std::size_t offset,
+                      std::uint64_t hdr_data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MatchEntry* me = FindLocked(portal, match_bits, /*want_put=*/true);
+  if (me == nullptr) {
+    return ResourceExhausted("no matching put entry");
+  }
+
+  Event ev;
+  ev.type = EventType::kPut;
+  ev.initiator = initiator;
+  ev.portal = portal;
+  ev.match_bits = match_bits;
+  ev.hdr_data = hdr_data;
+  ev.offset = offset;
+  ev.length = data.size();
+  ev.user_data = me->user_data;
+
+  if (me->options.message_mode) {
+    ev.payload.assign(data.begin(), data.end());
+    if (!me->eq->Deliver(std::move(ev))) {
+      // Bounded event queue full: the I/O node's request buffer overflowed.
+      return ResourceExhausted("event queue full");
+    }
+  } else {
+    if (offset + data.size() > me->region.size()) {
+      return OutOfRange("put beyond registered region");
+    }
+    if (!data.empty()) {
+      std::memcpy(me->region.data() + offset, data.data(), data.size());
+    }
+    if (me->eq != nullptr && !me->eq->Deliver(std::move(ev))) {
+      return ResourceExhausted("event queue full");
+    }
+  }
+  if (me->options.unlink_on_use) UnlinkLocked(portal, me->handle);
+  return OkStatus();
+}
+
+Status Nic::AcceptGet(Nid initiator, PortalIndex portal, MatchBits match_bits,
+                      MutableByteSpan out, std::size_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MatchEntry* me = FindLocked(portal, match_bits, /*want_put=*/false);
+  if (me == nullptr) {
+    return ResourceExhausted("no matching get entry");
+  }
+  if (me->options.message_mode) {
+    return InvalidArgument("cannot Get from a message-mode entry");
+  }
+  if (offset + out.size() > me->region.size()) {
+    return OutOfRange("get beyond registered region");
+  }
+  if (!out.empty()) {
+    std::memcpy(out.data(), me->region.data() + offset, out.size());
+  }
+  if (me->eq != nullptr) {
+    Event ev;
+    ev.type = EventType::kGet;
+    ev.initiator = initiator;
+    ev.portal = portal;
+    ev.match_bits = match_bits;
+    ev.offset = offset;
+    ev.length = out.size();
+    ev.user_data = me->user_data;
+    (void)me->eq->Deliver(std::move(ev));  // best-effort notification
+  }
+  if (me->options.unlink_on_use) UnlinkLocked(portal, me->handle);
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Nic> Fabric::CreateNic() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Nid nid = next_nid_++;
+  auto nic = std::shared_ptr<Nic>(new Nic(this, nid));
+  nodes_[nid] = nic;
+  return nic;
+}
+
+std::shared_ptr<Nic> Fabric::Route(Nid nid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(nid);
+  if (it == nodes_.end()) return nullptr;
+  return it->second.lock();
+}
+
+void Fabric::Unregister(Nid nid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_.erase(nid);
+}
+
+void Fabric::SetNodeDown(Nid nid, bool down) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (down) {
+    down_.insert(nid);
+  } else {
+    down_.erase(nid);
+  }
+}
+
+bool Fabric::IsNodeDown(Nid nid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return down_.contains(nid);
+}
+
+FabricStats Fabric::Stats() const {
+  FabricStats s;
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.put_bytes = put_bytes_.load(std::memory_order_relaxed);
+  s.get_bytes = get_bytes_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Fabric::ResetStats() {
+  puts_.store(0);
+  gets_.store(0);
+  put_bytes_.store(0);
+  get_bytes_.store(0);
+  rejected_.store(0);
+}
+
+void Fabric::CountPut(std::size_t bytes) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  put_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+void Fabric::UncountPut(std::size_t bytes) {
+  puts_.fetch_sub(1, std::memory_order_relaxed);
+  put_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+void Fabric::CountGet(std::size_t bytes) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  get_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+void Fabric::UncountGet(std::size_t bytes) {
+  gets_.fetch_sub(1, std::memory_order_relaxed);
+  get_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+void Fabric::CountRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace lwfs::portals

@@ -1,0 +1,269 @@
+// In-process Portals-3-style one-sided messaging fabric.
+//
+// This module reproduces the transport semantics LWFS relies on (§3.2 of the
+// paper): one-sided `Put`/`Get` against pre-registered memory, match-list
+// demultiplexing, event queues, and *finite* receive resources.  The paper's
+// server-directed I/O argument depends on exactly these properties:
+//
+//  * a server exposes a bounded request portal — when it overflows, new
+//    requests are rejected and the client must resend (the failure mode of
+//    client-pushed I/O);
+//  * bulk data moves only when the *server* initiates a Get (write) or a
+//    Put (read) against memory the client registered, so server buffers are
+//    never overcommitted.
+//
+// Delivery is via in-memory queues between threads; a transfer is a memcpy
+// performed by the initiating thread while holding the target NIC lock,
+// which also models the serialization a real NIC DMA engine imposes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+#include "util/sync_queue.h"
+
+namespace lwfs::portals {
+
+/// Node identifier.  Every service endpoint (client process, storage server,
+/// authorization server, ...) owns one NIC and therefore one Nid.
+using Nid = std::uint32_t;
+inline constexpr Nid kInvalidNid = 0;
+
+/// Match bits select a match entry within a portal table index, as in
+/// Portals 3.0.  `ignore_bits` mask out don't-care bits at attach time.
+using MatchBits = std::uint64_t;
+
+/// Portal table index.  By convention (see rpc/), index 0 is the request
+/// portal, index 1 the reply portal, and index 2 the bulk-data portal.
+using PortalIndex = std::uint32_t;
+
+enum class EventType : std::uint8_t {
+  kPut,    // data arrived in an attached region / message entry (target side)
+  kGet,    // data was read out of an attached region (target side)
+  kReply,  // initiator-side completion of a Get
+  kAck,    // initiator-side completion of a Put
+};
+
+/// Completion/delivery event.  For message-mode match entries the payload
+/// travels inside the event; for region-mode entries the payload lands in
+/// the registered memory and `payload` stays empty.
+struct Event {
+  EventType type = EventType::kPut;
+  Nid initiator = kInvalidNid;
+  PortalIndex portal = 0;
+  MatchBits match_bits = 0;
+  std::uint64_t hdr_data = 0;  // 64 piggy-backed header bits from initiator
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::uint64_t user_data = 0;  // from the match entry
+  Buffer payload;               // message-mode only
+};
+
+/// Event queue handed to Attach(); bounded capacity models finite
+/// receive-descriptor resources on an I/O node.
+class EventQueue {
+ public:
+  explicit EventQueue(std::size_t capacity = 0) : queue_(capacity) {}
+
+  /// Blocking wait; nullopt after Close() drains.
+  std::optional<Event> Wait() { return queue_.Pop(); }
+  /// Blocking wait with deadline; nullopt on timeout/close.
+  template <typename Rep, typename Period>
+  std::optional<Event> WaitFor(std::chrono::duration<Rep, Period> timeout) {
+    return queue_.PopFor(timeout);
+  }
+  /// Non-blocking poll.
+  std::optional<Event> Poll() { return queue_.TryPop(); }
+
+  void Close() { queue_.Close(); }
+  [[nodiscard]] std::size_t Size() const { return queue_.Size(); }
+
+ private:
+  friend class Nic;
+  bool Deliver(Event e) { return queue_.TryPush(std::move(e)); }
+
+  SyncQueue<Event> queue_;
+};
+
+/// Behaviour of an attached match entry.
+struct MeOptions {
+  bool allow_put = false;
+  bool allow_get = false;
+  /// Remove the entry after it has been used once (single-use registered
+  /// buffers, e.g. a per-request bulk region).
+  bool unlink_on_use = false;
+  /// Message mode: payload is copied into the event instead of a registered
+  /// region (used for request/reply queues).  `region` must be empty.
+  bool message_mode = false;
+};
+
+/// Handle to an attached match entry; pass to Detach().
+using MeHandle = std::uint64_t;
+inline constexpr MeHandle kInvalidMeHandle = 0;
+
+class Fabric;
+
+/// A network interface bound to one Nid.  All member functions are
+/// thread-safe.
+class Nic {
+ public:
+  ~Nic();
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] Nid nid() const { return nid_; }
+
+  /// Register a match entry.  `region` is the caller's memory and must
+  /// outlive the entry (RAII wrapper: see RegisteredRegion below).
+  Result<MeHandle> Attach(PortalIndex portal, MatchBits match_bits,
+                          MatchBits ignore_bits, MutableByteSpan region,
+                          const MeOptions& options, EventQueue* eq,
+                          std::uint64_t user_data = 0);
+
+  /// Remove a match entry.  Succeeds (idempotently) even if the entry
+  /// already auto-unlinked.
+  Status Detach(MeHandle handle);
+
+  // ---- Initiator-side one-sided operations -------------------------------
+
+  /// Deposit `data` into the matching entry at `target`.  With a
+  /// message-mode target entry, the data is delivered inside the event.
+  /// Returns kResourceExhausted when the target has no matching resources
+  /// (full event queue / no match entry): the caller must back off & resend.
+  Status Put(Nid target, PortalIndex portal, MatchBits match_bits,
+             ByteSpan data, std::size_t remote_offset = 0,
+             std::uint64_t hdr_data = 0);
+
+  /// Read `out.size()` bytes from the matching registered region at
+  /// `target` starting at `remote_offset`.
+  Status Get(Nid target, PortalIndex portal, MatchBits match_bits,
+             MutableByteSpan out, std::size_t remote_offset = 0);
+
+ private:
+  friend class Fabric;
+  Nic(Fabric* fabric, Nid nid) : fabric_(fabric), nid_(nid) {}
+
+  struct MatchEntry {
+    MeHandle handle;
+    MatchBits match_bits;
+    MatchBits ignore_bits;
+    MutableByteSpan region;
+    MeOptions options;
+    EventQueue* eq;
+    std::uint64_t user_data;
+  };
+
+  // Target-side entry points, called by the initiating NIC.
+  Status AcceptPut(Nid initiator, PortalIndex portal, MatchBits match_bits,
+                   ByteSpan data, std::size_t offset, std::uint64_t hdr_data);
+  Status AcceptGet(Nid initiator, PortalIndex portal, MatchBits match_bits,
+                   MutableByteSpan out, std::size_t offset);
+
+  /// Finds the first live entry matching (portal, bits); nullptr if none.
+  MatchEntry* FindLocked(PortalIndex portal, MatchBits bits, bool want_put);
+  void UnlinkLocked(PortalIndex portal, MeHandle handle);
+
+  Fabric* const fabric_;
+  const Nid nid_;
+  std::mutex mutex_;
+  std::uint64_t next_handle_ = 1;
+  std::map<PortalIndex, std::vector<MatchEntry>> portal_table_;
+};
+
+/// Fabric statistics; used by tests that pin protocol message counts.
+struct FabricStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t get_bytes = 0;
+  std::uint64_t rejected = 0;  // Put/Get refused for lack of resources
+};
+
+/// The in-memory network.  Owns nothing but the routing table; NICs are
+/// owned by their services via shared_ptr.
+class Fabric {
+ public:
+  Fabric() = default;
+
+  /// Create a NIC with a fresh Nid.
+  std::shared_ptr<Nic> CreateNic();
+
+  /// Simulated node failure: operations addressed to a down node fail with
+  /// kUnavailable until the node is brought back up.
+  void SetNodeDown(Nid nid, bool down);
+  [[nodiscard]] bool IsNodeDown(Nid nid) const;
+
+  [[nodiscard]] FabricStats Stats() const;
+  void ResetStats();
+
+ private:
+  friend class Nic;
+  std::shared_ptr<Nic> Route(Nid nid) const;
+  void Unregister(Nid nid);
+  void CountPut(std::size_t bytes);
+  void UncountPut(std::size_t bytes);
+  void CountGet(std::size_t bytes);
+  void UncountGet(std::size_t bytes);
+  void CountRejected();
+
+  mutable std::mutex mutex_;
+  Nid next_nid_ = 1;
+  std::unordered_map<Nid, std::weak_ptr<Nic>> nodes_;
+  std::unordered_set<Nid> down_;
+
+  std::atomic<std::uint64_t> puts_{0};
+  std::atomic<std::uint64_t> gets_{0};
+  std::atomic<std::uint64_t> put_bytes_{0};
+  std::atomic<std::uint64_t> get_bytes_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// RAII wrapper that detaches a match entry on destruction.  Used for
+/// per-operation bulk registrations on the client side.
+class RegisteredRegion {
+ public:
+  RegisteredRegion() = default;
+  RegisteredRegion(std::shared_ptr<Nic> nic, MeHandle handle)
+      : nic_(std::move(nic)), handle_(handle) {}
+  ~RegisteredRegion() { Release(); }
+
+  RegisteredRegion(RegisteredRegion&& other) noexcept
+      : nic_(std::move(other.nic_)), handle_(other.handle_) {
+    other.handle_ = kInvalidMeHandle;
+  }
+  RegisteredRegion& operator=(RegisteredRegion&& other) noexcept {
+    if (this != &other) {
+      Release();
+      nic_ = std::move(other.nic_);
+      handle_ = other.handle_;
+      other.handle_ = kInvalidMeHandle;
+    }
+    return *this;
+  }
+  RegisteredRegion(const RegisteredRegion&) = delete;
+  RegisteredRegion& operator=(const RegisteredRegion&) = delete;
+
+  [[nodiscard]] MeHandle handle() const { return handle_; }
+
+  void Release() {
+    if (nic_ && handle_ != kInvalidMeHandle) {
+      (void)nic_->Detach(handle_);
+      handle_ = kInvalidMeHandle;
+    }
+  }
+
+ private:
+  std::shared_ptr<Nic> nic_;
+  MeHandle handle_ = kInvalidMeHandle;
+};
+
+}  // namespace lwfs::portals

@@ -1,0 +1,247 @@
+#include "rpc/rpc.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace lwfs::rpc {
+
+std::atomic<std::uint64_t> RpcClient::next_request_id_{1};
+
+namespace {
+
+// Request header layout; see rpc.h for the portal conventions.
+void EncodeHeader(Encoder& enc, Opcode opcode, std::uint64_t request_id,
+                  portals::Nid client, std::uint64_t bulk_out_len,
+                  std::uint64_t bulk_in_len) {
+  enc.PutU32(opcode);
+  enc.PutU64(request_id);
+  enc.PutU32(client);
+  enc.PutU64(bulk_out_len);
+  enc.PutU64(bulk_in_len);
+}
+
+struct Header {
+  Opcode opcode;
+  std::uint64_t request_id;
+  portals::Nid client;
+  std::uint64_t bulk_out_len;
+  std::uint64_t bulk_in_len;
+};
+
+Result<Header> DecodeHeader(Decoder& dec) {
+  Header h;
+  auto opcode = dec.GetU32();
+  auto request_id = dec.GetU64();
+  auto client = dec.GetU32();
+  auto bulk_out = dec.GetU64();
+  auto bulk_in = dec.GetU64();
+  if (!opcode.ok() || !request_id.ok() || !client.ok() || !bulk_out.ok() ||
+      !bulk_in.ok()) {
+    return InvalidArgument("malformed rpc header");
+  }
+  h.opcode = *opcode;
+  h.request_id = *request_id;
+  h.client = *client;
+  h.bulk_out_len = *bulk_out;
+  h.bulk_in_len = *bulk_in;
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+
+Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
+                               ByteSpan request, const CallOptions& options) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // Reply slot: one message-mode entry matched by request id.
+  portals::EventQueue reply_eq(2);
+  portals::MeOptions reply_opts;
+  reply_opts.allow_put = true;
+  reply_opts.message_mode = true;
+  reply_opts.unlink_on_use = true;
+  auto reply_me = nic_->Attach(kReplyPortal, request_id, 0, {}, reply_opts,
+                               &reply_eq);
+  if (!reply_me.ok()) return reply_me.status();
+  portals::RegisteredRegion reply_region(nic_, *reply_me);
+
+  // Bulk registrations.  The server may move data in chunks, so the entries
+  // persist until the reply arrives (RAII detach).
+  portals::RegisteredRegion out_region;
+  if (!options.bulk_out.empty()) {
+    portals::MeOptions opts;
+    opts.allow_get = true;
+    // Attach treats the span as mutable but a get-only entry never writes.
+    MutableByteSpan span(const_cast<std::uint8_t*>(options.bulk_out.data()),
+                         options.bulk_out.size());
+    auto me = nic_->Attach(kBulkPortal, request_id, 0, span, opts, nullptr);
+    if (!me.ok()) return me.status();
+    out_region = portals::RegisteredRegion(nic_, *me);
+  }
+  portals::RegisteredRegion in_region;
+  if (!options.bulk_in.empty()) {
+    portals::MeOptions opts;
+    opts.allow_put = true;
+    auto me = nic_->Attach(kBulkPortal, request_id, 0, options.bulk_in, opts,
+                           nullptr);
+    if (!me.ok()) return me.status();
+    in_region = portals::RegisteredRegion(nic_, *me);
+  }
+
+  // Assemble and send the (small) request, resending with backoff while the
+  // server's request portal is full.
+  Encoder enc;
+  EncodeHeader(enc, opcode, request_id, nic_->nid(), options.bulk_out.size(),
+               options.bulk_in.size());
+  enc.PutRaw(request);
+
+  int backoff_us = 10;
+  int attempts = 0;
+  for (;;) {
+    Status s = nic_->Put(server, options.request_portal, /*match_bits=*/0,
+                         ByteSpan(enc.buffer()), 0, request_id);
+    if (s.ok()) break;
+    if (s.code() != ErrorCode::kResourceExhausted) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+    if (++attempts > options.max_resends) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return ResourceExhausted("server request queue full, resends exhausted");
+    }
+    resends_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, 2000);
+  }
+
+  auto event = reply_eq.WaitFor(options.timeout);
+  if (!event) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Timeout("no reply from server");
+  }
+
+  Decoder dec(event->payload);
+  auto code = dec.GetU32();
+  auto message = dec.GetString();
+  auto body = dec.GetBytes();
+  if (!code.ok() || !message.ok() || !body.ok()) {
+    return Internal("malformed rpc reply");
+  }
+  if (*code != static_cast<std::uint32_t>(ErrorCode::kOk)) {
+    return Status(static_cast<ErrorCode>(*code), std::move(*message));
+  }
+  return std::move(*body);
+}
+
+// ---------------------------------------------------------------------------
+// ServerContext
+// ---------------------------------------------------------------------------
+
+Status ServerContext::PullBulk(MutableByteSpan out, std::size_t offset) {
+  if (offset + out.size() > bulk_out_len_) {
+    return OutOfRange("pull beyond client's registered payload");
+  }
+  return nic_->Get(client_, kBulkPortal, request_id_, out, offset);
+}
+
+Status ServerContext::PushBulk(ByteSpan data, std::size_t offset) {
+  if (offset + data.size() > bulk_in_len_) {
+    return OutOfRange("push beyond client's registered region");
+  }
+  return nic_->Put(client_, kBulkPortal, request_id_, data, offset);
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer
+// ---------------------------------------------------------------------------
+
+RpcServer::RpcServer(std::shared_ptr<portals::Nic> nic, ServerOptions options)
+    : nic_(std::move(nic)),
+      options_(options),
+      request_eq_(options.request_queue_depth) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::RegisterHandler(Opcode opcode, Handler handler) {
+  handlers_[opcode] = std::move(handler);
+}
+
+Status RpcServer::Start() {
+  if (started_) return FailedPrecondition("server already started");
+  portals::MeOptions opts;
+  opts.allow_put = true;
+  opts.message_mode = true;
+  auto me = nic_->Attach(options_.request_portal, 0, ~0ULL, {}, opts,
+                         &request_eq_);
+  if (!me.ok()) return me.status();
+  request_me_ = *me;
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_ = true;
+  return OkStatus();
+}
+
+void RpcServer::Stop() {
+  if (!started_) return;
+  (void)nic_->Detach(request_me_);
+  request_eq_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+void RpcServer::WorkerLoop() {
+  for (;;) {
+    auto event = request_eq_.Wait();
+    if (!event) return;  // queue closed
+    Dispatch(*event);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RpcServer::Dispatch(const portals::Event& event) {
+  Decoder dec(event.payload);
+  auto header = DecodeHeader(dec);
+  if (!header.ok()) {
+    LWFS_WARN << "dropping malformed request from nid " << event.initiator;
+    return;
+  }
+
+  Result<Buffer> result = Buffer{};
+  auto it = handlers_.find(header->opcode);
+  if (it == handlers_.end()) {
+    result = InvalidArgument("unknown opcode");
+  } else {
+    ServerContext ctx(nic_.get(), header->client, header->request_id,
+                      header->bulk_out_len, header->bulk_in_len);
+    result = it->second(ctx, dec);
+  }
+
+  Encoder reply;
+  if (result.ok()) {
+    reply.PutU32(static_cast<std::uint32_t>(ErrorCode::kOk));
+    reply.PutString("");
+    reply.PutBytes(ByteSpan(result.value()));
+  } else {
+    reply.PutU32(static_cast<std::uint32_t>(result.status().code()));
+    reply.PutString(result.status().message());
+    reply.PutBytes({});
+  }
+  Status sent = nic_->Put(header->client, kReplyPortal, header->request_id,
+                          ByteSpan(reply.buffer()));
+  if (!sent.ok()) {
+    LWFS_DEBUG << "reply to nid " << header->client
+               << " dropped: " << sent.ToString();
+  }
+}
+
+}  // namespace lwfs::rpc

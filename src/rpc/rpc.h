@@ -1,0 +1,178 @@
+// Request/response RPC with server-directed bulk data movement.
+//
+// This is the access protocol of Figure 6: a client sends a *small* request
+// message to a server's bounded request portal and registers any bulk data
+// it wants moved; the *server* then pulls (write) or pushes (read) the bulk
+// bytes over the one-sided portals fabric when it has buffer space and
+// device bandwidth, and finally sends a small reply.
+//
+// Flow control falls out of the bounded request portal: when an I/O node is
+// saturated its request queue fills, new Puts fail with kResourceExhausted,
+// and RpcClient backs off and resends — exactly the retry overhead the
+// paper charges against client-pushed designs, but paid on tiny messages
+// instead of the bulk payload.
+//
+// Portal layout (per NIC):
+//   portal 0 — request queue (message mode, bounded)
+//   portal 1 — replies       (message mode, matched by request id)
+//   portal 2 — bulk regions  (region mode, matched by request id)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "portals/portals.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lwfs::rpc {
+
+using Opcode = std::uint32_t;
+
+inline constexpr portals::PortalIndex kRequestPortal = 0;
+inline constexpr portals::PortalIndex kReplyPortal = 1;
+inline constexpr portals::PortalIndex kBulkPortal = 2;
+/// Control-plane requests (e.g. capability invalidation pushed from the
+/// authorization service) use a separate portal served by its own worker,
+/// so control traffic can never deadlock behind blocked data-plane
+/// handlers.
+inline constexpr portals::PortalIndex kControlPortal = 3;
+
+/// Client-side statistics (retries are the §3.2 resend overhead).
+struct ClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t resends = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Per-call options.
+struct CallOptions {
+  /// Registered for server *pull* (a write payload).
+  ByteSpan bulk_out{};
+  /// Registered for server *push* (a read destination).
+  MutableByteSpan bulk_in{};
+  /// Give up after this long without a reply.
+  std::chrono::milliseconds timeout{5000};
+  /// Resend attempts when the request portal rejects us.
+  int max_resends = 1000;
+  /// Which portal to address the request to (kRequestPortal or
+  /// kControlPortal).
+  portals::PortalIndex request_portal = kRequestPortal;
+};
+
+/// Issues calls from one client endpoint.  Thread-compatible: use one
+/// RpcClient per client thread (they can share a Nic).
+class RpcClient {
+ public:
+  explicit RpcClient(std::shared_ptr<portals::Nic> nic) : nic_(std::move(nic)) {}
+
+  /// Synchronous call.  On success returns the reply body.
+  Result<Buffer> Call(portals::Nid server, Opcode opcode, ByteSpan request,
+                      const CallOptions& options = {});
+
+  [[nodiscard]] portals::Nid nid() const { return nic_->nid(); }
+  [[nodiscard]] ClientStats stats() const {
+    return {calls_.load(), resends_.load(), failures_.load()};
+  }
+
+ private:
+  std::shared_ptr<portals::Nic> nic_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> resends_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  static std::atomic<std::uint64_t> next_request_id_;
+};
+
+/// Handed to server handlers; carries the request and the bulk-transfer
+/// hooks back to the initiating client.
+class ServerContext {
+ public:
+  ServerContext(portals::Nic* nic, portals::Nid client,
+                std::uint64_t request_id, std::uint64_t bulk_out_len,
+                std::uint64_t bulk_in_len)
+      : nic_(nic),
+        client_(client),
+        request_id_(request_id),
+        bulk_out_len_(bulk_out_len),
+        bulk_in_len_(bulk_in_len) {}
+
+  [[nodiscard]] portals::Nid client() const { return client_; }
+  [[nodiscard]] std::uint64_t request_id() const { return request_id_; }
+  /// Size of the client's registered write payload (0 = none).
+  [[nodiscard]] std::uint64_t bulk_out_size() const { return bulk_out_len_; }
+  /// Size of the client's registered read region (0 = none).
+  [[nodiscard]] std::uint64_t bulk_in_size() const { return bulk_in_len_; }
+
+  /// Server-directed *pull*: fetch [offset, offset+out.size()) of the
+  /// client's registered write payload into server memory.
+  Status PullBulk(MutableByteSpan out, std::size_t offset = 0);
+
+  /// Server-directed *push*: place `data` into the client's registered read
+  /// region at `offset`.
+  Status PushBulk(ByteSpan data, std::size_t offset = 0);
+
+ private:
+  portals::Nic* nic_;
+  portals::Nid client_;
+  std::uint64_t request_id_;
+  std::uint64_t bulk_out_len_;
+  std::uint64_t bulk_in_len_;
+};
+
+/// Handler: consume the request body, perform the op (using ctx for bulk
+/// movement), return status + reply body.
+using Handler =
+    std::function<Result<Buffer>(ServerContext& ctx, Decoder& request)>;
+
+struct ServerOptions {
+  /// Bound on queued requests; overflow rejects the Put (client resends).
+  std::size_t request_queue_depth = 4096;
+  /// Worker threads servicing the queue.
+  int worker_threads = 1;
+  /// Portal this server listens on.  Several RpcServers can share one Nic
+  /// as long as they listen on different portals.
+  portals::PortalIndex request_portal = kRequestPortal;
+};
+
+/// Serves RPCs on a NIC.  Start() spawns workers; Stop() drains and joins.
+class RpcServer {
+ public:
+  RpcServer(std::shared_ptr<portals::Nic> nic, ServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Register before Start().  Re-registering an opcode replaces it.
+  void RegisterHandler(Opcode opcode, Handler handler);
+
+  Status Start();
+  void Stop();
+
+  [[nodiscard]] portals::Nid nid() const { return nic_->nid(); }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+  void Dispatch(const portals::Event& event);
+
+  std::shared_ptr<portals::Nic> nic_;
+  ServerOptions options_;
+  portals::EventQueue request_eq_;
+  portals::MeHandle request_me_ = portals::kInvalidMeHandle;
+  std::unordered_map<Opcode, Handler> handlers_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> served_{0};
+  bool started_ = false;
+};
+
+}  // namespace lwfs::rpc

@@ -1,0 +1,47 @@
+// Storage-server-side capability cache (§3.1.2).
+//
+// After the authorization service has verified a capability once, the
+// storage server caches the verdict so subsequent requests bearing the same
+// capability cost zero extra messages.  Entries are keyed by cap_id but a
+// hit requires the *entire* capability (including its tag) to match the
+// cached copy — a forged capability reusing a cached id never hits.
+// Invalidation arrives from the authorization service through the back
+// pointers it keeps (§3.1.4).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "security/types.h"
+
+namespace lwfs::security {
+
+class CapCache {
+ public:
+  /// True iff `cap` is byte-identical to a cached, verified capability and
+  /// is not expired at `now_us`.
+  bool Lookup(const Capability& cap, std::int64_t now_us);
+
+  /// Record a capability that the authorization service just verified.
+  void Insert(const Capability& cap);
+
+  /// Drop entries by cap id (the revocation path).
+  void Invalidate(std::span<const std::uint64_t> cap_ids);
+
+  /// Drop everything (server restart / authz instance change).
+  void Clear();
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Capability> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace lwfs::security

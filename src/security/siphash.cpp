@@ -1,0 +1,76 @@
+#include "security/siphash.h"
+
+namespace lwfs::security {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(const SipKey& key, ByteSpan data) {
+  std::uint64_t v0 = key.k0 ^ 0x736F6D6570736575ULL;
+  std::uint64_t v1 = key.k1 ^ 0x646F72616E646F6DULL;
+  std::uint64_t v2 = key.k0 ^ 0x6C7967656E657261ULL;
+  std::uint64_t v3 = key.k1 ^ 0x7465646279746573ULL;
+
+  const std::size_t n = data.size();
+  const std::size_t full = n / 8;
+  for (std::size_t b = 0; b < full; ++b) {
+    std::uint64_t m = 0;
+    for (int i = 0; i < 8; ++i) {
+      m |= static_cast<std::uint64_t>(data[b * 8 + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t m = static_cast<std::uint64_t>(n & 0xFF) << 56;
+  for (std::size_t i = full * 8; i < n; ++i) {
+    m |= static_cast<std::uint64_t>(data[i]) << (8 * (i % 8));
+  }
+  v3 ^= m;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= m;
+
+  v2 ^= 0xFF;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+Tag128 SipTag(const SipKey& key, ByteSpan data) {
+  Tag128 tag;
+  tag.lo = SipHash24(key, data);
+  SipKey hi_key{key.k0 ^ 0xA5A5A5A5A5A5A5A5ULL, key.k1 ^ 0x5A5A5A5A5A5A5A5AULL};
+  tag.hi = SipHash24(hi_key, data);
+  return tag;
+}
+
+}  // namespace lwfs::security

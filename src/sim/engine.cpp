@@ -1,0 +1,49 @@
+#include "sim/engine.h"
+
+namespace lwfs::sim {
+
+std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  promise_type& p = h.promise();
+  std::coroutine_handle<> next =
+      p.continuation ? p.continuation : std::noop_coroutine();
+  if (p.detached) {
+    if (p.engine != nullptr) --p.engine->live_;
+    h.destroy();  // detached frames own themselves
+  }
+  return next;
+}
+
+void Engine::Spawn(Task task) {
+  auto handle = task.Release();
+  if (!handle) return;
+  handle.promise().detached = true;
+  handle.promise().engine = this;
+  ++live_;
+  // Start the process "now" via the event queue so Spawn is safe to call
+  // from inside running coroutines without unbounded recursion.
+  At(now_, [handle] { handle.resume(); });
+}
+
+Time Engine::RunUntilIdle() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.time;
+    item.fn();
+  }
+  return now_;
+}
+
+Time Engine::RunUntil(Time t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.time;
+    item.fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+  return now_;
+}
+
+}  // namespace lwfs::sim

@@ -1,0 +1,169 @@
+// Discrete-event simulation engine with C++20 coroutine processes.
+//
+// The cluster-scale experiments (Figures 9-10, the petaflop extrapolation,
+// the flow-control ablation) cannot run on real hardware we have, so they
+// run on this engine: virtual time, deterministic event ordering (FIFO
+// tie-break), and protocol actors written as straight-line coroutines that
+// `co_await` delays and resource grants.
+//
+//   sim::Engine eng;
+//   eng.Spawn([](sim::Engine& e, sim::FifoResource& disk) -> sim::Task {
+//     co_await e.Delay(1e-3);          // think time
+//     co_await disk.Use(0.5);          // 0.5 s of disk service, FIFO-queued
+//   }(eng, disk));
+//   eng.RunUntilIdle();
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace lwfs::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+class Engine;
+
+/// Fire-and-forget coroutine used for simulation processes.  A Task started
+/// with Engine::Spawn owns its frame and self-destroys at completion; a Task
+/// `co_await`ed from another Task resumes its awaiter on completion
+/// (symmetric transfer), enabling protocol steps to be factored into
+/// sub-coroutines.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // awaiter to resume at the end
+    bool detached = false;                 // spawned: self-destroy on final
+    Engine* engine = nullptr;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  /// Awaiting a Task starts it and suspends the awaiter until it finishes.
+  struct Awaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+      handle.promise().continuation = awaiting;
+      return handle;  // symmetric transfer into the child
+    }
+    void await_resume() noexcept {}
+  };
+  Awaiter operator co_await() && noexcept {
+    // The frame must stay alive until completion; ownership moves to the
+    // coroutine machinery (final awaiter resumes the parent, parent's frame
+    // destruction cascades here via the Task living in the parent frame).
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// The event engine.  Single-threaded by design (CP.3: no shared mutable
+/// state across threads inside a simulation); run one Engine per thread for
+/// parallel parameter sweeps.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time Now() const { return now_; }
+
+  /// Schedule a callback at absolute time `t` (>= Now()).
+  void At(Time t, std::function<void()> fn) {
+    assert(t >= now_ - 1e-12);
+    queue_.push(Item{t, seq_++, std::move(fn)});
+  }
+  /// Schedule after a relative delay (>= 0).
+  void After(Time dt, std::function<void()> fn) { At(now_ + dt, std::move(fn)); }
+
+  /// Awaitable virtual-time delay.
+  struct DelayAwaiter {
+    Engine* engine;
+    Time dt;
+    bool await_ready() const noexcept { return dt <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->After(dt, [h] { h.resume(); });
+    }
+    void await_resume() noexcept {}
+  };
+  DelayAwaiter Delay(Time dt) { return DelayAwaiter{this, dt}; }
+
+  /// Start a detached simulation process.
+  void Spawn(Task task);
+
+  /// Execute events until the queue is empty.  Returns the final time.
+  Time RunUntilIdle();
+
+  /// Execute events with timestamp <= t_end; leaves later events queued.
+  Time RunUntil(Time t_end);
+
+  /// Number of spawned processes that have not finished.
+  [[nodiscard]] std::uint64_t live_processes() const { return live_; }
+
+ private:
+  friend struct Task::promise_type;
+
+  struct Item {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Item& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t live_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+};
+
+}  // namespace lwfs::sim

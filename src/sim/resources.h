@@ -1,0 +1,182 @@
+// Queued resources for the cluster simulator.
+//
+// FifoResource models anything that serves requests one-at-a-time per slot:
+// a metadata-server CPU, a RAID controller, a NIC DMA engine.  Pipe adds a
+// store-and-forward latency to a bandwidth-serialized link.  Semaphore and
+// Latch provide coroutine-friendly synchronization between sim processes.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace lwfs::sim {
+
+/// Multi-slot FIFO queueing resource.  `co_await r.Use(d)` suspends until a
+/// slot has finished `d` seconds of service for this caller, with FIFO
+/// ordering across callers.
+class FifoResource {
+ public:
+  FifoResource(Engine* engine, int slots)
+      : engine_(engine), free_at_(static_cast<std::size_t>(slots), 0.0) {
+    assert(slots > 0);
+  }
+
+  struct UseAwaiter {
+    FifoResource* res;
+    Time duration;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      const Time done = res->ReserveSlot(duration);
+      res->engine_->At(done, [h] { h.resume(); });
+    }
+    void await_resume() noexcept {}
+  };
+
+  /// Queue `duration` seconds of service; resume when it completes.
+  UseAwaiter Use(Time duration) { return UseAwaiter{this, duration}; }
+
+  /// Earliest completion time a request issued now would see (no queueing
+  /// side effects) — used by admission-control models.
+  [[nodiscard]] Time EstimateCompletion(Time duration) const {
+    Time best = free_at_[0];
+    for (Time t : free_at_) best = std::min(best, t);
+    return std::max(best, engine_->Now()) + duration;
+  }
+
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] Time busy_time() const { return busy_; }
+  [[nodiscard]] Time last_completion() const { return last_completion_; }
+
+  /// Mean utilization of the slots over [0, horizon].
+  [[nodiscard]] double Utilization(Time horizon) const {
+    if (horizon <= 0) return 0.0;
+    return busy_ / (horizon * static_cast<double>(free_at_.size()));
+  }
+
+ private:
+  /// Reserves the earliest-free slot; returns the completion time.
+  Time ReserveSlot(Time duration) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < free_at_.size(); ++i) {
+      if (free_at_[i] < free_at_[best]) best = i;
+    }
+    const Time start = std::max(free_at_[best], engine_->Now());
+    const Time done = start + duration;
+    free_at_[best] = done;
+    busy_ += duration;
+    ++served_;
+    last_completion_ = std::max(last_completion_, done);
+    return done;
+  }
+
+  Engine* engine_;
+  std::vector<Time> free_at_;
+  Time busy_ = 0;
+  Time last_completion_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+/// A network link: bandwidth serialization followed by propagation latency.
+class Pipe {
+ public:
+  Pipe(Engine* engine, double bytes_per_sec, Time latency, int lanes = 1)
+      : engine_(engine),
+        bw_(engine, lanes),
+        bytes_per_sec_(bytes_per_sec),
+        latency_(latency) {}
+
+  /// Move `bytes` through the link.
+  Task Transfer(std::uint64_t bytes) {
+    co_await bw_.Use(static_cast<Time>(bytes) / bytes_per_sec_);
+    co_await engine_->Delay(latency_);
+  }
+
+  [[nodiscard]] double bytes_per_sec() const { return bytes_per_sec_; }
+  [[nodiscard]] Time latency() const { return latency_; }
+  [[nodiscard]] FifoResource& bandwidth() { return bw_; }
+
+ private:
+  Engine* engine_;
+  FifoResource bw_;
+  double bytes_per_sec_;
+  Time latency_;
+};
+
+/// Counting semaphore with FIFO wakeup.
+class Semaphore {
+ public:
+  Semaphore(Engine* engine, std::uint64_t initial)
+      : engine_(engine), count_(initial) {}
+
+  struct AcquireAwaiter {
+    Semaphore* sem;
+    bool await_ready() {
+      if (sem->count_ > 0) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+    void await_resume() noexcept {}
+  };
+
+  AcquireAwaiter Acquire() { return AcquireAwaiter{this}; }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_->After(0, [h] { h.resume(); });  // token handed to the waiter
+    } else {
+      ++count_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t available() const { return count_; }
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::uint64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Count-down latch: Wait() resumes once CountDown() has been called
+/// `count` times (barrier for "all clients finished").
+class Latch {
+ public:
+  Latch(Engine* engine, std::uint64_t count) : engine_(engine), count_(count) {}
+
+  void CountDown() {
+    assert(count_ > 0);
+    if (--count_ == 0) {
+      for (auto h : waiters_) engine_->After(0, [h] { h.resume(); });
+      waiters_.clear();
+    }
+  }
+
+  struct WaitAwaiter {
+    Latch* latch;
+    bool await_ready() const noexcept { return latch->count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) { latch->waiters_.push_back(h); }
+    void await_resume() noexcept {}
+  };
+  WaitAwaiter Wait() { return WaitAwaiter{this}; }
+
+  [[nodiscard]] std::uint64_t remaining() const { return count_; }
+
+ private:
+  Engine* engine_;
+  std::uint64_t count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace lwfs::sim

@@ -1,0 +1,201 @@
+#include "simapps/checkpoint_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lwfs::simapps {
+
+namespace {
+
+/// Pipelined bulk dump of `bytes` to server `s`: the next chunk moves over
+/// the server's ingress link while the previous one drains to the RAID —
+/// the overlap server-directed transfers give you (Figure 6).
+/// `disk_efficiency` scales the drain rate (the shared-file consistency
+/// tax).  Drain tasks are spawned detached; RunUntilIdle covers them.
+sim::Task DumpToServer(SimCluster& c, int s, std::uint64_t bytes,
+                       double disk_efficiency) {
+  const ClusterParams& p = c.params();
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min(p.chunk_bytes, remaining);
+    co_await c.server_link(s).Transfer(chunk);
+    // Drain to storage proceeds concurrently with the next chunk's
+    // transfer; completion is tracked through the latch.
+    const double drain =
+        c.J(static_cast<double>(chunk) / (p.server_disk_bw * disk_efficiency));
+    c.engine().Spawn([](SimCluster& cc, int srv, double d) -> sim::Task {
+      co_await cc.disk(srv).Use(d);
+    }(c, s, drain));
+    remaining -= chunk;
+  }
+}
+
+/// One LWFS checkpoint rank: create its object on server rank%m directly,
+/// then dump (Figure 8 lines 2-3).
+sim::Task LwfsRank(SimCluster& c, int rank, std::uint64_t bytes,
+                   std::vector<double>& create_done) {
+  const ClusterParams& p = c.params();
+  const int s = rank % p.num_servers;
+  co_await c.engine().Delay(c.J(p.client_overhead));
+  co_await c.server_link(s).Transfer(p.request_bytes);  // small create req
+  co_await c.disk(s).Use(c.J(p.disk_op_overhead));      // object create
+  co_await c.engine().Delay(p.nic_latency);             // reply
+  create_done[static_cast<std::size_t>(rank)] = c.engine().Now();
+  co_await DumpToServer(c, s, bytes, 1.0);
+}
+
+/// One file-per-process rank: create its file through the centralized MDS,
+/// then dump to the single OST holding its (1-stripe) file.
+sim::Task FppRank(SimCluster& c, int rank, std::uint64_t bytes,
+                  std::vector<double>& create_done) {
+  const ClusterParams& p = c.params();
+  const int s = rank % p.num_servers;
+  co_await c.engine().Delay(c.J(p.client_overhead));
+  co_await c.engine().Delay(p.nic_latency);  // request to MDS
+  // The MDS serializes: namespace update plus the stripe-object create it
+  // performs on the client's behalf.
+  co_await c.mds().Use(
+      c.J(p.mds_create_time + p.mds_stripe_create_time));
+  co_await c.engine().Delay(p.nic_latency);  // reply
+  create_done[static_cast<std::size_t>(rank)] = c.engine().Now();
+  co_await DumpToServer(c, s, bytes, 1.0);
+}
+
+/// One shared-file rank: wait for rank 0's create, then write its disjoint
+/// slice of the striped file, taking MDS extent locks per lock-granularity
+/// region and paying the interleaved-stream drain penalty on every OST.
+sim::Task SharedRank(SimCluster& c, int rank, std::uint64_t bytes,
+                     sim::Latch& file_created) {
+  const ClusterParams& p = c.params();
+  co_await file_created.Wait();
+  const std::uint64_t slice_start =
+      static_cast<std::uint64_t>(rank) * bytes;
+  std::uint64_t offset = slice_start;
+  const std::uint64_t slice_end = slice_start + bytes;
+  std::uint64_t next_lock_boundary = slice_start;
+  while (offset < slice_end) {
+    if (offset >= next_lock_boundary) {
+      // Acquire the extent lock covering the next granule: two MDS round
+      // trips (enqueue + grant) through the centralized lock manager.
+      co_await c.engine().Delay(p.nic_latency);
+      co_await c.mds().Use(c.J(p.lock_service_time));
+      co_await c.engine().Delay(p.nic_latency);
+      next_lock_boundary += p.lock_granularity;
+    }
+    const std::uint64_t chunk = std::min<std::uint64_t>(
+        {p.chunk_bytes, slice_end - offset, next_lock_boundary - offset});
+    // Stripe placement: chunk lands on server (offset / chunk) mod m.
+    const int s = static_cast<int>((offset / p.chunk_bytes) %
+                                   static_cast<std::uint64_t>(p.num_servers));
+    co_await c.server_link(s).Transfer(chunk);
+    const double drain = c.J(static_cast<double>(chunk) /
+                             (p.server_disk_bw * p.shared_file_efficiency));
+    c.engine().Spawn([](SimCluster& cc, int srv, double d) -> sim::Task {
+      co_await cc.disk(srv).Use(d);
+    }(c, s, drain));
+    offset += chunk;
+  }
+}
+
+sim::Task SharedFileCreate(SimCluster& c, std::vector<double>& create_done,
+                           sim::Latch& file_created) {
+  const ClusterParams& p = c.params();
+  co_await c.engine().Delay(c.J(p.client_overhead));
+  co_await c.engine().Delay(p.nic_latency);
+  // One create, but the MDS allocates a stripe object on every OST.
+  co_await c.mds().Use(c.J(p.mds_create_time +
+                           p.num_servers * p.mds_stripe_create_time));
+  co_await c.engine().Delay(p.nic_latency);
+  create_done[0] = c.engine().Now();
+  file_created.CountDown();
+}
+
+}  // namespace
+
+SimCheckpointResult SimulateCheckpoint(CheckpointKind kind,
+                                       const ClusterParams& params,
+                                       std::uint64_t bytes_per_client,
+                                       std::uint64_t seed) {
+  SimCluster cluster(params, seed);
+  const int n = params.num_clients;
+  std::vector<double> create_done(static_cast<std::size_t>(n), 0.0);
+  sim::Latch file_created(&cluster.engine(), 1);
+
+  for (int r = 0; r < n; ++r) {
+    switch (kind) {
+      case CheckpointKind::kLwfsObjectPerProcess:
+        cluster.engine().Spawn(
+            LwfsRank(cluster, r, bytes_per_client, create_done));
+        break;
+      case CheckpointKind::kPfsFilePerProcess:
+        cluster.engine().Spawn(
+            FppRank(cluster, r, bytes_per_client, create_done));
+        break;
+      case CheckpointKind::kPfsSharedFile:
+        cluster.engine().Spawn(
+            SharedRank(cluster, r, bytes_per_client, file_created));
+        break;
+    }
+  }
+  if (kind == CheckpointKind::kPfsSharedFile) {
+    cluster.engine().Spawn(SharedFileCreate(cluster, create_done, file_created));
+  }
+
+  cluster.engine().RunUntilIdle();
+
+  SimCheckpointResult result;
+  result.total_time = cluster.engine().Now();
+  result.create_time = *std::max_element(create_done.begin(), create_done.end());
+  result.dump_time = result.total_time - result.create_time;
+  result.bytes = static_cast<std::uint64_t>(n) * bytes_per_client;
+  return result;
+}
+
+namespace {
+
+sim::Task LwfsCreateLoop(SimCluster& c, int rank, std::uint64_t count) {
+  const ClusterParams& p = c.params();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int s = static_cast<int>(
+        (static_cast<std::uint64_t>(rank) + i) %
+        static_cast<std::uint64_t>(p.num_servers));
+    co_await c.engine().Delay(c.J(p.client_overhead));
+    co_await c.server_link(s).Transfer(p.request_bytes);
+    co_await c.disk(s).Use(c.J(p.disk_op_overhead));
+    co_await c.engine().Delay(p.nic_latency);
+  }
+}
+
+sim::Task MdsCreateLoop(SimCluster& c, std::uint64_t count) {
+  const ClusterParams& p = c.params();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    co_await c.engine().Delay(c.J(p.client_overhead));
+    co_await c.engine().Delay(p.nic_latency);
+    co_await c.mds().Use(c.J(p.mds_create_time + p.mds_stripe_create_time));
+    co_await c.engine().Delay(p.nic_latency);
+  }
+}
+
+}  // namespace
+
+SimCreateResult SimulateCreates(CheckpointKind kind,
+                                const ClusterParams& params,
+                                std::uint64_t creates_per_client,
+                                std::uint64_t seed) {
+  SimCluster cluster(params, seed);
+  for (int r = 0; r < params.num_clients; ++r) {
+    if (kind == CheckpointKind::kLwfsObjectPerProcess) {
+      cluster.engine().Spawn(LwfsCreateLoop(cluster, r, creates_per_client));
+    } else {
+      cluster.engine().Spawn(MdsCreateLoop(cluster, creates_per_client));
+    }
+  }
+  cluster.engine().RunUntilIdle();
+  SimCreateResult result;
+  result.total_time = cluster.engine().Now();
+  result.creates =
+      static_cast<std::uint64_t>(params.num_clients) * creates_per_client;
+  return result;
+}
+
+}  // namespace lwfs::simapps

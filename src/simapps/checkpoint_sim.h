@@ -1,0 +1,54 @@
+// Simulator actors for the three checkpoint implementations (§4).
+//
+// Each function plays out the same message/resource sequence as the real
+// stack in src/checkpoint (the correspondence is pinned by
+// tests/simapps_protocol_test.cpp) on a SimCluster and reports phase
+// timings.  These drive the Figure 9 / Figure 10 benches and the petaflop
+// extrapolation.
+#pragma once
+
+#include <cstdint>
+
+#include "simapps/cluster_model.h"
+
+namespace lwfs::simapps {
+
+struct SimCheckpointResult {
+  double create_time = 0;  // time until the last create completed
+  double dump_time = 0;    // total - create
+  double total_time = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double throughput_mb_s() const {
+    return total_time > 0 ? static_cast<double>(bytes) / 1e6 / total_time : 0;
+  }
+};
+
+enum class CheckpointKind {
+  kLwfsObjectPerProcess,
+  kPfsFilePerProcess,
+  kPfsSharedFile,
+};
+
+/// Full checkpoint: create phase + dump of `bytes_per_client` per client.
+SimCheckpointResult SimulateCheckpoint(CheckpointKind kind,
+                                       const ClusterParams& params,
+                                       std::uint64_t bytes_per_client,
+                                       std::uint64_t seed);
+
+struct SimCreateResult {
+  double total_time = 0;
+  std::uint64_t creates = 0;
+  [[nodiscard]] double ops_per_sec() const {
+    return total_time > 0 ? static_cast<double>(creates) / total_time : 0;
+  }
+};
+
+/// Create-only phase (Figure 10): every client performs
+/// `creates_per_client` file/object creations back to back.
+SimCreateResult SimulateCreates(CheckpointKind kind,
+                                const ClusterParams& params,
+                                std::uint64_t creates_per_client,
+                                std::uint64_t seed);
+
+}  // namespace lwfs::simapps

@@ -1,0 +1,33 @@
+#include "simapps/cluster_model.h"
+
+namespace lwfs::simapps {
+
+ClusterParams ClusterParams::DevCluster(int num_clients, int num_servers) {
+  const DevClusterSpec& spec = lwfs::DevCluster();
+  ClusterParams p;
+  p.num_clients = num_clients;
+  p.num_servers = num_servers;
+  p.nic_bw = spec.nic_bw;
+  p.nic_latency = spec.nic_latency;
+  p.server_disk_bw = spec.server_disk_bw;
+  p.disk_op_overhead = spec.disk_op_overhead;
+  p.mds_create_time = spec.mds_create_time;
+  p.mds_open_time = spec.mds_open_time;
+  p.lock_service_time = spec.lock_service_time;
+  p.client_overhead = spec.client_overhead;
+  p.shared_file_efficiency = spec.shared_file_efficiency;
+  return p;
+}
+
+SimCluster::SimCluster(const ClusterParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed), mds_(&engine_, 1), authz_(&engine_, 1) {
+  server_links_.reserve(static_cast<std::size_t>(params.num_servers));
+  disks_.reserve(static_cast<std::size_t>(params.num_servers));
+  for (int s = 0; s < params.num_servers; ++s) {
+    server_links_.push_back(std::make_unique<sim::Pipe>(
+        &engine_, params.nic_bw, params.nic_latency));
+    disks_.push_back(std::make_unique<sim::FifoResource>(&engine_, 1));
+  }
+}
+
+}  // namespace lwfs::simapps

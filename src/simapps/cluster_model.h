@@ -1,0 +1,84 @@
+// Simulated cluster for the paper's experiments.
+//
+// Models exactly the resources the paper's argument hinges on (§2.2, §4):
+// per-client/server NIC links (bandwidth + latency), a per-server storage
+// drain (the "I/O node to RAID" path, 400 MB/s on Red Storm, ~95 MB/s
+// effective per server on the dev cluster), and a single centralized
+// metadata/authorization node.  Service times carry a small multiplicative
+// jitter so repeated trials produce the mean-and-stddev error bars the
+// paper reports.
+//
+// Calibration constants come from util/machines.h (DevClusterSpec); see
+// EXPERIMENTS.md for how they were fitted and which shapes they are *not*
+// allowed to influence.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "util/machines.h"
+#include "util/rng.h"
+
+namespace lwfs::simapps {
+
+struct ClusterParams {
+  int num_clients = 8;
+  int num_servers = 8;
+
+  double nic_bw = 245e6;        // bytes/s per node link
+  double nic_latency = 8e-6;    // s one-way
+  double server_disk_bw = 95e6; // bytes/s per server (sequential)
+  double disk_op_overhead = 0.25e-3;  // s per object create/remove
+  double mds_create_time = 1.45e-3;   // s of MDS service per file create
+  double mds_stripe_create_time = 0.25e-3;  // extra MDS->OST time per stripe
+  double mds_open_time = 0.6e-3;
+  double lock_service_time = 0.25e-3;
+  double client_overhead = 30e-6;     // client software time per request
+  double shared_file_efficiency = 0.5;  // consistency tax (paper-measured)
+  std::uint64_t lock_granularity = 64ull << 20;
+
+  double jitter = 0.03;          // +/- relative service-time jitter
+  std::uint64_t chunk_bytes = 4ull << 20;  // bulk transfer granularity
+  std::uint64_t request_bytes = 256;       // small-request wire size
+
+  /// Build dev-cluster-calibrated parameters with the given server count.
+  static ClusterParams DevCluster(int num_clients, int num_servers);
+};
+
+/// The resource set of one simulated run.  Create fresh per trial.
+class SimCluster {
+ public:
+  SimCluster(const ClusterParams& params, std::uint64_t seed);
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+
+  /// Ingress link of storage server `s` (shared by all clients writing to
+  /// it: this is where bursts queue).
+  [[nodiscard]] sim::Pipe& server_link(int s) { return *server_links_[static_cast<std::size_t>(s)]; }
+  /// Storage drain of server `s`.
+  [[nodiscard]] sim::FifoResource& disk(int s) { return *disks_[static_cast<std::size_t>(s)]; }
+  /// The centralized metadata/lock node (MDS CPU).
+  [[nodiscard]] sim::FifoResource& mds() { return mds_; }
+  /// The authorization service CPU (LWFS control plane).
+  [[nodiscard]] sim::FifoResource& authz() { return authz_; }
+
+  /// Multiplicative jitter around `base` (deterministic per seed).
+  double J(double base) {
+    if (params_.jitter <= 0) return base;
+    return base * (1.0 + params_.jitter * (2.0 * rng_.NextDouble() - 1.0));
+  }
+
+ private:
+  ClusterParams params_;
+  sim::Engine engine_;
+  Rng rng_;
+  std::vector<std::unique_ptr<sim::Pipe>> server_links_;
+  std::vector<std::unique_ptr<sim::FifoResource>> disks_;
+  sim::FifoResource mds_;
+  sim::FifoResource authz_;
+};
+
+}  // namespace lwfs::simapps

@@ -1,0 +1,106 @@
+#include "simapps/flow_sim.h"
+
+#include <algorithm>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "util/rng.h"
+
+namespace lwfs::simapps {
+
+namespace {
+
+/// Shared state of one flow-control run.
+struct FlowWorld {
+  FlowWorld(const FlowParams& p, std::uint64_t seed)
+      : params(p),
+        rng(seed),
+        link(&engine, p.link_bw, p.link_latency),
+        drain(&engine, 1),
+        buffer_permits(&engine, std::max<std::uint64_t>(
+                                    1, p.buffer_bytes / p.message_bytes)) {}
+
+  const FlowParams& params;
+  sim::Engine engine;
+  Rng rng;
+  sim::Pipe link;           // node ingress
+  sim::FifoResource drain;  // node -> RAID
+  sim::Semaphore buffer_permits;  // buffer slots (message_bytes each)
+  std::uint64_t buffered_bytes = 0;
+  FlowResult result;
+
+  double Jitter(double base) {
+    return base * (0.75 + 0.5 * rng.NextDouble());
+  }
+};
+
+/// Eager push: every attempt crosses the wire; the node only accepts what
+/// fits in its buffer, rejecting the rest back to the sender.
+sim::Task EagerClient(FlowWorld& w) {
+  const FlowParams& p = w.params;
+  std::uint64_t remaining = p.bytes_per_client;
+  while (remaining > 0) {
+    const std::uint64_t msg = std::min(p.message_bytes, remaining);
+    for (;;) {
+      co_await w.link.Transfer(msg);  // the wire is consumed either way
+      if (w.buffered_bytes + msg <= p.buffer_bytes) {
+        w.buffered_bytes += msg;
+        w.result.goodput_bytes += msg;
+        w.engine.Spawn([](FlowWorld& ww, std::uint64_t m) -> sim::Task {
+          co_await ww.drain.Use(static_cast<double>(m) / ww.params.drain_bw);
+          ww.buffered_bytes -= m;
+        }(w, msg));
+        break;
+      }
+      // Rejected: buffer full.  Resend after a backoff.
+      ++w.result.resends;
+      w.result.wasted_bytes += msg;
+      co_await w.engine.Delay(w.Jitter(p.retry_delay));
+    }
+    remaining -= msg;
+  }
+}
+
+/// Server-directed: the client sends one tiny request; the node pulls
+/// chunks only when it holds a buffer permit, so nothing is ever dropped.
+sim::Task DirectedRequest(FlowWorld& w) {
+  const FlowParams& p = w.params;
+  co_await w.link.Transfer(p.request_bytes);  // the small request
+  std::uint64_t remaining = p.bytes_per_client;
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min(p.message_bytes, remaining);
+    co_await w.buffer_permits.Acquire();
+    co_await w.link.Transfer(chunk);  // server-initiated get
+    w.result.goodput_bytes += chunk;
+    w.engine.Spawn([](FlowWorld& ww, std::uint64_t m) -> sim::Task {
+      co_await ww.drain.Use(static_cast<double>(m) / ww.params.drain_bw);
+      ww.buffer_permits.Release();
+    }(w, chunk));
+    remaining -= chunk;
+  }
+}
+
+}  // namespace
+
+FlowResult SimulateEagerPush(const FlowParams& params, std::uint64_t seed) {
+  FlowWorld world(params, seed);
+  for (int i = 0; i < params.num_clients; ++i) {
+    world.engine.Spawn(EagerClient(world));
+  }
+  world.engine.RunUntilIdle();
+  world.result.total_time = world.engine.Now();
+  return world.result;
+}
+
+FlowResult SimulateServerDirected(const FlowParams& params,
+                                  std::uint64_t seed) {
+  FlowWorld world(params, seed);
+  for (int i = 0; i < params.num_clients; ++i) {
+    world.engine.Spawn(DirectedRequest(world));
+  }
+  world.engine.RunUntilIdle();
+  world.result.total_time = world.engine.Now();
+  return world.result;
+}
+
+}  // namespace lwfs::simapps

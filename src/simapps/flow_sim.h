@@ -1,0 +1,54 @@
+// Flow-control ablation (E7): server-directed vs. client-pushed bursts.
+//
+// §2.2/§3.2: a Red Storm I/O node can *receive* ~6 GB/s but drain only
+// 400 MB/s to its RAID, so an uncoordinated burst overruns its buffers;
+// rejected messages must be resent, wasting network bandwidth and client
+// time.  Server-directed transfers queue tiny requests instead and pull
+// data only into available buffer space, so nothing is ever resent.
+#pragma once
+
+#include <cstdint>
+
+#include "simapps/cluster_model.h"
+
+namespace lwfs::simapps {
+
+struct FlowParams {
+  int num_clients = 32;
+  std::uint64_t bytes_per_client = 512ull << 20;
+  std::uint64_t message_bytes = 1ull << 20;  // eager-push message size
+  std::uint64_t request_bytes = 256;         // server-directed request size
+  double link_bw = 6e9;        // I/O-node ingress (Table 2 link bandwidth)
+  double link_latency = 5e-6;  // max MPI latency from Table 2
+  double drain_bw = 400e6;     // I/O node -> RAID (Table 2)
+  std::uint64_t buffer_bytes = 256ull << 20;  // I/O-node buffer pool
+  double retry_delay = 2e-3;   // client backoff before resending
+};
+
+struct FlowResult {
+  double total_time = 0;
+  std::uint64_t goodput_bytes = 0;   // application bytes landed
+  std::uint64_t resends = 0;         // rejected messages resent
+  std::uint64_t wasted_bytes = 0;    // bytes moved over the wire and dropped
+  [[nodiscard]] double goodput_mb_s() const {
+    return total_time > 0 ? static_cast<double>(goodput_bytes) / 1e6 / total_time
+                          : 0;
+  }
+  [[nodiscard]] double wire_overhead() const {
+    return goodput_bytes > 0
+               ? static_cast<double>(wasted_bytes) /
+                     static_cast<double>(goodput_bytes)
+               : 0;
+  }
+};
+
+/// Clients push eagerly; the node rejects messages that do not fit its
+/// buffer and the clients resend after a backoff.
+FlowResult SimulateEagerPush(const FlowParams& params, std::uint64_t seed);
+
+/// Clients enqueue one small request each; the node pulls chunks only into
+/// free buffer space (Figure 6).
+FlowResult SimulateServerDirected(const FlowParams& params,
+                                  std::uint64_t seed);
+
+}  // namespace lwfs::simapps

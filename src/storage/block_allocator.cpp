@@ -1,0 +1,112 @@
+#include "storage/block_allocator.h"
+
+#include <algorithm>
+
+namespace lwfs::storage {
+
+BlockAllocator::BlockAllocator(std::uint64_t total_blocks)
+    : total_blocks_(total_blocks), free_blocks_(total_blocks) {
+  if (total_blocks > 0) free_.emplace(0, total_blocks);
+}
+
+Result<std::vector<Extent>> BlockAllocator::Allocate(std::uint64_t blocks) {
+  if (blocks == 0) return InvalidArgument("zero-block allocation");
+  if (blocks > free_blocks_) return ResourceExhausted("device full");
+  std::vector<Extent> out;
+  std::uint64_t need = blocks;
+  auto it = free_.begin();
+  while (need > 0) {
+    // free_blocks_ >= blocks guarantees we never run off the end.
+    const std::uint64_t take = std::min(need, it->second);
+    out.push_back(Extent{it->first, take});
+    if (take == it->second) {
+      it = free_.erase(it);
+    } else {
+      // Shrink the extent from the front.
+      const std::uint64_t new_start = it->first + take;
+      const std::uint64_t new_len = it->second - take;
+      it = free_.erase(it);
+      it = free_.emplace_hint(it, new_start, new_len);
+      ++it;
+    }
+    need -= take;
+  }
+  free_blocks_ -= blocks;
+  return out;
+}
+
+Result<Extent> BlockAllocator::AllocateContiguous(std::uint64_t blocks) {
+  if (blocks == 0) return InvalidArgument("zero-block allocation");
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= blocks) {
+      Extent e{it->first, blocks};
+      if (it->second == blocks) {
+        free_.erase(it);
+      } else {
+        const std::uint64_t new_start = it->first + blocks;
+        const std::uint64_t new_len = it->second - blocks;
+        free_.erase(it);
+        free_.emplace(new_start, new_len);
+      }
+      free_blocks_ -= blocks;
+      return e;
+    }
+  }
+  return ResourceExhausted("no contiguous run of requested size");
+}
+
+Status BlockAllocator::Free(const Extent& extent) {
+  if (extent.length == 0) return InvalidArgument("zero-length free");
+  if (extent.start + extent.length > total_blocks_) {
+    return OutOfRange("extent beyond device");
+  }
+  // Find the free extent at or after the one being returned and check for
+  // overlap with both neighbours.
+  auto next = free_.lower_bound(extent.start);
+  if (next != free_.end() && next->first < extent.start + extent.length) {
+    return InvalidArgument("double free (overlaps following free extent)");
+  }
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > extent.start) {
+      return InvalidArgument("double free (overlaps preceding free extent)");
+    }
+  }
+
+  std::uint64_t start = extent.start;
+  std::uint64_t length = extent.length;
+  // Coalesce with the preceding extent.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      length += prev->second;
+      free_.erase(prev);
+    }
+  }
+  // Coalesce with the following extent.
+  if (next != free_.end() && next->first == extent.start + extent.length) {
+    length += next->second;
+    free_.erase(next);
+  }
+  free_.emplace(start, length);
+  free_blocks_ += extent.length;
+  return OkStatus();
+}
+
+bool BlockAllocator::CheckInvariants() const {
+  std::uint64_t sum = 0;
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [start, len] : free_) {
+    if (len == 0) return false;
+    if (start + len > total_blocks_) return false;
+    if (!first && start <= prev_end) return false;  // overlap or uncoalesced
+    prev_end = start + len;
+    sum += len;
+    first = false;
+  }
+  return sum == free_blocks_ && free_blocks_ <= total_blocks_;
+}
+
+}  // namespace lwfs::storage

@@ -1,0 +1,61 @@
+// Extent-based block allocator.
+//
+// Object-based storage moves block-layout decisions onto the device (§3.3,
+// Figure 7); BlockObjectStore uses this allocator to map object data onto a
+// flat block device.  First-fit over a coalescing free-extent map keeps
+// sequential writes mostly contiguous, which the device model rewards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lwfs::storage {
+
+/// A contiguous run of blocks [start, start + length).
+struct Extent {
+  std::uint64_t start = 0;
+  std::uint64_t length = 0;
+  auto operator<=>(const Extent&) const = default;
+};
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(std::uint64_t total_blocks);
+
+  /// Allocate exactly `blocks` blocks, possibly split across several
+  /// extents when the free space is fragmented.  On failure nothing is
+  /// allocated.
+  Result<std::vector<Extent>> Allocate(std::uint64_t blocks);
+
+  /// Allocate one contiguous extent of exactly `blocks`; fails if no single
+  /// free run is large enough.
+  Result<Extent> AllocateContiguous(std::uint64_t blocks);
+
+  /// Return an extent to the free pool (coalesces with neighbours).
+  /// Freeing blocks that are not currently allocated is an error.
+  Status Free(const Extent& extent);
+
+  [[nodiscard]] std::uint64_t total_blocks() const { return total_blocks_; }
+  [[nodiscard]] std::uint64_t free_blocks() const { return free_blocks_; }
+  [[nodiscard]] std::uint64_t allocated_blocks() const {
+    return total_blocks_ - free_blocks_;
+  }
+  /// Number of free extents (fragmentation indicator).
+  [[nodiscard]] std::size_t free_extent_count() const { return free_.size(); }
+
+  /// Internal-consistency check used by property tests: free extents are
+  /// sorted, non-overlapping, non-adjacent (fully coalesced), in range, and
+  /// sum to free_blocks().
+  [[nodiscard]] bool CheckInvariants() const;
+
+ private:
+  std::uint64_t total_blocks_;
+  std::uint64_t free_blocks_;
+  // start -> length of each free extent.
+  std::map<std::uint64_t, std::uint64_t> free_;
+};
+
+}  // namespace lwfs::storage

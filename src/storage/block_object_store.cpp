@@ -1,0 +1,212 @@
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "storage/object_store.h"
+
+namespace lwfs::storage {
+
+BlockObjectStore::BlockObjectStore(std::uint64_t total_blocks,
+                                   std::uint32_t block_size)
+    : block_size_(block_size),
+      allocator_(total_blocks),
+      device_(total_blocks * block_size, 0) {}
+
+Result<ObjectId> BlockObjectStore::Create(ContainerId cid) {
+  if (cid == kInvalidContainer) return InvalidArgument("invalid container");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId oid{next_id_++};
+  objects_.emplace(oid, Object{cid, 0, 0, {}});
+  return oid;
+}
+
+Status BlockObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
+  if (cid == kInvalidContainer) return InvalidArgument("invalid container");
+  if (oid == kInvalidObject) return InvalidArgument("invalid object id");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.contains(oid)) return AlreadyExists("object exists");
+  next_id_ = std::max(next_id_, oid.value + 1);
+  objects_.emplace(oid, Object{cid, 0, 0, {}});
+  return OkStatus();
+}
+
+Status BlockObjectStore::Remove(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  for (const Extent& e : it->second.extents) {
+    LWFS_RETURN_IF_ERROR(allocator_.Free(e));
+  }
+  objects_.erase(it);
+  return OkStatus();
+}
+
+std::optional<std::uint64_t> BlockObjectStore::PhysicalOffsetLocked(
+    const Object& obj, std::uint64_t lbn) const {
+  std::uint64_t skip = lbn;
+  for (const Extent& e : obj.extents) {
+    if (skip < e.length) return (e.start + skip) * block_size_;
+    skip -= e.length;
+  }
+  return std::nullopt;
+}
+
+Status BlockObjectStore::EnsureBlocksLocked(Object& obj, std::uint64_t size) {
+  const std::uint64_t need_blocks = (size + block_size_ - 1) / block_size_;
+  std::uint64_t have_blocks = 0;
+  for (const Extent& e : obj.extents) have_blocks += e.length;
+  if (have_blocks >= need_blocks) return OkStatus();
+  auto grown = allocator_.Allocate(need_blocks - have_blocks);
+  if (!grown.ok()) return grown.status();
+  for (Extent& e : *grown) {
+    // Freshly allocated blocks must read as zero (they may hold stale data
+    // from a removed object).
+    std::memset(device_.data() + e.start * block_size_, 0,
+                e.length * block_size_);
+    obj.extents.push_back(e);
+  }
+  return OkStatus();
+}
+
+Status BlockObjectStore::Write(ObjectId oid, std::uint64_t offset,
+                               ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  Object& obj = it->second;
+  const std::uint64_t end = offset + data.size();
+  LWFS_RETURN_IF_ERROR(EnsureBlocksLocked(obj, std::max(end, obj.size)));
+  // Copy block by block through the logical->physical map.
+  std::uint64_t pos = offset;
+  std::size_t copied = 0;
+  while (copied < data.size()) {
+    const std::uint64_t lbn = pos / block_size_;
+    const std::uint64_t in_block = pos % block_size_;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(block_size_ - in_block, data.size() - copied);
+    auto phys = PhysicalOffsetLocked(obj, lbn);
+    if (!phys) return Internal("missing block after allocation");
+    std::memcpy(device_.data() + *phys + in_block, data.data() + copied,
+                chunk);
+    pos += chunk;
+    copied += chunk;
+  }
+  obj.size = std::max(obj.size, end);
+  ++obj.version;
+  return OkStatus();
+}
+
+Result<Buffer> BlockObjectStore::Read(ObjectId oid, std::uint64_t offset,
+                                      std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  const Object& obj = it->second;
+  if (offset >= obj.size) return Buffer{};
+  const std::uint64_t n = std::min(length, obj.size - offset);
+  Buffer out(n, 0);
+  std::uint64_t pos = offset;
+  std::uint64_t copied = 0;
+  while (copied < n) {
+    const std::uint64_t lbn = pos / block_size_;
+    const std::uint64_t in_block = pos % block_size_;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(block_size_ - in_block, n - copied);
+    auto phys = PhysicalOffsetLocked(obj, lbn);
+    if (phys) {
+      std::memcpy(out.data() + copied, device_.data() + *phys + in_block,
+                  chunk);
+    }  // else: hole, stays zero
+    pos += chunk;
+    copied += chunk;
+  }
+  return out;
+}
+
+Status BlockObjectStore::Truncate(ObjectId oid, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  Object& obj = it->second;
+  if (size > obj.size) {
+    LWFS_RETURN_IF_ERROR(EnsureBlocksLocked(obj, size));
+  } else {
+    // Release whole blocks past the new end.
+    const std::uint64_t keep_blocks = (size + block_size_ - 1) / block_size_;
+    std::uint64_t have = 0;
+    std::vector<Extent> kept;
+    for (const Extent& e : obj.extents) {
+      if (have >= keep_blocks) {
+        LWFS_RETURN_IF_ERROR(allocator_.Free(e));
+      } else if (have + e.length <= keep_blocks) {
+        kept.push_back(e);
+      } else {
+        const std::uint64_t keep_here = keep_blocks - have;
+        kept.push_back(Extent{e.start, keep_here});
+        LWFS_RETURN_IF_ERROR(
+            allocator_.Free(Extent{e.start + keep_here, e.length - keep_here}));
+      }
+      have += e.length;
+    }
+    obj.extents = std::move(kept);
+    // Zero the tail of the final partial block so a later grow reads zeros.
+    if (size % block_size_ != 0) {
+      auto phys = PhysicalOffsetLocked(obj, size / block_size_);
+      if (phys) {
+        std::memset(device_.data() + *phys + size % block_size_, 0,
+                    block_size_ - size % block_size_);
+      }
+    }
+  }
+  obj.size = size;
+  ++obj.version;
+  return OkStatus();
+}
+
+Result<ObjAttr> BlockObjectStore::GetAttr(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  return ObjAttr{it->second.cid, it->second.size, it->second.version};
+}
+
+Result<std::vector<ObjectId>> BlockObjectStore::List(ContainerId cid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  for (const auto& [oid, obj] : objects_) {
+    if (obj.cid == cid) out.push_back(oid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t BlockObjectStore::ObjectCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+std::uint64_t BlockObjectStore::FreeBlocks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocator_.free_blocks();
+}
+
+bool BlockObjectStore::CheckInvariants() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!allocator_.CheckInvariants()) return false;
+  // No physical block may belong to two objects.
+  std::vector<Extent> all;
+  for (const auto& [oid, obj] : objects_) {
+    all.insert(all.end(), obj.extents.begin(), obj.extents.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::uint64_t used = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    used += all[i].length;
+    if (i > 0 && all[i - 1].start + all[i - 1].length > all[i].start) {
+      return false;
+    }
+  }
+  return used == allocator_.allocated_blocks();
+}
+
+}  // namespace lwfs::storage

@@ -1,0 +1,52 @@
+// Strongly-typed identifiers for the object-storage layer.
+//
+// Every object belongs to exactly one container; containers are the unit of
+// access control in LWFS (§3.1.1).  Strong typedefs keep the two id spaces
+// from being mixed up at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace lwfs::storage {
+
+struct ContainerId {
+  std::uint64_t value = 0;
+  auto operator<=>(const ContainerId&) const = default;
+};
+
+struct ObjectId {
+  std::uint64_t value = 0;
+  auto operator<=>(const ObjectId&) const = default;
+};
+
+inline constexpr ContainerId kInvalidContainer{0};
+inline constexpr ObjectId kInvalidObject{0};
+
+/// Fully-qualified object reference as carried in RPCs and naming entries:
+/// the container pins the access-control domain, the server id pins the
+/// placement, the object id pins the data.
+struct ObjectRef {
+  ContainerId cid;
+  std::uint32_t server_index = 0;  // which storage server holds the object
+  ObjectId oid;
+  auto operator<=>(const ObjectRef&) const = default;
+};
+
+}  // namespace lwfs::storage
+
+namespace std {
+template <>
+struct hash<lwfs::storage::ContainerId> {
+  size_t operator()(const lwfs::storage::ContainerId& c) const noexcept {
+    return std::hash<std::uint64_t>{}(c.value);
+  }
+};
+template <>
+struct hash<lwfs::storage::ObjectId> {
+  size_t operator()(const lwfs::storage::ObjectId& o) const noexcept {
+    return std::hash<std::uint64_t>{}(o.value ^ 0x9E3779B97F4A7C15ULL);
+  }
+};
+}  // namespace std

@@ -1,0 +1,87 @@
+#include <algorithm>
+#include <cstring>
+
+#include "storage/object_store.h"
+
+namespace lwfs::storage {
+
+Result<ObjectId> MemObjectStore::Create(ContainerId cid) {
+  if (cid == kInvalidContainer) return InvalidArgument("invalid container");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId oid{next_id_++};
+  objects_.emplace(oid, Object{cid, {}, 0});
+  return oid;
+}
+
+Status MemObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
+  if (cid == kInvalidContainer) return InvalidArgument("invalid container");
+  if (oid == kInvalidObject) return InvalidArgument("invalid object id");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.contains(oid)) return AlreadyExists("object exists");
+  next_id_ = std::max(next_id_, oid.value + 1);
+  objects_.emplace(oid, Object{cid, {}, 0});
+  return OkStatus();
+}
+
+Status MemObjectStore::Remove(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.erase(oid) != 0 ? OkStatus() : NotFound("no such object");
+}
+
+Status MemObjectStore::Write(ObjectId oid, std::uint64_t offset,
+                             ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  Object& obj = it->second;
+  const std::uint64_t end = offset + data.size();
+  if (obj.data.size() < end) obj.data.resize(end, 0);
+  if (!data.empty()) std::memcpy(obj.data.data() + offset, data.data(), data.size());
+  ++obj.version;
+  return OkStatus();
+}
+
+Result<Buffer> MemObjectStore::Read(ObjectId oid, std::uint64_t offset,
+                                    std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  const Buffer& data = it->second.data;
+  if (offset >= data.size()) return Buffer{};
+  const std::uint64_t n = std::min<std::uint64_t>(length, data.size() - offset);
+  return Buffer(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                data.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+Status MemObjectStore::Truncate(ObjectId oid, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  it->second.data.resize(size, 0);
+  ++it->second.version;
+  return OkStatus();
+}
+
+Result<ObjAttr> MemObjectStore::GetAttr(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  return ObjAttr{it->second.cid, it->second.data.size(), it->second.version};
+}
+
+Result<std::vector<ObjectId>> MemObjectStore::List(ContainerId cid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  for (const auto& [oid, obj] : objects_) {
+    if (obj.cid == cid) out.push_back(oid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t MemObjectStore::ObjectCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+}  // namespace lwfs::storage

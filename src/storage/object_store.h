@@ -1,0 +1,186 @@
+// Object store: the mechanism half of an object-based storage device.
+//
+// The store knows nothing about users or policy — authorization is enforced
+// one layer up by the LWFS storage *server* (src/core/storage_server.h),
+// which checks capabilities before touching the store.  This split is the
+// "policy decisions vs. policy enforcement" separation of Figure 7.
+//
+// Three backends:
+//  * MemObjectStore    — flat buffers in memory (tests, benches).
+//  * BlockObjectStore  — objects mapped onto a flat block device through
+//                        BlockAllocator; block-layout decisions live here,
+//                        exactly where §3.3 says an OBD makes them.
+//  * FileObjectStore   — one file per object under a directory; durable
+//                        across process restarts (checkpoint/restart demo).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block_allocator.h"
+#include "storage/ids.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lwfs::storage {
+
+/// Per-object attributes.
+struct ObjAttr {
+  ContainerId cid;
+  std::uint64_t size = 0;     // highest byte written + 1
+  std::uint64_t version = 0;  // bumped on every write/truncate
+};
+
+/// Abstract object store.  All implementations are thread-safe.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Create an empty object in `cid`; the store assigns the id.
+  virtual Result<ObjectId> Create(ContainerId cid) = 0;
+
+  /// Create an object with a caller-chosen id (used on recovery replay).
+  virtual Status CreateWithId(ContainerId cid, ObjectId oid) = 0;
+
+  /// Remove an object and release its storage.
+  virtual Status Remove(ObjectId oid) = 0;
+
+  /// Write `data` at `offset`, extending the object as needed.
+  virtual Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) = 0;
+
+  /// Read up to `length` bytes from `offset`.  Reads beyond EOF return a
+  /// short (possibly empty) buffer; holes read as zero.
+  virtual Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
+                              std::uint64_t length) = 0;
+
+  /// Truncate the object to `size` bytes (grow fills with zeros).
+  virtual Status Truncate(ObjectId oid, std::uint64_t size) = 0;
+
+  virtual Result<ObjAttr> GetAttr(ObjectId oid) = 0;
+
+  /// Ids of all live objects in a container (unspecified order).
+  virtual Result<std::vector<ObjectId>> List(ContainerId cid) = 0;
+
+  /// Flush to stable storage where the backend supports it.
+  virtual Status Sync() { return OkStatus(); }
+
+  /// Number of live objects (all containers).
+  virtual std::uint64_t ObjectCount() = 0;
+};
+
+/// In-memory store: each object is a contiguous grow-on-write buffer.
+class MemObjectStore final : public ObjectStore {
+ public:
+  MemObjectStore() = default;
+
+  Result<ObjectId> Create(ContainerId cid) override;
+  Status CreateWithId(ContainerId cid, ObjectId oid) override;
+  Status Remove(ObjectId oid) override;
+  Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) override;
+  Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
+                      std::uint64_t length) override;
+  Status Truncate(ObjectId oid, std::uint64_t size) override;
+  Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  std::uint64_t ObjectCount() override;
+
+ private:
+  struct Object {
+    ContainerId cid;
+    Buffer data;
+    std::uint64_t version = 0;
+  };
+
+  std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<ObjectId, Object> objects_;
+};
+
+/// Block-device-backed store: object bytes live in fixed-size blocks
+/// allocated from a flat device image; each object keeps an ordered extent
+/// list.  Demonstrates device-side block-layout decisions.
+class BlockObjectStore final : public ObjectStore {
+ public:
+  /// Device of `total_blocks` blocks of `block_size` bytes each.
+  BlockObjectStore(std::uint64_t total_blocks, std::uint32_t block_size);
+
+  Result<ObjectId> Create(ContainerId cid) override;
+  Status CreateWithId(ContainerId cid, ObjectId oid) override;
+  Status Remove(ObjectId oid) override;
+  Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) override;
+  Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
+                      std::uint64_t length) override;
+  Status Truncate(ObjectId oid, std::uint64_t size) override;
+  Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  std::uint64_t ObjectCount() override;
+
+  [[nodiscard]] std::uint32_t block_size() const { return block_size_; }
+  /// Free blocks remaining on the device.
+  [[nodiscard]] std::uint64_t FreeBlocks();
+  /// Allocator invariants hold and no block belongs to two objects.
+  [[nodiscard]] bool CheckInvariants();
+
+ private:
+  struct Object {
+    ContainerId cid;
+    std::uint64_t size = 0;
+    std::uint64_t version = 0;
+    std::vector<Extent> extents;  // logical block i -> physical via walk
+  };
+
+  /// Physical byte address of logical block `lbn` of `obj`, or nullopt if
+  /// the block is not allocated (hole).
+  std::optional<std::uint64_t> PhysicalOffsetLocked(const Object& obj,
+                                                    std::uint64_t lbn) const;
+  /// Ensure the object has blocks covering logical bytes [0, size).
+  Status EnsureBlocksLocked(Object& obj, std::uint64_t size);
+
+  std::mutex mutex_;
+  const std::uint32_t block_size_;
+  BlockAllocator allocator_;
+  Buffer device_;  // the flat device image
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<ObjectId, Object> objects_;
+};
+
+/// Directory-backed store: object <oid>.obj holds data, <oid>.meta holds
+/// attributes.  Survives process restart; Sync() is a real fsync-like flush.
+class FileObjectStore final : public ObjectStore {
+ public:
+  /// Opens (and on first use creates) the store rooted at `directory`.
+  /// Existing objects are picked up from disk.
+  static Result<std::unique_ptr<FileObjectStore>> Open(
+      const std::string& directory);
+
+  Result<ObjectId> Create(ContainerId cid) override;
+  Status CreateWithId(ContainerId cid, ObjectId oid) override;
+  Status Remove(ObjectId oid) override;
+  Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) override;
+  Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
+                      std::uint64_t length) override;
+  Status Truncate(ObjectId oid, std::uint64_t size) override;
+  Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  Status Sync() override;
+  std::uint64_t ObjectCount() override;
+
+ private:
+  explicit FileObjectStore(std::string directory);
+  Status LoadExisting();
+  [[nodiscard]] std::string DataPath(ObjectId oid) const;
+  [[nodiscard]] std::string MetaPath(ObjectId oid) const;
+  Status WriteMetaLocked(ObjectId oid, const ObjAttr& attr);
+
+  std::mutex mutex_;
+  std::string dir_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<ObjectId, ObjAttr> attrs_;
+};
+
+}  // namespace lwfs::storage

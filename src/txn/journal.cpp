@@ -1,0 +1,103 @@
+#include "txn/journal.h"
+
+#include <map>
+
+namespace lwfs::txn {
+
+Result<Journal> Journal::Create(storage::ObjectStore* store,
+                                storage::ContainerId cid) {
+  auto oid = store->Create(cid);
+  if (!oid.ok()) return oid.status();
+  return Journal(store, *oid);
+}
+
+Status Journal::Append(const JournalRecord& record) {
+  Encoder enc;
+  enc.PutU32(static_cast<std::uint32_t>(record.type));
+  enc.PutU64(record.txid);
+  enc.PutBytes(ByteSpan(record.payload));
+  auto attr = store_->GetAttr(oid_);
+  if (!attr.ok()) return attr.status();
+  return store_->Write(oid_, attr->size, ByteSpan(enc.buffer()));
+}
+
+Result<std::vector<JournalRecord>> Journal::ReadAll() const {
+  auto attr = store_->GetAttr(oid_);
+  if (!attr.ok()) return attr.status();
+  auto raw = store_->Read(oid_, 0, attr->size);
+  if (!raw.ok()) return raw.status();
+  Decoder dec(*raw);
+  std::vector<JournalRecord> records;
+  while (!dec.exhausted()) {
+    auto type = dec.GetU32();
+    auto txid = dec.GetU64();
+    auto payload = dec.GetBytes();
+    if (!type.ok() || !txid.ok() || !payload.ok()) {
+      break;  // torn tail record from a crash mid-append: ignore
+    }
+    if (*type < static_cast<std::uint32_t>(RecordType::kBegin) ||
+        *type > static_cast<std::uint32_t>(RecordType::kEnd)) {
+      return DataLoss("corrupt journal record type");
+    }
+    records.push_back(JournalRecord{static_cast<RecordType>(*type), *txid,
+                                    std::move(*payload)});
+  }
+  return records;
+}
+
+Result<TxnOutcome> Journal::Outcome(TxnId txid) const {
+  auto records = ReadAll();
+  if (!records.ok()) return records.status();
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+  for (const JournalRecord& r : *records) {
+    if (r.txid != txid) continue;
+    switch (r.type) {
+      case RecordType::kBegin:
+        if (outcome == TxnOutcome::kUnknown) outcome = TxnOutcome::kInDoubt;
+        break;
+      case RecordType::kPrepared:
+        break;  // informational
+      case RecordType::kCommit:
+        outcome = TxnOutcome::kCommitted;
+        break;
+      case RecordType::kAbort:
+        outcome = TxnOutcome::kAborted;
+        break;
+      case RecordType::kEnd:
+        outcome = TxnOutcome::kFinished;
+        break;
+    }
+  }
+  return outcome;
+}
+
+Result<std::vector<TxnId>> Journal::Unfinished() const {
+  auto records = ReadAll();
+  if (!records.ok()) return records.status();
+  std::map<TxnId, TxnOutcome> state;
+  for (const JournalRecord& r : *records) {
+    switch (r.type) {
+      case RecordType::kBegin:
+        state.emplace(r.txid, TxnOutcome::kInDoubt);
+        break;
+      case RecordType::kPrepared:
+        break;
+      case RecordType::kCommit:
+        state[r.txid] = TxnOutcome::kCommitted;
+        break;
+      case RecordType::kAbort:
+        state[r.txid] = TxnOutcome::kAborted;
+        break;
+      case RecordType::kEnd:
+        state[r.txid] = TxnOutcome::kFinished;
+        break;
+    }
+  }
+  std::vector<TxnId> out;
+  for (const auto& [txid, outcome] : state) {
+    if (outcome != TxnOutcome::kFinished) out.push_back(txid);
+  }
+  return out;
+}
+
+}  // namespace lwfs::txn

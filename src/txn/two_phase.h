@@ -1,0 +1,124 @@
+// Two-phase commit (§3.4).
+//
+// "A two-phase commit protocol (part of the LWFS API) helps the client
+// preserve the atomicity property because it requires all participating
+// servers to agree on the final state of the system before changes become
+// permanent."  The *client* coordinates: it drives prepare/commit/abort
+// against the participating servers and journals each decision so that a
+// recovery pass can finish interrupted transactions.
+//
+// Participant contract: Commit/Abort must be idempotent and must succeed
+// for unknown transaction ids (recovery may re-deliver decisions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/journal.h"
+#include "util/status.h"
+
+namespace lwfs::txn {
+
+class Participant {
+ public:
+  virtual ~Participant() = default;
+  /// Phase 1: vote.  True = yes (the participant guarantees Commit will
+  /// succeed), false = no.
+  virtual Result<bool> Prepare(TxnId txid) = 0;
+  /// Phase 2 decisions.  Idempotent; unknown txid is success.
+  virtual Status Commit(TxnId txid) = 0;
+  virtual Status Abort(TxnId txid) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Reusable participant: services register per-transaction apply actions
+/// (run at commit) and compensation actions (run at abort, for effects the
+/// service chose to apply eagerly).  Used by the storage and naming
+/// servers.
+class StagedParticipant : public Participant {
+ public:
+  explicit StagedParticipant(std::string name) : name_(std::move(name)) {}
+
+  /// Make `txid` known (idempotent).  Services call this on the first
+  /// operation they see for a transaction.
+  void Join(TxnId txid);
+
+  /// Defer `apply` until the commit decision.
+  void StageApply(TxnId txid, std::function<Status()> apply);
+
+  /// Register compensation for an eagerly-applied effect; runs on abort in
+  /// reverse registration order.
+  void AddUndo(TxnId txid, std::function<void()> undo);
+
+  /// Force the next Prepare(txid) vote to "no" (fault injection).
+  void FailNextPrepare(TxnId txid);
+
+  Result<bool> Prepare(TxnId txid) override;
+  Status Commit(TxnId txid) override;
+  Status Abort(TxnId txid) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::size_t open_txns() const;
+
+ private:
+  struct TxnState {
+    bool prepared = false;
+    bool fail_prepare = false;
+    std::vector<std::function<Status()>> applies;
+    std::vector<std::function<void()>> undos;
+  };
+
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::unordered_map<TxnId, TxnState> txns_;
+};
+
+/// Coordinator crash points for failure-injection tests: Commit() abandons
+/// the protocol at the given point, as if the client process died.
+enum class CrashPoint {
+  kNone,
+  kAfterPrepare,       // all yes-votes collected, decision not journaled
+  kAfterCommitRecord,  // decision journaled, participants not yet told
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(Journal* journal) : journal_(journal) {}
+
+  /// Start a transaction over `participants`.  Journals BEGIN.
+  Result<TxnId> Begin(std::vector<Participant*> participants);
+
+  /// Run the full two-phase protocol.  Any "no" vote or prepare failure
+  /// aborts; returns kAborted in that case.
+  Status Commit(TxnId txid);
+
+  /// Abort explicitly.
+  Status Abort(TxnId txid);
+
+  void SetCrashPoint(CrashPoint point) { crash_point_ = point; }
+
+  /// Finish interrupted transactions found in `journal`: committed ones are
+  /// re-committed, in-doubt ones aborted (presumed abort).  `registry` maps
+  /// participant name -> live participant.
+  static Status Recover(
+      Journal* journal,
+      const std::map<std::string, Participant*>& registry);
+
+ private:
+  Status Decide(TxnId txid, bool commit,
+                const std::vector<Participant*>& participants);
+
+  Journal* journal_;
+  CrashPoint crash_point_ = CrashPoint::kNone;
+  std::mutex mutex_;
+  std::uint64_t next_txid_ = 1;
+  std::unordered_map<TxnId, std::vector<Participant*>> active_;
+};
+
+}  // namespace lwfs::txn

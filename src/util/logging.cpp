@@ -1,0 +1,35 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace lwfs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const std::string& text) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[lwfs:%s] %s\n", LevelTag(level), text.c_str());
+}
+
+}  // namespace internal
+}  // namespace lwfs

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// Services log at most a handful of lines per run at the default level
+// (kWarn), so logging never perturbs benchmark timing.  Thread-safe: each
+// statement formats into a local buffer and issues a single atomic write.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace lwfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded before formatting.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const std::string& text);
+
+/// RAII line builder: collects `<<` pieces, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLogLine(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lwfs
+
+// Level check happens before any formatting work.
+#define LWFS_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::lwfs::GetLogLevel())) {} \
+  else ::lwfs::internal::LogLine(level)
+
+#define LWFS_DEBUG LWFS_LOG(::lwfs::LogLevel::kDebug)
+#define LWFS_INFO LWFS_LOG(::lwfs::LogLevel::kInfo)
+#define LWFS_WARN LWFS_LOG(::lwfs::LogLevel::kWarn)
+#define LWFS_ERROR LWFS_LOG(::lwfs::LogLevel::kError)

@@ -1,0 +1,34 @@
+#include "util/machines.h"
+
+#include <array>
+
+namespace lwfs {
+namespace {
+
+constexpr std::array<MachineInventory, 4> kTable1 = {{
+    {"SNL Intel Paragon", 1990, 1840, 32},
+    {"ASCI Red", 1990, 4510, 73},
+    {"Cray Red Storm", 2004, 10'368, 256},
+    {"BlueGene/L", 2005, 65'536, 1024},
+}};
+
+}  // namespace
+
+std::span<const MachineInventory> Table1Machines() { return kTable1; }
+
+const RedStormSpec& RedStorm() {
+  static const RedStormSpec spec;
+  return spec;
+}
+
+const DevClusterSpec& DevCluster() {
+  static const DevClusterSpec spec;
+  return spec;
+}
+
+const PetaflopSpec& Petaflop() {
+  static const PetaflopSpec spec;
+  return spec;
+}
+
+}  // namespace lwfs

@@ -1,0 +1,79 @@
+// Machine descriptions from the paper.
+//
+// Table 1 lists compute/I-O node counts for four DOE MPPs; Table 2 gives the
+// Red Storm interconnect and I/O envelope; §4 describes the Sandia
+// I/O-development cluster the experiments ran on.  These records drive the
+// simulator calibration and the Table 1/Table 2 reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lwfs {
+
+/// One row of Table 1.
+struct MachineInventory {
+  std::string_view name;
+  int year;  // as given in the table ("1990s" rows use the decade start)
+  std::uint64_t compute_nodes;
+  std::uint64_t io_nodes;
+
+  [[nodiscard]] double Ratio() const {
+    return static_cast<double>(compute_nodes) / static_cast<double>(io_nodes);
+  }
+};
+
+/// The four machines of Table 1, in table order.
+std::span<const MachineInventory> Table1Machines();
+
+/// Table 2: Red Storm communication and I/O performance.
+struct RedStormSpec {
+  // I/O performance.
+  int io_mesh_rows = 8;          // I/O node topology (per end): 8x16 mesh
+  int io_mesh_cols = 16;
+  double aggregate_io_bw = 50e9;  // bytes/sec per end
+  double io_node_raid_bw = 400e6; // bytes/sec, I/O node to RAID
+
+  // Interconnect performance.
+  double mpi_latency_1hop = 2.0e-6;   // seconds
+  double mpi_latency_max = 5.0e-6;    // seconds
+  double link_bw = 6.0e9;             // bytes/sec, bi-directional link
+  double bisection_bw = 2.3e12;       // bytes/sec, minimum bi-section
+};
+
+const RedStormSpec& RedStorm();
+
+/// The Sandia I/O-development cluster of §4 (the testbed for Figures 9-10).
+struct DevClusterSpec {
+  int total_nodes = 40;       // 2-way SMP 2.0 GHz Opterons
+  int metadata_nodes = 1;     // metadata/authorization server
+  int storage_nodes = 8;      // each hosting 2 OSTs / 2 LWFS servers
+  int servers_per_storage_node = 2;
+  int compute_nodes = 31;     // larger runs host multiple clients per node
+  std::uint64_t bytes_per_client = 512ull << 20;  // 512 MB dumped per client
+
+  // Calibrated model constants (chosen so the simulated cluster reproduces
+  // the absolute scale of Figures 9-10; see EXPERIMENTS.md for the fit).
+  double nic_bw = 245e6;          // Myrinet-2000 effective per-node bytes/sec
+  double nic_latency = 8e-6;      // seconds, one-way small message
+  double server_disk_bw = 95e6;   // effective per-server RAID share, bytes/sec
+  double disk_op_overhead = 0.25e-3;  // seconds per storage op (object create etc.)
+  double mds_create_time = 1.45e-3;   // seconds of MDS service per file create
+  double mds_open_time = 0.6e-3;      // seconds of MDS service per open/lookup
+  double lock_service_time = 0.25e-3; // seconds per extent-lock grant (shared file)
+  double client_overhead = 30e-6;     // client-side per-request software overhead
+  double shared_file_efficiency = 0.5;  // consistency tax measured by the paper
+};
+
+const DevClusterSpec& DevCluster();
+
+/// The theoretical petaflop machine from the §4 extrapolation.
+struct PetaflopSpec {
+  std::uint64_t compute_nodes = 100'000;
+  std::uint64_t io_nodes = 2'000;
+};
+
+const PetaflopSpec& Petaflop();
+
+}  // namespace lwfs

@@ -1,0 +1,9 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace lwfs {
+
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace lwfs

@@ -1,0 +1,58 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Everything stochastic in the repository (workload generation, simulator
+// jitter, security nonces in the mock authenticator) derives from SplitMix64
+// so experiments replay bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lwfs {
+
+/// SplitMix64: tiny, fast, and good enough for workload generation.  Not a
+/// cryptographic generator; the security module layers an HMAC on top for
+/// unforgeable tokens.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    // Multiply-shift reduction; bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times for bursty I/O workloads).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    // -mean * ln(u); ln via std would pull <cmath>; keep it here.
+    return -mean * Log(u);
+  }
+
+  /// Derive an independent stream (for per-client generators).
+  Rng Split() { return Rng(NextU64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+ private:
+  static double Log(double x);
+
+  std::uint64_t state_;
+};
+
+}  // namespace lwfs

@@ -1,0 +1,68 @@
+// Summary statistics used by the benchmark harnesses.
+//
+// The paper reports "the average and standard deviation over a minimum of 5
+// trials"; RunningStats provides exactly that (Welford's algorithm), and
+// Percentiles supports latency-distribution reporting for the ablations.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lwfs {
+
+/// Single-pass mean/variance accumulator (Welford).  Numerically stable; no
+/// storage of samples.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples and answers percentile queries.  Suitable for the bench
+/// harness sample counts (thousands), not for unbounded telemetry.
+class Percentiles {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// p in [0,100].  Nearest-rank on the sorted samples; returns 0 when empty.
+  [[nodiscard]] double Get(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace lwfs

@@ -1,0 +1,194 @@
+// Error model for the LWFS reproduction.
+//
+// All fallible public APIs return `Status` (no payload) or `Result<T>`
+// (payload or error).  Exceptions are reserved for programming errors
+// (precondition violations) and are never used for I/O-path control flow,
+// which keeps the hot path allocation-free on success.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace lwfs {
+
+/// Canonical error codes, shared by every service in the system.  The set is
+/// deliberately small: services map their domain failures onto these so that
+/// clients can write uniform retry/abort logic.
+enum class ErrorCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // authorization failure (bad/revoked capability)
+  kUnauthenticated,    // authentication failure (bad/expired credential)
+  kResourceExhausted,  // buffers full, quota exceeded
+  kFailedPrecondition, // e.g. transaction not in prepared state
+  kAborted,            // transaction aborted
+  kOutOfRange,         // read/write beyond object extent rules
+  kUnavailable,        // server unreachable / shut down
+  kTimeout,
+  kDataLoss,           // journal/object corruption detected
+  kInternal,
+};
+
+/// Human-readable name for an error code (stable, used in logs and tests).
+constexpr std::string_view ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A status is an error code plus an optional context message.  `Status` is
+/// cheap to copy on the OK path (empty string).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string s{ErrorCodeName(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return {ErrorCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFound(std::string m) {
+  return {ErrorCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExists(std::string m) {
+  return {ErrorCode::kAlreadyExists, std::move(m)};
+}
+inline Status PermissionDenied(std::string m) {
+  return {ErrorCode::kPermissionDenied, std::move(m)};
+}
+inline Status Unauthenticated(std::string m) {
+  return {ErrorCode::kUnauthenticated, std::move(m)};
+}
+inline Status ResourceExhausted(std::string m) {
+  return {ErrorCode::kResourceExhausted, std::move(m)};
+}
+inline Status FailedPrecondition(std::string m) {
+  return {ErrorCode::kFailedPrecondition, std::move(m)};
+}
+inline Status Aborted(std::string m) {
+  return {ErrorCode::kAborted, std::move(m)};
+}
+inline Status OutOfRange(std::string m) {
+  return {ErrorCode::kOutOfRange, std::move(m)};
+}
+inline Status Unavailable(std::string m) {
+  return {ErrorCode::kUnavailable, std::move(m)};
+}
+inline Status Timeout(std::string m) {
+  return {ErrorCode::kTimeout, std::move(m)};
+}
+inline Status DataLoss(std::string m) {
+  return {ErrorCode::kDataLoss, std::move(m)};
+}
+inline Status Internal(std::string m) {
+  return {ErrorCode::kInternal, std::move(m)};
+}
+
+/// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from values and from error statuses keeps call
+  // sites readable (`return obj;` / `return NotFound("...")`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result built from OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// Value if present, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK status from an expression.  Usage:
+//   LWFS_RETURN_IF_ERROR(DoThing());
+#define LWFS_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::lwfs::Status lwfs_status_ = (expr);            \
+    if (!lwfs_status_.ok()) return lwfs_status_;     \
+  } while (0)
+
+// Assign the value of a Result or propagate its error.  Usage:
+//   LWFS_ASSIGN_OR_RETURN(auto obj, CreateObject(...));
+#define LWFS_ASSIGN_OR_RETURN(decl, expr)            \
+  decl = ({                                          \
+    auto lwfs_result_ = (expr);                      \
+    if (!lwfs_result_.ok()) return lwfs_result_.status(); \
+    std::move(lwfs_result_).value();                 \
+  })
+
+}  // namespace lwfs

@@ -1,0 +1,128 @@
+// Bounded, blocking multi-producer/multi-consumer queue.
+//
+// This is the delivery mechanism of the in-process Portals fabric and of
+// every service request queue.  A bounded capacity matters: the paper's
+// argument for server-directed I/O rests on I/O-node buffers being finite,
+// and `TryPush` models the "reject when full" behaviour of an overloaded
+// I/O node (§3.2).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lwfs {
+
+template <typename T>
+class SyncQueue {
+ public:
+  /// `capacity == 0` means unbounded.
+  explicit SyncQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  SyncQueue(const SyncQueue&) = delete;
+  SyncQueue& operator=(const SyncQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed).  Returns false if
+  /// the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || HasRoomLocked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed (caller must
+  /// retry — this is the "resend" path of client-pushed I/O).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || !HasRoomLocked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; std::nullopt when closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocking pop with a deadline; nullopt on timeout or when closed and
+  /// empty.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then return
+  /// nullopt.  Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool Closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  [[nodiscard]] bool HasRoomLocked() const {
+    return capacity_ == 0 || items_.size() < capacity_;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lwfs

@@ -1,0 +1,390 @@
+// Integration tests: the full LWFS-core stack (Figure 3) over the portals
+// fabric — authentication, authorization, capability-checked object I/O,
+// caching, immediate revocation, naming, locks, and distributed txns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/runtime.h"
+
+namespace lwfs::core {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void StartRuntime(RuntimeOptions options = {}) {
+    auto rt = ServiceRuntime::Start(options);
+    ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+    runtime_ = std::move(*rt);
+    runtime_->AddUser("alice", "pw-a", 100);
+    runtime_->AddUser("bob", "pw-b", 200);
+    client_ = runtime_->MakeClient();
+  }
+
+  /// Login + container + full cap, the Figure 8 MAIN() prologue.
+  void SetupAliceWorkspace() {
+    auto cred = client_->Login("alice", "pw-a");
+    ASSERT_TRUE(cred.ok()) << cred.status().ToString();
+    cred_ = *cred;
+    auto cid = client_->CreateContainer(cred_);
+    ASSERT_TRUE(cid.ok()) << cid.status().ToString();
+    cid_ = *cid;
+    auto cap = client_->GetCap(cred_, cid_, security::kOpAll);
+    ASSERT_TRUE(cap.ok()) << cap.status().ToString();
+    cap_ = *cap;
+  }
+
+  std::unique_ptr<ServiceRuntime> runtime_;
+  std::unique_ptr<Client> client_;
+  security::Credential cred_;
+  storage::ContainerId cid_;
+  security::Capability cap_;
+};
+
+TEST_F(CoreTest, LoginOverRpc) {
+  StartRuntime();
+  auto cred = client_->Login("alice", "pw-a");
+  ASSERT_TRUE(cred.ok());
+  EXPECT_EQ(cred->uid, 100u);
+  EXPECT_EQ(client_->Login("alice", "bad").status().code(),
+            ErrorCode::kUnauthenticated);
+}
+
+TEST_F(CoreTest, ObjectCrudRoundTrip) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = PatternBuffer(100000, 9);
+  ASSERT_TRUE(client_->WriteObject(0, cap_, *oid, 0, ByteSpan(data)).ok());
+  auto attr = client_->GetAttr(0, cap_, *oid);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, data.size());
+  EXPECT_EQ(attr->cid, cid_);
+  auto back = client_->ReadObjectAlloc(0, cap_, *oid, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  ASSERT_TRUE(client_->RemoveObject(0, cap_, *oid).ok());
+  EXPECT_EQ(client_->GetAttr(0, cap_, *oid).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, LargeWriteMovesInChunks) {
+  RuntimeOptions options;
+  options.storage.bulk_chunk_bytes = 64 << 10;  // force many pulls
+  StartRuntime(options);
+  SetupAliceWorkspace();
+  auto oid = client_->CreateObject(1, cap_);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = PatternBuffer((1 << 20) + 123, 4);  // not chunk-aligned
+  ASSERT_TRUE(client_->WriteObject(1, cap_, *oid, 0, ByteSpan(data)).ok());
+  auto back = client_->ReadObjectAlloc(1, cap_, *oid, 0, data.size() + 50);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(CoreTest, ObjectsLandOnTheAddressedServer) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  ASSERT_TRUE(client_->CreateObject(0, cap_).ok());
+  ASSERT_TRUE(client_->CreateObject(2, cap_).ok());
+  EXPECT_EQ(runtime_->store(0).ObjectCount(), 1u);
+  EXPECT_EQ(runtime_->store(1).ObjectCount(), 0u);
+  EXPECT_EQ(runtime_->store(2).ObjectCount(), 1u);
+  EXPECT_FALSE(client_->CreateObject(99, cap_).ok());  // no such server
+}
+
+TEST_F(CoreTest, CapabilityOpsAreEnforced) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto read_only = client_->GetCap(cred_, cid_, security::kOpRead);
+  ASSERT_TRUE(read_only.ok());
+  EXPECT_EQ(client_->CreateObject(0, *read_only).status().code(),
+            ErrorCode::kPermissionDenied);
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = {1, 2, 3};
+  EXPECT_EQ(client_->WriteObject(0, *read_only, *oid, 0, ByteSpan(data)).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(client_->ReadObjectAlloc(0, *read_only, *oid, 0, 1).ok());
+}
+
+TEST_F(CoreTest, ForgedCapabilityRejectedOverTheWire) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  security::Capability forged = cap_;
+  forged.cid = storage::ContainerId{cid_.value + 1};  // another container
+  EXPECT_EQ(client_->CreateObject(0, forged).status().code(),
+            ErrorCode::kPermissionDenied);
+  forged = cap_;
+  forged.expires_us += 12345;  // tampered expiry breaks the tag
+  EXPECT_EQ(client_->CreateObject(0, forged).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CoreTest, CrossContainerAccessDenied) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  // A valid capability for a *different* container must not reach alice's
+  // object — and must not even learn it exists.
+  auto other_cid = client_->CreateContainer(cred_);
+  ASSERT_TRUE(other_cid.ok());
+  auto other_cap = client_->GetCap(cred_, *other_cid, security::kOpAll);
+  ASSERT_TRUE(other_cap.ok());
+  EXPECT_EQ(client_->ReadObjectAlloc(0, *other_cap, *oid, 0, 1).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, CapCacheEliminatesRepeatVerifies) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto& server = runtime_->storage_server(0);
+  const std::uint64_t before = server.remote_verifies();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->CreateObject(0, cap_).ok());
+  }
+  // One miss (first use), nine hits (Figure 4-b caching).
+  EXPECT_EQ(server.remote_verifies(), before + 1);
+  EXPECT_GE(server.cap_cache().hits(), 9u);
+}
+
+TEST_F(CoreTest, CapCacheDisabledVerifiesEveryRequest) {
+  RuntimeOptions options;
+  options.storage.verify_mode = VerifyMode::kAuthzEveryRequest;
+  StartRuntime(options);
+  SetupAliceWorkspace();
+  auto& server = runtime_->storage_server(0);
+  const std::uint64_t before = server.remote_verifies();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->CreateObject(0, cap_).ok());
+  }
+  EXPECT_EQ(server.remote_verifies(), before + 10);
+}
+
+TEST_F(CoreTest, ChmodRevokesImmediatelyAcrossTheWire) {
+  StartRuntime();
+  runtime_->AddUser("carol", "pw-c", 300);
+  SetupAliceWorkspace();
+  auto carol_client = runtime_->MakeClient();
+  auto carol = carol_client->Login("carol", "pw-c");
+  ASSERT_TRUE(carol.ok());
+  ASSERT_TRUE(client_->SetGrant(cred_, cid_, 300,
+                                security::kOpRead | security::kOpWrite |
+                                    security::kOpCreate)
+                  .ok());
+  auto write_cap = carol_client->GetCap(*carol, cid_,
+                                        security::kOpWrite | security::kOpCreate);
+  auto read_cap = carol_client->GetCap(*carol, cid_, security::kOpRead);
+  ASSERT_TRUE(write_cap.ok() && read_cap.ok());
+
+  // Warm both caps into server 0's cache.
+  auto oid = carol_client->CreateObject(0, *write_cap);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(carol_client->ReadObjectAlloc(0, *read_cap, *oid, 0, 1).ok());
+
+  // Alice chmods carol to read-only: the server's cached write cap must be
+  // invalidated before SetGrant returns ("immediate revocation", §2.4).
+  ASSERT_TRUE(client_->SetGrant(cred_, cid_, 300, security::kOpRead).ok());
+  Buffer data = {1};
+  EXPECT_EQ(
+      carol_client->WriteObject(0, *write_cap, *oid, 0, ByteSpan(data)).code(),
+      ErrorCode::kPermissionDenied);
+  // Partial revocation: the read capability still works.
+  EXPECT_TRUE(carol_client->ReadObjectAlloc(0, *read_cap, *oid, 0, 1).ok());
+}
+
+TEST_F(CoreTest, RefreshCapOverRpc) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto fresh = client_->RefreshCap(cred_, cap_);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->ops, cap_.ops);
+  EXPECT_TRUE(client_->CreateObject(0, *fresh).ok());
+}
+
+TEST_F(CoreTest, NamingOverRpc) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  ASSERT_TRUE(client_->Mkdir("/ckpt", true).ok());
+  auto oid = client_->CreateObject(1, cap_);
+  ASSERT_TRUE(oid.ok());
+  storage::ObjectRef ref{cid_, 1, *oid};
+  ASSERT_TRUE(client_->LinkName("/ckpt/state", ref).ok());
+  auto back = client_->LookupName("/ckpt/state");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ref);
+  auto entries = client_->ListNames("/ckpt");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "state");
+  ASSERT_TRUE(client_->RenameName("/ckpt/state", "/ckpt/state2").ok());
+  ASSERT_TRUE(client_->UnlinkName("/ckpt/state2").ok());
+  EXPECT_EQ(client_->LookupName("/ckpt/state2").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, LocksOverRpc) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  txn::LockKey key{cid_.value, 1};
+  auto lock = client_->TryLock(key, {0, 100}, txn::LockMode::kExclusive);
+  ASSERT_TRUE(lock.ok());
+  auto second_client = runtime_->MakeClient();
+  EXPECT_EQ(second_client->TryLock(key, {0, 100}, txn::LockMode::kExclusive)
+                .status()
+                .code(),
+            ErrorCode::kResourceExhausted);
+  // Blocking acquire on another thread completes once we release.
+  std::thread other([&] {
+    auto got = second_client->LockBlocking(key, {0, 100},
+                                           txn::LockMode::kExclusive);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(second_client->Unlock(*got).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client_->Unlock(*lock).ok());
+  other.join();
+}
+
+TEST_F(CoreTest, TransactionCommitPublishesName) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  ASSERT_TRUE(client_->Mkdir("/ckpt", true).ok());
+  TxnParticipants participants;
+  participants.storage_servers = {0, 1};
+  participants.naming = true;
+  auto txn = client_->BeginTxn(0, cap_, participants);
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+
+  auto oid = client_->CreateObject(1, cap_, (*txn)->id());
+  ASSERT_TRUE(oid.ok());
+  Buffer data = {1, 2, 3};
+  ASSERT_TRUE(client_->WriteObject(1, cap_, *oid, 0, ByteSpan(data)).ok());
+  ASSERT_TRUE(client_->StageLinkName((*txn)->id(), "/ckpt/run",
+                                     storage::ObjectRef{cid_, 1, *oid})
+                  .ok());
+  EXPECT_EQ(client_->LookupName("/ckpt/run").status().code(),
+            ErrorCode::kNotFound);  // invisible before commit
+  ASSERT_TRUE((*txn)->Commit().ok());
+  auto ref = client_->LookupName("/ckpt/run");
+  ASSERT_TRUE(ref.ok());
+  auto back = client_->ReadObjectAlloc(ref->server_index, cap_, ref->oid, 0, 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  EXPECT_EQ(*(*txn)->journal()->Outcome((*txn)->id()), txn::TxnOutcome::kFinished);
+}
+
+TEST_F(CoreTest, TransactionAbortRollsBackCreates) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  ASSERT_TRUE(client_->Mkdir("/ckpt", true).ok());
+  TxnParticipants participants;
+  participants.storage_servers = {1};
+  participants.naming = true;
+  auto txn = client_->BeginTxn(0, cap_, participants);
+  ASSERT_TRUE(txn.ok());
+  auto oid = client_->CreateObject(1, cap_, (*txn)->id());
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(client_->StageLinkName((*txn)->id(), "/ckpt/run",
+                                     storage::ObjectRef{cid_, 1, *oid})
+                  .ok());
+  const std::uint64_t objects_before = runtime_->store(1).ObjectCount();
+  ASSERT_TRUE((*txn)->Abort().ok());
+  // The created object was compensated away and the name never appeared.
+  EXPECT_EQ(runtime_->store(1).ObjectCount(), objects_before - 1);
+  EXPECT_EQ(client_->LookupName("/ckpt/run").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, RemoveInTransactionIsDeferred) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  TxnParticipants participants;
+  participants.storage_servers = {0};
+  auto txn = client_->BeginTxn(0, cap_, participants);
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(client_->RemoveObject(0, cap_, *oid, (*txn)->id()).ok());
+  EXPECT_TRUE(client_->GetAttr(0, cap_, *oid).ok());  // still there
+  ASSERT_TRUE((*txn)->Commit().ok());
+  EXPECT_EQ(client_->GetAttr(0, cap_, *oid).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CoreTest, BlockBackendWorksEndToEnd) {
+  RuntimeOptions options;
+  options.backend = RuntimeOptions::Backend::kBlock;
+  options.device_blocks = 4096;
+  options.block_size = 4096;
+  StartRuntime(options);
+  SetupAliceWorkspace();
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = PatternBuffer(100000, 2);
+  ASSERT_TRUE(client_->WriteObject(0, cap_, *oid, 0, ByteSpan(data)).ok());
+  auto back = client_->ReadObjectAlloc(0, cap_, *oid, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(CoreTest, ListObjectsSeesOnlyOwnContainer) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto a = client_->CreateObject(0, cap_);
+  auto b = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto other_cid = client_->CreateContainer(cred_);
+  auto other_cap = client_->GetCap(cred_, *other_cid, security::kOpAll);
+  ASSERT_TRUE(other_cap.ok());
+  ASSERT_TRUE(client_->CreateObject(0, *other_cap).ok());
+  auto list = client_->ListObjects(0, cap_);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+}
+
+TEST_F(CoreTest, ConcurrentClientsOnDistinctServers) {
+  RuntimeOptions options;
+  options.storage_servers = 4;
+  StartRuntime(options);
+  SetupAliceWorkspace();
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto c = runtime_->MakeClient();
+      const auto server = static_cast<std::uint32_t>(i % 4);
+      auto oid = c->CreateObject(server, cap_);
+      if (!oid.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Buffer data = PatternBuffer(50000, static_cast<std::uint64_t>(i));
+      if (!c->WriteObject(server, cap_, *oid, 0, ByteSpan(data)).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto back = c->ReadObjectAlloc(server, cap_, *oid, 0, data.size());
+      if (!back.ok() || *back != data) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(CoreTest, RevokedCredentialStopsAuthzOperations) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  ASSERT_TRUE(client_->RevokeCred(cred_.cred_id).ok());
+  EXPECT_EQ(client_->CreateContainer(cred_).status().code(),
+            ErrorCode::kUnauthenticated);
+  EXPECT_EQ(client_->GetCap(cred_, cid_, security::kOpRead).status().code(),
+            ErrorCode::kUnauthenticated);
+}
+
+}  // namespace
+}  // namespace lwfs::core

@@ -1,0 +1,276 @@
+// Tests for LwfsFs — the §6 file system layered above the LWFS-core, in
+// both POSIX and relaxed consistency flavours.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/runtime.h"
+#include "lwfsfs/lwfsfs.h"
+
+namespace lwfs::fs {
+namespace {
+
+class LwfsFsTest : public ::testing::Test {
+ protected:
+  void Mount(FsConsistency consistency = FsConsistency::kPosix,
+             std::uint32_t stripe_size = 4096, int servers = 4) {
+    core::RuntimeOptions options;
+    options.storage_servers = servers;
+    runtime_ = core::ServiceRuntime::Start(options).value();
+    runtime_->AddUser("u", "p", 1);
+    client_ = runtime_->MakeClient();
+    auto cred = client_->Login("u", "p").value();
+    auto cid = client_->CreateContainer(cred).value();
+    cap_ = client_->GetCap(cred, cid, security::kOpAll).value();
+    FsOptions fs_options;
+    fs_options.consistency = consistency;
+    fs_options.stripe_size = stripe_size;
+    auto fs = LwfsFs::Mount(client_.get(), cap_, "/fs", fs_options);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+  }
+
+  std::unique_ptr<core::ServiceRuntime> runtime_;
+  std::unique_ptr<core::Client> client_;
+  security::Capability cap_;
+  std::unique_ptr<LwfsFs> fs_;
+};
+
+TEST_F(LwfsFsTest, CreateOpenRoundTrip) {
+  Mount();
+  auto created = fs_->Create("/data");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->stripes.size(), 4u);
+  auto opened = fs_->Open("/data");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->stripes.size(), created->stripes.size());
+  EXPECT_EQ(opened->stripes[0].oid, created->stripes[0].oid);
+  EXPECT_EQ(fs_->Open("/ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(LwfsFsTest, CreateNeedsNoMetadataServer) {
+  // The whole point of the layer: file creation talks only to storage
+  // servers and the naming service, never to a centralized MDS.
+  Mount();
+  // Warm the capability caches so steady-state counts carry no verify
+  // round trips.
+  ASSERT_TRUE(fs_->Create("/warm").ok());
+  runtime_->fabric().ResetStats();
+  ASSERT_TRUE(fs_->Create("/scalable").ok());
+  // 4 stripe creates + 1 inode create + 1 inode write + 1 name link, each
+  // a small round trip (the inode write adds one bulk get).
+  auto stats = runtime_->fabric().Stats();
+  EXPECT_LE(stats.puts, 2u * 7u);
+}
+
+TEST_F(LwfsFsTest, WriteReadAcrossStripes) {
+  Mount(FsConsistency::kPosix, /*stripe_size=*/512);
+  auto file = fs_->Create("/striped");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  Buffer data = PatternBuffer(10000, 3);
+  ASSERT_TRUE(fs_->Write(*file, 0, ByteSpan(data)).ok());
+  Buffer back(10000, 0);
+  auto n = fs_->Read(*file, 0, MutableByteSpan(back));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 10000u);
+  EXPECT_EQ(back, data);
+  // The stripes really are spread: every server holds a piece.
+  for (int s = 0; s < runtime_->storage_count(); ++s) {
+    auto list = runtime_->store(s).List(cap_.cid);
+    ASSERT_TRUE(list.ok()) << list.status().ToString();
+    std::uint64_t bytes = 0;
+    for (auto oid : *list) {
+      auto attr = runtime_->store(s).GetAttr(oid);
+      ASSERT_TRUE(attr.ok()) << attr.status().ToString();
+      bytes += attr->size;
+    }
+    EXPECT_GT(bytes, 0u) << "server " << s;
+  }
+}
+
+TEST_F(LwfsFsTest, ReadAtEofAndBeyond) {
+  Mount();
+  auto file = fs_->Create("/small").value();
+  ASSERT_TRUE(fs_->Write(file, 0, ByteSpan(Buffer(100, 7))).ok());
+  ASSERT_TRUE(fs_->Flush(file).ok());
+  Buffer out(200, 0xFF);
+  auto n = fs_->Read(file, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100u);  // clamped at EOF
+  auto beyond = fs_->Read(file, 500, MutableByteSpan(out));
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_EQ(*beyond, 0u);
+}
+
+TEST_F(LwfsFsTest, SparseWriteReadsZeros) {
+  Mount(FsConsistency::kRelaxed, 512);
+  auto file = fs_->Create("/sparse").value();
+  Buffer data = {1, 2, 3};
+  ASSERT_TRUE(fs_->Write(file, 5000, ByteSpan(data)).ok());
+  Buffer out(5003, 0xFF);
+  auto n = fs_->Read(file, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5003u);
+  for (std::size_t i = 0; i < 5000; ++i) ASSERT_EQ(out[i], 0) << i;
+  EXPECT_EQ(out[5000], 1);
+  EXPECT_EQ(out[5002], 3);
+}
+
+TEST_F(LwfsFsTest, PosixSizeVisibleAfterFlush) {
+  Mount(FsConsistency::kPosix);
+  auto writer = fs_->Create("/shared-size").value();
+  ASSERT_TRUE(fs_->Write(writer, 0, ByteSpan(Buffer(1234, 1))).ok());
+  // Another opener sees size 0 until the writer flushes.
+  auto reader = fs_->Open("/shared-size").value();
+  EXPECT_EQ(fs_->Size(reader).value(), 0u);
+  ASSERT_TRUE(fs_->Flush(writer).ok());
+  EXPECT_EQ(fs_->Size(reader).value(), 1234u);
+}
+
+TEST_F(LwfsFsTest, RelaxedSizeDerivedFromStripes) {
+  Mount(FsConsistency::kRelaxed, 512);
+  auto file = fs_->Create("/derived").value();
+  ASSERT_TRUE(fs_->Write(file, 0, ByteSpan(Buffer(3000, 1))).ok());
+  // No flush: another opener still sees the size from stripe attributes.
+  auto other = fs_->Open("/derived").value();
+  EXPECT_EQ(fs_->Size(other).value(), 3000u);
+}
+
+TEST_F(LwfsFsTest, TruncateShrinkAndGrow) {
+  Mount(FsConsistency::kPosix, 512);
+  auto file = fs_->Create("/trunc").value();
+  Buffer data = PatternBuffer(4000, 9);
+  ASSERT_TRUE(fs_->Write(file, 0, ByteSpan(data)).ok());
+  ASSERT_TRUE(fs_->Truncate(file, 1500).ok());
+  EXPECT_EQ(fs_->Size(file).value(), 1500u);
+  Buffer out(4000, 0xFF);
+  auto n = fs_->Read(file, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1500u);
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 1500, data.begin()));
+  ASSERT_TRUE(fs_->Truncate(file, 2000).ok());
+  auto regrown = fs_->Read(file, 1500, MutableByteSpan(out));
+  ASSERT_TRUE(regrown.ok());
+  EXPECT_EQ(*regrown, 500u);
+  for (int i = 0; i < 500; ++i) ASSERT_EQ(out[static_cast<std::size_t>(i)], 0);
+}
+
+TEST_F(LwfsFsTest, RemoveReleasesAllObjects) {
+  Mount();
+  const std::uint64_t before = [&] {
+    std::uint64_t n = 0;
+    for (int s = 0; s < runtime_->storage_count(); ++s) {
+      n += runtime_->store(s).ObjectCount();
+    }
+    return n;
+  }();
+  auto file = fs_->Create("/gone").value();
+  ASSERT_TRUE(fs_->Write(file, 0, ByteSpan(Buffer(100, 1))).ok());
+  ASSERT_TRUE(fs_->Remove("/gone").ok());
+  EXPECT_FALSE(fs_->Exists("/gone"));
+  std::uint64_t after = 0;
+  for (int s = 0; s < runtime_->storage_count(); ++s) {
+    after += runtime_->store(s).ObjectCount();
+  }
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(LwfsFsTest, NamespaceOps) {
+  Mount();
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  ASSERT_TRUE(fs_->Create("/dir/a").ok());
+  ASSERT_TRUE(fs_->Create("/dir/b").ok());
+  auto names = fs_->Readdir("/dir").value();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(fs_->Rename("/dir/a", "/dir/c").ok());
+  EXPECT_FALSE(fs_->Exists("/dir/a"));
+  EXPECT_TRUE(fs_->Exists("/dir/c"));
+}
+
+TEST_F(LwfsFsTest, PosixConcurrentOverlappingWritesAreAtomic) {
+  Mount(FsConsistency::kPosix, 1024);
+  auto file = fs_->Create("/atomic").value();
+  constexpr std::size_t kLen = 50000;
+  std::atomic<int> failures{0};
+  auto writer = [&](std::uint8_t fill) {
+    auto client = runtime_->MakeClient();
+    auto fs = LwfsFs::Mount(client.get(), cap_, "/fs",
+                            FsOptions{1024, 0, FsConsistency::kPosix})
+                  .value();
+    auto handle = fs->Open("/atomic").value();
+    Buffer data(kLen, fill);
+    for (int i = 0; i < 3; ++i) {
+      if (!fs->Write(handle, 0, ByteSpan(data)).ok()) failures.fetch_add(1);
+    }
+  };
+  std::thread t1(writer, 0xAA), t2(writer, 0xBB);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0);
+  Buffer out(kLen, 0);
+  ASSERT_TRUE(fs_->Write(file, kLen, ByteSpan(Buffer{0})).ok());  // extend
+  auto n = fs_->Read(file, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok());
+  // POSIX locking: the overlap is one writer's bytes, never interleaved.
+  for (std::size_t i = 1; i < kLen; ++i) {
+    ASSERT_EQ(out[i], out[0]) << "torn write at " << i;
+  }
+}
+
+TEST_F(LwfsFsTest, RelaxedDisjointParallelWrites) {
+  Mount(FsConsistency::kRelaxed, 4096);
+  auto file = fs_->Create("/parallel").value();
+  constexpr int kRanks = 6;
+  constexpr std::size_t kSlice = 20000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      auto client = runtime_->MakeClient();
+      auto fs = LwfsFs::Mount(client.get(), cap_, "/fs",
+                              FsOptions{4096, 0, FsConsistency::kRelaxed})
+                    .value();
+      auto handle = fs->Open("/parallel").value();
+      Buffer data = PatternBuffer(kSlice, static_cast<std::uint64_t>(r));
+      if (!fs->Write(handle, static_cast<std::uint64_t>(r) * kSlice,
+                     ByteSpan(data))
+               .ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  Buffer out(kRanks * kSlice, 0);
+  auto n = fs_->Read(file, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kRanks * kSlice);
+  for (int r = 0; r < kRanks; ++r) {
+    Buffer expect = PatternBuffer(kSlice, static_cast<std::uint64_t>(r));
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
+                           out.begin() + static_cast<std::ptrdiff_t>(r) * kSlice))
+        << "rank " << r;
+  }
+}
+
+TEST_F(LwfsFsTest, StripeCountOneStaysOnOneServer) {
+  Mount();
+  auto file = fs_->Create("/one-stripe", 1).value();
+  EXPECT_EQ(file.stripes.size(), 1u);
+  Buffer data = PatternBuffer(9000, 1);
+  ASSERT_TRUE(fs_->Write(file, 0, ByteSpan(data)).ok());
+  Buffer out(9000, 0);
+  auto n = fs_->Read(file, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(LwfsFsTest, MountRequiresAbsoluteRoot) {
+  Mount();
+  auto bad = LwfsFs::Mount(client_.get(), cap_, "relative", {});
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace lwfs::fs

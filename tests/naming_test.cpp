@@ -1,0 +1,154 @@
+// Tests for the naming service, including transactional name creation.
+#include <gtest/gtest.h>
+
+#include "naming/naming.h"
+#include "storage/object_store.h"
+#include "txn/journal.h"
+#include "txn/two_phase.h"
+
+namespace lwfs::naming {
+namespace {
+
+storage::ObjectRef Ref(std::uint64_t oid) {
+  return storage::ObjectRef{storage::ContainerId{1}, 0, storage::ObjectId{oid}};
+}
+
+TEST(SplitPathTest, ValidPaths) {
+  EXPECT_EQ(SplitPath("/")->size(), 0u);
+  auto p = SplitPath("/a/b/c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitPath("/a/")->size(), 1u);  // trailing slash ok
+}
+
+TEST(SplitPathTest, InvalidPaths) {
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("relative/path").ok());
+  EXPECT_FALSE(SplitPath("/a//b").ok());
+  EXPECT_FALSE(SplitPath("/a/./b").ok());
+  EXPECT_FALSE(SplitPath("/a/../b").ok());
+}
+
+class NamingTest : public ::testing::Test {
+ protected:
+  NamingService ns_;
+};
+
+TEST_F(NamingTest, MkdirAndList) {
+  ASSERT_TRUE(ns_.Mkdir("/ckpt").ok());
+  ASSERT_TRUE(ns_.Mkdir("/ckpt/run1").ok());
+  auto entries = ns_.List("/");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "ckpt");
+  EXPECT_TRUE((*entries)[0].is_directory);
+}
+
+TEST_F(NamingTest, MkdirRecursive) {
+  EXPECT_FALSE(ns_.Mkdir("/a/b/c").ok());
+  EXPECT_TRUE(ns_.Mkdir("/a/b/c", /*recursive=*/true).ok());
+  EXPECT_TRUE(ns_.Exists("/a/b"));
+}
+
+TEST_F(NamingTest, MkdirExistingFails) {
+  ASSERT_TRUE(ns_.Mkdir("/a").ok());
+  EXPECT_EQ(ns_.Mkdir("/a").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NamingTest, LinkAndLookup) {
+  ASSERT_TRUE(ns_.Mkdir("/d").ok());
+  ASSERT_TRUE(ns_.Link("/d/obj", Ref(42)).ok());
+  auto ref = ns_.Lookup("/d/obj");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->oid.value, 42u);
+  EXPECT_EQ(ns_.link_count(), 1u);
+}
+
+TEST_F(NamingTest, LinkRequiresParentAndUniqueName) {
+  EXPECT_EQ(ns_.Link("/missing/obj", Ref(1)).code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(ns_.Mkdir("/d").ok());
+  ASSERT_TRUE(ns_.Link("/d/x", Ref(1)).ok());
+  EXPECT_EQ(ns_.Link("/d/x", Ref(2)).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NamingTest, LookupErrors) {
+  EXPECT_EQ(ns_.Lookup("/nope").status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(ns_.Mkdir("/d").ok());
+  EXPECT_EQ(ns_.Lookup("/d").status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(NamingTest, UnlinkAndRmdir) {
+  ASSERT_TRUE(ns_.Mkdir("/d").ok());
+  ASSERT_TRUE(ns_.Link("/d/x", Ref(1)).ok());
+  EXPECT_EQ(ns_.Rmdir("/d").code(), ErrorCode::kFailedPrecondition);  // not empty
+  EXPECT_EQ(ns_.Unlink("/d").code(), ErrorCode::kInvalidArgument);    // directory
+  ASSERT_TRUE(ns_.Unlink("/d/x").ok());
+  EXPECT_FALSE(ns_.Exists("/d/x"));
+  EXPECT_TRUE(ns_.Rmdir("/d").ok());
+  EXPECT_FALSE(ns_.Exists("/d"));
+}
+
+TEST_F(NamingTest, Rename) {
+  ASSERT_TRUE(ns_.Mkdir("/a").ok());
+  ASSERT_TRUE(ns_.Mkdir("/b").ok());
+  ASSERT_TRUE(ns_.Link("/a/x", Ref(5)).ok());
+  ASSERT_TRUE(ns_.Rename("/a/x", "/b/y").ok());
+  EXPECT_FALSE(ns_.Exists("/a/x"));
+  EXPECT_EQ(ns_.Lookup("/b/y")->oid.value, 5u);
+  EXPECT_EQ(ns_.Rename("/a/ghost", "/b/z").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(ns_.Link("/a/w", Ref(6)).ok());
+  EXPECT_EQ(ns_.Rename("/a/w", "/b/y").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NamingTest, StagedLinkInvisibleUntilCommit) {
+  storage::MemObjectStore store;
+  auto journal = txn::Journal::Create(&store, storage::ContainerId{1});
+  ASSERT_TRUE(journal.ok());
+  txn::Coordinator coord(&*journal);
+  auto txid = coord.Begin({ns_.participant()});
+  ASSERT_TRUE(txid.ok());
+
+  ASSERT_TRUE(ns_.Mkdir("/ckpt").ok());
+  ASSERT_TRUE(ns_.StageLink(*txid, "/ckpt/run1", Ref(9)).ok());
+  // Figure 8: the name appears only when the transaction commits.
+  EXPECT_FALSE(ns_.Exists("/ckpt/run1"));
+  ASSERT_TRUE(coord.Commit(*txid).ok());
+  EXPECT_TRUE(ns_.Exists("/ckpt/run1"));
+  EXPECT_EQ(ns_.Lookup("/ckpt/run1")->oid.value, 9u);
+}
+
+TEST_F(NamingTest, StagedLinkDiscardedOnAbort) {
+  storage::MemObjectStore store;
+  auto journal = txn::Journal::Create(&store, storage::ContainerId{1});
+  ASSERT_TRUE(journal.ok());
+  txn::Coordinator coord(&*journal);
+  auto txid = coord.Begin({ns_.participant()});
+  ASSERT_TRUE(txid.ok());
+
+  ASSERT_TRUE(ns_.Mkdir("/ckpt").ok());
+  ASSERT_TRUE(ns_.StageLink(*txid, "/ckpt/run1", Ref(9)).ok());
+  ASSERT_TRUE(coord.Abort(*txid).ok());
+  EXPECT_FALSE(ns_.Exists("/ckpt/run1"));
+}
+
+TEST_F(NamingTest, StagedLinkValidatesPathEagerly) {
+  EXPECT_FALSE(ns_.StageLink(1, "bad-path", Ref(1)).ok());
+}
+
+TEST_F(NamingTest, ListEntriesCarryRefs) {
+  ASSERT_TRUE(ns_.Mkdir("/d").ok());
+  ASSERT_TRUE(ns_.Link("/d/x", Ref(11)).ok());
+  ASSERT_TRUE(ns_.Mkdir("/d/sub").ok());
+  auto entries = ns_.List("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  // Map order: "sub" < "x".
+  EXPECT_EQ((*entries)[0].name, "sub");
+  EXPECT_TRUE((*entries)[0].is_directory);
+  EXPECT_EQ((*entries)[1].name, "x");
+  ASSERT_TRUE((*entries)[1].ref.has_value());
+  EXPECT_EQ((*entries)[1].ref->oid.value, 11u);
+}
+
+}  // namespace
+}  // namespace lwfs::naming

@@ -1,0 +1,177 @@
+// Durability across deployment restarts: file-backed object stores plus
+// namespace snapshots let a *new* ServiceRuntime (a "rebooted cluster")
+// serve data written by a previous one — completing the checkpoint story:
+// a restart after a crash finds the checkpoint by name and restores it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "checkpoint/checkpoint.h"
+#include "core/runtime.h"
+#include "naming/naming.h"
+
+namespace lwfs {
+namespace {
+
+namespace fsys = std::filesystem;
+
+TEST(NamingSnapshotTest, SerializeRestoreRoundTrip) {
+  naming::NamingService ns;
+  ASSERT_TRUE(ns.Mkdir("/a").ok());
+  ASSERT_TRUE(ns.Mkdir("/a/b").ok());
+  storage::ObjectRef ref{storage::ContainerId{7}, 3, storage::ObjectId{42}};
+  ASSERT_TRUE(ns.Link("/a/b/obj", ref).ok());
+  ASSERT_TRUE(ns.Link("/top", storage::ObjectRef{storage::ContainerId{1}, 0,
+                                                 storage::ObjectId{2}})
+                  .ok());
+
+  Buffer snapshot = ns.Serialize();
+  naming::NamingService restored;
+  ASSERT_TRUE(restored.Restore(ByteSpan(snapshot)).ok());
+  EXPECT_TRUE(restored.Exists("/a/b"));
+  EXPECT_EQ(restored.Lookup("/a/b/obj").value(), ref);
+  EXPECT_EQ(restored.link_count(), 2u);
+  auto listing = restored.List("/").value();
+  EXPECT_EQ(listing.size(), 2u);
+}
+
+TEST(NamingSnapshotTest, EmptyNamespaceRoundTrips) {
+  naming::NamingService ns;
+  naming::NamingService restored;
+  ASSERT_TRUE(restored.Restore(ByteSpan(ns.Serialize())).ok());
+  EXPECT_EQ(restored.link_count(), 0u);
+}
+
+TEST(NamingSnapshotTest, CorruptSnapshotLeavesNamespaceIntact) {
+  naming::NamingService ns;
+  ASSERT_TRUE(ns.Mkdir("/keep").ok());
+  Buffer garbage = {1, 2, 3, 4};
+  EXPECT_FALSE(ns.Restore(ByteSpan(garbage)).ok());
+  EXPECT_TRUE(ns.Exists("/keep"));
+
+  // Truncated-but-valid-magic snapshot also rejected without damage.
+  naming::NamingService big;
+  ASSERT_TRUE(big.Mkdir("/x").ok());
+  Buffer truncated = big.Serialize();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(ns.Restore(ByteSpan(truncated)).ok());
+  EXPECT_TRUE(ns.Exists("/keep"));
+}
+
+TEST(NamingSnapshotTest, RestoreReplacesExistingTree) {
+  naming::NamingService a;
+  ASSERT_TRUE(a.Mkdir("/from-a").ok());
+  naming::NamingService b;
+  ASSERT_TRUE(b.Mkdir("/from-b").ok());
+  ASSERT_TRUE(b.Restore(ByteSpan(a.Serialize())).ok());
+  EXPECT_TRUE(b.Exists("/from-a"));
+  EXPECT_FALSE(b.Exists("/from-b"));
+}
+
+class RestartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fsys::temp_directory_path() /
+            ("lwfs_restart_" + std::to_string(::getpid()));
+    fsys::remove_all(root_);
+    fsys::create_directories(root_);
+  }
+  void TearDown() override { fsys::remove_all(root_); }
+
+  core::RuntimeOptions Options() {
+    core::RuntimeOptions options;
+    options.storage_servers = 2;
+    options.backend = core::RuntimeOptions::Backend::kFile;
+    options.file_store_root = (root_ / "stores").string();
+    options.naming_snapshot_file = (root_ / "namespace.snap").string();
+    return options;
+  }
+
+  fsys::path root_;
+};
+
+TEST_F(RestartTest, DataAndNamesSurviveRuntimeRestart) {
+  Buffer data = PatternBuffer(5000, 31);
+  security::Capability cap;
+  storage::ObjectRef ref;
+  {
+    auto runtime = core::ServiceRuntime::Start(Options()).value();
+    runtime->AddUser("u", "p", 1);
+    auto client = runtime->MakeClient();
+    auto cred = client->Login("u", "p").value();
+    auto cid = client->CreateContainer(cred).value();
+    cap = client->GetCap(cred, cid, security::kOpAll).value();
+    auto oid = client->CreateObject(1, cap).value();
+    ASSERT_TRUE(client->WriteObject(1, cap, oid, 0, ByteSpan(data)).ok());
+    ref = storage::ObjectRef{cid, 1, oid};
+    ASSERT_TRUE(client->Mkdir("/saved", true).ok());
+    ASSERT_TRUE(client->LinkName("/saved/blob", ref).ok());
+    ASSERT_TRUE(runtime->SaveNamingSnapshot().ok());
+  }  // runtime dies ("machine reboots")
+
+  {
+    auto runtime = core::ServiceRuntime::Start(Options()).value();
+    runtime->AddUser("u", "p", 1);
+    auto client = runtime->MakeClient();
+    auto cred = client->Login("u", "p").value();
+    // Caps from the previous authz instance are dead (instance-bound);
+    // re-acquire.  The container policy itself is not persisted — the
+    // paper's container policies live at the authorization service, so a
+    // production deployment would persist that service's tables; here we
+    // recreate the grant by re-creating a container with the same id
+    // space and reading through a fresh cap is not possible.  Instead the
+    // object data is read back through the *store* directly to prove
+    // durability, and the name through the restored namespace.
+    auto back_ref = client->LookupName("/saved/blob");
+    ASSERT_TRUE(back_ref.ok()) << back_ref.status().ToString();
+    EXPECT_EQ(*back_ref, ref);
+
+    auto& store = runtime->store(1);
+    auto raw = store.Read(back_ref->oid, 0, data.size());
+    ASSERT_TRUE(raw.ok());
+    EXPECT_EQ(*raw, data);
+  }
+}
+
+TEST_F(RestartTest, CheckpointRestoredAfterRestartViaNewGrant) {
+  // Full checkpoint/restart across a runtime restart: the new instance
+  // re-authorizes (new container grant over the *existing* container id)
+  // and restores through the normal client path.
+  auto states = std::vector<Buffer>{PatternBuffer(2000, 1),
+                                    PatternBuffer(2000, 2)};
+  storage::ContainerId cid;
+  {
+    auto runtime = core::ServiceRuntime::Start(Options()).value();
+    runtime->AddUser("u", "p", 1);
+    auto client = runtime->MakeClient();
+    auto cred = client->Login("u", "p").value();
+    cid = client->CreateContainer(cred).value();
+    auto cap = client->GetCap(cred, cid, security::kOpAll).value();
+    ASSERT_TRUE(client->Mkdir("/ckpt", true).ok());
+    checkpoint::LwfsCheckpoint::Config config{"/ckpt/run", cid, cap, 0};
+    ASSERT_TRUE(checkpoint::LwfsCheckpoint::Run(*runtime, config, states).ok());
+    ASSERT_TRUE(runtime->SaveNamingSnapshot().ok());
+  }
+
+  {
+    auto runtime = core::ServiceRuntime::Start(Options()).value();
+    runtime->AddUser("u", "p", 1);
+    auto client = runtime->MakeClient();
+    auto cred = client->Login("u", "p").value();
+    // Recreate authorization for the surviving container: the fresh authz
+    // instance hands out container ids from 1, so the first create yields
+    // the same cid and the owner regains access to the persisted objects.
+    auto new_cid = client->CreateContainer(cred).value();
+    ASSERT_EQ(new_cid, cid);
+    auto cap = client->GetCap(cred, new_cid, security::kOpAll).value();
+    auto restored =
+        checkpoint::LwfsCheckpoint::Restore(*runtime, cap, "/ckpt/run");
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ASSERT_EQ(restored->size(), states.size());
+    EXPECT_EQ((*restored)[0], states[0]);
+    EXPECT_EQ((*restored)[1], states[1]);
+  }
+}
+
+}  // namespace
+}  // namespace lwfs

@@ -1,0 +1,278 @@
+// Unit tests for the Portals-like one-sided transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "portals/portals.h"
+
+namespace lwfs::portals {
+namespace {
+
+class PortalsTest : public ::testing::Test {
+ protected:
+  Fabric fabric_;
+};
+
+TEST_F(PortalsTest, NidsAreUniqueAndNonZero) {
+  auto a = fabric_.CreateNic();
+  auto b = fabric_.CreateNic();
+  EXPECT_NE(a->nid(), kInvalidNid);
+  EXPECT_NE(a->nid(), b->nid());
+}
+
+TEST_F(PortalsTest, PutIntoRegisteredRegion) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(16, 0);
+  EventQueue eq;
+  MeOptions opts;
+  opts.allow_put = true;
+  auto me = dst->Attach(0, 42, 0, MutableByteSpan(region), opts, &eq, 777);
+  ASSERT_TRUE(me.ok());
+
+  Buffer data = {1, 2, 3, 4};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 42, ByteSpan(data), 4, 99).ok());
+  EXPECT_EQ(region[4], 1);
+  EXPECT_EQ(region[7], 4);
+  EXPECT_EQ(region[0], 0);
+
+  auto ev = eq.Poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::kPut);
+  EXPECT_EQ(ev->initiator, src->nid());
+  EXPECT_EQ(ev->match_bits, 42u);
+  EXPECT_EQ(ev->offset, 4u);
+  EXPECT_EQ(ev->length, 4u);
+  EXPECT_EQ(ev->user_data, 777u);
+  EXPECT_EQ(ev->hdr_data, 99u);
+}
+
+TEST_F(PortalsTest, GetFromRegisteredRegion) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = {10, 20, 30, 40, 50};
+  MeOptions opts;
+  opts.allow_get = true;
+  ASSERT_TRUE(dst->Attach(2, 7, 0, MutableByteSpan(region), opts, nullptr).ok());
+
+  Buffer out(3, 0);
+  ASSERT_TRUE(src->Get(dst->nid(), 2, 7, MutableByteSpan(out), 1).ok());
+  EXPECT_EQ(out, (Buffer{20, 30, 40}));
+}
+
+TEST_F(PortalsTest, MatchBitsMustMatch) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(8, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  ASSERT_TRUE(dst->Attach(0, 42, 0, MutableByteSpan(region), opts, nullptr).ok());
+  Buffer data = {1};
+  Status s = src->Put(dst->nid(), 0, 43, ByteSpan(data));
+  EXPECT_EQ(s.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PortalsTest, IgnoreBitsWidenTheMatch) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  EventQueue eq;
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.message_mode = true;
+  // Ignore everything: any match bits land here.
+  ASSERT_TRUE(dst->Attach(0, 0, ~0ULL, {}, opts, &eq).ok());
+  Buffer data = {5};
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 0xABCDEF, ByteSpan(data)).ok());
+  auto ev = eq.Poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->match_bits, 0xABCDEFu);
+}
+
+TEST_F(PortalsTest, MessageModeCarriesPayload) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  EventQueue eq;
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.message_mode = true;
+  ASSERT_TRUE(dst->Attach(0, 1, 0, {}, opts, &eq).ok());
+  Buffer data = {9, 9, 9};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  auto ev = eq.Poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->payload, data);
+}
+
+TEST_F(PortalsTest, BoundedEventQueueRejectsOverflow) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  EventQueue eq(2);  // two buffers on the "I/O node"
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.message_mode = true;
+  ASSERT_TRUE(dst->Attach(0, 1, 0, {}, opts, &eq).ok());
+  Buffer data = {1};
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  Status s = src->Put(dst->nid(), 0, 1, ByteSpan(data));
+  EXPECT_EQ(s.code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(fabric_.Stats().rejected, 1u);
+  // Draining makes room again: the resend would now succeed.
+  eq.Poll();
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+}
+
+TEST_F(PortalsTest, UnlinkOnUseConsumesEntry) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(4, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.unlink_on_use = true;
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr).ok());
+  Buffer data = {1};
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 5, ByteSpan(data)).ok());
+  EXPECT_EQ(src->Put(dst->nid(), 0, 5, ByteSpan(data)).code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PortalsTest, PutBeyondRegionFails) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(4, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr).ok());
+  Buffer data = {1, 2, 3};
+  EXPECT_EQ(src->Put(dst->nid(), 0, 5, ByteSpan(data), 2).code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(PortalsTest, GetBeyondRegionFails) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(4, 0);
+  MeOptions opts;
+  opts.allow_get = true;
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr).ok());
+  Buffer out(3, 0);
+  EXPECT_EQ(src->Get(dst->nid(), 0, 5, MutableByteSpan(out), 2).code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(PortalsTest, PutRequiresPutPermission) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(4, 0);
+  MeOptions opts;
+  opts.allow_get = true;  // get-only entry
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr).ok());
+  Buffer data = {1};
+  EXPECT_EQ(src->Put(dst->nid(), 0, 5, ByteSpan(data)).code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PortalsTest, DownNodeIsUnavailable) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(4, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr).ok());
+  fabric_.SetNodeDown(dst->nid(), true);
+  Buffer data = {1};
+  EXPECT_EQ(src->Put(dst->nid(), 0, 5, ByteSpan(data)).code(),
+            ErrorCode::kUnavailable);
+  fabric_.SetNodeDown(dst->nid(), false);
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 5, ByteSpan(data)).ok());
+}
+
+TEST_F(PortalsTest, UnknownNidIsUnavailable) {
+  auto src = fabric_.CreateNic();
+  Buffer data = {1};
+  EXPECT_EQ(src->Put(99999, 0, 5, ByteSpan(data)).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(PortalsTest, StatsCountTrafficAndBytes) {
+  fabric_.ResetStats();
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(64, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.allow_get = true;
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr).ok());
+  Buffer data(10, 1);
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 5, ByteSpan(data)).ok());
+  Buffer out(6, 0);
+  ASSERT_TRUE(src->Get(dst->nid(), 0, 5, MutableByteSpan(out)).ok());
+  FabricStats stats = fabric_.Stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.put_bytes, 10u);
+  EXPECT_EQ(stats.get_bytes, 6u);
+}
+
+TEST_F(PortalsTest, RegisteredRegionDetachesOnDestruction) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region(4, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  Buffer data = {1};
+  {
+    auto me = dst->Attach(0, 5, 0, MutableByteSpan(region), opts, nullptr);
+    ASSERT_TRUE(me.ok());
+    RegisteredRegion raii(dst, *me);
+    EXPECT_TRUE(src->Put(dst->nid(), 0, 5, ByteSpan(data)).ok());
+  }
+  EXPECT_EQ(src->Put(dst->nid(), 0, 5, ByteSpan(data)).code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PortalsTest, FirstMatchingEntryWins) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region_a(4, 0);
+  Buffer region_b(4, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region_a), opts, nullptr).ok());
+  ASSERT_TRUE(dst->Attach(0, 5, 0, MutableByteSpan(region_b), opts, nullptr).ok());
+  Buffer data = {7};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 5, ByteSpan(data)).ok());
+  EXPECT_EQ(region_a[0], 7);
+  EXPECT_EQ(region_b[0], 0);
+}
+
+TEST_F(PortalsTest, ConcurrentTransfersAreSafe) {
+  auto dst = fabric_.CreateNic();
+  constexpr int kThreads = 8;
+  constexpr int kPutsEach = 200;
+  Buffer region(kThreads * 8, 0);
+  MeOptions opts;
+  opts.allow_put = true;
+  ASSERT_TRUE(dst->Attach(0, 1, 0, MutableByteSpan(region), opts, nullptr).ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto nic = fabric_.CreateNic();
+      Buffer data(8, static_cast<std::uint8_t>(t + 1));
+      for (int i = 0; i < kPutsEach; ++i) {
+        ASSERT_TRUE(nic->Put(dst->nid(), 0, 1, ByteSpan(data),
+                             static_cast<std::size_t>(t) * 8)
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(region[static_cast<std::size_t>(t) * 8],
+              static_cast<std::uint8_t>(t + 1));
+  }
+}
+
+}  // namespace
+}  // namespace lwfs::portals

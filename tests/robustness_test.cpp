@@ -1,0 +1,151 @@
+// Wire-level robustness: malformed, truncated, and random-garbage requests
+// thrown at every service must produce clean errors (or clean drops),
+// never crashes or hangs.  A storage server on an MPP faces thousands of
+// clients; one buggy client must not take it down.
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "core/runtime.h"
+#include "pfs/pfs_runtime.h"
+#include "util/rng.h"
+
+namespace lwfs {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::RuntimeOptions options;
+    options.storage_servers = 2;
+    runtime_ = core::ServiceRuntime::Start(options).value();
+    runtime_->AddUser("u", "p", 1);
+    client_ = runtime_->MakeClient();
+    auto cred = client_->Login("u", "p").value();
+    auto cid = client_->CreateContainer(cred).value();
+    cap_ = client_->GetCap(cred, cid, security::kOpAll).value();
+    rpc_ = std::make_unique<rpc::RpcClient>(runtime_->fabric().CreateNic());
+  }
+
+  /// The nid of storage server 0.
+  [[nodiscard]] portals::Nid storage_nid() const {
+    return runtime_->deployment().storage[0];
+  }
+
+  std::unique_ptr<core::ServiceRuntime> runtime_;
+  std::unique_ptr<core::Client> client_;
+  security::Capability cap_;
+  std::unique_ptr<rpc::RpcClient> rpc_;
+};
+
+TEST_F(RobustnessTest, EmptyRequestBodiesRejectedCleanly) {
+  for (rpc::Opcode op : {core::kOpObjCreate, core::kOpObjWrite,
+                         core::kOpObjRead, core::kOpObjRemove,
+                         core::kOpObjGetAttr, core::kOpObjList,
+                         core::kOpObjTruncate, core::kOpObjFilter,
+                         core::kOpTxnPrepare, core::kOpTxnCommit}) {
+    auto reply = rpc_->Call(storage_nid(), op, {});
+    EXPECT_FALSE(reply.ok()) << "opcode " << op;
+  }
+}
+
+TEST_F(RobustnessTest, RandomGarbageRequestsNeverKillTheServer) {
+  Rng rng(55);
+  for (int trial = 0; trial < 500; ++trial) {
+    const rpc::Opcode op =
+        static_cast<rpc::Opcode>(rng.NextBelow(100));  // incl. unknown ops
+    Buffer garbage = PatternBuffer(rng.NextBelow(200), rng.NextU64());
+    rpc::CallOptions options;
+    options.timeout = std::chrono::milliseconds(2000);
+    auto reply = rpc_->Call(storage_nid(), op, ByteSpan(garbage), options);
+    // Any clean error is fine; a timeout would mean a worker wedged.
+    if (!reply.ok()) {
+      ASSERT_NE(reply.status().code(), ErrorCode::kTimeout)
+          << "server wedged at trial " << trial << " opcode " << op;
+    }
+  }
+  // The server still works.
+  EXPECT_TRUE(client_->CreateObject(0, cap_).ok());
+}
+
+TEST_F(RobustnessTest, TruncatedValidRequestsRejected) {
+  // Take a well-formed create request and replay every truncation of it.
+  Encoder req;
+  cap_.Encode(req);
+  req.PutU64(0);  // txid
+  const Buffer& full = req.buffer();
+  for (std::size_t keep = 0; keep < full.size(); keep += 5) {
+    Buffer cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(keep));
+    auto reply = rpc_->Call(storage_nid(), core::kOpObjCreate, ByteSpan(cut));
+    EXPECT_FALSE(reply.ok()) << "kept " << keep;
+  }
+  EXPECT_TRUE(client_->CreateObject(0, cap_).ok());
+}
+
+TEST_F(RobustnessTest, GarbageAtAuthServicesRejected) {
+  Rng rng(66);
+  for (int trial = 0; trial < 200; ++trial) {
+    Buffer garbage = PatternBuffer(rng.NextBelow(150), rng.NextU64());
+    auto a = rpc_->Call(runtime_->deployment().authn,
+                        static_cast<rpc::Opcode>(rng.NextBelow(20)),
+                        ByteSpan(garbage));
+    EXPECT_FALSE(a.ok());
+    auto z = rpc_->Call(runtime_->deployment().authz,
+                        static_cast<rpc::Opcode>(10 + rng.NextBelow(10)),
+                        ByteSpan(garbage));
+    EXPECT_FALSE(z.ok());
+  }
+  // Both services still answer legitimate requests.
+  EXPECT_TRUE(client_->Login("u", "p").ok());
+}
+
+TEST_F(RobustnessTest, GarbageAtNamingAndLocksRejected) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    Buffer garbage = PatternBuffer(rng.NextBelow(100), rng.NextU64());
+    (void)rpc_->Call(runtime_->deployment().naming,
+                     static_cast<rpc::Opcode>(60 + rng.NextBelow(10)),
+                     ByteSpan(garbage));
+    (void)rpc_->Call(runtime_->deployment().locks,
+                     static_cast<rpc::Opcode>(80 + rng.NextBelow(3)),
+                     ByteSpan(garbage));
+  }
+  EXPECT_TRUE(client_->Mkdir("/still-alive", true).ok());
+  auto lock = client_->TryLock(txn::LockKey{1, 1}, {0, 10},
+                               txn::LockMode::kShared);
+  EXPECT_TRUE(lock.ok());
+}
+
+TEST_F(RobustnessTest, RawPortalGarbageToRequestQueue) {
+  // Bypass the RPC framing entirely: raw puts with junk match bits and
+  // payloads straight into the request portal.
+  auto nic = runtime_->fabric().CreateNic();
+  Rng rng(88);
+  for (int trial = 0; trial < 300; ++trial) {
+    Buffer junk = PatternBuffer(rng.NextBelow(64), rng.NextU64());
+    (void)nic->Put(storage_nid(), rpc::kRequestPortal, rng.NextU64(),
+                   ByteSpan(junk), 0, rng.NextU64());
+  }
+  // Give workers a moment to chew through the junk, then verify health.
+  EXPECT_TRUE(client_->CreateObject(0, cap_).ok());
+}
+
+TEST_F(RobustnessTest, PfsServersSurviveGarbage) {
+  portals::Fabric fabric;
+  auto pfs = pfs::PfsRuntime::Start(&fabric, {}).value();
+  rpc::RpcClient raw(fabric.CreateNic());
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Buffer garbage = PatternBuffer(rng.NextBelow(120), rng.NextU64());
+    (void)raw.Call(pfs->deployment().mds,
+                   static_cast<rpc::Opcode>(100 + rng.NextBelow(10)),
+                   ByteSpan(garbage));
+    (void)raw.Call(pfs->deployment().osts[0],
+                   static_cast<rpc::Opcode>(120 + rng.NextBelow(5)),
+                   ByteSpan(garbage));
+  }
+  auto client = pfs->MakeClient();
+  EXPECT_TRUE(client->Create("/alive", 1).ok());
+}
+
+}  // namespace
+}  // namespace lwfs

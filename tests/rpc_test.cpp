@@ -1,0 +1,232 @@
+// Tests for the RPC layer with server-directed bulk movement (Figure 6).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rpc/rpc.h"
+
+namespace lwfs::rpc {
+namespace {
+
+constexpr Opcode kEcho = 1;
+constexpr Opcode kFail = 2;
+constexpr Opcode kStore = 3;  // pulls bulk into a server buffer
+constexpr Opcode kFetch = 4;  // pushes a server buffer to the client
+constexpr Opcode kSlow = 5;
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    server_ = std::make_unique<RpcServer>(fabric_.CreateNic(), options);
+    server_->RegisterHandler(
+        kEcho, [](ServerContext&, Decoder& req) -> Result<Buffer> {
+          auto s = req.GetString();
+          if (!s.ok()) return s.status();
+          Encoder reply;
+          reply.PutString("echo:" + *s);
+          return std::move(reply).Take();
+        });
+    server_->RegisterHandler(
+        kFail, [](ServerContext&, Decoder&) -> Result<Buffer> {
+          return PermissionDenied("nope");
+        });
+    server_->RegisterHandler(
+        kStore, [this](ServerContext& ctx, Decoder&) -> Result<Buffer> {
+          stored_.resize(ctx.bulk_out_size());
+          LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(stored_)));
+          Encoder reply;
+          reply.PutU64(stored_.size());
+          return std::move(reply).Take();
+        });
+    server_->RegisterHandler(
+        kFetch, [this](ServerContext& ctx, Decoder&) -> Result<Buffer> {
+          LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(stored_)));
+          return Buffer{};
+        });
+    server_->RegisterHandler(
+        kSlow, [](ServerContext&, Decoder&) -> Result<Buffer> {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          return Buffer{};
+        });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  portals::Fabric fabric_;
+  std::unique_ptr<RpcServer> server_;
+  Buffer stored_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  Encoder req;
+  req.PutString("hi");
+  auto reply = client.Call(server_->nid(), kEcho, ByteSpan(req.buffer()));
+  ASSERT_TRUE(reply.ok());
+  Decoder dec(*reply);
+  EXPECT_EQ(*dec.GetString(), "echo:hi");
+  EXPECT_EQ(client.stats().calls, 1u);
+  EXPECT_EQ(client.stats().failures, 0u);
+}
+
+TEST_F(RpcTest, ServerErrorPropagatesCodeAndMessage) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  auto reply = client.Call(server_->nid(), kFail, {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(reply.status().message(), "nope");
+}
+
+TEST_F(RpcTest, UnknownOpcodeIsInvalidArgument) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  auto reply = client.Call(server_->nid(), 999, {});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kInvalidArgument);
+}
+
+class RpcBulkTest : public RpcTest,
+                    public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(RpcBulkTest, ServerPullThenPushRoundTrip) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  const Buffer payload = PatternBuffer(GetParam(), 3);
+
+  // Write path: server pulls the registered payload.
+  CallOptions wopts;
+  wopts.bulk_out = ByteSpan(payload);
+  auto wreply = client.Call(server_->nid(), kStore, {}, wopts);
+  ASSERT_TRUE(wreply.ok());
+  Decoder dec(*wreply);
+  EXPECT_EQ(*dec.GetU64(), payload.size());
+
+  // Read path: server pushes into the registered region.
+  Buffer out(payload.size(), 0);
+  CallOptions ropts;
+  ropts.bulk_in = MutableByteSpan(out);
+  auto rreply = client.Call(server_->nid(), kFetch, {}, ropts);
+  ASSERT_TRUE(rreply.ok());
+  EXPECT_EQ(out, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RpcBulkTest,
+                         ::testing::Values(1, 512, 4096, 1 << 16, 1 << 20));
+
+TEST_F(RpcTest, ConcurrentClients) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  StartServer(options);
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      RpcClient client(fabric_.CreateNic());
+      for (int i = 0; i < kCallsEach; ++i) {
+        Encoder req;
+        req.PutString(std::to_string(i));
+        auto reply = client.Call(server_->nid(), kEcho, ByteSpan(req.buffer()));
+        if (reply.ok()) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(server_->requests_served(), static_cast<std::uint64_t>(kClients) *
+                                            kCallsEach);
+}
+
+TEST_F(RpcTest, FullRequestQueueForcesResends) {
+  ServerOptions options;
+  options.request_queue_depth = 1;
+  options.worker_threads = 1;
+  StartServer(options);
+  // Saturate the single-slot queue with slow calls from several threads;
+  // the clients must resend (counted) yet every call eventually succeeds.
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> resends{0};
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      RpcClient client(fabric_.CreateNic());
+      for (int i = 0; i < 3; ++i) {
+        auto reply = client.Call(server_->nid(), kSlow, {});
+        if (reply.ok()) ok.fetch_add(1);
+      }
+      resends.fetch_add(client.stats().resends);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * 3);
+  EXPECT_GT(resends.load(), 0u);  // flow control kicked in
+}
+
+TEST_F(RpcTest, CallToUnknownServerFailsFast) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  auto reply = client.Call(99999, kEcho, {});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(RpcTest, TimeoutWhenServerDiesMidCall) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  // Kill the server's request processing between send and reply by taking
+  // the node down after the request is queued is racy; instead use a
+  // handler-less portal: stop the server so the entry disappears, then the
+  // resends exhaust.
+  server_->Stop();
+  CallOptions options;
+  options.timeout = std::chrono::milliseconds(100);
+  options.max_resends = 3;
+  auto reply = client.Call(server_->nid(), kEcho, {}, options);
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(RpcTest, ControlPortalIsIndependentlyServed) {
+  StartServer();
+  // A second server on the same NIC, listening on the control portal.
+  ServerOptions copts;
+  copts.request_portal = kControlPortal;
+  // Sharing the NIC requires access to it; create a dedicated NIC pair
+  // instead: one NIC, two servers.
+  auto nic = fabric_.CreateNic();
+  RpcServer data_server(nic, {});
+  RpcServer control_server(nic, copts);
+  data_server.RegisterHandler(kEcho,
+                              [](ServerContext&, Decoder&) -> Result<Buffer> {
+                                Encoder reply;
+                                reply.PutString("data");
+                                return std::move(reply).Take();
+                              });
+  control_server.RegisterHandler(
+      kEcho, [](ServerContext&, Decoder&) -> Result<Buffer> {
+        Encoder reply;
+        reply.PutString("control");
+        return std::move(reply).Take();
+      });
+  ASSERT_TRUE(data_server.Start().ok());
+  ASSERT_TRUE(control_server.Start().ok());
+
+  RpcClient client(fabric_.CreateNic());
+  auto data_reply = client.Call(nic->nid(), kEcho, {});
+  ASSERT_TRUE(data_reply.ok());
+  Decoder d1(*data_reply);
+  EXPECT_EQ(*d1.GetString(), "data");
+
+  CallOptions options;
+  options.request_portal = kControlPortal;
+  auto control_reply = client.Call(nic->nid(), kEcho, {}, options);
+  ASSERT_TRUE(control_reply.ok());
+  Decoder d2(*control_reply);
+  EXPECT_EQ(*d2.GetString(), "control");
+
+  data_server.Stop();
+  control_server.Stop();
+}
+
+}  // namespace
+}  // namespace lwfs::rpc

@@ -1,0 +1,175 @@
+// Adversarial sweeps over the security tokens: any single-bit or multi-bit
+// tamper of a credential or capability must be rejected by its issuing
+// service.  This is the property the paper's whole access-control story
+// rests on: tokens are "sufficiently difficult to guess" and verifiable
+// only by their issuer (§3.1.2).
+#include <gtest/gtest.h>
+
+#include "security/authn.h"
+#include "security/authz.h"
+#include "util/rng.h"
+
+namespace lwfs::security {
+namespace {
+
+class SecurityFuzzTest : public ::testing::Test {
+ protected:
+  SecurityFuzzTest()
+      : authn_(&users_, SipKey{0xAA, 0xBB}, AuthnOptions{}),
+        authz_(&authn_, SipKey{0xCC, 0xDD}, AuthzOptions{}) {
+    users_.AddPrincipal("alice", "pw", 100);
+    cred_ = authn_.Login("alice", "pw").value();
+    cid_ = authz_.CreateContainer(cred_).value();
+    cap_ = authz_.GetCap(cred_, cid_, kOpRead | kOpWrite).value();
+  }
+
+  TableAuthenticator users_;
+  AuthnService authn_;
+  AuthzService authz_;
+  Credential cred_;
+  storage::ContainerId cid_;
+  Capability cap_;
+};
+
+// ---- Single-bit flips, exhaustive over the token bytes -----------------------
+
+class CapabilityBitFlipTest : public SecurityFuzzTest,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(CapabilityBitFlipTest, EverySingleBitFlipIsRejected) {
+  Encoder enc;
+  cap_.Encode(enc);
+  Buffer wire = std::move(enc).Take();
+  // Each parameter covers one byte: flip all 8 of its bits in turn.
+  const auto byte_index = static_cast<std::size_t>(GetParam());
+  ASSERT_LT(byte_index, wire.size());
+  for (int bit = 0; bit < 8; ++bit) {
+    Buffer tampered = wire;
+    tampered[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+    Decoder dec(tampered);
+    auto decoded = Capability::Decode(dec);
+    ASSERT_TRUE(decoded.ok());  // still parses — but must not verify
+    EXPECT_FALSE(authz_.VerifyForServer(1, *decoded).ok())
+        << "byte " << byte_index << " bit " << bit;
+  }
+}
+
+// A capability encodes to 60 bytes (4 u64 + u32 + i64 + 16-byte tag);
+// cover every byte.
+INSTANTIATE_TEST_SUITE_P(AllBytes, CapabilityBitFlipTest,
+                         ::testing::Range(0, 60));
+
+class CredentialBitFlipTest : public SecurityFuzzTest,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(CredentialBitFlipTest, EverySingleBitFlipIsRejected) {
+  Encoder enc;
+  cred_.Encode(enc);
+  Buffer wire = std::move(enc).Take();
+  const auto byte_index = static_cast<std::size_t>(GetParam());
+  ASSERT_LT(byte_index, wire.size());
+  for (int bit = 0; bit < 8; ++bit) {
+    Buffer tampered = wire;
+    tampered[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+    Decoder dec(tampered);
+    auto decoded = Credential::Decode(dec);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(authn_.Verify(*decoded).ok())
+        << "byte " << byte_index << " bit " << bit;
+  }
+}
+
+// A credential encodes to 48 bytes (4 u64 + 16-byte tag).
+INSTANTIATE_TEST_SUITE_P(AllBytes, CredentialBitFlipTest,
+                         ::testing::Range(0, 48));
+
+// ---- Random multi-field forgeries ---------------------------------------------
+
+TEST_F(SecurityFuzzTest, RandomCapabilityForgeriesRejected) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Capability forged = cap_;
+    // Randomize 1-4 fields.
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextBelow(7)) {
+        case 0: forged.cap_id = rng.NextU64(); break;
+        case 1: forged.cid.value = rng.NextU64(); break;
+        case 2: forged.ops = static_cast<std::uint32_t>(rng.NextBelow(32)); break;
+        case 3: forged.uid = rng.NextU64(); break;
+        case 4: forged.instance = rng.NextU64(); break;
+        case 5: forged.expires_us = static_cast<std::int64_t>(rng.NextU64()); break;
+        case 6: forged.tag = Tag128{rng.NextU64(), rng.NextU64()}; break;
+      }
+    }
+    if (forged.cap_id == cap_.cap_id && forged.cid == cap_.cid &&
+        forged.ops == cap_.ops && forged.uid == cap_.uid &&
+        forged.instance == cap_.instance &&
+        forged.expires_us == cap_.expires_us && forged.tag == cap_.tag) {
+      continue;  // astronomically unlikely: mutated back to the original
+    }
+    ASSERT_FALSE(authz_.VerifyForServer(1, forged).ok()) << "trial " << trial;
+  }
+}
+
+TEST_F(SecurityFuzzTest, GuessedCapabilitiesNeverVerify) {
+  // An attacker who knows the *format* but not the key mints random tags.
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Capability guess;
+    guess.cap_id = cap_.cap_id;      // a real, issued id
+    guess.cid = cid_;                // the real container
+    guess.ops = kOpAll;              // maximum privilege
+    guess.uid = 100;
+    guess.instance = cap_.instance;  // correct instance
+    guess.expires_us = cap_.expires_us;
+    guess.tag = Tag128{rng.NextU64(), rng.NextU64()};
+    ASSERT_FALSE(authz_.VerifyForServer(1, guess).ok()) << "trial " << trial;
+  }
+}
+
+TEST_F(SecurityFuzzTest, TruncatedWireTokensFailToDecode) {
+  Encoder enc;
+  cap_.Encode(enc);
+  Buffer wire = std::move(enc).Take();
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    Buffer cut(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(keep));
+    Decoder dec(cut);
+    EXPECT_FALSE(Capability::Decode(dec).ok()) << "kept " << keep;
+  }
+}
+
+TEST_F(SecurityFuzzTest, CrossServiceTokensRejected) {
+  // A capability signed by one authorization service must not verify at
+  // another, even with identical policy (independent keys + instances).
+  AuthzService other(&authn_, SipKey{0xCC, 0xDD}, AuthzOptions{});
+  auto other_cid = other.CreateContainer(cred_).value();
+  auto other_cap = other.GetCap(cred_, other_cid, kOpRead).value();
+  EXPECT_FALSE(authz_.VerifyForServer(1, other_cap).ok());
+  EXPECT_FALSE(other.VerifyForServer(1, cap_).ok());
+}
+
+TEST_F(SecurityFuzzTest, SipHashAvalanche) {
+  // Flipping any input bit flips ~half the output bits — a sanity check
+  // that the tag actually binds every byte it covers.
+  SipKey key{123, 456};
+  Buffer base = PatternBuffer(64, 1);
+  const std::uint64_t h0 = SipHash24(key, ByteSpan(base));
+  double total_flips = 0;
+  int cases = 0;
+  for (std::size_t byte = 0; byte < base.size(); byte += 3) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      Buffer mutated = base;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const std::uint64_t h1 = SipHash24(key, ByteSpan(mutated));
+      total_flips += __builtin_popcountll(h0 ^ h1);
+      ++cases;
+    }
+  }
+  const double mean_flips = total_flips / cases;
+  EXPECT_GT(mean_flips, 24.0);  // ideal is 32 of 64
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+}  // namespace
+}  // namespace lwfs::security

@@ -1,0 +1,150 @@
+// Validating the simulator against queueing theory: if the engine's FIFO
+// resources do not reproduce textbook results, none of the Figure 9/10
+// numbers can be trusted.  These tests drive the primitives with known
+// workloads and compare against closed forms.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lwfs::sim {
+namespace {
+
+/// Drive an M/D/1 queue: Poisson arrivals (rate lambda), deterministic
+/// service time s, single server.  Returns the mean waiting time in queue.
+double RunMd1(double lambda, double service, int customers,
+              std::uint64_t seed) {
+  Engine engine;
+  FifoResource server(&engine, 1);
+  Rng rng(seed);
+  RunningStats wait;
+
+  double arrival_time = 0;
+  for (int i = 0; i < customers; ++i) {
+    arrival_time += rng.NextExponential(1.0 / lambda);
+    engine.At(arrival_time, [&engine, &server, &wait, service, arrival_time] {
+      engine.Spawn([](Engine& e, FifoResource& r, RunningStats& w, double s,
+                      double arrived) -> Task {
+        co_await r.Use(s);
+        // Waiting time = completion - arrival - service.
+        w.Add(e.Now() - arrived - s);
+      }(engine, server, wait, service, arrival_time));
+    });
+  }
+  engine.RunUntilIdle();
+  return wait.mean();
+}
+
+class Md1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Md1Test, MeanWaitMatchesPollaczekKhinchine) {
+  const double rho = GetParam();     // utilization
+  const double service = 0.01;       // seconds
+  const double lambda = rho / service;
+  // Wq = rho * s / (2 (1 - rho)) for M/D/1.
+  const double expected = rho * service / (2.0 * (1.0 - rho));
+  RunningStats across_seeds;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    across_seeds.Add(RunMd1(lambda, service, 40000, seed));
+  }
+  EXPECT_NEAR(across_seeds.mean(), expected, expected * 0.15 + 2e-5)
+      << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, Md1Test,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.85));
+
+TEST(QueueingTest, UtilizationMatchesOfferedLoad) {
+  Engine engine;
+  FifoResource server(&engine, 1);
+  Rng rng(3);
+  const double service = 0.02;
+  const double lambda = 30;  // rho = 0.6
+  double arrival = 0;
+  for (int i = 0; i < 5000; ++i) {
+    arrival += rng.NextExponential(1.0 / lambda);
+    engine.At(arrival, [&engine, &server, service] {
+      engine.Spawn([](FifoResource& r, double s) -> Task {
+        co_await r.Use(s);
+      }(server, service));
+    });
+  }
+  const double horizon = engine.RunUntilIdle();
+  EXPECT_NEAR(server.Utilization(horizon), 0.6, 0.05);
+  EXPECT_EQ(server.served(), 5000u);
+}
+
+TEST(QueueingTest, TwoServersHalveTheWaitAtSameLoad) {
+  // A sanity property the Figure 9 scaling rests on: doubling servers at
+  // fixed total offered load strictly reduces queueing.
+  auto run = [](int slots, double per_slot_rho) {
+    Engine engine;
+    FifoResource servers(&engine, slots);
+    Rng rng(9);
+    RunningStats wait;
+    const double service = 0.01;
+    const double lambda = per_slot_rho * slots / service;
+    double arrival = 0;
+    for (int i = 0; i < 20000; ++i) {
+      arrival += rng.NextExponential(1.0 / lambda);
+      engine.At(arrival, [&engine, &servers, &wait, service, arrival] {
+        engine.Spawn([](Engine& e, FifoResource& r, RunningStats& w, double s,
+                        double arrived) -> Task {
+          co_await r.Use(s);
+          w.Add(e.Now() - arrived - s);
+        }(engine, servers, wait, service, arrival));
+      });
+    }
+    engine.RunUntilIdle();
+    return wait.mean();
+  };
+  const double one = run(1, 0.7);
+  const double two = run(2, 0.7);
+  EXPECT_LT(two, one);
+}
+
+TEST(QueueingTest, PipeConservesBytes) {
+  // Whatever enters the link leaves the link: total transfer time for K
+  // serial transfers equals K * (bytes/bw) + K * latency when issued
+  // back-to-back by one sender.
+  Engine engine;
+  Pipe pipe(&engine, 1e6, 0.001);
+  double done = 0;
+  engine.Spawn([](Engine& e, Pipe& p, double& out) -> Task {
+    for (int i = 0; i < 10; ++i) co_await p.Transfer(5000);
+    out = e.Now();
+  }(engine, pipe, done));
+  engine.RunUntilIdle();
+  EXPECT_NEAR(done, 10 * (5000 / 1e6 + 0.001), 1e-9);
+}
+
+TEST(QueueingTest, ConcurrentSendersShareBandwidthFairlyInAggregate) {
+  // N senders pushing through one pipe finish in N * single-sender
+  // bandwidth time (serialized DMA), regardless of interleaving.
+  Engine engine;
+  Pipe pipe(&engine, 1e6, 0.0);
+  for (int i = 0; i < 8; ++i) {
+    engine.Spawn([](Pipe& p) -> Task { co_await p.Transfer(100000); }(pipe));
+  }
+  const double horizon = engine.RunUntilIdle();
+  EXPECT_NEAR(horizon, 8 * 0.1, 1e-9);
+}
+
+TEST(QueueingTest, JitterPreservesMeans) {
+  // The per-trial jitter used for error bars must not bias the mean
+  // service time (else calibrations would drift with the trial count).
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double jittered = 1.0 * (1.0 + 0.03 * (2.0 * rng.NextDouble() - 1.0));
+    stats.Add(jittered);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.001);
+}
+
+}  // namespace
+}  // namespace lwfs::sim

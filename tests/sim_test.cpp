@@ -1,0 +1,221 @@
+// Tests for the discrete-event engine and its queued resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+
+namespace lwfs::sim {
+namespace {
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.At(3.0, [&] { order.push_back(3); });
+  eng.At(1.0, [&] { order.push_back(1); });
+  eng.At(2.0, [&] { order.push_back(2); });
+  eng.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.Now(), 3.0);
+}
+
+TEST(EngineTest, TiesBreakFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.At(1.0, [&, i] { order.push_back(i); });
+  }
+  eng.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, NestedSchedulingAdvancesTime) {
+  Engine eng;
+  double fired_at = -1;
+  eng.After(1.0, [&] { eng.After(2.0, [&] { fired_at = eng.Now(); }); });
+  eng.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.At(1.0, [&] { ++fired; });
+  eng.At(5.0, [&] { ++fired; });
+  eng.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eng.Now(), 2.0);
+  eng.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, CoroutineDelayAccumulates) {
+  Engine eng;
+  double done_at = -1;
+  eng.Spawn([](Engine& e, double& out) -> Task {
+    co_await e.Delay(1.5);
+    co_await e.Delay(0.25);
+    out = e.Now();
+  }(eng, done_at));
+  eng.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 1.75);
+  EXPECT_EQ(eng.live_processes(), 0u);
+}
+
+TEST(EngineTest, SubTaskAwaitResumesParent) {
+  Engine eng;
+  std::vector<int> order;
+  struct Helper {
+    static Task Child(Engine& e, std::vector<int>& ord) {
+      ord.push_back(1);
+      co_await e.Delay(1.0);
+      ord.push_back(2);
+    }
+    static Task Parent(Engine& e, std::vector<int>& ord) {
+      co_await Child(e, ord);
+      ord.push_back(3);
+    }
+  };
+  eng.Spawn(Helper::Parent(eng, order));
+  eng.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FifoResourceTest, SingleSlotSerializes) {
+  Engine eng;
+  FifoResource res(&eng, 1);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    eng.Spawn([](Engine& e, FifoResource& r, std::vector<double>& d) -> Task {
+      co_await r.Use(2.0);
+      d.push_back(e.Now());
+    }(eng, res, done));
+  }
+  eng.RunUntilIdle();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 4.0);
+  EXPECT_DOUBLE_EQ(done[2], 6.0);
+  EXPECT_EQ(res.served(), 3u);
+  EXPECT_DOUBLE_EQ(res.busy_time(), 6.0);
+  EXPECT_DOUBLE_EQ(res.Utilization(6.0), 1.0);
+}
+
+TEST(FifoResourceTest, MultiSlotRunsConcurrently) {
+  Engine eng;
+  FifoResource res(&eng, 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    eng.Spawn([](Engine& e, FifoResource& r, std::vector<double>& d) -> Task {
+      co_await r.Use(1.0);
+      d.push_back(e.Now());
+    }(eng, res, done));
+  }
+  eng.RunUntilIdle();
+  ASSERT_EQ(done.size(), 4u);
+  // Two at a time: finish at t=1,1,2,2.
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);
+  EXPECT_DOUBLE_EQ(done[2], 2.0);
+  EXPECT_DOUBLE_EQ(done[3], 2.0);
+}
+
+TEST(PipeTest, TransferTimeIsBandwidthPlusLatency) {
+  Engine eng;
+  Pipe pipe(&eng, /*bytes_per_sec=*/100.0, /*latency=*/0.5);
+  double done_at = -1;
+  eng.Spawn([](Engine& e, Pipe& p, double& out) -> Task {
+    co_await p.Transfer(200);  // 2s of bandwidth + 0.5s latency
+    out = e.Now();
+  }(eng, pipe, done_at));
+  eng.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+}
+
+TEST(PipeTest, BandwidthIsSharedSerially) {
+  Engine eng;
+  Pipe pipe(&eng, 100.0, 0.0);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    eng.Spawn([](Engine& e, Pipe& p, std::vector<double>& d) -> Task {
+      co_await p.Transfer(100);
+      d.push_back(e.Now());
+    }(eng, pipe, done));
+  }
+  eng.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Engine eng;
+  Semaphore sem(&eng, 1);
+  std::vector<double> acquired_at;
+  for (int i = 0; i < 2; ++i) {
+    eng.Spawn([](Engine& e, Semaphore& s, std::vector<double>& d) -> Task {
+      co_await s.Acquire();
+      d.push_back(e.Now());
+      co_await e.Delay(1.0);
+      s.Release();
+    }(eng, sem, acquired_at));
+  }
+  eng.RunUntilIdle();
+  ASSERT_EQ(acquired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(acquired_at[0], 0.0);
+  EXPECT_DOUBLE_EQ(acquired_at[1], 1.0);
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersRestoresCount) {
+  Engine eng;
+  Semaphore sem(&eng, 0);
+  sem.Release();
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(LatchTest, WaitersResumeAtZero) {
+  Engine eng;
+  Latch latch(&eng, 2);
+  double resumed_at = -1;
+  eng.Spawn([](Engine& e, Latch& l, double& out) -> Task {
+    co_await l.Wait();
+    out = e.Now();
+  }(eng, latch, resumed_at));
+  eng.After(1.0, [&] { latch.CountDown(); });
+  eng.After(2.0, [&] { latch.CountDown(); });
+  eng.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(resumed_at, 2.0);
+}
+
+TEST(LatchTest, WaitAfterZeroIsImmediate) {
+  Engine eng;
+  Latch latch(&eng, 0);
+  bool resumed = false;
+  eng.Spawn([](Latch& l, bool& out) -> Task {
+    co_await l.Wait();
+    out = true;
+  }(latch, resumed));
+  eng.RunUntilIdle();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Engine eng;
+    FifoResource res(&eng, 2);
+    double last = 0;
+    for (int i = 0; i < 50; ++i) {
+      eng.Spawn([](Engine& e, FifoResource& r, double& out, int i) -> Task {
+        co_await e.Delay(0.1 * i);
+        co_await r.Use(0.37);
+        out = e.Now();
+      }(eng, res, last, i));
+    }
+    eng.RunUntilIdle();
+    return last;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lwfs::sim

@@ -1,0 +1,220 @@
+// Shape tests for the simulated experiments: these encode the *claims* of
+// the paper's evaluation (Figures 9-10, the petaflop extrapolation, and
+// the §3.2 flow-control argument) as assertions, so a calibration change
+// that breaks a headline shape fails CI.
+#include <gtest/gtest.h>
+
+#include "simapps/checkpoint_sim.h"
+#include "simapps/flow_sim.h"
+#include "util/machines.h"
+#include "util/stats.h"
+
+namespace lwfs::simapps {
+namespace {
+
+constexpr std::uint64_t kMB512 = 512ull << 20;
+
+double Throughput(CheckpointKind kind, int n, int m,
+                  std::uint64_t bytes = kMB512, std::uint64_t seed = 1) {
+  return SimulateCheckpoint(kind, ClusterParams::DevCluster(n, m), bytes, seed)
+      .throughput_mb_s();
+}
+
+// ---- Figure 9 shapes ---------------------------------------------------------
+
+TEST(Figure9Test, FilePerProcessAndLwfsDumpAtTheSameRate) {
+  // §4: in the dump phase, file-per-process and LWFS track each other.
+  for (int m : {2, 8, 16}) {
+    const double lwfs = Throughput(CheckpointKind::kLwfsObjectPerProcess, 32, m);
+    const double fpp = Throughput(CheckpointKind::kPfsFilePerProcess, 32, m);
+    EXPECT_NEAR(lwfs / fpp, 1.0, 0.05) << "m=" << m;
+  }
+}
+
+TEST(Figure9Test, SharedFileIsRoughlyHalfAtSaturation) {
+  // §4: "the throughput of the shared-file case is roughly half that of
+  // the file-per-process and the lightweight checkpoint implementations."
+  for (int m : {2, 4, 8, 16}) {
+    const double fpp = Throughput(CheckpointKind::kPfsFilePerProcess, 64, m);
+    const double shared = Throughput(CheckpointKind::kPfsSharedFile, 64, m);
+    EXPECT_NEAR(shared / fpp, 0.5, 0.1) << "m=" << m;
+  }
+}
+
+TEST(Figure9Test, ThroughputScalesWithServerCount) {
+  const double t2 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 64, 2);
+  const double t4 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 64, 4);
+  const double t8 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 64, 8);
+  const double t16 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 64, 16);
+  EXPECT_NEAR(t4 / t2, 2.0, 0.15);
+  EXPECT_NEAR(t8 / t2, 4.0, 0.3);
+  EXPECT_NEAR(t16 / t2, 8.0, 0.6);
+}
+
+TEST(Figure9Test, ThroughputRampsWithClientsThenSaturates) {
+  const double n1 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 1, 16);
+  const double n8 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 8, 16);
+  const double n32 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 32, 16);
+  const double n64 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 64, 16);
+  EXPECT_GT(n8, 4 * n1);              // ramp region
+  EXPECT_NEAR(n64 / n32, 1.0, 0.05);  // plateau
+}
+
+TEST(Figure9Test, AbsoluteScaleMatchesTheDevCluster) {
+  // Paper's Figure 9 peaks: ~1400-1600 MB/s for 16 servers, ~750 per 8.
+  const double t16 = Throughput(CheckpointKind::kLwfsObjectPerProcess, 64, 16);
+  EXPECT_GT(t16, 1300.0);
+  EXPECT_LT(t16, 1700.0);
+  const double s16 = Throughput(CheckpointKind::kPfsSharedFile, 64, 16);
+  EXPECT_GT(s16, 600.0);
+  EXPECT_LT(s16, 900.0);
+}
+
+TEST(Figure9Test, TrialsJitterButStayTight) {
+  lwfs::RunningStats stats;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    stats.Add(Throughput(CheckpointKind::kLwfsObjectPerProcess, 16, 8, kMB512,
+                         seed));
+  }
+  EXPECT_GT(stats.stddev(), 0.0);               // error bars exist
+  EXPECT_LT(stats.stddev() / stats.mean(), 0.05);  // ...and are small
+}
+
+// ---- Figure 10 shapes ---------------------------------------------------------
+
+double CreateRate(CheckpointKind kind, int n, int m) {
+  return SimulateCreates(kind, ClusterParams::DevCluster(n, m), 32, 1)
+      .ops_per_sec();
+}
+
+TEST(Figure10Test, LustreCreateRateIsFlatInServerCount) {
+  const double m2 = CreateRate(CheckpointKind::kPfsFilePerProcess, 64, 2);
+  const double m16 = CreateRate(CheckpointKind::kPfsFilePerProcess, 64, 16);
+  EXPECT_NEAR(m16 / m2, 1.0, 0.05);
+  // Paper's Figure 10-b: hundreds of ops/sec.
+  EXPECT_GT(m16, 200.0);
+  EXPECT_LT(m16, 900.0);
+}
+
+TEST(Figure10Test, LwfsCreateRateScalesWithServers) {
+  const double m2 = CreateRate(CheckpointKind::kLwfsObjectPerProcess, 64, 2);
+  const double m16 = CreateRate(CheckpointKind::kLwfsObjectPerProcess, 64, 16);
+  EXPECT_GT(m16 / m2, 6.0);
+  // Paper's Figure 10-c: tens of thousands of ops/sec at 16 servers.
+  EXPECT_GT(m16, 40000.0);
+}
+
+TEST(Figure10Test, TwoOrdersOfMagnitudeGapAtSixteenServers) {
+  // Figure 10-a is a log plot precisely because of this gap.
+  const double lwfs = CreateRate(CheckpointKind::kLwfsObjectPerProcess, 64, 16);
+  const double lustre = CreateRate(CheckpointKind::kPfsFilePerProcess, 64, 16);
+  EXPECT_GT(lwfs / lustre, 50.0);
+}
+
+TEST(Figure10Test, LwfsCreateRateGrowsWithClientsUntilServersSaturate) {
+  const double n4 = CreateRate(CheckpointKind::kLwfsObjectPerProcess, 4, 16);
+  const double n64 = CreateRate(CheckpointKind::kLwfsObjectPerProcess, 64, 16);
+  EXPECT_GT(n64, 2 * n4);
+}
+
+// ---- Petaflop extrapolation (§4 closing paragraph) ------------------------------
+
+TEST(PetaflopTest, CreatePhaseTakesMinutesAndTenPercentOfCheckpoint) {
+  const PetaflopSpec& spec = Petaflop();
+  ClusterParams params = ClusterParams::DevCluster(
+      static_cast<int>(spec.compute_nodes), static_cast<int>(spec.io_nodes));
+  params.chunk_bytes = 256ull << 20;  // coarse chunks keep the event count sane
+  params.jitter = 0;
+  const std::uint64_t bytes_per_client = 5ull << 30;  // 5 GB of state per node
+
+  auto result = SimulateCheckpoint(CheckpointKind::kPfsFilePerProcess, params,
+                                   bytes_per_client, 1);
+  // "creating the files will require multiple minutes to complete"
+  EXPECT_GT(result.create_time, 120.0);
+  // "roughly 10% of the total time for the checkpoint operation"
+  const double fraction = result.create_time / result.total_time;
+  EXPECT_GT(fraction, 0.04);
+  EXPECT_LT(fraction, 0.25);
+
+  // The LWFS create phase on the same machine is negligible.
+  auto lwfs = SimulateCheckpoint(CheckpointKind::kLwfsObjectPerProcess, params,
+                                 bytes_per_client, 1);
+  EXPECT_LT(lwfs.create_time / lwfs.total_time, 0.01);
+}
+
+// ---- Flow-control ablation (E7) ---------------------------------------------------
+
+TEST(FlowControlTest, ServerDirectedNeverResends) {
+  FlowParams params;
+  auto directed = SimulateServerDirected(params, 1);
+  EXPECT_EQ(directed.resends, 0u);
+  EXPECT_EQ(directed.wasted_bytes, 0u);
+}
+
+TEST(FlowControlTest, EagerPushWastesTheWire) {
+  FlowParams params;
+  auto eager = SimulateEagerPush(params, 1);
+  EXPECT_GT(eager.resends, 1000u);
+  // Rejected-and-resent traffic dwarfs the goodput: the ingress link can
+  // carry 15x the drain rate, so ~14/15 of attempts bounce.
+  EXPECT_GT(eager.wire_overhead(), 5.0);
+}
+
+TEST(FlowControlTest, BothDrainAtRaidRate) {
+  // The RAID is the bottleneck either way; the *cost* of eager push is the
+  // wasted network and client work, not elapsed time (§3.2).
+  FlowParams params;
+  auto eager = SimulateEagerPush(params, 1);
+  auto directed = SimulateServerDirected(params, 1);
+  EXPECT_NEAR(directed.goodput_mb_s(), params.drain_bw / 1e6, 30.0);
+  EXPECT_NEAR(eager.goodput_mb_s() / directed.goodput_mb_s(), 1.0, 0.1);
+}
+
+TEST(FlowControlTest, BiggerBufferReducesEagerWaste) {
+  FlowParams small;
+  small.buffer_bytes = 64ull << 20;
+  FlowParams big;
+  big.buffer_bytes = 1024ull << 20;
+  auto w_small = SimulateEagerPush(small, 1).wire_overhead();
+  auto w_big = SimulateEagerPush(big, 1).wire_overhead();
+  EXPECT_LT(w_big, w_small);
+}
+
+TEST(FlowControlTest, DeterministicForFixedSeed) {
+  FlowParams params;
+  auto a = SimulateEagerPush(params, 7);
+  auto b = SimulateEagerPush(params, 7);
+  EXPECT_EQ(a.resends, b.resends);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+// ---- Simulator hygiene ---------------------------------------------------------------
+
+TEST(SimShapeTest, CheckpointScalesLinearlyInBytes) {
+  auto params = ClusterParams::DevCluster(8, 4);
+  params.jitter = 0;
+  auto half = SimulateCheckpoint(CheckpointKind::kLwfsObjectPerProcess, params,
+                                 kMB512 / 2, 1);
+  auto full = SimulateCheckpoint(CheckpointKind::kLwfsObjectPerProcess, params,
+                                 kMB512, 1);
+  EXPECT_NEAR(full.total_time / half.total_time, 2.0, 0.05);
+}
+
+TEST(SimShapeTest, DeterministicForFixedSeed) {
+  auto params = ClusterParams::DevCluster(16, 8);
+  auto a = SimulateCheckpoint(CheckpointKind::kPfsSharedFile, params, kMB512, 3);
+  auto b = SimulateCheckpoint(CheckpointKind::kPfsSharedFile, params, kMB512, 3);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(SimShapeTest, PhaseTimesAddUp) {
+  auto params = ClusterParams::DevCluster(8, 4);
+  auto r = SimulateCheckpoint(CheckpointKind::kPfsFilePerProcess, params,
+                              kMB512, 1);
+  EXPECT_GT(r.create_time, 0.0);
+  EXPECT_GT(r.dump_time, 0.0);
+  EXPECT_NEAR(r.create_time + r.dump_time, r.total_time, 1e-9);
+}
+
+}  // namespace
+}  // namespace lwfs::simapps

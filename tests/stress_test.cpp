@@ -1,0 +1,188 @@
+// Whole-stack concurrency stress: many client threads exercising every
+// service at once — object I/O, file-system ops, checkpoints, policy
+// changes with revocation, transactions — while invariants are checked at
+// the end.  No operation may crash, wedge, or corrupt unrelated state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "checkpoint/checkpoint.h"
+#include "core/runtime.h"
+#include "lwfsfs/lwfsfs.h"
+#include "util/rng.h"
+
+namespace lwfs {
+namespace {
+
+TEST(StressTest, MixedWorkloadAcrossAllServices) {
+  core::RuntimeOptions options;
+  options.storage_servers = 4;
+  options.storage.rpc.worker_threads = 2;
+  auto runtime = core::ServiceRuntime::Start(options).value();
+  runtime->AddUser("owner", "pw", 1);
+  runtime->AddUser("guest", "pw", 2);
+
+  auto owner = runtime->MakeClient();
+  auto owner_cred = owner->Login("owner", "pw").value();
+  auto cid = owner->CreateContainer(owner_cred).value();
+  auto owner_cap = owner->GetCap(owner_cred, cid, security::kOpAll).value();
+  ASSERT_TRUE(owner->Mkdir("/stress", true).ok());
+  ASSERT_TRUE(owner->SetGrant(owner_cred, cid, 2,
+                              security::kOpRead | security::kOpWrite |
+                                  security::kOpCreate)
+                  .ok());
+
+  std::atomic<int> hard_failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Writer threads: object create/write/read round trips.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = runtime->MakeClient();
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      while (!stop.load()) {
+        const auto server = static_cast<std::uint32_t>(rng.NextBelow(4));
+        auto oid = client->CreateObject(server, owner_cap);
+        if (!oid.ok()) {
+          hard_failures.fetch_add(1);
+          continue;
+        }
+        Buffer data = PatternBuffer(1 + rng.NextBelow(20000), rng.NextU64());
+        if (!client->WriteObject(server, owner_cap, *oid, 0, ByteSpan(data))
+                 .ok()) {
+          hard_failures.fetch_add(1);
+          continue;
+        }
+        auto back =
+            client->ReadObjectAlloc(server, owner_cap, *oid, 0, data.size());
+        if (!back.ok() || *back != data) hard_failures.fetch_add(1);
+        (void)client->RemoveObject(server, owner_cap, *oid);
+      }
+    });
+  }
+
+  // Guest thread: reads/writes under a grant that keeps flipping — denials
+  // are expected (the policy-change race), crashes/corruption are not.
+  threads.emplace_back([&] {
+    auto client = runtime->MakeClient();
+    auto cred = client->Login("guest", "pw").value();
+    Rng rng(99);
+    while (!stop.load()) {
+      auto cap = client->GetCap(cred, cid,
+                                security::kOpWrite | security::kOpCreate);
+      if (!cap.ok()) continue;  // grant currently revoked: fine
+      auto oid = client->CreateObject(0, *cap);
+      if (oid.ok()) {
+        Buffer data = PatternBuffer(100, rng.NextU64());
+        (void)client->WriteObject(0, *cap, *oid, 0, ByteSpan(data));
+      }
+    }
+  });
+
+  // Policy churn thread: chmod the guest in and out (drives revocation
+  // and cache invalidation continuously).
+  threads.emplace_back([&] {
+    auto client = runtime->MakeClient();
+    auto cred = client->Login("owner", "pw").value();
+    bool granted = true;
+    while (!stop.load()) {
+      granted = !granted;
+      Status s = client->SetGrant(
+          cred, cid, 2,
+          granted ? (security::kOpRead | security::kOpWrite |
+                     security::kOpCreate)
+                  : security::kOpRead);
+      if (!s.ok()) hard_failures.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // File-system thread: create/write/read/remove through LwfsFs.
+  threads.emplace_back([&] {
+    auto client = runtime->MakeClient();
+    auto fs = fs::LwfsFs::Mount(client.get(), owner_cap, "/stress",
+                                fs::FsOptions{4096, 0,
+                                              fs::FsConsistency::kRelaxed})
+                  .value();
+    Rng rng(7);
+    int seq = 0;
+    while (!stop.load()) {
+      const std::string path = "/f" + std::to_string(seq++ % 8);
+      if (fs->Exists(path)) {
+        (void)fs->Remove(path);
+        continue;
+      }
+      auto file = fs->Create(path);
+      if (!file.ok()) {
+        hard_failures.fetch_add(1);
+        continue;
+      }
+      Buffer data = PatternBuffer(1 + rng.NextBelow(30000), rng.NextU64());
+      if (!fs->Write(*file, 0, ByteSpan(data)).ok()) {
+        hard_failures.fetch_add(1);
+        continue;
+      }
+      Buffer out(data.size(), 0);
+      auto n = fs->Read(*file, 0, MutableByteSpan(out));
+      if (!n.ok() || *n != data.size() || out != data) {
+        hard_failures.fetch_add(1);
+      }
+    }
+  });
+
+  // Transaction thread: commit/abort alternation.
+  threads.emplace_back([&] {
+    auto client = runtime->MakeClient();
+    bool commit = false;
+    while (!stop.load()) {
+      commit = !commit;
+      core::TxnParticipants participants;
+      participants.storage_servers = {1, 2};
+      auto txn = client->BeginTxn(3, owner_cap, participants);
+      if (!txn.ok()) {
+        hard_failures.fetch_add(1);
+        continue;
+      }
+      auto oid = client->CreateObject(1, owner_cap, (*txn)->id());
+      if (!oid.ok()) {
+        hard_failures.fetch_add(1);
+        (void)(*txn)->Abort();
+        continue;
+      }
+      Status s = commit ? (*txn)->Commit() : (*txn)->Abort();
+      if (!s.ok()) hard_failures.fetch_add(1);
+    }
+  });
+
+  // Periodic checkpoints over the same container while everything churns.
+  int checkpoints_ok = 0;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Buffer> states;
+    for (int r = 0; r < 4; ++r) {
+      states.push_back(PatternBuffer(5000, static_cast<std::uint64_t>(round * 4 + r)));
+    }
+    checkpoint::LwfsCheckpoint::Config config{
+        "/stress/ckpt" + std::to_string(round), cid, owner_cap, 3};
+    auto stats = checkpoint::LwfsCheckpoint::Run(*runtime, config, states);
+    if (stats.ok()) {
+      auto restored = checkpoint::LwfsCheckpoint::Restore(*runtime, owner_cap,
+                                                          config.path);
+      if (restored.ok() && (*restored)[2] == states[2]) ++checkpoints_ok;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_EQ(checkpoints_ok, 3);
+  // The services are all still healthy.
+  EXPECT_TRUE(owner->CreateObject(0, owner_cap).ok());
+  EXPECT_TRUE(owner->LookupName("/stress/ckpt2").ok());
+}
+
+}  // namespace
+}  // namespace lwfs
