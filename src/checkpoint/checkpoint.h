@@ -3,10 +3,13 @@
 // Three functionally equivalent checkpoint implementations:
 //
 //  * LwfsCheckpoint       — the paper's lightweight checkpoint: each rank
-//                           creates and dumps its own object in parallel,
-//                           rank 0 gathers metadata into a metadata object
-//                           and names it, all inside one distributed
-//                           transaction (Figure 8 pseudocode, line for line).
+//                           creates and dumps its own object, rank 0
+//                           gathers metadata into a metadata object and
+//                           names it, all inside one distributed
+//                           transaction (Figure 8 pseudocode, line for
+//                           line).  Rank operations are pipelined through
+//                           a bounded window of asynchronous calls, not
+//                           one OS thread per rank.
 //  * PfsFilePerProcess    — one PFS file per rank: dump bandwidth scales,
 //                           but every create funnels through the MDS.
 //  * PfsSharedFile        — one striped PFS file, rank r writes its
@@ -53,17 +56,19 @@ class LwfsCheckpoint {
     storage::ContainerId cid;       // checkpoint container (MAIN line 2)
     security::Capability cap;       // caps for create+write (MAIN line 3)
     std::uint32_t journal_server = 0;
+    std::uint32_t window = 8;       // outstanding async creates/writes
   };
 
-  /// Run the CHECKPOINT() operation of Figure 8 with one thread per rank;
-  /// `states[r]` is rank r's process state.  Each rank places its object on
-  /// storage server r % m (application-chosen distribution policy).
+  /// Run the CHECKPOINT() operation of Figure 8; `states[r]` is rank r's
+  /// process state.  Each rank places its object on storage server r % m
+  /// (application-chosen distribution policy).  Creates and dumps are
+  /// pipelined through a window of `config.window` outstanding requests.
   static Result<CheckpointStats> Run(core::ServiceRuntime& runtime,
                                      const Config& config,
                                      const std::vector<Buffer>& states);
 
   /// Restore: look up `path`, read the metadata object, read every state
-  /// object (in parallel, one thread per rank).
+  /// object through a windowed async batch.
   static Result<std::vector<Buffer>> Restore(core::ServiceRuntime& runtime,
                                              const security::Capability& cap,
                                              const std::string& path);

@@ -5,6 +5,93 @@
 namespace lwfs::core {
 
 // ---------------------------------------------------------------------------
+// PendingIo / PendingCreate / Batch
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> PendingIo::Resolve(Result<Buffer> reply,
+                                         bool decode_reply,
+                                         std::uint64_t nominal) {
+  if (!reply.ok()) return reply.status();
+  if (!decode_reply) return nominal;
+  Decoder dec(*reply);
+  return dec.GetU64();
+}
+
+Result<std::uint64_t> PendingIo::Await() {
+  if (!handle_.valid()) {
+    return FailedPrecondition("awaiting an empty io handle");
+  }
+  return Resolve(handle_.Await(), decode_reply_, nominal_);
+}
+
+bool PendingIo::TryAwait(Result<std::uint64_t>* out) {
+  if (!handle_.valid()) return false;
+  Result<Buffer> reply = Buffer{};
+  if (!handle_.TryAwait(&reply)) return false;
+  if (out != nullptr) *out = Resolve(std::move(reply), decode_reply_, nominal_);
+  return true;
+}
+
+Result<storage::ObjectId> PendingCreate::Await() {
+  if (!handle_.valid()) {
+    return FailedPrecondition("awaiting an empty create handle");
+  }
+  auto reply = handle_.Await();
+  if (!reply.ok()) return reply.status();
+  Decoder dec(*reply);
+  auto oid = dec.GetU64();
+  if (!oid.ok()) return oid.status();
+  return storage::ObjectId{*oid};
+}
+
+Status Batch::RetireOldest() {
+  Op op = std::move(inflight_.front());
+  inflight_.pop_front();
+  auto n = op.io.Await();
+  if (!n.ok()) {
+    if (first_error_.ok()) first_error_ = n.status();
+    return n.status();
+  }
+  if (op.bytes_read != nullptr) *op.bytes_read = *n;
+  return OkStatus();
+}
+
+Status Batch::Write(std::uint32_t server, const security::Capability& cap,
+                    storage::ObjectId oid, std::uint64_t offset,
+                    ByteSpan data) {
+  if (!first_error_.ok()) return first_error_;
+  while (inflight_.size() >= window_) (void)RetireOldest();
+  if (!first_error_.ok()) return first_error_;
+  auto io = client_->WriteObjectAsync(server, cap, oid, offset, data);
+  if (!io.ok()) {
+    if (first_error_.ok()) first_error_ = io.status();
+    return io.status();
+  }
+  inflight_.push_back(Op{std::move(*io), nullptr});
+  return OkStatus();
+}
+
+Status Batch::Read(std::uint32_t server, const security::Capability& cap,
+                   storage::ObjectId oid, std::uint64_t offset,
+                   MutableByteSpan out, std::uint64_t* bytes_read) {
+  if (!first_error_.ok()) return first_error_;
+  while (inflight_.size() >= window_) (void)RetireOldest();
+  if (!first_error_.ok()) return first_error_;
+  auto io = client_->ReadObjectAsync(server, cap, oid, offset, out);
+  if (!io.ok()) {
+    if (first_error_.ok()) first_error_ = io.status();
+    return io.status();
+  }
+  inflight_.push_back(Op{std::move(*io), bytes_read});
+  return OkStatus();
+}
+
+Status Batch::Drain() {
+  while (!inflight_.empty()) (void)RetireOldest();
+  return first_error_;
+}
+
+// ---------------------------------------------------------------------------
 // RemoteParticipant
 // ---------------------------------------------------------------------------
 
@@ -164,23 +251,39 @@ Status Client::RevokeCap(const security::Credential& cred,
 Result<storage::ObjectId> Client::CreateObject(std::uint32_t server,
                                                const security::Capability& cap,
                                                txn::TxnId txid) {
+  auto pending = CreateObjectAsync(server, cap, txid);
+  if (!pending.ok()) return pending.status();
+  return pending->Await();
+}
+
+Result<PendingCreate> Client::CreateObjectAsync(std::uint32_t server,
+                                                const security::Capability& cap,
+                                                txn::TxnId txid) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
   Encoder req;
   cap.Encode(req);
   req.PutU64(txid);
-  auto reply = rpc_.Call(*nid, kOpObjCreate, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  auto oid = dec.GetU64();
-  if (!oid.ok()) return oid.status();
-  return storage::ObjectId{*oid};
+  auto handle = rpc_.CallAsync(*nid, kOpObjCreate, ByteSpan(req.buffer()));
+  if (!handle.ok()) return handle.status();
+  return PendingCreate(std::move(*handle));
 }
 
 Status Client::WriteObject(std::uint32_t server,
                            const security::Capability& cap,
                            storage::ObjectId oid, std::uint64_t offset,
                            ByteSpan data) {
+  auto io = WriteObjectAsync(server, cap, oid, offset, data);
+  if (!io.ok()) return io.status();
+  auto n = io->Await();
+  return n.ok() ? OkStatus() : n.status();
+}
+
+Result<PendingIo> Client::WriteObjectAsync(std::uint32_t server,
+                                           const security::Capability& cap,
+                                           storage::ObjectId oid,
+                                           std::uint64_t offset,
+                                           ByteSpan data) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
   Encoder req;
@@ -189,8 +292,10 @@ Status Client::WriteObject(std::uint32_t server,
   req.PutU64(offset);
   rpc::CallOptions options;
   options.bulk_out = data;  // registered for the server to pull
-  auto reply = rpc_.Call(*nid, kOpObjWrite, ByteSpan(req.buffer()), options);
-  return reply.ok() ? OkStatus() : reply.status();
+  auto handle =
+      rpc_.CallAsync(*nid, kOpObjWrite, ByteSpan(req.buffer()), options);
+  if (!handle.ok()) return handle.status();
+  return PendingIo(std::move(*handle), /*decode_reply=*/false, data.size());
 }
 
 Result<std::uint64_t> Client::ReadObject(std::uint32_t server,
@@ -198,6 +303,16 @@ Result<std::uint64_t> Client::ReadObject(std::uint32_t server,
                                          storage::ObjectId oid,
                                          std::uint64_t offset,
                                          MutableByteSpan out) {
+  auto io = ReadObjectAsync(server, cap, oid, offset, out);
+  if (!io.ok()) return io.status();
+  return io->Await();
+}
+
+Result<PendingIo> Client::ReadObjectAsync(std::uint32_t server,
+                                          const security::Capability& cap,
+                                          storage::ObjectId oid,
+                                          std::uint64_t offset,
+                                          MutableByteSpan out) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
   Encoder req;
@@ -207,10 +322,10 @@ Result<std::uint64_t> Client::ReadObject(std::uint32_t server,
   req.PutU64(out.size());
   rpc::CallOptions options;
   options.bulk_in = out;  // registered for the server to push
-  auto reply = rpc_.Call(*nid, kOpObjRead, ByteSpan(req.buffer()), options);
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return dec.GetU64();
+  auto handle =
+      rpc_.CallAsync(*nid, kOpObjRead, ByteSpan(req.buffer()), options);
+  if (!handle.ok()) return handle.status();
+  return PendingIo(std::move(*handle), /*decode_reply=*/true, out.size());
 }
 
 Result<Buffer> Client::ReadObjectAlloc(std::uint32_t server,

@@ -10,6 +10,7 @@
 // core policy (§3.1.1).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,99 @@ struct Deployment {
 };
 
 class Client;
+
+/// Completion handle for an asynchronous object read or write (issued via
+/// Client::WriteObjectAsync / ReadObjectAsync).  The data span handed in at
+/// issue time stays registered with the fabric until the completion event,
+/// so it must remain valid until Await()/TryAwait() reports completion.
+class PendingIo {
+ public:
+  PendingIo() = default;
+
+  [[nodiscard]] bool valid() const { return handle_.valid(); }
+
+  /// Wait for the completion event.  Writes resolve to the number of bytes
+  /// written; reads to the number of bytes actually read (short at EOF).
+  Result<std::uint64_t> Await();
+
+  /// Non-blocking variant; true once the call has completed.
+  bool TryAwait(Result<std::uint64_t>* out);
+
+ private:
+  friend class Client;
+  PendingIo(rpc::CallHandle handle, bool decode_reply, std::uint64_t nominal)
+      : handle_(std::move(handle)),
+        decode_reply_(decode_reply),
+        nominal_(nominal) {}
+  static Result<std::uint64_t> Resolve(Result<Buffer> reply, bool decode_reply,
+                                       std::uint64_t nominal);
+
+  rpc::CallHandle handle_;
+  bool decode_reply_ = false;  // reply body carries a u64 byte count (reads)
+  std::uint64_t nominal_ = 0;  // write payload size
+};
+
+/// Completion handle for an asynchronous object create.
+class PendingCreate {
+ public:
+  PendingCreate() = default;
+  [[nodiscard]] bool valid() const { return handle_.valid(); }
+  Result<storage::ObjectId> Await();
+
+ private:
+  friend class Client;
+  explicit PendingCreate(rpc::CallHandle handle) : handle_(std::move(handle)) {}
+  rpc::CallHandle handle_;
+};
+
+/// Issues object I/O through a bounded in-flight window and gathers the
+/// statuses — the client-side "outstanding requests" knob of Figure 6's
+/// flow-control argument.  Write()/Read() return immediately while the
+/// window has room and otherwise retire the oldest operation first.  The
+/// first error seen anywhere in the batch is sticky: subsequent issues
+/// return it without sending, so issue loops bail out naturally, and
+/// Drain() reports it after retiring everything in flight.
+///
+/// Spans handed to Write()/Read() (and any `bytes_read` out-pointer) must
+/// stay valid until the operation retires.  Not thread-safe: use one Batch
+/// per issuing thread.
+class Batch {
+ public:
+  static constexpr std::size_t kDefaultWindow = 8;
+
+  explicit Batch(Client* client, std::size_t window = kDefaultWindow)
+      : client_(client), window_(window == 0 ? 1 : window) {}
+  ~Batch() { (void)Drain(); }
+
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+
+  Status Write(std::uint32_t server, const security::Capability& cap,
+               storage::ObjectId oid, std::uint64_t offset, ByteSpan data);
+  Status Read(std::uint32_t server, const security::Capability& cap,
+              storage::ObjectId oid, std::uint64_t offset, MutableByteSpan out,
+              std::uint64_t* bytes_read = nullptr);
+
+  /// Retire everything in flight; returns the first error seen across the
+  /// whole batch.
+  Status Drain();
+
+  [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
+  [[nodiscard]] std::size_t window() const { return window_; }
+  [[nodiscard]] const Status& first_error() const { return first_error_; }
+
+ private:
+  Status RetireOldest();
+
+  struct Op {
+    PendingIo io;
+    std::uint64_t* bytes_read;
+  };
+  Client* client_;
+  std::size_t window_;
+  std::deque<Op> inflight_;
+  Status first_error_ = OkStatus();
+};
 
 /// txn::Participant stub that forwards prepare/commit/abort over RPC.
 class RemoteParticipant final : public txn::Participant {
@@ -133,12 +227,26 @@ class Client {
   Status RevokeCap(const security::Credential& cred, std::uint64_t cap_id);
 
   // ---- Object storage (direct to storage servers) -------------------------
+  // The *Async variants issue the small request and return a completion
+  // handle immediately; the registered data span must stay valid until the
+  // handle resolves.  The synchronous calls are thin issue+Await wrappers.
   Result<storage::ObjectId> CreateObject(std::uint32_t server,
                                          const security::Capability& cap,
                                          txn::TxnId txid = 0);
+  Result<PendingCreate> CreateObjectAsync(std::uint32_t server,
+                                          const security::Capability& cap,
+                                          txn::TxnId txid = 0);
   Status WriteObject(std::uint32_t server, const security::Capability& cap,
                      storage::ObjectId oid, std::uint64_t offset,
                      ByteSpan data);
+  Result<PendingIo> WriteObjectAsync(std::uint32_t server,
+                                     const security::Capability& cap,
+                                     storage::ObjectId oid,
+                                     std::uint64_t offset, ByteSpan data);
+  Result<PendingIo> ReadObjectAsync(std::uint32_t server,
+                                    const security::Capability& cap,
+                                    storage::ObjectId oid,
+                                    std::uint64_t offset, MutableByteSpan out);
   /// Read into caller memory; returns bytes actually read (short at EOF).
   Result<std::uint64_t> ReadObject(std::uint32_t server,
                                    const security::Capability& cap,

@@ -1,6 +1,8 @@
 #include "core/storage_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -101,6 +103,16 @@ Result<storage::ObjAttr> StorageServer::CheckObject(
   return attr;
 }
 
+void StorageServer::ChargeMediumTime(std::uint64_t bytes) {
+  if (options_.modeled_disk_mb_s <= 0 || bytes == 0) return;
+  // bytes / (MB/s * 1e6 B/MB) seconds == bytes / (MB/s) microseconds.
+  const auto us = static_cast<std::int64_t>(
+      static_cast<double>(bytes) / options_.modeled_disk_mb_s);
+  // Hold the lock across the sleep: one disk arm, competing requests queue.
+  std::lock_guard<std::mutex> lock(medium_mu_);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 void StorageServer::RegisterDataHandlers() {
   data_server_.RegisterHandler(
       kOpObjCreate,
@@ -152,6 +164,7 @@ void StorageServer::RegisterDataHandlers() {
           LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
                                              *offset + moved,
                                              ByteSpan(chunk)));
+          ChargeMediumTime(n);
           moved += n;
         }
         Encoder reply;
@@ -182,6 +195,7 @@ void StorageServer::RegisterDataHandlers() {
           auto data = store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
           if (!data.ok()) return data.status();
           if (data->empty()) break;  // EOF
+          ChargeMediumTime(data->size());
           // Server-directed push into the client's registered region.
           LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), moved));
           moved += data->size();

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "core/filters.h"
 #include "core/protocol.h"
@@ -51,6 +52,14 @@ struct StorageServerOptions {
   VerifyMode verify_mode = VerifyMode::kAuthzWithCache;
   /// kSharedKey only: the authorization service's signing key.
   security::SipKey shared_key;
+  /// Modeled storage-medium bandwidth in MB/s; 0 disables the model and
+  /// the data path runs at memcpy speed.  The discrete-event simulator
+  /// charges every byte a storage service time (the ~95 MB/s OSTs of §4);
+  /// this applies the same charge to the live server — serialized per
+  /// server, like a single disk arm — so overlap experiments (the fig9
+  /// window sweep) measure pipelining against a realistic service
+  /// component rather than the host's memory bus.
+  double modeled_disk_mb_s = 0;
 };
 
 class StorageServer {
@@ -94,6 +103,10 @@ class StorageServer {
   Result<storage::ObjAttr> CheckObject(const security::Capability& cap,
                                        storage::ObjectId oid);
 
+  /// Charge `bytes` against the modeled medium bandwidth (no-op when the
+  /// model is off).  Serialized by `medium_mu_`: one disk arm per server.
+  void ChargeMediumTime(std::uint64_t bytes);
+
   const std::uint32_t server_id_;
   storage::ObjectStore* store_;
   const portals::Nid authz_nid_;
@@ -105,6 +118,7 @@ class StorageServer {
   rpc::RpcServer control_server_;
   rpc::RpcClient authz_client_;
   std::atomic<std::uint64_t> remote_verifies_{0};
+  std::mutex medium_mu_;
 };
 
 }  // namespace lwfs::core

@@ -1,6 +1,8 @@
 #include "libio/collective.h"
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 
 namespace lwfs::io {
 
@@ -10,6 +12,13 @@ struct Placed {
   std::uint64_t offset;
   ByteSpan data;
   bool operator<(const Placed& other) const { return offset < other.offset; }
+};
+
+/// A coalesced run in flight: the collective buffer must stay alive until
+/// the write retires.
+struct PendingWrite {
+  Buffer cb;
+  fs::FileIo io;
 };
 
 }  // namespace
@@ -50,7 +59,17 @@ Result<CollectiveStats> CollectiveWrite(
                                      options.aggregators);
 
   // Phase 2: per domain, coalesce adjacent fragments into runs bounded by
-  // the collective buffer and write each run once.
+  // the collective buffer, and push each run through a bounded window of
+  // async writes — the aggregators' flushes overlap instead of taking
+  // turns.  (If a retire fails, the deque's FileIo destructors drain the
+  // rest before the buffers go away.)
+  const std::size_t window = options.io_window == 0 ? 1 : options.io_window;
+  std::deque<PendingWrite> inflight;
+  auto retire = [&]() -> Status {
+    auto n = inflight.front().io.Await();
+    inflight.pop_front();
+    return n.ok() ? OkStatus() : n.status();
+  };
   std::size_t i = 0;
   while (i < all.size()) {
     const std::uint64_t domain_end =
@@ -60,9 +79,14 @@ Result<CollectiveStats> CollectiveWrite(
     std::uint64_t run_end = run_start;
     auto flush = [&]() -> Status {
       if (cb.empty()) return OkStatus();
-      LWFS_RETURN_IF_ERROR(fs.Write(file, run_start, ByteSpan(cb)));
+      while (inflight.size() >= window) LWFS_RETURN_IF_ERROR(retire());
+      PendingWrite p{std::move(cb), fs::FileIo{}};
+      auto io = fs.WriteAsync(file, run_start, ByteSpan(p.cb));
+      if (!io.ok()) return io.status();
+      p.io = std::move(*io);
+      inflight.push_back(std::move(p));
       ++stats.writes_issued;
-      cb.clear();
+      cb = Buffer{};
       return OkStatus();
     };
     while (i < all.size() && all[i].offset < domain_end) {
@@ -80,6 +104,7 @@ Result<CollectiveStats> CollectiveWrite(
     }
     LWFS_RETURN_IF_ERROR(flush());
   }
+  while (!inflight.empty()) LWFS_RETURN_IF_ERROR(retire());
   return stats;
 }
 

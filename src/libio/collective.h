@@ -28,6 +28,8 @@ struct CollectiveOptions {
   std::uint32_t aggregators = 4;
   /// Cap on a single coalesced write (collective buffer size).
   std::uint64_t cb_buffer_bytes = 16ull << 20;
+  /// Outstanding async coalesced writes (aggregators flush in parallel).
+  std::size_t io_window = 4;
 };
 
 struct CollectiveStats {

@@ -7,13 +7,42 @@ namespace lwfs::io {
 
 Status PrefetchReader::Fill(std::uint64_t offset) {
   window_.resize(static_cast<std::size_t>(options_.window_bytes));
-  auto n = fs_->Read(file_, offset, MutableByteSpan(window_));
-  if (!n.ok()) return n.status();
+  std::uint64_t got = 0;
+  if (ahead_.valid() && ahead_offset_ == offset &&
+      ahead_buf_.size() == window_.size()) {
+    // The read-ahead issued while the caller consumed the previous window
+    // is exactly what is needed: adopt it.
+    fs::FileIo io = std::move(ahead_);
+    auto n = io.Await();
+    if (!n.ok()) return n.status();
+    window_.swap(ahead_buf_);
+    got = *n;
+    ++stats_.readaheads;
+  } else {
+    if (ahead_.valid()) {
+      // Stale read-ahead (the caller seeked): drain and discard.
+      fs::FileIo io = std::move(ahead_);
+      (void)io.Await();
+    }
+    auto n = fs_->Read(file_, offset, MutableByteSpan(window_));
+    if (!n.ok()) return n.status();
+    got = *n;
+  }
   window_offset_ = offset;
-  window_len_ = *n;
+  window_len_ = got;
   ++stats_.fetches;
-  stats_.bytes_fetched += *n;
+  stats_.bytes_fetched += got;
+  // A full window under sequential access predicts the next one: start
+  // fetching it while the caller consumes this one.
+  if (sequential_ && window_len_ == window_.size()) StartReadAhead();
   return OkStatus();
+}
+
+void PrefetchReader::StartReadAhead() {
+  ahead_offset_ = window_offset_ + window_len_;
+  ahead_buf_.resize(window_.size());
+  auto io = fs_->ReadAsync(file_, ahead_offset_, MutableByteSpan(ahead_buf_));
+  if (io.ok()) ahead_ = std::move(*io);  // best effort: failure just means no read-ahead
 }
 
 Result<std::uint64_t> PrefetchReader::Read(std::uint64_t offset,

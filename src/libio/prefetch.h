@@ -24,9 +24,10 @@ struct PrefetchOptions {
 struct PrefetchStats {
   std::uint64_t reads = 0;             // caller reads served
   std::uint64_t hits = 0;              // served fully from the window
-  std::uint64_t fetches = 0;           // I/O requests issued
+  std::uint64_t fetches = 0;           // I/O requests whose data was used
   std::uint64_t bytes_fetched = 0;
   std::uint64_t bytes_served = 0;
+  std::uint64_t readaheads = 0;        // async read-aheads adopted
 };
 
 /// Not thread-safe: one PrefetchReader per reading thread, like a stdio
@@ -44,8 +45,11 @@ class PrefetchReader {
   [[nodiscard]] fs::FileHandle& file() { return file_; }
 
  private:
-  /// Fill the window starting at `offset`.
+  /// Fill the window starting at `offset` — adopting the pending async
+  /// read-ahead when it matches, fetching synchronously otherwise.
   Status Fill(std::uint64_t offset);
+  /// Start fetching the window after the current one in the background.
+  void StartReadAhead();
 
   fs::LwfsFs* fs_;
   fs::FileHandle file_;
@@ -57,6 +61,12 @@ class PrefetchReader {
   std::uint64_t window_len_ = 0;   // valid bytes in window_
   std::uint64_t last_end_ = 0;     // end of the previous caller read
   bool sequential_ = false;
+
+  // Pending read-ahead.  `ahead_` is declared after the buffer it reads
+  // into so its destructor (which drains the I/O) runs first.
+  Buffer ahead_buf_;
+  std::uint64_t ahead_offset_ = 0;
+  fs::FileIo ahead_;
 };
 
 }  // namespace lwfs::io

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <vector>
 
 namespace lwfs::io {
 
@@ -24,6 +26,23 @@ Status ValidateFragments(std::span<const Fragment> fragments,
   return OkStatus();
 }
 
+/// One planned read: either a sieve window spanning fragments [first,last)
+/// or a lone fragment read straight into `out`.
+struct Run {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::uint64_t out_pos = 0;
+  [[nodiscard]] bool sieved() const { return last - first > 1; }
+};
+
+struct PendingRun {
+  Run run;
+  Buffer window;  // sieved runs read here, then extract
+  fs::FileIo io;
+};
+
 }  // namespace
 
 Result<SieveStats> SievedRead(fs::LwfsFs& fs, fs::FileHandle& file,
@@ -32,13 +51,13 @@ Result<SieveStats> SievedRead(fs::LwfsFs& fs, fs::FileHandle& file,
                               const SieveOptions& options) {
   LWFS_RETURN_IF_ERROR(ValidateFragments(fragments, out));
   SieveStats stats;
-  Buffer window;
 
+  // Plan: grow each candidate window while it stays under the cap and
+  // dense enough.
+  std::vector<Run> runs;
   std::size_t i = 0;
   std::uint64_t out_pos = 0;
   while (i < fragments.size()) {
-    // Grow a candidate window while it stays under the cap and dense
-    // enough.
     std::size_t j = i + 1;
     std::uint64_t needed = fragments[i].second;
     std::uint64_t span_end = fragments[i].first + fragments[i].second;
@@ -55,34 +74,62 @@ Result<SieveStats> SievedRead(fs::LwfsFs& fs, fs::FileHandle& file,
       span_end = new_end;
       ++j;
     }
-
-    const std::uint64_t span = span_end - fragments[i].first;
+    Run run;
+    run.offset = fragments[i].first;
+    run.length = span_end - fragments[i].first;
+    run.first = i;
+    run.last = j;
+    run.out_pos = out_pos;
+    runs.push_back(run);
     stats.bytes_needed += needed;
-    if (j - i > 1) {
-      // Sieve: one spanning read, then extract.
-      window.resize(static_cast<std::size_t>(span));
-      auto n = fs.Read(file, fragments[i].first, MutableByteSpan(window));
-      if (!n.ok()) return n.status();
-      ++stats.requests;
-      stats.bytes_transferred += span;
-      for (std::size_t k = i; k < j; ++k) {
-        const std::uint64_t rel = fragments[k].first - fragments[i].first;
-        std::memcpy(out.data() + out_pos, window.data() + rel,
-                    static_cast<std::size_t>(fragments[k].second));
-        out_pos += fragments[k].second;
-      }
-    } else {
-      // Lone/sparse fragment: read it directly.
-      auto span_out = out.subspan(static_cast<std::size_t>(out_pos),
-                                  static_cast<std::size_t>(fragments[i].second));
-      auto n = fs.Read(file, fragments[i].first, span_out);
-      if (!n.ok()) return n.status();
-      ++stats.requests;
-      stats.bytes_transferred += fragments[i].second;
-      out_pos += fragments[i].second;
-    }
+    out_pos += needed;
     i = j;
   }
+
+  // Issue the runs through a bounded window of async reads; extraction
+  // happens as each run retires.  (If a retire fails, the deque's FileIo
+  // destructors drain the rest before the buffers go away.)
+  const std::size_t window = options.io_window == 0 ? 1 : options.io_window;
+  std::deque<PendingRun> inflight;
+  auto retire = [&]() -> Status {
+    PendingRun p = std::move(inflight.front());
+    inflight.pop_front();
+    auto n = p.io.Await();
+    if (!n.ok()) return n.status();
+    if (p.run.sieved()) {
+      std::uint64_t pos = p.run.out_pos;
+      for (std::size_t k = p.run.first; k < p.run.last; ++k) {
+        const std::uint64_t rel = fragments[k].first - p.run.offset;
+        std::memcpy(out.data() + pos, p.window.data() + rel,
+                    static_cast<std::size_t>(fragments[k].second));
+        pos += fragments[k].second;
+      }
+    }
+    return OkStatus();
+  };
+
+  for (const Run& run : runs) {
+    while (inflight.size() >= window) LWFS_RETURN_IF_ERROR(retire());
+    PendingRun p;
+    p.run = run;
+    Result<fs::FileIo> io = FailedPrecondition("unissued");
+    if (run.sieved()) {
+      // Sieve: one spanning read, extracted on retire.
+      p.window.resize(static_cast<std::size_t>(run.length));
+      io = fs.ReadAsync(file, run.offset, MutableByteSpan(p.window));
+    } else {
+      // Lone/sparse fragment: read it directly into place.
+      io = fs.ReadAsync(file, run.offset,
+                        out.subspan(static_cast<std::size_t>(run.out_pos),
+                                    static_cast<std::size_t>(run.length)));
+    }
+    if (!io.ok()) return io.status();
+    p.io = std::move(*io);
+    ++stats.requests;
+    stats.bytes_transferred += run.length;
+    inflight.push_back(std::move(p));
+  }
+  while (!inflight.empty()) LWFS_RETURN_IF_ERROR(retire());
   return stats;
 }
 
@@ -91,17 +138,27 @@ Result<SieveStats> DirectRead(fs::LwfsFs& fs, fs::FileHandle& file,
                               MutableByteSpan out) {
   LWFS_RETURN_IF_ERROR(ValidateFragments(fragments, out));
   SieveStats stats;
+  constexpr std::size_t kWindow = 8;
+  std::deque<fs::FileIo> inflight;
+  auto retire = [&]() -> Status {
+    auto n = inflight.front().Await();
+    inflight.pop_front();
+    return n.ok() ? OkStatus() : n.status();
+  };
   std::uint64_t out_pos = 0;
   for (const Fragment& frag : fragments) {
-    auto span = out.subspan(static_cast<std::size_t>(out_pos),
-                            static_cast<std::size_t>(frag.second));
-    auto n = fs.Read(file, frag.first, span);
-    if (!n.ok()) return n.status();
+    while (inflight.size() >= kWindow) LWFS_RETURN_IF_ERROR(retire());
+    auto io = fs.ReadAsync(file, frag.first,
+                           out.subspan(static_cast<std::size_t>(out_pos),
+                                       static_cast<std::size_t>(frag.second)));
+    if (!io.ok()) return io.status();
+    inflight.push_back(std::move(*io));
     ++stats.requests;
     stats.bytes_transferred += frag.second;
     stats.bytes_needed += frag.second;
     out_pos += frag.second;
   }
+  while (!inflight.empty()) LWFS_RETURN_IF_ERROR(retire());
   return stats;
 }
 

@@ -23,6 +23,8 @@ struct SieveOptions {
   double density_threshold = 0.25;
   /// Never read a sieve window larger than this.
   std::uint64_t max_window_bytes = 8ull << 20;
+  /// Outstanding async window reads (bounds buffered window memory).
+  std::size_t io_window = 4;
 };
 
 struct SieveStats {

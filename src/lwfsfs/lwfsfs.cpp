@@ -1,6 +1,8 @@
 #include "lwfsfs/lwfsfs.h"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 #include <set>
 
 #include "core/protocol.h"
@@ -34,6 +36,116 @@ std::uint64_t StripeObjectSize(std::uint64_t size, std::uint32_t stripe_size,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// FileIo
+// ---------------------------------------------------------------------------
+
+struct FileIo::State {
+  LwfsFs* fs = nullptr;
+  FileHandle* file = nullptr;  // must outlive the handle
+  bool is_read = false;
+  std::uint64_t offset = 0;
+  ByteSpan data{};          // write payload
+  MutableByteSpan out{};    // read destination
+
+  // kPosix: the byte-range lock is acquired lazily in Await() so a driver
+  // pipelining several FileIo handles cannot deadlock against locks held
+  // by its own not-yet-retired handles.
+  bool need_lock = false;
+  std::optional<txn::LockId> lock;
+
+  struct Chunk {
+    std::uint32_t server = 0;
+    storage::ObjectId oid;
+    std::uint64_t object_offset = 0;
+    std::uint64_t length = 0;
+    std::size_t span_offset = 0;  // into `data` / `out`
+  };
+  std::vector<Chunk> chunks;
+  std::size_t next_chunk = 0;
+  bool planned = false;  // reads plan under the lock, inside Await()
+  std::uint64_t want = 0;  // read extent after clamping to the file size
+
+  struct Issued {
+    core::PendingIo io;
+    MutableByteSpan span{};  // read chunk destination, for hole zero-fill
+    std::uint64_t length = 0;
+  };
+  std::deque<Issued> inflight;
+
+  bool completed = false;
+  Result<std::uint64_t> result = std::uint64_t{0};
+};
+
+FileIo::FileIo() = default;
+FileIo::FileIo(FileIo&&) noexcept = default;
+FileIo& FileIo::operator=(FileIo&&) noexcept = default;
+
+FileIo::~FileIo() {
+  // Drain so the caller's span is quiescent before it can be freed.
+  if (state_ && !state_->completed) (void)Await();
+}
+
+Result<std::uint64_t> FileIo::Await() {
+  if (!state_) return FailedPrecondition("awaiting an empty file io handle");
+  State& s = *state_;
+  if (s.completed) return s.result;
+  LwfsFs& fs = *s.fs;
+
+  if (s.need_lock && !s.lock) {
+    const std::uint64_t len = s.is_read ? s.out.size() : s.data.size();
+    auto id = fs.client_->LockBlocking(
+        FileLockKey(fs.cap_, s.file->inode), {s.offset, s.offset + len},
+        s.is_read ? txn::LockMode::kShared : txn::LockMode::kExclusive);
+    if (!id.ok()) {
+      s.completed = true;
+      s.result = id.status();
+      return s.result;
+    }
+    s.lock = *id;
+  }
+
+  Status error = OkStatus();
+  if (s.is_read && !s.planned) error = fs.PlanRead(s);
+
+  for (;;) {
+    while (error.ok() && s.inflight.size() < fs.options_.io_window &&
+           s.next_chunk < s.chunks.size()) {
+      Status issued = fs.IssueFileChunk(s);
+      if (!issued.ok()) error = issued;
+    }
+    if (s.inflight.empty()) break;
+    State::Issued op = std::move(s.inflight.front());
+    s.inflight.pop_front();
+    auto n = op.io.Await();
+    if (!n.ok()) {
+      if (error.ok()) error = n.status();
+      continue;
+    }
+    if (s.is_read && error.ok() && *n < op.length) {
+      // Hole within the file extent (sparse writes): reads as zero.
+      std::fill(op.span.begin() + static_cast<std::ptrdiff_t>(*n),
+                op.span.end(), 0);
+    }
+  }
+
+  if (error.ok() && !s.is_read) {
+    s.file->size = std::max(s.file->size, s.offset + s.data.size());
+  }
+  if (s.lock) {
+    Status unlocked = fs.client_->Unlock(*s.lock);
+    if (error.ok()) error = unlocked;
+    s.lock.reset();
+  }
+  s.completed = true;
+  if (!error.ok()) {
+    s.result = error;
+  } else {
+    s.result = s.is_read ? s.want : static_cast<std::uint64_t>(s.data.size());
+  }
+  return s.result;
+}
 
 Result<std::unique_ptr<LwfsFs>> LwfsFs::Mount(core::Client* client,
                                               security::Capability cap,
@@ -210,72 +322,128 @@ Status LwfsFs::Remove(const std::string& path) {
 }
 
 Status LwfsFs::Write(FileHandle& file, std::uint64_t offset, ByteSpan data) {
-  std::optional<txn::LockId> lock;
-  if (options_.consistency == FsConsistency::kPosix) {
-    auto id = client_->LockBlocking(FileLockKey(cap_, file.inode),
-                                    {offset, offset + data.size()},
-                                    txn::LockMode::kExclusive);
-    if (!id.ok()) return id.status();
-    lock = *id;
-  }
-  Status result = OkStatus();
-  const auto chunks = pfs::MapExtent(
-      file.stripe_size, static_cast<std::uint32_t>(file.stripes.size()),
-      offset, data.size());
-  for (const pfs::StripeChunk& chunk : chunks) {
-    const pfs::StripeTarget& target = file.stripes[chunk.stripe_index];
-    result = client_->WriteObject(
-        target.ost_index, cap_, target.oid, chunk.object_offset,
-        data.subspan(static_cast<std::size_t>(chunk.file_offset - offset),
-                     static_cast<std::size_t>(chunk.length)));
-    if (!result.ok()) break;
-  }
-  if (result.ok()) file.size = std::max(file.size, offset + data.size());
-  if (lock) {
-    Status unlocked = client_->Unlock(*lock);
-    if (result.ok()) result = unlocked;
-  }
-  return result;
+  auto io = WriteAsync(file, offset, data);
+  if (!io.ok()) return io.status();
+  auto n = io->Await();
+  return n.ok() ? OkStatus() : n.status();
 }
 
 Result<std::uint64_t> LwfsFs::Read(FileHandle& file, std::uint64_t offset,
                                    MutableByteSpan out) {
-  std::optional<txn::LockId> lock;
-  if (options_.consistency == FsConsistency::kPosix) {
-    auto id = client_->LockBlocking(FileLockKey(cap_, file.inode),
-                                    {offset, offset + out.size()},
-                                    txn::LockMode::kShared);
-    if (!id.ok()) return id.status();
-    lock = *id;
+  auto io = ReadAsync(file, offset, out);
+  if (!io.ok()) return io.status();
+  return io->Await();
+}
+
+Status LwfsFs::PlanRead(FileIo::State& s) {
+  s.planned = true;
+  auto size = Size(*s.file);
+  if (!size.ok()) return size.status();
+  if (s.offset >= *size) {
+    s.want = 0;
+    return OkStatus();
   }
+  s.want = std::min<std::uint64_t>(s.out.size(), *size - s.offset);
+  const auto chunks = pfs::MapExtent(
+      s.file->stripe_size, static_cast<std::uint32_t>(s.file->stripes.size()),
+      s.offset, s.want);
+  s.chunks.reserve(chunks.size());
+  for (const pfs::StripeChunk& chunk : chunks) {
+    const pfs::StripeTarget& target = s.file->stripes[chunk.stripe_index];
+    s.chunks.push_back(FileIo::State::Chunk{
+        target.ost_index, target.oid, chunk.object_offset, chunk.length,
+        static_cast<std::size_t>(chunk.file_offset - s.offset)});
+  }
+  return OkStatus();
+}
 
-  auto finish = [&](Result<std::uint64_t> r) -> Result<std::uint64_t> {
-    if (lock) (void)client_->Unlock(*lock);
-    return r;
-  };
+Status LwfsFs::IssueFileChunk(FileIo::State& s) {
+  const FileIo::State::Chunk& chunk = s.chunks[s.next_chunk++];
+  if (s.is_read) {
+    auto span = s.out.subspan(chunk.span_offset,
+                              static_cast<std::size_t>(chunk.length));
+    auto io = client_->ReadObjectAsync(chunk.server, cap_, chunk.oid,
+                                       chunk.object_offset, span);
+    if (!io.ok()) return io.status();
+    s.inflight.push_back(
+        FileIo::State::Issued{std::move(*io), span, chunk.length});
+  } else {
+    auto io = client_->WriteObjectAsync(
+        chunk.server, cap_, chunk.oid, chunk.object_offset,
+        s.data.subspan(chunk.span_offset,
+                       static_cast<std::size_t>(chunk.length)));
+    if (!io.ok()) return io.status();
+    s.inflight.push_back(
+        FileIo::State::Issued{std::move(*io), MutableByteSpan{},
+                              chunk.length});
+  }
+  return OkStatus();
+}
 
-  auto size = Size(file);
-  if (!size.ok()) return finish(size.status());
-  if (offset >= *size) return finish(std::uint64_t{0});
-  const std::uint64_t want = std::min<std::uint64_t>(out.size(), *size - offset);
+Result<FileIo> LwfsFs::WriteAsync(FileHandle& file, std::uint64_t offset,
+                                  ByteSpan data) {
+  FileIo io;
+  io.state_ = std::make_unique<FileIo::State>();
+  FileIo::State& s = *io.state_;
+  s.fs = this;
+  s.file = &file;
+  s.is_read = false;
+  s.offset = offset;
+  s.data = data;
+  s.need_lock = options_.consistency == FsConsistency::kPosix;
 
   const auto chunks = pfs::MapExtent(
       file.stripe_size, static_cast<std::uint32_t>(file.stripes.size()),
-      offset, want);
+      offset, data.size());
+  s.chunks.reserve(chunks.size());
   for (const pfs::StripeChunk& chunk : chunks) {
     const pfs::StripeTarget& target = file.stripes[chunk.stripe_index];
-    auto span =
-        out.subspan(static_cast<std::size_t>(chunk.file_offset - offset),
-                    static_cast<std::size_t>(chunk.length));
-    auto n = client_->ReadObject(target.ost_index, cap_, target.oid,
-                                 chunk.object_offset, span);
-    if (!n.ok()) return finish(n.status());
-    if (*n < chunk.length) {
-      // Hole within the file extent (sparse writes): reads as zero.
-      std::fill(span.begin() + static_cast<std::ptrdiff_t>(*n), span.end(), 0);
+    s.chunks.push_back(FileIo::State::Chunk{
+        target.ost_index, target.oid, chunk.object_offset, chunk.length,
+        static_cast<std::size_t>(chunk.file_offset - offset)});
+  }
+
+  // No chunk may go out before the lock is held; kPosix defers issuance
+  // to Await().  Otherwise prime the window now for overlap.
+  while (!s.need_lock && s.inflight.size() < options_.io_window &&
+         s.next_chunk < s.chunks.size()) {
+    Status issued = IssueFileChunk(s);
+    if (!issued.ok()) {
+      (void)io.Await();  // drain before reporting
+      return issued;
     }
   }
-  return finish(want);
+  return io;
+}
+
+Result<FileIo> LwfsFs::ReadAsync(FileHandle& file, std::uint64_t offset,
+                                 MutableByteSpan out) {
+  FileIo io;
+  io.state_ = std::make_unique<FileIo::State>();
+  FileIo::State& s = *io.state_;
+  s.fs = this;
+  s.file = &file;
+  s.is_read = true;
+  s.offset = offset;
+  s.out = out;
+  s.need_lock = options_.consistency == FsConsistency::kPosix;
+
+  // Reads clamp against the current size, which under kPosix must be
+  // observed with the shared lock held — so planning happens in Await().
+  // Relaxed mode plans and primes now for overlap.
+  if (!s.need_lock) {
+    Status planned = PlanRead(s);
+    if (!planned.ok()) return planned;
+    while (s.inflight.size() < options_.io_window &&
+           s.next_chunk < s.chunks.size()) {
+      Status issued = IssueFileChunk(s);
+      if (!issued.ok()) {
+        (void)io.Await();
+        return issued;
+      }
+    }
+  }
+  return io;
 }
 
 Status LwfsFs::Truncate(FileHandle& file, std::uint64_t size) {

@@ -40,6 +40,8 @@ struct FsOptions {
   /// 0 = stripe over all storage servers.
   std::uint32_t default_stripe_count = 0;
   FsConsistency consistency = FsConsistency::kPosix;
+  /// Outstanding per-stripe object calls within one Read/Write.
+  std::size_t io_window = 8;
 };
 
 /// An open file: the decoded inode plus cached layout.
@@ -49,6 +51,35 @@ struct FileHandle {
   std::uint32_t stripe_size = 0;
   std::vector<pfs::StripeTarget> stripes;  // reuse the striping arithmetic
   std::uint64_t size = 0;       // as of open/last flush
+};
+
+class LwfsFs;
+
+/// A pending file write or read.  Per-stripe object calls are issued
+/// through a bounded in-flight window (FsOptions::io_window) and overlap;
+/// Await() drives the remaining issuance and retires every chunk.  Under
+/// kPosix the byte-range lock is acquired inside Await() before any chunk
+/// goes out and released after the drain, so a caller pipelining several
+/// FileIo handles never deadlocks against its own window.  The FileHandle
+/// and the data span must stay valid until Await() returns (the destructor
+/// drains as a backstop).
+class FileIo {
+ public:
+  FileIo();
+  FileIo(FileIo&&) noexcept;
+  FileIo& operator=(FileIo&&) noexcept;
+  ~FileIo();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Writes resolve to bytes written; reads to bytes read (short at EOF,
+  /// holes zero-filled).
+  Result<std::uint64_t> Await();
+
+ private:
+  friend class LwfsFs;
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 /// One mounted LwfsFs instance.  Bind one per client thread (the underlying
@@ -83,9 +114,18 @@ class LwfsFs {
   Status Remove(const std::string& path);
 
   // ---- Data ------------------------------------------------------------------
+  /// Thin WriteAsync/ReadAsync + Await wrappers.
   Status Write(FileHandle& file, std::uint64_t offset, ByteSpan data);
   Result<std::uint64_t> Read(FileHandle& file, std::uint64_t offset,
                              MutableByteSpan out);
+  /// Asynchronous striped I/O: per-stripe object calls flow through a
+  /// window of FsOptions::io_window outstanding requests.  Under kPosix,
+  /// issuance is deferred to FileIo::Await(), which takes the byte-range
+  /// lock first.
+  Result<FileIo> WriteAsync(FileHandle& file, std::uint64_t offset,
+                            ByteSpan data);
+  Result<FileIo> ReadAsync(FileHandle& file, std::uint64_t offset,
+                           MutableByteSpan out);
   Status Truncate(FileHandle& file, std::uint64_t size);
   /// Publish the current size to the inode object (POSIX close/fsync
   /// semantics); refreshes `file.size`.
@@ -119,6 +159,8 @@ class LwfsFs {
   Result<FsckReport> Fsck(bool remove_orphans = false);
 
  private:
+  friend class FileIo;
+
   LwfsFs(core::Client* client, security::Capability cap, std::string root,
          FsOptions options)
       : client_(client),
@@ -133,6 +175,11 @@ class LwfsFs {
   /// Derived size: max over stripes of the byte the stripe's extent maps
   /// back to in file space.
   Result<std::uint64_t> DerivedSize(const FileHandle& file);
+  /// Resolve the read extent against the current size and plan chunks
+  /// (runs under the shared lock in kPosix mode).
+  Status PlanRead(FileIo::State& s);
+  /// Issue the next planned chunk of `s` asynchronously.
+  Status IssueFileChunk(FileIo::State& s);
 
   core::Client* client_;
   security::Capability cap_;

@@ -1,9 +1,125 @@
 #include "pfs/client.h"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 #include <thread>
 
 namespace lwfs::pfs {
+
+// ---------------------------------------------------------------------------
+// PfsIo
+// ---------------------------------------------------------------------------
+
+/// One planned OST transfer (a StripeChunk resolved against the layout).
+struct PfsIo::State {
+  PfsClient* client = nullptr;
+  bool is_read = false;
+  std::size_t window = PfsClient::kDefaultOstWindow;
+
+  // kPosixLocking: the extent lock is acquired lazily in Await(), not at
+  // issue time.  A driver pipelining many PfsIo handles would otherwise
+  // deadlock against itself — the DLM rounds ranges to its granularity, so
+  // disjoint-but-nearby extents conflict, and a blocking acquire at issue
+  // time would wait on a lock held by a not-yet-retired handle in the same
+  // window.  The cost is the paper's point: locking serializes the I/O.
+  bool need_lock = false;
+  Ino lock_ino = 0;
+  std::uint64_t lock_start = 0;
+  std::uint64_t lock_end = 0;
+  std::optional<txn::LockId> lock;
+
+  struct Chunk {
+    portals::Nid ost = portals::kInvalidNid;
+    std::uint64_t oid = 0;
+    std::uint64_t object_offset = 0;
+    std::uint64_t length = 0;
+    std::size_t span_offset = 0;  // into `data` / `out`
+  };
+  std::vector<Chunk> chunks;
+  std::size_t next_chunk = 0;
+  ByteSpan data{};          // write payload
+  MutableByteSpan out{};    // read destination
+
+  struct Issued {
+    rpc::CallHandle handle;
+    std::uint64_t length = 0;
+  };
+  std::deque<Issued> inflight;
+
+  bool completed = false;
+  Result<std::uint64_t> result = std::uint64_t{0};
+};
+
+PfsIo::PfsIo() = default;
+PfsIo::PfsIo(PfsIo&&) noexcept = default;
+PfsIo& PfsIo::operator=(PfsIo&&) noexcept = default;
+
+PfsIo::~PfsIo() {
+  // Drain so the caller's span is quiescent before it can be freed.
+  if (state_ && !state_->completed) (void)Await();
+}
+
+Result<std::uint64_t> PfsIo::Await() {
+  if (!state_) return FailedPrecondition("awaiting an empty pfs io handle");
+  State& s = *state_;
+  if (s.completed) return s.result;
+
+  if (s.need_lock && !s.lock) {
+    auto id = s.client->LockExtent(s.lock_ino, s.lock_start, s.lock_end);
+    if (!id.ok()) {
+      s.completed = true;
+      s.result = id.status();
+      return s.result;
+    }
+    s.lock = *id;
+  }
+
+  Status error = OkStatus();
+  std::uint64_t total = 0;
+  bool eof = false;  // a short chunk read: later chunk counts are ignored
+  for (;;) {
+    while (error.ok() && !eof && s.inflight.size() < s.window &&
+           s.next_chunk < s.chunks.size()) {
+      Status issued = s.client->IssueChunk(s);
+      if (!issued.ok()) error = issued;
+    }
+    if (s.inflight.empty()) break;
+    State::Issued op = std::move(s.inflight.front());
+    s.inflight.pop_front();
+    auto reply = op.handle.Await();
+    if (!reply.ok()) {
+      if (error.ok()) error = reply.status();
+      continue;
+    }
+    if (!s.is_read || eof || !error.ok()) continue;
+    Decoder dec(*reply);
+    auto moved = dec.GetU64();
+    if (!moved.ok()) {
+      error = moved.status();
+      continue;
+    }
+    total += *moved;
+    if (*moved < op.length) eof = true;  // EOF within this stripe object
+  }
+
+  if (s.lock) {
+    Status unlock = s.client->UnlockExtent(*s.lock);
+    if (error.ok()) error = unlock;
+    s.lock.reset();
+  }
+  s.completed = true;
+  if (!error.ok()) {
+    s.result = error;
+  } else {
+    s.result = s.is_read ? total : static_cast<std::uint64_t>(s.data.size());
+  }
+  return s.result;
+}
+
+// ---------------------------------------------------------------------------
+// PfsClient
+// ---------------------------------------------------------------------------
 
 PfsClient::PfsClient(std::shared_ptr<portals::Nic> nic,
                      PfsDeployment deployment, ConsistencyMode mode)
@@ -95,77 +211,115 @@ Status PfsClient::UnlockExtent(txn::LockId id) {
 
 Status PfsClient::Write(const OpenFile& file, std::uint64_t offset,
                         ByteSpan data) {
-  std::optional<txn::LockId> lock;
-  if (mode_ == ConsistencyMode::kPosixLocking) {
-    auto id = LockExtent(file.attr.ino, offset, offset + data.size());
-    if (!id.ok()) return id.status();
-    lock = *id;
-  }
-
-  Status result = OkStatus();
-  const auto chunks = MapExtent(
-      file.attr.layout.stripe_size,
-      static_cast<std::uint32_t>(file.attr.layout.stripes.size()), offset,
-      data.size());
-  for (const StripeChunk& chunk : chunks) {
-    const StripeTarget& target = file.attr.layout.stripes[chunk.stripe_index];
-    if (target.ost_index >= deployment_.osts.size()) {
-      result = Internal("layout names unknown OST");
-      break;
-    }
-    Encoder req;
-    req.PutU64(target.oid.value);
-    req.PutU64(chunk.object_offset);
-    rpc::CallOptions options;
-    options.bulk_out =
-        data.subspan(static_cast<std::size_t>(chunk.file_offset - offset),
-                     static_cast<std::size_t>(chunk.length));
-    auto reply = rpc_.Call(deployment_.osts[target.ost_index], kOstWrite,
-                           ByteSpan(req.buffer()), options);
-    if (!reply.ok()) {
-      result = reply.status();
-      break;
-    }
-  }
-
-  if (lock) {
-    Status unlock = UnlockExtent(*lock);
-    if (result.ok()) result = unlock;
-  }
-  return result;
+  auto io = WriteAsync(file, offset, data);
+  if (!io.ok()) return io.status();
+  auto n = io->Await();
+  return n.ok() ? OkStatus() : n.status();
 }
 
 Result<std::uint64_t> PfsClient::Read(const OpenFile& file,
                                       std::uint64_t offset,
                                       MutableByteSpan out) {
-  std::uint64_t total = 0;
+  auto io = ReadAsync(file, offset, out);
+  if (!io.ok()) return io.status();
+  return io->Await();
+}
+
+Result<PfsIo> PfsClient::PlanIo(const OpenFile& file, std::uint64_t offset,
+                                std::uint64_t length, bool is_read,
+                                std::size_t window) {
+  PfsIo io;
+  io.state_ = std::make_unique<PfsIo::State>();
+  PfsIo::State& s = *io.state_;
+  s.client = this;
+  s.is_read = is_read;
+  s.window = window == 0 ? 1 : window;
+
   const auto chunks = MapExtent(
       file.attr.layout.stripe_size,
       static_cast<std::uint32_t>(file.attr.layout.stripes.size()), offset,
-      out.size());
+      length);
+  s.chunks.reserve(chunks.size());
   for (const StripeChunk& chunk : chunks) {
     const StripeTarget& target = file.attr.layout.stripes[chunk.stripe_index];
     if (target.ost_index >= deployment_.osts.size()) {
       return Internal("layout names unknown OST");
     }
-    Encoder req;
-    req.PutU64(target.oid.value);
-    req.PutU64(chunk.object_offset);
-    req.PutU64(chunk.length);
-    rpc::CallOptions options;
-    options.bulk_in =
-        out.subspan(static_cast<std::size_t>(chunk.file_offset - offset),
-                    static_cast<std::size_t>(chunk.length));
-    auto reply = rpc_.Call(deployment_.osts[target.ost_index], kOstRead,
-                           ByteSpan(req.buffer()), options);
-    if (!reply.ok()) return reply.status();
-    Decoder dec(*reply);
-    auto moved = dec.GetU64();
-    if (!moved.ok()) return moved.status();
-    total += *moved;
-    if (*moved < chunk.length) break;  // EOF within this stripe object
+    PfsIo::State::Chunk planned;
+    planned.ost = deployment_.osts[target.ost_index];
+    planned.oid = target.oid.value;
+    planned.object_offset = chunk.object_offset;
+    planned.length = chunk.length;
+    planned.span_offset = static_cast<std::size_t>(chunk.file_offset - offset);
+    s.chunks.push_back(planned);
   }
-  return total;
+
+  if (mode_ == ConsistencyMode::kPosixLocking) {
+    s.need_lock = true;
+    s.lock_ino = file.attr.ino;
+    s.lock_start = offset;
+    s.lock_end = offset + length;
+  }
+  return io;
+}
+
+Status PfsClient::IssueChunk(PfsIo::State& s) {
+  const PfsIo::State::Chunk& chunk = s.chunks[s.next_chunk++];
+  Encoder req;
+  req.PutU64(chunk.oid);
+  req.PutU64(chunk.object_offset);
+  rpc::CallOptions options;
+  if (s.is_read) {
+    req.PutU64(chunk.length);
+    options.bulk_in = s.out.subspan(chunk.span_offset,
+                                    static_cast<std::size_t>(chunk.length));
+  } else {
+    options.bulk_out = s.data.subspan(chunk.span_offset,
+                                      static_cast<std::size_t>(chunk.length));
+  }
+  auto handle = rpc_.CallAsync(chunk.ost, s.is_read ? kOstRead : kOstWrite,
+                               ByteSpan(req.buffer()), options);
+  if (!handle.ok()) return handle.status();
+  s.inflight.push_back(
+      PfsIo::State::Issued{std::move(*handle), chunk.length});
+  return OkStatus();
+}
+
+Result<PfsIo> PfsClient::WriteAsync(const OpenFile& file, std::uint64_t offset,
+                                    ByteSpan data, std::size_t window) {
+  auto io = PlanIo(file, offset, data.size(), /*is_read=*/false, window);
+  if (!io.ok()) return io;
+  io->state_->data = data;
+  // Prime the window; Await() keeps it full as chunks retire.  When an
+  // extent lock is required no chunk may go out before it is held, so the
+  // whole issue is deferred to Await() (which takes the lock first).
+  PfsIo::State& s = *io->state_;
+  while (!s.need_lock && s.inflight.size() < s.window &&
+         s.next_chunk < s.chunks.size()) {
+    Status issued = IssueChunk(s);
+    if (!issued.ok()) {
+      (void)io->Await();  // drain + unlock before reporting
+      return issued;
+    }
+  }
+  return io;
+}
+
+Result<PfsIo> PfsClient::ReadAsync(const OpenFile& file, std::uint64_t offset,
+                                   MutableByteSpan out, std::size_t window) {
+  auto io = PlanIo(file, offset, out.size(), /*is_read=*/true, window);
+  if (!io.ok()) return io;
+  io->state_->out = out;
+  PfsIo::State& s = *io->state_;
+  while (!s.need_lock && s.inflight.size() < s.window &&
+         s.next_chunk < s.chunks.size()) {
+    Status issued = IssueChunk(s);
+    if (!issued.ok()) {
+      (void)io->Await();
+      return issued;
+    }
+  }
+  return io;
 }
 
 Status PfsClient::Sync(const OpenFile& file, std::uint64_t size_hint) {

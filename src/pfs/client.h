@@ -38,8 +38,41 @@ struct OpenFile {
   FileAttr attr;
 };
 
+class PfsClient;
+
+/// A pending striped file write or read.  The per-stripe OST calls are
+/// issued through a bounded in-flight window and overlap each other;
+/// Await() drives the remaining issuance and retires every chunk.  In
+/// kPosixLocking mode the extent lock is acquired inside Await() (before
+/// any chunk goes out) and released after the drain — deferring the lock
+/// keeps a driver that pipelines many handles from deadlocking against
+/// its own window, at the price of serializing locked I/O, which is the
+/// consistency cost the paper measures.  The data span handed to
+/// WriteAsync/ReadAsync must stay valid until Await() returns (the
+/// destructor drains as a backstop).
+class PfsIo {
+ public:
+  PfsIo();
+  PfsIo(PfsIo&&) noexcept;
+  PfsIo& operator=(PfsIo&&) noexcept;
+  ~PfsIo();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Writes resolve to bytes written; reads to bytes read (short at EOF).
+  Result<std::uint64_t> Await();
+
+ private:
+  friend class PfsClient;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
 class PfsClient {
  public:
+  /// Default bound on overlapped per-stripe OST calls within one PfsIo.
+  static constexpr std::size_t kDefaultOstWindow = 8;
+
   PfsClient(std::shared_ptr<portals::Nic> nic, PfsDeployment deployment,
             ConsistencyMode mode = ConsistencyMode::kPosixLocking);
 
@@ -49,12 +82,23 @@ class PfsClient {
   Result<FileAttr> GetAttr(const std::string& path);
 
   /// Write `data` at `offset`, striping across OSTs.  Takes/releases the
-  /// extent lock in kPosixLocking mode.
+  /// extent lock in kPosixLocking mode.  Thin WriteAsync+Await wrapper.
   Status Write(const OpenFile& file, std::uint64_t offset, ByteSpan data);
 
-  /// Read into `out`; returns bytes read.
+  /// Read into `out`; returns bytes read.  Thin ReadAsync+Await wrapper.
   Result<std::uint64_t> Read(const OpenFile& file, std::uint64_t offset,
                              MutableByteSpan out);
+
+  /// Asynchronous striped I/O: plans the per-stripe chunks and starts
+  /// issuing OST calls through a window of `window` outstanding requests.
+  /// In kPosixLocking mode issuance is deferred to PfsIo::Await(), which
+  /// takes the extent lock first.
+  Result<PfsIo> WriteAsync(const OpenFile& file, std::uint64_t offset,
+                           ByteSpan data,
+                           std::size_t window = kDefaultOstWindow);
+  Result<PfsIo> ReadAsync(const OpenFile& file, std::uint64_t offset,
+                          MutableByteSpan out,
+                          std::size_t window = kDefaultOstWindow);
 
   /// Publish the file size to the MDS (close/sync semantics).
   Status Sync(const OpenFile& file, std::uint64_t size_hint);
@@ -63,10 +107,17 @@ class PfsClient {
   [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
 
  private:
+  friend class PfsIo;
+
   Result<txn::LockId> LockExtent(Ino ino, std::uint64_t start,
                                  std::uint64_t end);
   Status UnlockExtent(txn::LockId id);
   Result<FileAttr> DecodeAttrReply(const Buffer& reply) const;
+  /// Plan the per-stripe chunks shared by WriteAsync/ReadAsync.
+  Result<PfsIo> PlanIo(const OpenFile& file, std::uint64_t offset,
+                       std::uint64_t length, bool is_read, std::size_t window);
+  /// Issue the next planned chunk of `s` asynchronously.
+  Status IssueChunk(PfsIo::State& s);
 
   PfsDeployment deployment_;
   ConsistencyMode mode_;

@@ -84,6 +84,10 @@ class EventQueue {
   /// Non-blocking poll.
   std::optional<Event> Poll() { return queue_.TryPop(); }
 
+  /// Inject a locally generated event (e.g. an RPC engine wake-up).  This
+  /// is not fabric traffic: it bypasses match lists and FabricStats.
+  bool Inject(Event e) { return queue_.TryPush(std::move(e)); }
+
   void Close() { queue_.Close(); }
   [[nodiscard]] std::size_t Size() const { return queue_.Size(); }
 

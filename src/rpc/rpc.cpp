@@ -1,6 +1,8 @@
 #include "rpc/rpc.h"
 
+#include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -48,85 +50,8 @@ Result<Header> DecodeHeader(Decoder& dec) {
   return h;
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// RpcClient
-// ---------------------------------------------------------------------------
-
-Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
-                               ByteSpan request, const CallOptions& options) {
-  calls_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint64_t request_id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
-
-  // Reply slot: one message-mode entry matched by request id.
-  portals::EventQueue reply_eq(2);
-  portals::MeOptions reply_opts;
-  reply_opts.allow_put = true;
-  reply_opts.message_mode = true;
-  reply_opts.unlink_on_use = true;
-  auto reply_me = nic_->Attach(kReplyPortal, request_id, 0, {}, reply_opts,
-                               &reply_eq);
-  if (!reply_me.ok()) return reply_me.status();
-  portals::RegisteredRegion reply_region(nic_, *reply_me);
-
-  // Bulk registrations.  The server may move data in chunks, so the entries
-  // persist until the reply arrives (RAII detach).
-  portals::RegisteredRegion out_region;
-  if (!options.bulk_out.empty()) {
-    portals::MeOptions opts;
-    opts.allow_get = true;
-    // Attach treats the span as mutable but a get-only entry never writes.
-    MutableByteSpan span(const_cast<std::uint8_t*>(options.bulk_out.data()),
-                         options.bulk_out.size());
-    auto me = nic_->Attach(kBulkPortal, request_id, 0, span, opts, nullptr);
-    if (!me.ok()) return me.status();
-    out_region = portals::RegisteredRegion(nic_, *me);
-  }
-  portals::RegisteredRegion in_region;
-  if (!options.bulk_in.empty()) {
-    portals::MeOptions opts;
-    opts.allow_put = true;
-    auto me = nic_->Attach(kBulkPortal, request_id, 0, options.bulk_in, opts,
-                           nullptr);
-    if (!me.ok()) return me.status();
-    in_region = portals::RegisteredRegion(nic_, *me);
-  }
-
-  // Assemble and send the (small) request, resending with backoff while the
-  // server's request portal is full.
-  Encoder enc;
-  EncodeHeader(enc, opcode, request_id, nic_->nid(), options.bulk_out.size(),
-               options.bulk_in.size());
-  enc.PutRaw(request);
-
-  int backoff_us = 10;
-  int attempts = 0;
-  for (;;) {
-    Status s = nic_->Put(server, options.request_portal, /*match_bits=*/0,
-                         ByteSpan(enc.buffer()), 0, request_id);
-    if (s.ok()) break;
-    if (s.code() != ErrorCode::kResourceExhausted) {
-      failures_.fetch_add(1, std::memory_order_relaxed);
-      return s;
-    }
-    if (++attempts > options.max_resends) {
-      failures_.fetch_add(1, std::memory_order_relaxed);
-      return ResourceExhausted("server request queue full, resends exhausted");
-    }
-    resends_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-    backoff_us = std::min(backoff_us * 2, 2000);
-  }
-
-  auto event = reply_eq.WaitFor(options.timeout);
-  if (!event) {
-    failures_.fetch_add(1, std::memory_order_relaxed);
-    return Timeout("no reply from server");
-  }
-
-  Decoder dec(event->payload);
+Result<Buffer> DecodeReply(const Buffer& payload) {
+  Decoder dec(payload);
   auto code = dec.GetU32();
   auto message = dec.GetString();
   auto body = dec.GetBytes();
@@ -137,6 +62,260 @@ Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
     return Status(static_cast<ErrorCode>(*code), std::move(*message));
   }
   return std::move(*body);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CallHandle
+// ---------------------------------------------------------------------------
+
+Result<Buffer> CallHandle::Await() {
+  if (!state_) return FailedPrecondition("awaiting an empty call handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->result;
+}
+
+bool CallHandle::TryAwait(Result<Buffer>* out) {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->done) return false;
+  if (out != nullptr) *out = state_->result;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+
+RpcClient::~RpcClient() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  WakeEngine();
+  if (engine_.joinable()) engine_.join();
+  // Fail whatever was still in flight.  Regions detach before waiters wake,
+  // so a late server push or reply hits no registered memory.
+  std::vector<std::shared_ptr<detail::CallState>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.reserve(inflight_.size());
+    for (auto& [id, state] : inflight_) pending.push_back(std::move(state));
+    inflight_.clear();
+  }
+  for (auto& state : pending) {
+    FinishCall(state, Aborted("rpc client destroyed with calls in flight"));
+  }
+}
+
+void RpcClient::EnsureEngineLocked() {
+  if (engine_running_) return;
+  engine_running_ = true;
+  engine_ = std::thread([this] { EngineLoop(); });
+}
+
+void RpcClient::WakeEngine() {
+  portals::Event wake;
+  wake.type = portals::EventType::kAck;  // replies arrive as kPut
+  completions_.Inject(std::move(wake));
+}
+
+bool RpcClient::TrySendLocked(detail::CallState& state, Status* failure) {
+  Status s = nic_->Put(state.server, state.request_portal, /*match_bits=*/0,
+                       ByteSpan(state.wire), 0, state.request_id);
+  const auto now = Clock::now();
+  if (s.ok()) {
+    state.accepted = true;
+    state.deadline = now + state.timeout;
+    return true;
+  }
+  if (s.code() != ErrorCode::kResourceExhausted) {
+    *failure = std::move(s);
+    return false;
+  }
+  if (++state.resend_attempts > state.max_resends) {
+    *failure = ResourceExhausted("server request queue full, resends exhausted");
+    return false;
+  }
+  resends_.fetch_add(1, std::memory_order_relaxed);
+  state.next_send = now + std::chrono::microseconds(state.backoff.NextUs());
+  return true;
+}
+
+void RpcClient::FinishCall(const std::shared_ptr<detail::CallState>& state,
+                           Result<Buffer> result) {
+  // Detach the reply slot and bulk regions *before* publishing the result:
+  // the caller's buffers are guaranteed quiescent once Await() returns.
+  state->reply_region.Release();
+  state->out_region.Release();
+  state->in_region.Release();
+  if (!result.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->done = true;
+    state->result = std::move(result);
+  }
+  state->cv.notify_all();
+}
+
+Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
+                                        ByteSpan request,
+                                        const CallOptions& options) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+
+  auto state = std::make_shared<detail::CallState>();
+  state->request_id = request_id;
+  state->server = server;
+  state->request_portal = options.request_portal;
+  state->timeout = options.timeout;
+  state->max_resends = options.max_resends;
+  // Seed from (nid, request id) so concurrent ranks draw uncorrelated
+  // retry schedules against the same full portal.
+  state->backoff =
+      Backoff((static_cast<std::uint64_t>(nic_->nid()) << 32) ^ request_id);
+
+  // Reply slot: one message-mode entry matched by request id, delivering
+  // into the client-wide completion queue.
+  portals::MeOptions reply_opts;
+  reply_opts.allow_put = true;
+  reply_opts.message_mode = true;
+  reply_opts.unlink_on_use = true;
+  auto reply_me = nic_->Attach(kReplyPortal, request_id, 0, {}, reply_opts,
+                               &completions_);
+  if (!reply_me.ok()) return reply_me.status();
+  state->reply_region = portals::RegisteredRegion(nic_, *reply_me);
+
+  // Bulk registrations.  The server may move data in chunks at its own
+  // pace, so the entries persist until the completion event (the engine
+  // detaches them in FinishCall).
+  if (!options.bulk_out.empty()) {
+    portals::MeOptions opts;
+    opts.allow_get = true;
+    // Attach treats the span as mutable but a get-only entry never writes.
+    MutableByteSpan span(const_cast<std::uint8_t*>(options.bulk_out.data()),
+                         options.bulk_out.size());
+    auto me = nic_->Attach(kBulkPortal, request_id, 0, span, opts, nullptr);
+    if (!me.ok()) return me.status();
+    state->out_region = portals::RegisteredRegion(nic_, *me);
+  }
+  if (!options.bulk_in.empty()) {
+    portals::MeOptions opts;
+    opts.allow_put = true;
+    auto me = nic_->Attach(kBulkPortal, request_id, 0, options.bulk_in, opts,
+                           nullptr);
+    if (!me.ok()) return me.status();
+    state->in_region = portals::RegisteredRegion(nic_, *me);
+  }
+
+  Encoder enc;
+  EncodeHeader(enc, opcode, request_id, nic_->nid(), options.bulk_out.size(),
+               options.bulk_in.size());
+  enc.PutRaw(request);
+  state->wire = enc.buffer();
+
+  Status send_failure = OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      send_failure = Aborted("rpc client shutting down");
+    } else {
+      EnsureEngineLocked();
+      // Register before the first Put: the reply can race back from a
+      // server worker before this thread takes another step.
+      inflight_.emplace(request_id, state);
+      state->next_send = Clock::now();
+      Status failure = OkStatus();
+      if (!TrySendLocked(*state, &failure)) {
+        inflight_.erase(request_id);
+        send_failure = std::move(failure);
+      }
+    }
+  }
+  if (!send_failure.ok()) {
+    state->reply_region.Release();
+    state->out_region.Release();
+    state->in_region.Release();
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return send_failure;
+  }
+  // The engine may be sleeping toward a far-off deadline; make it take
+  // this call's deadline/resend schedule into account.
+  WakeEngine();
+  return CallHandle(state);
+}
+
+Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
+                               ByteSpan request, const CallOptions& options) {
+  auto handle = CallAsync(server, opcode, request, options);
+  if (!handle.ok()) return handle.status();
+  return handle->Await();
+}
+
+void RpcClient::EngineLoop() {
+  for (;;) {
+    // Timer pass: retry rejected sends whose backoff expired, fail calls
+    // whose reply deadline passed, and find the next wake-up time.
+    Clock::time_point next_wake = Clock::time_point::max();
+    std::vector<std::pair<std::shared_ptr<detail::CallState>, Status>> failed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      const auto now = Clock::now();
+      for (auto it = inflight_.begin(); it != inflight_.end();) {
+        detail::CallState& state = *it->second;
+        if (!state.accepted && now >= state.next_send) {
+          Status failure = OkStatus();
+          if (!TrySendLocked(state, &failure)) {
+            failed.emplace_back(std::move(it->second), std::move(failure));
+            it = inflight_.erase(it);
+            continue;
+          }
+        }
+        if (state.accepted && now >= state.deadline) {
+          failed.emplace_back(std::move(it->second),
+                              Timeout("no reply from server"));
+          it = inflight_.erase(it);
+          continue;
+        }
+        next_wake = std::min(next_wake,
+                             state.accepted ? state.deadline : state.next_send);
+        ++it;
+      }
+    }
+    for (auto& [state, status] : failed) {
+      FinishCall(state, std::move(status));
+    }
+
+    std::optional<portals::Event> event;
+    const auto now = Clock::now();
+    if (next_wake == Clock::time_point::max()) {
+      // Nothing in flight: sleep until a new call wakes us.
+      event = completions_.WaitFor(std::chrono::hours(1));
+    } else if (next_wake > now) {
+      event = completions_.WaitFor(next_wake - now);
+    } else {
+      event = completions_.Poll();
+    }
+    if (!event) continue;                                  // timer due
+    if (event->type != portals::EventType::kPut) continue;  // wake-up ping
+
+    // A reply: route it to its call by request id (completions for calls
+    // that already timed out find no entry and are dropped).
+    std::shared_ptr<detail::CallState> state;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = inflight_.find(event->match_bits);
+      if (it != inflight_.end()) {
+        state = std::move(it->second);
+        inflight_.erase(it);
+      }
+    }
+    if (state) FinishCall(state, DecodeReply(event->payload));
+  }
 }
 
 // ---------------------------------------------------------------------------

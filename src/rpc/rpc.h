@@ -12,6 +12,15 @@
 // paper charges against client-pushed designs, but paid on tiny messages
 // instead of the bulk payload.
 //
+// The client side is an asynchronous completion engine: CallAsync() issues
+// the small request and returns a CallHandle immediately; a single engine
+// thread per RpcClient drains a shared completion queue, tracks per-call
+// deadlines, and retries rejected sends with decorrelated-jitter backoff.
+// That lets any number of caller threads keep a *bounded window* of
+// requests in flight — the "outstanding requests" knob Figure 6's
+// flow-control argument is about — without one OS thread per request.
+// Call() remains as a thin CallAsync+Await wrapper.
+//
 // Portal layout (per NIC):
 //   portal 0 — request queue (message mode, bounded)
 //   portal 1 — replies       (message mode, matched by request id)
@@ -20,6 +29,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +40,7 @@
 
 #include "portals/portals.h"
 #include "util/bytes.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace lwfs::rpc {
@@ -52,13 +63,47 @@ struct ClientStats {
   std::uint64_t failures = 0;
 };
 
+/// Decorrelated-jitter backoff for resends against a full request portal.
+/// Plain exponential backoff keeps synchronized ranks retrying in lockstep
+/// (they all got rejected at the same instant, so they all come back at the
+/// same instant); drawing each sleep uniformly from [base, min(cap, 3×prev)]
+/// spreads the retry times apart while still growing toward the cap.
+class Backoff {
+ public:
+  static constexpr int kDefaultBaseUs = 10;
+  static constexpr int kDefaultCapUs = 2000;
+
+  explicit Backoff(std::uint64_t seed, int base_us = kDefaultBaseUs,
+                   int cap_us = kDefaultCapUs)
+      : rng_(seed), base_us_(base_us), cap_us_(cap_us), prev_us_(base_us) {}
+
+  /// Next sleep in microseconds.
+  int NextUs() {
+    const auto lo = static_cast<std::uint64_t>(base_us_);
+    const auto hi = static_cast<std::uint64_t>(
+        std::min(static_cast<long long>(cap_us_),
+                 3LL * static_cast<long long>(prev_us_)));
+    const std::uint64_t span = hi > lo ? hi - lo : 0;
+    prev_us_ = static_cast<int>(
+        lo + (span > 0 ? rng_.NextBelow(span + 1) : 0));
+    return prev_us_;
+  }
+
+ private:
+  Rng rng_;
+  int base_us_;
+  int cap_us_;
+  int prev_us_;
+};
+
 /// Per-call options.
 struct CallOptions {
   /// Registered for server *pull* (a write payload).
   ByteSpan bulk_out{};
   /// Registered for server *push* (a read destination).
   MutableByteSpan bulk_in{};
-  /// Give up after this long without a reply.
+  /// Give up after this long without a reply (measured from the send that
+  /// the server accepted).
   std::chrono::milliseconds timeout{5000};
   /// Resend attempts when the request portal rejects us.
   int max_resends = 1000;
@@ -67,13 +112,91 @@ struct CallOptions {
   portals::PortalIndex request_portal = kRequestPortal;
 };
 
-/// Issues calls from one client endpoint.  Thread-compatible: use one
-/// RpcClient per client thread (they can share a Nic).
+namespace detail {
+
+/// Shared state of one in-flight call.  The awaiting thread and the
+/// client's engine thread both hold references; the registered reply/bulk
+/// entries live here so the caller's memory stays attached to the fabric
+/// until the completion event — never longer, never shorter.
+struct CallState {
+  // Immutable after issue.
+  std::uint64_t request_id = 0;
+  portals::Nid server = portals::kInvalidNid;
+  portals::PortalIndex request_portal = kRequestPortal;
+  Buffer wire;  // encoded header + request body, kept for resends
+  std::chrono::milliseconds timeout{5000};
+  int max_resends = 0;
+
+  // Engine bookkeeping; guarded by the owning RpcClient's mutex.
+  bool accepted = false;  // the server's request portal took the Put
+  int resend_attempts = 0;
+  std::chrono::steady_clock::time_point next_send{};
+  std::chrono::steady_clock::time_point deadline{};
+  Backoff backoff{0};
+  portals::RegisteredRegion reply_region;
+  portals::RegisteredRegion out_region;
+  portals::RegisteredRegion in_region;
+
+  // Completion; guarded by `mutex` below (not the client's mutex, so
+  // waiters never contend with the engine's send path).
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Result<Buffer> result = Buffer{};
+};
+
+}  // namespace detail
+
+/// Completion handle for an asynchronous call.  Cheap to copy (shared
+/// state) and safe to drop before completion — the engine keeps the call
+/// alive until its completion event — but the memory behind
+/// CallOptions::bulk_out / bulk_in must stay valid until the call
+/// completes.
+class CallHandle {
+ public:
+  CallHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] std::uint64_t request_id() const {
+    return state_ ? state_->request_id : 0;
+  }
+
+  /// Block until the call completes; returns the reply body or the error.
+  Result<Buffer> Await();
+
+  /// Non-blocking: if the call has completed, fill *out and return true.
+  bool TryAwait(Result<Buffer>* out);
+
+ private:
+  friend class RpcClient;
+  explicit CallHandle(std::shared_ptr<detail::CallState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CallState> state_;
+};
+
+/// Issues calls from one client endpoint.  Thread-safe: any number of
+/// threads may issue sync or async calls on one RpcClient; one lazily
+/// started engine thread handles completions, deadlines, and resends.
 class RpcClient {
  public:
-  explicit RpcClient(std::shared_ptr<portals::Nic> nic) : nic_(std::move(nic)) {}
+  explicit RpcClient(std::shared_ptr<portals::Nic> nic)
+      : nic_(std::move(nic)) {}
+  ~RpcClient();
 
-  /// Synchronous call.  On success returns the reply body.
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Asynchronous call: registers the reply slot and bulk regions, sends
+  /// the (small) request, and returns without waiting for the reply.
+  /// Returns an error only for immediate, non-retryable send failures;
+  /// retryable rejections are resent in the background.
+  Result<CallHandle> CallAsync(portals::Nid server, Opcode opcode,
+                               ByteSpan request,
+                               const CallOptions& options = {});
+
+  /// Synchronous call: CallAsync + Await.  On success returns the reply
+  /// body.
   Result<Buffer> Call(portals::Nid server, Opcode opcode, ByteSpan request,
                       const CallOptions& options = {});
 
@@ -83,7 +206,30 @@ class RpcClient {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  void EngineLoop();
+  void EnsureEngineLocked();
+  void WakeEngine();
+  /// Attempt (re)sending `state`'s request.  Returns false when the call
+  /// failed terminally (caller must complete it with `*failure`).
+  bool TrySendLocked(detail::CallState& state, Status* failure);
+  /// Detach regions, record stats, publish the result, wake waiters.
+  void FinishCall(const std::shared_ptr<detail::CallState>& state,
+                  Result<Buffer> result);
+
   std::shared_ptr<portals::Nic> nic_;
+  /// Shared completion queue: every reply match entry delivers here
+  /// (unbounded — local completions, not a modeled NIC resource).
+  portals::EventQueue completions_{0};
+
+  std::mutex mutex_;
+  bool engine_running_ = false;
+  bool stopping_ = false;
+  std::thread engine_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<detail::CallState>>
+      inflight_;
+
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> resends_{0};
   std::atomic<std::uint64_t> failures_{0};

@@ -1,7 +1,11 @@
 // Tests for the RPC layer with server-directed bulk movement (Figure 6).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <future>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "rpc/rpc.h"
 
@@ -226,6 +230,158 @@ TEST_F(RpcTest, ControlPortalIsIndependentlyServed) {
 
   data_server.Stop();
   control_server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Async completion engine
+// ---------------------------------------------------------------------------
+
+constexpr Opcode kGated = 6;  // blocks until the test releases it
+constexpr Opcode kFast = 7;
+
+TEST_F(RpcTest, OutOfOrderCompletions) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, options);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  server.RegisterHandler(kGated,
+                         [gate](ServerContext&, Decoder&) -> Result<Buffer> {
+                           gate.wait();
+                           Encoder reply;
+                           reply.PutString("slow");
+                           return std::move(reply).Take();
+                         });
+  server.RegisterHandler(kFast, [](ServerContext&, Decoder&) -> Result<Buffer> {
+    Encoder reply;
+    reply.PutString("fast");
+    return std::move(reply).Take();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcClient client(fabric_.CreateNic());
+  auto slow = client.CallAsync(nic->nid(), kGated, {});
+  ASSERT_TRUE(slow.ok());
+  auto fast = client.CallAsync(nic->nid(), kFast, {});
+  ASSERT_TRUE(fast.ok());
+
+  // The later call completes first; the earlier one is still parked.
+  auto fast_reply = fast->Await();
+  ASSERT_TRUE(fast_reply.ok());
+  Decoder dec(*fast_reply);
+  EXPECT_EQ(*dec.GetString(), "fast");
+  Result<Buffer> peek = Buffer{};
+  EXPECT_FALSE(slow->TryAwait(&peek));
+
+  release.set_value();
+  auto slow_reply = slow->Await();
+  ASSERT_TRUE(slow_reply.ok());
+  Decoder dec2(*slow_reply);
+  EXPECT_EQ(*dec2.GetString(), "slow");
+  EXPECT_EQ(client.stats().calls, 2u);
+  EXPECT_EQ(client.stats().failures, 0u);
+  server.Stop();
+}
+
+TEST_F(RpcTest, PerCallTimeoutLeavesOthersInFlight) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, options);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  server.RegisterHandler(kGated,
+                         [gate](ServerContext&, Decoder&) -> Result<Buffer> {
+                           gate.wait();
+                           return Buffer{};
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcClient client(fabric_.CreateNic());
+  auto patient = client.CallAsync(nic->nid(), kGated, {});
+  ASSERT_TRUE(patient.ok());
+  CallOptions hasty_options;
+  hasty_options.timeout = std::chrono::milliseconds(50);
+  auto hasty = client.CallAsync(nic->nid(), kGated, {}, hasty_options);
+  ASSERT_TRUE(hasty.ok());
+
+  // The hasty call's deadline fires; the patient one must be untouched.
+  auto hasty_reply = hasty->Await();
+  ASSERT_FALSE(hasty_reply.ok());
+  EXPECT_EQ(hasty_reply.status().code(), ErrorCode::kTimeout);
+  Result<Buffer> peek = Buffer{};
+  EXPECT_FALSE(patient->TryAwait(&peek));
+
+  release.set_value();
+  EXPECT_TRUE(patient->Await().ok());
+  server.Stop();
+}
+
+TEST_F(RpcTest, DestructionWithCallsPendingAbortsThem) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, options);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  server.RegisterHandler(kGated,
+                         [gate](ServerContext&, Decoder&) -> Result<Buffer> {
+                           gate.wait();
+                           return Buffer{};
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  CallHandle orphan;
+  {
+    RpcClient client(fabric_.CreateNic());
+    auto handle = client.CallAsync(nic->nid(), kGated, {});
+    ASSERT_TRUE(handle.ok());
+    orphan = std::move(*handle);
+  }  // client destroyed with the call still in flight
+
+  auto reply = orphan.Await();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kAborted);
+
+  release.set_value();
+  server.Stop();
+}
+
+TEST(BackoffTest, DecorrelatedJitterStaysInEnvelope) {
+  Backoff backoff(/*seed=*/42);
+  int prev = Backoff::kDefaultBaseUs;
+  for (int i = 0; i < 64; ++i) {
+    const int us = backoff.NextUs();
+    EXPECT_GE(us, Backoff::kDefaultBaseUs);
+    EXPECT_LE(us, Backoff::kDefaultCapUs);
+    EXPECT_LE(us, std::max(Backoff::kDefaultBaseUs, 3 * prev));
+    prev = us;
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsSpreadRetries) {
+  // Decorrelated jitter exists so that clients rejected together do not
+  // resend together: distinct seeds must produce distinct schedules.
+  constexpr int kClients = 16;
+  constexpr int kSteps = 8;
+  std::set<std::vector<int>> schedules;
+  for (int c = 0; c < kClients; ++c) {
+    Backoff backoff(static_cast<std::uint64_t>(c) << 32 | 7u);
+    std::vector<int> schedule;
+    schedule.reserve(kSteps);
+    for (int i = 0; i < kSteps; ++i) schedule.push_back(backoff.NextUs());
+    schedules.insert(std::move(schedule));
+  }
+  // At least 15 of 16 schedules distinct (allows one rare collision).
+  EXPECT_GE(schedules.size(), static_cast<std::size_t>(kClients - 1));
+  // And the very first retry delay is already spread, not a single value.
+  std::set<int> first_delays;
+  for (int c = 0; c < kClients; ++c) {
+    Backoff backoff(static_cast<std::uint64_t>(c) << 32 | 7u);
+    first_delays.insert(backoff.NextUs());
+  }
+  EXPECT_GT(first_delays.size(), 4u);
 }
 
 }  // namespace
