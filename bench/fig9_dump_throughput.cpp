@@ -51,6 +51,14 @@ struct SweepPoint {
   std::uint32_t window = 0;
   double mean_mb_s = 0;
   double sd = 0;
+  // Server-side scheduler activity across all trials of this window: how
+  // many extents the storage servers queued, how many merged runs they
+  // became, and the merge count (see DESIGN.md "Server-directed
+  // scheduling").
+  std::uint64_t sched_requests = 0;
+  std::uint64_t sched_runs = 0;
+  std::uint64_t sched_merges = 0;
+  std::uint64_t sched_coalesced_bytes = 0;
 };
 
 /// Sweep Config::window on the live in-process stack: 64 ranks of 512 KiB
@@ -66,7 +74,7 @@ std::vector<SweepPoint> RunWindowSweep() {
 
   core::RuntimeOptions options;
   options.storage_servers = 4;
-  options.storage.rpc.worker_threads = 2;
+  options.storage.worker_threads = 2;
   options.storage.modeled_disk_mb_s = 400;
   auto runtime = core::ServiceRuntime::Start(options);
   if (!runtime.ok()) {
@@ -103,6 +111,7 @@ std::vector<SweepPoint> RunWindowSweep() {
   // happened to run last.
   constexpr std::size_t kNumWindows = std::size(kWindows);
   std::vector<RunningStats> stats(kNumWindows);
+  std::vector<SweepPoint> points(kNumWindows);
   for (int t = 0; t < kTrials; ++t) {
     for (std::size_t w = 0; w < kNumWindows; ++w) {
       checkpoint::LwfsCheckpoint::Config config;
@@ -110,6 +119,7 @@ std::vector<SweepPoint> RunWindowSweep() {
       config.cid = *cid;
       config.cap = *cap;
       config.window = kWindows[w];
+      const core::IoSchedulerStats before = (*runtime)->TotalSchedStats();
       auto run = checkpoint::LwfsCheckpoint::Run(**runtime, config, states);
       if (!run.ok()) {
         std::fprintf(stderr, "checkpoint failed: %s\n",
@@ -117,11 +127,18 @@ std::vector<SweepPoint> RunWindowSweep() {
         return {};
       }
       stats[w].Add(run->throughput_mb_s());
+      const core::IoSchedulerStats after = (*runtime)->TotalSchedStats();
+      points[w].sched_requests += after.requests - before.requests;
+      points[w].sched_runs += after.runs - before.runs;
+      points[w].sched_merges += after.merges - before.merges;
+      points[w].sched_coalesced_bytes +=
+          after.coalesced_bytes - before.coalesced_bytes;
     }
   }
-  std::vector<SweepPoint> points;
   for (std::size_t w = 0; w < kNumWindows; ++w) {
-    points.push_back(SweepPoint{kWindows[w], stats[w].mean(), stats[w].stddev()});
+    points[w].window = kWindows[w];
+    points[w].mean_mb_s = stats[w].mean();
+    points[w].sd = stats[w].stddev();
   }
   return points;
 }
@@ -130,9 +147,14 @@ void PrintAndDumpSweep(const std::vector<SweepPoint>& points) {
   bench::PrintHeader(
       "Async-engine window sweep (live LWFS checkpoint, 64 ranks x 512 KiB, "
       "4 servers)");
-  std::printf("%8s  %12s %8s\n", "window", "MB/s", "(sd)");
+  std::printf("%8s  %12s %8s %10s %8s %8s\n", "window", "MB/s", "(sd)",
+              "extents", "runs", "merges");
   for (const SweepPoint& p : points) {
-    std::printf("%8u  %12.1f %8.1f\n", p.window, p.mean_mb_s, p.sd);
+    std::printf("%8u  %12.1f %8.1f %10llu %8llu %8llu\n", p.window,
+                p.mean_mb_s, p.sd,
+                static_cast<unsigned long long>(p.sched_requests),
+                static_cast<unsigned long long>(p.sched_runs),
+                static_cast<unsigned long long>(p.sched_merges));
   }
   std::printf("\nwindow=1 serializes every round trip; window>=4 keeps all\n"
               "four storage servers pulling concurrently.\n");
@@ -152,10 +174,17 @@ void PrintAndDumpSweep(const std::vector<SweepPoint>& points) {
                "  \"points\": [\n",
                static_cast<std::size_t>(512 << 10));
   for (std::size_t i = 0; i < points.size(); ++i) {
-    std::fprintf(out,
-                 "    {\"window\": %u, \"mb_per_s\": %.2f, \"sd\": %.2f}%s\n",
-                 points[i].window, points[i].mean_mb_s, points[i].sd,
-                 i + 1 < points.size() ? "," : "");
+    std::fprintf(
+        out,
+        "    {\"window\": %u, \"mb_per_s\": %.2f, \"sd\": %.2f, "
+        "\"sched_requests\": %llu, \"sched_runs\": %llu, "
+        "\"sched_merges\": %llu, \"sched_coalesced_bytes\": %llu}%s\n",
+        points[i].window, points[i].mean_mb_s, points[i].sd,
+        static_cast<unsigned long long>(points[i].sched_requests),
+        static_cast<unsigned long long>(points[i].sched_runs),
+        static_cast<unsigned long long>(points[i].sched_merges),
+        static_cast<unsigned long long>(points[i].sched_coalesced_bytes),
+        i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

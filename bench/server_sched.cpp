@@ -1,0 +1,271 @@
+// Server-side I/O scheduler ablation: strided-small-write and
+// interleaved-read workloads against the modeled medium
+// (modeled_disk_mb_s + modeled_op_latency_us), scheduler off vs on.
+//
+// With the scheduler off every extent is serviced in arrival order and
+// pays its own op (seek) cost; with it on, extents that queue behind a
+// busy medium are merged into contiguous runs and serviced in offset
+// order, so the op cost amortizes over the whole run — the
+// noncontiguous-I/O win, executed where the paper says it belongs: at the
+// server that directs the I/O.  Emits BENCH_sched.json.
+//
+// `--smoke` runs a seconds-scale configuration for sanitizer CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace lwfs;
+
+struct Params {
+  std::uint32_t threads = 4;
+  std::uint32_t window = 8;
+  std::uint32_t extents_per_thread = 192;
+  std::size_t extent_bytes = 4096;
+  double disk_mb_s = 400;
+  double op_latency_us = 200;
+  int trials = 3;
+};
+
+struct WorkloadResult {
+  double mb_s = 0;
+  core::IoSchedulerStats sched;
+};
+
+core::RuntimeOptions MakeOptions(bool scheduler_on, const Params& p) {
+  core::RuntimeOptions options;
+  options.storage_servers = 1;
+  options.storage.scheduler = scheduler_on;
+  // Enough data-plane workers that every client-side in-flight request can
+  // be in service at once — the scheduler's batches (and so its merges) can
+  // only be as deep as the number of concurrently blocked workers.
+  options.storage.worker_threads = 16;
+  options.storage.modeled_disk_mb_s = p.disk_mb_s;
+  options.storage.modeled_op_latency_us = p.op_latency_us;
+  return options;
+}
+
+/// Strided small writes: `threads` clients interleave 4 KiB extents into
+/// one object (consecutive offsets belong to different clients), each
+/// keeping `window` requests in flight.  Only server-side coalescing can
+/// turn this into large contiguous accesses.
+WorkloadResult RunStridedWrite(bool scheduler_on, const Params& p) {
+  auto runtime = core::ServiceRuntime::Start(MakeOptions(scheduler_on, p)).value();
+  runtime->AddUser("bench", "pw", 1);
+  auto client = runtime->MakeClient();
+  auto cred = client->Login("bench", "pw").value();
+  auto cid = client->CreateContainer(cred).value();
+  auto cap = client->GetCap(cred, cid, security::kOpAll).value();
+  auto oid = client->CreateObject(0, cap).value();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < p.threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto worker = runtime->MakeClient();
+      const Buffer payload(p.extent_bytes, static_cast<std::uint8_t>(t + 1));
+      core::Batch batch(worker.get(), p.window);
+      for (std::uint32_t i = 0; i < p.extents_per_thread; ++i) {
+        const std::uint64_t offset =
+            (static_cast<std::uint64_t>(i) * p.threads + t) * p.extent_bytes;
+        if (!batch.Write(0, cap, oid, offset, ByteSpan(payload)).ok()) return;
+      }
+      (void)batch.Drain();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  WorkloadResult result;
+  const double total_mb = static_cast<double>(p.threads) *
+                          p.extents_per_thread * p.extent_bytes / 1e6;
+  result.mb_s = total_mb / elapsed.count();
+  result.sched = runtime->TotalSchedStats();
+  return result;
+}
+
+/// Interleaved strided reads over a pre-populated object, same issue
+/// pattern as the write workload.
+WorkloadResult RunInterleavedRead(bool scheduler_on, const Params& p) {
+  auto runtime = core::ServiceRuntime::Start(MakeOptions(scheduler_on, p)).value();
+  runtime->AddUser("bench", "pw", 1);
+  auto client = runtime->MakeClient();
+  auto cred = client->Login("bench", "pw").value();
+  auto cid = client->CreateContainer(cred).value();
+  auto cap = client->GetCap(cred, cid, security::kOpAll).value();
+  auto oid = client->CreateObject(0, cap).value();
+
+  // Populate with large sequential writes (cheap in modeled op cost), then
+  // ignore the setup's scheduler activity via a stats baseline.
+  const std::uint64_t total_bytes = static_cast<std::uint64_t>(p.threads) *
+                                    p.extents_per_thread * p.extent_bytes;
+  {
+    const Buffer fill = PatternBuffer(1 << 20, 99);
+    for (std::uint64_t at = 0; at < total_bytes; at += fill.size()) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(fill.size(), total_bytes - at);
+      if (!client->WriteObject(0, cap, oid, at,
+                               ByteSpan(fill.data(), static_cast<std::size_t>(n)))
+               .ok()) {
+        std::fprintf(stderr, "populate failed\n");
+        return {};
+      }
+    }
+  }
+  const core::IoSchedulerStats baseline = runtime->TotalSchedStats();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < p.threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto worker = runtime->MakeClient();
+      std::vector<Buffer> slots(p.window, Buffer(p.extent_bytes, 0));
+      core::Batch batch(worker.get(), p.window);
+      for (std::uint32_t i = 0; i < p.extents_per_thread; ++i) {
+        const std::uint64_t offset =
+            (static_cast<std::uint64_t>(i) * p.threads + t) * p.extent_bytes;
+        Buffer& slot = slots[i % p.window];
+        if (!batch.Read(0, cap, oid, offset, MutableByteSpan(slot)).ok()) {
+          return;
+        }
+      }
+      (void)batch.Drain();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  WorkloadResult result;
+  result.mb_s = static_cast<double>(total_bytes) / 1e6 / elapsed.count();
+  const core::IoSchedulerStats after = runtime->TotalSchedStats();
+  result.sched.requests = after.requests - baseline.requests;
+  result.sched.runs = after.runs - baseline.runs;
+  result.sched.merges = after.merges - baseline.merges;
+  result.sched.coalesced_bytes = after.coalesced_bytes - baseline.coalesced_bytes;
+  result.sched.queue_depth_hwm = after.queue_depth_hwm;
+  return result;
+}
+
+struct Comparison {
+  const char* name;
+  double off_mb_s = 0;
+  double on_mb_s = 0;
+  core::IoSchedulerStats sched;  // scheduler-on counters, last trial
+
+  [[nodiscard]] double speedup() const {
+    return off_mb_s > 0 ? on_mb_s / off_mb_s : 0;
+  }
+};
+
+template <typename Fn>
+Comparison Compare(const char* name, Fn workload, const Params& p) {
+  Comparison c;
+  c.name = name;
+  RunningStats off_stats, on_stats;
+  for (int trial = 0; trial < p.trials; ++trial) {
+    off_stats.Add(workload(false, p).mb_s);
+    WorkloadResult on = workload(true, p);
+    on_stats.Add(on.mb_s);
+    c.sched = on.sched;
+  }
+  c.off_mb_s = off_stats.mean();
+  c.on_mb_s = on_stats.mean();
+  return c;
+}
+
+void PrintComparison(const Comparison& c) {
+  bench::PrintHeader(c.name);
+  std::printf("%16s %12.1f MB/s\n", "scheduler off", c.off_mb_s);
+  std::printf("%16s %12.1f MB/s\n", "scheduler on", c.on_mb_s);
+  std::printf("%16s %12.2fx\n", "speedup", c.speedup());
+  std::printf("%16s %12llu extents -> %llu runs (%llu merges, %.1f MB "
+              "coalesced, queue hwm %llu)\n",
+              "on-run stats",
+              static_cast<unsigned long long>(c.sched.requests),
+              static_cast<unsigned long long>(c.sched.runs),
+              static_cast<unsigned long long>(c.sched.merges),
+              static_cast<double>(c.sched.coalesced_bytes) / 1e6,
+              static_cast<unsigned long long>(c.sched.queue_depth_hwm));
+}
+
+void DumpJson(const Params& p, const std::vector<Comparison>& comparisons) {
+  std::FILE* out = std::fopen("BENCH_sched.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sched.json\n");
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"server_io_scheduler\",\n"
+               "  \"threads\": %u,\n"
+               "  \"window\": %u,\n"
+               "  \"extents_per_thread\": %u,\n"
+               "  \"extent_bytes\": %zu,\n"
+               "  \"modeled_disk_mb_s\": %.1f,\n"
+               "  \"modeled_op_latency_us\": %.1f,\n"
+               "  \"workloads\": [\n",
+               p.threads, p.window, p.extents_per_thread, p.extent_bytes,
+               p.disk_mb_s, p.op_latency_us);
+  for (std::size_t i = 0; i < comparisons.size(); ++i) {
+    const Comparison& c = comparisons[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"off_mb_s\": %.2f, \"on_mb_s\": %.2f, "
+        "\"speedup\": %.3f, \"requests\": %llu, \"runs\": %llu, "
+        "\"merges\": %llu, \"coalesced_bytes\": %llu, "
+        "\"queue_depth_hwm\": %llu}%s\n",
+        c.name, c.off_mb_s, c.on_mb_s, c.speedup(),
+        static_cast<unsigned long long>(c.sched.requests),
+        static_cast<unsigned long long>(c.sched.runs),
+        static_cast<unsigned long long>(c.sched.merges),
+        static_cast<unsigned long long>(c.sched.coalesced_bytes),
+        static_cast<unsigned long long>(c.sched.queue_depth_hwm),
+        i + 1 < comparisons.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_sched.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    p.extents_per_thread = 24;
+    p.op_latency_us = 50;
+    p.trials = 1;
+  }
+  std::printf("Server-side I/O scheduler: extent coalescing + elevator vs "
+              "per-request FIFO,\nmodeled medium %.0f MB/s with %.0f us per "
+              "access.%s\n",
+              p.disk_mb_s, p.op_latency_us, smoke ? "  (smoke)" : "");
+
+  std::vector<Comparison> comparisons;
+  comparisons.push_back(
+      Compare("strided-small-write (4 KiB interleaved, one object)",
+              RunStridedWrite, p));
+  PrintComparison(comparisons.back());
+  comparisons.push_back(Compare(
+      "interleaved-read (4 KiB strided over a warm object)",
+      RunInterleavedRead, p));
+  PrintComparison(comparisons.back());
+  DumpJson(p, comparisons);
+
+  std::printf("\nThe off configuration charges the medium one op per extent\n"
+              "in arrival order; on merges queued extents per object and\n"
+              "pays one op per contiguous run — the >= 1.5x acceptance bar\n"
+              "applies to the strided-small-write row.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "core/io_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace lwfs::core {
+
+std::vector<MergedRun> PlanRuns(std::span<const PendingExtent> batch) {
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Elevator order: one pass per object, offsets ascending; reads and
+  // writes on the same object stay separate runs.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PendingExtent& x = batch[a];
+    const PendingExtent& y = batch[b];
+    if (x.oid != y.oid) return x.oid < y.oid;
+    if (x.is_write != y.is_write) return x.is_write < y.is_write;
+    if (x.offset != y.offset) return x.offset < y.offset;
+    return a < b;
+  });
+
+  std::vector<MergedRun> runs;
+  for (std::size_t idx : order) {
+    const PendingExtent& e = batch[idx];
+    const std::uint64_t end = e.offset + e.length;
+    if (!runs.empty()) {
+      MergedRun& run = runs.back();
+      // Merge when the extent continues the run: same object and
+      // direction, and its start does not leave a gap after the run's end
+      // (touching or overlapping both qualify).
+      if (run.oid == e.oid && run.is_write == e.is_write &&
+          e.offset <= run.end) {
+        run.end = std::max(run.end, end);
+        run.members.push_back(idx);
+        continue;
+      }
+    }
+    runs.push_back(MergedRun{e.oid, e.is_write, e.offset, end, {idx}});
+  }
+  return runs;
+}
+
+Status IoTicket::Await() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  return status_;
+}
+
+void StagingPool::Acquire(std::size_t n) {
+  if (n > capacity_) n = capacity_;  // chunking should prevent this
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (free_ < n) {
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lock, [&] { return free_ >= n; });
+  }
+  free_ -= n;
+}
+
+void StagingPool::Release(std::size_t n) {
+  if (n > capacity_) n = capacity_;  // mirror the Acquire clamp
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_ += n;
+  }
+  cv_.notify_all();
+}
+
+void IoScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void IoScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+}
+
+std::shared_ptr<IoTicket> IoScheduler::Submit(storage::ObjectId oid,
+                                              bool is_write,
+                                              std::uint64_t offset,
+                                              std::uint64_t length,
+                                              ServiceFn fn) {
+  auto ticket = std::make_shared<IoTicket>();
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ || stopping_) {
+      Complete(*ticket, Unavailable("io scheduler stopped"));
+      return ticket;
+    }
+    queue_.push_back(
+        QueuedIo{PendingExtent{oid, is_write, offset, length}, std::move(fn),
+                 ticket});
+    depth = queue_.size();
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    stats_.queue_depth_hwm = std::max<std::uint64_t>(stats_.queue_depth_hwm,
+                                                     depth);
+  }
+  return ticket;
+}
+
+IoSchedulerStats IoScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void IoScheduler::Loop() {
+  for (;;) {
+    std::vector<QueuedIo> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      batch.swap(queue_);
+    }
+    // Everything that queued while the previous batch held the medium is
+    // planned together — that accumulation is where coalescing comes from.
+    ServiceBatch(std::move(batch));
+  }
+}
+
+void IoScheduler::ServiceBatch(std::vector<QueuedIo> batch) {
+  std::vector<PendingExtent> extents;
+  extents.reserve(batch.size());
+  for (const QueuedIo& io : batch) extents.push_back(io.extent);
+  std::vector<MergedRun> runs = PlanRuns(extents);
+
+  for (const MergedRun& run : runs) {
+    ChargeRun(run.bytes());
+    {
+      // Account the run before completing its members, so a caller that
+      // has awaited every ticket observes fully up-to-date counters.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.runs;
+      if (run.members.size() > 1) {
+        stats_.merges += run.members.size() - 1;
+        stats_.coalesced_bytes += run.bytes();
+      }
+    }
+    for (std::size_t idx : run.members) {
+      QueuedIo& io = batch[idx];
+      Status status = io.fn ? io.fn() : OkStatus();
+      io.fn = nullptr;  // release staged buffers promptly
+      Complete(*io.ticket, std::move(status));
+    }
+  }
+}
+
+void IoScheduler::ChargeRun(std::uint64_t bytes) {
+  double us = options_.modeled_op_latency_us;
+  if (options_.modeled_disk_mb_s > 0 && bytes > 0) {
+    // bytes / (MB/s * 1e6 B/MB) seconds == bytes / (MB/s) microseconds.
+    us += static_cast<double>(bytes) / options_.modeled_disk_mb_s;
+  }
+  if (us <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(us)));
+}
+
+void IoScheduler::Complete(IoTicket& ticket, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(ticket.mutex_);
+    ticket.done_ = true;
+    ticket.status_ = std::move(status);
+  }
+  ticket.cv_.notify_all();
+}
+
+}  // namespace lwfs::core

@@ -1,5 +1,6 @@
 #include "core/runtime.h"
 
+#include <algorithm>
 #include <fstream>
 
 namespace lwfs::core {
@@ -110,6 +111,19 @@ ServiceRuntime::~ServiceRuntime() {
 void ServiceRuntime::AddUser(const std::string& name, const std::string& secret,
                              security::Uid uid) {
   users_.AddPrincipal(name, secret, uid);
+}
+
+IoSchedulerStats ServiceRuntime::TotalSchedStats() const {
+  IoSchedulerStats total;
+  for (const auto& server : storage_servers_) {
+    const IoSchedulerStats s = server->sched_stats();
+    total.requests += s.requests;
+    total.runs += s.runs;
+    total.merges += s.merges;
+    total.coalesced_bytes += s.coalesced_bytes;
+    total.queue_depth_hwm = std::max(total.queue_depth_hwm, s.queue_depth_hwm);
+  }
+  return total;
 }
 
 std::unique_ptr<Client> ServiceRuntime::MakeClient() {

@@ -81,6 +81,8 @@ class ServiceRuntime {
   [[nodiscard]] StorageServer& storage_server(int i) {
     return *storage_servers_[static_cast<std::size_t>(i)];
   }
+  /// I/O-scheduler counters summed over every storage server.
+  [[nodiscard]] IoSchedulerStats TotalSchedStats() const;
   [[nodiscard]] storage::ObjectStore& store(int i) {
     return *stores_[static_cast<std::size_t>(i)];
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
 
 #include "util/logging.h"
@@ -16,6 +17,25 @@ rpc::ServerOptions ControlOptions() {
   options.request_queue_depth = 1024;
   return options;
 }
+
+rpc::ServerOptions DataOptions(const StorageServerOptions& options) {
+  rpc::ServerOptions data = options.rpc;
+  data.worker_threads = std::max(1, options.worker_threads);
+  return data;
+}
+
+/// Chunks of one request kept in flight past the current pull/push.  Depth
+/// 2 overlaps the network move of chunk N+1 with medium service of chunk N
+/// while bounding per-request staging at 2 chunks — which is why the pool
+/// is clamped to at least that much.
+constexpr std::size_t kRequestPipelineDepth = 2;
+
+IoSchedulerOptions SchedulerOptions(const StorageServerOptions& options) {
+  IoSchedulerOptions sched;
+  sched.modeled_disk_mb_s = options.modeled_disk_mb_s;
+  sched.modeled_op_latency_us = options.modeled_op_latency_us;
+  return sched;
+}
 }  // namespace
 
 StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
@@ -29,20 +49,29 @@ StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
       now_(std::move(now)),
       options_(options),
       participant_(participant_name()),
-      data_server_(nic, options.rpc),
+      data_server_(nic, DataOptions(options)),
       control_server_(nic, ControlOptions()),
-      authz_client_(std::move(nic)) {
+      authz_client_(std::move(nic)),
+      staging_(std::max(options.staging_bytes,
+                        kRequestPipelineDepth * options.bulk_chunk_bytes)) {
+  if (options_.scheduler) {
+    scheduler_ = std::make_unique<IoScheduler>(SchedulerOptions(options_));
+  }
   RegisterDataHandlers();
   RegisterControlHandlers();
 }
 
 Status StorageServer::Start() {
+  if (scheduler_) scheduler_->Start();
   LWFS_RETURN_IF_ERROR(data_server_.Start());
   return control_server_.Start();
 }
 
 void StorageServer::Stop() {
+  // Data workers first: they may be blocked awaiting scheduler tickets, so
+  // the scheduler must outlive them and drains afterwards.
   data_server_.Stop();
+  if (scheduler_) scheduler_->Stop();
   control_server_.Stop();
 }
 
@@ -103,14 +132,131 @@ Result<storage::ObjAttr> StorageServer::CheckObject(
   return attr;
 }
 
-void StorageServer::ChargeMediumTime(std::uint64_t bytes) {
-  if (options_.modeled_disk_mb_s <= 0 || bytes == 0) return;
-  // bytes / (MB/s * 1e6 B/MB) seconds == bytes / (MB/s) microseconds.
-  const auto us = static_cast<std::int64_t>(
-      static_cast<double>(bytes) / options_.modeled_disk_mb_s);
+void StorageServer::ChargeMediumTime(std::uint64_t bytes, bool charge_op) {
+  double us = charge_op ? options_.modeled_op_latency_us : 0;
+  if (options_.modeled_disk_mb_s > 0 && bytes > 0) {
+    // bytes / (MB/s * 1e6 B/MB) seconds == bytes / (MB/s) microseconds.
+    us += static_cast<double>(bytes) / options_.modeled_disk_mb_s;
+  }
+  if (us <= 0) return;
   // Hold the lock across the sleep: one disk arm, competing requests queue.
   std::lock_guard<std::mutex> lock(medium_mu_);
-  std::this_thread::sleep_for(std::chrono::microseconds(us));
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(us)));
+}
+
+Result<std::uint64_t> StorageServer::ScheduledWrite(rpc::ServerContext& ctx,
+                                                    storage::ObjectId oid,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t total) {
+  std::deque<std::shared_ptr<IoTicket>> pipeline;
+  Status first_error = OkStatus();
+  auto retire_oldest = [&] {
+    Status s = pipeline.front()->Await();
+    pipeline.pop_front();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  };
+
+  std::uint64_t moved = 0;
+  while (moved < total) {
+    const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+        options_.bulk_chunk_bytes, total - moved));
+    // Reserve staging space before pulling: when the pool is exhausted this
+    // worker stalls, the request portal backs up, and new requests bounce
+    // with kResourceExhausted — bounded staging is the flow control.
+    auto reservation = std::make_shared<StagingReservation>(&staging_, n);
+    auto chunk = std::make_shared<Buffer>(n);
+    Status pulled = ctx.PullBulk(MutableByteSpan(*chunk), moved);
+    if (!pulled.ok()) {
+      if (first_error.ok()) first_error = std::move(pulled);
+      break;
+    }
+    const std::uint64_t at = offset + moved;
+    pipeline.push_back(scheduler_->Submit(
+        oid, /*is_write=*/true, at, n,
+        [store = store_, oid, at, chunk, reservation]() -> Status {
+          return store->Write(oid, at, ByteSpan(*chunk));
+        }));
+    moved += n;
+    while (pipeline.size() >= kRequestPipelineDepth && first_error.ok()) {
+      retire_oldest();
+    }
+    if (!first_error.ok()) break;
+  }
+  while (!pipeline.empty()) retire_oldest();
+  if (!first_error.ok()) return first_error;
+  return moved;
+}
+
+Result<std::uint64_t> StorageServer::ScheduledRead(rpc::ServerContext& ctx,
+                                                   storage::ObjectId oid,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t want) {
+  struct PendingChunk {
+    std::shared_ptr<IoTicket> ticket;
+    std::shared_ptr<Buffer> data;  // resized by the service fn to bytes read
+    std::shared_ptr<StagingReservation> reservation;
+    std::uint64_t at = 0;  // client-side offset
+    std::uint64_t asked = 0;
+  };
+  std::deque<PendingChunk> pipeline;
+  Status first_error = OkStatus();
+  std::uint64_t moved = 0;
+  bool eof = false;
+
+  // Retire the oldest chunk: rendezvous with the scheduler, push the bytes
+  // to the client's registered region, release the staging space.  Chunks
+  // after a short (EOF) chunk are discarded so `moved` stays the length of
+  // the contiguous prefix actually delivered.
+  auto retire_oldest = [&] {
+    PendingChunk chunk = std::move(pipeline.front());
+    pipeline.pop_front();
+    Status s = chunk.ticket->Await();
+    if (!s.ok()) {
+      if (first_error.ok()) first_error = std::move(s);
+      return;
+    }
+    if (eof || !first_error.ok() || chunk.data->empty()) {
+      eof = true;
+      return;
+    }
+    Status pushed = ctx.PushBulk(ByteSpan(*chunk.data), chunk.at);
+    if (!pushed.ok()) {
+      if (first_error.ok()) first_error = std::move(pushed);
+      return;
+    }
+    moved += chunk.data->size();
+    if (chunk.data->size() < chunk.asked) eof = true;  // short read: EOF
+  };
+
+  std::uint64_t issued = 0;
+  while (issued < want && !eof && first_error.ok()) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - issued);
+    PendingChunk chunk;
+    chunk.reservation = std::make_shared<StagingReservation>(
+        &staging_, static_cast<std::size_t>(n));
+    chunk.data = std::make_shared<Buffer>();
+    chunk.at = issued;
+    chunk.asked = n;
+    const std::uint64_t from = offset + issued;
+    chunk.ticket = scheduler_->Submit(
+        oid, /*is_write=*/false, from, n,
+        [store = store_, oid, from, n, data = chunk.data]() -> Status {
+          auto read = store->Read(oid, from, n);
+          if (!read.ok()) return read.status();
+          *data = std::move(*read);
+          return OkStatus();
+        });
+    pipeline.push_back(std::move(chunk));
+    issued += n;
+    while (pipeline.size() >= kRequestPipelineDepth && first_error.ok()) {
+      retire_oldest();
+    }
+  }
+  while (!pipeline.empty()) retire_oldest();
+  if (!first_error.ok()) return first_error;
+  return moved;
 }
 
 void StorageServer::RegisterDataHandlers() {
@@ -154,18 +300,26 @@ void StorageServer::RegisterDataHandlers() {
 
         // Server-directed pull, one bounded chunk at a time (Figure 6).
         const std::uint64_t total = ctx.bulk_out_size();
-        Buffer chunk;
         std::uint64_t moved = 0;
-        while (moved < total) {
-          const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
-              options_.bulk_chunk_bytes, total - moved));
-          chunk.resize(n);
-          LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
-          LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
-                                             *offset + moved,
-                                             ByteSpan(chunk)));
-          ChargeMediumTime(n);
-          moved += n;
+        if (scheduler_) {
+          auto scheduled =
+              ScheduledWrite(ctx, storage::ObjectId{*oid}, *offset, total);
+          if (!scheduled.ok()) return scheduled.status();
+          moved = *scheduled;
+        } else {
+          Buffer chunk;
+          while (moved < total) {
+            const std::size_t n =
+                static_cast<std::size_t>(std::min<std::uint64_t>(
+                    options_.bulk_chunk_bytes, total - moved));
+            chunk.resize(n);
+            LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
+            LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
+                                               *offset + moved,
+                                               ByteSpan(chunk)));
+            ChargeMediumTime(n, /*charge_op=*/moved == 0);
+            moved += n;
+          }
         }
         Encoder reply;
         reply.PutU64(moved);
@@ -189,17 +343,25 @@ void StorageServer::RegisterDataHandlers() {
         const std::uint64_t want =
             std::min<std::uint64_t>(*length, ctx.bulk_in_size());
         std::uint64_t moved = 0;
-        while (moved < want) {
-          const std::uint64_t n =
-              std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - moved);
-          auto data = store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
-          if (!data.ok()) return data.status();
-          if (data->empty()) break;  // EOF
-          ChargeMediumTime(data->size());
-          // Server-directed push into the client's registered region.
-          LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), moved));
-          moved += data->size();
-          if (data->size() < n) break;  // short read: EOF
+        if (scheduler_) {
+          auto scheduled =
+              ScheduledRead(ctx, storage::ObjectId{*oid}, *offset, want);
+          if (!scheduled.ok()) return scheduled.status();
+          moved = *scheduled;
+        } else {
+          while (moved < want) {
+            const std::uint64_t n = std::min<std::uint64_t>(
+                options_.bulk_chunk_bytes, want - moved);
+            auto data =
+                store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
+            if (!data.ok()) return data.status();
+            if (data->empty()) break;  // EOF
+            ChargeMediumTime(data->size(), /*charge_op=*/moved == 0);
+            // Server-directed push into the client's registered region.
+            LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), moved));
+            moved += data->size();
+            if (data->size() < n) break;  // short read: EOF
+          }
         }
         Encoder reply;
         reply.PutU64(moved);

@@ -17,6 +17,7 @@
 #include <mutex>
 
 #include "core/filters.h"
+#include "core/io_scheduler.h"
 #include "core/protocol.h"
 #include "rpc/rpc.h"
 #include "security/authn.h"
@@ -45,6 +46,11 @@ enum class VerifyMode {
 
 struct StorageServerOptions {
   rpc::ServerOptions rpc;
+  /// Data-plane RPC workers.  Overrides rpc.worker_threads for the data
+  /// portal: with one worker the server cannot overlap the network pull of
+  /// request N+1 with medium service of request N, and the scheduler never
+  /// sees more than one queued extent — so the default is >1.
+  int worker_threads = 4;
   /// Server pulls/pushes bulk data in chunks of this size, which bounds its
   /// per-request buffer footprint no matter how large the client's I/O is
   /// (the essence of server-directed flow control).
@@ -60,6 +66,20 @@ struct StorageServerOptions {
   /// window sweep) measure pipelining against a realistic service
   /// component rather than the host's memory bus.
   double modeled_disk_mb_s = 0;
+  /// Modeled per-access (seek/op) cost in microseconds, charged once per
+  /// request extent when the scheduler is off and once per *merged run*
+  /// when it is on — the physical payoff of coalescing.  0 disables it.
+  double modeled_op_latency_us = 0;
+  /// Route READ/WRITE extents through the IoScheduler (merge + elevator +
+  /// per-run medium charge).  Off reproduces the old per-request FIFO
+  /// data path, which the server_sched bench uses as its baseline.
+  bool scheduler = true;
+  /// Bound on total staging memory for in-flight bulk chunks; workers
+  /// block for pool space before pulling from clients, so a burst of
+  /// concurrent writes cannot overrun the I/O node (§3.2 flow control).
+  /// Clamped up to 2 * bulk_chunk_bytes so one request can always make
+  /// progress.
+  std::size_t staging_bytes = 16 << 20;
 };
 
 class StorageServer {
@@ -84,6 +104,16 @@ class StorageServer {
     return remote_verifies_.load(std::memory_order_relaxed);
   }
 
+  /// Scheduler counters (all zero when options.scheduler is off).
+  [[nodiscard]] IoSchedulerStats sched_stats() const {
+    return scheduler_ ? scheduler_->stats() : IoSchedulerStats{};
+  }
+
+  /// Times a data worker stalled waiting for staging memory.
+  [[nodiscard]] std::uint64_t staging_waits() const {
+    return staging_.waits();
+  }
+
   /// Participant name as used in transaction BEGIN records.
   [[nodiscard]] std::string participant_name() const {
     return "storage:" + std::to_string(server_id_);
@@ -103,9 +133,23 @@ class StorageServer {
   Result<storage::ObjAttr> CheckObject(const security::Capability& cap,
                                        storage::ObjectId oid);
 
-  /// Charge `bytes` against the modeled medium bandwidth (no-op when the
-  /// model is off).  Serialized by `medium_mu_`: one disk arm per server.
-  void ChargeMediumTime(std::uint64_t bytes);
+  /// Charge `bytes` (plus one op cost when `charge_op`) against the
+  /// modeled medium (no-op when the model is off).  Serialized by
+  /// `medium_mu_`: one disk arm per server.  Scheduler-off path only; with
+  /// the scheduler on, the scheduler thread owns the medium and charges
+  /// once per merged run.
+  void ChargeMediumTime(std::uint64_t bytes, bool charge_op);
+
+  /// The scheduler-on write/read data paths: stage chunks through the
+  /// pool, submit extents, retire a bounded in-request pipeline.
+  Result<std::uint64_t> ScheduledWrite(rpc::ServerContext& ctx,
+                                       storage::ObjectId oid,
+                                       std::uint64_t offset,
+                                       std::uint64_t total);
+  Result<std::uint64_t> ScheduledRead(rpc::ServerContext& ctx,
+                                      storage::ObjectId oid,
+                                      std::uint64_t offset,
+                                      std::uint64_t want);
 
   const std::uint32_t server_id_;
   storage::ObjectStore* store_;
@@ -119,6 +163,8 @@ class StorageServer {
   rpc::RpcClient authz_client_;
   std::atomic<std::uint64_t> remote_verifies_{0};
   std::mutex medium_mu_;
+  StagingPool staging_;
+  std::unique_ptr<IoScheduler> scheduler_;
 };
 
 }  // namespace lwfs::core
