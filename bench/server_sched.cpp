@@ -105,7 +105,8 @@ WorkloadResult RunInterleavedRead(bool scheduler_on, const Params& p) {
   auto oid = client->CreateObject(0, cap).value();
 
   // Populate with large sequential writes (cheap in modeled op cost), then
-  // ignore the setup's scheduler activity via a stats baseline.
+  // zero the scheduler counters so every stat — including the otherwise
+  // monotonic queue_depth_hwm — reflects only the measured read phase.
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(p.threads) *
                                     p.extents_per_thread * p.extent_bytes;
   {
@@ -121,7 +122,7 @@ WorkloadResult RunInterleavedRead(bool scheduler_on, const Params& p) {
       }
     }
   }
-  const core::IoSchedulerStats baseline = runtime->TotalSchedStats();
+  runtime->ResetSchedStats();
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -147,12 +148,7 @@ WorkloadResult RunInterleavedRead(bool scheduler_on, const Params& p) {
 
   WorkloadResult result;
   result.mb_s = static_cast<double>(total_bytes) / 1e6 / elapsed.count();
-  const core::IoSchedulerStats after = runtime->TotalSchedStats();
-  result.sched.requests = after.requests - baseline.requests;
-  result.sched.runs = after.runs - baseline.runs;
-  result.sched.merges = after.merges - baseline.merges;
-  result.sched.coalesced_bytes = after.coalesced_bytes - baseline.coalesced_bytes;
-  result.sched.queue_depth_hwm = after.queue_depth_hwm;
+  result.sched = runtime->TotalSchedStats();
   return result;
 }
 

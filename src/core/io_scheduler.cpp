@@ -47,14 +47,25 @@ Status IoTicket::Await() {
   return status_;
 }
 
-void StagingPool::Acquire(std::size_t n) {
+Status StagingPool::Acquire(std::size_t n) {
   if (n > capacity_) n = capacity_;  // chunking should prevent this
   std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return Unavailable("staging pool closed");
   if (free_ < n) {
     waits_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait(lock, [&] { return free_ >= n; });
+    cv_.wait(lock, [&] { return closed_ || free_ >= n; });
+    if (closed_) return Unavailable("staging pool closed");
   }
   free_ -= n;
+  return OkStatus();
+}
+
+bool StagingPool::TryAcquire(std::size_t n) {
+  if (n > capacity_) n = capacity_;  // mirror the Acquire clamp
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || free_ < n) return false;
+  free_ -= n;
+  return true;
 }
 
 void StagingPool::Release(std::size_t n) {
@@ -62,6 +73,14 @@ void StagingPool::Release(std::size_t n) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     free_ += n;
+  }
+  cv_.notify_all();
+}
+
+void StagingPool::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
   }
   cv_.notify_all();
 }
@@ -119,6 +138,11 @@ std::shared_ptr<IoTicket> IoScheduler::Submit(storage::ObjectId oid,
 IoSchedulerStats IoScheduler::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+void IoScheduler::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = IoSchedulerStats{};
 }
 
 void IoScheduler::Loop() {

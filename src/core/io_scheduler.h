@@ -18,6 +18,16 @@
 // When the pool is full, workers stall, the bounded request portal fills,
 // and new requests are rejected with kResourceExhausted — the same
 // back-pressure path the protocol already has.
+//
+// Two invariants keep the pool deadlock- and hang-free:
+//   1. No thread ever blocks in Acquire while holding a reservation.  The
+//      scheduler thread never acquires at all; a data worker that cannot
+//      TryAcquire first retires (and so releases) everything its request
+//      holds, then waits owning nothing — so every held reservation
+//      belongs to a thread that is making progress toward Release.
+//   2. Close() wakes every blocked Acquire with kUnavailable, so shutdown
+//      can never hang on a waiter (StorageServer::Stop closes the pool
+//      before joining its data workers).
 #pragma once
 
 #include <atomic>
@@ -80,14 +90,28 @@ class IoTicket {
 /// Bounded staging memory for in-flight bulk chunks.  Acquire blocks until
 /// the reservation fits; requests larger than the capacity are clamped by
 /// the caller (chunking already bounds per-reservation size).
+///
+/// A caller must never block in Acquire while it still holds a
+/// reservation (see the deadlock invariant in the file comment): use
+/// TryAcquire on the fast path and release everything held before falling
+/// back to the blocking Acquire.
 class StagingPool {
  public:
   explicit StagingPool(std::size_t capacity)
       : capacity_(capacity), free_(capacity) {}
 
-  /// Reserve `n` bytes, blocking while the pool is exhausted.
-  void Acquire(std::size_t n);
+  /// Reserve `n` bytes, blocking while the pool is exhausted.  Fails with
+  /// kUnavailable once the pool is closed (waiters are woken).
+  [[nodiscard]] Status Acquire(std::size_t n);
+  /// Reserve `n` bytes only if they are free right now; never blocks.
+  /// Returns false when the pool lacks space or is closed.
+  [[nodiscard]] bool TryAcquire(std::size_t n);
   void Release(std::size_t n);
+
+  /// Wake every blocked Acquire with kUnavailable and fail all future
+  /// ones.  Release still works, so outstanding reservations drain
+  /// normally.  Called at server shutdown so no worker can hang here.
+  void Close();
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Times an Acquire had to wait — each is a burst the pool absorbed.
@@ -100,17 +124,18 @@ class StagingPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t free_;
+  bool closed_ = false;
   std::atomic<std::uint64_t> waits_{0};
 };
 
-/// RAII reservation against a StagingPool; shareable so a service closure
-/// can own it past the submitting worker's scope.
+/// RAII releaser for a StagingPool reservation the caller has already
+/// acquired (via Acquire or TryAcquire); shareable so a service closure
+/// can own it past the submitting worker's scope.  Construction does not
+/// acquire — acquisition is fallible and must not hide in a constructor.
 class StagingReservation {
  public:
   StagingReservation(StagingPool* pool, std::size_t bytes)
-      : pool_(pool), bytes_(bytes) {
-    pool_->Acquire(bytes_);
-  }
+      : pool_(pool), bytes_(bytes) {}
   ~StagingReservation() { pool_->Release(bytes_); }
   StagingReservation(const StagingReservation&) = delete;
   StagingReservation& operator=(const StagingReservation&) = delete;
@@ -161,6 +186,9 @@ class IoScheduler {
                                    ServiceFn fn);
 
   [[nodiscard]] IoSchedulerStats stats() const;
+  /// Zero all counters (including the queue-depth high-water mark) so a
+  /// caller can scope measurements to one phase of a workload.
+  void ResetStats();
 
  private:
   struct QueuedIo {

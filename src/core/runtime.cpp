@@ -126,6 +126,10 @@ IoSchedulerStats ServiceRuntime::TotalSchedStats() const {
   return total;
 }
 
+void ServiceRuntime::ResetSchedStats() {
+  for (const auto& server : storage_servers_) server->ResetSchedStats();
+}
+
 std::unique_ptr<Client> ServiceRuntime::MakeClient() {
   return std::make_unique<Client>(fabric_.CreateNic(), deployment_);
 }

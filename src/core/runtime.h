@@ -83,6 +83,9 @@ class ServiceRuntime {
   }
   /// I/O-scheduler counters summed over every storage server.
   [[nodiscard]] IoSchedulerStats TotalSchedStats() const;
+  /// Zero every server's scheduler counters (queue_depth_hwm included) so
+  /// benches can scope measurement to one phase.
+  void ResetSchedStats();
   [[nodiscard]] storage::ObjectStore& store(int i) {
     return *stores_[static_cast<std::size_t>(i)];
   }

@@ -18,9 +18,21 @@ rpc::ServerOptions ControlOptions() {
   return options;
 }
 
+/// Data-plane worker count when neither knob picks one (see the
+/// worker_threads comment in storage_server.h).
+constexpr int kDefaultDataWorkers = 4;
+
 rpc::ServerOptions DataOptions(const StorageServerOptions& options) {
   rpc::ServerOptions data = options.rpc;
-  data.worker_threads = std::max(1, options.worker_threads);
+  if (options.worker_threads > 0) {
+    // Explicitly set: wins over whatever rpc carries.
+    data.worker_threads = options.worker_threads;
+  } else if (data.worker_threads <= 1) {
+    // Neither knob set (rpc still at its single-worker default): the data
+    // portal needs concurrency for pull/push of request N+1 to overlap
+    // medium service of request N.
+    data.worker_threads = kDefaultDataWorkers;
+  }
   return data;
 }
 
@@ -68,7 +80,12 @@ Status StorageServer::Start() {
 }
 
 void StorageServer::Stop() {
-  // Data workers first: they may be blocked awaiting scheduler tickets, so
+  // Close the staging pool first: a data worker blocked in Acquire wakes
+  // with kUnavailable instead of hanging the join below.  In-flight
+  // requests caught mid-transfer fail with that status — shutdown is an
+  // error, never a hang.
+  staging_.Close();
+  // Data workers next: they may be blocked awaiting scheduler tickets, so
   // the scheduler must outlive them and drains afterwards.
   data_server_.Stop();
   if (scheduler_) scheduler_->Stop();
@@ -164,6 +181,14 @@ Result<std::uint64_t> StorageServer::ScheduledWrite(rpc::ServerContext& ctx,
     // Reserve staging space before pulling: when the pool is exhausted this
     // worker stalls, the request portal backs up, and new requests bounce
     // with kResourceExhausted — bounded staging is the flow control.
+    // Blocking is safe here: this worker holds no reservation of its own
+    // (pipelined chunks' reservations live in the scheduler's service fns,
+    // which the scheduler thread releases without ever touching the pool).
+    Status acquired = staging_.Acquire(n);
+    if (!acquired.ok()) {
+      if (first_error.ok()) first_error = std::move(acquired);
+      break;
+    }
     auto reservation = std::make_shared<StagingReservation>(&staging_, n);
     auto chunk = std::make_shared<Buffer>(n);
     Status pulled = ctx.PullBulk(MutableByteSpan(*chunk), moved);
@@ -233,6 +258,22 @@ Result<std::uint64_t> StorageServer::ScheduledRead(rpc::ServerContext& ctx,
   while (issued < want && !eof && first_error.ok()) {
     const std::uint64_t n =
         std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - issued);
+    // A read chunk's reservation outlives the scheduler's service fn (the
+    // staged bytes are pushed to the client afterwards), so this worker is
+    // the one holding it — and it must never also *block* for the next
+    // chunk's space, or W readers each holding one chunk could all wait
+    // for a second and deadlock the pool.  Fast path: take free space
+    // without blocking.  Slow path: retire (and so release) everything
+    // this request holds, then wait owning nothing.
+    if (!staging_.TryAcquire(static_cast<std::size_t>(n))) {
+      while (!pipeline.empty()) retire_oldest();
+      if (eof || !first_error.ok()) break;
+      Status acquired = staging_.Acquire(static_cast<std::size_t>(n));
+      if (!acquired.ok()) {
+        if (first_error.ok()) first_error = std::move(acquired);
+        break;
+      }
+    }
     PendingChunk chunk;
     chunk.reservation = std::make_shared<StagingReservation>(
         &staging_, static_cast<std::size_t>(n));

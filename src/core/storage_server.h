@@ -46,11 +46,14 @@ enum class VerifyMode {
 
 struct StorageServerOptions {
   rpc::ServerOptions rpc;
-  /// Data-plane RPC workers.  Overrides rpc.worker_threads for the data
-  /// portal: with one worker the server cannot overlap the network pull of
-  /// request N+1 with medium service of request N, and the scheduler never
-  /// sees more than one queued extent — so the default is >1.
-  int worker_threads = 4;
+  /// Data-plane RPC workers.  >0 overrides rpc.worker_threads for the data
+  /// portal.  0 (the default) derives the count: an rpc.worker_threads a
+  /// caller raised above the rpc default of 1 is respected; otherwise the
+  /// data portal gets 4 workers — with one worker the server cannot overlap
+  /// the network pull of request N+1 with medium service of request N, and
+  /// the scheduler never sees more than one queued extent, so the derived
+  /// default is >1.
+  int worker_threads = 0;
   /// Server pulls/pushes bulk data in chunks of this size, which bounds its
   /// per-request buffer footprint no matter how large the client's I/O is
   /// (the essence of server-directed flow control).
@@ -77,8 +80,11 @@ struct StorageServerOptions {
   /// Bound on total staging memory for in-flight bulk chunks; workers
   /// block for pool space before pulling from clients, so a burst of
   /// concurrent writes cannot overrun the I/O node (§3.2 flow control).
-  /// Clamped up to 2 * bulk_chunk_bytes so one request can always make
-  /// progress.
+  /// Clamped up to 2 * bulk_chunk_bytes so a request can pipeline two
+  /// chunks when the pool is otherwise idle.  Any number of concurrent
+  /// requests make progress at any capacity: a worker that must wait for
+  /// pool space first retires (and so releases) everything its request
+  /// holds, so waiters never hold staging.
   std::size_t staging_bytes = 16 << 20;
 };
 
@@ -107,6 +113,12 @@ class StorageServer {
   /// Scheduler counters (all zero when options.scheduler is off).
   [[nodiscard]] IoSchedulerStats sched_stats() const {
     return scheduler_ ? scheduler_->stats() : IoSchedulerStats{};
+  }
+
+  /// Zero the scheduler counters (including queue_depth_hwm, which is
+  /// otherwise monotonic) so callers can scope stats to one workload phase.
+  void ResetSchedStats() {
+    if (scheduler_) scheduler_->ResetStats();
   }
 
   /// Times a data worker stalled waiting for staging memory.

@@ -147,6 +147,22 @@ TEST(IoSchedulerTest, ChargesMediumOncePerMergedRun) {
   sched.Stop();
 }
 
+TEST(IoSchedulerTest, ResetStatsZeroesCountersIncludingHighWaterMark) {
+  IoScheduler sched(core::IoSchedulerOptions{});
+  sched.Start();
+  auto ticket = sched.Submit(storage::ObjectId{1}, true, 0, 10,
+                             [] { return OkStatus(); });
+  EXPECT_TRUE(ticket->Await().ok());
+  EXPECT_GT(sched.stats().requests, 0u);
+  EXPECT_GE(sched.stats().queue_depth_hwm, 1u);
+  sched.ResetStats();
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.runs, 0u);
+  EXPECT_EQ(stats.queue_depth_hwm, 0u);
+  sched.Stop();
+}
+
 TEST(IoSchedulerTest, StopDrainsQueuedExtentsAndRejectsNewOnes) {
   auto sched = std::make_unique<IoScheduler>(core::IoSchedulerOptions{});
   sched->Start();
@@ -170,10 +186,10 @@ TEST(IoSchedulerTest, StopDrainsQueuedExtentsAndRejectsNewOnes) {
 
 TEST(StagingPoolTest, AcquireBlocksUntilSpaceIsReleased) {
   StagingPool pool(100);
-  pool.Acquire(80);
+  ASSERT_TRUE(pool.Acquire(80).ok());
   std::atomic<bool> acquired{false};
   std::thread waiter([&] {
-    pool.Acquire(50);
+    EXPECT_TRUE(pool.Acquire(50).ok());
     acquired.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -183,6 +199,33 @@ TEST(StagingPoolTest, AcquireBlocksUntilSpaceIsReleased) {
   EXPECT_TRUE(acquired.load());
   EXPECT_EQ(pool.waits(), 1u);
   pool.Release(50);
+}
+
+TEST(StagingPoolTest, TryAcquireNeverBlocksAndTakesOnlyFreeSpace) {
+  StagingPool pool(100);
+  EXPECT_TRUE(pool.TryAcquire(80));
+  EXPECT_FALSE(pool.TryAcquire(50));  // would exceed capacity: no wait
+  pool.Release(80);
+  EXPECT_TRUE(pool.TryAcquire(50));
+  pool.Release(50);
+}
+
+// The shutdown hook: Close must wake a blocked Acquire with kUnavailable
+// and fail all later acquires, so StorageServer::Stop never hangs joining
+// a worker stalled on the pool.
+TEST(StagingPoolTest, CloseWakesBlockedAcquireWithUnavailable) {
+  StagingPool pool(100);
+  ASSERT_TRUE(pool.Acquire(100).ok());
+  std::promise<Status> woke;
+  std::thread waiter([&] { woke.set_value(pool.Acquire(50)); });
+  auto result = woke.get_future();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.Close();
+  waiter.join();
+  EXPECT_EQ(result.get().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(pool.Acquire(1).code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(pool.TryAcquire(1));
+  pool.Release(100);  // outstanding reservations still drain
 }
 
 // End to end on the live stack: concurrent strided writes through the
@@ -290,6 +333,43 @@ TEST(SchedServerTest, LargeWriteSurvivesTinyStagingPool) {
   auto back = client->ReadObjectAlloc(0, cap, oid, 0, payload.size());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, payload);
+}
+
+// Regression: concurrent multi-chunk reads through a staging pool clamped
+// to the two-chunk minimum.  A read worker used to hold chunk N's
+// reservation while blocking for chunk N+1's space — with more than one
+// reader in flight, every worker held one chunk and waited forever for a
+// second.  Workers now retire their own pipeline before blocking, so all
+// readers complete at any pool size.
+TEST(SchedServerTest, ConcurrentLargeReadsSurviveTinyStagingPool) {
+  core::RuntimeOptions options;
+  options.storage_servers = 1;
+  options.storage.worker_threads = 4;
+  options.storage.bulk_chunk_bytes = 4096;
+  options.storage.staging_bytes = 1;  // clamped up to 2 chunks
+  auto runtime = core::ServiceRuntime::Start(options).value();
+  runtime->AddUser("u", "pw", 1);
+  auto client = runtime->MakeClient();
+  auto cred = client->Login("u", "pw").value();
+  auto cid = client->CreateContainer(cred).value();
+  auto cap = client->GetCap(cred, cid, security::kOpAll).value();
+  auto oid = client->CreateObject(0, cap).value();
+
+  const Buffer payload = PatternBuffer(64 << 10, 5);  // 16 chunks each read
+  ASSERT_TRUE(client->WriteObject(0, cap, oid, 0, ByteSpan(payload)).ok());
+
+  constexpr int kReaders = 4;
+  std::atomic<int> intact{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      auto worker = runtime->MakeClient();
+      auto back = worker->ReadObjectAlloc(0, cap, oid, 0, payload.size());
+      if (back.ok() && *back == payload) intact.fetch_add(1);
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(intact.load(), kReaders);
 }
 
 }  // namespace
