@@ -59,6 +59,14 @@ struct SweepPoint {
   std::uint64_t sched_runs = 0;
   std::uint64_t sched_merges = 0;
   std::uint64_t sched_coalesced_bytes = 0;
+  // Robustness ledger for the same trials (see DESIGN.md "Fault model"):
+  // requests served, retransmits absorbed by the reply cache, and frames
+  // dropped for failing their wire checksum.  On a healthy in-process
+  // fabric the last two stay zero — recorded so a regression that starts
+  // silently retransmitting shows up in the numbers.
+  std::uint64_t rpc_served = 0;
+  std::uint64_t rpc_dedup_hits = 0;
+  std::uint64_t rpc_crc_drops = 0;
 };
 
 /// Sweep Config::window on the live in-process stack: 64 ranks of 512 KiB
@@ -120,6 +128,7 @@ std::vector<SweepPoint> RunWindowSweep() {
       config.cap = *cap;
       config.window = kWindows[w];
       const core::IoSchedulerStats before = (*runtime)->TotalSchedStats();
+      const auto robust_before = (*runtime)->TotalRobustnessStats();
       auto run = checkpoint::LwfsCheckpoint::Run(**runtime, config, states);
       if (!run.ok()) {
         std::fprintf(stderr, "checkpoint failed: %s\n",
@@ -133,6 +142,12 @@ std::vector<SweepPoint> RunWindowSweep() {
       points[w].sched_merges += after.merges - before.merges;
       points[w].sched_coalesced_bytes +=
           after.coalesced_bytes - before.coalesced_bytes;
+      const auto robust_after = (*runtime)->TotalRobustnessStats();
+      points[w].rpc_served += robust_after.rpc.served - robust_before.rpc.served;
+      points[w].rpc_dedup_hits +=
+          robust_after.rpc.dedup_hits - robust_before.rpc.dedup_hits;
+      points[w].rpc_crc_drops +=
+          robust_after.rpc.crc_drops - robust_before.rpc.crc_drops;
     }
   }
   for (std::size_t w = 0; w < kNumWindows; ++w) {
@@ -178,12 +193,17 @@ void PrintAndDumpSweep(const std::vector<SweepPoint>& points) {
         out,
         "    {\"window\": %u, \"mb_per_s\": %.2f, \"sd\": %.2f, "
         "\"sched_requests\": %llu, \"sched_runs\": %llu, "
-        "\"sched_merges\": %llu, \"sched_coalesced_bytes\": %llu}%s\n",
+        "\"sched_merges\": %llu, \"sched_coalesced_bytes\": %llu, "
+        "\"rpc_served\": %llu, \"rpc_dedup_hits\": %llu, "
+        "\"rpc_crc_drops\": %llu}%s\n",
         points[i].window, points[i].mean_mb_s, points[i].sd,
         static_cast<unsigned long long>(points[i].sched_requests),
         static_cast<unsigned long long>(points[i].sched_runs),
         static_cast<unsigned long long>(points[i].sched_merges),
         static_cast<unsigned long long>(points[i].sched_coalesced_bytes),
+        static_cast<unsigned long long>(points[i].rpc_served),
+        static_cast<unsigned long long>(points[i].rpc_dedup_hits),
+        static_cast<unsigned long long>(points[i].rpc_crc_drops),
         i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -20,6 +20,7 @@ class AuthnServer {
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] security::AuthnService* service() { return service_; }
+  [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
 
  private:
   security::AuthnService* service_;

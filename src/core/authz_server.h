@@ -31,6 +31,7 @@ class AuthzServer : public security::RevocationSink {
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] security::AuthzService* service() { return service_; }
+  [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
 
   // RevocationSink: RPC the invalidation to the caching server.
   void InvalidateCaps(security::ServerId server,

@@ -158,8 +158,9 @@ Result<std::vector<storage::ObjectId>> RemoteObjectStore::List(
 // Client
 // ---------------------------------------------------------------------------
 
-Client::Client(std::shared_ptr<portals::Nic> nic, Deployment deployment)
-    : nic_(nic), deployment_(std::move(deployment)), rpc_(nic) {}
+Client::Client(std::shared_ptr<portals::Nic> nic, Deployment deployment,
+               rpc::ClientOptions rpc_options)
+    : nic_(nic), deployment_(std::move(deployment)), rpc_(nic, rpc_options) {}
 
 Result<portals::Nid> Client::StorageNid(std::uint32_t server) const {
   if (server >= deployment_.storage.size()) {

@@ -207,7 +207,8 @@ struct TxnParticipants {
 
 class Client {
  public:
-  Client(std::shared_ptr<portals::Nic> nic, Deployment deployment);
+  Client(std::shared_ptr<portals::Nic> nic, Deployment deployment,
+         rpc::ClientOptions rpc_options = {});
 
   // ---- Authentication ----------------------------------------------------
   Result<security::Credential> Login(const std::string& principal,
@@ -319,6 +320,10 @@ class Client {
   [[nodiscard]] portals::Nid nid() const { return rpc_.nid(); }
   [[nodiscard]] const Deployment& deployment() const { return deployment_; }
   [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
+  /// True while `server_nid`'s circuit breaker holds calls back.
+  [[nodiscard]] bool BreakerOpen(portals::Nid server_nid) {
+    return rpc_.BreakerOpen(server_nid);
+  }
   [[nodiscard]] std::size_t storage_server_count() const {
     return deployment_.storage.size();
   }

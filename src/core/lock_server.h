@@ -23,6 +23,7 @@ class LockServer {
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] txn::LockTable* table() { return table_; }
+  [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
 
  private:
   txn::LockTable* table_;

@@ -23,8 +23,21 @@ class NamingServer {
   Status Start() { return server_.Start(); }
   void Stop() { server_.Stop(); }
 
+  /// Simulated crash recovery: rebuild the namespace from its own snapshot
+  /// (committed links only — staged links are volatile and vanish), drop
+  /// prepared-but-undecided transaction state, and clear the RPC dedup
+  /// cache.  Pair with Fabric::SetNodeDown to model the outage window.
+  Status Restart() {
+    Buffer snapshot = service_->Serialize();
+    LWFS_RETURN_IF_ERROR(service_->Restore(ByteSpan(snapshot)));
+    service_->ResetStagedState();
+    server_.ResetReplyCache();
+    return OkStatus();
+  }
+
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] naming::NamingService* service() { return service_; }
+  [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
 
   [[nodiscard]] static std::string participant_name() { return "naming"; }
 

@@ -51,6 +51,7 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
   if (storage_options.verify_mode == VerifyMode::kSharedKey) {
     storage_options.shared_key = authz_key;
   }
+  storage_options.client_options = options.client_options;
 
   std::vector<portals::Nid> storage_nids;
   for (int i = 0; i < options.storage_servers; ++i) {
@@ -131,7 +132,27 @@ void ServiceRuntime::ResetSchedStats() {
 }
 
 std::unique_ptr<Client> ServiceRuntime::MakeClient() {
-  return std::make_unique<Client>(fabric_.CreateNic(), deployment_);
+  return std::make_unique<Client>(fabric_.CreateNic(), deployment_,
+                                  options_.client_options);
+}
+
+ServiceRuntime::RobustnessStats ServiceRuntime::TotalRobustnessStats() {
+  RobustnessStats total;
+  auto add = [&total](const rpc::ServerStats& s) {
+    total.rpc.served += s.served;
+    total.rpc.dedup_hits += s.dedup_hits;
+    total.rpc.crc_drops += s.crc_drops;
+  };
+  for (const auto& server : storage_servers_) {
+    add(server->data_rpc_stats());
+    add(server->control_rpc_stats());
+  }
+  add(authn_server_->rpc_stats());
+  add(authz_server_->rpc_stats());
+  add(naming_server_->rpc_stats());
+  add(lock_server_->rpc_stats());
+  total.faults = fabric_.injector().TotalCounters();
+  return total;
 }
 
 Status ServiceRuntime::SaveNamingSnapshot() {

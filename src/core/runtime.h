@@ -41,6 +41,12 @@ struct RuntimeOptions {
   StorageServerOptions storage;
   rpc::ServerOptions control_services;  // authn/authz/naming/locks
 
+  /// RPC client options (timeouts, retransmit budget, circuit breaker) for
+  /// every client this runtime hands out via MakeClient() and for the
+  /// storage servers' outbound authorization clients.  Chaos tests shrink
+  /// the timeout so injected losses resolve quickly.
+  rpc::ClientOptions client_options;
+
   security::AuthnOptions authn;
   security::AuthzOptions authz;
 
@@ -81,8 +87,18 @@ class ServiceRuntime {
   [[nodiscard]] StorageServer& storage_server(int i) {
     return *storage_servers_[static_cast<std::size_t>(i)];
   }
+  [[nodiscard]] NamingServer& naming_server() { return *naming_server_; }
   /// I/O-scheduler counters summed over every storage server.
   [[nodiscard]] IoSchedulerStats TotalSchedStats() const;
+  /// Robustness counters aggregated across the deployment: RPC dedup/CRC
+  /// activity of every server endpoint plus the fabric's fault-injection
+  /// totals.  Benches record these next to throughput so a run's fault
+  /// exposure is part of its result.
+  struct RobustnessStats {
+    rpc::ServerStats rpc;               // summed over every RPC endpoint
+    portals::FaultCounters faults;      // injected by the fabric
+  };
+  [[nodiscard]] RobustnessStats TotalRobustnessStats();
   /// Zero every server's scheduler counters (queue_depth_hwm included) so
   /// benches can scope measurement to one phase.
   void ResetSchedStats();

@@ -63,7 +63,7 @@ StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
       participant_(participant_name()),
       data_server_(nic, DataOptions(options)),
       control_server_(nic, ControlOptions()),
-      authz_client_(std::move(nic)),
+      authz_client_(std::move(nic), options.client_options),
       staging_(std::max(options.staging_bytes,
                         kRequestPipelineDepth * options.bulk_chunk_bytes)) {
   if (options_.scheduler) {
@@ -90,6 +90,13 @@ void StorageServer::Stop() {
   data_server_.Stop();
   if (scheduler_) scheduler_->Stop();
   control_server_.Stop();
+}
+
+void StorageServer::Restart() {
+  cap_cache_.Clear();
+  participant_.Reset();
+  data_server_.ResetReplyCache();
+  control_server_.ResetReplyCache();
 }
 
 Status StorageServer::Authorize(const security::Capability& cap,
@@ -362,6 +369,11 @@ void StorageServer::RegisterDataHandlers() {
             moved += n;
           }
         }
+        // End-to-end integrity: the pulled payload must match the checksum
+        // the client put in the request header.  On mismatch the client
+        // sees kDataLoss and retries the whole write, overwriting whatever
+        // corrupt bytes already landed.
+        LWFS_RETURN_IF_ERROR(ctx.VerifyPulledPayload());
         Encoder reply;
         reply.PutU64(moved);
         return std::move(reply).Take();

@@ -46,6 +46,10 @@ enum class VerifyMode {
 
 struct StorageServerOptions {
   rpc::ServerOptions rpc;
+  /// Options for the server's own outbound RPC client (capability verify
+  /// calls to the authorization service): timeouts, retransmit budget,
+  /// circuit breaker.
+  rpc::ClientOptions client_options;
   /// Data-plane RPC workers.  >0 overrides rpc.worker_threads for the data
   /// portal.  0 (the default) derives the count: an rpc.worker_threads a
   /// caller raised above the rpc default of 1 is respected; otherwise the
@@ -99,6 +103,16 @@ class StorageServer {
   Status Start();
   void Stop();
 
+  /// Simulated crash recovery: discard everything volatile — the verified-
+  /// capability cache, staged (prepared-but-undecided) transaction state,
+  /// and the RPC dedup/reply caches — keeping only the persistent
+  /// ObjectStore, exactly what a process restart would keep.  In-doubt
+  /// transactions resolve when the coordinator's recovery pass re-delivers
+  /// decisions from its journal (presumed abort for undecided ones).  The
+  /// fabric node stays registered; callers model the outage window with
+  /// Fabric::SetNodeDown around this call.
+  void Restart();
+
   [[nodiscard]] portals::Nid nid() const { return data_server_.nid(); }
   [[nodiscard]] std::uint32_t server_id() const { return server_id_; }
   [[nodiscard]] security::CapCache& cap_cache() { return cap_cache_; }
@@ -124,6 +138,18 @@ class StorageServer {
   /// Times a data worker stalled waiting for staging memory.
   [[nodiscard]] std::uint64_t staging_waits() const {
     return staging_.waits();
+  }
+
+  /// Robustness counters of the data/control RPC endpoints and of the
+  /// outbound authorization client.
+  [[nodiscard]] rpc::ServerStats data_rpc_stats() const {
+    return data_server_.stats();
+  }
+  [[nodiscard]] rpc::ServerStats control_rpc_stats() const {
+    return control_server_.stats();
+  }
+  [[nodiscard]] rpc::ClientStats authz_client_stats() const {
+    return authz_client_.stats();
   }
 
   /// Participant name as used in transaction BEGIN records.

@@ -68,6 +68,13 @@ class NamingService {
   /// The two-phase-commit participant representing this service.
   [[nodiscard]] txn::Participant* participant() { return &participant_; }
 
+  /// Crash simulation: drop staged (uncommitted) links and prepared-but-
+  /// undecided transaction state, as a process restart would.  Committed
+  /// links survive (they are what Serialize() snapshots).  The
+  /// coordinator's journal replay re-delivers outstanding decisions; Abort
+  /// of a forgotten transaction is a no-op by the participant contract.
+  void ResetStagedState() { participant_.Reset(); }
+
   [[nodiscard]] std::uint64_t link_count() const;
 
   /// Serialize the whole namespace (for snapshots: the naming service is a

@@ -179,7 +179,12 @@ Result<FileAttr> PfsClient::GetAttr(const std::string& path) {
 
 Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
                                           std::uint64_t end) {
-  // Poll with backoff: the MDS lock manager is try-based over RPC.
+  // Poll with backoff: the MDS lock manager is try-based over RPC.  The
+  // loop is deadline-bounded (one RPC default_timeout of polling) so a
+  // holder that died without releasing cannot park this thread forever —
+  // the caller gets kTimeout and decides whether to retry.
+  const auto deadline =
+      std::chrono::steady_clock::now() + rpc_.options().default_timeout;
   int backoff_us = 50;
   for (;;) {
     Encoder req;
@@ -195,6 +200,9 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
     }
     if (reply.status().code() != ErrorCode::kResourceExhausted) {
       return reply.status();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Timeout("extent lock acquisition deadline exceeded");
     }
     std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     backoff_us = std::min(backoff_us * 2, 5000);

@@ -36,6 +36,9 @@ OstServer::OstServer(std::shared_ptr<portals::Nic> nic,
                                              *offset + moved, ByteSpan(chunk)));
           moved += n;
         }
+        // Pulled payload must match the client's request-header checksum;
+        // a mismatch surfaces as kDataLoss and the PFS client retries.
+        LWFS_RETURN_IF_ERROR(ctx.VerifyPulledPayload());
         Encoder reply;
         reply.PutU64(moved);
         return std::move(reply).Take();

@@ -1,7 +1,9 @@
 #include "portals/portals.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -76,18 +78,46 @@ Status Nic::Put(Nid target, PortalIndex portal, MatchBits match_bits,
   if (fabric_->IsNodeDown(target) || fabric_->IsNodeDown(nid_)) {
     return Unavailable("node down");
   }
+  FaultInjector::Plan plan = fabric_->injector_.PlanOp(nid_, target,
+                                                       /*is_put=*/true);
+  if (plan.crash_before) {
+    // The target died before delivery: the message is lost with it, and the
+    // initiator — one-sided Put, no ack protocol — sees success.
+    fabric_->SetNodeDown(target, true);
+    return OkStatus();
+  }
+  if (plan.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+  }
+  if (plan.drop) {
+    // Silent loss: only the caller's reply timeout will reveal it.
+    return OkStatus();
+  }
   std::shared_ptr<Nic> dest = fabric_->Route(target);
   if (!dest) return Unavailable("no such node");
+  Buffer corrupted;
+  ByteSpan payload = data;
+  if (plan.corrupt && !data.empty()) {
+    corrupted.assign(data.begin(), data.end());
+    fabric_->injector_.CorruptSpan(MutableByteSpan(corrupted));
+    payload = ByteSpan(corrupted);
+  }
   // Count optimistically before delivery: the receiver may wake up on the
   // event and inspect fabric stats before this thread runs again, so the
   // count must already be visible.  Undone on failure.
-  fabric_->CountPut(data.size());
-  Status s = dest->AcceptPut(nid_, portal, match_bits, data, remote_offset,
+  fabric_->CountPut(payload.size());
+  Status s = dest->AcceptPut(nid_, portal, match_bits, payload, remote_offset,
                              hdr_data);
   if (!s.ok()) {
-    fabric_->UncountPut(data.size());
+    fabric_->UncountPut(payload.size());
     if (s.code() == ErrorCode::kResourceExhausted) fabric_->CountRejected();
+  } else if (plan.duplicate) {
+    fabric_->CountPut(payload.size());
+    Status dup = dest->AcceptPut(nid_, portal, match_bits, payload,
+                                 remote_offset, hdr_data);
+    if (!dup.ok()) fabric_->UncountPut(payload.size());
   }
+  if (plan.crash_after) fabric_->SetNodeDown(target, true);
   return s;
 }
 
@@ -96,6 +126,20 @@ Status Nic::Get(Nid target, PortalIndex portal, MatchBits match_bits,
   if (fabric_->IsNodeDown(target) || fabric_->IsNodeDown(nid_)) {
     return Unavailable("node down");
   }
+  FaultInjector::Plan plan = fabric_->injector_.PlanOp(nid_, target,
+                                                       /*is_put=*/false);
+  if (plan.crash_before) {
+    fabric_->SetNodeDown(target, true);
+    return Timeout("injected fault: node crashed before get");
+  }
+  if (plan.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+  }
+  if (plan.drop) {
+    // A lost Get (request or response leg) looks like no response at all:
+    // retryable kTimeout, unlike the kUnavailable of a known-down node.
+    return Timeout("injected fault: get lost");
+  }
   std::shared_ptr<Nic> dest = fabric_->Route(target);
   if (!dest) return Unavailable("no such node");
   fabric_->CountGet(out.size());
@@ -103,7 +147,10 @@ Status Nic::Get(Nid target, PortalIndex portal, MatchBits match_bits,
   if (!s.ok()) {
     fabric_->UncountGet(out.size());
     if (s.code() == ErrorCode::kResourceExhausted) fabric_->CountRejected();
+  } else if (plan.corrupt) {
+    fabric_->injector_.CorruptSpan(out);
   }
+  if (plan.crash_after) fabric_->SetNodeDown(target, true);
   return s;
 }
 

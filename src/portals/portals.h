@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "portals/fault.h"
 #include "util/bytes.h"
 #include "util/status.h"
 #include "util/sync_queue.h"
@@ -206,6 +207,10 @@ class Fabric {
   void SetNodeDown(Nid nid, bool down);
   [[nodiscard]] bool IsNodeDown(Nid nid) const;
 
+  /// Fault injection: every Put/Get consults this (pass-through until
+  /// configured).  See portals/fault.h.
+  [[nodiscard]] FaultInjector& injector() { return injector_; }
+
   [[nodiscard]] FabricStats Stats() const;
   void ResetStats();
 
@@ -223,6 +228,7 @@ class Fabric {
   Nid next_nid_ = 1;
   std::unordered_map<Nid, std::weak_ptr<Nic>> nodes_;
   std::unordered_set<Nid> down_;
+  FaultInjector injector_;
 
   std::atomic<std::uint64_t> puts_{0};
   std::atomic<std::uint64_t> gets_{0};

@@ -1,6 +1,7 @@
 #include "rpc/rpc.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -12,15 +13,45 @@ std::atomic<std::uint64_t> RpcClient::next_request_id_{1};
 
 namespace {
 
+/// Every frame (request and reply) ends in a 4-byte CRC32 of everything
+/// before it; a receiver that sees a mismatch drops the frame and lets the
+/// retransmission machinery recover.
+constexpr std::size_t kCrcTrailerBytes = 4;
+
+/// Bulk Gets are idempotent reads of registered client memory, so injected
+/// losses (kTimeout) are retried in place this many times.
+constexpr int kBulkGetRetries = 4;
+
+void AppendCrcTrailer(Buffer& frame) {
+  const std::uint32_t crc = Crc32(ByteSpan(frame));
+  frame.push_back(static_cast<std::uint8_t>(crc & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((crc >> 24) & 0xFFu));
+}
+
+bool VerifyAndStripCrc(ByteSpan frame, ByteSpan* payload) {
+  if (frame.size() < kCrcTrailerBytes) return false;
+  const std::size_t n = frame.size() - kCrcTrailerBytes;
+  const std::uint32_t stored = static_cast<std::uint32_t>(frame[n]) |
+                               static_cast<std::uint32_t>(frame[n + 1]) << 8 |
+                               static_cast<std::uint32_t>(frame[n + 2]) << 16 |
+                               static_cast<std::uint32_t>(frame[n + 3]) << 24;
+  if (Crc32(frame.first(n)) != stored) return false;
+  *payload = frame.first(n);
+  return true;
+}
+
 // Request header layout; see rpc.h for the portal conventions.
 void EncodeHeader(Encoder& enc, Opcode opcode, std::uint64_t request_id,
                   portals::Nid client, std::uint64_t bulk_out_len,
-                  std::uint64_t bulk_in_len) {
+                  std::uint64_t bulk_in_len, std::uint32_t bulk_out_crc) {
   enc.PutU32(opcode);
   enc.PutU64(request_id);
   enc.PutU32(client);
   enc.PutU64(bulk_out_len);
   enc.PutU64(bulk_in_len);
+  enc.PutU32(bulk_out_crc);
 }
 
 struct Header {
@@ -29,6 +60,7 @@ struct Header {
   portals::Nid client;
   std::uint64_t bulk_out_len;
   std::uint64_t bulk_in_len;
+  std::uint32_t bulk_out_crc;
 };
 
 Result<Header> DecodeHeader(Decoder& dec) {
@@ -38,8 +70,9 @@ Result<Header> DecodeHeader(Decoder& dec) {
   auto client = dec.GetU32();
   auto bulk_out = dec.GetU64();
   auto bulk_in = dec.GetU64();
+  auto bulk_out_crc = dec.GetU32();
   if (!opcode.ok() || !request_id.ok() || !client.ok() || !bulk_out.ok() ||
-      !bulk_in.ok()) {
+      !bulk_in.ok() || !bulk_out_crc.ok()) {
     return InvalidArgument("malformed rpc header");
   }
   h.opcode = *opcode;
@@ -47,21 +80,8 @@ Result<Header> DecodeHeader(Decoder& dec) {
   h.client = *client;
   h.bulk_out_len = *bulk_out;
   h.bulk_in_len = *bulk_in;
+  h.bulk_out_crc = *bulk_out_crc;
   return h;
-}
-
-Result<Buffer> DecodeReply(const Buffer& payload) {
-  Decoder dec(payload);
-  auto code = dec.GetU32();
-  auto message = dec.GetString();
-  auto body = dec.GetBytes();
-  if (!code.ok() || !message.ok() || !body.ok()) {
-    return Internal("malformed rpc reply");
-  }
-  if (*code != static_cast<std::uint32_t>(ErrorCode::kOk)) {
-    return Status(static_cast<ErrorCode>(*code), std::move(*message));
-  }
-  return std::move(*body);
 }
 
 }  // namespace
@@ -106,7 +126,8 @@ RpcClient::~RpcClient() {
     inflight_.clear();
   }
   for (auto& state : pending) {
-    FinishCall(state, Aborted("rpc client destroyed with calls in flight"));
+    FinishCall(state, Aborted("rpc client destroyed with calls in flight"),
+               Contact::kNeutral);
   }
 }
 
@@ -144,14 +165,73 @@ bool RpcClient::TrySendLocked(detail::CallState& state, Status* failure) {
   return true;
 }
 
+Status RpcClient::ReattachReplySlot(detail::CallState& state) {
+  portals::MeOptions reply_opts;
+  reply_opts.allow_put = true;
+  reply_opts.message_mode = true;
+  reply_opts.unlink_on_use = true;
+  auto me = nic_->Attach(kReplyPortal, state.request_id, 0, {}, reply_opts,
+                         &completions_);
+  if (!me.ok()) return me.status();
+  // Move-assign releases the consumed entry (Detach is idempotent for
+  // already-unlinked handles).
+  state.reply_region = portals::RegisteredRegion(nic_, *me);
+  return OkStatus();
+}
+
+Status RpcClient::AdmitLocked(portals::Nid server) {
+  if (options_.breaker_threshold <= 0) return OkStatus();
+  auto it = breakers_.find(server);
+  if (it == breakers_.end() || !it->second.open) return OkStatus();
+  Breaker& b = it->second;
+  if (Clock::now() >= b.open_until && !b.probing) {
+    // Half-open: let exactly one probe through; its outcome decides.
+    b.probing = true;
+    return OkStatus();
+  }
+  breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+  return Unavailable("circuit breaker open for server " +
+                     std::to_string(server));
+}
+
+void RpcClient::RecordContactLocked(portals::Nid server, Contact contact) {
+  if (options_.breaker_threshold <= 0 || contact == Contact::kNeutral) return;
+  Breaker& b = breakers_[server];
+  if (contact == Contact::kReplied) {
+    b = Breaker{};  // any decoded reply proves the server alive: close
+    return;
+  }
+  ++b.consecutive;
+  if (b.open) {
+    // Failed half-open probe: stay open for another cooldown.
+    b.open_until = Clock::now() + options_.breaker_cooldown;
+    b.probing = false;
+  } else if (b.consecutive >= options_.breaker_threshold) {
+    b.open = true;
+    b.probing = false;
+    b.open_until = Clock::now() + options_.breaker_cooldown;
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool RpcClient::BreakerOpen(portals::Nid server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = breakers_.find(server);
+  return it != breakers_.end() && it->second.open;
+}
+
 void RpcClient::FinishCall(const std::shared_ptr<detail::CallState>& state,
-                           Result<Buffer> result) {
+                           Result<Buffer> result, Contact contact) {
   // Detach the reply slot and bulk regions *before* publishing the result:
   // the caller's buffers are guaranteed quiescent once Await() returns.
   state->reply_region.Release();
   state->out_region.Release();
   state->in_region.Release();
   if (!result.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RecordContactLocked(state->server, contact);
+  }
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     state->done = true;
@@ -163,6 +243,14 @@ void RpcClient::FinishCall(const std::shared_ptr<detail::CallState>& state,
 Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
                                         ByteSpan request,
                                         const CallOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Status admitted = AdmitLocked(server);
+    if (!admitted.ok()) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return admitted;
+    }
+  }
   calls_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -171,8 +259,13 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
   state->request_id = request_id;
   state->server = server;
   state->request_portal = options.request_portal;
-  state->timeout = options.timeout;
+  state->timeout = options.timeout.count() > 0 ? options.timeout
+                                               : options_.default_timeout;
   state->max_resends = options.max_resends;
+  state->max_retransmits = options.max_retransmits >= 0
+                               ? options.max_retransmits
+                               : options_.max_retransmits;
+  state->bulk_in = options.bulk_in;
   // Seed from (nid, request id) so concurrent ranks draw uncorrelated
   // retry schedules against the same full portal.
   state->backoff =
@@ -213,9 +306,11 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
 
   Encoder enc;
   EncodeHeader(enc, opcode, request_id, nic_->nid(), options.bulk_out.size(),
-               options.bulk_in.size());
+               options.bulk_in.size(),
+               options.bulk_out.empty() ? 0 : Crc32(options.bulk_out));
   enc.PutRaw(request);
   state->wire = enc.buffer();
+  AppendCrcTrailer(state->wire);
 
   Status send_failure = OkStatus();
   {
@@ -240,6 +335,12 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
     state->out_region.Release();
     state->in_region.Release();
     failures_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      RecordContactLocked(server, send_failure.code() == ErrorCode::kAborted
+                                      ? Contact::kNeutral
+                                      : Contact::kTransportFailure);
+    }
     return send_failure;
   }
   // The engine may be sleeping toward a far-off deadline; make it take
@@ -255,10 +356,45 @@ Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
   return handle->Await();
 }
 
+Result<Buffer> RpcClient::ResolveReply(detail::CallState& state,
+                                       ByteSpan payload) {
+  // Reply frame (CRC trailer already stripped):
+  //   u32 code | string msg | bytes body | u32 push_crc | u64 push_bytes
+  Decoder dec(payload);
+  auto code = dec.GetU32();
+  auto message = dec.GetString();
+  auto body = dec.GetBytes();
+  auto push_crc = dec.GetU32();
+  auto push_bytes = dec.GetU64();
+  if (!code.ok() || !message.ok() || !body.ok() || !push_crc.ok() ||
+      !push_bytes.ok()) {
+    return Internal("malformed rpc reply");
+  }
+  if (*code != static_cast<std::uint32_t>(ErrorCode::kOk)) {
+    return Status(static_cast<ErrorCode>(*code), std::move(*message));
+  }
+  if (*push_bytes > 0) {
+    // Verify what the server pushed into our registered read region.  A
+    // replayed (dedup-cached) reply carries the original push checksum, so
+    // this also covers "bulk landed earlier, reply was retransmitted".
+    if (*push_bytes > state.bulk_in.size()) {
+      bulk_crc_failures_.fetch_add(1, std::memory_order_relaxed);
+      return DataLoss("reply claims more pushed bytes than registered");
+    }
+    const std::uint32_t got =
+        Crc32(ByteSpan(state.bulk_in.data(), *push_bytes));
+    if (got != *push_crc) {
+      bulk_crc_failures_.fetch_add(1, std::memory_order_relaxed);
+      return DataLoss("bulk read payload failed checksum");
+    }
+  }
+  return std::move(*body);
+}
+
 void RpcClient::EngineLoop() {
   for (;;) {
-    // Timer pass: retry rejected sends whose backoff expired, fail calls
-    // whose reply deadline passed, and find the next wake-up time.
+    // Timer pass: retry rejected sends whose backoff expired, retransmit or
+    // fail calls whose reply deadline passed, and find the next wake-up.
     Clock::time_point next_wake = Clock::time_point::max();
     std::vector<std::pair<std::shared_ptr<detail::CallState>, Status>> failed;
     {
@@ -276,10 +412,27 @@ void RpcClient::EngineLoop() {
           }
         }
         if (state.accepted && now >= state.deadline) {
-          failed.emplace_back(std::move(it->second),
-                              Timeout("no reply from server"));
-          it = inflight_.erase(it);
-          continue;
+          if (state.retransmits_used < state.max_retransmits) {
+            // The reply never came (lost request, lost reply, or slow
+            // server): retransmit the whole request.  Same request id, so
+            // the server's dedup cache absorbs re-execution; the reply
+            // slot is still attached (nothing consumed it).
+            ++state.retransmits_used;
+            retransmits_.fetch_add(1, std::memory_order_relaxed);
+            state.accepted = false;
+            state.next_send = now;
+            Status failure = OkStatus();
+            if (!TrySendLocked(state, &failure)) {
+              failed.emplace_back(std::move(it->second), std::move(failure));
+              it = inflight_.erase(it);
+              continue;
+            }
+          } else {
+            failed.emplace_back(std::move(it->second),
+                                Timeout("no reply from server"));
+            it = inflight_.erase(it);
+            continue;
+          }
         }
         next_wake = std::min(next_wake,
                              state.accepted ? state.deadline : state.next_send);
@@ -287,7 +440,7 @@ void RpcClient::EngineLoop() {
       }
     }
     for (auto& [state, status] : failed) {
-      FinishCall(state, std::move(status));
+      FinishCall(state, std::move(status), Contact::kTransportFailure);
     }
 
     std::optional<portals::Event> event;
@@ -303,18 +456,59 @@ void RpcClient::EngineLoop() {
     if (!event) continue;                                  // timer due
     if (event->type != portals::EventType::kPut) continue;  // wake-up ping
 
-    // A reply: route it to its call by request id (completions for calls
-    // that already timed out find no entry and are dropped).
+    // A reply: verify frame integrity, then route it to its call by request
+    // id (completions for calls that already finished find no entry and are
+    // dropped).
+    ByteSpan payload;
+    const bool frame_ok =
+        VerifyAndStripCrc(ByteSpan(event->payload), &payload);
     std::shared_ptr<detail::CallState> state;
+    Status corrupt_failure = OkStatus();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = inflight_.find(event->match_bits);
       if (it != inflight_.end()) {
-        state = std::move(it->second);
-        inflight_.erase(it);
+        if (frame_ok) {
+          state = std::move(it->second);
+          inflight_.erase(it);
+        } else {
+          // Corrupt reply.  The delivery consumed the unlink_on_use reply
+          // slot, so re-arm it and retransmit within budget; the server's
+          // reply cache will re-send the intact frame.
+          crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+          detail::CallState& s = *it->second;
+          Status reattach = ReattachReplySlot(s);
+          if (reattach.ok() && s.retransmits_used < s.max_retransmits) {
+            ++s.retransmits_used;
+            retransmits_.fetch_add(1, std::memory_order_relaxed);
+            s.accepted = false;
+            s.next_send = Clock::now();
+            Status failure = OkStatus();
+            if (!TrySendLocked(s, &failure)) {
+              state = std::move(it->second);
+              inflight_.erase(it);
+              corrupt_failure = std::move(failure);
+            }
+          } else {
+            state = std::move(it->second);
+            inflight_.erase(it);
+            corrupt_failure =
+                reattach.ok()
+                    ? DataLoss("corrupt reply, retransmits exhausted")
+                    : std::move(reattach);
+          }
+        }
       }
     }
-    if (state) FinishCall(state, DecodeReply(event->payload));
+    if (state) {
+      if (frame_ok) {
+        FinishCall(state, ResolveReply(*state, payload), Contact::kReplied);
+      } else {
+        // Something did arrive, so the server is alive — but the call is
+        // out of retransmit budget (or the slot could not be re-armed).
+        FinishCall(state, std::move(corrupt_failure), Contact::kReplied);
+      }
+    }
   }
 }
 
@@ -326,14 +520,43 @@ Status ServerContext::PullBulk(MutableByteSpan out, std::size_t offset) {
   if (offset + out.size() > bulk_out_len_) {
     return OutOfRange("pull beyond client's registered payload");
   }
-  return nic_->Get(client_, kBulkPortal, request_id_, out, offset);
+  Status s = OkStatus();
+  for (int attempt = 0; attempt <= kBulkGetRetries; ++attempt) {
+    s = nic_->Get(client_, kBulkPortal, request_id_, out, offset);
+    if (s.code() != ErrorCode::kTimeout) break;  // only lost gets retry
+  }
+  if (!s.ok()) return s;
+  if (pulled_in_order_ && offset == pulled_.bytes()) {
+    pulled_.Update(ByteSpan(out.data(), out.size()));
+  } else {
+    pulled_in_order_ = false;
+  }
+  return s;
 }
 
 Status ServerContext::PushBulk(ByteSpan data, std::size_t offset) {
   if (offset + data.size() > bulk_in_len_) {
     return OutOfRange("push beyond client's registered region");
   }
-  return nic_->Put(client_, kBulkPortal, request_id_, data, offset);
+  Status s = nic_->Put(client_, kBulkPortal, request_id_, data, offset);
+  if (!s.ok()) return s;
+  if (pushed_in_order_ && offset == pushed_.bytes()) {
+    pushed_.Update(data);
+  } else {
+    pushed_in_order_ = false;
+  }
+  return s;
+}
+
+Status ServerContext::VerifyPulledPayload() const {
+  if (bulk_out_len_ == 0) return OkStatus();
+  if (!pulled_in_order_ || pulled_.bytes() != bulk_out_len_) {
+    return DataLoss("bulk payload not fully pulled in order, cannot verify");
+  }
+  if (pulled_.value() != bulk_out_crc_) {
+    return DataLoss("bulk write payload failed checksum");
+  }
+  return OkStatus();
 }
 
 // ---------------------------------------------------------------------------
@@ -378,31 +601,83 @@ void RpcServer::Stop() {
   started_ = false;
 }
 
+void RpcServer::ResetReplyCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  reply_cache_.clear();
+  in_progress_.clear();
+  cache_fifo_.clear();
+}
+
 void RpcServer::WorkerLoop() {
   for (;;) {
     auto event = request_eq_.Wait();
     if (!event) return;  // queue closed
     Dispatch(*event);
-    served_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void RpcServer::Dispatch(const portals::Event& event) {
-  Decoder dec(event.payload);
+  ByteSpan frame;
+  if (!VerifyAndStripCrc(ByteSpan(event.payload), &frame)) {
+    // Corrupt on the wire: drop silently and let the client's retransmit
+    // deliver an intact copy.
+    crc_drops_.fetch_add(1, std::memory_order_relaxed);
+    LWFS_DEBUG << "dropping corrupt request frame from nid "
+               << event.initiator;
+    return;
+  }
+  Decoder dec(frame);
   auto header = DecodeHeader(dec);
   if (!header.ok()) {
     LWFS_WARN << "dropping malformed request from nid " << event.initiator;
     return;
   }
 
+  const DedupKey key{header->client, header->request_id};
+  const bool dedup = options_.reply_cache_entries > 0;
+  if (dedup) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto cached = reply_cache_.find(key);
+    if (cached != reply_cache_.end()) {
+      // At-most-once: a retransmitted request re-sends the recorded reply;
+      // the handler does not run again.  (Bulk pushes are not replayed —
+      // the original execution already landed them, and the reply's push
+      // checksum lets the client detect the rare case it did not.)
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      Status resent = nic_->Put(header->client, kReplyPortal,
+                                header->request_id, ByteSpan(cached->second));
+      if (!resent.ok()) {
+        LWFS_DEBUG << "cached reply to nid " << header->client
+                   << " dropped: " << resent.ToString();
+      }
+      return;
+    }
+    if (!in_progress_.insert(key).second) {
+      // The original delivery is still executing; drop the duplicate — the
+      // client's next retransmit will find the cached reply.
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Only requests that reach a handler count as served: retransmits the
+  // dedup cache absorbed and corrupt frames do not inflate the count, so
+  // tests can pin served == unique requests even when timeouts retransmit.
+  served_.fetch_add(1, std::memory_order_relaxed);
+
   Result<Buffer> result = Buffer{};
+  std::uint32_t push_crc = 0;
+  std::uint64_t push_bytes = 0;
   auto it = handlers_.find(header->opcode);
   if (it == handlers_.end()) {
     result = InvalidArgument("unknown opcode");
   } else {
     ServerContext ctx(nic_.get(), header->client, header->request_id,
-                      header->bulk_out_len, header->bulk_in_len);
+                      header->bulk_out_len, header->bulk_in_len,
+                      header->bulk_out_crc);
     result = it->second(ctx, dec);
+    push_crc = ctx.pushed_crc();
+    push_bytes = ctx.pushed_bytes();
   }
 
   Encoder reply;
@@ -415,8 +690,25 @@ void RpcServer::Dispatch(const portals::Event& event) {
     reply.PutString(result.status().message());
     reply.PutBytes({});
   }
+  reply.PutU32(push_crc);
+  reply.PutU64(push_bytes);
+  Buffer wire = reply.buffer();
+  AppendCrcTrailer(wire);
+
+  if (dedup) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    in_progress_.erase(key);
+    if (reply_cache_.emplace(key, wire).second) {
+      cache_fifo_.push_back(key);
+      while (cache_fifo_.size() > options_.reply_cache_entries) {
+        reply_cache_.erase(cache_fifo_.front());
+        cache_fifo_.pop_front();
+      }
+    }
+  }
+
   Status sent = nic_->Put(header->client, kReplyPortal, header->request_id,
-                          ByteSpan(reply.buffer()));
+                          ByteSpan(wire));
   if (!sent.ok()) {
     LWFS_DEBUG << "reply to nid " << header->client
                << " dropped: " << sent.ToString();

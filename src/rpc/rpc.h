@@ -21,6 +21,16 @@
 // flow-control argument is about — without one OS thread per request.
 // Call() remains as a thin CallAsync+Await wrapper.
 //
+// Robustness (PR 3): every request/reply frame carries a CRC32 trailer and
+// the request header carries a checksum of the registered write payload, so
+// wire corruption surfaces as a clean drop/kDataLoss instead of a garbage
+// decode.  A reply timeout triggers full request retransmission (budget:
+// ClientOptions.max_retransmits); the server keeps an at-most-once
+// dedup/reply cache keyed by (client nid, request id) so retransmitted
+// mutating ops are never applied twice.  A per-server consecutive-failure
+// circuit breaker fails calls fast while a server is dead and re-probes
+// half-open after a cooldown.
+//
 // Portal layout (per NIC):
 //   portal 0 — request queue (message mode, bounded)
 //   portal 1 — replies       (message mode, matched by request id)
@@ -31,15 +41,20 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "portals/portals.h"
 #include "util/bytes.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -59,8 +74,33 @@ inline constexpr portals::PortalIndex kControlPortal = 3;
 /// Client-side statistics (retries are the §3.2 resend overhead).
 struct ClientStats {
   std::uint64_t calls = 0;
-  std::uint64_t resends = 0;
+  std::uint64_t resends = 0;  // request portal rejected the Put
   std::uint64_t failures = 0;
+  std::uint64_t retransmits = 0;         // full re-sends after a lost reply
+  std::uint64_t crc_rejects = 0;         // corrupt reply frames discarded
+  std::uint64_t bulk_crc_failures = 0;   // pushed bulk payload failed its CRC
+  std::uint64_t breaker_opens = 0;       // circuit transitions closed -> open
+  std::uint64_t breaker_fast_fails = 0;  // calls refused while a breaker open
+};
+
+/// Client-wide defaults and health-tracking knobs.  Per-call CallOptions
+/// override the deadline/retransmit budget.
+struct ClientOptions {
+  /// Reply deadline per send attempt when CallOptions.timeout is zero.
+  std::chrono::milliseconds default_timeout{5000};
+  /// Full request retransmissions after a reply timeout or a corrupt reply
+  /// (the §3.2 "resend small messages" recovery; the server's at-most-once
+  /// reply cache absorbs the duplicates).  Worst-case call latency is
+  /// therefore (1 + max_retransmits) * timeout.
+  int max_retransmits = 2;
+  /// Consecutive *transport* failures (timeout / unavailable / resends
+  /// exhausted) against one server before its circuit breaker opens and
+  /// calls fail fast with kUnavailable.  <= 0 disables the breaker.
+  /// Decoded replies — even error replies — count as contact and close it.
+  int breaker_threshold = 8;
+  /// How long an open breaker fast-fails before admitting one half-open
+  /// probe call.
+  std::chrono::milliseconds breaker_cooldown{250};
 };
 
 /// Decorrelated-jitter backoff for resends against a full request portal.
@@ -103,10 +143,13 @@ struct CallOptions {
   /// Registered for server *push* (a read destination).
   MutableByteSpan bulk_in{};
   /// Give up after this long without a reply (measured from the send that
-  /// the server accepted).
-  std::chrono::milliseconds timeout{5000};
+  /// the server accepted).  Zero means "use ClientOptions.default_timeout".
+  std::chrono::milliseconds timeout{0};
   /// Resend attempts when the request portal rejects us.
   int max_resends = 1000;
+  /// Full retransmissions after a reply timeout; -1 means "use
+  /// ClientOptions.max_retransmits".
+  int max_retransmits = -1;
   /// Which portal to address the request to (kRequestPortal or
   /// kControlPortal).
   portals::PortalIndex request_portal = kRequestPortal;
@@ -123,13 +166,16 @@ struct CallState {
   std::uint64_t request_id = 0;
   portals::Nid server = portals::kInvalidNid;
   portals::PortalIndex request_portal = kRequestPortal;
-  Buffer wire;  // encoded header + request body, kept for resends
+  Buffer wire;  // encoded header + request body + CRC, kept for resends
   std::chrono::milliseconds timeout{5000};
   int max_resends = 0;
+  int max_retransmits = 0;
+  MutableByteSpan bulk_in{};  // for client-side bulk CRC verification
 
   // Engine bookkeeping; guarded by the owning RpcClient's mutex.
   bool accepted = false;  // the server's request portal took the Put
   int resend_attempts = 0;
+  int retransmits_used = 0;
   std::chrono::steady_clock::time_point next_send{};
   std::chrono::steady_clock::time_point deadline{};
   Backoff backoff{0};
@@ -180,8 +226,9 @@ class CallHandle {
 /// started engine thread handles completions, deadlines, and resends.
 class RpcClient {
  public:
-  explicit RpcClient(std::shared_ptr<portals::Nic> nic)
-      : nic_(std::move(nic)) {}
+  explicit RpcClient(std::shared_ptr<portals::Nic> nic,
+                     ClientOptions options = {})
+      : nic_(std::move(nic)), options_(options) {}
   ~RpcClient();
 
   RpcClient(const RpcClient&) = delete;
@@ -201,12 +248,26 @@ class RpcClient {
                       const CallOptions& options = {});
 
   [[nodiscard]] portals::Nid nid() const { return nic_->nid(); }
+  [[nodiscard]] const ClientOptions& options() const { return options_; }
   [[nodiscard]] ClientStats stats() const {
-    return {calls_.load(), resends_.load(), failures_.load()};
+    return {calls_.load(),          resends_.load(),
+            failures_.load(),       retransmits_.load(),
+            crc_rejects_.load(),    bulk_crc_failures_.load(),
+            breaker_opens_.load(),  breaker_fast_fails_.load()};
   }
+
+  /// True while `server`'s circuit breaker is open (calls fail fast).
+  [[nodiscard]] bool BreakerOpen(portals::Nid server);
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// How a finished call reflects on the target server's health.
+  enum class Contact {
+    kReplied,           // a decodable reply arrived: the server is alive
+    kTransportFailure,  // timeout / unavailable / resends exhausted
+    kNeutral,           // client-side abort; says nothing about the server
+  };
 
   void EngineLoop();
   void EnsureEngineLocked();
@@ -214,11 +275,21 @@ class RpcClient {
   /// Attempt (re)sending `state`'s request.  Returns false when the call
   /// failed terminally (caller must complete it with `*failure`).
   bool TrySendLocked(detail::CallState& state, Status* failure);
-  /// Detach regions, record stats, publish the result, wake waiters.
+  /// Detach regions, record stats and breaker health, publish the result,
+  /// wake waiters.
   void FinishCall(const std::shared_ptr<detail::CallState>& state,
-                  Result<Buffer> result);
+                  Result<Buffer> result, Contact contact);
+  /// Re-arm the (unlink_on_use) reply slot after a corrupt reply consumed it.
+  Status ReattachReplySlot(detail::CallState& state);
+  /// Decode a CRC-verified reply frame; for reads, check the pushed bulk
+  /// payload against the checksum the server reported.
+  Result<Buffer> ResolveReply(detail::CallState& state, ByteSpan payload);
+  /// Admission check against `server`'s breaker; fails fast when open.
+  Status AdmitLocked(portals::Nid server);
+  void RecordContactLocked(portals::Nid server, Contact contact);
 
   std::shared_ptr<portals::Nic> nic_;
+  ClientOptions options_;
   /// Shared completion queue: every reply match entry delivers here
   /// (unbounded — local completions, not a modeled NIC resource).
   portals::EventQueue completions_{0};
@@ -230,9 +301,25 @@ class RpcClient {
   std::unordered_map<std::uint64_t, std::shared_ptr<detail::CallState>>
       inflight_;
 
+  /// Per-server health (guarded by mutex_): consecutive transport failures
+  /// open the circuit; after the cooldown one half-open probe is admitted
+  /// and a decoded reply closes it again.
+  struct Breaker {
+    int consecutive = 0;
+    bool open = false;
+    bool probing = false;
+    Clock::time_point open_until{};
+  };
+  std::unordered_map<portals::Nid, Breaker> breakers_;
+
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> resends_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> crc_rejects_{0};
+  std::atomic<std::uint64_t> bulk_crc_failures_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> breaker_fast_fails_{0};
   static std::atomic<std::uint64_t> next_request_id_;
 };
 
@@ -242,12 +329,13 @@ class ServerContext {
  public:
   ServerContext(portals::Nic* nic, portals::Nid client,
                 std::uint64_t request_id, std::uint64_t bulk_out_len,
-                std::uint64_t bulk_in_len)
+                std::uint64_t bulk_in_len, std::uint32_t bulk_out_crc = 0)
       : nic_(nic),
         client_(client),
         request_id_(request_id),
         bulk_out_len_(bulk_out_len),
-        bulk_in_len_(bulk_in_len) {}
+        bulk_in_len_(bulk_in_len),
+        bulk_out_crc_(bulk_out_crc) {}
 
   [[nodiscard]] portals::Nid client() const { return client_; }
   [[nodiscard]] std::uint64_t request_id() const { return request_id_; }
@@ -257,12 +345,31 @@ class ServerContext {
   [[nodiscard]] std::uint64_t bulk_in_size() const { return bulk_in_len_; }
 
   /// Server-directed *pull*: fetch [offset, offset+out.size()) of the
-  /// client's registered write payload into server memory.
+  /// client's registered write payload into server memory.  Gets are
+  /// idempotent, so injected losses (kTimeout) are retried a few times
+  /// before surfacing.  Sequential pulls from offset 0 are CRC-accumulated
+  /// for VerifyPulledPayload().
   Status PullBulk(MutableByteSpan out, std::size_t offset = 0);
 
   /// Server-directed *push*: place `data` into the client's registered read
-  /// region at `offset`.
+  /// region at `offset`.  Sequential pushes from offset 0 are
+  /// CRC-accumulated; the reply frame carries the running checksum so the
+  /// client can verify what landed in its region.
   Status PushBulk(ByteSpan data, std::size_t offset = 0);
+
+  /// After pulling the client's entire payload: check it against the
+  /// checksum the client sent in the request header.  Corruption on the
+  /// bulk wire surfaces as kDataLoss (the client application retries).
+  [[nodiscard]] Status VerifyPulledPayload() const;
+
+  /// Checksum/length of everything pushed so far, in push order (0/0 when
+  /// pushes were not sequential-from-zero and thus not client-verifiable).
+  [[nodiscard]] std::uint32_t pushed_crc() const {
+    return pushed_in_order_ ? pushed_.value() : 0;
+  }
+  [[nodiscard]] std::uint64_t pushed_bytes() const {
+    return pushed_in_order_ ? pushed_.bytes() : 0;
+  }
 
  private:
   portals::Nic* nic_;
@@ -270,6 +377,11 @@ class ServerContext {
   std::uint64_t request_id_;
   std::uint64_t bulk_out_len_;
   std::uint64_t bulk_in_len_;
+  std::uint32_t bulk_out_crc_;
+  Crc32Accumulator pulled_;
+  bool pulled_in_order_ = true;
+  Crc32Accumulator pushed_;
+  bool pushed_in_order_ = true;
 };
 
 /// Handler: consume the request body, perform the op (using ctx for bulk
@@ -285,6 +397,17 @@ struct ServerOptions {
   /// Portal this server listens on.  Several RpcServers can share one Nic
   /// as long as they listen on different portals.
   portals::PortalIndex request_portal = kRequestPortal;
+  /// At-most-once dedup/reply cache: completed replies kept (FIFO bound) so
+  /// a retransmitted request re-sends the recorded reply instead of
+  /// re-running the handler.  0 disables dedup (at-least-once semantics).
+  std::size_t reply_cache_entries = 1024;
+};
+
+/// Server-side robustness counters.
+struct ServerStats {
+  std::uint64_t served = 0;      // requests that reached a handler
+  std::uint64_t dedup_hits = 0;  // duplicate requests absorbed by the cache
+  std::uint64_t crc_drops = 0;   // corrupt request frames discarded
 };
 
 /// Serves RPCs on a NIC.  Start() spawns workers; Stop() drains and joins.
@@ -306,8 +429,20 @@ class RpcServer {
   [[nodiscard]] std::uint64_t requests_served() const {
     return served_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] ServerStats stats() const {
+    return {served_.load(std::memory_order_relaxed),
+            dedup_hits_.load(std::memory_order_relaxed),
+            crc_drops_.load(std::memory_order_relaxed)};
+  }
+
+  /// Drop the dedup/reply cache (volatile state lost in a crash; the
+  /// Restart() paths call this).
+  void ResetReplyCache();
 
  private:
+  /// Dedup key: (client nid, request id).
+  using DedupKey = std::pair<std::uint64_t, std::uint64_t>;
+
   void WorkerLoop();
   void Dispatch(const portals::Event& event);
 
@@ -318,7 +453,14 @@ class RpcServer {
   std::unordered_map<Opcode, Handler> handlers_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> dedup_hits_{0};
+  std::atomic<std::uint64_t> crc_drops_{0};
   bool started_ = false;
+
+  std::mutex cache_mutex_;
+  std::map<DedupKey, Buffer> reply_cache_;   // completed request -> wire reply
+  std::set<DedupKey> in_progress_;           // running now: drop duplicates
+  std::deque<DedupKey> cache_fifo_;          // eviction order
 };
 
 }  // namespace lwfs::rpc

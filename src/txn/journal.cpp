@@ -2,7 +2,16 @@
 
 #include <map>
 
+#include "util/crc32.h"
+
 namespace lwfs::txn {
+namespace {
+
+/// Append retry budget: each attempt rewrites the same byte range, so
+/// retrying is safe and only a sustained fault burst exhausts it.
+constexpr int kAppendAttempts = 4;
+
+}  // namespace
 
 Result<Journal> Journal::Create(storage::ObjectStore* store,
                                 storage::ContainerId cid) {
@@ -16,9 +25,29 @@ Status Journal::Append(const JournalRecord& record) {
   enc.PutU32(static_cast<std::uint32_t>(record.type));
   enc.PutU64(record.txid);
   enc.PutBytes(ByteSpan(record.payload));
+  // Per-record CRC32 over the encoded fields: media corruption surfaces as
+  // kDataLoss at recovery instead of a silently wrong decision replay.
+  enc.PutU32(Crc32(ByteSpan(enc.buffer())));
   auto attr = store_->GetAttr(oid_);
   if (!attr.ok()) return attr.status();
-  return store_->Write(oid_, attr->size, ByteSpan(enc.buffer()));
+  // Write at a pinned offset and retry in place.  Over a remote store a
+  // corrupted bulk pull can land bad bytes (and grow the object) before the
+  // server's end-to-end checksum rejects the write with kDataLoss; appending
+  // the retry at the *new* size would strand that corrupt record mid-journal
+  // and poison every future ReadAll.  Rewriting the same offset replaces it
+  // with the intact copy, and is idempotent if an ambiguous timeout actually
+  // applied the first attempt.
+  const std::uint64_t at = attr->size;
+  Status s = OkStatus();
+  for (int attempt = 0; attempt < kAppendAttempts; ++attempt) {
+    s = store_->Write(oid_, at, ByteSpan(enc.buffer()));
+    if (s.ok()) return s;
+    if (s.code() != ErrorCode::kDataLoss && s.code() != ErrorCode::kTimeout &&
+        s.code() != ErrorCode::kUnavailable) {
+      return s;  // not a transport-shaped failure: retrying cannot help
+    }
+  }
+  return s;
 }
 
 Result<std::vector<JournalRecord>> Journal::ReadAll() const {
@@ -29,11 +58,23 @@ Result<std::vector<JournalRecord>> Journal::ReadAll() const {
   Decoder dec(*raw);
   std::vector<JournalRecord> records;
   while (!dec.exhausted()) {
+    const std::size_t record_start = raw->size() - dec.remaining();
     auto type = dec.GetU32();
     auto txid = dec.GetU64();
     auto payload = dec.GetBytes();
     if (!type.ok() || !txid.ok() || !payload.ok()) {
       break;  // torn tail record from a crash mid-append: ignore
+    }
+    const std::size_t record_end = raw->size() - dec.remaining();
+    auto crc = dec.GetU32();
+    if (!crc.ok()) {
+      break;  // crash between record and its checksum: torn tail
+    }
+    if (Crc32(ByteSpan(raw->data() + record_start,
+                       record_end - record_start)) != *crc) {
+      // A complete record whose checksum doesn't match is media corruption,
+      // not a torn append — refuse to trust anything decoded from it.
+      return DataLoss("journal record failed checksum");
     }
     if (*type < static_cast<std::uint32_t>(RecordType::kBegin) ||
         *type > static_cast<std::uint32_t>(RecordType::kEnd)) {

@@ -82,6 +82,11 @@ Status StagedParticipant::Abort(TxnId txid) {
   return OkStatus();
 }
 
+void StagedParticipant::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  txns_.clear();
+}
+
 std::size_t StagedParticipant::open_txns() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return txns_.size();

@@ -59,6 +59,12 @@ class StagedParticipant : public Participant {
   /// Force the next Prepare(txid) vote to "no" (fault injection).
   void FailNextPrepare(TxnId txid);
 
+  /// Drop all staged state, as a crash would.  Restart paths call this
+  /// before journal replay re-delivers the surviving decisions (staged
+  /// applies/undos were volatile: a prepared-but-undecided transaction
+  /// resolves via presumed abort, and Abort of an unknown txid succeeds).
+  void Reset();
+
   Result<bool> Prepare(TxnId txid) override;
   Status Commit(TxnId txid) override;
   Status Abort(TxnId txid) override;

@@ -1,0 +1,408 @@
+// Chaos soak (§3.2, §3.4): checkpoints, naming, and two-phase commit must
+// survive a lossy, corrupting fabric with their invariants intact:
+//
+//  * no double-apply — a transaction's effects land exactly once however
+//    many times its messages are retransmitted;
+//  * no torn commits — a name is either fully published with byte-exact
+//    data behind it, or cleanly absent;
+//  * crash + restart converges — journal replay finishes every in-doubt
+//    transaction and the circuit breaker opens and closes around the outage.
+//
+// The soak runs at 1% message drop + 0.1% corruption over three fixed seeds
+// (override with LWFS_CHAOS_SEED=<n> to run one seed, as CI does).  Every
+// assertion is wrapped in a SCOPED_TRACE carrying the seed so a failure
+// names the reproducer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "core/client.h"
+#include "core/runtime.h"
+#include "util/rng.h"
+
+namespace lwfs {
+namespace {
+
+// Per-seed workload sizes.  Three seeds give >= 210 checkpoint epochs and
+// >= 105 distributed transactions per soak in default (all-seed) runs.
+constexpr int kEpochsPerSeed = 70;
+constexpr int kTxnsPerSeed = 35;
+
+std::vector<std::uint64_t> ChaosSeeds() {
+  if (const char* env = std::getenv("LWFS_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 0)};
+  }
+  return {0xC0FFEE01, 0xDEADF00D, 0x5EEDBEEF};
+}
+
+std::vector<Buffer> MakeStates(std::uint32_t nranks, std::size_t bytes,
+                               std::uint64_t salt) {
+  std::vector<Buffer> states;
+  states.reserve(nranks);
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    states.push_back(PatternBuffer(bytes, salt * 1000 + r));
+  }
+  return states;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  /// Start a deployment tuned for fault soaking: short reply deadlines so
+  /// injected losses resolve in milliseconds, and a deep retransmit budget
+  /// so a 1% drop rate essentially never exhausts a call.
+  void StartRuntime(int servers, std::uint64_t seed) {
+    core::RuntimeOptions options;
+    options.storage_servers = servers;
+    options.client_options.default_timeout = std::chrono::milliseconds(50);
+    options.client_options.max_retransmits = 8;
+    auto rt = core::ServiceRuntime::Start(options);
+    ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+    client_.reset();
+    runtime_ = std::move(*rt);
+    runtime_->AddUser("app", "secret", 100);
+
+    client_ = runtime_->MakeClient();
+    auto cred = client_->Login("app", "secret");
+    ASSERT_TRUE(cred.ok());
+    auto cid = client_->CreateContainer(*cred);
+    ASSERT_TRUE(cid.ok());
+    cid_ = *cid;
+    auto cap = client_->GetCap(*cred, *cid, security::kOpAll);
+    ASSERT_TRUE(cap.ok());
+    cap_ = *cap;
+
+    runtime_->fabric().injector().Seed(seed);
+  }
+
+  /// Make every message touching a *service* lossy.  Client<->client links
+  /// (none here) and the checkpoint library's internal communicators stay
+  /// clean: the collectives are not fault-tolerant, the services are.
+  void InjectServiceFaults(const portals::FaultSpec& spec) {
+    const core::Deployment& d = runtime_->deployment();
+    auto& injector = runtime_->fabric().injector();
+    injector.SetNode(d.authn, spec);
+    injector.SetNode(d.authz, spec);
+    injector.SetNode(d.naming, spec);
+    injector.SetNode(d.locks, spec);
+    for (portals::Nid nid : d.storage) injector.SetNode(nid, spec);
+  }
+
+  std::unique_ptr<core::ServiceRuntime> runtime_;
+  std::unique_ptr<core::Client> client_;
+  storage::ContainerId cid_{};
+  security::Capability cap_;
+};
+
+// ---------------------------------------------------------------------------
+// Checkpoint soak: every epoch fully readable or cleanly absent
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, CheckpointSoakUnderLossAndCorruption) {
+  for (std::uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("LWFS_CHAOS_SEED=" + std::to_string(seed));
+    StartRuntime(/*servers=*/3, seed);
+    ASSERT_TRUE(client_->Mkdir("/ckpt", true).ok());
+    InjectServiceFaults({.drop = 0.01, .corrupt = 0.001});
+
+    int succeeded = 0;
+    for (int epoch = 0; epoch < kEpochsPerSeed; ++epoch) {
+      SCOPED_TRACE("epoch " + std::to_string(epoch));
+      checkpoint::LwfsCheckpoint::Config config;
+      config.path = "/ckpt/run" + std::to_string(epoch);
+      config.cid = cid_;
+      config.cap = cap_;
+      auto states =
+          MakeStates(4, 512 + 128 * (epoch % 3), seed ^ (std::uint64_t)epoch);
+      auto stats = checkpoint::LwfsCheckpoint::Run(*runtime_, config, states);
+      if (stats.ok()) {
+        // Fully readable: restore through the same lossy fabric and compare
+        // byte for byte.  The restore itself can hit injected corruption —
+        // surfacing as a clean kDataLoss is the detection machinery working,
+        // so retry; what must never happen is an *accepted* wrong byte or a
+        // half-applied commit, which the comparison below would catch.
+        auto restored = checkpoint::LwfsCheckpoint::Restore(
+            *runtime_, cap_, config.path);
+        for (int attempt = 0; attempt < 5 && !restored.ok(); ++attempt) {
+          restored =
+              checkpoint::LwfsCheckpoint::Restore(*runtime_, cap_, config.path);
+        }
+        ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+        ASSERT_EQ(restored->size(), states.size());
+        for (std::size_t r = 0; r < states.size(); ++r) {
+          ASSERT_EQ((*restored)[r], states[r]) << "rank " << r;
+        }
+        ++succeeded;
+      } else {
+        // Cleanly absent: a failed checkpoint must not leave the name
+        // behind (the 2PC abort dropped the staged link).
+        EXPECT_EQ(client_->LookupName(config.path).status().code(),
+                  ErrorCode::kNotFound);
+      }
+    }
+    // A 1% drop rate against an 8-retransmit budget should essentially
+    // always converge; require a substantial majority so the soak can't
+    // silently degrade into testing nothing but the failure path.
+    EXPECT_GE(succeeded, kEpochsPerSeed * 3 / 4);
+
+    // The fabric really was hostile, and the recovery machinery really ran.
+    auto robustness = runtime_->TotalRobustnessStats();
+    EXPECT_GT(robustness.faults.drops, 0u);
+    EXPECT_GT(robustness.rpc.served, 0u);
+
+    // System is not wedged: with faults cleared, one more checkpoint runs
+    // end to end.
+    runtime_->fabric().injector().Reset();
+    checkpoint::LwfsCheckpoint::Config final_config;
+    final_config.path = "/ckpt/final";
+    final_config.cid = cid_;
+    final_config.cap = cap_;
+    auto states = MakeStates(4, 512, seed);
+    ASSERT_TRUE(
+        checkpoint::LwfsCheckpoint::Run(*runtime_, final_config, states).ok());
+    auto restored =
+        checkpoint::LwfsCheckpoint::Restore(*runtime_, cap_, "/ckpt/final");
+    ASSERT_TRUE(restored.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase commit soak: exactly-once effects under loss and duplication
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, TwoPhaseCommitSoakAppliesExactlyOnce) {
+  for (std::uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("LWFS_CHAOS_SEED=" + std::to_string(seed));
+    StartRuntime(/*servers=*/2, seed);
+    ASSERT_TRUE(client_->Mkdir("/txn", true).ok());
+    InjectServiceFaults({.drop = 0.01, .corrupt = 0.001});
+
+    Rng rng(seed);
+    core::TxnParticipants participants;
+    participants.storage_servers = {0, 1};
+    participants.naming = true;
+
+    for (int i = 0; i < kTxnsPerSeed; ++i) {
+      SCOPED_TRACE("txn " + std::to_string(i));
+      const std::string path = "/txn/t" + std::to_string(i);
+      auto txn = client_->BeginTxn(0, cap_, participants);
+      if (!txn.ok()) continue;  // journal create lost; nothing staged yet
+
+      // The object count probe is direct memory access (no RPC), so it is
+      // exact even while the fabric is lossy.
+      const std::uint64_t objects_before = runtime_->store(1).ObjectCount();
+      auto oid = client_->CreateObject(1, cap_, (*txn)->id());
+      if (!oid.ok()) {
+        EXPECT_TRUE((*txn)->Abort().ok() || true);  // best-effort cleanup
+        continue;
+      }
+      Buffer payload = PatternBuffer(64 + (i % 5) * 32, seed + (unsigned)i);
+      Status wrote = client_->WriteObject(1, cap_, *oid, 0, ByteSpan(payload));
+      Status staged = client_->StageLinkName(
+          (*txn)->id(), path, storage::ObjectRef{cid_, 1, *oid});
+
+      const bool want_commit = wrote.ok() && staged.ok() && rng.NextBelow(10) < 7;
+      Status outcome = want_commit ? (*txn)->Commit() : (*txn)->Abort();
+      if (!outcome.ok() && want_commit) {
+        // Ambiguous commit (a 2PC message exhausted its retransmit budget):
+        // replay the journal until the transaction converges, exactly as a
+        // restarted coordinator would.  The fabric is still lossy, so the
+        // recovery client gets the same deep retransmit budget.
+        rpc::ClientOptions ropts;
+        ropts.default_timeout = std::chrono::milliseconds(50);
+        ropts.max_retransmits = 8;
+        rpc::RpcClient recovery_rpc(runtime_->fabric().CreateNic(), ropts);
+        core::RemoteParticipant s0(&recovery_rpc,
+                                   runtime_->deployment().storage[0],
+                                   "storage:0");
+        core::RemoteParticipant s1(&recovery_rpc,
+                                   runtime_->deployment().storage[1],
+                                   "storage:1");
+        core::RemoteParticipant nm(&recovery_rpc, runtime_->deployment().naming,
+                                   "naming");
+        std::map<std::string, txn::Participant*> registry = {
+            {"storage:0", &s0}, {"storage:1", &s1}, {"naming", &nm}};
+        Status recovered = txn::Coordinator::Recover((*txn)->journal(), registry);
+        for (int attempt = 0; attempt < 10 && !recovered.ok(); ++attempt) {
+          recovered = txn::Coordinator::Recover((*txn)->journal(), registry);
+        }
+        ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+      }
+
+      // Converged state must be all-or-nothing, never torn.  The verify
+      // reads run through the still-lossy fabric, so transient detected
+      // failures (kDataLoss / kTimeout) retry; a wrong *accepted* byte or a
+      // torn name can never be retried away and fails below.
+      auto ref = client_->LookupName(path);
+      for (int attempt = 0;
+           attempt < 5 && !ref.ok() &&
+           ref.status().code() != ErrorCode::kNotFound;
+           ++attempt) {
+        ref = client_->LookupName(path);
+      }
+      if (ref.ok()) {
+        auto back =
+            client_->ReadObjectAlloc(1, cap_, *oid, 0, payload.size());
+        for (int attempt = 0; attempt < 5 && !back.ok(); ++attempt) {
+          back = client_->ReadObjectAlloc(1, cap_, *oid, 0, payload.size());
+        }
+        ASSERT_TRUE(back.ok()) << back.status().ToString();
+        EXPECT_EQ(*back, payload);  // applied exactly once, byte-exact
+      } else {
+        EXPECT_EQ(ref.status().code(), ErrorCode::kNotFound);
+        if (!want_commit && outcome.ok()) {
+          // A clean abort must have compensated the eager create away.
+          EXPECT_EQ(runtime_->store(1).ObjectCount(), objects_before);
+        }
+      }
+    }
+
+    // Dedup absorbed duplicated requests somewhere in the soak (at 1% drop
+    // across thousands of messages, retransmission is a certainty).
+    auto robustness = runtime_->TotalRobustnessStats();
+    EXPECT_GT(robustness.faults.drops, 0u);
+    EXPECT_GT(robustness.rpc.dedup_hits, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash mid-transaction: journal replay + circuit breaker open/close
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, StorageCrashMidTxnRecoversViaJournalReplay) {
+  StartRuntime(/*servers=*/2, /*seed=*/1);
+  ASSERT_TRUE(client_->Mkdir("/txn", true).ok());
+  const portals::Nid victim = runtime_->deployment().storage[1];
+
+  // A client with a hair-trigger breaker so the outage is observable fast.
+  core::Deployment deployment = runtime_->deployment();
+  rpc::ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(30);
+  copts.max_retransmits = 1;
+  copts.breaker_threshold = 3;
+  copts.breaker_cooldown = std::chrono::milliseconds(100);
+  core::Client client(runtime_->fabric().CreateNic(), deployment, copts);
+
+  core::TxnParticipants participants;
+  participants.storage_servers = {0, 1};
+  participants.naming = true;
+  auto txn = client.BeginTxn(0, cap_, participants);
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  auto oid = client.CreateObject(1, cap_, (*txn)->id());
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(client
+                  .StageLinkName((*txn)->id(), "/txn/crash",
+                                 storage::ObjectRef{cid_, 1, *oid})
+                  .ok());
+
+  // Kill storage server 1 mid-transaction: the commit cannot complete.
+  runtime_->fabric().SetNodeDown(victim, true);
+  EXPECT_FALSE((*txn)->Commit().ok());
+
+  // Repeated contact failures open the breaker; once open, calls are
+  // refused instantly instead of burning a timeout each.
+  for (int i = 0; i < 10 && !client.BreakerOpen(victim); ++i) {
+    (void)client.GetAttr(1, cap_, *oid);
+  }
+  EXPECT_TRUE(client.BreakerOpen(victim));
+  EXPECT_EQ(client.GetAttr(1, cap_, *oid).status().code(),
+            ErrorCode::kUnavailable);
+  EXPECT_GT(client.rpc_stats().breaker_fast_fails, 0u);
+
+  // Crash recovery: bring the node back, rebuild its volatile state, and
+  // replay the coordinator journal.  No COMMIT record was written, so
+  // presumed abort finishes the transaction everywhere (including the
+  // naming server, which drops the staged link).
+  runtime_->fabric().SetNodeDown(victim, false);
+  runtime_->storage_server(1).Restart();
+  rpc::RpcClient recovery_rpc(runtime_->fabric().CreateNic());
+  core::RemoteParticipant s0(&recovery_rpc, deployment.storage[0],
+                             "storage:0");
+  core::RemoteParticipant s1(&recovery_rpc, deployment.storage[1],
+                             "storage:1");
+  core::RemoteParticipant nm(&recovery_rpc, deployment.naming, "naming");
+  std::map<std::string, txn::Participant*> registry = {
+      {"storage:0", &s0}, {"storage:1", &s1}, {"naming", &nm}};
+  ASSERT_TRUE(txn::Coordinator::Recover((*txn)->journal(), registry).ok());
+  EXPECT_EQ(*(*txn)->journal()->Outcome((*txn)->id()),
+            txn::TxnOutcome::kFinished);
+  EXPECT_EQ(client_->LookupName("/txn/crash").status().code(),
+            ErrorCode::kNotFound);
+
+  // Breaker closes via a half-open probe once the server answers again.
+  std::this_thread::sleep_for(copts.breaker_cooldown +
+                              std::chrono::milliseconds(20));
+  EXPECT_TRUE(client.GetAttr(1, cap_, *oid).ok());  // probe succeeds
+  EXPECT_FALSE(client.BreakerOpen(victim));
+
+  // Full end-to-end recovery: a fresh transaction commits cleanly.
+  auto txn2 = client.BeginTxn(0, cap_, participants);
+  ASSERT_TRUE(txn2.ok());
+  auto oid2 = client.CreateObject(1, cap_, (*txn2)->id());
+  ASSERT_TRUE(oid2.ok());
+  Buffer data = {1, 2, 3};
+  ASSERT_TRUE(client.WriteObject(1, cap_, *oid2, 0, ByteSpan(data)).ok());
+  ASSERT_TRUE(client
+                  .StageLinkName((*txn2)->id(), "/txn/after",
+                                 storage::ObjectRef{cid_, 1, *oid2})
+                  .ok());
+  ASSERT_TRUE((*txn2)->Commit().ok());
+  auto ref = client.LookupName("/txn/after");
+  ASSERT_TRUE(ref.ok());
+  auto back = client.ReadObjectAlloc(1, cap_, *oid2, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(ChaosTest, NamingServerRestartPreservesCommittedNames) {
+  StartRuntime(/*servers=*/2, /*seed=*/2);
+  ASSERT_TRUE(client_->Mkdir("/dir", true).ok());
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(
+      client_->LinkName("/dir/a", storage::ObjectRef{cid_, 0, *oid}).ok());
+
+  // Restart rebuilds the service from its own snapshot: committed names
+  // survive, staged (uncommitted) links and the reply cache do not.
+  ASSERT_TRUE(runtime_->naming_server().Restart().ok());
+
+  auto ref = client_->LookupName("/dir/a");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->oid, *oid);
+  EXPECT_TRUE(client_->Mkdir("/dir/deeper", true).ok());  // still writable
+}
+
+// ---------------------------------------------------------------------------
+// Partition: both sides degrade cleanly and heal
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, PartitionHealsWithoutStateDamage) {
+  StartRuntime(/*servers=*/2, /*seed=*/3);
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = PatternBuffer(256, 7);
+  ASSERT_TRUE(client_->WriteObject(0, cap_, *oid, 0, ByteSpan(data)).ok());
+
+  // Cut the client off from storage server 0 only: every message between
+  // the two vanishes until the partition heals.
+  const portals::Nid storage0 = runtime_->deployment().storage[0];
+  runtime_->fabric().injector().Partition(client_->nid(), storage0, true);
+  Buffer out(data.size(), 0);
+  EXPECT_FALSE(client_->ReadObject(0, cap_, *oid, 0, MutableByteSpan(out)).ok());
+
+  // Other services are unaffected during the partition.
+  EXPECT_TRUE(client_->Mkdir("/during-partition", true).ok());
+
+  runtime_->fabric().injector().Partition(client_->nid(), storage0, false);
+  auto bytes = client_->ReadObject(0, cap_, *oid, 0, MutableByteSpan(out));
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, data.size());
+  EXPECT_EQ(out, data);  // nothing was torn by the outage
+}
+
+}  // namespace
+}  // namespace lwfs

@@ -1,7 +1,9 @@
 // Unit tests for the Portals-like one-sided transport.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "portals/portals.h"
 
@@ -272,6 +274,196 @@ TEST_F(PortalsTest, ConcurrentTransfersAreSafe) {
     EXPECT_EQ(region[static_cast<std::size_t>(t) * 8],
               static_cast<std::uint8_t>(t + 1));
   }
+}
+
+// ---- Fault injection ------------------------------------------------------
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  // One put-capable region ME on dst_, returning the region buffer.
+  Buffer AttachPutRegion(const std::shared_ptr<Nic>& dst, std::size_t size) {
+    Buffer region(size, 0);
+    MeOptions opts;
+    opts.allow_put = true;
+    EXPECT_TRUE(
+        dst->Attach(0, 1, 0, MutableByteSpan(region), opts, nullptr).ok());
+    return region;
+  }
+
+  Fabric fabric_;
+};
+
+TEST_F(FaultInjectorTest, DroppedPutIsSilentlyLost) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(dst, 4);
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {.drop = 1.0});
+  Buffer data = {9, 9, 9, 9};
+  // The initiator sees success — only a reply timeout can reveal the loss.
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 0);
+  EXPECT_EQ(fabric_.injector().LinkCounters(src->nid(), dst->nid()).drops, 1u);
+}
+
+TEST_F(FaultInjectorTest, DroppedGetTimesOut) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = {1, 2, 3, 4};
+  MeOptions opts;
+  opts.allow_get = true;
+  ASSERT_TRUE(dst->Attach(0, 1, 0, MutableByteSpan(region), opts, nullptr).ok());
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {.drop = 1.0});
+  Buffer out(4, 0);
+  // kTimeout (retryable), not the kUnavailable of a known-down node.
+  EXPECT_EQ(src->Get(dst->nid(), 0, 1, MutableByteSpan(out)).code(),
+            ErrorCode::kTimeout);
+}
+
+TEST_F(FaultInjectorTest, CorruptionFlipsExactlyOneByte) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(dst, 8);
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {.corrupt = 1.0});
+  Buffer data = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  int differing = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (region[i] != data[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+  EXPECT_EQ(fabric_.injector().TotalCounters().corruptions, 1u);
+}
+
+TEST_F(FaultInjectorTest, DuplicatedPutDeliversTwice) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  EventQueue eq;
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.message_mode = true;
+  ASSERT_TRUE(dst->Attach(0, 1, 0, {}, opts, &eq).ok());
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {.duplicate = 1.0});
+  Buffer data = {42};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_TRUE(eq.Poll().has_value());
+  EXPECT_TRUE(eq.Poll().has_value());  // the duplicate
+  EXPECT_FALSE(eq.Poll().has_value());
+  EXPECT_EQ(fabric_.injector().TotalCounters().duplicates, 1u);
+}
+
+TEST_F(FaultInjectorTest, PartitionIsSymmetricAndHealable) {
+  auto a = fabric_.CreateNic();
+  auto b = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(b, 4);
+  fabric_.injector().Partition(a->nid(), b->nid(), true);
+  Buffer data = {5};
+  EXPECT_TRUE(a->Put(b->nid(), 0, 1, ByteSpan(data)).ok());  // silent loss
+  EXPECT_EQ(region[0], 0);
+  Buffer out(1, 0);
+  EXPECT_EQ(b->Get(a->nid(), 0, 1, MutableByteSpan(out)).code(),
+            ErrorCode::kTimeout);  // other direction blocked too
+  EXPECT_EQ(fabric_.injector().TotalCounters().partition_drops, 2u);
+
+  fabric_.injector().Partition(a->nid(), b->nid(), false);
+  EXPECT_TRUE(a->Put(b->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 5);
+}
+
+TEST_F(FaultInjectorTest, CrashBeforeDeliveryLosesMessageAndDownsNode) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(dst, 4);
+  fabric_.injector().CrashBeforeDelivery(dst->nid());
+  Buffer data = {3};
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 0);  // message died with the node
+  EXPECT_TRUE(fabric_.IsNodeDown(dst->nid()));
+  EXPECT_EQ(src->Put(dst->nid(), 0, 1, ByteSpan(data)).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(fabric_.injector().TotalCounters().crashes, 1u);
+
+  // The trigger is one-shot: after a restart the node works again.
+  fabric_.SetNodeDown(dst->nid(), false);
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 3);
+}
+
+TEST_F(FaultInjectorTest, CrashAfterDeliveryDeliversThenDownsNode) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(dst, 4);
+  fabric_.injector().CrashAfterDelivery(dst->nid());
+  Buffer data = {7};
+  EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 7);  // delivered...
+  EXPECT_TRUE(fabric_.IsNodeDown(dst->nid()));  // ...then crashed
+}
+
+TEST_F(FaultInjectorTest, LinkSpecOverridesDefault) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  auto bystander = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(dst, 4);
+  Buffer bystander_region = AttachPutRegion(bystander, 4);
+  fabric_.injector().SetDefault({.drop = 1.0});
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {});  // clean link
+  Buffer data = {1};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 1);  // the specific link spec won
+  ASSERT_TRUE(src->Put(bystander->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(bystander_region[0], 0);  // everyone else gets the default
+}
+
+TEST_F(FaultInjectorTest, NodeSpecAppliesBothDirections) {
+  auto src = fabric_.CreateNic();
+  auto victim = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(victim, 4);
+  fabric_.injector().SetNode(victim->nid(), {.drop = 1.0});
+  Buffer data = {1};
+  ASSERT_TRUE(src->Put(victim->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 0);  // toward the node
+  Buffer src_region = AttachPutRegion(src, 4);
+  ASSERT_TRUE(victim->Put(src->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(src_region[0], 0);  // and away from it
+}
+
+TEST_F(FaultInjectorTest, ResetRestoresPassThrough) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = AttachPutRegion(dst, 4);
+  fabric_.injector().SetDefault({.drop = 1.0});
+  EXPECT_TRUE(fabric_.injector().enabled());
+  fabric_.injector().Reset();
+  EXPECT_FALSE(fabric_.injector().enabled());
+  Buffer data = {8};
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+  EXPECT_EQ(region[0], 8);
+  EXPECT_EQ(fabric_.injector().TotalCounters().drops, 0u);
+}
+
+TEST_F(FaultInjectorTest, SameSeedSameFaultSequence) {
+  auto run = [](std::uint64_t seed) {
+    Fabric fabric;
+    auto src = fabric.CreateNic();
+    auto dst = fabric.CreateNic();
+    Buffer region(1, 0);
+    MeOptions opts;
+    opts.allow_put = true;
+    EXPECT_TRUE(
+        dst->Attach(0, 1, 0, MutableByteSpan(region), opts, nullptr).ok());
+    fabric.injector().Seed(seed);
+    fabric.injector().SetDefault({.drop = 0.5});
+    std::vector<bool> delivered;
+    Buffer data = {1};
+    for (int i = 0; i < 64; ++i) {
+      region[0] = 0;
+      EXPECT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
+      delivered.push_back(region[0] == 1);
+    }
+    return delivered;
+  };
+  EXPECT_EQ(run(0xC0FFEE), run(0xC0FFEE));
+  EXPECT_NE(run(0xC0FFEE), run(0xBADBEE));  // astronomically unlikely to tie
 }
 
 }  // namespace

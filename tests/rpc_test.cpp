@@ -348,6 +348,177 @@ TEST_F(RpcTest, DestructionWithCallsPendingAbortsThem) {
   server.Stop();
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance: retransmission, at-most-once dedup, checksums, breaker
+// ---------------------------------------------------------------------------
+
+constexpr Opcode kCount = 8;  // non-idempotent: increments a counter
+
+TEST_F(RpcTest, RetransmitRecoversLostReplyWithoutDoubleExecution) {
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, {});
+  std::atomic<int> executed{0};
+  server.RegisterHandler(kCount,
+                         [&executed](ServerContext&, Decoder&) -> Result<Buffer> {
+                           executed.fetch_add(1);
+                           return Buffer{};
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(50);
+  copts.max_retransmits = 10;
+  RpcClient client(fabric_.CreateNic(), copts);
+
+  // Drop every server->client message: the request arrives and the handler
+  // runs, but the reply vanishes on the wire.
+  fabric_.injector().SetLink(nic->nid(), client.nid(), {.drop = 1.0});
+  auto handle = client.CallAsync(nic->nid(), kCount, {});
+  ASSERT_TRUE(handle.ok());
+  while (executed.load() == 0) std::this_thread::yield();
+  // Give the (doomed) first reply time to hit the wire, then heal the link
+  // so the next retransmission's replayed reply gets through.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fabric_.injector().ClearFaults();
+
+  ASSERT_TRUE(handle->Await().ok());
+  EXPECT_EQ(executed.load(), 1);  // dedup absorbed every duplicate request
+  EXPECT_GE(client.stats().retransmits, 1u);
+  EXPECT_GE(server.stats().dedup_hits, 1u);
+  server.Stop();
+}
+
+TEST_F(RpcTest, RetransmitBudgetExhaustedIsTimeout) {
+  StartServer();
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(25);
+  copts.max_retransmits = 2;
+  copts.breaker_threshold = 0;  // isolate the retransmit path
+  RpcClient client(fabric_.CreateNic(), copts);
+  // Drop every client->server message: requests silently vanish.
+  fabric_.injector().SetLink(client.nid(), server_->nid(), {.drop = 1.0});
+  auto reply = client.Call(server_->nid(), kEcho, {});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(client.stats().retransmits, 2u);  // full budget spent
+  EXPECT_EQ(server_->requests_served(), 0u);
+}
+
+TEST_F(RpcTest, CorruptRequestIsDroppedServerSide) {
+  StartServer();
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(25);
+  copts.max_retransmits = 2;
+  copts.breaker_threshold = 0;
+  RpcClient client(fabric_.CreateNic(), copts);
+  fabric_.injector().SetLink(client.nid(), server_->nid(), {.corrupt = 1.0});
+  auto reply = client.Call(server_->nid(), kEcho, {});
+  // A corrupt request frame never reaches a handler; to the client the loss
+  // looks like any other timeout.
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimeout);
+  EXPECT_GE(server_->stats().crc_drops, 1u);
+  EXPECT_EQ(server_->requests_served(), 0u);
+}
+
+TEST_F(RpcTest, CorruptReplySurfacesAsDataLossAfterRetries) {
+  StartServer();
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(500);
+  copts.max_retransmits = 2;
+  copts.breaker_threshold = 0;
+  RpcClient client(fabric_.CreateNic(), copts);
+  fabric_.injector().SetLink(server_->nid(), client.nid(), {.corrupt = 1.0});
+  auto reply = client.Call(server_->nid(), kEcho, {});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kDataLoss);
+  // Initial attempt + every retransmitted (deduped, replayed) reply was
+  // rejected by the frame checksum.
+  EXPECT_EQ(client.stats().crc_rejects, 3u);
+  EXPECT_EQ(client.stats().retransmits, 2u);
+  EXPECT_GE(server_->stats().dedup_hits, 2u);
+  EXPECT_EQ(server_->requests_served(), 1u);  // handler ran exactly once
+}
+
+TEST_F(RpcTest, CorruptedBulkDataIsNeverSilentlyAccepted) {
+  StartServer();
+  stored_ = PatternBuffer(4096, 11);
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(500);
+  copts.breaker_threshold = 0;
+  RpcClient client(fabric_.CreateNic(), copts);
+  fabric_.injector().Seed(0xD15EA5E);
+  // Corrupt ~30% of server->client messages: bulk pushes and reply frames.
+  fabric_.injector().SetLink(server_->nid(), client.nid(), {.corrupt = 0.3});
+
+  int ok_replies = 0;
+  for (int i = 0; i < 50; ++i) {
+    Buffer out(stored_.size(), 0);
+    CallOptions ropts;
+    ropts.bulk_in = MutableByteSpan(out);
+    auto reply = client.Call(server_->nid(), kFetch, {}, ropts);
+    if (reply.ok()) {
+      // The one invariant that matters: an accepted read is byte-exact.
+      ASSERT_EQ(out, stored_) << "corrupted bulk data accepted on call " << i;
+      ++ok_replies;
+    } else {
+      EXPECT_EQ(reply.status().code(), ErrorCode::kDataLoss);
+    }
+  }
+  EXPECT_GT(ok_replies, 0);  // retransmission recovered at least some calls
+  const ClientStats stats = client.stats();
+  EXPECT_GE(stats.bulk_crc_failures + stats.crc_rejects, 1u);
+}
+
+TEST_F(RpcTest, BreakerOpensFastFailsAndRecoversViaProbe) {
+  StartServer();
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(25);
+  copts.max_retransmits = 0;
+  copts.breaker_threshold = 2;
+  copts.breaker_cooldown = std::chrono::milliseconds(50);
+  RpcClient client(fabric_.CreateNic(), copts);
+  Encoder req;
+  req.PutString("ping");
+  const ByteSpan body(req.buffer());
+
+  fabric_.SetNodeDown(server_->nid(), true);
+  EXPECT_FALSE(client.Call(server_->nid(), kEcho, body).ok());
+  EXPECT_FALSE(client.Call(server_->nid(), kEcho, body).ok());
+  EXPECT_TRUE(client.BreakerOpen(server_->nid()));
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+
+  // While open, calls are refused without touching the fabric.
+  auto fast = client.Call(server_->nid(), kEcho, body);
+  EXPECT_EQ(fast.status().code(), ErrorCode::kUnavailable);
+  EXPECT_GE(client.stats().breaker_fast_fails, 1u);
+
+  // A failed half-open probe keeps the breaker open.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(client.Call(server_->nid(), kEcho, body).ok());
+  EXPECT_TRUE(client.BreakerOpen(server_->nid()));
+
+  // Server comes back: after the cooldown one probe goes through, succeeds,
+  // and closes the breaker.
+  fabric_.SetNodeDown(server_->nid(), false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(client.Call(server_->nid(), kEcho, body).ok());
+  EXPECT_FALSE(client.BreakerOpen(server_->nid()));
+  EXPECT_TRUE(client.Call(server_->nid(), kEcho, body).ok());
+}
+
+TEST_F(RpcTest, ErrorRepliesDoNotTripBreaker) {
+  StartServer();
+  ClientOptions copts;
+  copts.breaker_threshold = 2;
+  RpcClient client(fabric_.CreateNic(), copts);
+  // A decoded error reply is proof the server is alive — the lock-polling
+  // pattern depends on kResourceExhausted loops not opening the breaker.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(client.Call(server_->nid(), kFail, {}).status().code(),
+              ErrorCode::kPermissionDenied);
+  }
+  EXPECT_FALSE(client.BreakerOpen(server_->nid()));
+  EXPECT_EQ(client.stats().breaker_opens, 0u);
+}
+
 TEST(BackoffTest, DecorrelatedJitterStaysInEnvelope) {
   Backoff backoff(/*seed=*/42);
   int prev = Backoff::kDefaultBaseUs;

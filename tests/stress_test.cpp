@@ -4,6 +4,7 @@
 // the end.  No operation may crash, wedge, or corrupt unrelated state.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
 
@@ -283,8 +284,14 @@ TEST(StressTest, ConcurrentExtentWritesAreNeverTorn) {
       Rng rng(1000 + t);
       const std::uint8_t fill = static_cast<std::uint8_t>(1 + t);
       const Buffer payload(kExtent, fill);
-      Buffer read_back(kExtent, 0);
-      core::Batch batch(client.get(), /*window=*/8);
+      // One read buffer per window slot: concurrent in-flight reads into a
+      // single shared buffer would race, and the client-side bulk checksum
+      // now detects exactly that as kDataLoss.  Slot i%window is free by
+      // the time op i issues (the batch retires the oldest op first).
+      constexpr std::size_t kWindow = 8;
+      std::array<Buffer, kWindow> read_back;
+      read_back.fill(Buffer(kExtent, 0));
+      core::Batch batch(client.get(), kWindow);
       for (std::uint32_t i = 0; i < kOpsPerThread; ++i) {
         const bool use_shared = rng.NextBelow(2) == 0;
         const std::uint32_t server =
@@ -295,7 +302,7 @@ TEST(StressTest, ConcurrentExtentWritesAreNeverTorn) {
         const std::uint64_t offset = rng.NextBelow(kSlots) * kExtent;
         Status s = rng.NextBelow(3) == 0
                        ? batch.Read(server, cap, oid, offset,
-                                    MutableByteSpan(read_back))
+                                    MutableByteSpan(read_back[i % kWindow]))
                        : batch.Write(server, cap, oid, offset,
                                      ByteSpan(payload));
         if (!s.ok()) {

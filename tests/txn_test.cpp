@@ -7,6 +7,7 @@
 
 #include "storage/object_store.h"
 #include "txn/journal.h"
+#include "util/bytes.h"
 #include "txn/lock_table.h"
 #include "txn/two_phase.h"
 
@@ -190,6 +191,39 @@ TEST_F(JournalTest, ToleratesTornTail) {
   EXPECT_EQ(records->size(), 1u);
 }
 
+TEST_F(JournalTest, DetectsCorruptRecord) {
+  auto journal = Journal::Create(&store_, storage::ContainerId{1});
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->Append({RecordType::kBegin, 1, Buffer{7, 7, 7}}).ok());
+  ASSERT_TRUE(journal->Append({RecordType::kCommit, 1, {}}).ok());
+  // Flip a byte inside the first record's txid field.  The type-range check
+  // cannot catch this — only the per-record checksum can.
+  Buffer flip = {0xFF};
+  ASSERT_TRUE(store_.Write(journal->oid(), 5, ByteSpan(flip)).ok());
+  auto records = journal->ReadAll();
+  EXPECT_EQ(records.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST_F(JournalTest, ToleratesTruncatedChecksum) {
+  auto journal = Journal::Create(&store_, storage::ContainerId{1});
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->Append({RecordType::kBegin, 1, {}}).ok());
+  // A crash can tear a record anywhere, including inside the trailing
+  // checksum.  Hand-encode a full record body but cut the crc short.
+  Encoder enc;
+  enc.PutU32(static_cast<std::uint32_t>(RecordType::kCommit));
+  enc.PutU64(1);
+  enc.PutBytes({});
+  enc.PutU16(0xBEEF);  // two bytes where four bytes of crc should be
+  auto attr = store_.GetAttr(journal->oid());
+  ASSERT_TRUE(attr.ok());
+  ASSERT_TRUE(
+      store_.Write(journal->oid(), attr->size, ByteSpan(enc.buffer())).ok());
+  auto records = journal->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);  // torn tail dropped, prefix intact
+}
+
 TEST_F(JournalTest, UnfinishedListsPendingTxns) {
   auto journal = Journal::Create(&store_, storage::ContainerId{1});
   ASSERT_TRUE(journal.ok());
@@ -363,6 +397,79 @@ TEST_F(TwoPhaseTest, CommitUnknownTxnFails) {
   EXPECT_EQ(coord.Commit(424242).code(), ErrorCode::kNotFound);
   EXPECT_EQ(coord.Abort(424242).code(), ErrorCode::kNotFound);
 }
+
+// ---- Crash-point × recovery matrix ----------------------------------------
+//
+// One harness drives every CrashPoint through the same commit-then-recover
+// sequence and asserts the transaction converges to exactly one durable
+// outcome: committed work applied once, aborted work undone once, never both.
+
+struct CrashMatrixCase {
+  const char* name;
+  CrashPoint crash;
+  bool commit_fails;   // does Commit() report the simulated crash?
+  int applied_after;   // staged applies delivered after recovery
+  bool undone_after;   // undo log ran after recovery
+};
+
+class TwoPhaseCrashMatrixTest
+    : public TwoPhaseTest,
+      public ::testing::WithParamInterface<CrashMatrixCase> {};
+
+TEST_P(TwoPhaseCrashMatrixTest, RecoveryConvergesToSingleOutcome) {
+  const CrashMatrixCase& c = GetParam();
+  SCOPED_TRACE(c.name);
+  StagedParticipant a("a"), b("b");
+  Coordinator coord(journal_.get());
+  auto txid = coord.Begin({&a, &b});
+  ASSERT_TRUE(txid.ok());
+  int applied = 0;
+  bool undone = false;
+  for (StagedParticipant* p : {&a, &b}) {
+    p->AddUndo(*txid, [&] { undone = true; });
+    p->StageApply(*txid, [&] {
+      ++applied;
+      return OkStatus();
+    });
+  }
+
+  coord.SetCrashPoint(c.crash);
+  Status commit = coord.Commit(*txid);
+  if (c.commit_fails) {
+    EXPECT_EQ(commit.code(), ErrorCode::kUnavailable);
+    EXPECT_EQ(applied, 0);  // crash struck before any delivery
+  } else {
+    ASSERT_TRUE(commit.ok());
+  }
+
+  // Recovery must be safe to run whether or not a crash happened.
+  std::map<std::string, Participant*> registry = {{"a", &a}, {"b", &b}};
+  ASSERT_TRUE(Coordinator::Recover(journal_.get(), registry).ok());
+
+  EXPECT_EQ(applied, c.applied_after);
+  EXPECT_EQ(undone, c.undone_after);
+  EXPECT_FALSE(c.applied_after > 0 && c.undone_after);  // never both
+  EXPECT_EQ(*journal_->Outcome(*txid), TxnOutcome::kFinished);
+  EXPECT_EQ(a.open_txns(), 0u);
+  EXPECT_EQ(b.open_txns(), 0u);
+
+  // Recovery is idempotent: a second pass changes nothing.
+  ASSERT_TRUE(Coordinator::Recover(journal_.get(), registry).ok());
+  EXPECT_EQ(applied, c.applied_after);
+  EXPECT_EQ(undone, c.undone_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCrashPoints, TwoPhaseCrashMatrixTest,
+    ::testing::Values(
+        CrashMatrixCase{"NoCrash", CrashPoint::kNone, false, 2, false},
+        CrashMatrixCase{"AfterPrepare", CrashPoint::kAfterPrepare, true, 0,
+                        true},
+        CrashMatrixCase{"AfterCommitRecord", CrashPoint::kAfterCommitRecord,
+                        true, 2, false}),
+    [](const ::testing::TestParamInfo<CrashMatrixCase>& info) {
+      return info.param.name;
+    });
 
 }  // namespace
 }  // namespace lwfs::txn
