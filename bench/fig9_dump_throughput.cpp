@@ -69,12 +69,20 @@ struct SweepPoint {
   std::uint64_t rpc_crc_drops = 0;
 };
 
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  // Per-op middleware metrics over the whole sweep (warm-up included):
+  // every dispatch the deployment served, keyed "<service>.<op>", with
+  // error/reject/deny counts, latency, and bulk bytes (DESIGN.md §11).
+  std::vector<rpc::OpStats> op_stats;
+};
+
 /// Sweep Config::window on the live in-process stack: 64 ranks of 512 KiB
 /// each on 4 storage servers whose data path is charged the modeled
 /// ~400 MB/s medium bandwidth (in-process memcpy would otherwise hide the
 /// service time the window is meant to overlap).  5 trials per window
 /// after a discarded warm-up checkpoint.
-std::vector<SweepPoint> RunWindowSweep() {
+SweepResult RunWindowSweep() {
   constexpr std::uint32_t kRanks = 64;
   constexpr std::size_t kStateBytes = 512 << 10;
   constexpr std::uint32_t kWindows[] = {1, 2, 4, 8, 16};
@@ -155,10 +163,11 @@ std::vector<SweepPoint> RunWindowSweep() {
     points[w].mean_mb_s = stats[w].mean();
     points[w].sd = stats[w].stddev();
   }
-  return points;
+  return SweepResult{std::move(points), (*runtime)->TotalOpStats()};
 }
 
-void PrintAndDumpSweep(const std::vector<SweepPoint>& points) {
+void PrintAndDumpSweep(const SweepResult& sweep) {
+  const std::vector<SweepPoint>& points = sweep.points;
   bench::PrintHeader(
       "Async-engine window sweep (live LWFS checkpoint, 64 ranks x 512 KiB, "
       "4 servers)");
@@ -206,9 +215,41 @@ void PrintAndDumpSweep(const std::vector<SweepPoint>& points) {
         static_cast<unsigned long long>(points[i].rpc_crc_drops),
         i + 1 < points.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"op_stats\": [\n");
+  for (std::size_t i = 0; i < sweep.op_stats.size(); ++i) {
+    const rpc::OpStats& s = sweep.op_stats[i];
+    std::fprintf(
+        out,
+        "    {\"op\": \"%s\", \"opcode\": %u, \"calls\": %llu, "
+        "\"errors\": %llu, \"rejected\": %llu, \"denied\": %llu, "
+        "\"latency_us_total\": %llu, \"latency_us_max\": %llu, "
+        "\"bulk_bytes\": %llu}%s\n",
+        s.name.c_str(), s.opcode, static_cast<unsigned long long>(s.calls),
+        static_cast<unsigned long long>(s.errors),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.denied),
+        static_cast<unsigned long long>(s.latency_us_total),
+        static_cast<unsigned long long>(s.latency_us_max),
+        static_cast<unsigned long long>(s.bulk_bytes),
+        i + 1 < sweep.op_stats.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_fig9.json\n");
+
+  bench::PrintHeader("Per-op service metrics (whole sweep)");
+  std::printf("%-28s %10s %8s %10s %12s\n", "op", "calls", "errors",
+              "avg_us", "bulk_bytes");
+  for (const rpc::OpStats& s : sweep.op_stats) {
+    const double avg_us =
+        s.calls > 0 ? static_cast<double>(s.latency_us_total) /
+                          static_cast<double>(s.calls)
+                    : 0.0;
+    std::printf("%-28s %10llu %8llu %10.1f %12llu\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.calls),
+                static_cast<unsigned long long>(s.errors), avg_us,
+                static_cast<unsigned long long>(s.bulk_bytes));
+  }
 }
 
 }  // namespace

@@ -4,8 +4,8 @@
 // deployment rooted at a state directory, so data and names survive
 // between invocations:
 //
-//   $ echo -e "mkdir /data\nput /data/hello hello-world\nls /data" \
-//       | ./lwfs_shell /tmp/lwfs-state
+//   $ echo -e "mkdir /data\nput /data/hello hello-world\nls /data" |
+//       ./lwfs_shell /tmp/lwfs-state
 //   $ echo "get /data/hello" | ./lwfs_shell /tmp/lwfs-state
 //   hello-world
 //

@@ -1,32 +1,30 @@
 #include "core/authn_server.h"
 
+#include "core/wire.h"
+
 namespace lwfs::core {
 
 AuthnServer::AuthnServer(std::shared_ptr<portals::Nic> nic,
                          security::AuthnService* service,
                          rpc::ServerOptions options)
-    : service_(service), server_(std::move(nic), options) {
-  server_.RegisterHandler(
-      kOpLogin, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto principal = req.GetString();
-        auto secret = req.GetString();
-        if (!principal.ok() || !secret.ok()) {
-          return InvalidArgument("malformed login request");
-        }
-        auto cred = service_->Login(*principal, *secret);
+    : service_(service),
+      server_(std::move(nic), options),
+      ops_(&server_, "authn") {
+  ops_.On<wire::LoginReq, wire::CredentialRep>(
+      wire::kLoginOp,
+      [this](rpc::ServerContext&,
+             wire::LoginReq& req) -> Result<wire::CredentialRep> {
+        auto cred = service_->Login(req.principal, req.secret);
         if (!cred.ok()) return cred.status();
-        Encoder reply;
-        cred->Encode(reply);
-        return std::move(reply).Take();
+        return wire::CredentialRep{*cred};
       });
 
-  server_.RegisterHandler(
-      kOpRevokeCred,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cred_id = req.GetU64();
-        if (!cred_id.ok()) return cred_id.status();
-        LWFS_RETURN_IF_ERROR(service_->Revoke(*cred_id));
-        return Buffer{};
+  ops_.On<wire::RevokeCredReq, rpc::Void>(
+      wire::kRevokeCredOp,
+      [this](rpc::ServerContext&,
+             wire::RevokeCredReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Revoke(req.cred_id));
+        return rpc::Void{};
       });
 }
 

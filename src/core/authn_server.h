@@ -2,9 +2,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/protocol.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "security/authn.h"
 
 namespace lwfs::core {
@@ -15,16 +17,26 @@ class AuthnServer {
               security::AuthnService* service,
               rpc::ServerOptions options = {});
 
-  Status Start() { return server_.Start(); }
+  Status Start() {
+    LWFS_RETURN_IF_ERROR(ops_.init_status());
+    return server_.Start();
+  }
   void Stop() { server_.Stop(); }
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] security::AuthnService* service() { return service_; }
   [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    return ops_.Stats();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_opcodes() const {
+    return server_.RegisteredOpcodes();
+  }
 
  private:
   security::AuthnService* service_;
   rpc::RpcServer server_;
+  rpc::Service ops_;
 };
 
 }  // namespace lwfs::core

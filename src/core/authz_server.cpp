@@ -1,103 +1,72 @@
 #include "core/authz_server.h"
 
+#include <utility>
+
+#include "core/wire.h"
 #include "util/logging.h"
 
 namespace lwfs::core {
-
-namespace {
-Result<security::Credential> ReadCred(Decoder& req) {
-  return security::Credential::Decode(req);
-}
-}  // namespace
 
 AuthzServer::AuthzServer(std::shared_ptr<portals::Nic> nic,
                          security::AuthzService* service,
                          rpc::ServerOptions options)
     : service_(service),
       server_(nic, options),
-      control_client_(std::move(nic)) {
+      control_client_(std::move(nic)),
+      ops_(&server_, "authz") {
   service_->SetRevocationSink(this);
 
-  server_.RegisterHandler(
-      kOpCreateContainer,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cred = ReadCred(req);
-        if (!cred.ok()) return cred.status();
-        auto cid = service_->CreateContainer(*cred);
+  ops_.On<wire::CreateContainerReq, wire::CreateContainerRep>(
+      wire::kCreateContainerOp,
+      [this](rpc::ServerContext&, wire::CreateContainerReq& req)
+          -> Result<wire::CreateContainerRep> {
+        auto cid = service_->CreateContainer(req.cred);
         if (!cid.ok()) return cid.status();
-        Encoder reply;
-        reply.PutU64(cid->value);
-        return std::move(reply).Take();
+        return wire::CreateContainerRep{cid->value};
       });
 
-  server_.RegisterHandler(
-      kOpGetCap, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cred = ReadCred(req);
-        auto cid = req.GetU64();
-        auto ops = req.GetU32();
-        if (!cred.ok() || !cid.ok() || !ops.ok()) {
-          return InvalidArgument("malformed getcap request");
-        }
-        auto cap =
-            service_->GetCap(*cred, storage::ContainerId{*cid}, *ops);
+  ops_.On<wire::GetCapReq, wire::CapabilityRep>(
+      wire::kGetCapOp,
+      [this](rpc::ServerContext&,
+             wire::GetCapReq& req) -> Result<wire::CapabilityRep> {
+        auto cap = service_->GetCap(req.cred, storage::ContainerId{req.cid},
+                                    req.ops);
         if (!cap.ok()) return cap.status();
-        Encoder reply;
-        cap->Encode(reply);
-        return std::move(reply).Take();
+        return wire::CapabilityRep{*cap};
       });
 
-  server_.RegisterHandler(
-      kOpVerifyCap,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto server_id = req.GetU32();
-        auto cap = security::Capability::Decode(req);
-        if (!server_id.ok() || !cap.ok()) {
-          return InvalidArgument("malformed verify request");
-        }
-        LWFS_RETURN_IF_ERROR(service_->VerifyForServer(*server_id, *cap));
-        return Buffer{};
+  ops_.On<wire::VerifyCapReq, rpc::Void>(
+      wire::kVerifyCapOp,
+      [this](rpc::ServerContext&,
+             wire::VerifyCapReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(
+            service_->VerifyForServer(req.server_id, req.cap));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpSetGrant,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cred = ReadCred(req);
-        auto cid = req.GetU64();
-        auto grantee = req.GetU64();
-        auto ops = req.GetU32();
-        if (!cred.ok() || !cid.ok() || !grantee.ok() || !ops.ok()) {
-          return InvalidArgument("malformed setgrant request");
-        }
+  ops_.On<wire::SetGrantReq, rpc::Void>(
+      wire::kSetGrantOp,
+      [this](rpc::ServerContext&, wire::SetGrantReq& req) -> Result<rpc::Void> {
         LWFS_RETURN_IF_ERROR(service_->SetGrant(
-            *cred, storage::ContainerId{*cid}, *grantee, *ops));
-        return Buffer{};
+            req.cred, storage::ContainerId{req.cid}, req.grantee, req.ops));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpRevokeCapability,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cred = ReadCred(req);
-        auto cap_id = req.GetU64();
-        if (!cred.ok() || !cap_id.ok()) {
-          return InvalidArgument("malformed revoke request");
-        }
-        LWFS_RETURN_IF_ERROR(service_->RevokeCap(*cred, *cap_id));
-        return Buffer{};
+  ops_.On<wire::RevokeCapReq, rpc::Void>(
+      wire::kRevokeCapabilityOp,
+      [this](rpc::ServerContext&,
+             wire::RevokeCapReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->RevokeCap(req.cred, req.cap_id));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpRefreshCap,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cred = ReadCred(req);
-        auto cap = security::Capability::Decode(req);
-        if (!cred.ok() || !cap.ok()) {
-          return InvalidArgument("malformed refresh request");
-        }
-        auto fresh = service_->RefreshCap(*cred, *cap);
+  ops_.On<wire::RefreshCapReq, wire::CapabilityRep>(
+      wire::kRefreshCapOp,
+      [this](rpc::ServerContext&,
+             wire::RefreshCapReq& req) -> Result<wire::CapabilityRep> {
+        auto fresh = service_->RefreshCap(req.cred, req.cap);
         if (!fresh.ok()) return fresh.status();
-        Encoder reply;
-        fresh->Encode(reply);
-        return std::move(reply).Take();
+        return wire::CapabilityRep{*fresh};
       });
 }
 
@@ -117,13 +86,12 @@ void AuthzServer::InvalidateCaps(security::ServerId server,
     }
     target = storage_nids_[server];
   }
-  Encoder req;
-  req.PutU32(static_cast<std::uint32_t>(cap_ids.size()));
-  for (std::uint64_t id : cap_ids) req.PutU64(id);
   rpc::CallOptions options;
   options.request_portal = rpc::kControlPortal;
-  auto reply = control_client_.Call(target, kOpInvalidateCaps,
-                                    ByteSpan(req.buffer()), options);
+  auto reply = rpc::CallTyped<rpc::Void>(control_client_, target,
+                                         kOpInvalidateCaps,
+                                         wire::InvalidateCapsReq{cap_ids},
+                                         options);
   if (!reply.ok()) {
     LWFS_ERROR << "cap invalidation to server " << server
                << " failed: " << reply.status().ToString();

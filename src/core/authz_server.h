@@ -13,6 +13,7 @@
 
 #include "core/protocol.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "security/authz.h"
 
 namespace lwfs::core {
@@ -26,12 +27,21 @@ class AuthzServer : public security::RevocationSink {
   /// Tell the sink where the storage servers live (index = ServerId).
   void SetStorageNids(std::vector<portals::Nid> nids);
 
-  Status Start() { return server_.Start(); }
+  Status Start() {
+    LWFS_RETURN_IF_ERROR(ops_.init_status());
+    return server_.Start();
+  }
   void Stop() { server_.Stop(); }
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] security::AuthzService* service() { return service_; }
   [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    return ops_.Stats();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_opcodes() const {
+    return server_.RegisteredOpcodes();
+  }
 
   // RevocationSink: RPC the invalidation to the caching server.
   void InvalidateCaps(security::ServerId server,
@@ -41,6 +51,7 @@ class AuthzServer : public security::RevocationSink {
   security::AuthzService* service_;
   rpc::RpcServer server_;
   rpc::RpcClient control_client_;
+  rpc::Service ops_;
   std::mutex nids_mutex_;
   std::vector<portals::Nid> storage_nids_;
 };

@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "core/wire.h"
+#include "rpc/service.h"
+
 namespace lwfs::core {
 
 // ---------------------------------------------------------------------------
@@ -11,10 +14,13 @@ namespace lwfs::core {
 Result<std::uint64_t> PendingIo::Resolve(Result<Buffer> reply,
                                          bool decode_reply,
                                          std::uint64_t nominal) {
-  if (!reply.ok()) return reply.status();
-  if (!decode_reply) return nominal;
-  Decoder dec(*reply);
-  return dec.GetU64();
+  if (!decode_reply) {
+    if (!reply.ok()) return reply.status();
+    return nominal;
+  }
+  auto moved = rpc::ResolveTyped<wire::IoMovedRep>(std::move(reply));
+  if (!moved.ok()) return moved.status();
+  return moved->moved;
 }
 
 Result<std::uint64_t> PendingIo::Await() {
@@ -36,12 +42,9 @@ Result<storage::ObjectId> PendingCreate::Await() {
   if (!handle_.valid()) {
     return FailedPrecondition("awaiting an empty create handle");
   }
-  auto reply = handle_.Await();
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  auto oid = dec.GetU64();
-  if (!oid.ok()) return oid.status();
-  return storage::ObjectId{*oid};
+  auto rep = rpc::ResolveTyped<wire::ObjCreateRep>(handle_.Await());
+  if (!rep.ok()) return rep.status();
+  return storage::ObjectId{rep->oid};
 }
 
 Status Batch::RetireOldest() {
@@ -96,26 +99,22 @@ Status Batch::Drain() {
 // ---------------------------------------------------------------------------
 
 Result<bool> RemoteParticipant::Prepare(txn::TxnId txid) {
-  Encoder req;
-  req.PutU64(txid);
-  auto reply = rpc_->Call(nid_, kOpTxnPrepare, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return dec.GetBool();
+  auto vote = rpc::CallTyped<wire::TxnVoteRep>(*rpc_, nid_, kOpTxnPrepare,
+                                               wire::TxnReq{txid});
+  if (!vote.ok()) return vote.status();
+  return vote->vote;
 }
 
 Status RemoteParticipant::Commit(txn::TxnId txid) {
-  Encoder req;
-  req.PutU64(txid);
-  auto reply = rpc_->Call(nid_, kOpTxnCommit, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(*rpc_, nid_, kOpTxnCommit,
+                                   wire::TxnReq{txid})
+      .status();
 }
 
 Status RemoteParticipant::Abort(txn::TxnId txid) {
-  Encoder req;
-  req.PutU64(txid);
-  auto reply = rpc_->Call(nid_, kOpTxnAbort, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(*rpc_, nid_, kOpTxnAbort,
+                                   wire::TxnReq{txid})
+      .status();
 }
 
 // ---------------------------------------------------------------------------
@@ -171,82 +170,60 @@ Result<portals::Nid> Client::StorageNid(std::uint32_t server) const {
 
 Result<security::Credential> Client::Login(const std::string& principal,
                                            const std::string& secret) {
-  Encoder req;
-  req.PutString(principal);
-  req.PutString(secret);
-  auto reply = rpc_.Call(deployment_.authn, kOpLogin, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return security::Credential::Decode(dec);
+  auto rep = rpc::CallTyped<wire::CredentialRep>(
+      rpc_, deployment_.authn, kOpLogin, wire::LoginReq{principal, secret});
+  if (!rep.ok()) return rep.status();
+  return rep->cred;
 }
 
 Status Client::RevokeCred(std::uint64_t cred_id) {
-  Encoder req;
-  req.PutU64(cred_id);
-  auto reply =
-      rpc_.Call(deployment_.authn, kOpRevokeCred, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.authn, kOpRevokeCred,
+                                   wire::RevokeCredReq{cred_id})
+      .status();
 }
 
 Result<storage::ContainerId> Client::CreateContainer(
     const security::Credential& cred) {
-  Encoder req;
-  cred.Encode(req);
-  auto reply =
-      rpc_.Call(deployment_.authz, kOpCreateContainer, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  auto cid = dec.GetU64();
-  if (!cid.ok()) return cid.status();
-  return storage::ContainerId{*cid};
+  auto rep = rpc::CallTyped<wire::CreateContainerRep>(
+      rpc_, deployment_.authz, kOpCreateContainer,
+      wire::CreateContainerReq{cred});
+  if (!rep.ok()) return rep.status();
+  return storage::ContainerId{rep->cid};
 }
 
 Result<security::Capability> Client::GetCap(const security::Credential& cred,
                                             storage::ContainerId cid,
                                             std::uint32_t ops) {
-  Encoder req;
-  cred.Encode(req);
-  req.PutU64(cid.value);
-  req.PutU32(ops);
-  auto reply = rpc_.Call(deployment_.authz, kOpGetCap, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return security::Capability::Decode(dec);
+  auto rep = rpc::CallTyped<wire::CapabilityRep>(
+      rpc_, deployment_.authz, kOpGetCap,
+      wire::GetCapReq{cred, cid.value, ops});
+  if (!rep.ok()) return rep.status();
+  return rep->cap;
 }
 
 Result<security::Capability> Client::RefreshCap(
     const security::Credential& cred, const security::Capability& cap) {
-  Encoder req;
-  cred.Encode(req);
-  cap.Encode(req);
-  auto reply =
-      rpc_.Call(deployment_.authz, kOpRefreshCap, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return security::Capability::Decode(dec);
+  auto rep = rpc::CallTyped<wire::CapabilityRep>(
+      rpc_, deployment_.authz, kOpRefreshCap, wire::RefreshCapReq{cred, cap});
+  if (!rep.ok()) return rep.status();
+  return rep->cap;
 }
 
 Status Client::SetGrant(const security::Credential& cred,
                         storage::ContainerId cid, security::Uid grantee,
                         std::uint32_t ops) {
-  Encoder req;
-  cred.Encode(req);
-  req.PutU64(cid.value);
-  req.PutU64(grantee);
-  req.PutU32(ops);
-  auto reply =
-      rpc_.Call(deployment_.authz, kOpSetGrant, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(
+             rpc_, deployment_.authz, kOpSetGrant,
+             wire::SetGrantReq{cred, cid.value, grantee, ops})
+      .status();
 }
 
 Status Client::RevokeCap(const security::Credential& cred,
                          std::uint64_t cap_id) {
-  Encoder req;
-  cred.Encode(req);
-  req.PutU64(cap_id);
-  auto reply = rpc_.Call(deployment_.authz, kOpRevokeCapability,
-                         ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.authz,
+                                   kOpRevokeCapability,
+                                   wire::RevokeCapReq{cred, cap_id})
+      .status();
 }
 
 Result<storage::ObjectId> Client::CreateObject(std::uint32_t server,
@@ -262,10 +239,8 @@ Result<PendingCreate> Client::CreateObjectAsync(std::uint32_t server,
                                                 txn::TxnId txid) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(txid);
-  auto handle = rpc_.CallAsync(*nid, kOpObjCreate, ByteSpan(req.buffer()));
+  auto handle = rpc::CallTypedAsync(rpc_, *nid, kOpObjCreate,
+                                    wire::ObjCreateReq{cap, txid});
   if (!handle.ok()) return handle.status();
   return PendingCreate(std::move(*handle));
 }
@@ -287,14 +262,11 @@ Result<PendingIo> Client::WriteObjectAsync(std::uint32_t server,
                                            ByteSpan data) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(oid.value);
-  req.PutU64(offset);
   rpc::CallOptions options;
   options.bulk_out = data;  // registered for the server to pull
-  auto handle =
-      rpc_.CallAsync(*nid, kOpObjWrite, ByteSpan(req.buffer()), options);
+  auto handle = rpc::CallTypedAsync(
+      rpc_, *nid, kOpObjWrite, wire::ObjWriteReq{cap, oid.value, offset},
+      options);
   if (!handle.ok()) return handle.status();
   return PendingIo(std::move(*handle), /*decode_reply=*/false, data.size());
 }
@@ -316,15 +288,11 @@ Result<PendingIo> Client::ReadObjectAsync(std::uint32_t server,
                                           MutableByteSpan out) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(oid.value);
-  req.PutU64(offset);
-  req.PutU64(out.size());
   rpc::CallOptions options;
   options.bulk_in = out;  // registered for the server to push
-  auto handle =
-      rpc_.CallAsync(*nid, kOpObjRead, ByteSpan(req.buffer()), options);
+  auto handle = rpc::CallTypedAsync(
+      rpc_, *nid, kOpObjRead,
+      wire::ObjReadReq{cap, oid.value, offset, out.size()}, options);
   if (!handle.ok()) return handle.status();
   return PendingIo(std::move(*handle), /*decode_reply=*/true, out.size());
 }
@@ -346,12 +314,9 @@ Status Client::RemoveObject(std::uint32_t server,
                             storage::ObjectId oid, txn::TxnId txid) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(oid.value);
-  req.PutU64(txid);
-  auto reply = rpc_.Call(*nid, kOpObjRemove, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, *nid, kOpObjRemove,
+                                   wire::ObjRemoveReq{cap, oid.value, txid})
+      .status();
 }
 
 Result<storage::ObjAttr> Client::GetAttr(std::uint32_t server,
@@ -359,36 +324,22 @@ Result<storage::ObjAttr> Client::GetAttr(std::uint32_t server,
                                          storage::ObjectId oid) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(oid.value);
-  auto reply = rpc_.Call(*nid, kOpObjGetAttr, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return DecodeObjAttr(dec);
+  auto rep = rpc::CallTyped<wire::ObjAttrRep>(
+      rpc_, *nid, kOpObjGetAttr, wire::ObjGetAttrReq{cap, oid.value});
+  if (!rep.ok()) return rep.status();
+  return rep->attr;
 }
 
 Result<std::vector<storage::ObjectId>> Client::ListObjects(
     std::uint32_t server, const security::Capability& cap) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  auto reply = rpc_.Call(*nid, kOpObjList, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  auto count = dec.GetU32();
-  if (!count.ok()) return count.status();
-  if (*count > dec.remaining() / 8) {
-    return Internal("object count exceeds reply payload");
-  }
+  auto rep = rpc::CallTyped<wire::ObjListRep>(rpc_, *nid, kOpObjList,
+                                              wire::ObjListReq{cap});
+  if (!rep.ok()) return rep.status();
   std::vector<storage::ObjectId> out;
-  out.reserve(*count);
-  for (std::uint32_t i = 0; i < *count; ++i) {
-    auto oid = dec.GetU64();
-    if (!oid.ok()) return oid.status();
-    out.push_back(storage::ObjectId{*oid});
-  }
+  out.reserve(rep->oids.size());
+  for (std::uint64_t oid : rep->oids) out.push_back(storage::ObjectId{oid});
   return out;
 }
 
@@ -397,12 +348,9 @@ Status Client::TruncateObject(std::uint32_t server,
                               storage::ObjectId oid, std::uint64_t size) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(oid.value);
-  req.PutU64(size);
-  auto reply = rpc_.Call(*nid, kOpObjTruncate, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, *nid, kOpObjTruncate,
+                                   wire::ObjTruncateReq{cap, oid.value, size})
+      .status();
 }
 
 Result<Client::FilterOutcome> Client::FilterObject(
@@ -411,23 +359,13 @@ Result<Client::FilterOutcome> Client::FilterObject(
     const FilterSpec& spec, MutableByteSpan result) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  Encoder req;
-  cap.Encode(req);
-  req.PutU64(oid.value);
-  req.PutU64(offset);
-  req.PutU64(length);
-  spec.Encode(req);
   rpc::CallOptions options;
   options.bulk_in = result;  // the server pushes only the filter output
-  auto reply = rpc_.Call(*nid, kOpObjFilter, ByteSpan(req.buffer()), options);
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  auto result_bytes = dec.GetU64();
-  auto input_bytes = dec.GetU64();
-  if (!result_bytes.ok() || !input_bytes.ok()) {
-    return Internal("malformed filter reply");
-  }
-  return FilterOutcome{*result_bytes, *input_bytes};
+  auto rep = rpc::CallTyped<wire::ObjFilterRep>(
+      rpc_, *nid, kOpObjFilter,
+      wire::ObjFilterReq{cap, oid.value, offset, length, spec}, options);
+  if (!rep.ok()) return rep.status();
+  return FilterOutcome{rep->result_bytes, rep->input_bytes};
 }
 
 Result<Buffer> Client::FilterObjectAlloc(std::uint32_t server,
@@ -451,102 +389,59 @@ Result<Buffer> Client::FilterObjectAlloc(std::uint32_t server,
 // ---- Naming ----------------------------------------------------------------
 
 Status Client::Mkdir(std::string_view path, bool recursive) {
-  Encoder req;
-  req.PutString(path);
-  req.PutBool(recursive);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameMkdir, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(
+             rpc_, deployment_.naming, kOpNameMkdir,
+             wire::MkdirReq{std::string(path), recursive})
+      .status();
 }
 
 Status Client::LinkName(std::string_view path, const storage::ObjectRef& ref) {
-  Encoder req;
-  req.PutString(path);
-  EncodeObjectRef(req, ref);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameLink, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.naming, kOpNameLink,
+                                   wire::LinkReq{std::string(path), ref})
+      .status();
 }
 
 Status Client::StageLinkName(txn::TxnId txid, std::string_view path,
                              const storage::ObjectRef& ref) {
-  Encoder req;
-  req.PutU64(txid);
-  req.PutString(path);
-  EncodeObjectRef(req, ref);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameStageLink, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(
+             rpc_, deployment_.naming, kOpNameStageLink,
+             wire::StageLinkReq{txid, std::string(path), ref})
+      .status();
 }
 
 Result<storage::ObjectRef> Client::LookupName(std::string_view path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameLookup, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return DecodeObjectRef(dec);
+  auto rep = rpc::CallTyped<wire::ObjectRefRep>(
+      rpc_, deployment_.naming, kOpNameLookup,
+      wire::PathReq{std::string(path)});
+  if (!rep.ok()) return rep.status();
+  return rep->ref;
 }
 
 Status Client::UnlinkName(std::string_view path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameUnlink, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.naming, kOpNameUnlink,
+                                   wire::PathReq{std::string(path)})
+      .status();
 }
 
 Status Client::RmdirName(std::string_view path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameRmdir, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.naming, kOpNameRmdir,
+                                   wire::PathReq{std::string(path)})
+      .status();
 }
 
 Status Client::RenameName(std::string_view from, std::string_view to) {
-  Encoder req;
-  req.PutString(from);
-  req.PutString(to);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameRename, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(
+             rpc_, deployment_.naming, kOpNameRename,
+             wire::RenameReq{std::string(from), std::string(to)})
+      .status();
 }
 
 Result<std::vector<naming::DirEntry>> Client::ListNames(
     std::string_view path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply =
-      rpc_.Call(deployment_.naming, kOpNameList, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  auto count = dec.GetU32();
-  if (!count.ok()) return count.status();
-  if (*count > dec.remaining()) {
-    return Internal("entry count exceeds reply payload");
-  }
-  std::vector<naming::DirEntry> out;
-  out.reserve(*count);
-  for (std::uint32_t i = 0; i < *count; ++i) {
-    naming::DirEntry entry;
-    auto name = dec.GetString();
-    auto is_dir = dec.GetBool();
-    auto has_ref = dec.GetBool();
-    if (!name.ok() || !is_dir.ok() || !has_ref.ok()) {
-      return InvalidArgument("malformed list reply");
-    }
-    entry.name = std::move(*name);
-    entry.is_directory = *is_dir;
-    if (*has_ref) {
-      auto ref = DecodeObjectRef(dec);
-      if (!ref.ok()) return ref.status();
-      entry.ref = *ref;
-    }
-    out.push_back(std::move(entry));
-  }
-  return out;
+  auto rep = rpc::CallTyped<wire::ListNamesRep>(
+      rpc_, deployment_.naming, kOpNameList, wire::PathReq{std::string(path)});
+  if (!rep.ok()) return rep.status();
+  return std::move(rep->entries);
 }
 
 // ---- Locks -------------------------------------------------------------------
@@ -554,16 +449,12 @@ Result<std::vector<naming::DirEntry>> Client::ListNames(
 Result<txn::LockId> Client::TryLock(const txn::LockKey& key,
                                     const txn::LockRange& range,
                                     txn::LockMode mode) {
-  Encoder req;
-  req.PutU64(key.container);
-  req.PutU64(key.resource);
-  req.PutU64(range.start);
-  req.PutU64(range.end);
-  req.PutBool(mode == txn::LockMode::kExclusive);
-  auto reply = rpc_.Call(deployment_.locks, kOpLockTry, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  Decoder dec(*reply);
-  return dec.GetU64();
+  auto rep = rpc::CallTyped<wire::LockIdRep>(
+      rpc_, deployment_.locks, kOpLockTry,
+      wire::LockTryReq{key.container, key.resource, range.start, range.end,
+                       mode == txn::LockMode::kExclusive});
+  if (!rep.ok()) return rep.status();
+  return rep->id;
 }
 
 Result<txn::LockId> Client::LockBlocking(const txn::LockKey& key,
@@ -586,11 +477,9 @@ Result<txn::LockId> Client::LockBlocking(const txn::LockKey& key,
 }
 
 Status Client::Unlock(txn::LockId id) {
-  Encoder req;
-  req.PutU64(id);
-  auto reply =
-      rpc_.Call(deployment_.locks, kOpLockRelease, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.locks, kOpLockRelease,
+                                   wire::LockReleaseReq{id})
+      .status();
 }
 
 // ---- Transactions --------------------------------------------------------------

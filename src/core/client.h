@@ -11,6 +11,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -320,6 +321,11 @@ class Client {
   [[nodiscard]] portals::Nid nid() const { return rpc_.nid(); }
   [[nodiscard]] const Deployment& deployment() const { return deployment_; }
   [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
+  /// Per-opcode issue/error tallies of this client's RPC engine.
+  [[nodiscard]] std::map<rpc::Opcode, rpc::ClientOpTally> rpc_op_tallies()
+      const {
+    return rpc_.OpTallies();
+  }
   /// True while `server_nid`'s circuit breaker holds calls back.
   [[nodiscard]] bool BreakerOpen(portals::Nid server_nid) {
     return rpc_.BreakerOpen(server_nid);

@@ -1,38 +1,31 @@
 #include "core/lock_server.h"
 
+#include "core/wire.h"
+
 namespace lwfs::core {
 
 LockServer::LockServer(std::shared_ptr<portals::Nic> nic,
                        txn::LockTable* table, rpc::ServerOptions options)
-    : table_(table), server_(std::move(nic), options) {
-  server_.RegisterHandler(
-      kOpLockTry, [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
-        auto container = req.GetU64();
-        auto resource = req.GetU64();
-        auto start = req.GetU64();
-        auto end = req.GetU64();
-        auto exclusive = req.GetBool();
-        if (!container.ok() || !resource.ok() || !start.ok() || !end.ok() ||
-            !exclusive.ok()) {
-          return InvalidArgument("malformed lock request");
-        }
+    : table_(table), server_(std::move(nic), options), ops_(&server_, "lock") {
+  ops_.On<wire::LockTryReq, wire::LockIdRep>(
+      wire::kLockTryOp,
+      [this](rpc::ServerContext& ctx,
+             wire::LockTryReq& req) -> Result<wire::LockIdRep> {
         auto id = table_->TryAcquire(
-            txn::LockKey{*container, *resource}, txn::LockRange{*start, *end},
-            *exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
+            txn::LockKey{req.container, req.resource},
+            txn::LockRange{req.start, req.end},
+            req.exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
             /*owner=*/ctx.client());
         if (!id.ok()) return id.status();
-        Encoder reply;
-        reply.PutU64(*id);
-        return std::move(reply).Take();
+        return wire::LockIdRep{*id};
       });
 
-  server_.RegisterHandler(
-      kOpLockRelease,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto id = req.GetU64();
-        if (!id.ok()) return id.status();
-        LWFS_RETURN_IF_ERROR(table_->Release(*id));
-        return Buffer{};
+  ops_.On<wire::LockReleaseReq, rpc::Void>(
+      wire::kLockReleaseOp,
+      [this](rpc::ServerContext&,
+             wire::LockReleaseReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(table_->Release(req.id));
+        return rpc::Void{};
       });
 }
 

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/protocol.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "txn/lock_table.h"
 
 namespace lwfs::core {
@@ -18,16 +20,26 @@ class LockServer {
   LockServer(std::shared_ptr<portals::Nic> nic, txn::LockTable* table,
              rpc::ServerOptions options = {});
 
-  Status Start() { return server_.Start(); }
+  Status Start() {
+    LWFS_RETURN_IF_ERROR(ops_.init_status());
+    return server_.Start();
+  }
   void Stop() { server_.Stop(); }
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] txn::LockTable* table() { return table_; }
   [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    return ops_.Stats();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_opcodes() const {
+    return server_.RegisteredOpcodes();
+  }
 
  private:
   txn::LockTable* table_;
   rpc::RpcServer server_;
+  rpc::Service ops_;
 };
 
 }  // namespace lwfs::core

@@ -1,135 +1,96 @@
 #include "core/naming_server.h"
 
+#include "core/wire.h"
+
 namespace lwfs::core {
 
 NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
                            naming::NamingService* service,
                            rpc::ServerOptions options)
-    : service_(service), server_(std::move(nic), options) {
-  server_.RegisterHandler(
-      kOpNameMkdir,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        auto recursive = req.GetBool();
-        if (!path.ok() || !recursive.ok()) {
-          return InvalidArgument("malformed mkdir request");
-        }
-        LWFS_RETURN_IF_ERROR(service_->Mkdir(*path, *recursive));
-        return Buffer{};
+    : service_(service),
+      server_(std::move(nic), options),
+      ops_(&server_, "naming") {
+  ops_.On<wire::MkdirReq, rpc::Void>(
+      wire::kNameMkdirOp,
+      [this](rpc::ServerContext&, wire::MkdirReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Mkdir(req.path, req.recursive));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpNameLink,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        auto ref = DecodeObjectRef(req);
-        if (!path.ok() || !ref.ok()) {
-          return InvalidArgument("malformed link request");
-        }
-        LWFS_RETURN_IF_ERROR(service_->Link(*path, *ref));
-        return Buffer{};
+  ops_.On<wire::LinkReq, rpc::Void>(
+      wire::kNameLinkOp,
+      [this](rpc::ServerContext&, wire::LinkReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Link(req.path, req.ref));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpNameStageLink,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        auto path = req.GetString();
-        auto ref = DecodeObjectRef(req);
-        if (!txid.ok() || !path.ok() || !ref.ok()) {
-          return InvalidArgument("malformed staged-link request");
-        }
-        LWFS_RETURN_IF_ERROR(service_->StageLink(*txid, *path, *ref));
-        return Buffer{};
+  ops_.On<wire::StageLinkReq, rpc::Void>(
+      wire::kNameStageLinkOp,
+      [this](rpc::ServerContext&,
+             wire::StageLinkReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->StageLink(req.txid, req.path, req.ref));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpNameLookup,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        auto ref = service_->Lookup(*path);
+  ops_.On<wire::PathReq, wire::ObjectRefRep>(
+      wire::kNameLookupOp,
+      [this](rpc::ServerContext&,
+             wire::PathReq& req) -> Result<wire::ObjectRefRep> {
+        auto ref = service_->Lookup(req.path);
         if (!ref.ok()) return ref.status();
-        Encoder reply;
-        EncodeObjectRef(reply, *ref);
-        return std::move(reply).Take();
+        return wire::ObjectRefRep{*ref};
       });
 
-  server_.RegisterHandler(
-      kOpNameUnlink,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        LWFS_RETURN_IF_ERROR(service_->Unlink(*path));
-        return Buffer{};
+  ops_.On<wire::PathReq, rpc::Void>(
+      wire::kNameUnlinkOp,
+      [this](rpc::ServerContext&, wire::PathReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Unlink(req.path));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpNameRmdir,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        LWFS_RETURN_IF_ERROR(service_->Rmdir(*path));
-        return Buffer{};
+  ops_.On<wire::PathReq, rpc::Void>(
+      wire::kNameRmdirOp,
+      [this](rpc::ServerContext&, wire::PathReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Rmdir(req.path));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpNameRename,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto from = req.GetString();
-        auto to = req.GetString();
-        if (!from.ok() || !to.ok()) {
-          return InvalidArgument("malformed rename request");
-        }
-        LWFS_RETURN_IF_ERROR(service_->Rename(*from, *to));
-        return Buffer{};
+  ops_.On<wire::RenameReq, rpc::Void>(
+      wire::kNameRenameOp,
+      [this](rpc::ServerContext&, wire::RenameReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Rename(req.from, req.to));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOpNameList,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        auto entries = service_->List(*path);
+  ops_.On<wire::PathReq, wire::ListNamesRep>(
+      wire::kNameListOp,
+      [this](rpc::ServerContext&,
+             wire::PathReq& req) -> Result<wire::ListNamesRep> {
+        auto entries = service_->List(req.path);
         if (!entries.ok()) return entries.status();
-        Encoder reply;
-        reply.PutU32(static_cast<std::uint32_t>(entries->size()));
-        for (const naming::DirEntry& e : *entries) {
-          reply.PutString(e.name);
-          reply.PutBool(e.is_directory);
-          reply.PutBool(e.ref.has_value());
-          if (e.ref) EncodeObjectRef(reply, *e.ref);
-        }
-        return std::move(reply).Take();
+        return wire::ListNamesRep{std::move(*entries)};
       });
 
   // Two-phase-commit participant endpoints.
-  server_.RegisterHandler(
-      kOpTxnPrepare,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        if (!txid.ok()) return txid.status();
-        auto vote = service_->participant()->Prepare(*txid);
+  ops_.On<wire::TxnReq, wire::TxnVoteRep>(
+      wire::kTxnPrepareOp,
+      [this](rpc::ServerContext&,
+             wire::TxnReq& req) -> Result<wire::TxnVoteRep> {
+        auto vote = service_->participant()->Prepare(req.txid);
         if (!vote.ok()) return vote.status();
-        Encoder reply;
-        reply.PutBool(*vote);
-        return std::move(reply).Take();
+        return wire::TxnVoteRep{*vote};
       });
-  server_.RegisterHandler(
-      kOpTxnCommit,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        if (!txid.ok()) return txid.status();
-        LWFS_RETURN_IF_ERROR(service_->participant()->Commit(*txid));
-        return Buffer{};
+  ops_.On<wire::TxnReq, rpc::Void>(
+      wire::kTxnCommitOp,
+      [this](rpc::ServerContext&, wire::TxnReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->participant()->Commit(req.txid));
+        return rpc::Void{};
       });
-  server_.RegisterHandler(
-      kOpTxnAbort,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        if (!txid.ok()) return txid.status();
-        LWFS_RETURN_IF_ERROR(service_->participant()->Abort(*txid));
-        return Buffer{};
+  ops_.On<wire::TxnReq, rpc::Void>(
+      wire::kTxnAbortOp,
+      [this](rpc::ServerContext&, wire::TxnReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->participant()->Abort(req.txid));
+        return rpc::Void{};
       });
 }
 

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/protocol.h"
 #include "naming/naming.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 
 namespace lwfs::core {
 
@@ -20,7 +22,10 @@ class NamingServer {
   NamingServer(std::shared_ptr<portals::Nic> nic,
                naming::NamingService* service, rpc::ServerOptions options = {});
 
-  Status Start() { return server_.Start(); }
+  Status Start() {
+    LWFS_RETURN_IF_ERROR(ops_.init_status());
+    return server_.Start();
+  }
   void Stop() { server_.Stop(); }
 
   /// Simulated crash recovery: rebuild the namespace from its own snapshot
@@ -38,12 +43,19 @@ class NamingServer {
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] naming::NamingService* service() { return service_; }
   [[nodiscard]] rpc::ServerStats rpc_stats() const { return server_.stats(); }
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    return ops_.Stats();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_opcodes() const {
+    return server_.RegisteredOpcodes();
+  }
 
   [[nodiscard]] static std::string participant_name() { return "naming"; }
 
  private:
   naming::NamingService* service_;
   rpc::RpcServer server_;
+  rpc::Service ops_;
 };
 
 }  // namespace lwfs::core

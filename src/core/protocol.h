@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "security/types.h"
 #include "storage/ids.h"
 #include "storage/object_store.h"
@@ -63,6 +64,40 @@ enum Op : rpc::Opcode {
   kOpLockTry = 80,
   kOpLockRelease = 81,
 };
+
+// Every core opcode must stay inside the range the core family owns; the
+// ranges themselves are proved disjoint in rpc/service.h.
+static_assert(rpc::kCoreOpcodeRange.Contains(kOpLogin) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpRevokeCred) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpCreateContainer) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpGetCap) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpVerifyCap) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpSetGrant) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpRevokeCapability) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpRefreshCap) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjCreate) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjWrite) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjRead) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjRemove) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjGetAttr) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjList) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjTruncate) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjFilter) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpInvalidateCaps) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpTxnPrepare) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpTxnCommit) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpTxnAbort) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameMkdir) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameLink) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameLookup) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameUnlink) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameList) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameStageLink) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameRmdir) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameRename) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpLockTry) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpLockRelease),
+              "core opcode outside the core protocol family's range");
 
 // ---- Shared encode/decode helpers -----------------------------------------
 

@@ -155,6 +155,18 @@ ServiceRuntime::RobustnessStats ServiceRuntime::TotalRobustnessStats() {
   return total;
 }
 
+std::vector<rpc::OpStats> ServiceRuntime::TotalOpStats() const {
+  std::vector<rpc::OpStats> total;
+  for (const auto& server : storage_servers_) {
+    rpc::MergeOpStats(total, server->op_stats());
+  }
+  rpc::MergeOpStats(total, authn_server_->op_stats());
+  rpc::MergeOpStats(total, authz_server_->op_stats());
+  rpc::MergeOpStats(total, naming_server_->op_stats());
+  rpc::MergeOpStats(total, lock_server_->op_stats());
+  return total;
+}
+
 Status ServiceRuntime::SaveNamingSnapshot() {
   if (options_.naming_snapshot_file.empty()) {
     return FailedPrecondition("no naming_snapshot_file configured");

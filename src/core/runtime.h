@@ -88,6 +88,9 @@ class ServiceRuntime {
     return *storage_servers_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] NamingServer& naming_server() { return *naming_server_; }
+  [[nodiscard]] AuthnServer& authn_server() { return *authn_server_; }
+  [[nodiscard]] AuthzServer& authz_server() { return *authz_server_; }
+  [[nodiscard]] LockServer& lock_server() { return *lock_server_; }
   /// I/O-scheduler counters summed over every storage server.
   [[nodiscard]] IoSchedulerStats TotalSchedStats() const;
   /// Robustness counters aggregated across the deployment: RPC dedup/CRC
@@ -99,6 +102,11 @@ class ServiceRuntime {
     portals::FaultCounters faults;      // injected by the fabric
   };
   [[nodiscard]] RobustnessStats TotalRobustnessStats();
+  /// Per-op middleware metrics (calls, errors, rejects, denials, latency,
+  /// bulk bytes) merged across every service endpoint in the deployment.
+  /// Entries are keyed "<service>.<op>"; the fig9 bench records them next
+  /// to throughput.
+  [[nodiscard]] std::vector<rpc::OpStats> TotalOpStats() const;
   /// Zero every server's scheduler counters (queue_depth_hwm included) so
   /// benches can scope measurement to one phase.
   void ResetSchedStats();

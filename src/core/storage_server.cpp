@@ -5,6 +5,7 @@
 #include <deque>
 #include <thread>
 
+#include "core/wire.h"
 #include "util/logging.h"
 
 namespace lwfs::core {
@@ -64,16 +65,27 @@ StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
       data_server_(nic, DataOptions(options)),
       control_server_(nic, ControlOptions()),
       authz_client_(std::move(nic), options.client_options),
+      data_ops_(&data_server_, "storage"),
+      control_ops_(&control_server_, "storage_ctl"),
       staging_(std::max(options.staging_bytes,
                         kRequestPipelineDepth * options.bulk_chunk_bytes)) {
   if (options_.scheduler) {
     scheduler_ = std::make_unique<IoScheduler>(SchedulerOptions(options_));
   }
+  // Every capability-gated data op authorizes against the container the
+  // capability itself names; the middleware runs this before any handler.
+  data_ops_.SetAuthorizer([this](rpc::ServerContext&,
+                                 const security::Capability& cap,
+                                 std::uint32_t needed_ops) {
+    return Authorize(cap, needed_ops, cap.cid);
+  });
   RegisterDataHandlers();
   RegisterControlHandlers();
 }
 
 Status StorageServer::Start() {
+  LWFS_RETURN_IF_ERROR(data_ops_.init_status());
+  LWFS_RETURN_IF_ERROR(control_ops_.init_status());
   if (scheduler_) scheduler_->Start();
   LWFS_RETURN_IF_ERROR(data_server_.Start());
   return control_server_.Start();
@@ -133,11 +145,9 @@ Status StorageServer::Authorize(const security::Capability& cap,
   // Miss: one verify round trip to the authorization service, which also
   // records the back pointer for revocation.
   remote_verifies_.fetch_add(1, std::memory_order_relaxed);
-  Encoder req;
-  req.PutU32(server_id_);
-  cap.Encode(req);
-  auto reply = authz_client_.Call(authz_nid_, kOpVerifyCap,
-                                  ByteSpan(req.buffer()));
+  auto reply = rpc::CallTyped<rpc::Void>(authz_client_, authz_nid_,
+                                         kOpVerifyCap,
+                                         wire::VerifyCapReq{server_id_, cap});
   if (!reply.ok()) return reply.status();
   if (options_.verify_mode == VerifyMode::kAuthzWithCache) {
     cap_cache_.Insert(cap);
@@ -308,50 +318,39 @@ Result<std::uint64_t> StorageServer::ScheduledRead(rpc::ServerContext& ctx,
 }
 
 void StorageServer::RegisterDataHandlers() {
-  data_server_.RegisterHandler(
-      kOpObjCreate,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto txid = req.GetU64();
-        if (!cap.ok() || !txid.ok()) {
-          return InvalidArgument("malformed create request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpCreate, cap->cid));
-        auto oid = store_->Create(cap->cid);
+  // Authorization for every capability-gated op below runs in the service
+  // middleware (required_ops in each OpDef), before the handler body.
+  data_ops_.On<wire::ObjCreateReq, wire::ObjCreateRep>(
+      wire::kObjCreateOp,
+      [this](rpc::ServerContext&,
+             wire::ObjCreateReq& req) -> Result<wire::ObjCreateRep> {
+        auto oid = store_->Create(req.cap.cid);
         if (!oid.ok()) return oid.status();
-        if (*txid != 0) {
+        if (req.txid != 0) {
           // Eager create + compensating remove: the object is invisible
           // until a name commits, so eager application is safe.
-          participant_.Join(*txid);
+          participant_.Join(req.txid);
           storage::ObjectId created = *oid;
-          participant_.AddUndo(*txid, [this, created] {
+          participant_.AddUndo(req.txid, [this, created] {
             (void)store_->Remove(created);
           });
         }
-        Encoder reply;
-        reply.PutU64(oid->value);
-        return std::move(reply).Take();
+        return wire::ObjCreateRep{oid->value};
       });
 
-  data_server_.RegisterHandler(
-      kOpObjWrite,
-      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto oid = req.GetU64();
-        auto offset = req.GetU64();
-        if (!cap.ok() || !oid.ok() || !offset.ok()) {
-          return InvalidArgument("malformed write request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpWrite, cap->cid));
-        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+  data_ops_.On<wire::ObjWriteReq, wire::IoMovedRep>(
+      wire::kObjWriteOp,
+      [this](rpc::ServerContext& ctx,
+             wire::ObjWriteReq& req) -> Result<wire::IoMovedRep> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
 
         // Server-directed pull, one bounded chunk at a time (Figure 6).
         const std::uint64_t total = ctx.bulk_out_size();
         std::uint64_t moved = 0;
         if (scheduler_) {
-          auto scheduled =
-              ScheduledWrite(ctx, storage::ObjectId{*oid}, *offset, total);
+          auto scheduled = ScheduledWrite(ctx, storage::ObjectId{req.oid},
+                                          req.offset, total);
           if (!scheduled.ok()) return scheduled.status();
           moved = *scheduled;
         } else {
@@ -362,8 +361,8 @@ void StorageServer::RegisterDataHandlers() {
                     options_.bulk_chunk_bytes, total - moved));
             chunk.resize(n);
             LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
-            LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
-                                               *offset + moved,
+            LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{req.oid},
+                                               req.offset + moved,
                                                ByteSpan(chunk)));
             ChargeMediumTime(n, /*charge_op=*/moved == 0);
             moved += n;
@@ -374,31 +373,22 @@ void StorageServer::RegisterDataHandlers() {
         // sees kDataLoss and retries the whole write, overwriting whatever
         // corrupt bytes already landed.
         LWFS_RETURN_IF_ERROR(ctx.VerifyPulledPayload());
-        Encoder reply;
-        reply.PutU64(moved);
-        return std::move(reply).Take();
+        return wire::IoMovedRep{moved};
       });
 
-  data_server_.RegisterHandler(
-      kOpObjRead,
-      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto oid = req.GetU64();
-        auto offset = req.GetU64();
-        auto length = req.GetU64();
-        if (!cap.ok() || !oid.ok() || !offset.ok() || !length.ok()) {
-          return InvalidArgument("malformed read request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
-        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+  data_ops_.On<wire::ObjReadReq, wire::IoMovedRep>(
+      wire::kObjReadOp,
+      [this](rpc::ServerContext& ctx,
+             wire::ObjReadReq& req) -> Result<wire::IoMovedRep> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
 
         const std::uint64_t want =
-            std::min<std::uint64_t>(*length, ctx.bulk_in_size());
+            std::min<std::uint64_t>(req.length, ctx.bulk_in_size());
         std::uint64_t moved = 0;
         if (scheduler_) {
-          auto scheduled =
-              ScheduledRead(ctx, storage::ObjectId{*oid}, *offset, want);
+          auto scheduled = ScheduledRead(ctx, storage::ObjectId{req.oid},
+                                         req.offset, want);
           if (!scheduled.ok()) return scheduled.status();
           moved = *scheduled;
         } else {
@@ -406,7 +396,7 @@ void StorageServer::RegisterDataHandlers() {
             const std::uint64_t n = std::min<std::uint64_t>(
                 options_.bulk_chunk_bytes, want - moved);
             auto data =
-                store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
+                store_->Read(storage::ObjectId{req.oid}, req.offset + moved, n);
             if (!data.ok()) return data.status();
             if (data->empty()) break;  // EOF
             ChargeMediumTime(data->size(), /*charge_op=*/moved == 0);
@@ -416,86 +406,61 @@ void StorageServer::RegisterDataHandlers() {
             if (data->size() < n) break;  // short read: EOF
           }
         }
-        Encoder reply;
-        reply.PutU64(moved);
-        return std::move(reply).Take();
+        return wire::IoMovedRep{moved};
       });
 
-  data_server_.RegisterHandler(
-      kOpObjRemove,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto oid = req.GetU64();
-        auto txid = req.GetU64();
-        if (!cap.ok() || !oid.ok() || !txid.ok()) {
-          return InvalidArgument("malformed remove request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRemove, cap->cid));
-        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+  data_ops_.On<wire::ObjRemoveReq, rpc::Void>(
+      wire::kObjRemoveOp,
+      [this](rpc::ServerContext&,
+             wire::ObjRemoveReq& req) -> Result<rpc::Void> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
-        if (*txid != 0) {
+        if (req.txid != 0) {
           // Destructive op: defer to commit.
-          participant_.Join(*txid);
-          storage::ObjectId victim{*oid};
-          participant_.StageApply(*txid, [this, victim] {
+          participant_.Join(req.txid);
+          storage::ObjectId victim{req.oid};
+          participant_.StageApply(req.txid, [this, victim] {
             return store_->Remove(victim);
           });
         } else {
-          LWFS_RETURN_IF_ERROR(store_->Remove(storage::ObjectId{*oid}));
+          LWFS_RETURN_IF_ERROR(store_->Remove(storage::ObjectId{req.oid}));
         }
-        return Buffer{};
+        return rpc::Void{};
       });
 
-  data_server_.RegisterHandler(
-      kOpObjGetAttr,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto oid = req.GetU64();
-        if (!cap.ok() || !oid.ok()) {
-          return InvalidArgument("malformed getattr request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
-        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+  data_ops_.On<wire::ObjGetAttrReq, wire::ObjAttrRep>(
+      wire::kObjGetAttrOp,
+      [this](rpc::ServerContext&,
+             wire::ObjGetAttrReq& req) -> Result<wire::ObjAttrRep> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
-        Encoder reply;
-        EncodeObjAttr(reply, *attr);
-        return std::move(reply).Take();
+        return wire::ObjAttrRep{*attr};
       });
 
-  data_server_.RegisterHandler(
-      kOpObjList,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        if (!cap.ok()) return cap.status();
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
-        auto ids = store_->List(cap->cid);
+  data_ops_.On<wire::ObjListReq, wire::ObjListRep>(
+      wire::kObjListOp,
+      [this](rpc::ServerContext&,
+             wire::ObjListReq& req) -> Result<wire::ObjListRep> {
+        auto ids = store_->List(req.cap.cid);
         if (!ids.ok()) return ids.status();
-        Encoder reply;
-        reply.PutU32(static_cast<std::uint32_t>(ids->size()));
-        for (storage::ObjectId oid : *ids) reply.PutU64(oid.value);
-        return std::move(reply).Take();
+        wire::ObjListRep rep;
+        rep.oids.reserve(ids->size());
+        for (storage::ObjectId oid : *ids) rep.oids.push_back(oid.value);
+        return rep;
       });
 
-  data_server_.RegisterHandler(
-      kOpObjFilter,
-      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto oid = req.GetU64();
-        auto offset = req.GetU64();
-        auto length = req.GetU64();
-        auto spec = FilterSpec::Decode(req);
-        if (!cap.ok() || !oid.ok() || !offset.ok() || !length.ok() ||
-            !spec.ok()) {
-          return InvalidArgument("malformed filter request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpRead, cap->cid));
-        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+  data_ops_.On<wire::ObjFilterReq, wire::ObjFilterRep>(
+      wire::kObjFilterOp,
+      [this](rpc::ServerContext& ctx,
+             wire::ObjFilterReq& req) -> Result<wire::ObjFilterRep> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
         // The whole point: the data is read and reduced *here*; only the
         // result crosses the network.
-        auto data = store_->Read(storage::ObjectId{*oid}, *offset, *length);
+        auto data =
+            store_->Read(storage::ObjectId{req.oid}, req.offset, req.length);
         if (!data.ok()) return data.status();
-        auto result = ApplyFilter(*spec, ByteSpan(*data));
+        auto result = ApplyFilter(req.spec, ByteSpan(*data));
         if (!result.ok()) return result.status();
         if (result->size() > ctx.bulk_in_size()) {
           return ResourceExhausted("client result region too small");
@@ -503,73 +468,50 @@ void StorageServer::RegisterDataHandlers() {
         if (!result->empty()) {
           LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*result)));
         }
-        Encoder reply;
-        reply.PutU64(result->size());
-        reply.PutU64(data->size());
-        return std::move(reply).Take();
+        return wire::ObjFilterRep{result->size(), data->size()};
       });
 
-  data_server_.RegisterHandler(
-      kOpObjTruncate,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto cap = security::Capability::Decode(req);
-        auto oid = req.GetU64();
-        auto size = req.GetU64();
-        if (!cap.ok() || !oid.ok() || !size.ok()) {
-          return InvalidArgument("malformed truncate request");
-        }
-        LWFS_RETURN_IF_ERROR(Authorize(*cap, security::kOpWrite, cap->cid));
-        auto attr = CheckObject(*cap, storage::ObjectId{*oid});
+  data_ops_.On<wire::ObjTruncateReq, rpc::Void>(
+      wire::kObjTruncateOp,
+      [this](rpc::ServerContext&,
+             wire::ObjTruncateReq& req) -> Result<rpc::Void> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
-        LWFS_RETURN_IF_ERROR(store_->Truncate(storage::ObjectId{*oid}, *size));
-        return Buffer{};
+        LWFS_RETURN_IF_ERROR(
+            store_->Truncate(storage::ObjectId{req.oid}, req.size));
+        return rpc::Void{};
       });
 
   // Two-phase-commit participant endpoints.
-  data_server_.RegisterHandler(
-      kOpTxnPrepare,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        if (!txid.ok()) return txid.status();
-        auto vote = participant_.Prepare(*txid);
+  data_ops_.On<wire::TxnReq, wire::TxnVoteRep>(
+      wire::kTxnPrepareOp,
+      [this](rpc::ServerContext&,
+             wire::TxnReq& req) -> Result<wire::TxnVoteRep> {
+        auto vote = participant_.Prepare(req.txid);
         if (!vote.ok()) return vote.status();
-        Encoder reply;
-        reply.PutBool(*vote);
-        return std::move(reply).Take();
+        return wire::TxnVoteRep{*vote};
       });
-  data_server_.RegisterHandler(
-      kOpTxnCommit,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        if (!txid.ok()) return txid.status();
-        LWFS_RETURN_IF_ERROR(participant_.Commit(*txid));
-        return Buffer{};
+  data_ops_.On<wire::TxnReq, rpc::Void>(
+      wire::kTxnCommitOp,
+      [this](rpc::ServerContext&, wire::TxnReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(participant_.Commit(req.txid));
+        return rpc::Void{};
       });
-  data_server_.RegisterHandler(
-      kOpTxnAbort,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto txid = req.GetU64();
-        if (!txid.ok()) return txid.status();
-        LWFS_RETURN_IF_ERROR(participant_.Abort(*txid));
-        return Buffer{};
+  data_ops_.On<wire::TxnReq, rpc::Void>(
+      wire::kTxnAbortOp,
+      [this](rpc::ServerContext&, wire::TxnReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(participant_.Abort(req.txid));
+        return rpc::Void{};
       });
 }
 
 void StorageServer::RegisterControlHandlers() {
-  control_server_.RegisterHandler(
-      kOpInvalidateCaps,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto count = req.GetU32();
-        if (!count.ok()) return count.status();
-        std::vector<std::uint64_t> ids;
-        ids.reserve(*count);
-        for (std::uint32_t i = 0; i < *count; ++i) {
-          auto id = req.GetU64();
-          if (!id.ok()) return id.status();
-          ids.push_back(*id);
-        }
-        cap_cache_.Invalidate(ids);
-        return Buffer{};
+  control_ops_.On<wire::InvalidateCapsReq, rpc::Void>(
+      wire::kInvalidateCapsOp,
+      [this](rpc::ServerContext&,
+             wire::InvalidateCapsReq& req) -> Result<rpc::Void> {
+        cap_cache_.Invalidate(req.cap_ids);
+        return rpc::Void{};
       });
 }
 

@@ -15,11 +15,13 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/filters.h"
 #include "core/io_scheduler.h"
 #include "core/protocol.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "security/authn.h"
 #include "security/cap_cache.h"
 #include "security/types.h"
@@ -152,6 +154,19 @@ class StorageServer {
     return authz_client_.stats();
   }
 
+  /// Per-op middleware metrics for both planes (data first, then control).
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    std::vector<rpc::OpStats> out = data_ops_.Stats();
+    rpc::MergeOpStats(out, control_ops_.Stats());
+    return out;
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_data_opcodes() const {
+    return data_server_.RegisteredOpcodes();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_control_opcodes() const {
+    return control_server_.RegisteredOpcodes();
+  }
+
   /// Participant name as used in transaction BEGIN records.
   [[nodiscard]] std::string participant_name() const {
     return "storage:" + std::to_string(server_id_);
@@ -199,6 +214,8 @@ class StorageServer {
   rpc::RpcServer data_server_;
   rpc::RpcServer control_server_;
   rpc::RpcClient authz_client_;
+  rpc::Service data_ops_;
+  rpc::Service control_ops_;
   std::atomic<std::uint64_t> remote_verifies_{0};
   std::mutex medium_mu_;
   StagingPool staging_;

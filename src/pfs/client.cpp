@@ -5,6 +5,9 @@
 #include <optional>
 #include <thread>
 
+#include "pfs/wire.h"
+#include "rpc/service.h"
+
 namespace lwfs::pfs {
 
 // ---------------------------------------------------------------------------
@@ -93,14 +96,13 @@ Result<std::uint64_t> PfsIo::Await() {
       continue;
     }
     if (!s.is_read || eof || !error.ok()) continue;
-    Decoder dec(*reply);
-    auto moved = dec.GetU64();
+    auto moved = rpc::ResolveTyped<wire::OstMovedRep>(std::move(reply));
     if (!moved.ok()) {
       error = moved.status();
       continue;
     }
-    total += *moved;
-    if (*moved < op.length) eof = true;  // EOF within this stripe object
+    total += moved->moved;
+    if (moved->moved < op.length) eof = true;  // EOF within this stripe object
   }
 
   if (s.lock) {
@@ -125,56 +127,32 @@ PfsClient::PfsClient(std::shared_ptr<portals::Nic> nic,
                      PfsDeployment deployment, ConsistencyMode mode)
     : deployment_(std::move(deployment)), mode_(mode), rpc_(std::move(nic)) {}
 
-Result<FileAttr> PfsClient::DecodeAttrReply(const Buffer& reply) const {
-  Decoder dec(reply);
-  auto ino = dec.GetU64();
-  auto size = dec.GetU64();
-  auto layout = DecodeLayout(dec);
-  if (!ino.ok() || !size.ok() || !layout.ok()) {
-    return InvalidArgument("malformed attr reply");
-  }
-  FileAttr attr;
-  attr.ino = *ino;
-  attr.size = *size;
-  attr.layout = std::move(*layout);
-  return attr;
-}
-
 Result<OpenFile> PfsClient::Create(const std::string& path,
                                    std::uint32_t stripe_count) {
-  Encoder req;
-  req.PutString(path);
-  req.PutU32(stripe_count);
-  auto reply = rpc_.Call(deployment_.mds, kPfsCreate, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  auto attr = DecodeAttrReply(*reply);
+  auto attr = rpc::CallTyped<wire::FileAttrRep>(
+      rpc_, deployment_.mds, kPfsCreate, wire::PfsCreateReq{path, stripe_count});
   if (!attr.ok()) return attr.status();
-  return OpenFile{path, std::move(*attr)};
+  return OpenFile{path, std::move(attr->attr)};
 }
 
 Result<OpenFile> PfsClient::Open(const std::string& path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply = rpc_.Call(deployment_.mds, kPfsOpen, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  auto attr = DecodeAttrReply(*reply);
+  auto attr = rpc::CallTyped<wire::FileAttrRep>(rpc_, deployment_.mds, kPfsOpen,
+                                                wire::PfsPathReq{path});
   if (!attr.ok()) return attr.status();
-  return OpenFile{path, std::move(*attr)};
+  return OpenFile{path, std::move(attr->attr)};
 }
 
 Status PfsClient::Unlink(const std::string& path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply = rpc_.Call(deployment_.mds, kPfsUnlink, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.mds, kPfsUnlink,
+                                   wire::PfsPathReq{path})
+      .status();
 }
 
 Result<FileAttr> PfsClient::GetAttr(const std::string& path) {
-  Encoder req;
-  req.PutString(path);
-  auto reply = rpc_.Call(deployment_.mds, kPfsGetAttr, ByteSpan(req.buffer()));
-  if (!reply.ok()) return reply.status();
-  return DecodeAttrReply(*reply);
+  auto attr = rpc::CallTyped<wire::FileAttrRep>(
+      rpc_, deployment_.mds, kPfsGetAttr, wire::PfsPathReq{path});
+  if (!attr.ok()) return attr.status();
+  return std::move(attr->attr);
 }
 
 Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
@@ -187,19 +165,12 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
       std::chrono::steady_clock::now() + rpc_.options().default_timeout;
   int backoff_us = 50;
   for (;;) {
-    Encoder req;
-    req.PutU64(ino);
-    req.PutU64(start);
-    req.PutU64(end);
-    req.PutBool(true);  // exclusive
-    auto reply =
-        rpc_.Call(deployment_.mds, kPfsLockTry, ByteSpan(req.buffer()));
-    if (reply.ok()) {
-      Decoder dec(*reply);
-      return dec.GetU64();
-    }
-    if (reply.status().code() != ErrorCode::kResourceExhausted) {
-      return reply.status();
+    auto rep = rpc::CallTyped<wire::PfsLockIdRep>(
+        rpc_, deployment_.mds, kPfsLockTry,
+        wire::PfsLockTryReq{ino, start, end, /*exclusive=*/true});
+    if (rep.ok()) return rep->id;
+    if (rep.status().code() != ErrorCode::kResourceExhausted) {
+      return rep.status();
     }
     if (std::chrono::steady_clock::now() >= deadline) {
       return Timeout("extent lock acquisition deadline exceeded");
@@ -210,11 +181,9 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
 }
 
 Status PfsClient::UnlockExtent(txn::LockId id) {
-  Encoder req;
-  req.PutU64(id);
-  auto reply =
-      rpc_.Call(deployment_.mds, kPfsLockRelease, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.mds, kPfsLockRelease,
+                                   wire::PfsLockReleaseReq{id})
+      .status();
 }
 
 Status PfsClient::Write(const OpenFile& file, std::uint64_t offset,
@@ -273,20 +242,23 @@ Result<PfsIo> PfsClient::PlanIo(const OpenFile& file, std::uint64_t offset,
 
 Status PfsClient::IssueChunk(PfsIo::State& s) {
   const PfsIo::State::Chunk& chunk = s.chunks[s.next_chunk++];
-  Encoder req;
-  req.PutU64(chunk.oid);
-  req.PutU64(chunk.object_offset);
   rpc::CallOptions options;
+  Result<rpc::CallHandle> handle = InvalidArgument("unplanned chunk");
   if (s.is_read) {
-    req.PutU64(chunk.length);
     options.bulk_in = s.out.subspan(chunk.span_offset,
                                     static_cast<std::size_t>(chunk.length));
+    handle = rpc::CallTypedAsync(
+        rpc_, chunk.ost, kOstRead,
+        wire::OstReadReq{chunk.oid, chunk.object_offset, chunk.length},
+        options);
   } else {
     options.bulk_out = s.data.subspan(chunk.span_offset,
                                       static_cast<std::size_t>(chunk.length));
+    handle = rpc::CallTypedAsync(rpc_, chunk.ost, kOstWrite,
+                                 wire::OstWriteReq{chunk.oid,
+                                                   chunk.object_offset},
+                                 options);
   }
-  auto handle = rpc_.CallAsync(chunk.ost, s.is_read ? kOstRead : kOstWrite,
-                               ByteSpan(req.buffer()), options);
   if (!handle.ok()) return handle.status();
   s.inflight.push_back(
       PfsIo::State::Issued{std::move(*handle), chunk.length});
@@ -331,11 +303,9 @@ Result<PfsIo> PfsClient::ReadAsync(const OpenFile& file, std::uint64_t offset,
 }
 
 Status PfsClient::Sync(const OpenFile& file, std::uint64_t size_hint) {
-  Encoder req;
-  req.PutString(file.path);
-  req.PutU64(size_hint);
-  auto reply = rpc_.Call(deployment_.mds, kPfsSetSize, ByteSpan(req.buffer()));
-  return reply.ok() ? OkStatus() : reply.status();
+  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.mds, kPfsSetSize,
+                                   wire::PfsSetSizeReq{file.path, size_hint})
+      .status();
 }
 
 }  // namespace lwfs::pfs

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,13 +107,18 @@ class PfsClient {
   [[nodiscard]] ConsistencyMode mode() const { return mode_; }
   [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
 
+  /// Per-opcode call/error tallies of the underlying RPC client.
+  [[nodiscard]] std::map<rpc::Opcode, rpc::ClientOpTally> rpc_op_tallies()
+      const {
+    return rpc_.OpTallies();
+  }
+
  private:
   friend class PfsIo;
 
   Result<txn::LockId> LockExtent(Ino ino, std::uint64_t start,
                                  std::uint64_t end);
   Status UnlockExtent(txn::LockId id);
-  Result<FileAttr> DecodeAttrReply(const Buffer& reply) const;
   /// Plan the per-stripe chunks shared by WriteAsync/ReadAsync.
   Result<PfsIo> PlanIo(const OpenFile& file, std::uint64_t offset,
                        std::uint64_t length, bool is_read, std::size_t window);

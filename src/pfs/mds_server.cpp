@@ -1,5 +1,8 @@
 #include "pfs/mds_server.h"
 
+#include "pfs/wire.h"
+#include "rpc/service.h"
+
 namespace lwfs::pfs {
 
 MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
@@ -7,128 +10,101 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
                      MdsOptions mds_options, rpc::ServerOptions rpc_options)
     : ost_nids_(std::move(ost_nids)),
       ost_client_(nic),
-      server_(std::move(nic), rpc_options) {
+      server_(std::move(nic), rpc_options),
+      ops_(&server_, "mds") {
   auto create_on_ost =
       [this](std::uint32_t ost) -> Result<storage::ObjectId> {
     if (ost >= ost_nids_.size()) return InvalidArgument("bad ost index");
-    auto reply = ost_client_.Call(ost_nids_[ost], kOstCreate, {});
-    if (!reply.ok()) return reply.status();
-    Decoder dec(*reply);
-    auto oid = dec.GetU64();
-    if (!oid.ok()) return oid.status();
-    return storage::ObjectId{*oid};
+    auto rep = rpc::CallTyped<wire::OstCreateRep>(ost_client_, ost_nids_[ost],
+                                                  kOstCreate, rpc::Void{});
+    if (!rep.ok()) return rep.status();
+    return storage::ObjectId{rep->oid};
   };
   auto remove_on_ost = [this](std::uint32_t ost,
                               storage::ObjectId oid) -> Status {
     if (ost >= ost_nids_.size()) return InvalidArgument("bad ost index");
-    Encoder req;
-    req.PutU64(oid.value);
-    auto reply = ost_client_.Call(ost_nids_[ost], kOstRemove,
-                                  ByteSpan(req.buffer()));
-    return reply.ok() ? OkStatus() : reply.status();
+    return rpc::CallTyped<rpc::Void>(ost_client_, ost_nids_[ost], kOstRemove,
+                                     wire::OstOidReq{oid.value})
+        .status();
   };
   service_ = std::make_unique<MdsService>(
       static_cast<std::uint32_t>(ost_nids_.size()), create_on_ost,
       remove_on_ost, mds_options);
 
-  auto encode_attr = [](const FileAttr& attr) {
-    Encoder reply;
-    reply.PutU64(attr.ino);
-    reply.PutU64(attr.size);
-    EncodeLayout(reply, attr.layout);
-    return std::move(reply).Take();
-  };
-
-  server_.RegisterHandler(
-      kPfsCreate, [this, encode_attr](rpc::ServerContext&,
-                                      Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        auto stripes = req.GetU32();
-        if (!path.ok() || !stripes.ok()) {
-          return InvalidArgument("malformed create");
-        }
-        auto attr = service_->Create(*path, *stripes);
+  ops_.On<wire::PfsCreateReq, wire::FileAttrRep>(
+      wire::kPfsCreateOp,
+      [this](rpc::ServerContext&,
+             wire::PfsCreateReq& req) -> Result<wire::FileAttrRep> {
+        auto attr = service_->Create(req.path, req.stripes);
         if (!attr.ok()) return attr.status();
-        return encode_attr(*attr);
+        return wire::FileAttrRep{std::move(*attr)};
       });
 
-  server_.RegisterHandler(
-      kPfsOpen, [this, encode_attr](rpc::ServerContext&,
-                                    Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        auto attr = service_->Open(*path);
+  ops_.On<wire::PfsPathReq, wire::FileAttrRep>(
+      wire::kPfsOpenOp,
+      [this](rpc::ServerContext&,
+             wire::PfsPathReq& req) -> Result<wire::FileAttrRep> {
+        auto attr = service_->Open(req.path);
         if (!attr.ok()) return attr.status();
-        return encode_attr(*attr);
+        return wire::FileAttrRep{std::move(*attr)};
       });
 
-  server_.RegisterHandler(
-      kPfsGetAttr, [this, encode_attr](rpc::ServerContext&,
-                                       Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        auto attr = service_->GetAttr(*path);
+  ops_.On<wire::PfsPathReq, wire::FileAttrRep>(
+      wire::kPfsGetAttrOp,
+      [this](rpc::ServerContext&,
+             wire::PfsPathReq& req) -> Result<wire::FileAttrRep> {
+        auto attr = service_->GetAttr(req.path);
         if (!attr.ok()) return attr.status();
-        return encode_attr(*attr);
+        return wire::FileAttrRep{std::move(*attr)};
       });
 
-  server_.RegisterHandler(
-      kPfsUnlink, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        if (!path.ok()) return path.status();
-        LWFS_RETURN_IF_ERROR(service_->Unlink(*path));
-        return Buffer{};
+  ops_.On<wire::PfsPathReq, rpc::Void>(
+      wire::kPfsUnlinkOp,
+      [this](rpc::ServerContext&, wire::PfsPathReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->Unlink(req.path));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kPfsSetSize, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto path = req.GetString();
-        auto size = req.GetU64();
-        if (!path.ok() || !size.ok()) {
-          return InvalidArgument("malformed setsize");
-        }
-        LWFS_RETURN_IF_ERROR(service_->SetSize(*path, *size));
-        return Buffer{};
+  ops_.On<wire::PfsSetSizeReq, rpc::Void>(
+      wire::kPfsSetSizeOp,
+      [this](rpc::ServerContext&,
+             wire::PfsSetSizeReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->SetSize(req.path, req.size));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kPfsList, [this](rpc::ServerContext&, Decoder&) -> Result<Buffer> {
+  ops_.On<rpc::Void, wire::PfsListRep>(
+      wire::kPfsListOp,
+      [this](rpc::ServerContext&, rpc::Void&) -> Result<wire::PfsListRep> {
         auto names = service_->List();
         if (!names.ok()) return names.status();
-        Encoder reply;
-        reply.PutU32(static_cast<std::uint32_t>(names->size()));
-        for (const std::string& n : *names) reply.PutString(n);
-        return std::move(reply).Take();
+        return wire::PfsListRep{std::move(*names)};
       });
 
-  server_.RegisterHandler(
-      kPfsLockTry, [this](rpc::ServerContext& ctx,
-                          Decoder& req) -> Result<Buffer> {
-        auto ino = req.GetU64();
-        auto start = req.GetU64();
-        auto end = req.GetU64();
-        auto exclusive = req.GetBool();
-        if (!ino.ok() || !start.ok() || !end.ok() || !exclusive.ok()) {
-          return InvalidArgument("malformed lock request");
-        }
+  ops_.On<wire::PfsLockTryReq, wire::PfsLockIdRep>(
+      wire::kPfsLockTryOp,
+      [this](rpc::ServerContext& ctx,
+             wire::PfsLockTryReq& req) -> Result<wire::PfsLockIdRep> {
         auto id = service_->TryLock(
-            *ino, *start, *end,
-            *exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
+            req.ino, req.start, req.end,
+            req.exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
             ctx.client());
         if (!id.ok()) return id.status();
-        Encoder reply;
-        reply.PutU64(*id);
-        return std::move(reply).Take();
+        return wire::PfsLockIdRep{*id};
       });
 
-  server_.RegisterHandler(
-      kPfsLockRelease,
-      [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto id = req.GetU64();
-        if (!id.ok()) return id.status();
-        LWFS_RETURN_IF_ERROR(service_->ReleaseLock(*id));
-        return Buffer{};
+  ops_.On<wire::PfsLockReleaseReq, rpc::Void>(
+      wire::kPfsLockReleaseOp,
+      [this](rpc::ServerContext&,
+             wire::PfsLockReleaseReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(service_->ReleaseLock(req.id));
+        return rpc::Void{};
       });
+}
+
+Status MdsServer::Start() {
+  LWFS_RETURN_IF_ERROR(ops_.init_status());
+  return server_.Start();
 }
 
 }  // namespace lwfs::pfs

@@ -12,6 +12,7 @@
 #include "pfs/mds.h"
 #include "pfs/protocol.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 
 namespace lwfs::pfs {
 
@@ -22,17 +23,26 @@ class MdsServer {
             std::vector<portals::Nid> ost_nids, MdsOptions mds_options = {},
             rpc::ServerOptions rpc_options = {});
 
-  Status Start() { return server_.Start(); }
+  Status Start();
   void Stop() { server_.Stop(); }
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] MdsService& service() { return *service_; }
+
+  /// Per-op middleware metrics.
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    return ops_.Stats();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_opcodes() const {
+    return server_.RegisteredOpcodes();
+  }
 
  private:
   std::vector<portals::Nid> ost_nids_;
   rpc::RpcClient ost_client_;
   std::unique_ptr<MdsService> service_;
   rpc::RpcServer server_;
+  rpc::Service ops_;
 };
 
 }  // namespace lwfs::pfs

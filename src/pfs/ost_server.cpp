@@ -2,28 +2,28 @@
 
 #include <algorithm>
 
+#include "pfs/wire.h"
+
 namespace lwfs::pfs {
 
 OstServer::OstServer(std::shared_ptr<portals::Nic> nic,
                      storage::ObjectStore* store, OstOptions options)
-    : store_(store), options_(options), server_(std::move(nic), options.rpc) {
-  server_.RegisterHandler(
-      kOstCreate, [this](rpc::ServerContext&, Decoder&) -> Result<Buffer> {
+    : store_(store),
+      options_(options),
+      server_(std::move(nic), options.rpc),
+      ops_(&server_, "ost") {
+  ops_.On<rpc::Void, wire::OstCreateRep>(
+      wire::kOstCreateOp,
+      [this](rpc::ServerContext&, rpc::Void&) -> Result<wire::OstCreateRep> {
         auto oid = store_->Create(kOstContainer);
         if (!oid.ok()) return oid.status();
-        Encoder reply;
-        reply.PutU64(oid->value);
-        return std::move(reply).Take();
+        return wire::OstCreateRep{oid->value};
       });
 
-  server_.RegisterHandler(
-      kOstWrite,
-      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
-        auto oid = req.GetU64();
-        auto offset = req.GetU64();
-        if (!oid.ok() || !offset.ok()) {
-          return InvalidArgument("malformed ost write");
-        }
+  ops_.On<wire::OstWriteReq, wire::OstMovedRep>(
+      wire::kOstWriteOp,
+      [this](rpc::ServerContext& ctx,
+             wire::OstWriteReq& req) -> Result<wire::OstMovedRep> {
         const std::uint64_t total = ctx.bulk_out_size();
         Buffer chunk;
         std::uint64_t moved = 0;
@@ -32,64 +32,58 @@ OstServer::OstServer(std::shared_ptr<portals::Nic> nic,
               options_.bulk_chunk_bytes, total - moved));
           chunk.resize(n);
           LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
-          LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{*oid},
-                                             *offset + moved, ByteSpan(chunk)));
+          LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{req.oid},
+                                             req.offset + moved,
+                                             ByteSpan(chunk)));
           moved += n;
         }
         // Pulled payload must match the client's request-header checksum;
         // a mismatch surfaces as kDataLoss and the PFS client retries.
         LWFS_RETURN_IF_ERROR(ctx.VerifyPulledPayload());
-        Encoder reply;
-        reply.PutU64(moved);
-        return std::move(reply).Take();
+        return wire::OstMovedRep{moved};
       });
 
-  server_.RegisterHandler(
-      kOstRead,
-      [this](rpc::ServerContext& ctx, Decoder& req) -> Result<Buffer> {
-        auto oid = req.GetU64();
-        auto offset = req.GetU64();
-        auto length = req.GetU64();
-        if (!oid.ok() || !offset.ok() || !length.ok()) {
-          return InvalidArgument("malformed ost read");
-        }
+  ops_.On<wire::OstReadReq, wire::OstMovedRep>(
+      wire::kOstReadOp,
+      [this](rpc::ServerContext& ctx,
+             wire::OstReadReq& req) -> Result<wire::OstMovedRep> {
         const std::uint64_t want =
-            std::min<std::uint64_t>(*length, ctx.bulk_in_size());
+            std::min<std::uint64_t>(req.length, ctx.bulk_in_size());
         std::uint64_t moved = 0;
         while (moved < want) {
           const std::uint64_t n =
               std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - moved);
-          auto data = store_->Read(storage::ObjectId{*oid}, *offset + moved, n);
+          auto data =
+              store_->Read(storage::ObjectId{req.oid}, req.offset + moved, n);
           if (!data.ok()) return data.status();
           if (data->empty()) break;
           LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), moved));
           moved += data->size();
           if (data->size() < n) break;
         }
-        Encoder reply;
-        reply.PutU64(moved);
-        return std::move(reply).Take();
+        return wire::OstMovedRep{moved};
       });
 
-  server_.RegisterHandler(
-      kOstRemove, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto oid = req.GetU64();
-        if (!oid.ok()) return oid.status();
-        LWFS_RETURN_IF_ERROR(store_->Remove(storage::ObjectId{*oid}));
-        return Buffer{};
+  ops_.On<wire::OstOidReq, rpc::Void>(
+      wire::kOstRemoveOp,
+      [this](rpc::ServerContext&, wire::OstOidReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(store_->Remove(storage::ObjectId{req.oid}));
+        return rpc::Void{};
       });
 
-  server_.RegisterHandler(
-      kOstGetAttr, [this](rpc::ServerContext&, Decoder& req) -> Result<Buffer> {
-        auto oid = req.GetU64();
-        if (!oid.ok()) return oid.status();
-        auto attr = store_->GetAttr(storage::ObjectId{*oid});
+  ops_.On<wire::OstOidReq, wire::OstAttrRep>(
+      wire::kOstGetAttrOp,
+      [this](rpc::ServerContext&,
+             wire::OstOidReq& req) -> Result<wire::OstAttrRep> {
+        auto attr = store_->GetAttr(storage::ObjectId{req.oid});
         if (!attr.ok()) return attr.status();
-        Encoder reply;
-        reply.PutU64(attr->size);
-        reply.PutU64(attr->version);
-        return std::move(reply).Take();
+        return wire::OstAttrRep{attr->size, attr->version};
       });
+}
+
+Status OstServer::Start() {
+  LWFS_RETURN_IF_ERROR(ops_.init_status());
+  return server_.Start();
 }
 
 }  // namespace lwfs::pfs

@@ -11,6 +11,7 @@
 
 #include "pfs/protocol.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "storage/object_store.h"
 
 namespace lwfs::pfs {
@@ -29,16 +30,25 @@ class OstServer {
   OstServer(std::shared_ptr<portals::Nic> nic, storage::ObjectStore* store,
             OstOptions options = {});
 
-  Status Start() { return server_.Start(); }
+  Status Start();
   void Stop() { server_.Stop(); }
 
   [[nodiscard]] portals::Nid nid() const { return server_.nid(); }
   [[nodiscard]] storage::ObjectStore* store() { return store_; }
 
+  /// Per-op middleware metrics.
+  [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
+    return ops_.Stats();
+  }
+  [[nodiscard]] std::vector<rpc::Opcode> registered_opcodes() const {
+    return server_.RegisteredOpcodes();
+  }
+
  private:
   storage::ObjectStore* store_;
   OstOptions options_;
   rpc::RpcServer server_;
+  rpc::Service ops_;
 };
 
 }  // namespace lwfs::pfs

@@ -35,6 +35,10 @@ class PfsRuntime {
 
   [[nodiscard]] const PfsDeployment& deployment() const { return deployment_; }
   [[nodiscard]] MdsService& mds() { return mds_server_->service(); }
+  [[nodiscard]] MdsServer& mds_server() { return *mds_server_; }
+  [[nodiscard]] OstServer& ost_server(int i) {
+    return *ost_servers_[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] int ost_count() const {
     return static_cast<int>(ost_servers_.size());
   }

@@ -8,6 +8,7 @@
 
 #include "pfs/layout.h"
 #include "rpc/rpc.h"
+#include "rpc/service.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -32,6 +33,24 @@ enum PfsOp : rpc::Opcode {
   kOstRemove = 123,
   kOstGetAttr = 124,
 };
+
+// Every pfs opcode must live inside the pfs protocol family's range so the
+// two stacks can never collide on a shared NIC (the core side asserts the
+// mirror-image property in core/protocol.h).
+static_assert(rpc::kPfsOpcodeRange.Contains(kPfsCreate) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsOpen) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsUnlink) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsGetAttr) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsSetSize) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsLockTry) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsLockRelease) &&
+                  rpc::kPfsOpcodeRange.Contains(kPfsList) &&
+                  rpc::kPfsOpcodeRange.Contains(kOstCreate) &&
+                  rpc::kPfsOpcodeRange.Contains(kOstWrite) &&
+                  rpc::kPfsOpcodeRange.Contains(kOstRead) &&
+                  rpc::kPfsOpcodeRange.Contains(kOstRemove) &&
+                  rpc::kPfsOpcodeRange.Contains(kOstGetAttr),
+              "pfs opcode outside the pfs protocol family's range");
 
 inline void EncodeLayout(Encoder& enc, const Layout& layout) {
   enc.PutU32(layout.stripe_size);

@@ -1,0 +1,42 @@
+#include "pfs/wire.h"
+
+namespace lwfs::pfs::wire {
+
+std::vector<rpc::CodecCase> PfsWireCases() {
+  Layout layout;
+  layout.stripe_size = 1 << 16;
+  layout.stripes.push_back(StripeTarget{0, storage::ObjectId{11}});
+  layout.stripes.push_back(StripeTarget{1, storage::ObjectId{12}});
+
+  FileAttrRep attr;
+  attr.attr.ino = 9001;
+  attr.attr.size = 1 << 20;
+  attr.attr.layout = layout;
+
+  std::vector<rpc::CodecCase> cases;
+  // Metadata server.
+  cases.push_back(
+      rpc::MakeCodecCase("pfs_create_req", PfsCreateReq{"/data/run1", 2}));
+  cases.push_back(rpc::MakeCodecCase("pfs_path_req", PfsPathReq{"/data/run1"}));
+  cases.push_back(rpc::MakeCodecCase("file_attr_rep", attr));
+  cases.push_back(rpc::MakeCodecCase("pfs_set_size_req",
+                                     PfsSetSizeReq{"/data/run1", 1 << 20}));
+  cases.push_back(rpc::MakeCodecCase("pfs_list_rep",
+                                     PfsListRep{{"run1", "run2", "ckpt"}}));
+  cases.push_back(rpc::MakeCodecCase(
+      "pfs_lock_try_req", PfsLockTryReq{9001, 0, 65536, true}));
+  cases.push_back(rpc::MakeCodecCase("pfs_lock_id_rep", PfsLockIdRep{41}));
+  cases.push_back(
+      rpc::MakeCodecCase("pfs_lock_release_req", PfsLockReleaseReq{41}));
+  // OSTs.
+  cases.push_back(rpc::MakeCodecCase("ost_create_rep", OstCreateRep{11}));
+  cases.push_back(rpc::MakeCodecCase("ost_write_req", OstWriteReq{11, 4096}));
+  cases.push_back(
+      rpc::MakeCodecCase("ost_read_req", OstReadReq{11, 0, 65536}));
+  cases.push_back(rpc::MakeCodecCase("ost_moved_rep", OstMovedRep{65536}));
+  cases.push_back(rpc::MakeCodecCase("ost_oid_req", OstOidReq{11}));
+  cases.push_back(rpc::MakeCodecCase("ost_attr_rep", OstAttrRep{65536, 3}));
+  return cases;
+}
+
+}  // namespace lwfs::pfs::wire

@@ -1,0 +1,290 @@
+// Typed wire messages for the traditional-PFS baseline ops.
+//
+// Same shape as core/wire.h: each request/reply carries its own codec and an
+// OpDef names the opcode, metric name, and bulk direction.  No op requires
+// capability bits — the baseline trusts any client on the network, which is
+// exactly the trust model §5 criticizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pfs/mds.h"
+#include "pfs/protocol.h"
+#include "rpc/service.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lwfs::pfs::wire {
+
+using rpc::Void;
+
+// ---------------------------------------------------------------------------
+// Metadata server
+// ---------------------------------------------------------------------------
+
+struct PfsCreateReq {
+  std::string path;
+  std::uint32_t stripes = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutString(path);
+    enc.PutU32(stripes);
+  }
+  static Result<PfsCreateReq> Decode(Decoder& dec) {
+    auto path = dec.GetString();
+    auto stripes = dec.GetU32();
+    if (!path.ok() || !stripes.ok()) {
+      return InvalidArgument("malformed create fields");
+    }
+    return PfsCreateReq{std::move(*path), *stripes};
+  }
+};
+
+/// Open, getattr, and unlink requests are all just a path.
+struct PfsPathReq {
+  std::string path;
+
+  void Encode(Encoder& enc) const { enc.PutString(path); }
+  static Result<PfsPathReq> Decode(Decoder& dec) {
+    auto path = dec.GetString();
+    if (!path.ok()) return path.status();
+    return PfsPathReq{std::move(*path)};
+  }
+};
+
+struct FileAttrRep {
+  FileAttr attr;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(attr.ino);
+    enc.PutU64(attr.size);
+    EncodeLayout(enc, attr.layout);
+  }
+  static Result<FileAttrRep> Decode(Decoder& dec) {
+    auto ino = dec.GetU64();
+    auto size = dec.GetU64();
+    auto layout = DecodeLayout(dec);
+    if (!ino.ok() || !size.ok() || !layout.ok()) {
+      return InvalidArgument("malformed attr fields");
+    }
+    FileAttrRep rep;
+    rep.attr.ino = *ino;
+    rep.attr.size = *size;
+    rep.attr.layout = std::move(*layout);
+    return rep;
+  }
+};
+
+struct PfsSetSizeReq {
+  std::string path;
+  std::uint64_t size = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutString(path);
+    enc.PutU64(size);
+  }
+  static Result<PfsSetSizeReq> Decode(Decoder& dec) {
+    auto path = dec.GetString();
+    auto size = dec.GetU64();
+    if (!path.ok() || !size.ok()) {
+      return InvalidArgument("malformed setsize fields");
+    }
+    return PfsSetSizeReq{std::move(*path), *size};
+  }
+};
+
+struct PfsListRep {
+  std::vector<std::string> names;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU32(static_cast<std::uint32_t>(names.size()));
+    for (const std::string& n : names) enc.PutString(n);
+  }
+  static Result<PfsListRep> Decode(Decoder& dec) {
+    auto count = dec.GetU32();
+    if (!count.ok()) return count.status();
+    if (*count > dec.remaining()) {
+      return InvalidArgument("name count exceeds payload");
+    }
+    PfsListRep rep;
+    rep.names.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto name = dec.GetString();
+      if (!name.ok()) return name.status();
+      rep.names.push_back(std::move(*name));
+    }
+    return rep;
+  }
+};
+
+struct PfsLockTryReq {
+  std::uint64_t ino = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool exclusive = false;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(ino);
+    enc.PutU64(start);
+    enc.PutU64(end);
+    enc.PutBool(exclusive);
+  }
+  static Result<PfsLockTryReq> Decode(Decoder& dec) {
+    auto ino = dec.GetU64();
+    auto start = dec.GetU64();
+    auto end = dec.GetU64();
+    auto exclusive = dec.GetBool();
+    if (!ino.ok() || !start.ok() || !end.ok() || !exclusive.ok()) {
+      return InvalidArgument("malformed lock fields");
+    }
+    return PfsLockTryReq{*ino, *start, *end, *exclusive};
+  }
+};
+
+struct PfsLockIdRep {
+  std::uint64_t id = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(id); }
+  static Result<PfsLockIdRep> Decode(Decoder& dec) {
+    auto id = dec.GetU64();
+    if (!id.ok()) return id.status();
+    return PfsLockIdRep{*id};
+  }
+};
+
+struct PfsLockReleaseReq {
+  std::uint64_t id = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(id); }
+  static Result<PfsLockReleaseReq> Decode(Decoder& dec) {
+    auto id = dec.GetU64();
+    if (!id.ok()) return id.status();
+    return PfsLockReleaseReq{*id};
+  }
+};
+
+inline constexpr rpc::OpDef kPfsCreateOp{kPfsCreate, "pfs_create"};
+inline constexpr rpc::OpDef kPfsOpenOp{kPfsOpen, "pfs_open"};
+inline constexpr rpc::OpDef kPfsUnlinkOp{kPfsUnlink, "pfs_unlink"};
+inline constexpr rpc::OpDef kPfsGetAttrOp{kPfsGetAttr, "pfs_getattr"};
+inline constexpr rpc::OpDef kPfsSetSizeOp{kPfsSetSize, "pfs_setsize"};
+inline constexpr rpc::OpDef kPfsLockTryOp{kPfsLockTry, "pfs_lock_try"};
+inline constexpr rpc::OpDef kPfsLockReleaseOp{kPfsLockRelease,
+                                              "pfs_lock_release"};
+inline constexpr rpc::OpDef kPfsListOp{kPfsList, "pfs_list"};
+
+// ---------------------------------------------------------------------------
+// Object storage targets
+// ---------------------------------------------------------------------------
+
+struct OstCreateRep {
+  std::uint64_t oid = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(oid); }
+  static Result<OstCreateRep> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    if (!oid.ok()) return oid.status();
+    return OstCreateRep{*oid};
+  }
+};
+
+struct OstWriteReq {
+  std::uint64_t oid = 0;
+  std::uint64_t offset = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(oid);
+    enc.PutU64(offset);
+  }
+  static Result<OstWriteReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    auto offset = dec.GetU64();
+    if (!oid.ok() || !offset.ok()) {
+      return InvalidArgument("malformed ost-write fields");
+    }
+    return OstWriteReq{*oid, *offset};
+  }
+};
+
+struct OstReadReq {
+  std::uint64_t oid = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(oid);
+    enc.PutU64(offset);
+    enc.PutU64(length);
+  }
+  static Result<OstReadReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    auto offset = dec.GetU64();
+    auto length = dec.GetU64();
+    if (!oid.ok() || !offset.ok() || !length.ok()) {
+      return InvalidArgument("malformed ost-read fields");
+    }
+    return OstReadReq{*oid, *offset, *length};
+  }
+};
+
+/// Bytes actually moved through the bulk path (OST reads and writes).
+struct OstMovedRep {
+  std::uint64_t moved = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(moved); }
+  static Result<OstMovedRep> Decode(Decoder& dec) {
+    auto moved = dec.GetU64();
+    if (!moved.ok()) return moved.status();
+    return OstMovedRep{*moved};
+  }
+};
+
+/// Remove and getattr requests are just an object id.
+struct OstOidReq {
+  std::uint64_t oid = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(oid); }
+  static Result<OstOidReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    if (!oid.ok()) return oid.status();
+    return OstOidReq{*oid};
+  }
+};
+
+struct OstAttrRep {
+  std::uint64_t size = 0;
+  std::uint64_t version = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(size);
+    enc.PutU64(version);
+  }
+  static Result<OstAttrRep> Decode(Decoder& dec) {
+    auto size = dec.GetU64();
+    auto version = dec.GetU64();
+    if (!size.ok() || !version.ok()) {
+      return InvalidArgument("malformed ost-attr fields");
+    }
+    return OstAttrRep{*size, *version};
+  }
+};
+
+inline constexpr rpc::OpDef kOstCreateOp{kOstCreate, "ost_create"};
+inline constexpr rpc::OpDef kOstWriteOp{kOstWrite, "ost_write", 0,
+                                        rpc::BulkDir::kPull};
+inline constexpr rpc::OpDef kOstReadOp{kOstRead, "ost_read", 0,
+                                       rpc::BulkDir::kPush};
+inline constexpr rpc::OpDef kOstRemoveOp{kOstRemove, "ost_remove"};
+inline constexpr rpc::OpDef kOstGetAttrOp{kOstGetAttr, "ost_getattr"};
+
+// ---------------------------------------------------------------------------
+// Codec registry for table-driven tests
+// ---------------------------------------------------------------------------
+
+/// One CodecCase per pfs request/reply message (see rpc::CodecCase).
+std::vector<rpc::CodecCase> PfsWireCases();
+
+}  // namespace lwfs::pfs::wire

@@ -231,6 +231,7 @@ void RpcClient::FinishCall(const std::shared_ptr<detail::CallState>& state,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     RecordContactLocked(state->server, contact);
+    if (!result.ok()) ++op_tallies_[state->opcode].errors;
   }
   {
     std::lock_guard<std::mutex> lock(state->mutex);
@@ -252,11 +253,16 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
     }
   }
   calls_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++op_tallies_[opcode].calls;
+  }
   const std::uint64_t request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
 
   auto state = std::make_shared<detail::CallState>();
   state->request_id = request_id;
+  state->opcode = opcode;
   state->server = server;
   state->request_portal = options.request_portal;
   state->timeout = options.timeout.count() > 0 ? options.timeout
@@ -340,6 +346,7 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
       RecordContactLocked(server, send_failure.code() == ErrorCode::kAborted
                                       ? Contact::kNeutral
                                       : Contact::kTransportFailure);
+      ++op_tallies_[opcode].errors;
     }
     return send_failure;
   }
@@ -347,6 +354,11 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
   // this call's deadline/resend schedule into account.
   WakeEngine();
   return CallHandle(state);
+}
+
+std::map<Opcode, ClientOpTally> RpcClient::OpTallies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_tallies_;
 }
 
 Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
@@ -526,6 +538,7 @@ Status ServerContext::PullBulk(MutableByteSpan out, std::size_t offset) {
     if (s.code() != ErrorCode::kTimeout) break;  // only lost gets retry
   }
   if (!s.ok()) return s;
+  total_pulled_ += out.size();
   if (pulled_in_order_ && offset == pulled_.bytes()) {
     pulled_.Update(ByteSpan(out.data(), out.size()));
   } else {
@@ -540,6 +553,7 @@ Status ServerContext::PushBulk(ByteSpan data, std::size_t offset) {
   }
   Status s = nic_->Put(client_, kBulkPortal, request_id_, data, offset);
   if (!s.ok()) return s;
+  total_pushed_ += data.size();
   if (pushed_in_order_ && offset == pushed_.bytes()) {
     pushed_.Update(data);
   } else {
@@ -570,12 +584,28 @@ RpcServer::RpcServer(std::shared_ptr<portals::Nic> nic, ServerOptions options)
 
 RpcServer::~RpcServer() { Stop(); }
 
-void RpcServer::RegisterHandler(Opcode opcode, Handler handler) {
-  handlers_[opcode] = std::move(handler);
+Status RpcServer::RegisterHandler(Opcode opcode, Handler handler) {
+  auto [it, inserted] = handlers_.emplace(opcode, std::move(handler));
+  if (!inserted) {
+    Status collision =
+        AlreadyExists("duplicate handler for opcode " + std::to_string(opcode));
+    if (registration_error_.ok()) registration_error_ = collision;
+    return collision;
+  }
+  return OkStatus();
+}
+
+std::vector<Opcode> RpcServer::RegisteredOpcodes() const {
+  std::vector<Opcode> opcodes;
+  opcodes.reserve(handlers_.size());
+  for (const auto& [opcode, handler] : handlers_) opcodes.push_back(opcode);
+  std::sort(opcodes.begin(), opcodes.end());
+  return opcodes;
 }
 
 Status RpcServer::Start() {
   if (started_) return FailedPrecondition("server already started");
+  if (!registration_error_.ok()) return registration_error_;
   portals::MeOptions opts;
   opts.allow_put = true;
   opts.message_mode = true;

@@ -83,6 +83,13 @@ struct ClientStats {
   std::uint64_t breaker_fast_fails = 0;  // calls refused while a breaker open
 };
 
+/// Per-opcode client-side tally: calls issued and calls that completed with
+/// a non-OK status (transport failures and server error replies alike).
+struct ClientOpTally {
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+};
+
 /// Client-wide defaults and health-tracking knobs.  Per-call CallOptions
 /// override the deadline/retransmit budget.
 struct ClientOptions {
@@ -164,6 +171,7 @@ namespace detail {
 struct CallState {
   // Immutable after issue.
   std::uint64_t request_id = 0;
+  Opcode opcode = 0;  // for per-op client tallies
   portals::Nid server = portals::kInvalidNid;
   portals::PortalIndex request_portal = kRequestPortal;
   Buffer wire;  // encoded header + request body + CRC, kept for resends
@@ -256,6 +264,11 @@ class RpcClient {
             breaker_opens_.load(),  breaker_fast_fails_.load()};
   }
 
+  /// Per-opcode issue/error tallies, keyed by opcode.  Mirrors the server's
+  /// per-op metrics so a stub that silently eats errors shows up on the
+  /// client side of the ledger too.
+  [[nodiscard]] std::map<Opcode, ClientOpTally> OpTallies() const;
+
   /// True while `server`'s circuit breaker is open (calls fail fast).
   [[nodiscard]] bool BreakerOpen(portals::Nid server);
 
@@ -294,7 +307,7 @@ class RpcClient {
   /// (unbounded — local completions, not a modeled NIC resource).
   portals::EventQueue completions_{0};
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   bool engine_running_ = false;
   bool stopping_ = false;
   std::thread engine_;
@@ -311,6 +324,9 @@ class RpcClient {
     Clock::time_point open_until{};
   };
   std::unordered_map<portals::Nid, Breaker> breakers_;
+  /// Per-opcode tallies (guarded by mutex_; std::map so snapshots come out
+  /// opcode-ordered).
+  std::map<Opcode, ClientOpTally> op_tallies_;
 
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> resends_{0};
@@ -371,6 +387,15 @@ class ServerContext {
     return pushed_in_order_ ? pushed_.bytes() : 0;
   }
 
+  /// Raw byte totals moved through this context, regardless of ordering —
+  /// the dispatch middleware's bulk-bytes metric.
+  [[nodiscard]] std::uint64_t total_pulled_bytes() const {
+    return total_pulled_;
+  }
+  [[nodiscard]] std::uint64_t total_pushed_bytes() const {
+    return total_pushed_;
+  }
+
  private:
   portals::Nic* nic_;
   portals::Nid client_;
@@ -382,6 +407,8 @@ class ServerContext {
   bool pulled_in_order_ = true;
   Crc32Accumulator pushed_;
   bool pushed_in_order_ = true;
+  std::uint64_t total_pulled_ = 0;
+  std::uint64_t total_pushed_ = 0;
 };
 
 /// Handler: consume the request body, perform the op (using ctx for bulk
@@ -419,8 +446,14 @@ class RpcServer {
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  /// Register before Start().  Re-registering an opcode replaces it.
-  void RegisterHandler(Opcode opcode, Handler handler);
+  /// Register before Start().  Registering two handlers for one opcode is a
+  /// wiring bug, never a feature: the collision is rejected with
+  /// kAlreadyExists and recorded so Start() refuses to run a half-wired
+  /// server.
+  Status RegisterHandler(Opcode opcode, Handler handler);
+
+  /// Opcodes with a registered handler, ascending.
+  [[nodiscard]] std::vector<Opcode> RegisteredOpcodes() const;
 
   Status Start();
   void Stop();
@@ -451,6 +484,7 @@ class RpcServer {
   portals::EventQueue request_eq_;
   portals::MeHandle request_me_ = portals::kInvalidMeHandle;
   std::unordered_map<Opcode, Handler> handlers_;
+  Status registration_error_ = OkStatus();  // first duplicate, sticky
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> dedup_hits_{0};

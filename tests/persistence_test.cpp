@@ -113,7 +113,7 @@ TEST_F(RestartTest, DataAndNamesSurviveRuntimeRestart) {
     auto runtime = core::ServiceRuntime::Start(Options()).value();
     runtime->AddUser("u", "p", 1);
     auto client = runtime->MakeClient();
-    auto cred = client->Login("u", "p").value();
+    ASSERT_TRUE(client->Login("u", "p").ok());
     // Caps from the previous authz instance are dead (instance-bound);
     // re-acquire.  The container policy itself is not persisted — the
     // paper's container policies live at the authorization service, so a
