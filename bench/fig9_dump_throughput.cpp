@@ -9,7 +9,12 @@
 // in-process runtime and emits BENCH_fig9.json: window=1 degenerates to
 // the old serial round-trip behaviour, wider windows keep every storage
 // server busy, which is the overlap Figure 9's LWFS curves depend on.
+// `--virtual` skips the analytic series and runs the live window sweep on
+// a VirtualClock: the modeled medium charges virtual time, sleeps cost no
+// wall-clock, and repeated trials of one window are bit-identical (sd 0).
+// Results land in BENCH_fig9_virtual.json instead of BENCH_fig9.json.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +22,7 @@
 #include "checkpoint/checkpoint.h"
 #include "core/runtime.h"
 #include "simapps/checkpoint_sim.h"
+#include "util/clock.h"
 #include "util/machines.h"
 
 namespace {
@@ -82,16 +88,17 @@ struct SweepResult {
 /// ~400 MB/s medium bandwidth (in-process memcpy would otherwise hide the
 /// service time the window is meant to overlap).  5 trials per window
 /// after a discarded warm-up checkpoint.
-SweepResult RunWindowSweep() {
+SweepResult RunWindowSweep(util::Clock* clock = nullptr, int trials = 5) {
   constexpr std::uint32_t kRanks = 64;
   constexpr std::size_t kStateBytes = 512 << 10;
   constexpr std::uint32_t kWindows[] = {1, 2, 4, 8, 16};
-  constexpr int kTrials = 5;
+  const int kTrials = trials;
 
   core::RuntimeOptions options;
   options.storage_servers = 4;
   options.storage.worker_threads = 2;
   options.storage.modeled_disk_mb_s = 400;
+  options.clock = clock;
   auto runtime = core::ServiceRuntime::Start(options);
   if (!runtime.ok()) {
     std::fprintf(stderr, "runtime start failed: %s\n",
@@ -166,7 +173,8 @@ SweepResult RunWindowSweep() {
   return SweepResult{std::move(points), (*runtime)->TotalOpStats()};
 }
 
-void PrintAndDumpSweep(const SweepResult& sweep) {
+void PrintAndDumpSweep(const SweepResult& sweep,
+                       const char* json_path = "BENCH_fig9.json") {
   const std::vector<SweepPoint>& points = sweep.points;
   bench::PrintHeader(
       "Async-engine window sweep (live LWFS checkpoint, 64 ranks x 512 KiB, "
@@ -183,9 +191,9 @@ void PrintAndDumpSweep(const SweepResult& sweep) {
   std::printf("\nwindow=1 serializes every round trip; window>=4 keeps all\n"
               "four storage servers pulling concurrently.\n");
 
-  std::FILE* out = std::fopen("BENCH_fig9.json", "w");
+  std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_fig9.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path);
     return;
   }
   std::fprintf(out,
@@ -235,7 +243,7 @@ void PrintAndDumpSweep(const SweepResult& sweep) {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_fig9.json\n");
+  std::printf("wrote %s\n", json_path);
 
   bench::PrintHeader("Per-op service metrics (whole sweep)");
   std::printf("%-28s %10s %8s %10s %12s\n", "op", "calls", "errors",
@@ -254,7 +262,18 @@ void PrintAndDumpSweep(const SweepResult& sweep) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--virtual") == 0) {
+    std::printf("Figure 9 window sweep on virtual time: modeled medium,\n"
+                "zero wall-clock sleeps, repeated trials bit-identical.\n");
+    util::VirtualClock vclock;
+    {
+      util::Clock::ThreadGuard guard(&vclock);
+      PrintAndDumpSweep(RunWindowSweep(&vclock, /*trials=*/2),
+                        "BENCH_fig9_virtual.json");
+    }
+    return 0;
+  }
   std::printf("Figure 9: throughput (MB/s) of the I/O-dump phase of the\n"
               "checkpoint operation, 512 MB per client, dev-cluster model.\n");
   PrintSeries("Lustre checkpoint performance (one file per process)",

@@ -10,6 +10,12 @@
 // server that directs the I/O.  Emits BENCH_sched.json.
 //
 // `--smoke` runs a seconds-scale configuration for sanitizer CI.
+//
+// `--virtual` runs the strided-write comparison once on the real clock and
+// twice on a VirtualClock (same modeled medium, zero wall-clock sleeps),
+// checks the two virtual runs are bit-identical, and emits
+// BENCH_virtual.json with the modeled throughput and the wall-clock
+// speedup of virtual over real.  Exits nonzero if the virtual runs differ.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +25,7 @@
 
 #include "bench_util.h"
 #include "core/runtime.h"
+#include "util/clock.h"
 #include "util/stats.h"
 
 namespace {
@@ -33,6 +40,7 @@ struct Params {
   double disk_mb_s = 400;
   double op_latency_us = 200;
   int trials = 3;
+  util::Clock* clock = nullptr;  // nullptr = real time
 };
 
 struct WorkloadResult {
@@ -50,6 +58,7 @@ core::RuntimeOptions MakeOptions(bool scheduler_on, const Params& p) {
   options.storage.worker_threads = 16;
   options.storage.modeled_disk_mb_s = p.disk_mb_s;
   options.storage.modeled_op_latency_us = p.op_latency_us;
+  options.clock = p.clock;
   return options;
 }
 
@@ -66,10 +75,11 @@ WorkloadResult RunStridedWrite(bool scheduler_on, const Params& p) {
   auto cap = client->GetCap(cred, cid, security::kOpAll).value();
   auto oid = client->CreateObject(0, cap).value();
 
-  const auto start = std::chrono::steady_clock::now();
+  util::Clock* clk = util::OrReal(p.clock);
+  const util::Clock::TimePoint start = clk->Now();
   std::vector<std::thread> threads;
   for (std::uint32_t t = 0; t < p.threads; ++t) {
-    threads.emplace_back([&, t] {
+    threads.push_back(clk->SpawnThread([&, t] {
       auto worker = runtime->MakeClient();
       const Buffer payload(p.extent_bytes, static_cast<std::uint8_t>(t + 1));
       core::Batch batch(worker.get(), p.window);
@@ -79,11 +89,10 @@ WorkloadResult RunStridedWrite(bool scheduler_on, const Params& p) {
         if (!batch.Write(0, cap, oid, offset, ByteSpan(payload)).ok()) return;
       }
       (void)batch.Drain();
-    });
+    }));
   }
-  for (auto& t : threads) t.join();
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  for (auto& t : threads) clk->Join(t);
+  const std::chrono::duration<double> elapsed = clk->Now() - start;
 
   WorkloadResult result;
   const double total_mb = static_cast<double>(p.threads) *
@@ -124,10 +133,11 @@ WorkloadResult RunInterleavedRead(bool scheduler_on, const Params& p) {
   }
   runtime->ResetSchedStats();
 
-  const auto start = std::chrono::steady_clock::now();
+  util::Clock* clk = util::OrReal(p.clock);
+  const util::Clock::TimePoint start = clk->Now();
   std::vector<std::thread> threads;
   for (std::uint32_t t = 0; t < p.threads; ++t) {
-    threads.emplace_back([&, t] {
+    threads.push_back(clk->SpawnThread([&, t] {
       auto worker = runtime->MakeClient();
       std::vector<Buffer> slots(p.window, Buffer(p.extent_bytes, 0));
       core::Batch batch(worker.get(), p.window);
@@ -140,11 +150,10 @@ WorkloadResult RunInterleavedRead(bool scheduler_on, const Params& p) {
         }
       }
       (void)batch.Drain();
-    });
+    }));
   }
-  for (auto& t : threads) t.join();
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  for (auto& t : threads) clk->Join(t);
+  const std::chrono::duration<double> elapsed = clk->Now() - start;
 
   WorkloadResult result;
   result.mb_s = static_cast<double>(total_bytes) / 1e6 / elapsed.count();
@@ -233,10 +242,129 @@ void DumpJson(const Params& p, const std::vector<Comparison>& comparisons) {
   std::printf("\nwrote BENCH_sched.json\n");
 }
 
+// ---------------------------------------------------------------------------
+// --virtual: modeled benches on a VirtualClock
+// ---------------------------------------------------------------------------
+
+/// One off/on strided-write comparison with no trial averaging — the unit
+/// of work timed identically on the real clock and on a VirtualClock.
+Comparison RunPairOnce(const Params& p) {
+  Comparison c;
+  c.name = "strided-small-write (4 KiB interleaved, one object)";
+  c.off_mb_s = RunStridedWrite(false, p).mb_s;
+  WorkloadResult on = RunStridedWrite(true, p);
+  c.on_mb_s = on.mb_s;
+  c.sched = on.sched;
+  return c;
+}
+
+double WallSecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int RunVirtualMode(Params p) {
+  // A slower modeled medium makes the real baseline pay its sleeps for
+  // real while the virtual runs skip them — that gap is the point.
+  p.op_latency_us = 1000;
+  std::printf("Virtual-time mode: strided-write off/on pair, once on the\n"
+              "real clock and twice on a VirtualClock (modeled medium\n"
+              "%.0f MB/s, %.0f us per access).\n",
+              p.disk_mb_s, p.op_latency_us);
+
+  const auto real_t0 = std::chrono::steady_clock::now();
+  const Comparison real = RunPairOnce(p);
+  const double real_wall_s = WallSecondsSince(real_t0);
+  bench::PrintHeader("real clock");
+  PrintComparison(real);
+  std::printf("%16s %12.3f s\n", "wall clock", real_wall_s);
+
+  Comparison virt[2];
+  double virt_wall_s[2] = {0, 0};
+  for (int rep = 0; rep < 2; ++rep) {
+    util::VirtualClock vclock;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      util::Clock::ThreadGuard guard(&vclock);
+      Params vp = p;
+      vp.clock = &vclock;
+      virt[rep] = RunPairOnce(vp);
+    }
+    virt_wall_s[rep] = WallSecondsSince(t0);
+    bench::PrintHeader(rep == 0 ? "virtual clock, run 1"
+                                : "virtual clock, run 2");
+    PrintComparison(virt[rep]);
+    std::printf("%16s %12.3f s\n", "wall clock", virt_wall_s[rep]);
+  }
+
+  // Modeled time is deterministic: both virtual runs must agree on every
+  // derived number, bit for bit.
+  const bool deterministic =
+      virt[0].off_mb_s == virt[1].off_mb_s &&
+      virt[0].on_mb_s == virt[1].on_mb_s &&
+      virt[0].sched.requests == virt[1].sched.requests &&
+      virt[0].sched.runs == virt[1].sched.runs &&
+      virt[0].sched.merges == virt[1].sched.merges &&
+      virt[0].sched.coalesced_bytes == virt[1].sched.coalesced_bytes &&
+      virt[0].sched.queue_depth_hwm == virt[1].sched.queue_depth_hwm;
+  const double slowest_virtual =
+      virt_wall_s[0] > virt_wall_s[1] ? virt_wall_s[0] : virt_wall_s[1];
+  const double wall_speedup =
+      slowest_virtual > 0 ? real_wall_s / slowest_virtual : 0;
+
+  std::printf("\nvirtual runs identical: %s\n",
+              deterministic ? "yes" : "NO — nondeterminism!");
+  std::printf("wall-clock speedup (real / slowest virtual): %.1fx\n",
+              wall_speedup);
+
+  std::FILE* out = std::fopen("BENCH_virtual.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_virtual.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"virtual_time_server_sched\",\n"
+               "  \"workload\": \"strided-small-write\",\n"
+               "  \"threads\": %u,\n"
+               "  \"extents_per_thread\": %u,\n"
+               "  \"extent_bytes\": %zu,\n"
+               "  \"modeled_disk_mb_s\": %.1f,\n"
+               "  \"modeled_op_latency_us\": %.1f,\n"
+               "  \"real\": {\"wall_s\": %.4f, \"off_mb_s\": %.2f, "
+               "\"on_mb_s\": %.2f},\n"
+               "  \"virtual\": [\n",
+               p.threads, p.extents_per_thread, p.extent_bytes, p.disk_mb_s,
+               p.op_latency_us, real_wall_s, real.off_mb_s, real.on_mb_s);
+  for (int rep = 0; rep < 2; ++rep) {
+    std::fprintf(out,
+                 "    {\"wall_s\": %.4f, \"off_mb_s\": %.2f, "
+                 "\"on_mb_s\": %.2f, \"requests\": %llu, \"runs\": %llu, "
+                 "\"merges\": %llu}%s\n",
+                 virt_wall_s[rep], virt[rep].off_mb_s, virt[rep].on_mb_s,
+                 static_cast<unsigned long long>(virt[rep].sched.requests),
+                 static_cast<unsigned long long>(virt[rep].sched.runs),
+                 static_cast<unsigned long long>(virt[rep].sched.merges),
+                 rep == 0 ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"deterministic\": %s,\n"
+               "  \"wall_speedup\": %.2f\n"
+               "}\n",
+               deterministic ? "true" : "false", wall_speedup);
+  std::fclose(out);
+  std::printf("wrote BENCH_virtual.json\n");
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Params p;
+  if (argc > 1 && std::strcmp(argv[1], "--virtual") == 0) {
+    return RunVirtualMode(p);
+  }
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   if (smoke) {
     p.extents_per_thread = 24;

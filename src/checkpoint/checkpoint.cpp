@@ -11,9 +11,7 @@ namespace lwfs::checkpoint {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double Seconds(Clock::time_point a, Clock::time_point b) {
+double Seconds(util::Clock::TimePoint a, util::Clock::TimePoint b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
@@ -55,6 +53,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
                                           participants);
   if (!txn.ok()) return txn.status();
 
+  util::Clock* clock = runtime.clock();
   ErrorCollector errors;
   std::uint64_t created = 0;
 
@@ -72,7 +71,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
     }
     for (std::uint32_t r = 0; r < nranks; ++r) {
       auto comm = comm::Communicator::Create(nics[r], members,
-                                             static_cast<int>(r));
+                                             static_cast<int>(r), clock);
       if (!comm.ok()) return comm.status();
       comms.push_back(std::move(*comm));
     }
@@ -80,7 +79,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
   constexpr std::uint32_t kCapTag = 1;
   constexpr std::uint32_t kMetaTag = 10;
 
-  const auto t_start = Clock::now();
+  const util::Clock::TimePoint t_start = clock->Now();
 
   // Capability distribution: the logarithmic broadcast of §3.1.2 /
   // Figure 4-a, as transferable bytes over the wire.  The binomial tree is
@@ -128,7 +127,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
     auto [r, pending] = std::move(creates.front());
     creates.pop_front();
     auto oid = pending.Await();
-    t_creates_done = Clock::now();
+    t_creates_done = clock->Now();
     if (!oid.ok()) {
       errors.Record(oid.status());
       return;
@@ -215,7 +214,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
   LWFS_RETURN_IF_ERROR(errors.first());
 
   LWFS_RETURN_IF_ERROR((*txn)->Commit());
-  const auto t_end = Clock::now();
+  const util::Clock::TimePoint t_end = clock->Now();
 
   CheckpointStats stats;
   stats.seconds = Seconds(t_start, t_end);
@@ -290,7 +289,8 @@ Result<CheckpointStats> PfsFilePerProcess::Run(
   if (nranks == 0) return InvalidArgument("no ranks");
 
   auto client = runtime.MakeClient(pfs::ConsistencyMode::kRelaxed);
-  const auto t_start = Clock::now();
+  util::Clock* clock = runtime.clock();
+  const util::Clock::TimePoint t_start = clock->Now();
 
   // Every rank's create funnels through the centralized MDS; the serial
   // loop is exactly the serialization the paper charges this model with.
@@ -302,7 +302,7 @@ Result<CheckpointStats> PfsFilePerProcess::Run(
     if (!file.ok()) return file.status();
     files.push_back(std::move(*file));
   }
-  const double create_phase_s = Seconds(t_start, Clock::now());
+  const double create_phase_s = Seconds(t_start, clock->Now());
 
   // Dumps overlap through a window of per-file striped writes.
   ErrorCollector errors;
@@ -327,7 +327,7 @@ Result<CheckpointStats> PfsFilePerProcess::Run(
   for (std::uint32_t r = 0; r < nranks; ++r) {
     LWFS_RETURN_IF_ERROR(client->Sync(files[r], states[r].size()));
   }
-  const auto t_end = Clock::now();
+  const util::Clock::TimePoint t_end = clock->Now();
 
   CheckpointStats stats;
   stats.seconds = Seconds(t_start, t_end);
@@ -397,12 +397,13 @@ Result<CheckpointStats> PfsSharedFile::Run(pfs::PfsRuntime& runtime,
     total += states[r].size();
   }
 
-  const auto t_start = Clock::now();
+  util::Clock* clock = runtime.clock();
+  const util::Clock::TimePoint t_start = clock->Now();
   // Rank 0 creates the single shared file (one MDS create).
   auto rank0 = runtime.MakeClient(config.mode);
   auto file = rank0->Create(config.path, config.stripe_count);
   if (!file.ok()) return file.status();
-  const double create_s = Seconds(t_start, Clock::now());
+  const double create_s = Seconds(t_start, clock->Now());
 
   // Each rank keeps its own client (its own lock-holder identity in
   // kPosixLocking mode) but the slice writes overlap through a bounded
@@ -433,7 +434,7 @@ Result<CheckpointStats> PfsSharedFile::Run(pfs::PfsRuntime& runtime,
   while (!writes.empty()) retire();
   LWFS_RETURN_IF_ERROR(errors.first());
   LWFS_RETURN_IF_ERROR(rank0->Sync(*file, total));
-  const auto t_end = Clock::now();
+  const util::Clock::TimePoint t_end = clock->Now();
 
   CheckpointStats stats;
   stats.seconds = Seconds(t_start, t_end);

@@ -1,12 +1,10 @@
 #include "comm/collectives.h"
 
-#include <thread>
-
 namespace lwfs::comm {
 
 Result<std::unique_ptr<Communicator>> Communicator::Create(
     std::shared_ptr<portals::Nic> nic, std::vector<portals::Nid> members,
-    int rank) {
+    int rank, util::Clock* clock) {
   if (members.empty()) return InvalidArgument("empty group");
   if (rank < 0 || rank >= static_cast<int>(members.size())) {
     return InvalidArgument("rank out of range");
@@ -15,7 +13,7 @@ Result<std::unique_ptr<Communicator>> Communicator::Create(
     return InvalidArgument("members[rank] must be this NIC");
   }
   auto comm = std::unique_ptr<Communicator>(
-      new Communicator(std::move(nic), std::move(members), rank));
+      new Communicator(std::move(nic), std::move(members), rank, clock));
   portals::MeOptions options;
   options.allow_put = true;
   options.message_mode = true;
@@ -40,7 +38,7 @@ Status Communicator::Send(int dest, std::uint32_t tag, ByteSpan data) {
     Status s = nic_->Put(members_[static_cast<std::size_t>(dest)],
                          kCollectivePortal, MakeMatch(rank_, tag), data);
     if (s.ok() || s.code() != ErrorCode::kResourceExhausted) return s;
-    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    clock_->SleepFor(std::chrono::microseconds(backoff_us));
     backoff_us = std::min(backoff_us * 2, 2000);
   }
   return ResourceExhausted("peer receive queue stayed full");
@@ -50,7 +48,7 @@ Result<Buffer> Communicator::Recv(int src, std::uint32_t tag,
                                   std::chrono::milliseconds timeout) {
   if (src < 0 || src >= size()) return InvalidArgument("bad source");
   const auto key = std::make_pair(src, tag);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const util::Clock::TimePoint deadline = clock_->Now() + timeout;
   for (;;) {
     auto it = stash_.find(key);
     if (it != stash_.end() && !it->second.empty()) {
@@ -59,7 +57,7 @@ Result<Buffer> Communicator::Recv(int src, std::uint32_t tag,
       if (it->second.empty()) stash_.erase(it);
       return out;
     }
-    const auto now = std::chrono::steady_clock::now();
+    const util::Clock::TimePoint now = clock_->Now();
     if (now >= deadline) return Timeout("collective receive timed out");
     auto event = eq_.WaitFor(deadline - now);
     if (!event) return Timeout("collective receive timed out");

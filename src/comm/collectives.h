@@ -23,6 +23,7 @@
 
 #include "portals/portals.h"
 #include "util/bytes.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace lwfs::comm {
@@ -34,9 +35,10 @@ class Communicator {
  public:
   /// Join a group: `members[i]` is the NIC id of rank i; `rank` is ours.
   /// The NIC may be shared with an rpc client (different portals).
+  /// `clock` drives backoff sleeps and receive deadlines (nullptr = real).
   static Result<std::unique_ptr<Communicator>> Create(
       std::shared_ptr<portals::Nic> nic, std::vector<portals::Nid> members,
-      int rank);
+      int rank, util::Clock* clock = nullptr);
   ~Communicator();
 
   Communicator(const Communicator&) = delete;
@@ -72,11 +74,12 @@ class Communicator {
 
  private:
   Communicator(std::shared_ptr<portals::Nic> nic,
-               std::vector<portals::Nid> members, int rank)
+               std::vector<portals::Nid> members, int rank, util::Clock* clock)
       : nic_(std::move(nic)),
         members_(std::move(members)),
         rank_(rank),
-        eq_(4096) {}
+        clock_(util::OrReal(clock)),
+        eq_(4096, clock) {}
 
   /// rank relative to `root` (binomial trees are rooted at 0).
   [[nodiscard]] int Relative(int rank, int root) const {
@@ -94,6 +97,7 @@ class Communicator {
   std::shared_ptr<portals::Nic> nic_;
   std::vector<portals::Nid> members_;
   int rank_;
+  util::Clock* const clock_;
   portals::EventQueue eq_;
   portals::MeHandle me_ = portals::kInvalidMeHandle;
   // Out-of-order stash: (src, tag) -> FIFO of payloads.

@@ -461,17 +461,18 @@ Result<txn::LockId> Client::LockBlocking(const txn::LockKey& key,
                                          const txn::LockRange& range,
                                          txn::LockMode mode,
                                          std::chrono::milliseconds max_wait) {
-  const auto deadline = std::chrono::steady_clock::now() + max_wait;
+  util::Clock* clock = rpc_.clock();
+  const util::Clock::TimePoint deadline = clock->Now() + max_wait;
   int backoff_us = 50;
   for (;;) {
     auto id = TryLock(key, range, mode);
     if (id.ok() || id.status().code() != ErrorCode::kResourceExhausted) {
       return id;
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (clock->Now() >= deadline) {
       return Timeout("lock wait timed out");
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    clock->SleepFor(std::chrono::microseconds(backoff_us));
     backoff_us = std::min(backoff_us * 2, 5000);
   }
 }

@@ -42,8 +42,9 @@ std::vector<MergedRun> PlanRuns(std::span<const PendingExtent> batch) {
 }
 
 Status IoTicket::Await() {
+  util::Clock* clock = util::OrReal(clock_);
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return done_; });
+  clock->Wait(cv_, lock, [&] { return done_; });
   return status_;
 }
 
@@ -53,7 +54,7 @@ Status StagingPool::Acquire(std::size_t n) {
   if (closed_) return Unavailable("staging pool closed");
   if (free_ < n) {
     waits_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait(lock, [&] { return closed_ || free_ >= n; });
+    clock_->Wait(cv_, lock, [&] { return closed_ || free_ >= n; });
     if (closed_) return Unavailable("staging pool closed");
   }
   free_ -= n;
@@ -74,7 +75,7 @@ void StagingPool::Release(std::size_t n) {
     std::lock_guard<std::mutex> lock(mutex_);
     free_ += n;
   }
-  cv_.notify_all();
+  clock_->NotifyAll(cv_);
 }
 
 void StagingPool::Close() {
@@ -82,7 +83,7 @@ void StagingPool::Close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
   }
-  cv_.notify_all();
+  clock_->NotifyAll(cv_);
 }
 
 void IoScheduler::Start() {
@@ -90,7 +91,7 @@ void IoScheduler::Start() {
   if (running_) return;
   running_ = true;
   stopping_ = false;
-  thread_ = std::thread([this] { Loop(); });
+  thread_ = clock_->SpawnThread([this] { Loop(); });
 }
 
 void IoScheduler::Stop() {
@@ -99,8 +100,8 @@ void IoScheduler::Stop() {
     if (!running_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  clock_->NotifyAll(cv_);
+  if (thread_.joinable()) clock_->Join(thread_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running_ = false;
@@ -113,6 +114,7 @@ std::shared_ptr<IoTicket> IoScheduler::Submit(storage::ObjectId oid,
                                               std::uint64_t length,
                                               ServiceFn fn) {
   auto ticket = std::make_shared<IoTicket>();
+  ticket->clock_ = clock_;
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -125,7 +127,7 @@ std::shared_ptr<IoTicket> IoScheduler::Submit(storage::ObjectId oid,
                  ticket});
     depth = queue_.size();
   }
-  cv_.notify_all();
+  clock_->NotifyAll(cv_);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests;
@@ -150,7 +152,7 @@ void IoScheduler::Loop() {
     std::vector<QueuedIo> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      clock_->Wait(cv_, lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       batch.swap(queue_);
     }
@@ -194,8 +196,7 @@ void IoScheduler::ChargeRun(std::uint64_t bytes) {
     us += static_cast<double>(bytes) / options_.modeled_disk_mb_s;
   }
   if (us <= 0) return;
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(static_cast<std::int64_t>(us)));
+  clock_->SleepFor(std::chrono::microseconds(static_cast<std::int64_t>(us)));
 }
 
 void IoScheduler::Complete(IoTicket& ticket, Status status) {
@@ -204,7 +205,7 @@ void IoScheduler::Complete(IoTicket& ticket, Status status) {
     ticket.done_ = true;
     ticket.status_ = std::move(status);
   }
-  ticket.cv_.notify_all();
+  util::OrReal(ticket.clock_)->NotifyAll(ticket.cv_);
 }
 
 }  // namespace lwfs::core

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "storage/ids.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace lwfs::core {
@@ -81,6 +82,7 @@ class IoTicket {
 
  private:
   friend class IoScheduler;
+  util::Clock* clock_ = nullptr;  // set by Submit; nullptr = real time
   std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
@@ -97,8 +99,8 @@ class IoTicket {
 /// back to the blocking Acquire.
 class StagingPool {
  public:
-  explicit StagingPool(std::size_t capacity)
-      : capacity_(capacity), free_(capacity) {}
+  explicit StagingPool(std::size_t capacity, util::Clock* clock = nullptr)
+      : capacity_(capacity), clock_(util::OrReal(clock)), free_(capacity) {}
 
   /// Reserve `n` bytes, blocking while the pool is exhausted.  Fails with
   /// kUnavailable once the pool is closed (waiters are woken).
@@ -121,6 +123,7 @@ class StagingPool {
 
  private:
   const std::size_t capacity_;
+  util::Clock* const clock_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t free_;
@@ -151,6 +154,8 @@ struct IoSchedulerOptions {
   /// Modeled per-access (seek/op) cost in microseconds, charged once per
   /// merged run; 0 disables it.  This is what makes coalescing pay.
   double modeled_op_latency_us = 0;
+  /// Time source for medium charges and all waits (nullptr = real time).
+  util::Clock* clock = nullptr;
 };
 
 /// Counters exposed through StorageServer::sched_stats().
@@ -168,7 +173,8 @@ class IoScheduler {
   /// charged the medium for its run.
   using ServiceFn = std::function<Status()>;
 
-  explicit IoScheduler(IoSchedulerOptions options) : options_(options) {}
+  explicit IoScheduler(IoSchedulerOptions options)
+      : options_(options), clock_(util::OrReal(options.clock)) {}
   ~IoScheduler() { Stop(); }
 
   IoScheduler(const IoScheduler&) = delete;
@@ -204,6 +210,7 @@ class IoScheduler {
   static void Complete(IoTicket& ticket, Status status);
 
   const IoSchedulerOptions options_;
+  util::Clock* const clock_;
 
   std::mutex mutex_;
   std::condition_variable cv_;

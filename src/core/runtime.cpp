@@ -8,6 +8,24 @@ namespace lwfs::core {
 Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
     RuntimeOptions options) {
   auto rt = std::unique_ptr<ServiceRuntime>(new ServiceRuntime());
+  // Fan the deployment clock into every layer before anything is built.
+  // Sub-option clocks a caller set explicitly win; authn/authz NowFns are
+  // overridden whenever a clock is supplied, because their defaults read
+  // real time and would disagree with a virtual deployment.
+  if (options.clock != nullptr) {
+    util::Clock* clk = options.clock;
+    if (options.control_services.clock == nullptr) {
+      options.control_services.clock = clk;
+    }
+    if (options.client_options.clock == nullptr) {
+      options.client_options.clock = clk;
+    }
+    if (options.storage.clock == nullptr) options.storage.clock = clk;
+    options.authn.now = [clk] { return clk->NowUs(); };
+    options.authz.now = [clk] { return clk->NowUs(); };
+  }
+  rt->clock_ = util::OrReal(options.clock);
+  rt->fabric_.SetClock(options.clock);
   rt->options_ = options;
 
   // Keys stay inside the issuing services; nothing else ever sees them.

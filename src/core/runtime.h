@@ -54,6 +54,13 @@ struct RuntimeOptions {
   /// exists) and can be saved back with SaveNamingSnapshot().  Pairs with
   /// Backend::kFile for deployments that survive process restarts.
   std::string naming_snapshot_file;
+
+  /// Time source for the whole deployment (nullptr = real time).  Fans into
+  /// the fabric (injected delivery delays), every RPC server and client,
+  /// the storage servers' schedulers/medium model, and — unless a caller
+  /// installed its own NowFn — the authn/authz timestamp sources.  Point it
+  /// at a util::VirtualClock and the entire stack runs on virtual time.
+  util::Clock* clock = nullptr;
 };
 
 class ServiceRuntime {
@@ -77,6 +84,8 @@ class ServiceRuntime {
 
   [[nodiscard]] const Deployment& deployment() const { return deployment_; }
   [[nodiscard]] portals::Fabric& fabric() { return fabric_; }
+  /// The deployment's time source (RealClockInstance() when none was set).
+  [[nodiscard]] util::Clock* clock() const { return clock_; }
   [[nodiscard]] security::AuthnService& authn() { return *authn_service_; }
   [[nodiscard]] security::AuthzService& authz() { return *authz_service_; }
   [[nodiscard]] naming::NamingService& naming() { return *naming_service_; }
@@ -117,6 +126,7 @@ class ServiceRuntime {
  private:
   ServiceRuntime() = default;
 
+  util::Clock* clock_ = util::RealClockInstance();
   portals::Fabric fabric_;
   RuntimeOptions options_;
   Deployment deployment_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
-#include <thread>
 
 #include "core/wire.h"
 #include "util/logging.h"
@@ -11,12 +10,13 @@
 namespace lwfs::core {
 
 namespace {
-rpc::ServerOptions ControlOptions() {
-  rpc::ServerOptions options;
-  options.request_portal = rpc::kControlPortal;
-  options.worker_threads = 1;
-  options.request_queue_depth = 1024;
-  return options;
+rpc::ServerOptions ControlOptions(const StorageServerOptions& options) {
+  rpc::ServerOptions control;
+  control.request_portal = rpc::kControlPortal;
+  control.worker_threads = 1;
+  control.request_queue_depth = 1024;
+  control.clock = options.clock;
+  return control;
 }
 
 /// Data-plane worker count when neither knob picks one (see the
@@ -34,7 +34,14 @@ rpc::ServerOptions DataOptions(const StorageServerOptions& options) {
     // medium service of request N.
     data.worker_threads = kDefaultDataWorkers;
   }
+  if (data.clock == nullptr) data.clock = options.clock;
   return data;
+}
+
+rpc::ClientOptions AuthzClientOptions(const StorageServerOptions& options) {
+  rpc::ClientOptions client = options.client_options;
+  if (client.clock == nullptr) client.clock = options.clock;
+  return client;
 }
 
 /// Chunks of one request kept in flight past the current pull/push.  Depth
@@ -47,6 +54,7 @@ IoSchedulerOptions SchedulerOptions(const StorageServerOptions& options) {
   IoSchedulerOptions sched;
   sched.modeled_disk_mb_s = options.modeled_disk_mb_s;
   sched.modeled_op_latency_us = options.modeled_op_latency_us;
+  sched.clock = options.clock;
   return sched;
 }
 }  // namespace
@@ -57,18 +65,20 @@ StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
                              portals::Nid authz_nid, security::NowFn now,
                              StorageServerOptions options)
     : server_id_(server_id),
+      clock_(util::OrReal(options.clock)),
       store_(store),
       authz_nid_(authz_nid),
       now_(std::move(now)),
       options_(options),
       participant_(participant_name()),
       data_server_(nic, DataOptions(options)),
-      control_server_(nic, ControlOptions()),
-      authz_client_(std::move(nic), options.client_options),
+      control_server_(nic, ControlOptions(options)),
+      authz_client_(std::move(nic), AuthzClientOptions(options)),
       data_ops_(&data_server_, "storage"),
       control_ops_(&control_server_, "storage_ctl"),
       staging_(std::max(options.staging_bytes,
-                        kRequestPipelineDepth * options.bulk_chunk_bytes)) {
+                        kRequestPipelineDepth * options.bulk_chunk_bytes),
+               options.clock) {
   if (options_.scheduler) {
     scheduler_ = std::make_unique<IoScheduler>(SchedulerOptions(options_));
   }
@@ -173,10 +183,21 @@ void StorageServer::ChargeMediumTime(std::uint64_t bytes, bool charge_op) {
     us += static_cast<double>(bytes) / options_.modeled_disk_mb_s;
   }
   if (us <= 0) return;
-  // Hold the lock across the sleep: one disk arm, competing requests queue.
-  std::lock_guard<std::mutex> lock(medium_mu_);
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(static_cast<std::int64_t>(us)));
+  // One disk arm: extend the arm's committed-busy horizon under the lock,
+  // then sleep out this request's slot without holding it.  Competing
+  // requests still serialize (each slot starts where the previous one
+  // ended), but nothing sleeps inside a contended mutex — which would
+  // stall unrelated workers and deadlock a virtual-time run.
+  util::Clock::TimePoint until;
+  {
+    std::lock_guard<std::mutex> lock(medium_mu_);
+    const util::Clock::TimePoint now = clock_->Now();
+    if (medium_busy_until_ < now) medium_busy_until_ = now;
+    medium_busy_until_ +=
+        std::chrono::microseconds(static_cast<std::int64_t>(us));
+    until = medium_busy_until_;
+  }
+  clock_->SleepUntil(until);
 }
 
 Result<std::uint64_t> StorageServer::ScheduledWrite(rpc::ServerContext& ctx,

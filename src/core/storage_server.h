@@ -92,6 +92,10 @@ struct StorageServerOptions {
   /// pool space first retires (and so releases) everything its request
   /// holds, so waiters never hold staging.
   std::size_t staging_bytes = 16 << 20;
+  /// Time source for the medium model, schedulers, and both RPC planes
+  /// (nullptr = real time).  Also fans into rpc/client_options when those
+  /// carry no clock of their own.
+  util::Clock* clock = nullptr;
 };
 
 class StorageServer {
@@ -205,6 +209,7 @@ class StorageServer {
                                       std::uint64_t want);
 
   const std::uint32_t server_id_;
+  util::Clock* const clock_;
   storage::ObjectStore* store_;
   const portals::Nid authz_nid_;
   security::NowFn now_;
@@ -218,6 +223,9 @@ class StorageServer {
   rpc::Service control_ops_;
   std::atomic<std::uint64_t> remote_verifies_{0};
   std::mutex medium_mu_;
+  /// Modeled disk arm: the horizon up to which the medium is committed.
+  /// Guarded by medium_mu_; the sleep itself happens outside the lock.
+  util::Clock::TimePoint medium_busy_until_{};
   StagingPool staging_;
   std::unique_ptr<IoScheduler> scheduler_;
 };

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
-#include <thread>
 
 #include "pfs/wire.h"
 #include "rpc/service.h"
@@ -124,8 +123,11 @@ Result<std::uint64_t> PfsIo::Await() {
 // ---------------------------------------------------------------------------
 
 PfsClient::PfsClient(std::shared_ptr<portals::Nic> nic,
-                     PfsDeployment deployment, ConsistencyMode mode)
-    : deployment_(std::move(deployment)), mode_(mode), rpc_(std::move(nic)) {}
+                     PfsDeployment deployment, ConsistencyMode mode,
+                     rpc::ClientOptions client_options)
+    : deployment_(std::move(deployment)),
+      mode_(mode),
+      rpc_(std::move(nic), client_options) {}
 
 Result<OpenFile> PfsClient::Create(const std::string& path,
                                    std::uint32_t stripe_count) {
@@ -161,8 +163,9 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
   // loop is deadline-bounded (one RPC default_timeout of polling) so a
   // holder that died without releasing cannot park this thread forever —
   // the caller gets kTimeout and decides whether to retry.
-  const auto deadline =
-      std::chrono::steady_clock::now() + rpc_.options().default_timeout;
+  util::Clock* clock = rpc_.clock();
+  const util::Clock::TimePoint deadline =
+      clock->Now() + rpc_.options().default_timeout;
   int backoff_us = 50;
   for (;;) {
     auto rep = rpc::CallTyped<wire::PfsLockIdRep>(
@@ -172,10 +175,10 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
     if (rep.status().code() != ErrorCode::kResourceExhausted) {
       return rep.status();
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (clock->Now() >= deadline) {
       return Timeout("extent lock acquisition deadline exceeded");
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    clock->SleepFor(std::chrono::microseconds(backoff_us));
     backoff_us = std::min(backoff_us * 2, 5000);
   }
 }

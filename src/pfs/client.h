@@ -75,7 +75,8 @@ class PfsClient {
   static constexpr std::size_t kDefaultOstWindow = 8;
 
   PfsClient(std::shared_ptr<portals::Nic> nic, PfsDeployment deployment,
-            ConsistencyMode mode = ConsistencyMode::kPosixLocking);
+            ConsistencyMode mode = ConsistencyMode::kPosixLocking,
+            rpc::ClientOptions client_options = {});
 
   Result<OpenFile> Create(const std::string& path, std::uint32_t stripe_count);
   Result<OpenFile> Open(const std::string& path);

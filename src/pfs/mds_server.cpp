@@ -7,9 +7,10 @@ namespace lwfs::pfs {
 
 MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
                      std::vector<portals::Nid> ost_nids,
-                     MdsOptions mds_options, rpc::ServerOptions rpc_options)
+                     MdsOptions mds_options, rpc::ServerOptions rpc_options,
+                     rpc::ClientOptions ost_client_options)
     : ost_nids_(std::move(ost_nids)),
-      ost_client_(nic),
+      ost_client_(nic, ost_client_options),
       server_(std::move(nic), rpc_options),
       ops_(&server_, "mds") {
   auto create_on_ost =

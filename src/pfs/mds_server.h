@@ -21,7 +21,8 @@ class MdsServer {
   /// `ost_nids[i]` is the OST for stripe placement index i.
   MdsServer(std::shared_ptr<portals::Nic> nic,
             std::vector<portals::Nid> ost_nids, MdsOptions mds_options = {},
-            rpc::ServerOptions rpc_options = {});
+            rpc::ServerOptions rpc_options = {},
+            rpc::ClientOptions ost_client_options = {});
 
   Status Start();
   void Stop() { server_.Stop(); }

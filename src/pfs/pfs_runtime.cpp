@@ -6,6 +6,15 @@ Result<std::unique_ptr<PfsRuntime>> PfsRuntime::Start(
     portals::Fabric* fabric, PfsRuntimeOptions options) {
   auto rt = std::unique_ptr<PfsRuntime>(new PfsRuntime());
   rt->fabric_ = fabric;
+  if (options.clock != nullptr) {
+    if (options.mds_rpc.clock == nullptr) options.mds_rpc.clock = options.clock;
+    if (options.ost.rpc.clock == nullptr) options.ost.rpc.clock = options.clock;
+    if (options.client_options.clock == nullptr) {
+      options.client_options.clock = options.clock;
+    }
+  }
+  rt->clock_ = util::OrReal(options.clock);
+  rt->client_options_ = options.client_options;
 
   std::vector<portals::Nid> ost_nids;
   for (int i = 0; i < options.ost_count; ++i) {
@@ -19,7 +28,8 @@ Result<std::unique_ptr<PfsRuntime>> PfsRuntime::Start(
   }
 
   rt->mds_server_ = std::make_unique<MdsServer>(
-      fabric->CreateNic(), ost_nids, options.mds, options.mds_rpc);
+      fabric->CreateNic(), ost_nids, options.mds, options.mds_rpc,
+      options.client_options);
   LWFS_RETURN_IF_ERROR(rt->mds_server_->Start());
 
   rt->deployment_.mds = rt->mds_server_->nid();
@@ -33,7 +43,8 @@ PfsRuntime::~PfsRuntime() {
 }
 
 std::unique_ptr<PfsClient> PfsRuntime::MakeClient(ConsistencyMode mode) {
-  return std::make_unique<PfsClient>(fabric_->CreateNic(), deployment_, mode);
+  return std::make_unique<PfsClient>(fabric_->CreateNic(), deployment_, mode,
+                                     client_options_);
 }
 
 }  // namespace lwfs::pfs

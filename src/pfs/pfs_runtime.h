@@ -17,6 +17,13 @@ struct PfsRuntimeOptions {
   MdsOptions mds;
   OstOptions ost;
   rpc::ServerOptions mds_rpc;
+  /// RPC client options for MakeClient() endpoints and the MDS's outbound
+  /// OST client.
+  rpc::ClientOptions client_options;
+  /// Time source for every server and client in the deployment (nullptr =
+  /// real time).  The shared fabric's clock is the ServiceRuntime's (or
+  /// caller's) concern — set it there when co-hosting.
+  util::Clock* clock = nullptr;
 };
 
 class PfsRuntime {
@@ -34,6 +41,7 @@ class PfsRuntime {
       ConsistencyMode mode = ConsistencyMode::kPosixLocking);
 
   [[nodiscard]] const PfsDeployment& deployment() const { return deployment_; }
+  [[nodiscard]] util::Clock* clock() const { return clock_; }
   [[nodiscard]] MdsService& mds() { return mds_server_->service(); }
   [[nodiscard]] MdsServer& mds_server() { return *mds_server_; }
   [[nodiscard]] OstServer& ost_server(int i) {
@@ -49,7 +57,9 @@ class PfsRuntime {
  private:
   PfsRuntime() = default;
 
+  util::Clock* clock_ = util::RealClockInstance();
   portals::Fabric* fabric_ = nullptr;
+  rpc::ClientOptions client_options_;
   PfsDeployment deployment_;
   std::vector<std::unique_ptr<storage::ObjectStore>> stores_;
   std::vector<std::unique_ptr<OstServer>> ost_servers_;

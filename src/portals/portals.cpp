@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <thread>
 
 #include "util/logging.h"
 
@@ -87,7 +86,7 @@ Status Nic::Put(Nid target, PortalIndex portal, MatchBits match_bits,
     return OkStatus();
   }
   if (plan.delay_us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+    fabric_->clock()->SleepFor(std::chrono::microseconds(plan.delay_us));
   }
   if (plan.drop) {
     // Silent loss: only the caller's reply timeout will reveal it.
@@ -133,7 +132,7 @@ Status Nic::Get(Nid target, PortalIndex portal, MatchBits match_bits,
     return Timeout("injected fault: node crashed before get");
   }
   if (plan.delay_us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+    fabric_->clock()->SleepFor(std::chrono::microseconds(plan.delay_us));
   }
   if (plan.drop) {
     // A lost Get (request or response leg) looks like no response at all:

@@ -73,7 +73,8 @@ struct Event {
 /// receive-descriptor resources on an I/O node.
 class EventQueue {
  public:
-  explicit EventQueue(std::size_t capacity = 0) : queue_(capacity) {}
+  explicit EventQueue(std::size_t capacity = 0, util::Clock* clock = nullptr)
+      : queue_(capacity, clock) {}
 
   /// Blocking wait; nullopt after Close() drains.
   std::optional<Event> Wait() { return queue_.Pop(); }
@@ -211,6 +212,12 @@ class Fabric {
   /// configured).  See portals/fault.h.
   [[nodiscard]] FaultInjector& injector() { return injector_; }
 
+  /// Time source for injected delivery delays (nullptr = real time).  Set
+  /// before traffic flows; ServiceRuntime wires its RuntimeOptions::clock
+  /// here.
+  void SetClock(util::Clock* clock) { clock_ = util::OrReal(clock); }
+  [[nodiscard]] util::Clock* clock() const { return clock_; }
+
   [[nodiscard]] FabricStats Stats() const;
   void ResetStats();
 
@@ -224,6 +231,7 @@ class Fabric {
   void UncountGet(std::size_t bytes);
   void CountRejected();
 
+  util::Clock* clock_ = util::RealClockInstance();
   mutable std::mutex mutex_;
   Nid next_nid_ = 1;
   std::unordered_map<Nid, std::weak_ptr<Nic>> nodes_;

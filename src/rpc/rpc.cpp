@@ -9,8 +9,6 @@
 
 namespace lwfs::rpc {
 
-std::atomic<std::uint64_t> RpcClient::next_request_id_{1};
-
 namespace {
 
 /// Every frame (request and reply) ends in a 4-byte CRC32 of everything
@@ -92,8 +90,9 @@ Result<Header> DecodeHeader(Decoder& dec) {
 
 Result<Buffer> CallHandle::Await() {
   if (!state_) return FailedPrecondition("awaiting an empty call handle");
+  util::Clock* clock = util::OrReal(state_->clock);
   std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  clock->Wait(state_->cv, lock, [&] { return state_->done; });
   return state_->result;
 }
 
@@ -115,7 +114,7 @@ RpcClient::~RpcClient() {
     stopping_ = true;
   }
   WakeEngine();
-  if (engine_.joinable()) engine_.join();
+  if (engine_.joinable()) clock_->Join(engine_);
   // Fail whatever was still in flight.  Regions detach before waiters wake,
   // so a late server push or reply hits no registered memory.
   std::vector<std::shared_ptr<detail::CallState>> pending;
@@ -134,7 +133,7 @@ RpcClient::~RpcClient() {
 void RpcClient::EnsureEngineLocked() {
   if (engine_running_) return;
   engine_running_ = true;
-  engine_ = std::thread([this] { EngineLoop(); });
+  engine_ = clock_->SpawnThread([this] { EngineLoop(); });
 }
 
 void RpcClient::WakeEngine() {
@@ -143,25 +142,41 @@ void RpcClient::WakeEngine() {
   completions_.Inject(std::move(wake));
 }
 
-bool RpcClient::TrySendLocked(detail::CallState& state, Status* failure) {
-  Status s = nic_->Put(state.server, state.request_portal, /*match_bits=*/0,
-                       ByteSpan(state.wire), 0, state.request_id);
-  const auto now = Clock::now();
+bool RpcClient::PerformSend(const std::shared_ptr<detail::CallState>& state,
+                            Status* failure) {
+  // No mutex_ here: an injected fabric delay may sleep inside Put, and
+  // sleeping while holding the client lock would stall every caller (and
+  // deadlock a virtual-time run, whose token holder must never block on a
+  // lock owned by a sleeper).
+  Status s = nic_->Put(state->server, state->request_portal, /*match_bits=*/0,
+                       ByteSpan(state->wire), 0, state->request_id);
+  const auto now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  state->sending = false;
+  auto it = inflight_.find(state->request_id);
+  if (it == inflight_.end() || it->second != state) {
+    // The reply raced back and completed the call while the Put was in
+    // flight; there is nothing left to bookkeep.
+    return true;
+  }
   if (s.ok()) {
-    state.accepted = true;
-    state.deadline = now + state.timeout;
+    state->accepted = true;
+    state->deadline = now + state->timeout;
     return true;
   }
   if (s.code() != ErrorCode::kResourceExhausted) {
     *failure = std::move(s);
+    inflight_.erase(it);
     return false;
   }
-  if (++state.resend_attempts > state.max_resends) {
-    *failure = ResourceExhausted("server request queue full, resends exhausted");
+  if (++state->resend_attempts > state->max_resends) {
+    *failure =
+        ResourceExhausted("server request queue full, resends exhausted");
+    inflight_.erase(it);
     return false;
   }
   resends_.fetch_add(1, std::memory_order_relaxed);
-  state.next_send = now + std::chrono::microseconds(state.backoff.NextUs());
+  state->next_send = now + std::chrono::microseconds(state->backoff.NextUs());
   return true;
 }
 
@@ -184,7 +199,7 @@ Status RpcClient::AdmitLocked(portals::Nid server) {
   auto it = breakers_.find(server);
   if (it == breakers_.end() || !it->second.open) return OkStatus();
   Breaker& b = it->second;
-  if (Clock::now() >= b.open_until && !b.probing) {
+  if (clock_->Now() >= b.open_until && !b.probing) {
     // Half-open: let exactly one probe through; its outcome decides.
     b.probing = true;
     return OkStatus();
@@ -204,12 +219,12 @@ void RpcClient::RecordContactLocked(portals::Nid server, Contact contact) {
   ++b.consecutive;
   if (b.open) {
     // Failed half-open probe: stay open for another cooldown.
-    b.open_until = Clock::now() + options_.breaker_cooldown;
+    b.open_until = clock_->Now() + options_.breaker_cooldown;
     b.probing = false;
   } else if (b.consecutive >= options_.breaker_threshold) {
     b.open = true;
     b.probing = false;
-    b.open_until = Clock::now() + options_.breaker_cooldown;
+    b.open_until = clock_->Now() + options_.breaker_cooldown;
     breaker_opens_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -238,7 +253,7 @@ void RpcClient::FinishCall(const std::shared_ptr<detail::CallState>& state,
     state->done = true;
     state->result = std::move(result);
   }
-  state->cv.notify_all();
+  clock_->NotifyAll(state->cv);
 }
 
 Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
@@ -253,15 +268,16 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
     }
   }
   calls_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t request_id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++op_tallies_[opcode].calls;
+    request_id = next_request_id_++;
   }
-  const std::uint64_t request_id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
 
   auto state = std::make_shared<detail::CallState>();
   state->request_id = request_id;
+  state->clock = clock_;
   state->opcode = opcode;
   state->server = server;
   state->request_portal = options.request_portal;
@@ -319,6 +335,7 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
   AppendCrcTrailer(state->wire);
 
   Status send_failure = OkStatus();
+  bool issued = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -328,13 +345,16 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
       // Register before the first Put: the reply can race back from a
       // server worker before this thread takes another step.
       inflight_.emplace(request_id, state);
-      state->next_send = Clock::now();
-      Status failure = OkStatus();
-      if (!TrySendLocked(*state, &failure)) {
-        inflight_.erase(request_id);
-        send_failure = std::move(failure);
-      }
+      state->next_send = clock_->Now();
+      state->sending = true;
+      issued = true;
     }
+  }
+  if (issued) {
+    // First send, outside mutex_ (see PerformSend); a terminal failure has
+    // already removed the call from inflight_ and surfaces synchronously.
+    Status failure = OkStatus();
+    if (!PerformSend(state, &failure)) send_failure = std::move(failure);
   }
   if (!send_failure.ok()) {
     state->reply_region.Release();
@@ -405,23 +425,30 @@ Result<Buffer> RpcClient::ResolveReply(detail::CallState& state,
 
 void RpcClient::EngineLoop() {
   for (;;) {
-    // Timer pass: retry rejected sends whose backoff expired, retransmit or
-    // fail calls whose reply deadline passed, and find the next wake-up.
-    Clock::time_point next_wake = Clock::time_point::max();
+    // Timer pass: mark rejected sends whose backoff expired and calls whose
+    // reply deadline passed for (re)transmission, fail calls out of budget,
+    // and find the next wake-up.  The Puts themselves happen after the lock
+    // is dropped — never under mutex_.
+    util::Clock::TimePoint next_wake = util::Clock::TimePoint::max();
+    std::vector<std::shared_ptr<detail::CallState>> to_send;
     std::vector<std::pair<std::shared_ptr<detail::CallState>, Status>> failed;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) return;
-      const auto now = Clock::now();
+      const auto now = clock_->Now();
       for (auto it = inflight_.begin(); it != inflight_.end();) {
         detail::CallState& state = *it->second;
+        if (state.sending) {
+          // A Put for this call is in flight on another code path; its
+          // outcome (and fresh deadline) lands when it returns.
+          ++it;
+          continue;
+        }
         if (!state.accepted && now >= state.next_send) {
-          Status failure = OkStatus();
-          if (!TrySendLocked(state, &failure)) {
-            failed.emplace_back(std::move(it->second), std::move(failure));
-            it = inflight_.erase(it);
-            continue;
-          }
+          state.sending = true;
+          to_send.push_back(it->second);
+          ++it;
+          continue;
         }
         if (state.accepted && now >= state.deadline) {
           if (state.retransmits_used < state.max_retransmits) {
@@ -433,31 +460,36 @@ void RpcClient::EngineLoop() {
             retransmits_.fetch_add(1, std::memory_order_relaxed);
             state.accepted = false;
             state.next_send = now;
-            Status failure = OkStatus();
-            if (!TrySendLocked(state, &failure)) {
-              failed.emplace_back(std::move(it->second), std::move(failure));
-              it = inflight_.erase(it);
-              continue;
-            }
-          } else {
-            failed.emplace_back(std::move(it->second),
-                                Timeout("no reply from server"));
-            it = inflight_.erase(it);
+            state.sending = true;
+            to_send.push_back(it->second);
+            ++it;
             continue;
           }
+          failed.emplace_back(std::move(it->second),
+                              Timeout("no reply from server"));
+          it = inflight_.erase(it);
+          continue;
         }
         next_wake = std::min(next_wake,
                              state.accepted ? state.deadline : state.next_send);
         ++it;
       }
     }
+    for (auto& state : to_send) {
+      Status failure = OkStatus();
+      if (!PerformSend(state, &failure)) {
+        failed.emplace_back(state, std::move(failure));
+      }
+    }
     for (auto& [state, status] : failed) {
       FinishCall(state, std::move(status), Contact::kTransportFailure);
     }
+    // Sends moved deadlines; recompute the wake-up before sleeping.
+    if (!to_send.empty()) continue;
 
     std::optional<portals::Event> event;
-    const auto now = Clock::now();
-    if (next_wake == Clock::time_point::max()) {
+    const auto now = clock_->Now();
+    if (next_wake == util::Clock::TimePoint::max()) {
       // Nothing in flight: sleep until a new call wakes us.
       event = completions_.WaitFor(std::chrono::hours(1));
     } else if (next_wake > now) {
@@ -494,13 +526,9 @@ void RpcClient::EngineLoop() {
             ++s.retransmits_used;
             retransmits_.fetch_add(1, std::memory_order_relaxed);
             s.accepted = false;
-            s.next_send = Clock::now();
-            Status failure = OkStatus();
-            if (!TrySendLocked(s, &failure)) {
-              state = std::move(it->second);
-              inflight_.erase(it);
-              corrupt_failure = std::move(failure);
-            }
+            s.next_send = clock_->Now();
+            // The next timer pass performs the Put (sends never run under
+            // mutex_).
           } else {
             state = std::move(it->second);
             inflight_.erase(it);
@@ -580,7 +608,8 @@ Status ServerContext::VerifyPulledPayload() const {
 RpcServer::RpcServer(std::shared_ptr<portals::Nic> nic, ServerOptions options)
     : nic_(std::move(nic)),
       options_(options),
-      request_eq_(options.request_queue_depth) {}
+      clock_(util::OrReal(options.clock)),
+      request_eq_(options.request_queue_depth, clock_) {}
 
 RpcServer::~RpcServer() { Stop(); }
 
@@ -614,7 +643,7 @@ Status RpcServer::Start() {
   if (!me.ok()) return me.status();
   request_me_ = *me;
   for (int i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.push_back(clock_->SpawnThread([this] { WorkerLoop(); }));
   }
   started_ = true;
   return OkStatus();
@@ -625,7 +654,7 @@ void RpcServer::Stop() {
   (void)nic_->Detach(request_me_);
   request_eq_.Close();
   for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
+    if (t.joinable()) clock_->Join(t);
   }
   workers_.clear();
   started_ = false;
@@ -666,26 +695,35 @@ void RpcServer::Dispatch(const portals::Event& event) {
   const DedupKey key{header->client, header->request_id};
   const bool dedup = options_.reply_cache_entries > 0;
   if (dedup) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto cached = reply_cache_.find(key);
-    if (cached != reply_cache_.end()) {
-      // At-most-once: a retransmitted request re-sends the recorded reply;
-      // the handler does not run again.  (Bulk pushes are not replayed —
-      // the original execution already landed them, and the reply's push
-      // checksum lets the client detect the rare case it did not.)
+    Buffer cached_reply;
+    bool have_cached = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto cached = reply_cache_.find(key);
+      if (cached != reply_cache_.end()) {
+        // At-most-once: a retransmitted request re-sends the recorded
+        // reply; the handler does not run again.  (Bulk pushes are not
+        // replayed — the original execution already landed them, and the
+        // reply's push checksum lets the client detect the rare case it
+        // did not.)  Copy the frame: the resend Put runs outside the lock
+        // because an injected delivery delay may sleep inside it.
+        have_cached = true;
+        cached_reply = cached->second;
+      } else if (!in_progress_.insert(key).second) {
+        // The original delivery is still executing; drop the duplicate —
+        // the client's next retransmit will find the cached reply.
+        dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (have_cached) {
       dedup_hits_.fetch_add(1, std::memory_order_relaxed);
       Status resent = nic_->Put(header->client, kReplyPortal,
-                                header->request_id, ByteSpan(cached->second));
+                                header->request_id, ByteSpan(cached_reply));
       if (!resent.ok()) {
         LWFS_DEBUG << "cached reply to nid " << header->client
                    << " dropped: " << resent.ToString();
       }
-      return;
-    }
-    if (!in_progress_.insert(key).second) {
-      // The original delivery is still executing; drop the duplicate — the
-      // client's next retransmit will find the cached reply.
-      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }

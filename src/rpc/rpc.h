@@ -54,6 +54,7 @@
 
 #include "portals/portals.h"
 #include "util/bytes.h"
+#include "util/clock.h"
 #include "util/crc32.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -108,6 +109,9 @@ struct ClientOptions {
   /// How long an open breaker fast-fails before admitting one half-open
   /// probe call.
   std::chrono::milliseconds breaker_cooldown{250};
+  /// Time source for deadlines, backoff, breaker cooldowns, and the engine
+  /// thread (nullptr = real time).
+  util::Clock* clock = nullptr;
 };
 
 /// Decorrelated-jitter backoff for resends against a full request portal.
@@ -180,12 +184,15 @@ struct CallState {
   int max_retransmits = 0;
   MutableByteSpan bulk_in{};  // for client-side bulk CRC verification
 
+  util::Clock* clock = nullptr;  // set at issue, used by Await/FinishCall
+
   // Engine bookkeeping; guarded by the owning RpcClient's mutex.
   bool accepted = false;  // the server's request portal took the Put
+  bool sending = false;   // a Put is in flight outside the client mutex
   int resend_attempts = 0;
   int retransmits_used = 0;
-  std::chrono::steady_clock::time_point next_send{};
-  std::chrono::steady_clock::time_point deadline{};
+  util::Clock::TimePoint next_send{};
+  util::Clock::TimePoint deadline{};
   Backoff backoff{0};
   portals::RegisteredRegion reply_region;
   portals::RegisteredRegion out_region;
@@ -236,7 +243,10 @@ class RpcClient {
  public:
   explicit RpcClient(std::shared_ptr<portals::Nic> nic,
                      ClientOptions options = {})
-      : nic_(std::move(nic)), options_(options) {}
+      : nic_(std::move(nic)),
+        options_(options),
+        clock_(util::OrReal(options.clock)),
+        completions_(0, clock_) {}
   ~RpcClient();
 
   RpcClient(const RpcClient&) = delete;
@@ -272,9 +282,11 @@ class RpcClient {
   /// True while `server`'s circuit breaker is open (calls fail fast).
   [[nodiscard]] bool BreakerOpen(portals::Nid server);
 
- private:
-  using Clock = std::chrono::steady_clock;
+  /// The client's time source (never null) — lock-poll loops built on this
+  /// client (LockBlocking, extent-lock acquisition) wait through it.
+  [[nodiscard]] util::Clock* clock() const { return clock_; }
 
+ private:
   /// How a finished call reflects on the target server's health.
   enum class Contact {
     kReplied,           // a decodable reply arrived: the server is alive
@@ -285,9 +297,14 @@ class RpcClient {
   void EngineLoop();
   void EnsureEngineLocked();
   void WakeEngine();
-  /// Attempt (re)sending `state`'s request.  Returns false when the call
-  /// failed terminally (caller must complete it with `*failure`).
-  bool TrySendLocked(detail::CallState& state, Status* failure);
+  /// Perform the Put for `state` — *outside* mutex_, because an injected
+  /// fabric delay may sleep inside Put and the engine must never sleep
+  /// holding the client lock — then reacquire it to apply the outcome.
+  /// The caller marked `state.sending` under mutex_ first.  Returns false
+  /// when the call failed terminally: the state has been removed from
+  /// inflight_ and the caller must complete it with `*failure`.
+  bool PerformSend(const std::shared_ptr<detail::CallState>& state,
+                   Status* failure);
   /// Detach regions, record stats and breaker health, publish the result,
   /// wake waiters.
   void FinishCall(const std::shared_ptr<detail::CallState>& state,
@@ -303,9 +320,10 @@ class RpcClient {
 
   std::shared_ptr<portals::Nic> nic_;
   ClientOptions options_;
+  util::Clock* clock_;
   /// Shared completion queue: every reply match entry delivers here
   /// (unbounded — local completions, not a modeled NIC resource).
-  portals::EventQueue completions_{0};
+  portals::EventQueue completions_;
 
   mutable std::mutex mutex_;
   bool engine_running_ = false;
@@ -321,7 +339,7 @@ class RpcClient {
     int consecutive = 0;
     bool open = false;
     bool probing = false;
-    Clock::time_point open_until{};
+    util::Clock::TimePoint open_until{};
   };
   std::unordered_map<portals::Nid, Breaker> breakers_;
   /// Per-opcode tallies (guarded by mutex_; std::map so snapshots come out
@@ -336,7 +354,12 @@ class RpcClient {
   std::atomic<std::uint64_t> bulk_crc_failures_{0};
   std::atomic<std::uint64_t> breaker_opens_{0};
   std::atomic<std::uint64_t> breaker_fast_fails_{0};
-  static std::atomic<std::uint64_t> next_request_id_;
+  /// Per-client (guarded by mutex_), not process-global: ids — and the
+  /// backoff jitter seeded from them — must depend only on this client's
+  /// own call sequence for virtual-time runs to be reproducible.  Replies
+  /// and dedup keys are scoped to the client nid, so per-client uniqueness
+  /// is all the protocol needs.
+  std::uint64_t next_request_id_ = 1;
 };
 
 /// Handed to server handlers; carries the request and the bulk-transfer
@@ -428,6 +451,9 @@ struct ServerOptions {
   /// a retransmitted request re-sends the recorded reply instead of
   /// re-running the handler.  0 disables dedup (at-least-once semantics).
   std::size_t reply_cache_entries = 1024;
+  /// Time source for the request queue, workers, and per-op latency
+  /// metrics (nullptr = real time).
+  util::Clock* clock = nullptr;
 };
 
 /// Server-side robustness counters.
@@ -472,6 +498,10 @@ class RpcServer {
   /// Restart() paths call this).
   void ResetReplyCache();
 
+  /// The server's time source (never null); Service middleware stamps
+  /// per-op latency from it.
+  [[nodiscard]] util::Clock* clock() const { return clock_; }
+
  private:
   /// Dedup key: (client nid, request id).
   using DedupKey = std::pair<std::uint64_t, std::uint64_t>;
@@ -481,6 +511,7 @@ class RpcServer {
 
   std::shared_ptr<portals::Nic> nic_;
   ServerOptions options_;
+  util::Clock* clock_;
   portals::EventQueue request_eq_;
   portals::MeHandle request_me_ = portals::kInvalidMeHandle;
   std::unordered_map<Opcode, Handler> handlers_;

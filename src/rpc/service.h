@@ -280,8 +280,6 @@ class Service {
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   void Note(Status status) {
     if (!status.ok() && init_status_.ok()) init_status_ = std::move(status);
   }
@@ -294,16 +292,15 @@ class Service {
                       std::uint32_t required_ops, std::string malformed,
                       Fn handler) const {
     auto authorizer = authorizer_;
+    util::Clock* clk = server_->clock();  // latency stamps follow the server
     return [counters = std::move(counters), authorizer = std::move(authorizer),
-            required_ops, malformed = std::move(malformed),
+            required_ops, malformed = std::move(malformed), clk,
             handler = std::move(handler)](ServerContext& ctx,
                                           Decoder& request) -> Result<Buffer> {
-      const Clock::time_point start = Clock::now();
+      const std::int64_t start_us = clk->NowUs();
       auto account = [&](Result<Buffer> outcome, bool was_rejected,
                          bool was_denied) -> Result<Buffer> {
-        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                            Clock::now() - start)
-                            .count();
+        const auto us = clk->NowUs() - start_us;
         counters->Record(outcome.ok(), was_rejected, was_denied,
                          static_cast<std::uint64_t>(us),
                          ctx.total_pulled_bytes() + ctx.total_pushed_bytes());

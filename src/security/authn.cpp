@@ -1,14 +1,17 @@
 #include "security/authn.h"
 
 #include <atomic>
-#include <chrono>
+
+#include "util/clock.h"
 
 namespace lwfs::security {
 
 std::int64_t SystemNowUs() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // Monotonic microseconds on an explicit Unix epoch (RealClock anchors
+  // steady readings to wall time at process start), so credential
+  // issue/expiry stamps are meaningful across restarts — unlike the raw
+  // steady_clock epoch this used to read, which is unspecified per boot.
+  return util::RealClockInstance()->NowUs();
 }
 
 void TableAuthenticator::AddPrincipal(const std::string& name,

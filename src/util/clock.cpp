@@ -1,0 +1,337 @@
+#include "util/clock.h"
+
+#include <algorithm>
+
+namespace lwfs::util {
+
+Clock::ThreadGuard::ThreadGuard(Clock* clock) : clock_(OrReal(clock)) {
+  clock_->RegisterCurrentThread();
+}
+
+Clock::ThreadGuard::~ThreadGuard() { clock_->UnregisterCurrentThread(); }
+
+// ---------------------------------------------------------------------------
+// RealClock
+// ---------------------------------------------------------------------------
+
+RealClock::RealClock()
+    : base_steady_(std::chrono::steady_clock::now()),
+      base_wall_(std::chrono::duration_cast<Duration>(
+          std::chrono::system_clock::now().time_since_epoch())) {}
+
+Clock::TimePoint RealClock::Now() {
+  return base_wall_ + std::chrono::duration_cast<Duration>(
+                          std::chrono::steady_clock::now() - base_steady_);
+}
+
+void RealClock::SleepFor(Duration d) {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+std::cv_status RealClock::WaitUntil(std::condition_variable& cv,
+                                    std::unique_lock<std::mutex>& lk,
+                                    TimePoint deadline) {
+  // Translate the epoch-based deadline back onto the steady timeline so a
+  // wall-clock step cannot stretch or shrink the wait.
+  const auto steady_deadline =
+      base_steady_ + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         deadline - base_wall_);
+  return cv.wait_until(lk, steady_deadline);
+}
+
+void RealClock::Wait(std::condition_variable& cv,
+                     std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);
+}
+
+void RealClock::NotifyAll(std::condition_variable& cv) { cv.notify_all(); }
+void RealClock::NotifyOne(std::condition_variable& cv) { cv.notify_one(); }
+
+std::thread RealClock::SpawnThread(std::function<void()> fn) {
+  return std::thread(std::move(fn));
+}
+
+void RealClock::Join(std::thread& t) { t.join(); }
+
+RealClock* RealClockInstance() {
+  // Leaked on purpose: threads may consult the clock during static
+  // destruction, so the instance must outlive everything.
+  static RealClock* const instance = new RealClock();
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+//
+// Invariants (all state guarded by mu_):
+//  - At most one ThreadRec has the token (owner_); only the token holder
+//    executes user code.  Everyone else is blocked on its own grant_cv,
+//    which is paired with mu_ — the clock never blocks on, or notifies,
+//    a caller-owned condition variable, so there is no lost-wakeup window
+//    between caller mutexes and mu_.
+//  - A blocking call releases the caller's lock *under mu_* (atomic with
+//    respect to Notify*, which must take mu_) and reacquires it after mu_
+//    is dropped, so no thread ever waits for the token while holding a
+//    caller lock.
+//  - Virtual time advances only inside ScheduleLocked when no thread is
+//    runnable: one jump to the earliest pending deadline.  Every wake-up
+//    is ordered by (deadline, registration id) and every grant by
+//    ready_order, so a run's interleaving is a pure function of the
+//    program, not of OS scheduling.
+// ---------------------------------------------------------------------------
+
+VirtualClock::VirtualClock(TimePoint origin) { now_ = origin; }
+
+VirtualClock::~VirtualClock() = default;
+
+Clock::TimePoint VirtualClock::Now() {
+  std::lock_guard<std::mutex> g(mu_);
+  return now_;
+}
+
+VirtualClock::ThreadRec* VirtualClock::FindCurrentLocked() {
+  auto it = current_.find(std::this_thread::get_id());
+  return it == current_.end() ? nullptr : it->second;
+}
+
+VirtualClock::ThreadRec* VirtualClock::EnsureRegisteredLocked(
+    std::unique_lock<std::mutex>& g) {
+  if (ThreadRec* rec = FindCurrentLocked()) return rec;
+  auto owned = std::make_unique<ThreadRec>();
+  ThreadRec* rec = owned.get();
+  rec->id = next_id_++;
+  rec->os_id = std::this_thread::get_id();
+  rec->state = State::kReady;
+  rec->ready_order = ready_seq_++;
+  threads_[rec->id] = std::move(owned);
+  current_[rec->os_id] = rec;
+  ScheduleLocked();
+  AwaitGrantLocked(g, rec);
+  return rec;
+}
+
+void VirtualClock::ReleaseTokenLocked(ThreadRec* rec) {
+  rec->has_token = false;
+  if (owner_ == rec) owner_ = nullptr;
+}
+
+void VirtualClock::AwaitGrantLocked(std::unique_lock<std::mutex>& g,
+                                    ThreadRec* rec) {
+  rec->grant_cv.wait(g, [rec] { return rec->has_token; });
+  rec->state = State::kRunning;
+}
+
+void VirtualClock::ScheduleLocked() {
+  if (owner_ != nullptr) return;
+  for (;;) {
+    // Grant to the longest-ready runnable thread.
+    ThreadRec* best = nullptr;
+    for (auto& [id, rec] : threads_) {
+      if (rec->state == State::kReady &&
+          (best == nullptr || rec->ready_order < best->ready_order)) {
+        best = rec.get();
+      }
+    }
+    if (best != nullptr) {
+      owner_ = best;
+      best->has_token = true;
+      best->grant_cv.notify_one();  // grant_cv pairs with mu_ — safe here
+      return;
+    }
+    // Nothing runnable: advance to the earliest pending deadline.
+    TimePoint min_deadline = TimePoint::max();
+    bool any_timed = false;
+    for (auto& [id, rec] : threads_) {
+      if (rec->state == State::kWaitingTimed) {
+        any_timed = true;
+        min_deadline = std::min(min_deadline, rec->deadline);
+      }
+    }
+    if (!any_timed) return;  // fully quiescent — an external event must come
+    if (min_deadline > now_) now_ = min_deadline;
+    std::vector<ThreadRec*> expired;
+    for (auto& [id, rec] : threads_) {
+      if (rec->state == State::kWaitingTimed && rec->deadline <= now_) {
+        expired.push_back(rec.get());
+      }
+    }
+    std::sort(expired.begin(), expired.end(),
+              [](const ThreadRec* a, const ThreadRec* b) {
+                return a->deadline != b->deadline ? a->deadline < b->deadline
+                                                  : a->id < b->id;
+              });
+    for (ThreadRec* rec : expired) {
+      rec->state = State::kReady;
+      rec->timed_out = true;
+      rec->ready_order = ready_seq_++;
+    }
+    // Loop: grant to the first expired waiter.
+  }
+}
+
+std::cv_status VirtualClock::BlockLocked(std::unique_lock<std::mutex>& g,
+                                         std::unique_lock<std::mutex>& lk,
+                                         ThreadRec* rec) {
+  ReleaseTokenLocked(rec);
+  ScheduleLocked();
+  // Releasing the caller's lock under mu_ makes "stop running, start
+  // waiting" atomic with respect to Notify*, which must take mu_.
+  lk.unlock();
+  AwaitGrantLocked(g, rec);
+  const std::cv_status result = rec->timed_out && !rec->notified
+                                    ? std::cv_status::timeout
+                                    : std::cv_status::no_timeout;
+  rec->notified = false;
+  rec->timed_out = false;
+  rec->wait_cv = nullptr;
+  g.unlock();
+  lk.lock();  // reacquire the caller's mutex outside mu_
+  return result;
+}
+
+void VirtualClock::Wait(std::condition_variable& cv,
+                        std::unique_lock<std::mutex>& lk) {
+  std::unique_lock<std::mutex> g(mu_);
+  ThreadRec* rec = EnsureRegisteredLocked(g);
+  rec->state = State::kWaiting;
+  rec->wait_cv = &cv;
+  rec->notified = false;
+  rec->timed_out = false;
+  (void)BlockLocked(g, lk, rec);
+}
+
+std::cv_status VirtualClock::WaitUntil(std::condition_variable& cv,
+                                       std::unique_lock<std::mutex>& lk,
+                                       TimePoint deadline) {
+  std::unique_lock<std::mutex> g(mu_);
+  ThreadRec* rec = EnsureRegisteredLocked(g);
+  rec->state = State::kWaitingTimed;
+  rec->deadline = deadline;  // past deadlines expire on the next advance
+  rec->wait_cv = &cv;
+  rec->notified = false;
+  rec->timed_out = false;
+  return BlockLocked(g, lk, rec);
+}
+
+void VirtualClock::SleepFor(Duration d) {
+  // A sleep is a timed wait on a private condition variable nobody
+  // notifies; non-positive durations still yield the token once.
+  std::mutex m;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(m);
+  (void)WaitUntil(cv, lk, Now() + std::max(d, Duration::zero()));
+}
+
+void VirtualClock::NotifyAll(std::condition_variable& cv) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [id, rec] : threads_) {
+    if ((rec->state == State::kWaiting ||
+         rec->state == State::kWaitingTimed) &&
+        rec->wait_cv == &cv) {
+      rec->state = State::kReady;
+      rec->notified = true;
+      rec->ready_order = ready_seq_++;
+    }
+  }
+  ScheduleLocked();
+}
+
+void VirtualClock::NotifyOne(std::condition_variable& cv) {
+  // Deterministically wake everyone; predicate loops decide who consumes.
+  // (Picking "one" would bake scheduler policy into wake order without
+  // helping correctness — every call site loops on its predicate.)
+  NotifyAll(cv);
+}
+
+std::thread VirtualClock::SpawnThread(std::function<void()> fn) {
+  ThreadRec* rec = nullptr;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto owned = std::make_unique<ThreadRec>();
+    rec = owned.get();
+    rec->id = next_id_++;
+    rec->state = State::kReady;  // runnable from birth, runs when granted
+    rec->ready_order = ready_seq_++;
+    threads_[rec->id] = std::move(owned);
+  }
+  return std::thread([this, rec, fn = std::move(fn)]() mutable {
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      rec->os_id = std::this_thread::get_id();
+      current_[rec->os_id] = rec;
+      AwaitGrantLocked(g, rec);
+    }
+    fn();
+    DetachImpl(/*record_finished=*/true);
+  });
+}
+
+void VirtualClock::Join(std::thread& t) {
+  const std::thread::id target = t.get_id();
+  std::unique_lock<std::mutex> g(mu_);
+  ThreadRec* rec = FindCurrentLocked();
+  if (rec == nullptr) {
+    g.unlock();
+    t.join();  // unregistered caller holds no token
+    return;
+  }
+  auto finished = finished_unjoined_.find(target);
+  if (finished != finished_unjoined_.end()) {
+    // The child already left the clock; the raw join returns promptly and
+    // the caller keeps the token.
+    finished_unjoined_.erase(finished);
+    g.unlock();
+    t.join();
+    return;
+  }
+  rec->state = State::kJoining;
+  rec->join_target = target;
+  ReleaseTokenLocked(rec);
+  ScheduleLocked();
+  g.unlock();
+  t.join();  // child's exit marks us kReady (its detach runs under mu_)
+  g.lock();
+  AwaitGrantLocked(g, rec);
+  g.unlock();
+}
+
+void VirtualClock::RegisterCurrentThread() {
+  std::unique_lock<std::mutex> g(mu_);
+  (void)EnsureRegisteredLocked(g);
+}
+
+void VirtualClock::UnregisterCurrentThread() {
+  DetachImpl(/*record_finished=*/false);
+}
+
+void VirtualClock::DetachImpl(bool record_finished) {
+  std::lock_guard<std::mutex> g(mu_);
+  ThreadRec* rec = FindCurrentLocked();
+  if (rec == nullptr) return;
+  const std::thread::id os = rec->os_id;
+  bool woke_joiner = false;
+  for (auto& [id, other] : threads_) {
+    if (other->state == State::kJoining && other->join_target == os) {
+      other->state = State::kReady;
+      other->ready_order = ready_seq_++;
+      woke_joiner = true;
+      break;  // at most one joiner per thread
+    }
+  }
+  // Only spawned threads are recorded: a std::thread id stays reserved
+  // until join, so set membership cannot alias a recycled id.
+  if (record_finished && !woke_joiner) finished_unjoined_.insert(os);
+  current_.erase(os);
+  if (owner_ == rec) owner_ = nullptr;
+  rec->has_token = false;
+  threads_.erase(rec->id);
+  ScheduleLocked();
+}
+
+std::size_t VirtualClock::participants() {
+  std::lock_guard<std::mutex> g(mu_);
+  return threads_.size();
+}
+
+}  // namespace lwfs::util

@@ -1,0 +1,257 @@
+// Pluggable time source for the whole stack.
+//
+// Every layer that sleeps, waits with a deadline, or reads the current
+// time does so through a `Clock*` so a deployment can run on either:
+//
+//  - `RealClock` — wall time.  `Now()` is a steady (monotonic) reading
+//    anchored to the Unix epoch at process start, so durations are immune
+//    to wall-clock steps while absolute values (credential issue/expiry
+//    stamps) still live on an explicit, restart-meaningful epoch.
+//
+//  - `VirtualClock` — coordinated virtual time.  Registered threads are
+//    serialized onto a single run token (the same idea as the cooperative
+//    scheduler in sim/engine, applied to real OS threads): exactly one
+//    registered thread executes at a time, and the clock advances — in one
+//    jump, to the earliest pending deadline — only when every registered
+//    thread is blocked in a virtual wait.  Modeled sleeps therefore cost
+//    zero wall-clock, and because every wake-up and token hand-off is
+//    ordered by deterministic bookkeeping (registration order, notify
+//    order, deadline order) rather than OS scheduling, a run is
+//    bit-deterministic given a seed.
+//
+// Waiting through the clock follows the std::condition_variable shape:
+// callers hold a `std::unique_lock` on their own mutex and loop on a
+// predicate.  The usual discipline applies and is load-bearing for
+// VirtualClock: notifiers must mutate the predicate state under the same
+// mutex before calling Notify*, and waiters must use predicate loops
+// (VirtualClock::NotifyOne wakes every waiter of the condition variable —
+// deterministically — and relies on the predicates to sort out who
+// proceeds).
+//
+// Threads that participate in a VirtualClock must be registered: spawn
+// workers with `clock->SpawnThread()` / join with `clock->Join()`, and
+// wrap external entry threads (main, test body) in a `Clock::ThreadGuard`.
+// Unregistered threads may still call Now()/Notify*; a blocking call from
+// an unregistered thread auto-registers it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lwfs::util {
+
+class Clock {
+ public:
+  /// Durations and time points are nanosecond counts; a TimePoint is the
+  /// duration since the clock's epoch (Unix epoch for RealClock, zero or
+  /// the constructor-supplied origin for VirtualClock).
+  using Duration = std::chrono::nanoseconds;
+  using TimePoint = std::chrono::nanoseconds;
+
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual TimePoint Now() = 0;
+  virtual void SleepFor(Duration d) = 0;
+
+  /// Block on `cv` (caller holds `lk`) until notified via this clock or
+  /// `deadline` passes.  Returns std::cv_status::timeout on deadline.
+  virtual std::cv_status WaitUntil(std::condition_variable& cv,
+                                   std::unique_lock<std::mutex>& lk,
+                                   TimePoint deadline) = 0;
+  /// Block on `cv` until notified via this clock.
+  virtual void Wait(std::condition_variable& cv,
+                    std::unique_lock<std::mutex>& lk) = 0;
+
+  /// Notify waiters blocked on `cv` *through this clock*.  The notifier
+  /// must have mutated the waiters' predicate state under their mutex
+  /// first (standard condition-variable discipline).
+  virtual void NotifyAll(std::condition_variable& cv) = 0;
+  virtual void NotifyOne(std::condition_variable& cv) = 0;
+
+  /// Spawn a thread that participates in this clock (registered before it
+  /// runs `fn`); join must go through Join() on the same clock.
+  [[nodiscard]] virtual std::thread SpawnThread(std::function<void()> fn) = 0;
+  virtual void Join(std::thread& t) = 0;
+
+  /// Register/unregister the calling thread as a participant.  No-ops for
+  /// RealClock.  Prefer the ThreadGuard RAII wrapper.
+  virtual void RegisterCurrentThread() {}
+  virtual void UnregisterCurrentThread() {}
+
+  // ---- Non-virtual conveniences -------------------------------------
+
+  /// Microseconds since the clock's epoch (credential stamps, metrics).
+  [[nodiscard]] std::int64_t NowUs() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Now())
+        .count();
+  }
+
+  template <class Rep, class Period>
+  void SleepFor(std::chrono::duration<Rep, Period> d) {
+    SleepFor(std::chrono::duration_cast<Duration>(d));
+  }
+
+  void SleepUntil(TimePoint tp) {
+    const TimePoint now = Now();
+    if (tp > now) SleepFor(tp - now);
+  }
+
+  /// Predicate-loop forms, mirroring std::condition_variable semantics:
+  /// the timed forms return the predicate's value (false == timed out with
+  /// the predicate still unsatisfied).
+  template <class Pred>
+  bool WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                 TimePoint deadline, Pred pred) {
+    while (!pred()) {
+      if (WaitUntil(cv, lk, deadline) == std::cv_status::timeout) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+               std::chrono::duration<Rep, Period> d, Pred pred) {
+    return WaitUntil(cv, lk,
+                     Now() + std::chrono::duration_cast<Duration>(d),
+                     std::move(pred));
+  }
+
+  template <class Pred>
+  void Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+            Pred pred) {
+    while (!pred()) Wait(cv, lk);
+  }
+
+  /// RAII participant registration for externally created threads.
+  class ThreadGuard {
+   public:
+    explicit ThreadGuard(Clock* clock);
+    ~ThreadGuard();
+    ThreadGuard(const ThreadGuard&) = delete;
+    ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+   private:
+    Clock* clock_;
+  };
+};
+
+/// Wall time.  Monotonic readings anchored to the Unix epoch captured at
+/// construction; all waits translate to steady_clock deadlines.
+class RealClock final : public Clock {
+ public:
+  using Clock::SleepFor;
+  using Clock::Wait;
+  using Clock::WaitUntil;
+
+  RealClock();
+
+  TimePoint Now() override;
+  void SleepFor(Duration d) override;
+  std::cv_status WaitUntil(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk,
+                           TimePoint deadline) override;
+  void Wait(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lk) override;
+  void NotifyAll(std::condition_variable& cv) override;
+  void NotifyOne(std::condition_variable& cv) override;
+  std::thread SpawnThread(std::function<void()> fn) override;
+  void Join(std::thread& t) override;
+
+ private:
+  std::chrono::steady_clock::time_point base_steady_;
+  Duration base_wall_{};  // Unix-epoch offset of base_steady_
+};
+
+/// The process-wide RealClock (shared epoch anchor).
+RealClock* RealClockInstance();
+
+/// Null-tolerant selector: configuration knobs default to nullptr meaning
+/// "real time".
+inline Clock* OrReal(Clock* clock) {
+  return clock != nullptr ? clock
+                          : static_cast<Clock*>(RealClockInstance());
+}
+
+/// Coordinated virtual time (see file comment for the model).
+class VirtualClock final : public Clock {
+ public:
+  using Clock::SleepFor;
+  using Clock::Wait;
+  using Clock::WaitUntil;
+
+  explicit VirtualClock(TimePoint origin = {});
+  ~VirtualClock() override;
+
+  TimePoint Now() override;
+  void SleepFor(Duration d) override;
+  std::cv_status WaitUntil(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk,
+                           TimePoint deadline) override;
+  void Wait(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lk) override;
+  void NotifyAll(std::condition_variable& cv) override;
+  void NotifyOne(std::condition_variable& cv) override;
+  std::thread SpawnThread(std::function<void()> fn) override;
+  void Join(std::thread& t) override;
+  void RegisterCurrentThread() override;
+  void UnregisterCurrentThread() override;
+
+  /// Number of currently registered participant threads (tests).
+  [[nodiscard]] std::size_t participants();
+
+ private:
+  enum class State {
+    kRunning,       // holds the run token
+    kReady,         // runnable, waiting for the token
+    kWaiting,       // blocked on a condition variable, untimed
+    kWaitingTimed,  // blocked with a deadline
+    kJoining,       // blocked in Join() on a child thread
+  };
+
+  struct ThreadRec {
+    std::uint64_t id = 0;  // registration sequence — the deterministic key
+    std::thread::id os_id;
+    State state = State::kReady;
+    bool has_token = false;
+    bool notified = false;   // woken by Notify* (vs. deadline)
+    bool timed_out = false;  // woken by deadline expiry
+    std::uint64_t ready_order = 0;
+    TimePoint deadline{};
+    const std::condition_variable* wait_cv = nullptr;
+    std::thread::id join_target;
+    std::condition_variable grant_cv;  // paired with VirtualClock::mu_
+  };
+
+  ThreadRec* EnsureRegisteredLocked(std::unique_lock<std::mutex>& g);
+  ThreadRec* FindCurrentLocked();
+  void ReleaseTokenLocked(ThreadRec* rec);
+  void ScheduleLocked();
+  void AwaitGrantLocked(std::unique_lock<std::mutex>& g, ThreadRec* rec);
+  std::cv_status BlockLocked(std::unique_lock<std::mutex>& g,
+                             std::unique_lock<std::mutex>& lk, ThreadRec* rec);
+  void DetachImpl(bool record_finished);
+
+  std::mutex mu_;
+  TimePoint now_{};
+  std::uint64_t next_id_ = 1;
+  std::uint64_t ready_seq_ = 1;
+  ThreadRec* owner_ = nullptr;
+  // Keyed by deterministic id: every scheduling scan iterates this map in
+  // id order, which is what makes grant/advance order reproducible.
+  std::map<std::uint64_t, std::unique_ptr<ThreadRec>> threads_;
+  std::unordered_map<std::thread::id, ThreadRec*> current_;  // lookup only
+  std::unordered_set<std::thread::id> finished_unjoined_;
+};
+
+}  // namespace lwfs::util

@@ -14,13 +14,18 @@
 #include <optional>
 #include <utility>
 
+#include "util/clock.h"
+
 namespace lwfs {
 
 template <typename T>
 class SyncQueue {
  public:
-  /// `capacity == 0` means unbounded.
-  explicit SyncQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// `capacity == 0` means unbounded.  All blocking and wake-ups go
+  /// through `clock` (nullptr = real time) so a queue participates in
+  /// virtual-time runs.
+  explicit SyncQueue(std::size_t capacity = 0, util::Clock* clock = nullptr)
+      : capacity_(capacity), clock_(util::OrReal(clock)) {}
 
   SyncQueue(const SyncQueue&) = delete;
   SyncQueue& operator=(const SyncQueue&) = delete;
@@ -29,11 +34,11 @@ class SyncQueue {
   /// the queue was closed.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || HasRoomLocked(); });
+    clock_->Wait(not_full_, lock, [&] { return closed_ || HasRoomLocked(); });
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
-    not_empty_.notify_one();
+    clock_->NotifyOne(not_empty_);
     return true;
   }
 
@@ -45,19 +50,19 @@ class SyncQueue {
       if (closed_ || !HasRoomLocked()) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    clock_->NotifyOne(not_empty_);
     return true;
   }
 
   /// Blocks until an item is available; std::nullopt when closed and empty.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    clock_->Wait(not_empty_, lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    clock_->NotifyOne(not_full_);
     return item;
   }
 
@@ -66,15 +71,15 @@ class SyncQueue {
   template <typename Rep, typename Period>
   std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
+    if (!clock_->WaitFor(not_empty_, lock, timeout,
+                         [&] { return closed_ || !items_.empty(); })) {
       return std::nullopt;
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    clock_->NotifyOne(not_full_);
     return item;
   }
 
@@ -87,7 +92,7 @@ class SyncQueue {
       out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    clock_->NotifyOne(not_full_);
     return out;
   }
 
@@ -98,8 +103,8 @@ class SyncQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    clock_->NotifyAll(not_empty_);
+    clock_->NotifyAll(not_full_);
   }
 
   [[nodiscard]] std::size_t Size() const {
@@ -118,6 +123,7 @@ class SyncQueue {
   }
 
   const std::size_t capacity_;
+  util::Clock* const clock_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

@@ -1,0 +1,175 @@
+// Clock layer: RealClock epoch anchoring and the VirtualClock token
+// protocol (zero-wall-clock sleeps, deadline-ordered wake-ups, notify vs.
+// timeout, spawn/join, determinism of the interleaving).
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lwfs::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RealClockTest, AnchoredToUnixEpochAndMonotonic) {
+  RealClock* clock = RealClockInstance();
+  const std::int64_t t0 = clock->NowUs();
+  // 2020-01-01 in microseconds — any sane wall clock is past this.
+  EXPECT_GT(t0, 1577836800LL * 1000000LL);
+  const std::int64_t t1 = clock->NowUs();
+  EXPECT_GE(t1, t0);
+}
+
+TEST(RealClockTest, TimedWaitTimesOut) {
+  RealClock* clock = RealClockInstance();
+  std::mutex m;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(m);
+  const bool pred_result =
+      clock->WaitFor(cv, lk, 5ms, [] { return false; });
+  EXPECT_FALSE(pred_result);
+}
+
+TEST(VirtualClockTest, SleepAdvancesModeledTimeWithoutWallClock) {
+  VirtualClock vclock;
+  Clock::ThreadGuard guard(&vclock);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto virt_start = vclock.Now();
+  vclock.SleepFor(10s);
+  EXPECT_EQ(vclock.Now() - virt_start, std::chrono::nanoseconds(10s));
+  const auto wall_elapsed = std::chrono::steady_clock::now() - wall_start;
+  EXPECT_LT(wall_elapsed, 1s);
+}
+
+TEST(VirtualClockTest, WakeOrderFollowsDeadlinesNotSpawnOrder) {
+  VirtualClock vclock;
+  Clock::ThreadGuard guard(&vclock);
+  std::mutex m;
+  std::vector<int> order;
+  // Spawned in order 0,1,2 but sleeping 30ms,10ms,20ms.
+  const int sleeps_ms[] = {30, 10, 20};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(vclock.SpawnThread([&, i] {
+      vclock.SleepFor(std::chrono::milliseconds(sleeps_ms[i]));
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    }));
+  }
+  for (auto& t : threads) vclock.Join(t);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(VirtualClockTest, NotifyBeatsDeadlineAndReportsNoTimeout) {
+  VirtualClock vclock;
+  Clock::ThreadGuard guard(&vclock);
+  std::mutex m;
+  std::condition_variable cv;
+  bool flag = false;
+  std::cv_status waiter_status = std::cv_status::no_timeout;
+  std::thread waiter = vclock.SpawnThread([&] {
+    std::unique_lock<std::mutex> lk(m);
+    const auto deadline = vclock.Now() + std::chrono::nanoseconds(1h);
+    while (!flag) {
+      waiter_status = vclock.WaitUntil(cv, lk, deadline);
+      if (waiter_status == std::cv_status::timeout) break;
+    }
+  });
+  vclock.SleepFor(5ms);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    flag = true;
+  }
+  vclock.NotifyAll(cv);
+  vclock.Join(waiter);
+  EXPECT_EQ(waiter_status, std::cv_status::no_timeout);
+  // The notify happened at virtual +5ms, nowhere near the 1h deadline.
+  EXPECT_LT(vclock.Now().count(), std::chrono::nanoseconds(1s).count());
+}
+
+TEST(VirtualClockTest, TimedWaitExpiresAtExactDeadline) {
+  VirtualClock vclock;
+  Clock::ThreadGuard guard(&vclock);
+  std::mutex m;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(m);
+  const auto deadline = vclock.Now() + std::chrono::nanoseconds(250ms);
+  const bool pred_result =
+      vclock.WaitUntil(cv, lk, deadline, [] { return false; });
+  EXPECT_FALSE(pred_result);
+  EXPECT_EQ(vclock.Now(), deadline);
+}
+
+TEST(VirtualClockTest, ProducerConsumerHandoffIsDeterministic) {
+  // A little producer/consumer pipeline with modeled delays, run twice;
+  // the full event trace (virtual timestamps included) must match.
+  auto run = [] {
+    VirtualClock vclock;
+    Clock::ThreadGuard guard(&vclock);
+    std::ostringstream trace;
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<int> queue;
+    bool done = false;
+    std::thread consumer = vclock.SpawnThread([&] {
+      for (;;) {
+        std::unique_lock<std::mutex> lk(m);
+        vclock.Wait(cv, lk, [&] { return done || !queue.empty(); });
+        if (queue.empty()) break;
+        const int item = queue.front();
+        queue.erase(queue.begin());
+        lk.unlock();
+        vclock.SleepFor(3ms);  // modeled processing cost
+        trace << "c" << item << "@" << vclock.NowUs() << ";";
+      }
+    });
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+      producers.push_back(vclock.SpawnThread([&, p] {
+        for (int i = 0; i < 3; ++i) {
+          vclock.SleepFor(std::chrono::milliseconds(1 + p));
+          {
+            std::lock_guard<std::mutex> lock(m);
+            queue.push_back(p * 10 + i);
+          }
+          vclock.NotifyAll(cv);
+        }
+      }));
+    }
+    for (auto& t : producers) vclock.Join(t);
+    {
+      std::lock_guard<std::mutex> lock(m);
+      done = true;
+    }
+    vclock.NotifyAll(cv);
+    vclock.Join(consumer);
+    trace << "end@" << vclock.NowUs();
+    return trace.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(VirtualClockTest, JoinAlreadyFinishedChildDoesNotDeadlock) {
+  VirtualClock vclock;
+  Clock::ThreadGuard guard(&vclock);
+  std::thread child = vclock.SpawnThread([&] { vclock.SleepFor(1ms); });
+  // Let the child run to completion before joining: the join must take
+  // the finished-unjoined fast path.
+  vclock.SleepFor(10ms);
+  vclock.Join(child);
+  EXPECT_EQ(vclock.participants(), 1u);
+}
+
+}  // namespace
+}  // namespace lwfs::util
