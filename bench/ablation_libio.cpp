@@ -12,6 +12,7 @@
 #include "libio/prefetch.h"
 #include "libio/sieve.h"
 #include "lwfsfs/lwfsfs.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace {
@@ -39,8 +40,7 @@ struct World {
   }
 };
 
-double Seconds(std::chrono::steady_clock::time_point a,
-               std::chrono::steady_clock::time_point b) {
+double Seconds(util::Clock::TimePoint a, util::Clock::TimePoint b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
@@ -72,12 +72,12 @@ void CollectiveAblation(World& world) {
                                  (collective ? "c" : "i"))
                         .value();
         world.runtime->fabric().ResetStats();
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = util::RealClockInstance()->Now();
         auto stats =
             collective
                 ? io::CollectiveWrite(*world.fs, file, per_rank).value()
                 : io::IndependentWrite(*world.fs, file, per_rank).value();
-        const double dt = Seconds(t0, std::chrono::steady_clock::now());
+        const double dt = Seconds(t0, util::RealClockInstance()->Now());
         auto wire = world.runtime->fabric().Stats();
         std::printf("%8d %7lluB %14s %12llu %12llu %8.4fs\n", ranks,
                     static_cast<unsigned long long>(frag),
@@ -151,20 +151,20 @@ void FilterAblation(World& world) {
     spec.bins = 16;
 
     world.runtime->fabric().ResetStats();
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = util::RealClockInstance()->Now();
     auto remote = world.client->FilterObjectAlloc(0, world.cap, oid, 0,
                                                   data.size(), spec);
-    double dt = Seconds(t0, std::chrono::steady_clock::now());
+    double dt = Seconds(t0, util::RealClockInstance()->Now());
     auto wire = world.runtime->fabric().Stats();
     std::printf("%16s %14s %13.1fKB %8.4fs\n", name, "at-server",
                 static_cast<double>(wire.put_bytes + wire.get_bytes) / 1e3, dt);
     if (!remote.ok()) std::printf("  ERROR: %s\n", remote.status().ToString().c_str());
 
     world.runtime->fabric().ResetStats();
-    t0 = std::chrono::steady_clock::now();
+    t0 = util::RealClockInstance()->Now();
     auto raw = world.client->ReadObjectAlloc(0, world.cap, oid, 0, data.size());
     if (raw.ok()) (void)core::ApplyFilter(spec, ByteSpan(*raw));
-    dt = Seconds(t0, std::chrono::steady_clock::now());
+    dt = Seconds(t0, util::RealClockInstance()->Now());
     wire = world.runtime->fabric().Stats();
     std::printf("%16s %14s %13.1fKB %8.4fs\n", name, "read+local",
                 static_cast<double>(wire.put_bytes + wire.get_bytes) / 1e3, dt);
@@ -185,13 +185,13 @@ void PrefetchAblation(World& world) {
 
   // Unbuffered: one FS read per 8 KiB chunk.
   world.runtime->fabric().ResetStats();
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = util::RealClockInstance()->Now();
   std::uint64_t reads = 0;
   for (std::uint64_t off = 0; off < data.size(); off += chunk.size()) {
     (void)world.fs->Read(file, off, MutableByteSpan(chunk));
     ++reads;
   }
-  double dt = Seconds(t0, std::chrono::steady_clock::now());
+  double dt = Seconds(t0, util::RealClockInstance()->Now());
   auto wire = world.runtime->fabric().Stats();
   std::printf("%12s %12llu %12llu %8.4fs\n", "unbuffered",
               static_cast<unsigned long long>(reads),
@@ -203,11 +203,11 @@ void PrefetchAblation(World& world) {
   io::PrefetchReader reader(world.fs.get(), world.fs->Open("/prefetch").value(),
                             options);
   world.runtime->fabric().ResetStats();
-  t0 = std::chrono::steady_clock::now();
+  t0 = util::RealClockInstance()->Now();
   for (std::uint64_t off = 0; off < data.size(); off += chunk.size()) {
     (void)reader.Read(off, MutableByteSpan(chunk));
   }
-  dt = Seconds(t0, std::chrono::steady_clock::now());
+  dt = Seconds(t0, util::RealClockInstance()->Now());
   wire = world.runtime->fabric().Stats();
   std::printf("%12s %12llu %12llu %8.4fs   (%llu window fetches)\n",
               "prefetched",

@@ -24,6 +24,7 @@
 #include "bench_util.h"
 #include "core/client.h"
 #include "core/runtime.h"
+#include "util/clock.h"
 #include "util/stats.h"
 
 namespace {
@@ -91,7 +92,7 @@ Result<Point> RunPoint(core::ServiceRuntime& runtime, double drop_rate) {
       objects.emplace_back(server, *oid);
     }
 
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = util::RealClockInstance()->Now();
     for (const auto& [server, oid] : objects) {
       Status wrote = client->WriteObject(server, *cap, oid, 0, ByteSpan(payload));
       for (int a = 1; a < kWriteAttempts && !wrote.ok(); ++a) {
@@ -101,7 +102,7 @@ Result<Point> RunPoint(core::ServiceRuntime& runtime, double drop_rate) {
       if (!wrote.ok()) return wrote;
     }
     const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
+        util::RealClockInstance()->Now() - start;
     const double mb = double(kObjectsPerTrial) * double(kObjectBytes) / 1e6;
     stats.Add(mb / elapsed.count());
 

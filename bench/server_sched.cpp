@@ -258,8 +258,8 @@ Comparison RunPairOnce(const Params& p) {
   return c;
 }
 
-double WallSecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+double WallSecondsSince(util::Clock::TimePoint t0) {
+  return std::chrono::duration<double>(util::RealClockInstance()->Now() - t0)
       .count();
 }
 
@@ -272,7 +272,7 @@ int RunVirtualMode(Params p) {
               "%.0f MB/s, %.0f us per access).\n",
               p.disk_mb_s, p.op_latency_us);
 
-  const auto real_t0 = std::chrono::steady_clock::now();
+  const auto real_t0 = util::RealClockInstance()->Now();
   const Comparison real = RunPairOnce(p);
   const double real_wall_s = WallSecondsSince(real_t0);
   bench::PrintHeader("real clock");
@@ -283,7 +283,7 @@ int RunVirtualMode(Params p) {
   double virt_wall_s[2] = {0, 0};
   for (int rep = 0; rep < 2; ++rep) {
     util::VirtualClock vclock;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = util::RealClockInstance()->Now();
     {
       util::Clock::ThreadGuard guard(&vclock);
       Params vp = p;

@@ -1,22 +1,31 @@
 #!/usr/bin/env bash
-# Time hygiene: every time read and every sleep in src/ must go through
-# util::Clock — util/clock.{h,cpp} are the only files allowed to touch the
-# raw std::chrono clocks and std::this_thread sleeps.  A raw call anywhere
-# else bypasses VirtualClock silently: the run still passes on real time
-# but loses determinism and modeled-time accounting (DESIGN.md "Time
-# model").  CI runs this on every push; run it locally before sending a
-# change that touches timing.
+# Time hygiene: every time read and every sleep in src/, bench/, and tests/
+# must go through util::Clock — util/clock.{h,cpp} are the only files allowed
+# to touch the raw std::chrono clocks and std::this_thread sleeps.  A raw
+# call anywhere else bypasses VirtualClock silently: the run still passes on
+# real time but loses determinism and modeled-time accounting (DESIGN.md
+# "Time model").  Benches and tests are covered because they are exactly the
+# code we rerun under --virtual expecting bit-identical results.
+#
+# A line that *intentionally* reads the wall clock (e.g. the clock test that
+# proves virtual sleeps cost no wall time) may carry a `time-hygiene: wall`
+# comment to waive the check for that line only.
+#
+# CI runs this on every push; run it locally before sending a change that
+# touches timing.
 set -u
 cd "$(dirname "$0")/.."
 
 pattern='steady_clock::now|system_clock::now|this_thread::sleep_for|this_thread::sleep_until'
-hits=$(grep -rnE "$pattern" src/ --include='*.h' --include='*.cpp' \
-       | grep -vE '^src/util/clock\.(h|cpp):' || true)
+hits=$(grep -rnE "$pattern" src/ bench/ tests/ --include='*.h' --include='*.cpp' \
+       | grep -vE '^src/util/clock\.(h|cpp):' \
+       | grep -v 'time-hygiene: wall' || true)
 
 if [ -n "$hits" ]; then
   echo "time-hygiene violation: raw clock reads or sleeps outside util/clock*." >&2
-  echo "Route them through util::Clock (RuntimeOptions::clock reaches every layer):" >&2
+  echo "Route them through util::Clock (RuntimeOptions::clock reaches every layer)," >&2
+  echo "or tag a deliberate wall-clock read with '// time-hygiene: wall':" >&2
   echo "$hits" >&2
   exit 1
 fi
-echo "time hygiene OK: no raw clock reads or sleeps in src/ outside util/clock*"
+echo "time hygiene OK: no raw clock reads or sleeps in src/, bench/, tests/ outside util/clock*"

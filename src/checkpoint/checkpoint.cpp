@@ -4,8 +4,10 @@
 #include <deque>
 #include <utility>
 
+#include "checkpoint/write_pipeline.h"
 #include "comm/collectives.h"
 #include "core/protocol.h"
+#include "driver/driver.h"
 
 namespace lwfs::checkpoint {
 
@@ -104,58 +106,47 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
   }
 
   // CHECKPOINT() body (Figure 8 lines 2-3): every rank creates and dumps
-  // its own object on server r % m.  Instead of one OS thread per rank,
-  // the creates and the dumps are pipelined through bounded windows of
-  // asynchronous calls — rank r's dump overlaps rank r+k's create.
+  // its own object on server r % m.  Each rank is a WritePipeline state
+  // machine (create → stream → done); one carrier thread drives them all
+  // over the asynchronous RPC engine with `window` armed completions in
+  // flight — the blocking API is a thin wrapper over the same event-driven
+  // path the petascale harness scales to a million ranks.
   std::vector<storage::ObjectId> oids(nranks);
   std::vector<bool> dumped(nranks, false);
-  std::deque<std::pair<std::uint32_t, core::PendingCreate>> creates;
-  std::deque<std::pair<std::uint32_t, core::PendingIo>> writes;
   auto t_creates_done = t_start;
 
-  auto retire_write = [&] {
-    auto [r, io] = std::move(writes.front());
-    writes.pop_front();
-    auto n = io.Await();
-    if (!n.ok()) {
-      errors.Record(n.status());
-      return;
-    }
-    dumped[r] = true;
-  };
-  auto retire_create = [&] {
-    auto [r, pending] = std::move(creates.front());
-    creates.pop_front();
-    auto oid = pending.Await();
-    t_creates_done = clock->Now();
-    if (!oid.ok()) {
-      errors.Record(oid.status());
-      return;
-    }
-    ++created;
-    oids[r] = *oid;
-    while (writes.size() >= window) retire_write();
-    auto io = clients[r]->WriteObjectAsync(r % nservers, caps[r], oids[r], 0,
-                                           ByteSpan(states[r]));
-    if (!io.ok()) {
-      errors.Record(io.status());
-      return;
-    }
-    writes.emplace_back(r, std::move(*io));
-  };
-
+  driver::EngineOptions eng_options;
+  eng_options.carriers = 1;
+  eng_options.max_inflight_per_carrier = window;
+  eng_options.clock = clock;
+  driver::Engine engine(eng_options);
+  std::vector<WritePipeline*> machines;
+  machines.reserve(nranks);
   for (std::uint32_t r = 0; r < nranks; ++r) {
-    while (creates.size() >= window) retire_create();
-    auto pending =
-        clients[r]->CreateObjectAsync(r % nservers, caps[r], (*txn)->id());
-    if (!pending.ok()) {
-      errors.Record(pending.status());
-      continue;
-    }
-    creates.emplace_back(r, std::move(*pending));
+    WritePipeline::Spec spec;
+    spec.client = clients[r].get();
+    spec.server = r % nservers;
+    spec.cap = caps[r];
+    spec.txid = (*txn)->id();
+    spec.payload = ByteSpan(states[r]);
+    auto machine = std::make_unique<WritePipeline>(std::move(spec));
+    machines.push_back(machine.get());
+    engine.Add(std::move(machine));
   }
-  while (!creates.empty()) retire_create();
-  while (!writes.empty()) retire_write();
+  const Status engine_status = engine.Run();
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    const WritePipeline& m = *machines[r];
+    if (m.created()) {
+      ++created;
+      oids[r] = m.oid();
+    }
+    if (m.create_done_time() > t_creates_done) {
+      t_creates_done = m.create_done_time();
+    }
+    dumped[r] = m.dumped();
+    errors.Record(m.result());
+  }
+  errors.Record(engine_status);  // carrier-level failures (stalled machine)
   const double create_phase_s = Seconds(t_start, t_creates_done);
 
   // Metadata gather (Figure 8 line 7): each rank contributes (ref, size),

@@ -7,9 +7,10 @@
 //                           gathers metadata into a metadata object and
 //                           names it, all inside one distributed
 //                           transaction (Figure 8 pseudocode, line for
-//                           line).  Rank operations are pipelined through
-//                           a bounded window of asynchronous calls, not
-//                           one OS thread per rank.
+//                           line).  Each rank's create+dump runs as a
+//                           WritePipeline state machine on the driver
+//                           engine — a bounded window of asynchronous
+//                           calls, not one OS thread per rank.
 //  * PfsFilePerProcess    — one PFS file per rank: dump bandwidth scales,
 //                           but every create funnels through the MDS.
 //  * PfsSharedFile        — one striped PFS file, rank r writes its

@@ -1,0 +1,153 @@
+#include "checkpoint/write_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lwfs::checkpoint {
+
+driver::Step WritePipeline::Fail(Status status) {
+  result_ = std::move(status);
+  stage_ = Stage::kDone;
+  return driver::Step::kDone;
+}
+
+driver::Step WritePipeline::Issue(driver::Context& ctx, Stage stage) {
+  switch (stage) {
+    case Stage::kLogin: {
+      auto handle = spec_.client->LoginAsync(spec_.principal, spec_.secret);
+      if (!handle.ok()) return Fail(handle.status());
+      call_ = std::move(*handle);
+      break;
+    }
+    case Stage::kAcquireCap: {
+      auto handle = spec_.client->GetCapAsync(cred_, spec_.cid, spec_.cap_ops);
+      if (!handle.ok()) return Fail(handle.status());
+      call_ = std::move(*handle);
+      break;
+    }
+    case Stage::kCreate: {
+      auto pending =
+          spec_.client->CreateObjectAsync(spec_.server, cap_, spec_.txid);
+      if (!pending.ok()) return Fail(pending.status());
+      create_ = std::move(*pending);
+      stage_ = stage;
+      ctx.WakeOnComplete(create_.handle());
+      return driver::Step::kBlocked;
+    }
+    case Stage::kVerify: {
+      auto handle = spec_.client->GetAttrAsync(spec_.server, cap_, oid_);
+      if (!handle.ok()) return Fail(handle.status());
+      call_ = std::move(*handle);
+      break;
+    }
+    default:
+      return Fail(Internal("WritePipeline: not an issuable stage"));
+  }
+  stage_ = stage;
+  ctx.WakeOnComplete(call_);
+  return driver::Step::kBlocked;
+}
+
+driver::Step WritePipeline::Poll(driver::Context& ctx) {
+  for (;;) {
+    switch (stage_) {
+      case Stage::kStart: {
+        if (spec_.client == nullptr) {
+          return Fail(InvalidArgument("WritePipeline: no client"));
+        }
+        if (spec_.window == 0) spec_.window = 1;
+        if (spec_.cap.has_value()) {
+          cap_ = *spec_.cap;
+          return Issue(ctx, Stage::kCreate);
+        }
+        if (spec_.cred.has_value()) {
+          cred_ = *spec_.cred;
+          return Issue(ctx, Stage::kAcquireCap);
+        }
+        return Issue(ctx, Stage::kLogin);
+      }
+
+      case Stage::kLogin: {
+        Result<Buffer> reply = Buffer{};
+        if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
+        auto cred = core::Client::ResolveLogin(std::move(reply));
+        if (!cred.ok()) return Fail(cred.status());
+        cred_ = *cred;
+        return Issue(ctx, Stage::kAcquireCap);
+      }
+
+      case Stage::kAcquireCap: {
+        Result<Buffer> reply = Buffer{};
+        if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
+        auto cap = core::Client::ResolveGetCap(std::move(reply));
+        if (!cap.ok()) return Fail(cap.status());
+        cap_ = *cap;
+        return Issue(ctx, Stage::kCreate);
+      }
+
+      case Stage::kCreate: {
+        Result<storage::ObjectId> oid = storage::ObjectId{};
+        if (!create_.TryAwait(&oid)) return driver::Step::kBlocked;
+        // Timestamped on failure too: the create phase ends when the last
+        // create *resolves*, matching the blocking implementation.
+        create_done_ = ctx.clock()->Now();
+        if (!oid.ok()) return Fail(oid.status());
+        oid_ = *oid;
+        created_ = true;
+        if (spec_.create_only) {
+          stage_ = Stage::kDone;
+          return driver::Step::kDone;
+        }
+        stage_ = Stage::kStream;
+        continue;
+      }
+
+      case Stage::kStream: {
+        // Retire completed chunk writes from the front of the window.
+        while (!writes_.empty()) {
+          Result<std::uint64_t> n = std::uint64_t{0};
+          if (!writes_.front().TryAwait(&n)) break;
+          writes_.pop_front();
+          if (!n.ok()) return Fail(n.status());
+        }
+        // Refill the window.
+        const std::uint64_t total = spec_.payload.size();
+        const std::uint64_t chunk =
+            spec_.chunk_bytes == 0 ? total : spec_.chunk_bytes;
+        while (offset_ < total && writes_.size() < spec_.window) {
+          const std::uint64_t n = std::min(chunk, total - offset_);
+          auto io = spec_.client->WriteObjectAsync(
+              spec_.server, cap_, oid_, offset_,
+              spec_.payload.subspan(static_cast<std::size_t>(offset_),
+                                    static_cast<std::size_t>(n)));
+          if (!io.ok()) return Fail(io.status());
+          writes_.push_back(std::move(*io));
+          ctx.WakeOnComplete(writes_.back().handle());
+          offset_ += n;
+        }
+        if (!writes_.empty()) return driver::Step::kBlocked;
+        dumped_ = true;
+        if (spec_.verify_attr) return Issue(ctx, Stage::kVerify);
+        stage_ = Stage::kDone;
+        return driver::Step::kDone;
+      }
+
+      case Stage::kVerify: {
+        Result<Buffer> reply = Buffer{};
+        if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
+        auto attr = core::Client::ResolveGetAttr(std::move(reply));
+        if (!attr.ok()) return Fail(attr.status());
+        if (attr->size < spec_.payload.size()) {
+          return Fail(DataLoss("dump verification: object short"));
+        }
+        stage_ = Stage::kDone;
+        return driver::Step::kDone;
+      }
+
+      case Stage::kDone:
+        return driver::Step::kDone;
+    }
+  }
+}
+
+}  // namespace lwfs::checkpoint

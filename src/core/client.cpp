@@ -47,6 +47,21 @@ Result<storage::ObjectId> PendingCreate::Await() {
   return storage::ObjectId{rep->oid};
 }
 
+bool PendingCreate::TryAwait(Result<storage::ObjectId>* out) {
+  if (!handle_.valid()) return false;
+  Result<Buffer> reply = Buffer{};
+  if (!handle_.TryAwait(&reply)) return false;
+  if (out != nullptr) {
+    auto rep = rpc::ResolveTyped<wire::ObjCreateRep>(std::move(reply));
+    if (!rep.ok()) {
+      *out = rep.status();
+    } else {
+      *out = storage::ObjectId{rep->oid};
+    }
+  }
+  return true;
+}
+
 Status Batch::RetireOldest() {
   Op op = std::move(inflight_.front());
   inflight_.pop_front();
@@ -170,8 +185,19 @@ Result<portals::Nid> Client::StorageNid(std::uint32_t server) const {
 
 Result<security::Credential> Client::Login(const std::string& principal,
                                            const std::string& secret) {
-  auto rep = rpc::CallTyped<wire::CredentialRep>(
-      rpc_, deployment_.authn, kOpLogin, wire::LoginReq{principal, secret});
+  auto handle = LoginAsync(principal, secret);
+  if (!handle.ok()) return handle.status();
+  return ResolveLogin(handle->Await());
+}
+
+Result<rpc::CallHandle> Client::LoginAsync(const std::string& principal,
+                                           const std::string& secret) {
+  return rpc::CallTypedAsync(rpc_, deployment_.authn, kOpLogin,
+                             wire::LoginReq{principal, secret});
+}
+
+Result<security::Credential> Client::ResolveLogin(Result<Buffer> reply) {
+  auto rep = rpc::ResolveTyped<wire::CredentialRep>(std::move(reply));
   if (!rep.ok()) return rep.status();
   return rep->cred;
 }
@@ -194,9 +220,20 @@ Result<storage::ContainerId> Client::CreateContainer(
 Result<security::Capability> Client::GetCap(const security::Credential& cred,
                                             storage::ContainerId cid,
                                             std::uint32_t ops) {
-  auto rep = rpc::CallTyped<wire::CapabilityRep>(
-      rpc_, deployment_.authz, kOpGetCap,
-      wire::GetCapReq{cred, cid.value, ops});
+  auto handle = GetCapAsync(cred, cid, ops);
+  if (!handle.ok()) return handle.status();
+  return ResolveGetCap(handle->Await());
+}
+
+Result<rpc::CallHandle> Client::GetCapAsync(const security::Credential& cred,
+                                            storage::ContainerId cid,
+                                            std::uint32_t ops) {
+  return rpc::CallTypedAsync(rpc_, deployment_.authz, kOpGetCap,
+                             wire::GetCapReq{cred, cid.value, ops});
+}
+
+Result<security::Capability> Client::ResolveGetCap(Result<Buffer> reply) {
+  auto rep = rpc::ResolveTyped<wire::CapabilityRep>(std::move(reply));
   if (!rep.ok()) return rep.status();
   return rep->cap;
 }
@@ -322,10 +359,22 @@ Status Client::RemoveObject(std::uint32_t server,
 Result<storage::ObjAttr> Client::GetAttr(std::uint32_t server,
                                          const security::Capability& cap,
                                          storage::ObjectId oid) {
+  auto handle = GetAttrAsync(server, cap, oid);
+  if (!handle.ok()) return handle.status();
+  return ResolveGetAttr(handle->Await());
+}
+
+Result<rpc::CallHandle> Client::GetAttrAsync(std::uint32_t server,
+                                             const security::Capability& cap,
+                                             storage::ObjectId oid) {
   auto nid = StorageNid(server);
   if (!nid.ok()) return nid.status();
-  auto rep = rpc::CallTyped<wire::ObjAttrRep>(
-      rpc_, *nid, kOpObjGetAttr, wire::ObjGetAttrReq{cap, oid.value});
+  return rpc::CallTypedAsync(rpc_, *nid, kOpObjGetAttr,
+                             wire::ObjGetAttrReq{cap, oid.value});
+}
+
+Result<storage::ObjAttr> Client::ResolveGetAttr(Result<Buffer> reply) {
+  auto rep = rpc::ResolveTyped<wire::ObjAttrRep>(std::move(reply));
   if (!rep.ok()) return rep.status();
   return rep->attr;
 }
@@ -449,10 +498,22 @@ Result<std::vector<naming::DirEntry>> Client::ListNames(
 Result<txn::LockId> Client::TryLock(const txn::LockKey& key,
                                     const txn::LockRange& range,
                                     txn::LockMode mode) {
-  auto rep = rpc::CallTyped<wire::LockIdRep>(
+  auto handle = TryLockAsync(key, range, mode);
+  if (!handle.ok()) return handle.status();
+  return ResolveTryLock(handle->Await());
+}
+
+Result<rpc::CallHandle> Client::TryLockAsync(const txn::LockKey& key,
+                                             const txn::LockRange& range,
+                                             txn::LockMode mode) {
+  return rpc::CallTypedAsync(
       rpc_, deployment_.locks, kOpLockTry,
       wire::LockTryReq{key.container, key.resource, range.start, range.end,
                        mode == txn::LockMode::kExclusive});
+}
+
+Result<txn::LockId> Client::ResolveTryLock(Result<Buffer> reply) {
+  auto rep = rpc::ResolveTyped<wire::LockIdRep>(std::move(reply));
   if (!rep.ok()) return rep.status();
   return rep->id;
 }
@@ -461,26 +522,34 @@ Result<txn::LockId> Client::LockBlocking(const txn::LockKey& key,
                                          const txn::LockRange& range,
                                          txn::LockMode mode,
                                          std::chrono::milliseconds max_wait) {
+  // Blocking wrapper over the shared retry schedule; event-driven clients
+  // use the same schedule but arm a timer wake instead of sleeping.
   util::Clock* clock = rpc_.clock();
-  const util::Clock::TimePoint deadline = clock->Now() + max_wait;
-  int backoff_us = 50;
+  txn::LockRetrySchedule retry(clock->Now(), max_wait);
   for (;;) {
     auto id = TryLock(key, range, mode);
     if (id.ok() || id.status().code() != ErrorCode::kResourceExhausted) {
       return id;
     }
-    if (clock->Now() >= deadline) {
-      return Timeout("lock wait timed out");
-    }
-    clock->SleepFor(std::chrono::microseconds(backoff_us));
-    backoff_us = std::min(backoff_us * 2, 5000);
+    const auto next = retry.Next(clock->Now());
+    if (!next.has_value()) return Timeout("lock wait timed out");
+    clock->SleepUntil(*next);
   }
 }
 
 Status Client::Unlock(txn::LockId id) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.locks, kOpLockRelease,
-                                   wire::LockReleaseReq{id})
-      .status();
+  auto handle = UnlockAsync(id);
+  if (!handle.ok()) return handle.status();
+  return ResolveUnlock(handle->Await());
+}
+
+Result<rpc::CallHandle> Client::UnlockAsync(txn::LockId id) {
+  return rpc::CallTypedAsync(rpc_, deployment_.locks, kOpLockRelease,
+                             wire::LockReleaseReq{id});
+}
+
+Status Client::ResolveUnlock(Result<Buffer> reply) {
+  return rpc::ResolveTyped<rpc::Void>(std::move(reply)).status();
 }
 
 // ---- Transactions --------------------------------------------------------------

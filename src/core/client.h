@@ -10,9 +10,11 @@
 // core policy (§3.1.1).
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "storage/ids.h"
 #include "storage/object_store.h"
 #include "txn/journal.h"
+#include "txn/lock_retry.h"
 #include "txn/lock_table.h"
 #include "txn/two_phase.h"
 #include "util/status.h"
@@ -59,6 +62,10 @@ class PendingIo {
   /// Non-blocking variant; true once the call has completed.
   bool TryAwait(Result<std::uint64_t>* out);
 
+  /// The underlying call handle — logical clients arm completion wakes on
+  /// it (driver::Context::WakeOnComplete) instead of blocking in Await.
+  [[nodiscard]] rpc::CallHandle& handle() { return handle_; }
+
  private:
   friend class Client;
   PendingIo(rpc::CallHandle handle, bool decode_reply, std::uint64_t nominal)
@@ -79,6 +86,9 @@ class PendingCreate {
   PendingCreate() = default;
   [[nodiscard]] bool valid() const { return handle_.valid(); }
   Result<storage::ObjectId> Await();
+  /// Non-blocking variant; true once the call has completed.
+  bool TryAwait(Result<storage::ObjectId>* out);
+  [[nodiscard]] rpc::CallHandle& handle() { return handle_; }
 
  private:
   friend class Client;
@@ -215,6 +225,28 @@ class Client {
   Result<security::Credential> Login(const std::string& principal,
                                      const std::string& secret);
   Status RevokeCred(std::uint64_t cred_id);
+
+  // ---- Raw async stubs (event-driven state machines) ---------------------
+  // Issue the call and return the handle; when it completes, decode the
+  // reply with the matching Resolve*.  Blocking counterparts are thin
+  // issue+Await+Resolve wrappers over these.
+  Result<rpc::CallHandle> LoginAsync(const std::string& principal,
+                                     const std::string& secret);
+  static Result<security::Credential> ResolveLogin(Result<Buffer> reply);
+  Result<rpc::CallHandle> GetCapAsync(const security::Credential& cred,
+                                      storage::ContainerId cid,
+                                      std::uint32_t ops);
+  static Result<security::Capability> ResolveGetCap(Result<Buffer> reply);
+  Result<rpc::CallHandle> GetAttrAsync(std::uint32_t server,
+                                       const security::Capability& cap,
+                                       storage::ObjectId oid);
+  static Result<storage::ObjAttr> ResolveGetAttr(Result<Buffer> reply);
+  Result<rpc::CallHandle> TryLockAsync(const txn::LockKey& key,
+                                       const txn::LockRange& range,
+                                       txn::LockMode mode);
+  static Result<txn::LockId> ResolveTryLock(Result<Buffer> reply);
+  Result<rpc::CallHandle> UnlockAsync(txn::LockId id);
+  static Status ResolveUnlock(Result<Buffer> reply);
 
   // ---- Authorization -----------------------------------------------------
   Result<storage::ContainerId> CreateContainer(

@@ -78,6 +78,9 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
       case RuntimeOptions::Backend::kMemory:
         store = std::make_unique<storage::MemObjectStore>();
         break;
+      case RuntimeOptions::Backend::kNull:
+        store = std::make_unique<storage::NullObjectStore>();
+        break;
       case RuntimeOptions::Backend::kBlock:
         store = std::make_unique<storage::BlockObjectStore>(
             options.device_blocks, options.block_size);

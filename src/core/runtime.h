@@ -30,7 +30,9 @@ struct RuntimeOptions {
   /// Number of storage servers (the paper's "m").
   int storage_servers = 4;
 
-  enum class Backend { kMemory, kBlock, kFile };
+  /// kNull keeps per-object attributes but discards data bytes — the
+  /// backend for million-object scale harnesses (bench/petascale).
+  enum class Backend { kMemory, kBlock, kFile, kNull };
   Backend backend = Backend::kMemory;
   /// kFile: per-server directories `<file_store_root>/s<i>` are created.
   std::string file_store_root;

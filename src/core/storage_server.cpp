@@ -182,6 +182,10 @@ void StorageServer::ChargeMediumTime(std::uint64_t bytes, bool charge_op) {
     // bytes / (MB/s * 1e6 B/MB) seconds == bytes / (MB/s) microseconds.
     us += static_cast<double>(bytes) / options_.modeled_disk_mb_s;
   }
+  ChargeModeledUs(us);
+}
+
+void StorageServer::ChargeModeledUs(double us) {
   if (us <= 0) return;
   // One disk arm: extend the arm's committed-busy horizon under the lock,
   // then sleep out this request's slot without holding it.  Competing
@@ -345,6 +349,7 @@ void StorageServer::RegisterDataHandlers() {
       wire::kObjCreateOp,
       [this](rpc::ServerContext&,
              wire::ObjCreateReq& req) -> Result<wire::ObjCreateRep> {
+        ChargeModeledUs(options_.modeled_create_latency_us);
         auto oid = store_->Create(req.cap.cid);
         if (!oid.ok()) return oid.status();
         if (req.txid != 0) {

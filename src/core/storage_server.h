@@ -79,6 +79,12 @@ struct StorageServerOptions {
   /// request extent when the scheduler is off and once per *merged run*
   /// when it is on — the physical payoff of coalescing.  0 disables it.
   double modeled_op_latency_us = 0;
+  /// Modeled cost of an object create in microseconds, charged through the
+  /// same serialized medium arm as data transfers.  Without it creates are
+  /// free on virtual time and a Fig 10-style create-throughput measurement
+  /// is meaningless.  EXPERIMENTS.md calibrates the paper's storage server
+  /// at ~0.25 ms (≈4k creates/s per server).  0 disables it.
+  double modeled_create_latency_us = 0;
   /// Route READ/WRITE extents through the IoScheduler (merge + elevator +
   /// per-run medium charge).  Off reproduces the old per-request FIFO
   /// data path, which the server_sched bench uses as its baseline.
@@ -196,6 +202,9 @@ class StorageServer {
   /// the scheduler on, the scheduler thread owns the medium and charges
   /// once per merged run.
   void ChargeMediumTime(std::uint64_t bytes, bool charge_op);
+  /// Extend the single arm's busy horizon by `us` and sleep out the slot
+  /// (outside the lock).  Creates charge modeled_create_latency_us here.
+  void ChargeModeledUs(double us);
 
   /// The scheduler-on write/read data paths: stage chunks through the
   /// pool, submit extents, retire a bounded in-request pipeline.

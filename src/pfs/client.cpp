@@ -6,6 +6,7 @@
 
 #include "pfs/wire.h"
 #include "rpc/service.h"
+#include "txn/lock_retry.h"
 
 namespace lwfs::pfs {
 
@@ -159,14 +160,15 @@ Result<FileAttr> PfsClient::GetAttr(const std::string& path) {
 
 Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
                                           std::uint64_t end) {
-  // Poll with backoff: the MDS lock manager is try-based over RPC.  The
-  // loop is deadline-bounded (one RPC default_timeout of polling) so a
-  // holder that died without releasing cannot park this thread forever —
-  // the caller gets kTimeout and decides whether to retry.
+  // Poll on the shared retry schedule: the MDS lock manager is try-based
+  // over RPC.  The schedule is deadline-bounded (one RPC default_timeout of
+  // polling) so a holder that died without releasing cannot park this
+  // thread forever — the caller gets kTimeout and decides whether to retry.
   util::Clock* clock = rpc_.clock();
-  const util::Clock::TimePoint deadline =
-      clock->Now() + rpc_.options().default_timeout;
-  int backoff_us = 50;
+  txn::LockRetrySchedule retry(
+      clock->Now(),
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          rpc_.options().default_timeout));
   for (;;) {
     auto rep = rpc::CallTyped<wire::PfsLockIdRep>(
         rpc_, deployment_.mds, kPfsLockTry,
@@ -175,11 +177,11 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
     if (rep.status().code() != ErrorCode::kResourceExhausted) {
       return rep.status();
     }
-    if (clock->Now() >= deadline) {
+    const auto next = retry.Next(clock->Now());
+    if (!next.has_value()) {
       return Timeout("extent lock acquisition deadline exceeded");
     }
-    clock->SleepFor(std::chrono::microseconds(backoff_us));
-    backoff_us = std::min(backoff_us * 2, 5000);
+    clock->SleepUntil(*next);
   }
 }
 

@@ -104,6 +104,20 @@ bool CallHandle::TryAwait(Result<Buffer>* out) {
   return true;
 }
 
+void CallHandle::OnComplete(std::function<void(const Result<Buffer>&)> fn) {
+  if (!state_ || !fn) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->done) {
+      state_->on_complete = std::move(fn);  // replaces an unfired predecessor
+      return;
+    }
+  }
+  // Already complete: run on the caller's thread.  `result` is immutable
+  // once `done` is set, so reading it outside the lock is safe.
+  fn(state_->result);
+}
+
 // ---------------------------------------------------------------------------
 // RpcClient
 // ---------------------------------------------------------------------------
@@ -157,6 +171,14 @@ bool RpcClient::PerformSend(const std::shared_ptr<detail::CallState>& state,
   if (it == inflight_.end() || it->second != state) {
     // The reply raced back and completed the call while the Put was in
     // flight; there is nothing left to bookkeep.
+    return true;
+  }
+  if (state->retransmit_pending) {
+    // A corrupt reply raced back during this Put and already scheduled the
+    // retransmit (accepted=false, next_send=now): keep that schedule
+    // instead of re-arming the reply deadline for a reply that was
+    // consumed.  The caller's WakeEngine() makes the timer pass send it.
+    state->retransmit_pending = false;
     return true;
   }
   if (s.ok()) {
@@ -248,11 +270,18 @@ void RpcClient::FinishCall(const std::shared_ptr<detail::CallState>& state,
     RecordContactLocked(state->server, contact);
     if (!result.ok()) ++op_tallies_[state->opcode].errors;
   }
+  std::function<void(const Result<Buffer>&)> on_complete;
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     state->done = true;
     state->result = std::move(result);
+    on_complete = std::move(state->on_complete);
+    state->on_complete = nullptr;
   }
+  // Callback before NotifyAll: an Await() that returns is guaranteed the
+  // callback has already run.  No locks held — the callback may take its
+  // own mutexes and call Notify* through the clock.
+  if (on_complete) on_complete(state->result);
   clock_->NotifyAll(state->cv);
 }
 
@@ -527,6 +556,10 @@ void RpcClient::EngineLoop() {
             retransmits_.fetch_add(1, std::memory_order_relaxed);
             s.accepted = false;
             s.next_send = clock_->Now();
+            // The corrupt reply can beat the sender's own Put-return (the
+            // fabric delivers synchronously): flag the reschedule so
+            // PerformSend does not overwrite it with accepted=true.
+            if (s.sending) s.retransmit_pending = true;
             // The next timer pass performs the Put (sends never run under
             // mutex_).
           } else {

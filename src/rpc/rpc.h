@@ -189,6 +189,9 @@ struct CallState {
   // Engine bookkeeping; guarded by the owning RpcClient's mutex.
   bool accepted = false;  // the server's request portal took the Put
   bool sending = false;   // a Put is in flight outside the client mutex
+  // A corrupt reply raced back and rescheduled a retransmit while the Put
+  // was unwinding; PerformSend must not clobber that schedule.
+  bool retransmit_pending = false;
   int resend_attempts = 0;
   int retransmits_used = 0;
   util::Clock::TimePoint next_send{};
@@ -204,6 +207,10 @@ struct CallState {
   std::condition_variable cv;
   bool done = false;
   Result<Buffer> result = Buffer{};
+  /// One-shot completion callback (CallHandle::OnComplete).  Stored while
+  /// the call is pending; extracted and invoked exactly once when the
+  /// result is published.
+  std::function<void(const Result<Buffer>&)> on_complete;
 };
 
 }  // namespace detail
@@ -227,6 +234,24 @@ class CallHandle {
 
   /// Non-blocking: if the call has completed, fill *out and return true.
   bool TryAwait(Result<Buffer>* out);
+
+  /// Arrange for `fn` to run exactly once when the call completes — the
+  /// completion-notification path that lets an event-driven carrier thread
+  /// multiplex thousands of in-flight calls without pinning a thread per
+  /// call in Await().
+  ///
+  /// Contract:
+  ///  - If the call is already done, `fn` runs immediately on the calling
+  ///    thread; otherwise it runs on the client's engine thread, after
+  ///    `done` is set and before waiters blocked in Await() are released.
+  ///    Either way, TryAwait() inside (or after) the callback succeeds.
+  ///  - `fn` must be fast and must not block or issue blocking calls: it
+  ///    runs on the completion engine, so a slow callback delays every
+  ///    other in-flight call on the same client.  Typical use is "flip a
+  ///    flag under a mutex and Notify a condition variable".
+  ///  - At most one callback per call; a second OnComplete replaces an
+  ///    unfired predecessor.
+  void OnComplete(std::function<void(const Result<Buffer>&)> fn);
 
  private:
   friend class RpcClient;

@@ -1,0 +1,82 @@
+#include <algorithm>
+
+#include "storage/object_store.h"
+
+namespace lwfs::storage {
+
+Result<ObjectId> NullObjectStore::Create(ContainerId cid) {
+  if (cid == kInvalidContainer) return InvalidArgument("invalid container");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId oid{next_id_++};
+  objects_.emplace(oid, ObjAttr{cid, 0, 0});
+  return oid;
+}
+
+Status NullObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
+  if (cid == kInvalidContainer) return InvalidArgument("invalid container");
+  if (oid == kInvalidObject) return InvalidArgument("invalid object id");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.contains(oid)) return AlreadyExists("object exists");
+  next_id_ = std::max(next_id_, oid.value + 1);
+  objects_.emplace(oid, ObjAttr{cid, 0, 0});
+  return OkStatus();
+}
+
+Status NullObjectStore::Remove(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.erase(oid) != 0 ? OkStatus() : NotFound("no such object");
+}
+
+Status NullObjectStore::Write(ObjectId oid, std::uint64_t offset,
+                              ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  it->second.size = std::max(it->second.size, offset + data.size());
+  ++it->second.version;
+  return OkStatus();  // bytes discarded
+}
+
+Result<Buffer> NullObjectStore::Read(ObjectId oid, std::uint64_t offset,
+                                     std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  if (offset >= it->second.size) return Buffer{};
+  const std::uint64_t n =
+      std::min<std::uint64_t>(length, it->second.size - offset);
+  return Buffer(static_cast<std::size_t>(n), 0);  // all-zero payload
+}
+
+Status NullObjectStore::Truncate(ObjectId oid, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  it->second.size = size;
+  ++it->second.version;
+  return OkStatus();
+}
+
+Result<ObjAttr> NullObjectStore::GetAttr(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  return it->second;
+}
+
+Result<std::vector<ObjectId>> NullObjectStore::List(ContainerId cid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  for (const auto& [oid, attr] : objects_) {
+    if (attr.cid == cid) out.push_back(oid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t NullObjectStore::ObjectCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+}  // namespace lwfs::storage

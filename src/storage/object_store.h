@@ -101,6 +101,32 @@ class MemObjectStore final : public ObjectStore {
   std::unordered_map<ObjectId, Object> objects_;
 };
 
+/// Attribute-only store: tracks per-object metadata (container, size,
+/// version) but discards the data bytes; reads return zeros.  For
+/// million-object scale harnesses (bench/petascale) where what matters is
+/// the modeled control/data path, not the payload contents — per-object
+/// cost is a map entry instead of a buffer.
+class NullObjectStore final : public ObjectStore {
+ public:
+  NullObjectStore() = default;
+
+  Result<ObjectId> Create(ContainerId cid) override;
+  Status CreateWithId(ContainerId cid, ObjectId oid) override;
+  Status Remove(ObjectId oid) override;
+  Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) override;
+  Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
+                      std::uint64_t length) override;
+  Status Truncate(ObjectId oid, std::uint64_t size) override;
+  Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  std::uint64_t ObjectCount() override;
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<ObjectId, ObjAttr> objects_;
+};
+
 /// Block-device-backed store: object bytes live in fixed-size blocks
 /// allocated from a flat device image; each object keeps an ordered extent
 /// list.  Demonstrates device-side block-layout decisions.

@@ -1,0 +1,45 @@
+// Deterministic retry schedule for try-based lock acquisition over RPC.
+//
+// The lock services are try-based (kOpLockTry / kPfsLockTry return
+// kResourceExhausted while held), so acquisition is client-side polling.
+// One schedule — 50 µs doubling to a 5 ms cap, bounded by a deadline —
+// is shared by every poller so blocking wrappers (core::Client::
+// LockBlocking, pfs::PfsClient::LockExtent) and event-driven logical
+// clients retry on identical timelines.  Blocking callers SleepUntil the
+// returned instant; logical clients arm a scheduled timer wake instead,
+// so a retry never blocks a carrier thread.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "util/clock.h"
+
+namespace lwfs::txn {
+
+class LockRetrySchedule {
+ public:
+  LockRetrySchedule(util::Clock::TimePoint now,
+                    std::chrono::milliseconds max_wait)
+      : deadline_(now + max_wait) {}
+
+  /// Time of the next retry after a kResourceExhausted observed at `now`,
+  /// or nullopt when the deadline has passed (caller reports Timeout).
+  std::optional<util::Clock::TimePoint> Next(util::Clock::TimePoint now) {
+    if (now >= deadline_) return std::nullopt;
+    const auto next = now + std::chrono::microseconds(backoff_us_);
+    backoff_us_ = std::min(backoff_us_ * 2, kCapUs);
+    return next;
+  }
+
+  [[nodiscard]] util::Clock::TimePoint deadline() const { return deadline_; }
+
+ private:
+  static constexpr int kStartUs = 50;
+  static constexpr int kCapUs = 5000;
+  util::Clock::TimePoint deadline_;
+  int backoff_us_ = kStartUs;
+};
+
+}  // namespace lwfs::txn

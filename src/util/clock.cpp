@@ -75,10 +75,19 @@ RealClock* RealClockInstance() {
 //    is dropped, so no thread ever waits for the token while holding a
 //    caller lock.
 //  - Virtual time advances only inside ScheduleLocked when no thread is
-//    runnable: one jump to the earliest pending deadline.  Every wake-up
-//    is ordered by (deadline, registration id) and every grant by
-//    ready_order, so a run's interleaving is a pure function of the
-//    program, not of OS scheduling.
+//    runnable: one jump to the earliest pending deadline — a timed thread
+//    wait or an armed logical waiter (a carrier thread's proxy for the
+//    earliest deadline among its parked state machines).  Every wake-up is
+//    ordered by (deadline, registration id) — timed thread waits before
+//    logical fires at the same instant — and every grant by ready_order,
+//    so a run's interleaving is a pure function of the program, not of OS
+//    scheduling.
+//  - Scheduling is indexed, never scanned: ready_ (by ready_order), timed_
+//    (by (deadline, id)), cv_waiters_ (per-cv, by id) and logical_armed_
+//    (by (deadline, id)) mirror the ThreadRec states exactly.  Every
+//    transition out of a waiting state must go through
+//    RemoveWaitIndicesLocked/NotifyAllLocked and every transition into
+//    kReady through MarkReadyLocked, or an index dangles.
 // ---------------------------------------------------------------------------
 
 VirtualClock::VirtualClock(TimePoint origin) { now_ = origin; }
@@ -102,13 +111,46 @@ VirtualClock::ThreadRec* VirtualClock::EnsureRegisteredLocked(
   ThreadRec* rec = owned.get();
   rec->id = next_id_++;
   rec->os_id = std::this_thread::get_id();
-  rec->state = State::kReady;
-  rec->ready_order = ready_seq_++;
   threads_[rec->id] = std::move(owned);
   current_[rec->os_id] = rec;
+  MarkReadyLocked(rec);
   ScheduleLocked();
   AwaitGrantLocked(g, rec);
   return rec;
+}
+
+void VirtualClock::MarkReadyLocked(ThreadRec* rec) {
+  rec->state = State::kReady;
+  rec->ready_order = ready_seq_++;
+  ready_.insert({rec->ready_order, rec});
+}
+
+void VirtualClock::RemoveWaitIndicesLocked(ThreadRec* rec) {
+  if (rec->state == State::kWaitingTimed) {
+    timed_.erase({rec->deadline, rec->id, rec});
+  }
+  if (rec->wait_cv != nullptr) {
+    auto it = cv_waiters_.find(rec->wait_cv);
+    if (it != cv_waiters_.end()) {
+      it->second.erase(rec->id);
+      if (it->second.empty()) cv_waiters_.erase(it);
+    }
+  }
+}
+
+void VirtualClock::NotifyAllLocked(const std::condition_variable* cv) {
+  auto it = cv_waiters_.find(cv);
+  if (it == cv_waiters_.end()) return;
+  std::map<std::uint64_t, ThreadRec*> waiters = std::move(it->second);
+  cv_waiters_.erase(it);
+  // Ascending registration id — the deterministic wake order.
+  for (auto& [id, rec] : waiters) {
+    if (rec->state == State::kWaitingTimed) {
+      timed_.erase({rec->deadline, rec->id, rec});
+    }
+    rec->notified = true;
+    MarkReadyLocked(rec);
+  }
 }
 
 void VirtualClock::ReleaseTokenLocked(ThreadRec* rec) {
@@ -126,45 +168,43 @@ void VirtualClock::ScheduleLocked() {
   if (owner_ != nullptr) return;
   for (;;) {
     // Grant to the longest-ready runnable thread.
-    ThreadRec* best = nullptr;
-    for (auto& [id, rec] : threads_) {
-      if (rec->state == State::kReady &&
-          (best == nullptr || rec->ready_order < best->ready_order)) {
-        best = rec.get();
-      }
-    }
-    if (best != nullptr) {
+    if (!ready_.empty()) {
+      ThreadRec* best = ready_.begin()->second;
+      ready_.erase(ready_.begin());
       owner_ = best;
       best->has_token = true;
       best->grant_cv.notify_one();  // grant_cv pairs with mu_ — safe here
       return;
     }
-    // Nothing runnable: advance to the earliest pending deadline.
+    // Nothing runnable: advance to the earliest pending deadline — a timed
+    // thread wait or an armed logical (carrier) deadline.
     TimePoint min_deadline = TimePoint::max();
-    bool any_timed = false;
-    for (auto& [id, rec] : threads_) {
-      if (rec->state == State::kWaitingTimed) {
-        any_timed = true;
-        min_deadline = std::min(min_deadline, rec->deadline);
-      }
+    if (!timed_.empty()) min_deadline = std::get<0>(*timed_.begin());
+    if (!logical_armed_.empty()) {
+      min_deadline = std::min(min_deadline, logical_armed_.begin()->first);
     }
-    if (!any_timed) return;  // fully quiescent — an external event must come
+    if (min_deadline == TimePoint::max()) {
+      return;  // fully quiescent — an external event must come
+    }
     if (min_deadline > now_) now_ = min_deadline;
-    std::vector<ThreadRec*> expired;
-    for (auto& [id, rec] : threads_) {
-      if (rec->state == State::kWaitingTimed && rec->deadline <= now_) {
-        expired.push_back(rec.get());
-      }
-    }
-    std::sort(expired.begin(), expired.end(),
-              [](const ThreadRec* a, const ThreadRec* b) {
-                return a->deadline != b->deadline ? a->deadline < b->deadline
-                                                  : a->id < b->id;
-              });
-    for (ThreadRec* rec : expired) {
-      rec->state = State::kReady;
+    // Expire timed thread waits in (deadline, id) order — the set's order.
+    while (!timed_.empty() && std::get<0>(*timed_.begin()) <= now_) {
+      ThreadRec* rec = std::get<2>(*timed_.begin());
+      RemoveWaitIndicesLocked(rec);
       rec->timed_out = true;
-      rec->ready_order = ready_seq_++;
+      MarkReadyLocked(rec);
+    }
+    // Then fire expired logical waiters, also in (deadline, id) order.
+    // Each fire is one-shot — the waiter disarms until its carrier re-arms
+    // it — so an unconsumed wake can never stall the advance loop.
+    while (!logical_armed_.empty() &&
+           logical_armed_.begin()->first <= now_) {
+      const std::uint64_t id = logical_armed_.begin()->second;
+      logical_armed_.erase(logical_armed_.begin());
+      auto it = logical_.find(id);
+      if (it == logical_.end()) continue;
+      it->second.deadline = TimePoint::max();
+      NotifyAllLocked(it->second.cv);
     }
     // Loop: grant to the first expired waiter.
   }
@@ -198,6 +238,7 @@ void VirtualClock::Wait(std::condition_variable& cv,
   rec->wait_cv = &cv;
   rec->notified = false;
   rec->timed_out = false;
+  cv_waiters_[&cv][rec->id] = rec;
   (void)BlockLocked(g, lk, rec);
 }
 
@@ -211,6 +252,8 @@ std::cv_status VirtualClock::WaitUntil(std::condition_variable& cv,
   rec->wait_cv = &cv;
   rec->notified = false;
   rec->timed_out = false;
+  cv_waiters_[&cv][rec->id] = rec;
+  timed_.insert({deadline, rec->id, rec});
   return BlockLocked(g, lk, rec);
 }
 
@@ -225,15 +268,7 @@ void VirtualClock::SleepFor(Duration d) {
 
 void VirtualClock::NotifyAll(std::condition_variable& cv) {
   std::lock_guard<std::mutex> g(mu_);
-  for (auto& [id, rec] : threads_) {
-    if ((rec->state == State::kWaiting ||
-         rec->state == State::kWaitingTimed) &&
-        rec->wait_cv == &cv) {
-      rec->state = State::kReady;
-      rec->notified = true;
-      rec->ready_order = ready_seq_++;
-    }
-  }
+  NotifyAllLocked(&cv);
   ScheduleLocked();
 }
 
@@ -251,9 +286,8 @@ std::thread VirtualClock::SpawnThread(std::function<void()> fn) {
     auto owned = std::make_unique<ThreadRec>();
     rec = owned.get();
     rec->id = next_id_++;
-    rec->state = State::kReady;  // runnable from birth, runs when granted
-    rec->ready_order = ready_seq_++;
     threads_[rec->id] = std::move(owned);
+    MarkReadyLocked(rec);  // runnable from birth, runs when granted
   }
   return std::thread([this, rec, fn = std::move(fn)]() mutable {
     {
@@ -313,8 +347,7 @@ void VirtualClock::DetachImpl(bool record_finished) {
   bool woke_joiner = false;
   for (auto& [id, other] : threads_) {
     if (other->state == State::kJoining && other->join_target == os) {
-      other->state = State::kReady;
-      other->ready_order = ready_seq_++;
+      MarkReadyLocked(other.get());
       woke_joiner = true;
       break;  // at most one joiner per thread
     }
@@ -325,8 +358,43 @@ void VirtualClock::DetachImpl(bool record_finished) {
   current_.erase(os);
   if (owner_ == rec) owner_ = nullptr;
   rec->has_token = false;
+  // A detaching thread is normally running (in no index), but scrub the
+  // indices defensively so a stale entry can never dangle.
+  RemoveWaitIndicesLocked(rec);
+  ready_.erase({rec->ready_order, rec});
   threads_.erase(rec->id);
   ScheduleLocked();
+}
+
+std::uint64_t VirtualClock::RegisterLogicalWaiter(std::condition_variable* cv) {
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t id = next_id_++;
+  logical_[id] = LogicalWaiter{cv, TimePoint::max()};
+  return id;
+}
+
+void VirtualClock::SetLogicalDeadline(std::uint64_t waiter,
+                                      TimePoint deadline) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = logical_.find(waiter);
+  if (it == logical_.end()) return;
+  if (it->second.deadline != TimePoint::max()) {
+    logical_armed_.erase({it->second.deadline, waiter});
+  }
+  it->second.deadline = deadline;
+  if (deadline != TimePoint::max()) {
+    logical_armed_.insert({deadline, waiter});
+  }
+}
+
+void VirtualClock::UnregisterLogicalWaiter(std::uint64_t waiter) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = logical_.find(waiter);
+  if (it == logical_.end()) return;
+  if (it->second.deadline != TimePoint::max()) {
+    logical_armed_.erase({it->second.deadline, waiter});
+  }
+  logical_.erase(it);
 }
 
 std::size_t VirtualClock::participants() {

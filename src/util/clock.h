@@ -42,9 +42,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace lwfs::util {
@@ -86,6 +89,33 @@ class Clock {
   /// RealClock.  Prefer the ThreadGuard RAII wrapper.
   virtual void RegisterCurrentThread() {}
   virtual void UnregisterCurrentThread() {}
+
+  // ---- Logical waiters (event-driven carrier support) ---------------
+  //
+  // A carrier thread multiplexing many parked state machines has *one* OS
+  // thread but thousands of logical deadlines.  Registering a logical
+  // waiter tells a VirtualClock "even while this thread is blocked, there
+  // is pending work at this deadline": the advance step treats the armed
+  // deadline like a timed thread wait, and on expiry disarms it (one-shot)
+  // and notifies `cv` so the carrier wakes and fires its due timers.  The
+  // carrier must keep the armed deadline equal to the earliest deadline of
+  // its parked machines and re-arm after every wake.  For RealClock these
+  // are no-ops — real time advances by itself, so carriers must also pass
+  // the earliest deadline to WaitUntil (which they do; on VirtualClock
+  // that is belt-and-braces with the logical waiter).
+
+  /// Register a logical waiter that notifies `cv` on expiry; returns its
+  /// id (0 from clocks that do not track logical waiters).
+  virtual std::uint64_t RegisterLogicalWaiter(std::condition_variable* cv) {
+    (void)cv;
+    return 0;
+  }
+  /// Arm (or move) the waiter's deadline; TimePoint::max() disarms.
+  virtual void SetLogicalDeadline(std::uint64_t waiter, TimePoint deadline) {
+    (void)waiter;
+    (void)deadline;
+  }
+  virtual void UnregisterLogicalWaiter(std::uint64_t waiter) { (void)waiter; }
 
   // ---- Non-virtual conveniences -------------------------------------
 
@@ -206,6 +236,9 @@ class VirtualClock final : public Clock {
   void Join(std::thread& t) override;
   void RegisterCurrentThread() override;
   void UnregisterCurrentThread() override;
+  std::uint64_t RegisterLogicalWaiter(std::condition_variable* cv) override;
+  void SetLogicalDeadline(std::uint64_t waiter, TimePoint deadline) override;
+  void UnregisterLogicalWaiter(std::uint64_t waiter) override;
 
   /// Number of currently registered participant threads (tests).
   [[nodiscard]] std::size_t participants();
@@ -233,6 +266,12 @@ class VirtualClock final : public Clock {
     std::condition_variable grant_cv;  // paired with VirtualClock::mu_
   };
 
+  /// An armed carrier deadline: fires like a timed wait, then disarms.
+  struct LogicalWaiter {
+    const std::condition_variable* cv = nullptr;
+    TimePoint deadline = TimePoint::max();  // max == disarmed
+  };
+
   ThreadRec* EnsureRegisteredLocked(std::unique_lock<std::mutex>& g);
   ThreadRec* FindCurrentLocked();
   void ReleaseTokenLocked(ThreadRec* rec);
@@ -241,17 +280,37 @@ class VirtualClock final : public Clock {
   std::cv_status BlockLocked(std::unique_lock<std::mutex>& g,
                              std::unique_lock<std::mutex>& lk, ThreadRec* rec);
   void DetachImpl(bool record_finished);
+  /// Move `rec` to kReady with a fresh ready_order and index it.
+  void MarkReadyLocked(ThreadRec* rec);
+  /// Drop `rec` from the timed and per-cv wait indices (call before the
+  /// rec leaves a waiting state).
+  void RemoveWaitIndicesLocked(ThreadRec* rec);
+  /// Wake every thread waiting on `cv`, in ascending registration id.
+  void NotifyAllLocked(const std::condition_variable* cv);
 
   std::mutex mu_;
   TimePoint now_{};
   std::uint64_t next_id_ = 1;
   std::uint64_t ready_seq_ = 1;
   ThreadRec* owner_ = nullptr;
-  // Keyed by deterministic id: every scheduling scan iterates this map in
-  // id order, which is what makes grant/advance order reproducible.
+  // Keyed by deterministic id, which is what makes grant/advance order
+  // reproducible.  Scheduling never scans this map: the index structures
+  // below keep every ScheduleLocked/Notify step O(log n) so thousands of
+  // registered threads (2k modeled servers ≈ 6k threads) stay cheap.
   std::map<std::uint64_t, std::unique_ptr<ThreadRec>> threads_;
   std::unordered_map<std::thread::id, ThreadRec*> current_;  // lookup only
   std::unordered_set<std::thread::id> finished_unjoined_;
+  // Scheduling indices.  Orderings are over deterministic keys only
+  // (ready_order / (deadline, id)); the trailing pointer is payload and is
+  // never reached by a comparison, so pointer values cannot perturb order.
+  std::set<std::pair<std::uint64_t, ThreadRec*>> ready_;
+  std::set<std::tuple<TimePoint, std::uint64_t, ThreadRec*>> timed_;
+  std::unordered_map<const std::condition_variable*,
+                     std::map<std::uint64_t, ThreadRec*>>
+      cv_waiters_;
+  // Logical waiters (ids share next_id_ with threads).
+  std::map<std::uint64_t, LogicalWaiter> logical_;
+  std::set<std::pair<TimePoint, std::uint64_t>> logical_armed_;
 };
 
 }  // namespace lwfs::util

@@ -338,7 +338,7 @@ TEST_F(ChaosTest, StorageCrashMidTxnRecoversViaJournalReplay) {
             ErrorCode::kNotFound);
 
   // Breaker closes via a half-open probe once the server answers again.
-  std::this_thread::sleep_for(copts.breaker_cooldown +
+  util::RealClockInstance()->SleepFor(copts.breaker_cooldown +
                               std::chrono::milliseconds(20));
   EXPECT_TRUE(client.GetAttr(1, cap_, *oid).ok());  // probe succeeds
   EXPECT_FALSE(client.BreakerOpen(victim));

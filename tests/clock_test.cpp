@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -38,11 +40,12 @@ TEST(RealClockTest, TimedWaitTimesOut) {
 TEST(VirtualClockTest, SleepAdvancesModeledTimeWithoutWallClock) {
   VirtualClock vclock;
   Clock::ThreadGuard guard(&vclock);
-  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_start = std::chrono::steady_clock::now();  // time-hygiene: wall
   const auto virt_start = vclock.Now();
   vclock.SleepFor(10s);
   EXPECT_EQ(vclock.Now() - virt_start, std::chrono::nanoseconds(10s));
-  const auto wall_elapsed = std::chrono::steady_clock::now() - wall_start;
+  const auto wall_elapsed =
+      std::chrono::steady_clock::now() - wall_start;  // time-hygiene: wall
   EXPECT_LT(wall_elapsed, 1s);
 }
 
@@ -158,6 +161,53 @@ TEST(VirtualClockTest, ProducerConsumerHandoffIsDeterministic) {
   const std::string second = run();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+TEST(VirtualClockTest, LogicalWaiterDeadlineDrivesAdvanceAndIsOneShot) {
+  // A carrier thread parks in an UNTIMED Wait but registers the earliest
+  // deadline of its logical clients as a logical waiter.  No thread holds
+  // a timed wait at that deadline — the clock must still treat it as the
+  // next event, advance to it, and notify the carrier's cv.
+  VirtualClock vclock;
+  Clock::ThreadGuard guard(&vclock);
+  std::mutex m;
+  std::condition_variable cv;
+  const std::uint64_t waiter = vclock.RegisterLogicalWaiter(&cv);
+  ASSERT_NE(waiter, 0u);
+
+  // A peer sleeping far later must not be what wakes us.
+  std::thread peer = vclock.SpawnThread([&] { vclock.SleepFor(1h); });
+
+  const auto deadline = vclock.Now() + std::chrono::nanoseconds(10ms);
+  {
+    std::unique_lock<std::mutex> lk(m);
+    vclock.SetLogicalDeadline(waiter, deadline);
+    vclock.Wait(cv, lk);  // single-shot, untimed — the carrier idiom
+  }
+  EXPECT_EQ(vclock.Now(), deadline);
+
+  // Firing disarmed the waiter: a later advance must not re-notify, so a
+  // timed wait (with no re-arm) runs to its own deadline undisturbed.
+  {
+    std::unique_lock<std::mutex> lk(m);
+    const auto t2 = vclock.Now() + std::chrono::nanoseconds(5ms);
+    EXPECT_EQ(vclock.WaitUntil(cv, lk, t2), std::cv_status::timeout);
+    EXPECT_EQ(vclock.Now(), t2);
+  }
+
+  // Re-arm then disarm with max(): the deadline must no longer exist, so
+  // the next timed wait again expires on its own schedule.
+  {
+    std::unique_lock<std::mutex> lk(m);
+    vclock.SetLogicalDeadline(waiter, vclock.Now() + std::chrono::nanoseconds(1ms));
+    vclock.SetLogicalDeadline(waiter, Clock::TimePoint::max());
+    const auto t3 = vclock.Now() + std::chrono::nanoseconds(5ms);
+    EXPECT_EQ(vclock.WaitUntil(cv, lk, t3), std::cv_status::timeout);
+    EXPECT_EQ(vclock.Now(), t3);
+  }
+
+  vclock.UnregisterLogicalWaiter(waiter);
+  vclock.Join(peer);
 }
 
 TEST(VirtualClockTest, JoinAlreadyFinishedChildDoesNotDeadlock) {

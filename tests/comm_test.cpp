@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "comm/collectives.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace lwfs::comm {
@@ -136,7 +137,7 @@ TEST_P(CommSizeTest, BarrierSynchronizes) {
   std::atomic<bool> violation{false};
   EXPECT_EQ(0, group.RunAll([&](int rank) {
     // Stagger arrivals; nobody may pass the barrier before all arrived.
-    std::this_thread::sleep_for(std::chrono::milliseconds(rank * 3));
+    util::RealClockInstance()->SleepFor(std::chrono::milliseconds(rank * 3));
     arrived.fetch_add(1);
     Status s = group.comms[static_cast<std::size_t>(rank)]->Barrier(100);
     if (arrived.load() != GetParam()) violation.store(true);

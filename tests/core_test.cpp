@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/runtime.h"
+#include "util/clock.h"
 
 namespace lwfs::core {
 namespace {
@@ -244,7 +245,7 @@ TEST_F(CoreTest, LocksOverRpc) {
     ASSERT_TRUE(got.ok());
     ASSERT_TRUE(second_client->Unlock(*got).ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
   ASSERT_TRUE(client_->Unlock(*lock).ok());
   other.join();
 }

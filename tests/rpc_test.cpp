@@ -2,12 +2,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <future>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "rpc/rpc.h"
+#include "util/clock.h"
 
 namespace lwfs::rpc {
 namespace {
@@ -49,7 +53,7 @@ class RpcTest : public ::testing::Test {
         });
     server_->RegisterHandler(
         kSlow, [](ServerContext&, Decoder&) -> Result<Buffer> {
-          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          util::RealClockInstance()->SleepFor(std::chrono::milliseconds(50));
           return Buffer{};
         });
     ASSERT_TRUE(server_->Start().ok());
@@ -378,7 +382,7 @@ TEST_F(RpcTest, RetransmitRecoversLostReplyWithoutDoubleExecution) {
   while (executed.load() == 0) std::this_thread::yield();
   // Give the (doomed) first reply time to hit the wire, then heal the link
   // so the next retransmission's replayed reply gets through.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
   fabric_.injector().ClearFaults();
 
   ASSERT_TRUE(handle->Await().ok());
@@ -491,14 +495,14 @@ TEST_F(RpcTest, BreakerOpensFastFailsAndRecoversViaProbe) {
   EXPECT_GE(client.stats().breaker_fast_fails, 1u);
 
   // A failed half-open probe keeps the breaker open.
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(60));
   EXPECT_FALSE(client.Call(server_->nid(), kEcho, body).ok());
   EXPECT_TRUE(client.BreakerOpen(server_->nid()));
 
   // Server comes back: after the cooldown one probe goes through, succeeds,
   // and closes the breaker.
   fabric_.SetNodeDown(server_->nid(), false);
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(60));
   EXPECT_TRUE(client.Call(server_->nid(), kEcho, body).ok());
   EXPECT_FALSE(client.BreakerOpen(server_->nid()));
   EXPECT_TRUE(client.Call(server_->nid(), kEcho, body).ok());
@@ -553,6 +557,218 @@ TEST(BackoffTest, DifferentSeedsSpreadRetries) {
     first_delays.insert(backoff.NextUs());
   }
   EXPECT_GT(first_delays.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Completion notification (CallHandle::OnComplete) — the event-driven path
+// ---------------------------------------------------------------------------
+
+TEST_F(RpcTest, OnCompleteAfterCompletionRunsInlineOnCaller) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  Encoder req;
+  req.PutString("now");
+  auto handle = client.CallAsync(server_->nid(), kEcho, ByteSpan(req.buffer()));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->Await().ok());
+
+  // The call is already done: the callback must run on this thread, inside
+  // the OnComplete call, with the result visible.
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  handle->OnComplete([&](const Result<Buffer>& result) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_TRUE(result.ok());
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(RpcTest, OnCompleteRunsBeforeAwaitersAreReleased) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, options);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  server.RegisterHandler(kGated,
+                         [gate](ServerContext&, Decoder&) -> Result<Buffer> {
+                           gate.wait();
+                           return Buffer{};
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcClient client(fabric_.CreateNic());
+  auto handle = client.CallAsync(nic->nid(), kGated, {});
+  ASSERT_TRUE(handle.ok());
+  std::atomic<bool> callback_ran{false};
+  std::atomic<bool> try_await_inside{false};
+  CallHandle inner = *handle;
+  handle->OnComplete([&](const Result<Buffer>& result) {
+    EXPECT_TRUE(result.ok());
+    // The contract: TryAwait succeeds inside the callback.
+    Result<Buffer> peek = Buffer{};
+    try_await_inside = inner.TryAwait(&peek);
+    callback_ran = true;
+  });
+  EXPECT_FALSE(callback_ran.load());  // still parked behind the gate
+
+  release.set_value();
+  ASSERT_TRUE(handle->Await().ok());
+  // The callback fires before Await waiters are released, so by the time
+  // Await returned it must have run.
+  EXPECT_TRUE(callback_ran.load());
+  EXPECT_TRUE(try_await_inside.load());
+  server.Stop();
+}
+
+TEST_F(RpcTest, OnCompleteFiresOnRetransmitExhaustion) {
+  StartServer();
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(25);
+  copts.max_retransmits = 2;
+  copts.breaker_threshold = 0;
+  RpcClient client(fabric_.CreateNic(), copts);
+  fabric_.injector().SetLink(client.nid(), server_->nid(), {.drop = 1.0});
+
+  auto handle = client.CallAsync(server_->nid(), kEcho, {});
+  ASSERT_TRUE(handle.ok());
+  std::promise<ErrorCode> seen;
+  handle->OnComplete([&](const Result<Buffer>& result) {
+    seen.set_value(result.status().code());
+  });
+  // Failure paths (deadline after a spent retransmit budget) publish the
+  // result through the same completion path as replies.
+  EXPECT_EQ(seen.get_future().get(), ErrorCode::kTimeout);
+  EXPECT_EQ(handle->Await().status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(client.stats().retransmits, 2u);
+}
+
+TEST_F(RpcTest, SecondOnCompleteReplacesUnfiredFirst) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, options);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  server.RegisterHandler(kGated,
+                         [gate](ServerContext&, Decoder&) -> Result<Buffer> {
+                           gate.wait();
+                           return Buffer{};
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcClient client(fabric_.CreateNic());
+  auto handle = client.CallAsync(nic->nid(), kGated, {});
+  ASSERT_TRUE(handle.ok());
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  handle->OnComplete([&](const Result<Buffer>&) { ++first; });
+  handle->OnComplete([&](const Result<Buffer>&) { ++second; });
+
+  release.set_value();
+  ASSERT_TRUE(handle->Await().ok());
+  EXPECT_EQ(first.load(), 0);  // replaced before it could fire
+  EXPECT_EQ(second.load(), 1);
+  server.Stop();
+}
+
+TEST(RpcVirtualClockTest, OnCompleteTimeoutPathNeverDeadlocksOnVirtualTime) {
+  // Every party — fabric, server, client engine, and this thread — runs on
+  // one VirtualClock.  The call's deadline can only be reached by a virtual
+  // advance, which requires that the completion path never leaves a thread
+  // blocked outside the clock.
+  util::VirtualClock vclock;
+  util::Clock::ThreadGuard guard(&vclock);
+  portals::Fabric fabric;
+  fabric.SetClock(&vclock);
+  auto nic = fabric.CreateNic();
+  ServerOptions sopts;
+  sopts.clock = &vclock;
+  RpcServer server(nic, sopts);
+  server.RegisterHandler(kEcho, [](ServerContext&, Decoder&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.clock = &vclock;
+  copts.default_timeout = std::chrono::milliseconds(25);
+  copts.max_retransmits = 1;
+  copts.breaker_threshold = 0;
+  RpcClient client(fabric.CreateNic(), copts);
+  fabric.injector().SetLink(client.nid(), nic->nid(), {.drop = 1.0});
+
+  auto handle = client.CallAsync(nic->nid(), kEcho, {});
+  ASSERT_TRUE(handle.ok());
+  std::atomic<bool> callback_ran{false};
+  handle->OnComplete([&](const Result<Buffer>& result) {
+    EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+    callback_ran = true;
+  });
+  EXPECT_EQ(handle->Await().status().code(), ErrorCode::kTimeout);
+  EXPECT_TRUE(callback_ran.load());
+
+  // The healed path still completes (and fires its callback) afterwards.
+  fabric.injector().ClearFaults();
+  auto again = client.CallAsync(nic->nid(), kEcho, {});
+  ASSERT_TRUE(again.ok());
+  std::atomic<bool> ok_ran{false};
+  again->OnComplete(
+      [&](const Result<Buffer>& result) { ok_ran = result.ok(); });
+  EXPECT_TRUE(again->Await().ok());
+  EXPECT_TRUE(ok_ran.load());
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Shared-client tallies: thousands of logical clients, one RpcClient
+// ---------------------------------------------------------------------------
+
+TEST_F(RpcTest, OpTalliesAggregateAcrossConcurrentIssuers) {
+  StartServer();
+  RpcClient client(fabric_.CreateNic());
+  constexpr int kThreads = 8;
+  constexpr int kOkPerThread = 50;
+  constexpr int kFailPerThread = 10;
+
+  // Many issuing threads sharing one engine, as carrier threads do when
+  // thousands of logical clients multiplex one endpoint.  Every issue and
+  // every error must land in the shared tallies exactly once.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<CallHandle> handles;
+      Encoder req;
+      req.PutString("tally");
+      for (int i = 0; i < kOkPerThread; ++i) {
+        auto h = client.CallAsync(server_->nid(), kEcho, ByteSpan(req.buffer()));
+        ASSERT_TRUE(h.ok());
+        handles.push_back(std::move(*h));
+      }
+      for (int i = 0; i < kFailPerThread; ++i) {
+        auto h = client.CallAsync(server_->nid(), kFail, {});
+        ASSERT_TRUE(h.ok());
+        handles.push_back(std::move(*h));
+      }
+      for (auto& h : handles) (void)h.Await();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto tallies = client.OpTallies();
+  ASSERT_TRUE(tallies.contains(kEcho));
+  ASSERT_TRUE(tallies.contains(kFail));
+  EXPECT_EQ(tallies.at(kEcho).calls,
+            static_cast<std::uint64_t>(kThreads) * kOkPerThread);
+  EXPECT_EQ(tallies.at(kEcho).errors, 0u);
+  EXPECT_EQ(tallies.at(kFail).calls,
+            static_cast<std::uint64_t>(kThreads) * kFailPerThread);
+  EXPECT_EQ(tallies.at(kFail).errors,
+            static_cast<std::uint64_t>(kThreads) * kFailPerThread);
+  EXPECT_EQ(client.stats().calls,
+            static_cast<std::uint64_t>(kThreads) * (kOkPerThread + kFailPerThread));
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "core/io_scheduler.h"
 #include "core/runtime.h"
+#include "util/clock.h"
 
 namespace lwfs {
 namespace {
@@ -192,7 +193,7 @@ TEST(StagingPoolTest, AcquireBlocksUntilSpaceIsReleased) {
     EXPECT_TRUE(pool.Acquire(50).ok());
     acquired.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
   EXPECT_FALSE(acquired.load());
   pool.Release(80);
   waiter.join();
@@ -219,7 +220,7 @@ TEST(StagingPoolTest, CloseWakesBlockedAcquireWithUnavailable) {
   std::promise<Status> woke;
   std::thread waiter([&] { woke.set_value(pool.Acquire(50)); });
   auto result = woke.get_future();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
   pool.Close();
   waiter.join();
   EXPECT_EQ(result.get().code(), ErrorCode::kUnavailable);

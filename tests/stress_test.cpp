@@ -11,6 +11,7 @@
 #include "checkpoint/checkpoint.h"
 #include "core/runtime.h"
 #include "lwfsfs/lwfsfs.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace lwfs {
@@ -96,7 +97,7 @@ TEST(StressTest, MixedWorkloadAcrossAllServices) {
                      security::kOpCreate)
                   : security::kOpRead);
       if (!s.ok()) hard_failures.fetch_add(1);
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      util::RealClockInstance()->SleepFor(std::chrono::milliseconds(2));
     }
   });
 
@@ -172,7 +173,7 @@ TEST(StressTest, MixedWorkloadAcrossAllServices) {
                                                           config.path);
       if (restored.ok() && (*restored)[2] == states[2]) ++checkpoints_ok;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    util::RealClockInstance()->SleepFor(std::chrono::milliseconds(30));
   }
 
   stop.store(true);

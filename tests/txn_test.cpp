@@ -10,6 +10,7 @@
 #include "util/bytes.h"
 #include "txn/lock_table.h"
 #include "txn/two_phase.h"
+#include "util/clock.h"
 
 namespace lwfs::txn {
 namespace {
@@ -84,7 +85,7 @@ TEST(LockTableTest, BlockingAcquireWaitsForRelease) {
     acquired.store(true);
     ASSERT_TRUE(table.Release(id).ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
   EXPECT_FALSE(acquired.load());
   ASSERT_TRUE(table.Release(*held).ok());
   waiter.join();
@@ -103,7 +104,7 @@ TEST(LockTableTest, FairnessBlocksLateArrivals) {
   // Give the waiter time to enqueue, then a third owner tries a disjoint?
   // No — same range: TryAcquire must refuse while owner 2 is queued, even
   // after release makes the range technically free.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
   EXPECT_EQ(table.waiting_count(), 1u);
   EXPECT_FALSE(table.TryAcquire(key, {200, 300}, LockMode::kExclusive, 3).ok());
   ASSERT_TRUE(table.Release(*held).ok());
