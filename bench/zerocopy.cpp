@@ -1,0 +1,225 @@
+// Zero-copy data path A/B: ref-counted slice writes (client registers an
+// owned slice, server pulls sub-slices and hands them to the store) against
+// the legacy staged path (server pulls every chunk into a staging buffer
+// before the store copy).  Same deployment, same flow control — the only
+// difference is StorageServerOptions::zero_copy plus which client write
+// API the workload uses.
+//
+// Reports, per payload size: bytes-copied-per-byte-written (the CopyStats
+// budget: staging + store copies), per-kind copy bytes, and end-to-end
+// write/read throughput.  Emits BENCH_zerocopy.json.
+//
+// `--smoke` shrinks the workload to sanitizer-CI scale and doubles as the
+// bench-regression gate: the process exits nonzero if the zero-copy write
+// path's copies-per-byte exceeds kWriteCopyBudget (a copy snuck back into
+// the data path) or if the legacy path stops costing measurably more.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "util/clock.h"
+#include "util/shared_buffer.h"
+
+namespace {
+
+using namespace lwfs;
+
+// The zero-copy write path performs exactly one budgeted copy per byte
+// (the store-medium copy); allow headroom for control-plane writes.
+constexpr double kWriteCopyBudget = 1.25;
+
+struct SizeResult {
+  std::size_t payload_bytes = 0;
+  int iters = 0;
+  // Per mode: copies-per-byte on the write path, throughputs, copy bytes.
+  double write_cpb[2] = {0, 0};    // [0]=legacy, [1]=zerocopy
+  double write_mb_s[2] = {0, 0};
+  double read_mb_s[2] = {0, 0};
+  std::uint64_t stage_bytes[2] = {0, 0};
+  std::uint64_t store_bytes[2] = {0, 0};
+};
+
+struct ModeSetup {
+  const char* name;
+  bool zero_copy;
+};
+constexpr ModeSetup kModes[2] = {{"legacy", false}, {"zerocopy", true}};
+
+Result<SizeResult> RunSize(std::size_t payload_bytes, int iters) {
+  SizeResult r;
+  r.payload_bytes = payload_bytes;
+  r.iters = iters;
+
+  for (int mode = 0; mode < 2; ++mode) {
+    core::RuntimeOptions options;
+    options.storage_servers = 1;
+    options.storage.zero_copy = kModes[mode].zero_copy;
+    auto runtime = core::ServiceRuntime::Start(options);
+    if (!runtime.ok()) return runtime.status();
+    (*runtime)->AddUser("bench", "pw", 1);
+    auto client = (*runtime)->MakeClient();
+    auto cred = client->Login("bench", "pw");
+    if (!cred.ok()) return cred.status();
+    auto cid = client->CreateContainer(*cred);
+    if (!cid.ok()) return cid.status();
+    auto cap = client->GetCap(*cred, *cid, security::kOpAll);
+    if (!cap.ok()) return cap.status();
+    auto oid = client->CreateObject(0, *cap);
+    if (!oid.ok()) return oid.status();
+
+    Buffer pattern = PatternBuffer(payload_bytes, 7);
+    util::SharedSlice slice = util::SharedSlice::FromBuffer(Buffer(pattern));
+    util::RealClock wall;
+
+    // Write phase: payload written `iters` times (offset 0 each time — the
+    // medium copy cost is identical, and the store stays one object big).
+    const util::CopySnapshot before = util::CopyStats::Snapshot();
+    const auto w0 = wall.Now();
+    for (int i = 0; i < iters; ++i) {
+      Status written =
+          kModes[mode].zero_copy
+              ? client->WriteObjectSlice(0, *cap, *oid, 0, slice)
+              : client->WriteObject(0, *cap, *oid, 0, ByteSpan(pattern));
+      if (!written.ok()) return written;
+    }
+    const double write_s =
+        std::chrono::duration<double>(wall.Now() - w0).count();
+    const util::CopySnapshot wd = util::CopyStats::Snapshot().Since(before);
+    const auto total =
+        static_cast<double>(payload_bytes) * static_cast<double>(iters);
+    r.write_cpb[mode] = static_cast<double>(wd.budget_bytes()) / total;
+    r.write_mb_s[mode] = total / 1e6 / write_s;
+    r.stage_bytes[mode] = wd.bytes_of(util::CopyKind::kStage);
+    r.store_bytes[mode] = wd.bytes_of(util::CopyKind::kStore);
+
+    // Read phase (the path is shared; measured for completeness).
+    Buffer out(payload_bytes);
+    const auto r0 = wall.Now();
+    for (int i = 0; i < iters; ++i) {
+      auto n = client->ReadObject(0, *cap, *oid, 0, MutableByteSpan(out));
+      if (!n.ok()) return n.status();
+      if (*n != payload_bytes) return Internal("short read in bench");
+    }
+    const double read_s =
+        std::chrono::duration<double>(wall.Now() - r0).count();
+    r.read_mb_s[mode] = total / 1e6 / read_s;
+    if (out != pattern) return DataLoss("bench read back wrong bytes");
+  }
+  return r;
+}
+
+void DumpJson(const std::vector<SizeResult>& results, bool smoke) {
+  std::FILE* out = std::fopen("BENCH_zerocopy.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_zerocopy.json\n");
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"zerocopy_data_path\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"copy_budget_write\": %.2f,\n"
+               "  \"counts_copies\": %s,\n"
+               "  \"sizes\": [\n",
+               smoke ? "true" : "false", kWriteCopyBudget,
+               util::CopyStats::Enabled() ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"payload_bytes\": %zu,\n"
+                 "      \"iters\": %d,\n",
+                 r.payload_bytes, r.iters);
+    for (int m = 0; m < 2; ++m) {
+      std::fprintf(out,
+                   "      \"%s\": {\n"
+                   "        \"write_copies_per_byte\": %.3f,\n"
+                   "        \"write_mb_s\": %.1f,\n"
+                   "        \"read_mb_s\": %.1f,\n"
+                   "        \"stage_bytes\": %llu,\n"
+                   "        \"store_bytes\": %llu\n"
+                   "      }%s\n",
+                   kModes[m].name, r.write_cpb[m], r.write_mb_s[m],
+                   r.read_mb_s[m],
+                   static_cast<unsigned long long>(r.stage_bytes[m]),
+                   static_cast<unsigned long long>(r.store_bytes[m]),
+                   m == 0 ? "," : "");
+    }
+    std::fprintf(out, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_zerocopy.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  struct SizeSpec {
+    std::size_t bytes;
+    int iters;
+  };
+  std::vector<SizeSpec> sizes;
+  if (smoke) {
+    sizes = {{64 << 10, 8}, {1 << 20, 4}, {8 << 20, 2}};
+  } else {
+    sizes = {{64 << 10, 256}, {1 << 20, 64}, {8 << 20, 16}};
+  }
+
+  bench::PrintHeader(
+      "Zero-copy data path: staged (legacy) vs ref-counted slices");
+  std::printf("%10s %10s | %-8s %11s %11s %11s\n", "payload", "iters", "mode",
+              "copies/B", "write MB/s", "read MB/s");
+
+  std::vector<SizeResult> results;
+  for (const SizeSpec& s : sizes) {
+    auto r = RunSize(s.bytes, s.iters);
+    if (!r.ok()) {
+      std::fprintf(stderr, "bench failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    for (int m = 0; m < 2; ++m) {
+      std::printf("%10zu %10d | %-8s %11.3f %11.1f %11.1f\n", s.bytes, s.iters,
+                  kModes[m].name, r->write_cpb[m], r->write_mb_s[m],
+                  r->read_mb_s[m]);
+    }
+    results.push_back(*r);
+  }
+  DumpJson(results, smoke);
+
+  // Regression gate (CI runs `zerocopy --smoke`): the zero-copy write path
+  // must stay within the copy budget, and the legacy path must still cost
+  // more copies than the zero-copy path (i.e. the knob still does
+  // something).  Only meaningful when the build counts copies.
+  if (util::CopyStats::Enabled()) {
+    for (const SizeResult& r : results) {
+      if (r.write_cpb[1] > kWriteCopyBudget) {
+        std::fprintf(stderr,
+                     "FAIL: zero-copy write path copies %.3f bytes per byte "
+                     "written at %zu B payloads (budget %.2f) — an extra "
+                     "copy crept into the data path\n",
+                     r.write_cpb[1], r.payload_bytes, kWriteCopyBudget);
+        return 1;
+      }
+      if (r.write_cpb[0] <= r.write_cpb[1]) {
+        std::fprintf(stderr,
+                     "FAIL: legacy path (%.3f copies/B) no longer costs more "
+                     "than zero-copy (%.3f copies/B) at %zu B — the A/B knob "
+                     "is broken\n",
+                     r.write_cpb[0], r.write_cpb[1], r.payload_bytes);
+        return 1;
+      }
+    }
+    std::printf("copy budget check: zero-copy path within %.2f copies/byte\n",
+                kWriteCopyBudget);
+  }
+  return 0;
+}

@@ -38,6 +38,19 @@ class ErrorCollector {
 Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
                                             const Config& config,
                                             const std::vector<Buffer>& states) {
+  // Legacy span-based entry: wrap without copying.  External slices are
+  // not owned, so the servers stage each pulled chunk exactly as before.
+  std::vector<util::SharedSlice> slices;
+  slices.reserve(states.size());
+  for (const Buffer& s : states) {
+    slices.push_back(util::SharedSlice::External(ByteSpan(s)));
+  }
+  return Run(runtime, config, slices);
+}
+
+Result<CheckpointStats> LwfsCheckpoint::Run(
+    core::ServiceRuntime& runtime, const Config& config,
+    const std::vector<util::SharedSlice>& states) {
   const auto nranks = static_cast<std::uint32_t>(states.size());
   if (nranks == 0) return InvalidArgument("no ranks");
   const auto nservers =
@@ -128,7 +141,11 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
     spec.server = r % nservers;
     spec.cap = caps[r];
     spec.txid = (*txn)->id();
-    spec.payload = ByteSpan(states[r]);
+    if (states[r].owned()) {
+      spec.payload_slice = states[r];
+    } else {
+      spec.payload = states[r].span();
+    }
     auto machine = std::make_unique<WritePipeline>(std::move(spec));
     machines.push_back(machine.get());
     engine.Add(std::move(machine));
@@ -211,7 +228,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(core::ServiceRuntime& runtime,
   stats.seconds = Seconds(t_start, t_end);
   stats.create_seconds = create_phase_s;
   stats.dump_seconds = stats.seconds - stats.create_seconds;
-  for (const Buffer& s : states) stats.bytes += s.size();
+  for (const util::SharedSlice& s : states) stats.bytes += s.size();
   stats.creates = created;
   return stats;
 }

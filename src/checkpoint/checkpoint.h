@@ -31,6 +31,7 @@
 #include "pfs/client.h"
 #include "pfs/pfs_runtime.h"
 #include "util/bytes.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::checkpoint {
@@ -67,6 +68,14 @@ class LwfsCheckpoint {
   static Result<CheckpointStats> Run(core::ServiceRuntime& runtime,
                                      const Config& config,
                                      const std::vector<Buffer>& states);
+  /// Zero-copy variant: owned() slices are registered for the servers'
+  /// pulls by reference, so each rank's state crosses the stack without a
+  /// staging copy (the store-medium copy is the only one).  Non-owned
+  /// (External) slices take the legacy staged path, like the Buffer
+  /// overload — which wraps its spans this way and delegates here.
+  static Result<CheckpointStats> Run(
+      core::ServiceRuntime& runtime, const Config& config,
+      const std::vector<util::SharedSlice>& states);
 
   /// Restore: look up `path`, read the metadata object, read every state
   /// object through a windowed async batch.

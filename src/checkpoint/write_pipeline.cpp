@@ -111,15 +111,24 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
           if (!n.ok()) return Fail(n.status());
         }
         // Refill the window.
-        const std::uint64_t total = spec_.payload.size();
+        const bool sliced = spec_.payload_slice.owned();
+        const std::uint64_t total =
+            sliced ? spec_.payload_slice.size() : spec_.payload.size();
         const std::uint64_t chunk =
             spec_.chunk_bytes == 0 ? total : spec_.chunk_bytes;
         while (offset_ < total && writes_.size() < spec_.window) {
           const std::uint64_t n = std::min(chunk, total - offset_);
-          auto io = spec_.client->WriteObjectAsync(
-              spec_.server, cap_, oid_, offset_,
-              spec_.payload.subspan(static_cast<std::size_t>(offset_),
-                                    static_cast<std::size_t>(n)));
+          auto io =
+              sliced ? spec_.client->WriteObjectSliceAsync(
+                           spec_.server, cap_, oid_, offset_,
+                           spec_.payload_slice.Slice(
+                               static_cast<std::size_t>(offset_),
+                               static_cast<std::size_t>(n)))
+                     : spec_.client->WriteObjectAsync(
+                           spec_.server, cap_, oid_, offset_,
+                           spec_.payload.subspan(
+                               static_cast<std::size_t>(offset_),
+                               static_cast<std::size_t>(n)));
           if (!io.ok()) return Fail(io.status());
           writes_.push_back(std::move(*io));
           ctx.WakeOnComplete(writes_.back().handle());
@@ -137,7 +146,10 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
         if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
         auto attr = core::Client::ResolveGetAttr(std::move(reply));
         if (!attr.ok()) return Fail(attr.status());
-        if (attr->size < spec_.payload.size()) {
+        const std::uint64_t expect = spec_.payload_slice.owned()
+                                         ? spec_.payload_slice.size()
+                                         : spec_.payload.size();
+        if (attr->size < expect) {
           return Fail(DataLoss("dump verification: object short"));
         }
         stage_ = Stage::kDone;

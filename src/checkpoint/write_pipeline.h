@@ -34,6 +34,7 @@
 #include "storage/ids.h"
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::checkpoint {
@@ -56,6 +57,11 @@ class WritePipeline final : public driver::LogicalClient {
 
     txn::TxnId txid = 0;              // create joins this transaction
     ByteSpan payload{};               // must stay valid until kDone
+    /// Zero-copy alternative to `payload`: an owned ref-counted slice.
+    /// Chunks go out as O(1) sub-slices registered by reference, the slice
+    /// keeps the state buffer alive, and the server's store-medium copy is
+    /// the only copy.  Takes precedence over `payload` when owned().
+    util::SharedSlice payload_slice{};
     std::uint64_t chunk_bytes = 0;    // 0 = whole payload in one write
     std::size_t window = 1;           // outstanding chunk writes per rank
     bool create_only = false;         // stop after kCreate (Figure 10 sweep)

@@ -29,14 +29,12 @@ Communicator::~Communicator() {
   eq_.Close();
 }
 
-Status Communicator::Send(int dest, std::uint32_t tag, ByteSpan data) {
-  if (dest < 0 || dest >= size()) return InvalidArgument("bad destination");
+Status Communicator::PutWithBackoff(const std::function<Status()>& put) {
   // Bounded receiver queues: back off and resend on overflow, like the
   // RPC layer.
   int backoff_us = 10;
   for (int attempt = 0; attempt < 10000; ++attempt) {
-    Status s = nic_->Put(members_[static_cast<std::size_t>(dest)],
-                         kCollectivePortal, MakeMatch(rank_, tag), data);
+    Status s = put();
     if (s.ok() || s.code() != ErrorCode::kResourceExhausted) return s;
     clock_->SleepFor(std::chrono::microseconds(backoff_us));
     backoff_us = std::min(backoff_us * 2, 2000);
@@ -44,15 +42,48 @@ Status Communicator::Send(int dest, std::uint32_t tag, ByteSpan data) {
   return ResourceExhausted("peer receive queue stayed full");
 }
 
+Status Communicator::Send(int dest, std::uint32_t tag, ByteSpan data) {
+  if (dest < 0 || dest >= size()) return InvalidArgument("bad destination");
+  return PutWithBackoff([&] {
+    return nic_->Put(members_[static_cast<std::size_t>(dest)],
+                     kCollectivePortal, MakeMatch(rank_, tag), data);
+  });
+}
+
+Status Communicator::SendSlice(int dest, std::uint32_t tag,
+                               const util::SharedSlice& data) {
+  if (dest < 0 || dest >= size()) return InvalidArgument("bad destination");
+  return PutWithBackoff([&] {
+    return nic_->Put(members_[static_cast<std::size_t>(dest)],
+                     kCollectivePortal, MakeMatch(rank_, tag), data);
+  });
+}
+
+Status Communicator::SendFrame(int dest, std::uint32_t tag,
+                               const util::Frame& frame) {
+  if (dest < 0 || dest >= size()) return InvalidArgument("bad destination");
+  return PutWithBackoff([&] {
+    return nic_->PutFrame(members_[static_cast<std::size_t>(dest)],
+                          kCollectivePortal, MakeMatch(rank_, tag), frame);
+  });
+}
+
 Result<Buffer> Communicator::Recv(int src, std::uint32_t tag,
                                   std::chrono::milliseconds timeout) {
+  auto got = RecvSlice(src, tag, timeout);
+  if (!got.ok()) return got.status();
+  return got->ToBuffer(util::CopyKind::kDeliver);
+}
+
+Result<util::SharedSlice> Communicator::RecvSlice(
+    int src, std::uint32_t tag, std::chrono::milliseconds timeout) {
   if (src < 0 || src >= size()) return InvalidArgument("bad source");
   const auto key = std::make_pair(src, tag);
   const util::Clock::TimePoint deadline = clock_->Now() + timeout;
   for (;;) {
     auto it = stash_.find(key);
     if (it != stash_.end() && !it->second.empty()) {
-      Buffer out = std::move(it->second.front());
+      util::SharedSlice out = std::move(it->second.front());
       it->second.pop_front();
       if (it->second.empty()) stash_.erase(it);
       return out;
@@ -79,13 +110,18 @@ Status Communicator::Barrier(std::uint32_t tag) {
 
 Status Communicator::Bcast(int root, std::uint32_t tag, Buffer& data) {
   const int relative = Relative(rank_, root);
+  // Interior nodes forward the *received slice* by reference: the payload
+  // is copied once per subtree delivery, never re-copied per hop.
+  util::SharedSlice payload = util::SharedSlice::External(ByteSpan(data));
+  bool received = false;
   int mask = 1;
   // Receive phase: wait for the parent (if any).
   while (mask < size()) {
     if (relative & mask) {
-      auto got = Recv(Absolute(relative - mask, root), tag);
+      auto got = RecvSlice(Absolute(relative - mask, root), tag);
       if (!got.ok()) return got.status();
-      data = std::move(*got);
+      payload = std::move(*got);
+      received = true;
       break;
     }
     mask <<= 1;
@@ -95,33 +131,35 @@ Status Communicator::Bcast(int root, std::uint32_t tag, Buffer& data) {
   while (mask > 0) {
     if (relative + mask < size()) {
       LWFS_RETURN_IF_ERROR(
-          Send(Absolute(relative + mask, root), tag, ByteSpan(data)));
+          SendSlice(Absolute(relative + mask, root), tag, payload));
     }
     mask >>= 1;
   }
+  if (received) data = payload.ToBuffer(util::CopyKind::kDeliver);
   return OkStatus();
 }
 
 Result<std::vector<Buffer>> Communicator::Gather(int root, std::uint32_t tag,
                                                  ByteSpan mine) {
   const int relative = Relative(rank_, root);
-  // Accumulate (relative rank -> contribution) for our subtree.
-  std::map<int, Buffer> bundle;
-  bundle.emplace(relative, Buffer(mine.begin(), mine.end()));
+  // Accumulate (relative rank -> contribution) for our subtree.  Received
+  // contributions are zero-copy sub-slices of their bundle frames.
+  std::map<int, util::SharedSlice> bundle;
+  bundle.emplace(relative, util::SharedSlice::External(mine));
 
   int mask = 1;
   while (mask < size()) {
     if ((relative & mask) == 0) {
       // We are a parent at this level: absorb the child's subtree.
       if (relative + mask < size()) {
-        auto packed = Recv(Absolute(relative + mask, root), tag);
+        auto packed = RecvSlice(Absolute(relative + mask, root), tag);
         if (!packed.ok()) return packed.status();
         Decoder dec(*packed);
         auto count = dec.GetU32();
         if (!count.ok()) return count.status();
         for (std::uint32_t i = 0; i < *count; ++i) {
           auto vrank = dec.GetU32();
-          auto payload = dec.GetBytes();
+          auto payload = dec.TakeSlice();
           if (!vrank.ok() || !payload.ok()) {
             return Internal("malformed gather bundle");
           }
@@ -130,23 +168,27 @@ Result<std::vector<Buffer>> Communicator::Gather(int root, std::uint32_t tag,
       }
       mask <<= 1;
     } else {
-      // We are a child: ship the whole subtree to the parent and stop.
-      Encoder enc;
-      enc.PutU32(static_cast<std::uint32_t>(bundle.size()));
+      // We are a child: ship the whole subtree as one scatter-gather frame
+      // — contribution slices ride by reference — and stop.
+      util::FrameBuilder fb;
+      fb.header().PutU32(static_cast<std::uint32_t>(bundle.size()));
       for (const auto& [vrank, payload] : bundle) {
-        enc.PutU32(static_cast<std::uint32_t>(vrank));
-        enc.PutBytes(ByteSpan(payload));
+        fb.header().PutU32(static_cast<std::uint32_t>(vrank));
+        fb.header().PutU32(static_cast<std::uint32_t>(payload.size()));
+        fb.Append(payload);
       }
+      util::Frame frame = fb.Build();
       LWFS_RETURN_IF_ERROR(
-          Send(Absolute(relative - mask, root), tag, ByteSpan(enc.buffer())));
+          SendFrame(Absolute(relative - mask, root), tag, frame));
       return std::vector<Buffer>{};
     }
   }
 
-  // Root: reorder by absolute rank.
+  // Root: reorder by absolute rank and materialize for the caller.
   std::vector<Buffer> out(static_cast<std::size_t>(size()));
   for (auto& [vrank, payload] : bundle) {
-    out[static_cast<std::size_t>(Absolute(vrank, root))] = std::move(payload);
+    out[static_cast<std::size_t>(Absolute(vrank, root))] =
+        payload.ToBuffer(util::CopyKind::kDeliver);
   }
   return out;
 }
@@ -154,7 +196,10 @@ Result<std::vector<Buffer>> Communicator::Gather(int root, std::uint32_t tag,
 Result<Buffer> Communicator::Scatter(int root, std::uint32_t tag,
                                      const std::vector<Buffer>& pieces) {
   const int relative = Relative(rank_, root);
-  std::map<int, Buffer> bundle;  // relative rank -> piece, for our subtree
+  // relative rank -> piece, for our subtree; received pieces are zero-copy
+  // sub-slices of the parent's bundle frame and are re-forwarded by
+  // reference.
+  std::map<int, util::SharedSlice> bundle;
   int recv_mask = 1;
 
   if (rank_ == root) {
@@ -162,21 +207,24 @@ Result<Buffer> Communicator::Scatter(int root, std::uint32_t tag,
       return InvalidArgument("scatter needs one piece per rank");
     }
     for (int r = 0; r < size(); ++r) {
-      bundle.emplace(Relative(r, root), pieces[static_cast<std::size_t>(r)]);
+      bundle.emplace(
+          Relative(r, root),
+          util::SharedSlice::External(
+              ByteSpan(pieces[static_cast<std::size_t>(r)])));
     }
     while (recv_mask < size()) recv_mask <<= 1;
   } else {
     // Receive our subtree's bundle from the parent.
     while (recv_mask < size()) {
       if (relative & recv_mask) {
-        auto packed = Recv(Absolute(relative - recv_mask, root), tag);
+        auto packed = RecvSlice(Absolute(relative - recv_mask, root), tag);
         if (!packed.ok()) return packed.status();
         Decoder dec(*packed);
         auto count = dec.GetU32();
         if (!count.ok()) return count.status();
         for (std::uint32_t i = 0; i < *count; ++i) {
           auto vrank = dec.GetU32();
-          auto payload = dec.GetBytes();
+          auto payload = dec.TakeSlice();
           if (!vrank.ok() || !payload.ok()) {
             return Internal("malformed scatter bundle");
           }
@@ -193,27 +241,26 @@ Result<Buffer> Communicator::Scatter(int root, std::uint32_t tag,
   for (int m = recv_mask >> 1; m > 0; m >>= 1) {
     const int child = relative + m;
     if (child >= size()) continue;
-    Encoder enc;
     std::uint32_t count = 0;
-    Encoder entries;
+    for (int v = child; v < child + m && v < size(); ++v) ++count;
+    util::FrameBuilder fb;
+    fb.header().PutU32(count);
     for (int v = child; v < child + m && v < size(); ++v) {
       auto it = bundle.find(v);
       if (it == bundle.end()) return Internal("scatter bundle hole");
-      entries.PutU32(static_cast<std::uint32_t>(v));
-      entries.PutBytes(ByteSpan(it->second));
-      ++count;
+      fb.header().PutU32(static_cast<std::uint32_t>(v));
+      fb.header().PutU32(static_cast<std::uint32_t>(it->second.size()));
+      fb.Append(it->second);
     }
-    enc.PutU32(count);
-    enc.PutRaw(ByteSpan(entries.buffer()));
-    LWFS_RETURN_IF_ERROR(
-        Send(Absolute(child, root), tag, ByteSpan(enc.buffer())));
+    util::Frame frame = fb.Build();
+    LWFS_RETURN_IF_ERROR(SendFrame(Absolute(child, root), tag, frame));
     // Drop what we forwarded.
     for (int v = child; v < child + m && v < size(); ++v) bundle.erase(v);
   }
 
   auto mine = bundle.find(relative);
   if (mine == bundle.end()) return Internal("scatter lost own piece");
-  return std::move(mine->second);
+  return mine->second.ToBuffer(util::CopyKind::kDeliver);
 }
 
 }  // namespace lwfs::comm

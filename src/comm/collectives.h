@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "portals/portals.h"
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::comm {
@@ -49,11 +51,20 @@ class Communicator {
 
   // ---- Point to point -----------------------------------------------------
   Status Send(int dest, std::uint32_t tag, ByteSpan data);
+  /// Slice send: an *owned* slice is delivered by reference (zero-copy);
+  /// an external slice is copied at delivery like Send().
+  Status SendSlice(int dest, std::uint32_t tag,
+                   const util::SharedSlice& data);
   /// Blocking receive of the next message with (src, tag); out-of-order
   /// arrivals are stashed.
   Result<Buffer> Recv(int src, std::uint32_t tag,
                       std::chrono::milliseconds timeout =
                           std::chrono::milliseconds(10000));
+  /// Receive primitive: the delivered payload as an owned slice, no copy.
+  /// Recv() is this plus one materialize.
+  Result<util::SharedSlice> RecvSlice(int src, std::uint32_t tag,
+                                      std::chrono::milliseconds timeout =
+                                          std::chrono::milliseconds(10000));
 
   // ---- Collectives (binomial trees, O(log n) rounds) ------------------------
   /// All ranks must call with the same tag; returns when everyone arrived.
@@ -94,14 +105,23 @@ class Communicator {
            static_cast<portals::MatchBits>(src & 0xFFFF);
   }
 
+  /// Retry `put` with exponential backoff while the peer's bounded receive
+  /// queue rejects it (the RPC layer's flow-control discipline).
+  Status PutWithBackoff(const std::function<Status()>& put);
+  /// Ship a scatter-gather frame to `dest` (gathered once, at delivery).
+  Status SendFrame(int dest, std::uint32_t tag, const util::Frame& frame);
+
   std::shared_ptr<portals::Nic> nic_;
   std::vector<portals::Nid> members_;
   int rank_;
   util::Clock* const clock_;
   portals::EventQueue eq_;
   portals::MeHandle me_ = portals::kInvalidMeHandle;
-  // Out-of-order stash: (src, tag) -> FIFO of payloads.
-  std::map<std::pair<int, std::uint32_t>, std::deque<Buffer>> stash_;
+  // Out-of-order stash: (src, tag) -> FIFO of payload slices (refs, not
+  // clones — a stashed payload is never copied until the caller asks for
+  // a Buffer).
+  std::map<std::pair<int, std::uint32_t>, std::deque<util::SharedSlice>>
+      stash_;
 };
 
 }  // namespace lwfs::comm

@@ -89,6 +89,21 @@ Status Batch::Write(std::uint32_t server, const security::Capability& cap,
   return OkStatus();
 }
 
+Status Batch::WriteSlice(std::uint32_t server, const security::Capability& cap,
+                         storage::ObjectId oid, std::uint64_t offset,
+                         const util::SharedSlice& data) {
+  if (!first_error_.ok()) return first_error_;
+  while (inflight_.size() >= window_) (void)RetireOldest();
+  if (!first_error_.ok()) return first_error_;
+  auto io = client_->WriteObjectSliceAsync(server, cap, oid, offset, data);
+  if (!io.ok()) {
+    if (first_error_.ok()) first_error_ = io.status();
+    return io.status();
+  }
+  inflight_.push_back(Op{std::move(*io), nullptr});
+  return OkStatus();
+}
+
 Status Batch::Read(std::uint32_t server, const security::Capability& cap,
                    storage::ObjectId oid, std::uint64_t offset,
                    MutableByteSpan out, std::uint64_t* bytes_read) {
@@ -306,6 +321,34 @@ Result<PendingIo> Client::WriteObjectAsync(std::uint32_t server,
       options);
   if (!handle.ok()) return handle.status();
   return PendingIo(std::move(*handle), /*decode_reply=*/false, data.size());
+}
+
+Result<PendingIo> Client::WriteObjectSliceAsync(std::uint32_t server,
+                                                const security::Capability& cap,
+                                                storage::ObjectId oid,
+                                                std::uint64_t offset,
+                                                const util::SharedSlice& data) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  rpc::CallOptions options;
+  // Registered by reference; the NIC match entry holds a ref until the call
+  // completes, so the bytes survive even if the caller drops the slice.
+  options.bulk_out_slice = data;
+  auto handle = rpc::CallTypedAsync(
+      rpc_, *nid, kOpObjWrite, wire::ObjWriteReq{cap, oid.value, offset},
+      options);
+  if (!handle.ok()) return handle.status();
+  return PendingIo(std::move(*handle), /*decode_reply=*/false, data.size());
+}
+
+Status Client::WriteObjectSlice(std::uint32_t server,
+                                const security::Capability& cap,
+                                storage::ObjectId oid, std::uint64_t offset,
+                                const util::SharedSlice& data) {
+  auto io = WriteObjectSliceAsync(server, cap, oid, offset, data);
+  if (!io.ok()) return io.status();
+  auto n = io->Await();
+  return n.ok() ? OkStatus() : n.status();
 }
 
 Result<std::uint64_t> Client::ReadObject(std::uint32_t server,

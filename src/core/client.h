@@ -29,6 +29,7 @@
 #include "txn/lock_retry.h"
 #include "txn/lock_table.h"
 #include "txn/two_phase.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::core {
@@ -120,6 +121,11 @@ class Batch {
 
   Status Write(std::uint32_t server, const security::Capability& cap,
                storage::ObjectId oid, std::uint64_t offset, ByteSpan data);
+  /// Zero-copy variant: the slice keeps the payload alive until the op
+  /// retires, so the caller needs no span-lifetime discipline.
+  Status WriteSlice(std::uint32_t server, const security::Capability& cap,
+                    storage::ObjectId oid, std::uint64_t offset,
+                    const util::SharedSlice& data);
   Status Read(std::uint32_t server, const security::Capability& cap,
               storage::ObjectId oid, std::uint64_t offset, MutableByteSpan out,
               std::uint64_t* bytes_read = nullptr);
@@ -277,6 +283,18 @@ class Client {
                                      const security::Capability& cap,
                                      storage::ObjectId oid,
                                      std::uint64_t offset, ByteSpan data);
+  /// Zero-copy write: registers an owned ref-counted slice for the server's
+  /// pull, so the payload is never staged on either side (the store-medium
+  /// copy at the server is the only copy) and stays alive until the call
+  /// retires even if the caller drops its reference.
+  Result<PendingIo> WriteObjectSliceAsync(std::uint32_t server,
+                                          const security::Capability& cap,
+                                          storage::ObjectId oid,
+                                          std::uint64_t offset,
+                                          const util::SharedSlice& data);
+  Status WriteObjectSlice(std::uint32_t server, const security::Capability& cap,
+                          storage::ObjectId oid, std::uint64_t offset,
+                          const util::SharedSlice& data);
   Result<PendingIo> ReadObjectAsync(std::uint32_t server,
                                     const security::Capability& cap,
                                     storage::ObjectId oid,

@@ -232,18 +232,35 @@ Result<std::uint64_t> StorageServer::ScheduledWrite(rpc::ServerContext& ctx,
       break;
     }
     auto reservation = std::make_shared<StagingReservation>(&staging_, n);
-    auto chunk = std::make_shared<Buffer>(n);
-    Status pulled = ctx.PullBulk(MutableByteSpan(*chunk), moved);
-    if (!pulled.ok()) {
-      if (first_error.ok()) first_error = std::move(pulled);
-      break;
-    }
     const std::uint64_t at = offset + moved;
-    pipeline.push_back(scheduler_->Submit(
-        oid, /*is_write=*/true, at, n,
-        [store = store_, oid, at, chunk, reservation]() -> Status {
-          return store->Write(oid, at, ByteSpan(*chunk));
-        }));
+    if (options_.zero_copy) {
+      // Zero-copy pull: the slice references the client's registered
+      // payload (kept alive by its refcount); the store's WriteSlice is
+      // the write path's only copy.
+      auto pulled = ctx.PullBulkSlice(n, moved);
+      if (!pulled.ok()) {
+        if (first_error.ok()) first_error = pulled.status();
+        break;
+      }
+      pipeline.push_back(scheduler_->Submit(
+          oid, /*is_write=*/true, at, n,
+          [store = store_, oid, at, chunk = std::move(*pulled),
+           reservation]() -> Status {
+            return store->WriteSlice(oid, at, chunk);
+          }));
+    } else {
+      auto chunk = std::make_shared<Buffer>(n);
+      Status pulled = ctx.PullBulk(MutableByteSpan(*chunk), moved);
+      if (!pulled.ok()) {
+        if (first_error.ok()) first_error = std::move(pulled);
+        break;
+      }
+      pipeline.push_back(scheduler_->Submit(
+          oid, /*is_write=*/true, at, n,
+          [store = store_, oid, at, chunk, reservation]() -> Status {
+            return store->Write(oid, at, ByteSpan(*chunk));
+          }));
+    }
     moved += n;
     while (pipeline.size() >= kRequestPipelineDepth && first_error.ok()) {
       retire_oldest();
@@ -379,6 +396,19 @@ void StorageServer::RegisterDataHandlers() {
                                           req.offset, total);
           if (!scheduled.ok()) return scheduled.status();
           moved = *scheduled;
+        } else if (options_.zero_copy) {
+          while (moved < total) {
+            const std::size_t n =
+                static_cast<std::size_t>(std::min<std::uint64_t>(
+                    options_.bulk_chunk_bytes, total - moved));
+            auto chunk = ctx.PullBulkSlice(n, moved);
+            if (!chunk.ok()) return chunk.status();
+            LWFS_RETURN_IF_ERROR(store_->WriteSlice(storage::ObjectId{req.oid},
+                                                    req.offset + moved,
+                                                    *chunk));
+            ChargeMediumTime(n, /*charge_op=*/moved == 0);
+            moved += n;
+          }
         } else {
           Buffer chunk;
           while (moved < total) {

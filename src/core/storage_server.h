@@ -89,6 +89,13 @@ struct StorageServerOptions {
   /// per-run medium charge).  Off reproduces the old per-request FIFO
   /// data path, which the server_sched bench uses as its baseline.
   bool scheduler = true;
+  /// Pull write payloads as ref-counted slices (PullBulkSlice/WriteSlice):
+  /// when the client registered an owned slice the server never stages the
+  /// bytes — the store's medium copy is the only copy on the write path.
+  /// Off restores the legacy staged-chunk pull (the zerocopy bench's
+  /// baseline).  Flow control is unchanged either way: chunks still
+  /// reserve staging-pool space.
+  bool zero_copy = true;
   /// Bound on total staging memory for in-flight bulk chunks; workers
   /// block for pool space before pulling from clients, so a burst of
   /// concurrent writes cannot overrun the I/O node (§3.2 flow control).

@@ -42,6 +42,10 @@ struct PfsIo::State {
   std::vector<Chunk> chunks;
   std::size_t next_chunk = 0;
   ByteSpan data{};          // write payload
+  // Ref-counted write payload (WriteSliceAsync): chunks register O(1)
+  // sub-slices of this for the OST pull instead of raw spans, and the
+  // slice keeps the payload alive past caller scope.
+  util::SharedSlice data_slice{};
   MutableByteSpan out{};    // read destination
 
   struct Issued {
@@ -257,8 +261,13 @@ Status PfsClient::IssueChunk(PfsIo::State& s) {
         wire::OstReadReq{chunk.oid, chunk.object_offset, chunk.length},
         options);
   } else {
-    options.bulk_out = s.data.subspan(chunk.span_offset,
-                                      static_cast<std::size_t>(chunk.length));
+    if (s.data_slice.owned()) {
+      options.bulk_out_slice = s.data_slice.Slice(
+          chunk.span_offset, static_cast<std::size_t>(chunk.length));
+    } else {
+      options.bulk_out = s.data.subspan(
+          chunk.span_offset, static_cast<std::size_t>(chunk.length));
+    }
     handle = rpc::CallTypedAsync(rpc_, chunk.ost, kOstWrite,
                                  wire::OstWriteReq{chunk.oid,
                                                    chunk.object_offset},
@@ -278,6 +287,26 @@ Result<PfsIo> PfsClient::WriteAsync(const OpenFile& file, std::uint64_t offset,
   // Prime the window; Await() keeps it full as chunks retire.  When an
   // extent lock is required no chunk may go out before it is held, so the
   // whole issue is deferred to Await() (which takes the lock first).
+  PfsIo::State& s = *io->state_;
+  while (!s.need_lock && s.inflight.size() < s.window &&
+         s.next_chunk < s.chunks.size()) {
+    Status issued = IssueChunk(s);
+    if (!issued.ok()) {
+      (void)io->Await();  // drain + unlock before reporting
+      return issued;
+    }
+  }
+  return io;
+}
+
+Result<PfsIo> PfsClient::WriteSliceAsync(const OpenFile& file,
+                                         std::uint64_t offset,
+                                         const util::SharedSlice& data,
+                                         std::size_t window) {
+  auto io = PlanIo(file, offset, data.size(), /*is_read=*/false, window);
+  if (!io.ok()) return io;
+  io->state_->data = data.span();
+  io->state_->data_slice = data;
   PfsIo::State& s = *io->state_;
   while (!s.need_lock && s.inflight.size() < s.window &&
          s.next_chunk < s.chunks.size()) {

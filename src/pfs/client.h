@@ -17,6 +17,7 @@
 #include "pfs/protocol.h"
 #include "rpc/rpc.h"
 #include "txn/lock_table.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::pfs {
@@ -98,6 +99,13 @@ class PfsClient {
   Result<PfsIo> WriteAsync(const OpenFile& file, std::uint64_t offset,
                            ByteSpan data,
                            std::size_t window = kDefaultOstWindow);
+  /// Zero-copy write: each per-stripe chunk registers an O(1) sub-slice of
+  /// `data` for the OST's server-directed pull, so the payload is never
+  /// staged on either side — the slice must be owned() (ref-counted).
+  /// Non-owned slices fall back to the span path at the OST.
+  Result<PfsIo> WriteSliceAsync(const OpenFile& file, std::uint64_t offset,
+                                const util::SharedSlice& data,
+                                std::size_t window = kDefaultOstWindow);
   Result<PfsIo> ReadAsync(const OpenFile& file, std::uint64_t offset,
                           MutableByteSpan out,
                           std::size_t window = kDefaultOstWindow);

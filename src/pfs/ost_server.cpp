@@ -25,16 +25,17 @@ OstServer::OstServer(std::shared_ptr<portals::Nic> nic,
       [this](rpc::ServerContext& ctx,
              wire::OstWriteReq& req) -> Result<wire::OstMovedRep> {
         const std::uint64_t total = ctx.bulk_out_size();
-        Buffer chunk;
         std::uint64_t moved = 0;
         while (moved < total) {
           const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
               options_.bulk_chunk_bytes, total - moved));
-          chunk.resize(n);
-          LWFS_RETURN_IF_ERROR(ctx.PullBulk(MutableByteSpan(chunk), moved));
-          LWFS_RETURN_IF_ERROR(store_->Write(storage::ObjectId{req.oid},
-                                             req.offset + moved,
-                                             ByteSpan(chunk)));
+          // Zero-copy pull: the slice references the client's registered
+          // payload; the store's WriteSlice is the only copy.
+          auto chunk = ctx.PullBulkSlice(n, moved);
+          if (!chunk.ok()) return chunk.status();
+          LWFS_RETURN_IF_ERROR(store_->WriteSlice(storage::ObjectId{req.oid},
+                                                  req.offset + moved,
+                                                  *chunk));
           moved += n;
         }
         // Pulled payload must match the client's request-header checksum;

@@ -33,7 +33,29 @@ Result<MeHandle> Nic::Attach(PortalIndex portal, MatchBits match_bits,
   std::lock_guard<std::mutex> lock(mutex_);
   MeHandle handle = next_handle_++;
   portal_table_[portal].push_back(MatchEntry{handle, match_bits, ignore_bits,
-                                             region, options, eq, user_data});
+                                             region, options, eq, user_data,
+                                             util::SharedSlice{}});
+  return handle;
+}
+
+Result<MeHandle> Nic::AttachSlice(PortalIndex portal, MatchBits match_bits,
+                                  MatchBits ignore_bits,
+                                  util::SharedSlice slice, EventQueue* eq,
+                                  std::uint64_t user_data) {
+  if (!slice.owned()) {
+    return InvalidArgument("slice-backed entry needs an owned slice");
+  }
+  MeOptions options;
+  options.allow_get = true;
+  // The entry never writes: exposing the immutable bytes as the (mutable)
+  // region keeps Get()/GetSlice() sharing one lookup path.
+  MutableByteSpan region(const_cast<std::uint8_t*>(slice.data()),
+                         slice.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  MeHandle handle = next_handle_++;
+  portal_table_[portal].push_back(MatchEntry{handle, match_bits, ignore_bits,
+                                             region, options, eq, user_data,
+                                             std::move(slice)});
   return handle;
 }
 
@@ -74,6 +96,32 @@ void Nic::UnlinkLocked(PortalIndex portal, MeHandle handle) {
 Status Nic::Put(Nid target, PortalIndex portal, MatchBits match_bits,
                 ByteSpan data, std::size_t remote_offset,
                 std::uint64_t hdr_data) {
+  // External (borrowed) view: a message-mode receiver copies it at
+  // delivery, exactly like the old Buffer path.
+  const util::SharedSlice part = util::SharedSlice::External(data);
+  return PutParts(target, portal, match_bits, {&part, 1}, data.size(),
+                  remote_offset, hdr_data);
+}
+
+Status Nic::Put(Nid target, PortalIndex portal, MatchBits match_bits,
+                const util::SharedSlice& data, std::size_t remote_offset,
+                std::uint64_t hdr_data) {
+  return PutParts(target, portal, match_bits, {&data, 1}, data.size(),
+                  remote_offset, hdr_data);
+}
+
+Status Nic::PutFrame(Nid target, PortalIndex portal, MatchBits match_bits,
+                     const util::Frame& frame, std::size_t remote_offset,
+                     std::uint64_t hdr_data) {
+  return PutParts(target, portal, match_bits,
+                  {frame.parts.data(), frame.parts.size()}, frame.total_bytes,
+                  remote_offset, hdr_data);
+}
+
+Status Nic::PutParts(Nid target, PortalIndex portal, MatchBits match_bits,
+                     std::span<const util::SharedSlice> parts,
+                     std::size_t total, std::size_t remote_offset,
+                     std::uint64_t hdr_data) {
   if (fabric_->IsNodeDown(target) || fabric_->IsNodeDown(nid_)) {
     return Unavailable("node down");
   }
@@ -94,27 +142,35 @@ Status Nic::Put(Nid target, PortalIndex portal, MatchBits match_bits,
   }
   std::shared_ptr<Nic> dest = fabric_->Route(target);
   if (!dest) return Unavailable("no such node");
-  Buffer corrupted;
-  ByteSpan payload = data;
-  if (plan.corrupt && !data.empty()) {
-    corrupted.assign(data.begin(), data.end());
-    fabric_->injector_.CorruptSpan(MutableByteSpan(corrupted));
-    payload = ByteSpan(corrupted);
+  util::SharedSlice corrupted;
+  if (plan.corrupt && total > 0) {
+    // Copy-on-write: the parts may be shared with (or *be*) the sender's
+    // live buffers, so corruption flips a byte of a private clone — never
+    // the delivered originals.
+    Buffer clone;
+    clone.reserve(total);
+    for (const util::SharedSlice& p : parts) {
+      clone.insert(clone.end(), p.data(), p.data() + p.size());
+    }
+    LWFS_COUNT_COPY(util::CopyKind::kInjected, total);
+    fabric_->injector_.CorruptSpan(MutableByteSpan(clone));
+    corrupted = util::SharedSlice::FromBuffer(std::move(clone));
+    parts = {&corrupted, 1};
   }
   // Count optimistically before delivery: the receiver may wake up on the
   // event and inspect fabric stats before this thread runs again, so the
   // count must already be visible.  Undone on failure.
-  fabric_->CountPut(payload.size());
-  Status s = dest->AcceptPut(nid_, portal, match_bits, payload, remote_offset,
-                             hdr_data);
+  fabric_->CountPut(total);
+  Status s = dest->AcceptPut(nid_, portal, match_bits, parts, total,
+                             remote_offset, hdr_data);
   if (!s.ok()) {
-    fabric_->UncountPut(payload.size());
+    fabric_->UncountPut(total);
     if (s.code() == ErrorCode::kResourceExhausted) fabric_->CountRejected();
   } else if (plan.duplicate) {
-    fabric_->CountPut(payload.size());
-    Status dup = dest->AcceptPut(nid_, portal, match_bits, payload,
+    fabric_->CountPut(total);
+    Status dup = dest->AcceptPut(nid_, portal, match_bits, parts, total,
                                  remote_offset, hdr_data);
-    if (!dup.ok()) fabric_->UncountPut(payload.size());
+    if (!dup.ok()) fabric_->UncountPut(total);
   }
   if (plan.crash_after) fabric_->SetNodeDown(target, true);
   return s;
@@ -147,14 +203,59 @@ Status Nic::Get(Nid target, PortalIndex portal, MatchBits match_bits,
     fabric_->UncountGet(out.size());
     if (s.code() == ErrorCode::kResourceExhausted) fabric_->CountRejected();
   } else if (plan.corrupt) {
+    // `out` is the initiator's private destination copy, so flipping it in
+    // place mutates nothing shared.
     fabric_->injector_.CorruptSpan(out);
   }
   if (plan.crash_after) fabric_->SetNodeDown(target, true);
   return s;
 }
 
+Result<util::SharedSlice> Nic::GetSlice(Nid target, PortalIndex portal,
+                                        MatchBits match_bits,
+                                        std::size_t length,
+                                        std::size_t remote_offset) {
+  if (fabric_->IsNodeDown(target) || fabric_->IsNodeDown(nid_)) {
+    return Unavailable("node down");
+  }
+  FaultInjector::Plan plan = fabric_->injector_.PlanOp(nid_, target,
+                                                       /*is_put=*/false);
+  if (plan.crash_before) {
+    fabric_->SetNodeDown(target, true);
+    return Timeout("injected fault: node crashed before get");
+  }
+  if (plan.delay_us > 0) {
+    fabric_->clock()->SleepFor(std::chrono::microseconds(plan.delay_us));
+  }
+  if (plan.drop) {
+    return Timeout("injected fault: get lost");
+  }
+  std::shared_ptr<Nic> dest = fabric_->Route(target);
+  if (!dest) return Unavailable("no such node");
+  fabric_->CountGet(length);
+  Result<util::SharedSlice> got =
+      dest->AcceptGetSlice(nid_, portal, match_bits, length, remote_offset);
+  if (!got.ok()) {
+    fabric_->UncountGet(length);
+    if (got.status().code() == ErrorCode::kResourceExhausted) {
+      fabric_->CountRejected();
+    }
+    return got;
+  }
+  if (plan.corrupt && !got->empty()) {
+    // The slice may alias the *source's* registered memory (zero-copy
+    // pull): corrupt a private clone, copy-on-write.
+    Buffer clone = got->ToBuffer(util::CopyKind::kInjected);
+    fabric_->injector_.CorruptSpan(MutableByteSpan(clone));
+    *got = util::SharedSlice::FromBuffer(std::move(clone));
+  }
+  if (plan.crash_after) fabric_->SetNodeDown(target, true);
+  return got;
+}
+
 Status Nic::AcceptPut(Nid initiator, PortalIndex portal, MatchBits match_bits,
-                      ByteSpan data, std::size_t offset,
+                      std::span<const util::SharedSlice> parts,
+                      std::size_t total, std::size_t offset,
                       std::uint64_t hdr_data) {
   std::lock_guard<std::mutex> lock(mutex_);
   MatchEntry* me = FindLocked(portal, match_bits, /*want_put=*/true);
@@ -169,21 +270,40 @@ Status Nic::AcceptPut(Nid initiator, PortalIndex portal, MatchBits match_bits,
   ev.match_bits = match_bits;
   ev.hdr_data = hdr_data;
   ev.offset = offset;
-  ev.length = data.size();
+  ev.length = total;
   ev.user_data = me->user_data;
 
   if (me->options.message_mode) {
-    ev.payload.assign(data.begin(), data.end());
+    if (parts.size() == 1 && parts.front().owned()) {
+      // Zero-copy delivery: the event references the sender's bytes.
+      ev.payload = parts.front();
+    } else {
+      // Gather (or borrow-copy) at the delivery point — the one host copy
+      // a scattered or externally owned message pays.
+      Buffer flat;
+      flat.reserve(total);
+      for (const util::SharedSlice& p : parts) {
+        flat.insert(flat.end(), p.data(), p.data() + p.size());
+      }
+      LWFS_COUNT_COPY(util::CopyKind::kDeliver, total);
+      ev.payload = util::SharedSlice::FromBuffer(std::move(flat));
+    }
     if (!me->eq->Deliver(std::move(ev))) {
       // Bounded event queue full: the I/O node's request buffer overflowed.
       return ResourceExhausted("event queue full");
     }
   } else {
-    if (offset + data.size() > me->region.size()) {
+    if (offset + total > me->region.size()) {
       return OutOfRange("put beyond registered region");
     }
-    if (!data.empty()) {
-      std::memcpy(me->region.data() + offset, data.data(), data.size());
+    // Placement into the registered destination region is the modeled DMA
+    // (the wire transfer itself), not a host copy — uncounted.
+    std::size_t at = offset;
+    for (const util::SharedSlice& p : parts) {
+      if (!p.empty()) {
+        std::memcpy(me->region.data() + at, p.data(), p.size());
+      }
+      at += p.size();
     }
     if (me->eq != nullptr && !me->eq->Deliver(std::move(ev))) {
       return ResourceExhausted("event queue full");
@@ -222,6 +342,49 @@ Status Nic::AcceptGet(Nid initiator, PortalIndex portal, MatchBits match_bits,
   }
   if (me->options.unlink_on_use) UnlinkLocked(portal, me->handle);
   return OkStatus();
+}
+
+Result<util::SharedSlice> Nic::AcceptGetSlice(Nid initiator,
+                                              PortalIndex portal,
+                                              MatchBits match_bits,
+                                              std::size_t length,
+                                              std::size_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MatchEntry* me = FindLocked(portal, match_bits, /*want_put=*/false);
+  if (me == nullptr) {
+    return ResourceExhausted("no matching get entry");
+  }
+  if (me->options.message_mode) {
+    return InvalidArgument("cannot Get from a message-mode entry");
+  }
+  if (offset + length > me->region.size()) {
+    return OutOfRange("get beyond registered region");
+  }
+  util::SharedSlice out;
+  if (me->slice.owned()) {
+    // Zero-copy pull: a sub-slice sharing the registered slice's owner —
+    // valid even after the source detaches, because the ref holds the
+    // bytes alive.
+    out = me->slice.Slice(offset, length);
+  } else {
+    // Raw region (borrowed caller memory): the puller gets a private
+    // staged copy, since the region's lifetime ends at Detach.
+    out = util::SharedSlice::Copy(
+        ByteSpan(me->region.data() + offset, length), util::CopyKind::kStage);
+  }
+  if (me->eq != nullptr) {
+    Event ev;
+    ev.type = EventType::kGet;
+    ev.initiator = initiator;
+    ev.portal = portal;
+    ev.match_bits = match_bits;
+    ev.offset = offset;
+    ev.length = length;
+    ev.user_data = me->user_data;
+    (void)me->eq->Deliver(std::move(ev));  // best-effort notification
+  }
+  if (me->options.unlink_on_use) UnlinkLocked(portal, me->handle);
+  return out;
 }
 
 // ---------------------------------------------------------------------------

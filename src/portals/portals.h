@@ -29,6 +29,7 @@
 
 #include "portals/fault.h"
 #include "util/bytes.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 #include "util/sync_queue.h"
 
@@ -66,7 +67,10 @@ struct Event {
   std::size_t offset = 0;
   std::size_t length = 0;
   std::uint64_t user_data = 0;  // from the match entry
-  Buffer payload;               // message-mode only
+  /// Message-mode only.  A ref-counted slice: when the sender Put an owned
+  /// slice (or frame), this *is* the sender's buffer — zero-copy delivery —
+  /// so receivers must treat it as immutable.
+  util::SharedSlice payload;
 };
 
 /// Event queue handed to Attach(); bounded capacity models finite
@@ -135,6 +139,15 @@ class Nic {
                           const MeOptions& options, EventQueue* eq,
                           std::uint64_t user_data = 0);
 
+  /// Register an *owned slice* as a get-only source region.  The entry
+  /// holds a reference, so remote GetSlice() calls hand out zero-copy
+  /// sub-slices that stay valid even after the entry is detached — the
+  /// safety property the zero-copy pull path rests on.
+  Result<MeHandle> AttachSlice(PortalIndex portal, MatchBits match_bits,
+                               MatchBits ignore_bits, util::SharedSlice slice,
+                               EventQueue* eq = nullptr,
+                               std::uint64_t user_data = 0);
+
   /// Remove a match entry.  Succeeds (idempotently) even if the entry
   /// already auto-unlinked.
   Status Detach(MeHandle handle);
@@ -149,10 +162,34 @@ class Nic {
              ByteSpan data, std::size_t remote_offset = 0,
              std::uint64_t hdr_data = 0);
 
+  /// Slice Put: an *owned* slice delivered to a message-mode entry rides by
+  /// reference (zero-copy — receiver and sender share the bytes); external
+  /// slices and region-mode targets behave like the span overload.
+  Status Put(Nid target, PortalIndex portal, MatchBits match_bits,
+             const util::SharedSlice& data, std::size_t remote_offset = 0,
+             std::uint64_t hdr_data = 0);
+
+  /// Scatter-gather Put: the frame's parts are transmitted as one message.
+  /// The sender never flattens; a message-mode receiver gets the gathered
+  /// bytes (single-part owned frames by reference), a region-mode receiver
+  /// gets them placed contiguously at remote_offset.
+  Status PutFrame(Nid target, PortalIndex portal, MatchBits match_bits,
+                  const util::Frame& frame, std::size_t remote_offset = 0,
+                  std::uint64_t hdr_data = 0);
+
   /// Read `out.size()` bytes from the matching registered region at
   /// `target` starting at `remote_offset`.
   Status Get(Nid target, PortalIndex portal, MatchBits match_bits,
              MutableByteSpan out, std::size_t remote_offset = 0);
+
+  /// Slice Get: read `length` bytes from the matching region as a
+  /// ref-counted slice.  Against a slice-backed entry (AttachSlice) this is
+  /// zero-copy — a sub-slice sharing the registered slice's owner; against
+  /// a raw region it stages one counted copy.  Injected corruption clones
+  /// first (copy-on-write): the source bytes are never mutated.
+  Result<util::SharedSlice> GetSlice(Nid target, PortalIndex portal,
+                                     MatchBits match_bits, std::size_t length,
+                                     std::size_t remote_offset = 0);
 
  private:
   friend class Fabric;
@@ -166,13 +203,26 @@ class Nic {
     MeOptions options;
     EventQueue* eq;
     std::uint64_t user_data;
+    /// Set by AttachSlice: the ref that makes zero-copy GetSlice safe.
+    util::SharedSlice slice;
   };
+
+  /// Common initiator-side Put path over a part list (fault plan, counters,
+  /// duplicate delivery).  `total` is the summed part size.
+  Status PutParts(Nid target, PortalIndex portal, MatchBits match_bits,
+                  std::span<const util::SharedSlice> parts, std::size_t total,
+                  std::size_t remote_offset, std::uint64_t hdr_data);
 
   // Target-side entry points, called by the initiating NIC.
   Status AcceptPut(Nid initiator, PortalIndex portal, MatchBits match_bits,
-                   ByteSpan data, std::size_t offset, std::uint64_t hdr_data);
+                   std::span<const util::SharedSlice> parts, std::size_t total,
+                   std::size_t offset, std::uint64_t hdr_data);
   Status AcceptGet(Nid initiator, PortalIndex portal, MatchBits match_bits,
                    MutableByteSpan out, std::size_t offset);
+  Result<util::SharedSlice> AcceptGetSlice(Nid initiator, PortalIndex portal,
+                                           MatchBits match_bits,
+                                           std::size_t length,
+                                           std::size_t offset);
 
   /// Finds the first live entry matching (portal, bits); nullptr if none.
   MatchEntry* FindLocked(PortalIndex portal, MatchBits bits, bool want_put);

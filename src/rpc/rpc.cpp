@@ -40,6 +40,16 @@ bool VerifyAndStripCrc(ByteSpan frame, ByteSpan* payload) {
   return true;
 }
 
+/// Slice flavor: *payload is a zero-copy sub-slice of the delivered frame,
+/// so downstream TakeSlice() decodes alias the wire bytes directly.
+bool VerifyAndStripCrc(const util::SharedSlice& frame,
+                       util::SharedSlice* payload) {
+  ByteSpan stripped;
+  if (!VerifyAndStripCrc(frame.span(), &stripped)) return false;
+  *payload = frame.Slice(0, stripped.size());
+  return true;
+}
+
 // Request header layout; see rpc.h for the portal conventions.
 void EncodeHeader(Encoder& enc, Opcode opcode, std::uint64_t request_id,
                   portals::Nid client, std::uint64_t bulk_out_len,
@@ -163,7 +173,7 @@ bool RpcClient::PerformSend(const std::shared_ptr<detail::CallState>& state,
   // deadlock a virtual-time run, whose token holder must never block on a
   // lock owned by a sleeper).
   Status s = nic_->Put(state->server, state->request_portal, /*match_bits=*/0,
-                       ByteSpan(state->wire), 0, state->request_id);
+                       state->wire, 0, state->request_id);
   const auto now = clock_->Now();
   std::lock_guard<std::mutex> lock(mutex_);
   state->sending = false;
@@ -335,8 +345,18 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
 
   // Bulk registrations.  The server may move data in chunks at its own
   // pace, so the entries persist until the completion event (the engine
-  // detaches them in FinishCall).
-  if (!options.bulk_out.empty()) {
+  // detaches them in FinishCall).  An owned bulk_out_slice registers as a
+  // slice-backed entry: server pulls become zero-copy sub-slices and the
+  // NIC's reference keeps the payload alive past client-side timeout.
+  const ByteSpan bulk_out = options.bulk_out_slice.empty()
+                                ? options.bulk_out
+                                : options.bulk_out_slice.span();
+  if (!options.bulk_out_slice.empty()) {
+    auto me = nic_->AttachSlice(kBulkPortal, request_id, 0,
+                                options.bulk_out_slice, nullptr);
+    if (!me.ok()) return me.status();
+    state->out_region = portals::RegisteredRegion(nic_, *me);
+  } else if (!options.bulk_out.empty()) {
     portals::MeOptions opts;
     opts.allow_get = true;
     // Attach treats the span as mutable but a get-only entry never writes.
@@ -356,12 +376,14 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
   }
 
   Encoder enc;
-  EncodeHeader(enc, opcode, request_id, nic_->nid(), options.bulk_out.size(),
+  EncodeHeader(enc, opcode, request_id, nic_->nid(), bulk_out.size(),
                options.bulk_in.size(),
-               options.bulk_out.empty() ? 0 : Crc32(options.bulk_out));
+               bulk_out.empty() ? 0 : Crc32(bulk_out));
   enc.PutRaw(request);
-  state->wire = enc.buffer();
-  AppendCrcTrailer(state->wire);
+  Buffer wire = std::move(enc).Take();
+  AppendCrcTrailer(wire);
+  // Adopt, don't copy: retransmits re-Put this same slice by reference.
+  state->wire = util::SharedSlice::FromBuffer(std::move(wire));
 
   Status send_failure = OkStatus();
   bool issued = false;
@@ -533,8 +555,7 @@ void RpcClient::EngineLoop() {
     // id (completions for calls that already finished find no entry and are
     // dropped).
     ByteSpan payload;
-    const bool frame_ok =
-        VerifyAndStripCrc(ByteSpan(event->payload), &payload);
+    const bool frame_ok = VerifyAndStripCrc(event->payload.span(), &payload);
     std::shared_ptr<detail::CallState> state;
     Status corrupt_failure = OkStatus();
     {
@@ -599,6 +620,9 @@ Status ServerContext::PullBulk(MutableByteSpan out, std::size_t offset) {
     if (s.code() != ErrorCode::kTimeout) break;  // only lost gets retry
   }
   if (!s.ok()) return s;
+  // A span pull by definition stages the payload into server-side memory;
+  // PullBulkSlice is the uncounted (zero-copy) alternative.
+  LWFS_COUNT_COPY(util::CopyKind::kStage, out.size());
   total_pulled_ += out.size();
   if (pulled_in_order_ && offset == pulled_.bytes()) {
     pulled_.Update(ByteSpan(out.data(), out.size()));
@@ -606,6 +630,26 @@ Status ServerContext::PullBulk(MutableByteSpan out, std::size_t offset) {
     pulled_in_order_ = false;
   }
   return s;
+}
+
+Result<util::SharedSlice> ServerContext::PullBulkSlice(std::size_t length,
+                                                       std::size_t offset) {
+  if (offset + length > bulk_out_len_) {
+    return OutOfRange("pull beyond client's registered payload");
+  }
+  Result<util::SharedSlice> got = util::SharedSlice{};
+  for (int attempt = 0; attempt <= kBulkGetRetries; ++attempt) {
+    got = nic_->GetSlice(client_, kBulkPortal, request_id_, length, offset);
+    if (got.ok() || got.status().code() != ErrorCode::kTimeout) break;
+  }
+  if (!got.ok()) return got.status();
+  total_pulled_ += length;
+  if (pulled_in_order_ && offset == pulled_.bytes()) {
+    pulled_.Update(got->span());
+  } else {
+    pulled_in_order_ = false;
+  }
+  return got;
 }
 
 Status ServerContext::PushBulk(ByteSpan data, std::size_t offset) {
@@ -709,8 +753,10 @@ void RpcServer::WorkerLoop() {
 }
 
 void RpcServer::Dispatch(const portals::Event& event) {
-  ByteSpan frame;
-  if (!VerifyAndStripCrc(ByteSpan(event.payload), &frame)) {
+  // The frame slice aliases the delivered payload (zero-copy), so every
+  // TakeSlice() a typed codec performs below shares the same owner.
+  util::SharedSlice frame;
+  if (!VerifyAndStripCrc(event.payload, &frame)) {
     // Corrupt on the wire: drop silently and let the client's retransmit
     // deliver an intact copy.
     crc_drops_.fetch_add(1, std::memory_order_relaxed);
@@ -728,7 +774,7 @@ void RpcServer::Dispatch(const portals::Event& event) {
   const DedupKey key{header->client, header->request_id};
   const bool dedup = options_.reply_cache_entries > 0;
   if (dedup) {
-    Buffer cached_reply;
+    util::Frame cached_reply;
     bool have_cached = false;
     {
       std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -738,8 +784,9 @@ void RpcServer::Dispatch(const portals::Event& event) {
         // reply; the handler does not run again.  (Bulk pushes are not
         // replayed — the original execution already landed them, and the
         // reply's push checksum lets the client detect the rare case it
-        // did not.)  Copy the frame: the resend Put runs outside the lock
-        // because an injected delivery delay may sleep inside it.
+        // did not.)  Copying the Frame only bumps slice refcounts; the
+        // resend Put runs outside the lock because an injected delivery
+        // delay may sleep inside it.
         have_cached = true;
         cached_reply = cached->second;
       } else if (!in_progress_.insert(key).second) {
@@ -751,8 +798,8 @@ void RpcServer::Dispatch(const portals::Event& event) {
     }
     if (have_cached) {
       dedup_hits_.fetch_add(1, std::memory_order_relaxed);
-      Status resent = nic_->Put(header->client, kReplyPortal,
-                                header->request_id, ByteSpan(cached_reply));
+      Status resent = nic_->PutFrame(header->client, kReplyPortal,
+                                     header->request_id, cached_reply);
       if (!resent.ok()) {
         LWFS_DEBUG << "cached reply to nid " << header->client
                    << " dropped: " << resent.ToString();
@@ -781,20 +828,25 @@ void RpcServer::Dispatch(const portals::Event& event) {
     push_bytes = ctx.pushed_bytes();
   }
 
-  Encoder reply;
+  // Assemble the reply as a scatter-gather frame: the handler's body buffer
+  // is adopted as a slice and never re-copied — not into the frame, not
+  // into the reply cache, not for a dedup resend.
+  util::FrameBuilder fb;
+  Encoder& head = fb.header();
   if (result.ok()) {
-    reply.PutU32(static_cast<std::uint32_t>(ErrorCode::kOk));
-    reply.PutString("");
-    reply.PutBytes(ByteSpan(result.value()));
+    head.PutU32(static_cast<std::uint32_t>(ErrorCode::kOk));
+    head.PutString("");
+    head.PutU32(static_cast<std::uint32_t>(result->size()));
+    fb.Append(util::SharedSlice::FromBuffer(std::move(*result)));
   } else {
-    reply.PutU32(static_cast<std::uint32_t>(result.status().code()));
-    reply.PutString(result.status().message());
-    reply.PutBytes({});
+    head.PutU32(static_cast<std::uint32_t>(result.status().code()));
+    head.PutString(result.status().message());
+    head.PutU32(0);  // empty body
   }
-  reply.PutU32(push_crc);
-  reply.PutU64(push_bytes);
-  Buffer wire = reply.buffer();
-  AppendCrcTrailer(wire);
+  Encoder& tail = fb.header();
+  tail.PutU32(push_crc);
+  tail.PutU64(push_bytes);
+  util::Frame wire = fb.Build(/*with_crc_trailer=*/true);
 
   if (dedup) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -808,8 +860,8 @@ void RpcServer::Dispatch(const portals::Event& event) {
     }
   }
 
-  Status sent = nic_->Put(header->client, kReplyPortal, header->request_id,
-                          ByteSpan(wire));
+  Status sent = nic_->PutFrame(header->client, kReplyPortal,
+                               header->request_id, wire);
   if (!sent.ok()) {
     LWFS_DEBUG << "reply to nid " << header->client
                << " dropped: " << sent.ToString();

@@ -151,6 +151,12 @@ class Backoff {
 struct CallOptions {
   /// Registered for server *pull* (a write payload).
   ByteSpan bulk_out{};
+  /// Zero-copy alternative to `bulk_out`: an *owned* slice registered for
+  /// server pull.  The NIC holds a reference for the life of the call, and
+  /// the server's PullBulkSlice gets sub-slices of these very bytes — no
+  /// staging copy, and the payload stays valid even if the call times out
+  /// while the server is still reading.  Takes precedence over bulk_out.
+  util::SharedSlice bulk_out_slice{};
   /// Registered for server *push* (a read destination).
   MutableByteSpan bulk_in{};
   /// Give up after this long without a reply (measured from the send that
@@ -178,7 +184,9 @@ struct CallState {
   Opcode opcode = 0;  // for per-op client tallies
   portals::Nid server = portals::kInvalidNid;
   portals::PortalIndex request_portal = kRequestPortal;
-  Buffer wire;  // encoded header + request body + CRC, kept for resends
+  /// Encoded header + request body + CRC.  An owned slice, so retransmits
+  /// re-send the same bytes by reference instead of re-encoding or cloning.
+  util::SharedSlice wire;
   std::chrono::milliseconds timeout{5000};
   int max_resends = 0;
   int max_retransmits = 0;
@@ -415,6 +423,15 @@ class ServerContext {
   /// for VerifyPulledPayload().
   Status PullBulk(MutableByteSpan out, std::size_t offset = 0);
 
+  /// Zero-copy pull: when the client registered an owned slice
+  /// (CallOptions::bulk_out_slice), the result is a sub-slice of the
+  /// client's own payload bytes — no staging buffer, no copy, and the
+  /// reference keeps the bytes alive however long the server holds them.
+  /// A raw-span registration degrades to one counted staging copy.  Same
+  /// retry and CRC-accumulation semantics as PullBulk.
+  Result<util::SharedSlice> PullBulkSlice(std::size_t length,
+                                          std::size_t offset = 0);
+
   /// Server-directed *push*: place `data` into the client's registered read
   /// region at `offset`.  Sequential pushes from offset 0 are
   /// CRC-accumulated; the reply frame carries the running checksum so the
@@ -548,7 +565,9 @@ class RpcServer {
   bool started_ = false;
 
   std::mutex cache_mutex_;
-  std::map<DedupKey, Buffer> reply_cache_;   // completed request -> wire reply
+  /// Completed request -> wire reply frame.  Frames hold slice references,
+  /// so caching and resending a reply never clones its body.
+  std::map<DedupKey, util::Frame> reply_cache_;
   std::set<DedupKey> in_progress_;           // running now: drop duplicates
   std::deque<DedupKey> cache_fifo_;          // eviction order
 };

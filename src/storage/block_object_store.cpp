@@ -76,6 +76,8 @@ Status BlockObjectStore::Write(ObjectId oid, std::uint64_t offset,
   Object& obj = it->second;
   const std::uint64_t end = offset + data.size();
   LWFS_RETURN_IF_ERROR(EnsureBlocksLocked(obj, std::max(end, obj.size)));
+  // The store-medium copy: the write path's one budgeted copy.
+  LWFS_COUNT_COPY(util::CopyKind::kStore, data.size());
   // Copy block by block through the logical->physical map.
   std::uint64_t pos = offset;
   std::size_t copied = 0;
@@ -104,6 +106,8 @@ Result<Buffer> BlockObjectStore::Read(ObjectId oid, std::uint64_t offset,
   const Object& obj = it->second;
   if (offset >= obj.size) return Buffer{};
   const std::uint64_t n = std::min(length, obj.size - offset);
+  // Medium -> host buffer: the read path's one budgeted copy.
+  LWFS_COUNT_COPY(util::CopyKind::kStore, n);
   Buffer out(n, 0);
   std::uint64_t pos = offset;
   std::uint64_t copied = 0;

@@ -120,6 +120,8 @@ Status FileObjectStore::Write(ObjectId oid, std::uint64_t offset,
             static_cast<std::streamsize>(zeros.size()));
   }
   f.seekp(static_cast<std::streamoff>(offset));
+  // The store-medium copy: the write path's one budgeted copy.
+  LWFS_COUNT_COPY(util::CopyKind::kStore, data.size());
   f.write(reinterpret_cast<const char*>(data.data()),
           static_cast<std::streamsize>(data.size()));
   if (!f) return Internal("object write failed");
@@ -139,6 +141,8 @@ Result<Buffer> FileObjectStore::Read(ObjectId oid, std::uint64_t offset,
   std::ifstream f(DataPath(oid), std::ios::binary);
   if (!f) return Internal("cannot open object file");
   f.seekg(static_cast<std::streamoff>(offset));
+  // Medium -> host buffer: the read path's one budgeted copy.
+  LWFS_COUNT_COPY(util::CopyKind::kStore, n);
   Buffer out(n, 0);
   f.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(n));
   out.resize(static_cast<std::size_t>(f.gcount()));

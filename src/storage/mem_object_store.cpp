@@ -36,7 +36,11 @@ Status MemObjectStore::Write(ObjectId oid, std::uint64_t offset,
   Object& obj = it->second;
   const std::uint64_t end = offset + data.size();
   if (obj.data.size() < end) obj.data.resize(end, 0);
-  if (!data.empty()) std::memcpy(obj.data.data() + offset, data.data(), data.size());
+  if (!data.empty()) {
+    // The store-medium copy: the write path's one budgeted copy.
+    LWFS_COUNT_COPY(util::CopyKind::kStore, data.size());
+    std::memcpy(obj.data.data() + offset, data.data(), data.size());
+  }
   ++obj.version;
   return OkStatus();
 }
@@ -49,6 +53,8 @@ Result<Buffer> MemObjectStore::Read(ObjectId oid, std::uint64_t offset,
   const Buffer& data = it->second.data;
   if (offset >= data.size()) return Buffer{};
   const std::uint64_t n = std::min<std::uint64_t>(length, data.size() - offset);
+  // Medium -> host buffer: the read path's one budgeted copy.
+  LWFS_COUNT_COPY(util::CopyKind::kStore, n);
   return Buffer(data.begin() + static_cast<std::ptrdiff_t>(offset),
                 data.begin() + static_cast<std::ptrdiff_t>(offset + n));
 }

@@ -25,6 +25,7 @@
 #include "storage/block_allocator.h"
 #include "storage/ids.h"
 #include "util/bytes.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::storage {
@@ -52,6 +53,15 @@ class ObjectStore {
 
   /// Write `data` at `offset`, extending the object as needed.
   virtual Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) = 0;
+
+  /// Slice write — the zero-copy path's terminal call.  The store's copy
+  /// of the payload into its own medium (counted as CopyKind::kStore) is
+  /// the write path's single budgeted copy; NullObjectStore performs none.
+  /// The default forwards to Write().
+  virtual Status WriteSlice(ObjectId oid, std::uint64_t offset,
+                            const util::SharedSlice& data) {
+    return Write(oid, offset, data.span());
+  }
 
   /// Read up to `length` bytes from `offset`.  Reads beyond EOF return a
   /// short (possibly empty) buffer; holes read as zero.

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -16,6 +17,10 @@
 #include "util/status.h"
 
 namespace lwfs {
+
+namespace util {
+class SharedSlice;  // util/shared_buffer.h
+}  // namespace util
 
 /// The universal transfer buffer type.
 using Buffer = std::vector<std::uint8_t>;
@@ -40,9 +45,15 @@ class Encoder {
     PutU64(bits);
   }
 
+  /// Pre-size for `n` more bytes.  The typed codecs call this before a
+  /// bulk append so multi-MB payloads land in one allocation instead of
+  /// reallocating through the doubling schedule.
+  void Reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   /// Length-prefixed (u32) byte string.
   void PutBytes(ByteSpan data) {
     PutU32(static_cast<std::uint32_t>(data.size()));
+    Reserve(data.size());
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
   void PutString(std::string_view s) {
@@ -50,8 +61,17 @@ class Encoder {
                       s.size()));
   }
 
+  /// Length-prefixed slice append.  Encoding into a contiguous buffer
+  /// necessarily copies; the zero-copy counterpart is Decoder::TakeSlice
+  /// (and FrameBuilder for send-side scatter-gather).  Defined in
+  /// util/shared_buffer.h.
+  void PutSlice(const util::SharedSlice& s);
+
   /// Raw append with no length prefix (caller knows the framing).
-  void PutRaw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+  void PutRaw(ByteSpan data) {
+    Reserve(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
 
   [[nodiscard]] const Buffer& buffer() const { return buf_; }
   [[nodiscard]] Buffer Take() && { return std::move(buf_); }
@@ -74,6 +94,10 @@ class Decoder {
  public:
   explicit Decoder(ByteSpan data) : data_(data) {}
   explicit Decoder(const Buffer& b) : data_(b.data(), b.size()) {}
+  /// Decode over a shared slice: TakeSlice() results alias the slice's
+  /// bytes and keep its owner alive — zero-copy decode.  Defined in
+  /// util/shared_buffer.h.
+  explicit Decoder(const util::SharedSlice& s);
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }
@@ -116,6 +140,12 @@ class Decoder {
     return std::string(b->begin(), b->end());
   }
 
+  /// Length-prefixed slice.  When this Decoder was constructed from a
+  /// SharedSlice the result is a zero-copy sub-slice sharing the frame's
+  /// owner (safe to hold past the Decoder); otherwise it is one counted
+  /// copy.  Defined in util/shared_buffer.h.
+  Result<util::SharedSlice> TakeSlice();
+
   /// View of the rest of the buffer without consuming it.
   [[nodiscard]] ByteSpan Rest() const { return data_.subspan(pos_); }
 
@@ -141,6 +171,9 @@ class Decoder {
 
   ByteSpan data_;
   std::size_t pos_ = 0;
+  /// Keeps the decoded frame alive when constructed from a SharedSlice,
+  /// and lets TakeSlice() hand out aliasing sub-slices.
+  std::shared_ptr<const void> owner_;
 };
 
 /// Convenience: build a Buffer holding `n` bytes of a repeating fill pattern

@@ -1,0 +1,10 @@
+#include "util/shared_buffer.h"
+
+namespace lwfs::util {
+
+CopyStats& CopyStats::Instance() {
+  static CopyStats stats;
+  return stats;
+}
+
+}  // namespace lwfs::util

@@ -28,6 +28,7 @@
 #include "util/clock.h"
 #include "util/crc32.h"
 #include "util/rng.h"
+#include "util/shared_buffer.h"
 
 namespace lwfs {
 namespace {
@@ -172,6 +173,112 @@ TEST_F(ChaosTest, CheckpointSoakUnderLossAndCorruption) {
         checkpoint::LwfsCheckpoint::Restore(*runtime_, cap_, "/ckpt/final");
     ASSERT_TRUE(restored.ok());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy budget under chaos: payload bytes are never staged
+// ---------------------------------------------------------------------------
+
+// Run slice-based checkpoints through a lossy, corrupting fabric and check
+// the zero-copy invariant survives retransmits, dedup replays, and
+// injected corruption: rank payloads cross the stack without one staging
+// copy.  Staging bytes observed during the soak can only come from the
+// small control-plane writes (metadata object, transaction journal), so
+// they must stay a sliver of the payload volume — if slices silently fell
+// back to the staged path, kStage would jump by ~100% of payload.
+void SliceCheckpointBudgetSoak(core::ServiceRuntime& runtime,
+                               core::Client& client,
+                               storage::ContainerId cid,
+                               const security::Capability& cap,
+                               std::uint64_t seed) {
+  constexpr int kEpochs = 6;
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::size_t kStateBytes = 64 << 10;
+
+  ASSERT_TRUE(client.Mkdir("/zc", true).ok());
+  const util::CopySnapshot base = util::CopyStats::Snapshot();
+  std::uint64_t payload_bytes = 0;
+  int succeeded = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    SCOPED_TRACE("epoch " + std::to_string(epoch));
+    checkpoint::LwfsCheckpoint::Config config;
+    config.path = "/zc/run" + std::to_string(epoch);
+    config.cid = cid;
+    config.cap = cap;
+    std::vector<util::SharedSlice> states;
+    std::vector<Buffer> plain;  // reference copies for the byte comparison
+    for (std::uint32_t r = 0; r < kRanks; ++r) {
+      plain.push_back(PatternBuffer(kStateBytes, seed * 100 + r));
+      states.push_back(util::SharedSlice::FromBuffer(Buffer(plain.back())));
+    }
+    payload_bytes += kRanks * kStateBytes;
+    auto stats = checkpoint::LwfsCheckpoint::Run(runtime, config, states);
+    if (!stats.ok()) continue;
+    ++succeeded;
+    auto restored = checkpoint::LwfsCheckpoint::Restore(runtime, cap,
+                                                        config.path);
+    for (int attempt = 0; attempt < 5 && !restored.ok(); ++attempt) {
+      restored = checkpoint::LwfsCheckpoint::Restore(runtime, cap,
+                                                     config.path);
+    }
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ASSERT_EQ(restored->size(), plain.size());
+    for (std::size_t r = 0; r < plain.size(); ++r) {
+      ASSERT_EQ((*restored)[r], plain[r]) << "rank " << r;
+    }
+  }
+  EXPECT_GE(succeeded, kEpochs / 2);
+  if (util::CopyStats::Enabled()) {
+    const util::CopySnapshot d = util::CopyStats::Snapshot().Since(base);
+    EXPECT_LT(d.bytes_of(util::CopyKind::kStage), payload_bytes / 8)
+        << "payload bytes are being staged on the zero-copy path";
+    // Every successful epoch's payload did reach the stores' medium.
+    EXPECT_GE(d.bytes_of(util::CopyKind::kStore),
+              static_cast<std::uint64_t>(succeeded) * kRanks * kStateBytes);
+  }
+}
+
+TEST_F(ChaosTest, SliceCheckpointNeverStagesPayloadUnderFaults) {
+  const std::uint64_t seed = ChaosSeeds().front();
+  SCOPED_TRACE("LWFS_CHAOS_SEED=" + std::to_string(seed));
+  StartRuntime(/*servers=*/3, seed);
+  InjectServiceFaults({.drop = 0.01, .corrupt = 0.001});
+  SliceCheckpointBudgetSoak(*runtime_, *client_, cid_, cap_, seed);
+}
+
+TEST(VirtualChaosTest, SliceCheckpointNeverStagesPayloadOnVirtualTime) {
+  const std::uint64_t seed = ChaosSeeds().front();
+  SCOPED_TRACE("LWFS_CHAOS_SEED=" + std::to_string(seed));
+  util::VirtualClock clock;
+  util::Clock::ThreadGuard guard(&clock);
+  core::RuntimeOptions options;
+  options.storage_servers = 3;
+  options.clock = &clock;
+  options.client_options.default_timeout = std::chrono::milliseconds(50);
+  options.client_options.max_retransmits = 8;
+  options.authn.credential_ttl_us = 365LL * 24 * 3600 * 1000 * 1000;
+  options.authz.capability_ttl_us = 365LL * 24 * 3600 * 1000 * 1000;
+  auto rt = core::ServiceRuntime::Start(options);
+  ASSERT_TRUE(rt.ok());
+  core::ServiceRuntime& runtime = **rt;
+  runtime.AddUser("app", "secret", 100);
+  auto client = runtime.MakeClient();
+  auto cred = client->Login("app", "secret");
+  ASSERT_TRUE(cred.ok());
+  auto cid = client->CreateContainer(*cred);
+  ASSERT_TRUE(cid.ok());
+  auto cap = client->GetCap(*cred, *cid, security::kOpAll);
+  ASSERT_TRUE(cap.ok());
+  runtime.fabric().injector().Seed(seed);
+  const core::Deployment& d = runtime.deployment();
+  auto& injector = runtime.fabric().injector();
+  const portals::FaultSpec spec{.drop = 0.01, .corrupt = 0.001};
+  injector.SetNode(d.authn, spec);
+  injector.SetNode(d.authz, spec);
+  injector.SetNode(d.naming, spec);
+  injector.SetNode(d.locks, spec);
+  for (portals::Nid nid : d.storage) injector.SetNode(nid, spec);
+  SliceCheckpointBudgetSoak(runtime, *client, *cid, *cap, seed);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 // Unit tests for the Portals-like one-sided transport.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -102,7 +103,44 @@ TEST_F(PortalsTest, MessageModeCarriesPayload) {
   ASSERT_TRUE(src->Put(dst->nid(), 0, 1, ByteSpan(data)).ok());
   auto ev = eq.Poll();
   ASSERT_TRUE(ev.has_value());
-  EXPECT_EQ(ev->payload, data);
+  EXPECT_EQ(ev->payload.ToBuffer(util::CopyKind::kDeliver), data);
+}
+
+TEST_F(PortalsTest, GetSliceFromSliceEntryIsZeroCopy) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  util::SharedSlice registered = util::SharedSlice::FromBuffer(Buffer(bytes));
+  ASSERT_TRUE(dst->AttachSlice(0, 7, 0, registered).ok());
+  const util::CopySnapshot before = util::CopyStats::Snapshot();
+  auto got = src->GetSlice(dst->nid(), 0, 7, 4, 2);
+  ASSERT_TRUE(got.ok());
+  // The pulled slice aliases the registered bytes: no copy, shared owner.
+  EXPECT_EQ(got->data(), registered.data() + 2);
+  EXPECT_EQ(got->owner().get(), registered.owner().get());
+  if (util::CopyStats::Enabled()) {
+    EXPECT_EQ(util::CopyStats::Snapshot().Since(before).budget_bytes(), 0u);
+  }
+}
+
+TEST_F(PortalsTest, GetSliceFromRawRegionStagesOneCopy) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer region = {9, 8, 7, 6};
+  MeOptions opts;
+  opts.allow_get = true;
+  ASSERT_TRUE(dst->Attach(0, 7, 0, MutableByteSpan(region), opts, nullptr).ok());
+  const util::CopySnapshot before = util::CopyStats::Snapshot();
+  auto got = src->GetSlice(dst->nid(), 0, 7, region.size());
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->owned());  // staged: safe past the region's lifetime
+  EXPECT_NE(static_cast<const void*>(got->data()),
+            static_cast<const void*>(region.data()));
+  if (util::CopyStats::Enabled()) {
+    const util::CopySnapshot delta = util::CopyStats::Snapshot().Since(before);
+    EXPECT_EQ(delta.copies_of(util::CopyKind::kStage), 1u);
+    EXPECT_EQ(delta.bytes_of(util::CopyKind::kStage), region.size());
+  }
 }
 
 TEST_F(PortalsTest, BoundedEventQueueRejectsOverflow) {
@@ -332,6 +370,64 @@ TEST_F(FaultInjectorTest, CorruptionFlipsExactlyOneByte) {
   }
   EXPECT_EQ(differing, 1);
   EXPECT_EQ(fabric_.injector().TotalCounters().corruptions, 1u);
+}
+
+TEST_F(FaultInjectorTest, CorruptedSlicePutNeverMutatesSenderBytes) {
+  // The regression this guards: zero-copy delivery shares the sender's
+  // bytes, so injected corruption must clone first (copy-on-write) — a
+  // corrupting injector that scribbled on the shared buffer would corrupt
+  // the sender's copy (and every retransmit) too.
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  EventQueue eq;
+  MeOptions opts;
+  opts.allow_put = true;
+  opts.message_mode = true;
+  ASSERT_TRUE(dst->Attach(0, 1, 0, {}, opts, &eq).ok());
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {.corrupt = 1.0});
+
+  Buffer original = {10, 20, 30, 40, 50, 60, 70, 80};
+  util::SharedSlice payload = util::SharedSlice::FromBuffer(Buffer(original));
+  const util::CopySnapshot before = util::CopyStats::Snapshot();
+  ASSERT_TRUE(src->Put(dst->nid(), 0, 1, payload).ok());
+
+  // The sender's shared bytes are untouched...
+  ASSERT_EQ(payload.size(), original.size());
+  EXPECT_EQ(0, std::memcmp(payload.data(), original.data(), original.size()));
+  // ...while the delivered copy differs in exactly one byte.
+  auto ev = eq.Poll();
+  ASSERT_TRUE(ev.has_value());
+  ASSERT_EQ(ev->payload.size(), original.size());
+  int differing = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (ev->payload.data()[i] != original[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+  if (util::CopyStats::Enabled()) {
+    const util::CopySnapshot delta = util::CopyStats::Snapshot().Since(before);
+    EXPECT_EQ(delta.copies_of(util::CopyKind::kInjected), 1u);
+    EXPECT_EQ(delta.budget_bytes(), 0u);  // the clone is not a budget copy
+  }
+}
+
+TEST_F(FaultInjectorTest, CorruptedSliceGetLeavesRegisteredSliceIntact) {
+  auto src = fabric_.CreateNic();
+  auto dst = fabric_.CreateNic();
+  Buffer original = {1, 2, 3, 4, 5, 6, 7, 8};
+  util::SharedSlice registered =
+      util::SharedSlice::FromBuffer(Buffer(original));
+  ASSERT_TRUE(dst->AttachSlice(0, 1, 0, registered).ok());
+  fabric_.injector().SetLink(src->nid(), dst->nid(), {.corrupt = 1.0});
+  auto got = src->GetSlice(dst->nid(), 0, 1, original.size());
+  ASSERT_TRUE(got.ok());
+  int differing = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (got->data()[i] != original[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+  // COW: the registered (sender-shared) slice still holds the true bytes.
+  EXPECT_EQ(0,
+            std::memcmp(registered.data(), original.data(), original.size()));
 }
 
 TEST_F(FaultInjectorTest, DuplicatedPutDeliversTwice) {

@@ -15,6 +15,8 @@
 #include "pfs/wire.h"
 #include "rpc/rpc.h"
 #include "rpc/service.h"
+#include "util/clock.h"
+#include "util/shared_buffer.h"
 
 namespace lwfs {
 namespace {
@@ -240,6 +242,78 @@ TEST(ServiceStatsTest, MergeOpStatsSumsCountersAndTakesLatencyMax) {
   EXPECT_EQ(total[0].latency_us_total, 200u);
   EXPECT_EQ(total[0].latency_us_max, 80u);
   EXPECT_EQ(total[0].bulk_bytes, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Copy budget: the zero-copy data path's "at most one copy" invariant
+// ---------------------------------------------------------------------------
+
+// Drives one write+read through a live deployment and asserts the budget
+// (staging + store copies) byte-for-byte.  Runs on both time sources: the
+// copy count is a data-path property and must not depend on the clock.
+void ExerciseCopyBudget(util::Clock* clock) {
+  if (!util::CopyStats::Enabled()) {
+    GTEST_SKIP() << "built without LWFS_COUNT_COPIES";
+  }
+  core::RuntimeOptions options;
+  options.storage_servers = 1;
+  options.clock = clock;
+  auto runtime = core::ServiceRuntime::Start(options);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->AddUser("alice", "pw", 1);
+  auto client = (*runtime)->MakeClient();
+  auto cred = client->Login("alice", "pw");
+  ASSERT_TRUE(cred.ok());
+  auto cid = client->CreateContainer(*cred);
+  ASSERT_TRUE(cid.ok());
+  auto cap = client->GetCap(*cred, *cid, security::kOpAll);
+  ASSERT_TRUE(cap.ok());
+  auto oid = client->CreateObject(0, *cap);
+  ASSERT_TRUE(oid.ok());
+
+  const std::size_t n = 256 << 10;
+  util::SharedSlice payload =
+      util::SharedSlice::FromBuffer(PatternBuffer(n, 42));
+
+  // Zero-copy write: the store-medium copy is the only budgeted copy.
+  util::CopySnapshot base = util::CopyStats::Snapshot();
+  ASSERT_TRUE(client->WriteObjectSlice(0, *cap, *oid, 0, payload).ok());
+  util::CopySnapshot d = util::CopyStats::Snapshot().Since(base);
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStage), 0u) << "write path staged";
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStore), n);
+  EXPECT_EQ(d.budget_bytes(), n);  // exactly one copy per byte written
+
+  // Read path: medium -> host buffer is the only budgeted copy; the push
+  // into the client's registered region is the wire transfer itself.
+  Buffer out(n);
+  base = util::CopyStats::Snapshot();
+  auto read = client->ReadObject(0, *cap, *oid, 0, MutableByteSpan(out));
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(*read, n);
+  d = util::CopyStats::Snapshot().Since(base);
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStage), 0u) << "read path staged";
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStore), n);
+  EXPECT_EQ(d.budget_bytes(), n);  // exactly one copy per byte read
+  EXPECT_EQ(out, payload.ToBuffer(util::CopyKind::kDeliver));
+
+  // Legacy span write for contrast: staging doubles the budget.
+  base = util::CopyStats::Snapshot();
+  Buffer legacy = PatternBuffer(n, 43);
+  ASSERT_TRUE(client->WriteObject(0, *cap, *oid, 0, ByteSpan(legacy)).ok());
+  d = util::CopyStats::Snapshot().Since(base);
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStage), n);
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStore), n);
+  EXPECT_EQ(d.budget_bytes(), 2 * n);
+}
+
+TEST(CopyBudgetTest, WriteAndReadPayOneCopyPerByteOnRealTime) {
+  ExerciseCopyBudget(nullptr);
+}
+
+TEST(CopyBudgetTest, WriteAndReadPayOneCopyPerByteOnVirtualTime) {
+  util::VirtualClock clock;
+  util::Clock::ThreadGuard guard(&clock);
+  ExerciseCopyBudget(&clock);
 }
 
 }  // namespace

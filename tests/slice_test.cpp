@@ -1,0 +1,227 @@
+// SharedSlice / Frame / CopyStats unit tests: the ownership and aliasing
+// rules the zero-copy data path depends on.  Lifetime tests deliberately
+// drop parents before touching children — ASan runs catch any slice that
+// fails to keep its bytes alive, and the concurrent test gives TSan real
+// cross-thread refcount traffic.
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/crc32.h"
+#include "util/shared_buffer.h"
+
+namespace lwfs::util {
+namespace {
+
+Buffer MakeBytes(std::size_t n, std::uint8_t seed = 1) {
+  Buffer b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i * 7);
+  }
+  return b;
+}
+
+TEST(SharedSlice, FromBufferAdoptsWithoutCopying) {
+  Buffer b = MakeBytes(64);
+  const std::uint8_t* raw = b.data();
+  const CopySnapshot before = CopyStats::Snapshot();
+  SharedSlice s = SharedSlice::FromBuffer(std::move(b));
+  const CopySnapshot delta = CopyStats::Snapshot().Since(before);
+  EXPECT_EQ(s.data(), raw);  // same storage: adopted, not copied
+  EXPECT_TRUE(s.owned());
+  for (int i = 0; i < kCopyKinds; ++i) EXPECT_EQ(delta.copies[i], 0u);
+}
+
+TEST(SharedSlice, SubSliceKeepsParentBufferAlive) {
+  SharedSlice child;
+  {
+    SharedSlice parent = SharedSlice::FromBuffer(MakeBytes(256));
+    child = parent.Slice(100, 50);
+    EXPECT_EQ(child.use_count(), 2);
+  }  // parent handle gone; child must still pin the buffer
+  EXPECT_EQ(child.use_count(), 1);
+  ASSERT_EQ(child.size(), 50u);
+  const Buffer expect = MakeBytes(256);
+  EXPECT_EQ(0, std::memcmp(child.data(), expect.data() + 100, 50));
+}
+
+TEST(SharedSlice, SliceClampsOutOfRangeBounds) {
+  SharedSlice s = SharedSlice::FromBuffer(MakeBytes(10));
+  EXPECT_EQ(s.Slice(4, 100).size(), 6u);   // length clamped
+  EXPECT_EQ(s.Slice(50, 10).size(), 0u);   // offset clamped to end
+  EXPECT_EQ(s.Slice(10, 0).size(), 0u);
+}
+
+TEST(SharedSlice, ExternalSliceIsBorrowedNotOwned) {
+  Buffer b = MakeBytes(32);
+  SharedSlice s = SharedSlice::External(ByteSpan(b));
+  EXPECT_FALSE(s.owned());
+  EXPECT_EQ(s.data(), b.data());
+  // Sub-slices of an external slice are external too.
+  EXPECT_FALSE(s.Slice(1, 4).owned());
+}
+
+TEST(SharedSlice, CopyAndToBufferAreCounted) {
+  if (!CopyStats::Enabled()) GTEST_SKIP() << "built without LWFS_COUNT_COPIES";
+  Buffer b = MakeBytes(128);
+  const CopySnapshot before = CopyStats::Snapshot();
+  SharedSlice s = SharedSlice::Copy(ByteSpan(b), CopyKind::kStage);
+  Buffer back = s.ToBuffer(CopyKind::kDeliver);
+  const CopySnapshot delta = CopyStats::Snapshot().Since(before);
+  EXPECT_EQ(delta.copies_of(CopyKind::kStage), 1u);
+  EXPECT_EQ(delta.bytes_of(CopyKind::kStage), 128u);
+  EXPECT_EQ(delta.copies_of(CopyKind::kDeliver), 1u);
+  EXPECT_EQ(delta.bytes_of(CopyKind::kDeliver), 128u);
+  EXPECT_EQ(back, b);
+  EXPECT_EQ(delta.budget_bytes(), 128u);  // only kStage counts against budget
+}
+
+TEST(SharedSlice, DecodedSliceOutlivesDecoderAndSource) {
+  SharedSlice decoded;
+  {
+    Encoder enc;
+    enc.PutU32(7);
+    enc.PutSlice(SharedSlice::FromBuffer(MakeBytes(40, 9)));
+    SharedSlice wire = SharedSlice::FromBuffer(std::move(enc).Take());
+    {
+      Decoder dec(wire);
+      ASSERT_TRUE(dec.GetU32().ok());
+      auto taken = dec.TakeSlice();
+      ASSERT_TRUE(taken.ok());
+      decoded = *taken;
+      // Zero-copy: the decoded slice aliases the wire frame's storage.
+      EXPECT_EQ(decoded.owner().get(), wire.owner().get());
+    }  // decoder gone
+  }  // wire handle gone; decoded still pins the frame
+  ASSERT_EQ(decoded.size(), 40u);
+  const Buffer expect = MakeBytes(40, 9);
+  EXPECT_EQ(0, std::memcmp(decoded.data(), expect.data(), 40));
+}
+
+TEST(SharedSlice, TakeSliceFromUnownedInputFallsBackToCopy) {
+  Encoder enc;
+  enc.PutSlice(SharedSlice::FromBuffer(MakeBytes(16)));
+  Buffer wire = std::move(enc).Take();
+  Decoder dec(wire);  // plain span: no owner
+  auto taken = dec.TakeSlice();
+  ASSERT_TRUE(taken.ok());
+  EXPECT_TRUE(taken->owned());  // safe to hold: copied, not aliased
+  EXPECT_NE(static_cast<const void*>(taken->data()),
+            static_cast<const void*>(wire.data() + 4));
+}
+
+TEST(SharedSlice, TakeSliceRejectsTruncatedInput) {
+  Encoder enc;
+  enc.PutU32(100);  // claims 100 payload bytes that are not there
+  Buffer wire = std::move(enc).Take();
+  Decoder dec(wire);
+  EXPECT_FALSE(dec.TakeSlice().ok());
+}
+
+TEST(SharedSlice, ConcurrentCopyAndDropIsRaceFree) {
+  // Refcount churn from many threads against one buffer: TSan checks the
+  // control-block traffic, ASan checks nobody touches freed bytes.
+  SharedSlice root = SharedSlice::FromBuffer(MakeBytes(4096));
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root, t] {
+      for (int i = 0; i < 1000; ++i) {
+        SharedSlice local = root.Slice(static_cast<std::size_t>(t) * 16,
+                                       static_cast<std::size_t>(i % 64));
+        SharedSlice copy = local;
+        volatile std::size_t touch = copy.size();
+        (void)touch;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(root.use_count(), 1);
+}
+
+TEST(Frame, CrcMatchesFlattenedBytes) {
+  FrameBuilder fb;
+  fb.header().PutU32(42);
+  fb.header().PutString("hdr");
+  fb.Append(SharedSlice::FromBuffer(MakeBytes(100, 3)));
+  fb.header().PutU64(7);
+  Frame frame = fb.Build(/*with_crc_trailer=*/false);
+  Buffer flat = frame.Flatten();
+  EXPECT_EQ(frame.total_bytes, flat.size());
+  EXPECT_EQ(frame.Crc(), Crc32(ByteSpan(flat)));
+}
+
+TEST(Frame, CrcTrailerCoversPrecedingParts) {
+  FrameBuilder fb;
+  fb.header().PutU32(1);
+  fb.Append(SharedSlice::FromBuffer(MakeBytes(33, 5)));
+  Frame frame = fb.Build(/*with_crc_trailer=*/true);
+  Buffer flat = frame.Flatten();
+  ASSERT_GE(flat.size(), 4u);
+  const ByteSpan body(flat.data(), flat.size() - 4);
+  const std::uint32_t crc = Crc32(body);
+  EXPECT_EQ(flat[flat.size() - 4], static_cast<std::uint8_t>(crc & 0xFF));
+  EXPECT_EQ(flat[flat.size() - 3],
+            static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+  EXPECT_EQ(flat[flat.size() - 2],
+            static_cast<std::uint8_t>((crc >> 16) & 0xFF));
+  EXPECT_EQ(flat[flat.size() - 1],
+            static_cast<std::uint8_t>((crc >> 24) & 0xFF));
+}
+
+TEST(Frame, BuilderConcatenationMatchesManualLayout) {
+  // The server's reply assembly depends on segments + parts concatenating
+  // to the same bytes a contiguous Encoder would have produced.
+  Buffer body = MakeBytes(50, 11);
+
+  FrameBuilder fb;
+  fb.header().PutU32(0);
+  fb.header().PutString("ok");
+  fb.header().PutU32(static_cast<std::uint32_t>(body.size()));
+  fb.Append(SharedSlice::FromBuffer(Buffer(body)));
+  fb.header().PutU32(0xDEADBEEF);
+  Buffer flat = fb.Build().Flatten();
+
+  Encoder ref;
+  ref.PutU32(0);
+  ref.PutString("ok");
+  ref.PutU32(static_cast<std::uint32_t>(body.size()));
+  ref.PutRaw(ByteSpan(body));
+  ref.PutU32(0xDEADBEEF);
+  EXPECT_EQ(flat, std::move(ref).Take());
+}
+
+TEST(Frame, PayloadPartsRideByReference) {
+  SharedSlice payload = SharedSlice::FromBuffer(MakeBytes(1 << 16));
+  const std::uint8_t* raw = payload.data();
+  FrameBuilder fb;
+  fb.header().PutU32(1);
+  fb.Append(payload);
+  Frame frame = fb.Build(/*with_crc_trailer=*/true);
+  bool found = false;
+  for (const SharedSlice& p : frame.parts) {
+    if (p.data() == raw) found = true;
+  }
+  EXPECT_TRUE(found) << "payload was copied into the frame";
+}
+
+TEST(Encoder, ReservePreservesContentsAndGrowsCapacity) {
+  Encoder enc;
+  enc.PutU32(123);
+  enc.Reserve(1 << 20);
+  EXPECT_GE(enc.buffer().capacity(), (1u << 20));
+  enc.PutRaw(ByteSpan(MakeBytes(8)));
+  Buffer out = std::move(enc).Take();
+  Decoder dec(out);
+  auto v = dec.GetU32();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 123u);
+  EXPECT_EQ(dec.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace lwfs::util
