@@ -16,8 +16,20 @@
 //   * integrity failures — reads that returned wrong bytes; always zero,
 //     at any drop rate, or the run prints FAIL.
 //
+// With `--replicated` the bench instead measures degraded-mode operation of
+// the replication layer: a 3-way replicated workload with one storage server
+// hard-down — chain writes degrade (survivors commit, the miss is reported
+// stale), reads fail over / hedge, and after the outage the repair scanner
+// must restore full replication (the run exits 1 if it does not, or if any
+// read returns wrong bytes).  Reported: healthy vs. degraded dump
+// throughput, per-read p99 latency, the hedging/failover ledger, and the
+// repair-scan + replica-audit summary.
+//
 // Emits BENCH_fault.json for the plots.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -134,7 +146,161 @@ Result<Point> RunPoint(core::ServiceRuntime& runtime, double drop_rate) {
   return point;
 }
 
-void DumpJson(const std::vector<Point>& points) {
+// ---------------------------------------------------------------------------
+// Replicated degraded-mode suite (--replicated)
+// ---------------------------------------------------------------------------
+
+struct ReplicatedReport {
+  double healthy_mb_s = 0, healthy_sd = 0;
+  double degraded_mb_s = 0, degraded_sd = 0;
+  double degraded_relative = 0;
+  double healthy_read_p99_us = 0;
+  double degraded_read_p99_us = 0;
+  core::ReplicationStats client_stats;
+  core::RepairScanSummary repair;
+  naming::ReplicaAuditCounts audit;
+  std::uint64_t integrity_failures = 0;
+};
+
+double P99(std::vector<double>& us) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(us.size()))) - 1;
+  return us[std::min(idx, us.size() - 1)];
+}
+
+Result<ReplicatedReport> RunReplicated() {
+  core::RuntimeOptions options;
+  options.storage_servers = kStorageServers;
+  options.client_options.default_timeout = std::chrono::milliseconds(20);
+  options.client_options.max_retransmits = 10;
+  options.replication.replication_factor = 3;
+  options.replication.hedge_after_us = 500;
+  options.replication.repair_mb_s = 256.0;
+  auto rt = core::ServiceRuntime::Start(options);
+  if (!rt.ok()) return rt.status();
+  core::ServiceRuntime& runtime = **rt;
+  runtime.AddUser("bench", "pw", 1);
+
+  auto client = runtime.MakeClient();
+  auto cred = client->Login("bench", "pw");
+  if (!cred.ok()) return cred.status();
+  auto cid = client->CreateContainer(*cred);
+  if (!cid.ok()) return cid.status();
+  auto cap = client->GetCap(*cred, *cid, security::kOpAll);
+  if (!cap.ok()) return cap.status();
+
+  const Buffer payload = PatternBuffer(kObjectBytes, 0x5E77);
+  ReplicatedReport rep;
+
+  // One phase = kTrials x (create 16 replicated objects, timed chain-write
+  // dump, per-read-timed read-back with integrity check).
+  auto phase = [&](RunningStats& write_stats,
+                   std::vector<double>& read_us) -> Status {
+    for (std::uint64_t trial = 1; trial <= bench::kTrials; ++trial) {
+      std::vector<core::ReplicaChain> chains;
+      for (int i = 0; i < kObjectsPerTrial; ++i) {
+        auto chain = client->CreateReplicatedObject(
+            *cap, static_cast<std::uint32_t>(i % kStorageServers),
+            options.replication.replication_factor);
+        if (!chain.ok()) return chain.status();
+        chains.push_back(std::move(*chain));
+      }
+      const auto start = util::RealClockInstance()->Now();
+      for (const auto& chain : chains) {
+        LWFS_RETURN_IF_ERROR(
+            client->WriteReplicated(*cap, chain, 0, ByteSpan(payload)));
+      }
+      const std::chrono::duration<double> elapsed =
+          util::RealClockInstance()->Now() - start;
+      const double mb = double(kObjectsPerTrial) * double(kObjectBytes) / 1e6;
+      write_stats.Add(mb / elapsed.count());
+
+      Buffer back(payload.size(), 0);
+      for (const auto& chain : chains) {
+        const auto r0 = util::RealClockInstance()->Now();
+        auto n = client->ReadReplicated(*cap, chain, 0, MutableByteSpan(back));
+        const std::chrono::duration<double, std::micro> lat =
+            util::RealClockInstance()->Now() - r0;
+        if (!n.ok()) return n.status();
+        read_us.push_back(lat.count());
+        if (*n != payload.size() || back != payload) {
+          ++rep.integrity_failures;
+        }
+      }
+    }
+    return OkStatus();
+  };
+
+  RunningStats healthy_writes;
+  std::vector<double> healthy_reads;
+  LWFS_RETURN_IF_ERROR(phase(healthy_writes, healthy_reads));
+  rep.healthy_mb_s = healthy_writes.mean();
+  rep.healthy_sd = healthy_writes.stddev();
+  rep.healthy_read_p99_us = P99(healthy_reads);
+
+  // Kill one storage server and run the identical workload degraded: chains
+  // still include the dead member, so every write commits short-handed and
+  // every read that lands on it fails over or hedges.
+  const portals::Nid victim = runtime.deployment().storage[0];
+  runtime.fabric().SetNodeDown(victim, true);
+  RunningStats degraded_writes;
+  std::vector<double> degraded_reads;
+  LWFS_RETURN_IF_ERROR(phase(degraded_writes, degraded_reads));
+  rep.degraded_mb_s = degraded_writes.mean();
+  rep.degraded_sd = degraded_writes.stddev();
+  rep.degraded_read_p99_us = P99(degraded_reads);
+  rep.degraded_relative =
+      rep.healthy_mb_s > 0 ? rep.degraded_mb_s / rep.healthy_mb_s : 0;
+  rep.client_stats = client->replication_stats();
+
+  // Heal and repair: restart re-registers the survivor's holdings, the scan
+  // re-replicates everything the outage missed, and the audit must come back
+  // fully replicated — this is the bench's pass/fail smoke gate.
+  runtime.fabric().SetNodeDown(victim, false);
+  runtime.storage_server(0).Restart();
+  auto scan = runtime.replicator().RunScan();
+  if (!scan.ok()) return scan.status();
+  rep.repair = *scan;
+  rep.audit = runtime.replica_map().Audit();
+  return rep;
+}
+
+void PrintReplicated(const ReplicatedReport& r) {
+  bench::PrintHeader(
+      "Degraded mode: 3-way replicated dump, one server down "
+      "(16 objects x 256 KiB, 4 servers)");
+  std::printf("%10s  %12s %8s %9s %14s\n", "mode", "MB/s", "(sd)", "relative",
+              "read p99 (us)");
+  std::printf("%10s  %12.1f %8.1f %9.3f %14.0f\n", "healthy", r.healthy_mb_s,
+              r.healthy_sd, 1.0, r.healthy_read_p99_us);
+  std::printf("%10s  %12.1f %8.1f %9.3f %14.0f\n", "degraded", r.degraded_mb_s,
+              r.degraded_sd, r.degraded_relative, r.degraded_read_p99_us);
+  std::printf(
+      "\nwrites=%llu failovers=%llu degraded=%llu stale_reports=%llu "
+      "hedged=%llu hedge_wins=%llu read_failovers=%llu\n",
+      static_cast<unsigned long long>(r.client_stats.replicated_writes),
+      static_cast<unsigned long long>(r.client_stats.write_failovers),
+      static_cast<unsigned long long>(r.client_stats.degraded_writes),
+      static_cast<unsigned long long>(r.client_stats.stale_reports),
+      static_cast<unsigned long long>(r.client_stats.hedged_reads),
+      static_cast<unsigned long long>(r.client_stats.hedge_wins),
+      static_cast<unsigned long long>(r.client_stats.read_failovers));
+  std::printf(
+      "repair: stale=%llu repaired=%llu failed=%llu copied=%llu bytes; "
+      "audit: %llu/%llu fully replicated, under=%llu stale=%llu\n",
+      static_cast<unsigned long long>(r.repair.stale_members),
+      static_cast<unsigned long long>(r.repair.repaired),
+      static_cast<unsigned long long>(r.repair.failed),
+      static_cast<unsigned long long>(r.repair.bytes_copied),
+      static_cast<unsigned long long>(r.audit.fully_replicated),
+      static_cast<unsigned long long>(r.audit.objects),
+      static_cast<unsigned long long>(r.audit.under_replicated),
+      static_cast<unsigned long long>(r.audit.stale_members));
+}
+
+void DumpJson(const std::vector<Point>& points, const ReplicatedReport* rep) {
   std::FILE* out = std::fopen("BENCH_fault.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_fault.json\n");
@@ -172,14 +338,84 @@ void DumpJson(const std::vector<Point>& points) {
         static_cast<unsigned long long>(p.integrity_failures),
         i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ]%s\n", rep != nullptr ? "," : "");
+  if (rep != nullptr) {
+    std::fprintf(
+        out,
+        "  \"replicated\": {\n"
+        "    \"replication_factor\": 3,\n"
+        "    \"healthy_mb_s\": %.2f, \"healthy_sd\": %.2f,\n"
+        "    \"degraded_mb_s\": %.2f, \"degraded_sd\": %.2f, "
+        "\"degraded_relative\": %.3f,\n"
+        "    \"healthy_read_p99_us\": %.1f, \"degraded_read_p99_us\": %.1f,\n"
+        "    \"replicated_writes\": %llu, \"write_failovers\": %llu, "
+        "\"degraded_writes\": %llu, \"stale_reports\": %llu,\n"
+        "    \"hedged_reads\": %llu, \"hedge_wins\": %llu, "
+        "\"read_failovers\": %llu,\n"
+        "    \"repair\": {\"stale\": %llu, \"repaired\": %llu, "
+        "\"failed\": %llu, \"bytes_copied\": %llu},\n"
+        "    \"audit\": {\"objects\": %llu, \"fully_replicated\": %llu, "
+        "\"under_replicated\": %llu, \"stale_members\": %llu},\n"
+        "    \"integrity_failures\": %llu\n"
+        "  }\n",
+        rep->healthy_mb_s, rep->healthy_sd, rep->degraded_mb_s,
+        rep->degraded_sd, rep->degraded_relative, rep->healthy_read_p99_us,
+        rep->degraded_read_p99_us,
+        static_cast<unsigned long long>(rep->client_stats.replicated_writes),
+        static_cast<unsigned long long>(rep->client_stats.write_failovers),
+        static_cast<unsigned long long>(rep->client_stats.degraded_writes),
+        static_cast<unsigned long long>(rep->client_stats.stale_reports),
+        static_cast<unsigned long long>(rep->client_stats.hedged_reads),
+        static_cast<unsigned long long>(rep->client_stats.hedge_wins),
+        static_cast<unsigned long long>(rep->client_stats.read_failovers),
+        static_cast<unsigned long long>(rep->repair.stale_members),
+        static_cast<unsigned long long>(rep->repair.repaired),
+        static_cast<unsigned long long>(rep->repair.failed),
+        static_cast<unsigned long long>(rep->repair.bytes_copied),
+        static_cast<unsigned long long>(rep->audit.objects),
+        static_cast<unsigned long long>(rep->audit.fully_replicated),
+        static_cast<unsigned long long>(rep->audit.under_replicated),
+        static_cast<unsigned long long>(rep->audit.stale_members),
+        static_cast<unsigned long long>(rep->integrity_failures));
+  }
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_fault.json\n");
 }
 
+/// Degraded-mode gates: no wrong bytes, the degraded path still moves data,
+/// and heal + repair scan restored full replication.
+bool ReplicatedGatesPass(const ReplicatedReport& r) {
+  if (r.integrity_failures > 0) return false;
+  if (r.degraded_mb_s <= 0) return false;
+  if (r.repair.failed > 0) return false;
+  if (r.audit.under_replicated > 0 || r.audit.stale_members > 0) return false;
+  return r.audit.fully_replicated == r.audit.objects;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--replicated` runs only the degraded-mode replication suite (the CI
+  // smoke gate); the default run does the drop sweep plus the suite.
+  const bool replicated_only =
+      argc > 1 && std::strcmp(argv[1], "--replicated") == 0;
+  if (replicated_only) {
+    auto rep = RunReplicated();
+    if (!rep.ok()) {
+      std::fprintf(stderr, "FAIL replicated suite: %s\n",
+                   rep.status().ToString().c_str());
+      return 1;
+    }
+    PrintReplicated(*rep);
+    DumpJson({}, &*rep);
+    if (!ReplicatedGatesPass(*rep)) {
+      std::fprintf(stderr, "FAIL: degraded-mode gates not met\n");
+      return 1;
+    }
+    return 0;
+  }
+
   core::RuntimeOptions options;
   options.storage_servers = kStorageServers;
   // Short deadlines + a deep budget: a dropped message costs one quick
@@ -225,9 +461,17 @@ int main() {
   std::printf(
       "\nEvery byte read back matched what was written at every drop rate;\n"
       "losses cost retransmissions of small messages, never data.\n");
-  DumpJson(points);
 
-  bool graceful = true;
+  auto rep = RunReplicated();
+  if (!rep.ok()) {
+    std::fprintf(stderr, "FAIL replicated suite: %s\n",
+                 rep.status().ToString().c_str());
+    return 1;
+  }
+  PrintReplicated(*rep);
+  DumpJson(points, &*rep);
+
+  bool graceful = ReplicatedGatesPass(*rep);
   for (const Point& p : points) {
     if (p.integrity_failures > 0) graceful = false;
   }

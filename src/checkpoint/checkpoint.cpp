@@ -2,12 +2,14 @@
 
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <utility>
 
 #include "checkpoint/write_pipeline.h"
 #include "comm/collectives.h"
 #include "core/protocol.h"
 #include "driver/driver.h"
+#include "storage/ids.h"
 
 namespace lwfs::checkpoint {
 
@@ -28,6 +30,32 @@ class ErrorCollector {
  private:
   Status first_;
 };
+
+/// Read a whole replicated object: resolve its chain, size it via the first
+/// member that answers GetAttr, then read-from-any (hedged when the client
+/// has hedging enabled).
+Result<Buffer> ReadReplicatedAlloc(core::Client& client,
+                                   const security::Capability& cap,
+                                   storage::ObjectId oid) {
+  auto chain = client.LookupReplicas(oid);
+  if (!chain.ok()) return chain.status();
+  std::optional<storage::ObjAttr> attr;
+  Status last = Unavailable("replica chain is empty");
+  for (std::uint32_t member : chain->servers) {
+    auto got = client.GetAttr(member, cap, oid);
+    if (got.ok()) {
+      attr = *got;
+      break;
+    }
+    last = got.status();
+  }
+  if (!attr.has_value()) return last;
+  Buffer data(attr->size, 0);
+  auto n = client.ReadReplicated(cap, *chain, 0, MutableByteSpan(data));
+  if (!n.ok()) return n.status();
+  data.resize(static_cast<std::size_t>(*n));
+  return data;
+}
 
 }  // namespace
 
@@ -57,16 +85,26 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
       static_cast<std::uint32_t>(runtime.deployment().storage.size());
   const std::size_t window = config.window == 0 ? 1 : config.window;
 
-  // Rank 0's client coordinates the transaction (Figure 8 line 1).
+  // Rank 0's client coordinates the transaction (Figure 8 line 1).  A
+  // replicated checkpoint skips the distributed transaction: redundancy
+  // replaces 2PC — a torn checkpoint is invisible until the final LinkName
+  // publishes the metadata object, and that one naming update is the
+  // commit point (DESIGN.md §15).
+  const bool replicated = config.replication_factor >= 2;
   auto coordinator_client = runtime.MakeClient();
-  core::TxnParticipants participants;
-  for (std::uint32_t s = 0; s < nservers; ++s) {
-    participants.storage_servers.push_back(s);
+  std::unique_ptr<core::Transaction> txn;
+  if (!replicated) {
+    core::TxnParticipants participants;
+    for (std::uint32_t s = 0; s < nservers; ++s) {
+      participants.storage_servers.push_back(s);
+    }
+    participants.naming = true;
+    auto begun = coordinator_client->BeginTxn(config.journal_server,
+                                              config.cap, participants);
+    if (!begun.ok()) return begun.status();
+    txn = std::move(*begun);
   }
-  participants.naming = true;
-  auto txn = coordinator_client->BeginTxn(config.journal_server, config.cap,
-                                          participants);
-  if (!txn.ok()) return txn.status();
+  const txn::TxnId txid = txn ? txn->id() : 0;
 
   util::Clock* clock = runtime.clock();
   ErrorCollector errors;
@@ -125,6 +163,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
   // flight — the blocking API is a thin wrapper over the same event-driven
   // path the petascale harness scales to a million ranks.
   std::vector<storage::ObjectId> oids(nranks);
+  std::vector<std::uint32_t> heads(nranks, 0);  // metadata server_index
   std::vector<bool> dumped(nranks, false);
   auto t_creates_done = t_start;
 
@@ -140,7 +179,8 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
     spec.client = clients[r].get();
     spec.server = r % nservers;
     spec.cap = caps[r];
-    spec.txid = (*txn)->id();
+    spec.txid = txid;
+    spec.replication_factor = config.replication_factor;
     if (states[r].owned()) {
       spec.payload_slice = states[r];
     } else {
@@ -153,9 +193,13 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
   const Status engine_status = engine.Run();
   for (std::uint32_t r = 0; r < nranks; ++r) {
     const WritePipeline& m = *machines[r];
+    heads[r] = r % nservers;
     if (m.created()) {
       ++created;
       oids[r] = m.oid();
+      // A replicated ref names the chain head; Restore re-resolves the
+      // chain from the oid's replicated bit anyway, so the head is a hint.
+      if (replicated) heads[r] = m.replica_chain().servers.front();
     }
     if (m.create_done_time() > t_creates_done) {
       t_creates_done = m.create_done_time();
@@ -176,7 +220,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
     ByteSpan piece{};
     if (dumped[i]) {
       core::EncodeObjectRef(
-          contribution, storage::ObjectRef{config.cid, i % nservers, oids[i]});
+          contribution, storage::ObjectRef{config.cid, heads[i], oids[i]});
       contribution.PutU64(states[i].size());
       piece = ByteSpan(contribution.buffer());
     }
@@ -200,9 +244,30 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
       }
       metadata.PutRaw(ByteSpan(entry));
     }
-    if (complete) {
+    if (complete && replicated) {
+      // The metadata object is replicated too — losing it would orphan the
+      // whole checkpoint.  LinkName is the commit: nothing written above is
+      // visible until this name resolves.
+      auto mdchain = clients[0]->CreateReplicatedObject(
+          caps[0], 0, config.replication_factor);
+      if (!mdchain.ok()) {
+        errors.Record(mdchain.status());
+      } else {
+        ++created;
+        Status md_written = clients[0]->WriteReplicated(
+            caps[0], *mdchain, 0, ByteSpan(metadata.buffer()));
+        if (!md_written.ok()) {
+          errors.Record(md_written);
+        } else {
+          errors.Record(clients[0]->LinkName(
+              config.path, storage::ObjectRef{config.cid,
+                                              mdchain->servers.front(),
+                                              mdchain->oid}));
+        }
+      }
+    } else if (complete) {
       const std::uint32_t md_server = 0;
-      auto mdobj = clients[0]->CreateObject(md_server, caps[0], (*txn)->id());
+      auto mdobj = clients[0]->CreateObject(md_server, caps[0], txid);
       if (!mdobj.ok()) {
         errors.Record(mdobj.status());
       } else {
@@ -213,7 +278,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
           errors.Record(md_written);
         } else {
           errors.Record(clients[0]->StageLinkName(
-              (*txn)->id(), config.path,
+              txid, config.path,
               storage::ObjectRef{config.cid, md_server, *mdobj}));
         }
       }
@@ -221,7 +286,7 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
   }
   LWFS_RETURN_IF_ERROR(errors.first());
 
-  LWFS_RETURN_IF_ERROR((*txn)->Commit());
+  if (txn) LWFS_RETURN_IF_ERROR(txn->Commit());
   const util::Clock::TimePoint t_end = clock->Now();
 
   CheckpointStats stats;
@@ -240,10 +305,17 @@ Result<std::vector<Buffer>> LwfsCheckpoint::Restore(
   auto md_ref = client->LookupName(path);
   if (!md_ref.ok()) return md_ref.status();
 
-  auto md_attr = client->GetAttr(md_ref->server_index, cap, md_ref->oid);
-  if (!md_attr.ok()) return md_attr.status();
-  auto metadata = client->ReadObjectAlloc(md_ref->server_index, cap,
-                                          md_ref->oid, 0, md_attr->size);
+  // The replicated bit in the oid says how the object was written; a
+  // replicated metadata object survives the loss of its ref's head server.
+  Result<Buffer> metadata = Buffer{};
+  if (storage::IsReplicatedOid(md_ref->oid)) {
+    metadata = ReadReplicatedAlloc(*client, cap, md_ref->oid);
+  } else {
+    auto md_attr = client->GetAttr(md_ref->server_index, cap, md_ref->oid);
+    if (!md_attr.ok()) return md_attr.status();
+    metadata = client->ReadObjectAlloc(md_ref->server_index, cap, md_ref->oid,
+                                       0, md_attr->size);
+  }
   if (!metadata.ok()) return metadata.status();
 
   Decoder dec(*metadata);
@@ -272,14 +344,28 @@ Result<std::vector<Buffer>> LwfsCheckpoint::Restore(
   std::vector<Buffer> states(*nranks);
   std::vector<std::uint64_t> bytes_read(*nranks, 0);
   core::Batch batch(client.get());
+  std::vector<std::uint32_t> replicated_ranks;
   for (std::uint32_t r = 0; r < *nranks; ++r) {
     states[r] = Buffer(entries[r].size, 0);
+    if (storage::IsReplicatedOid(entries[r].ref.oid)) {
+      replicated_ranks.push_back(r);
+      continue;
+    }
     Status issued =
         batch.Read(entries[r].ref.server_index, cap, entries[r].ref.oid, 0,
                    MutableByteSpan(states[r]), &bytes_read[r]);
     if (!issued.ok()) break;
   }
   LWFS_RETURN_IF_ERROR(batch.Drain());
+  // Replicated rank objects read from any chain member — hedged when the
+  // client has hedging enabled, with failover if a member is down.
+  for (std::uint32_t r : replicated_ranks) {
+    auto chain = client->LookupReplicas(entries[r].ref.oid);
+    if (!chain.ok()) return chain.status();
+    auto n = client->ReadReplicated(cap, *chain, 0, MutableByteSpan(states[r]));
+    if (!n.ok()) return n.status();
+    bytes_read[r] = *n;
+  }
   for (std::uint32_t r = 0; r < *nranks; ++r) {
     states[r].resize(static_cast<std::size_t>(bytes_read[r]));
   }

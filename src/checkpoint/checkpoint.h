@@ -59,6 +59,12 @@ class LwfsCheckpoint {
     security::Capability cap;       // caps for create+write (MAIN line 3)
     std::uint32_t journal_server = 0;
     std::uint32_t window = 8;       // outstanding async creates/writes
+    /// >= 2 checkpoints into N-way replicated objects (DESIGN.md §15):
+    /// every rank's state and the metadata object live on a replica chain,
+    /// and the distributed transaction is skipped — redundancy replaces
+    /// 2PC, and the single LinkName publishing the metadata object is the
+    /// commit point.  0 or 1 keeps the transactional single-copy path.
+    std::uint32_t replication_factor = 0;
   };
 
   /// Run the CHECKPOINT() operation of Figure 8; `states[r]` is rank r's

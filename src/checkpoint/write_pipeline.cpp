@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <utility>
 
+#include "rpc/service.h"
+
 namespace lwfs::checkpoint {
+
+namespace {
+
+// Errors worth retrying on a different replica: the member (or the path to
+// it) failed.  Authorization/argument errors would fail identically on every
+// member, so failing over on them only hides bugs.
+bool FailoverWorthy(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 driver::Step WritePipeline::Fail(Status status) {
   result_ = std::move(status);
@@ -34,10 +55,31 @@ driver::Step WritePipeline::Issue(driver::Context& ctx, Stage stage) {
       ctx.WakeOnComplete(create_.handle());
       return driver::Step::kBlocked;
     }
-    case Stage::kVerify: {
-      auto handle = spec_.client->GetAttrAsync(spec_.server, cap_, oid_);
+    case Stage::kPlace: {
+      auto handle = spec_.client->PlaceReplicatedAsync(
+          cap_.cid, spec_.server, spec_.replication_factor);
       if (!handle.ok()) return Fail(handle.status());
       call_ = std::move(*handle);
+      break;
+    }
+    case Stage::kVerify: {
+      for (;;) {
+        const std::uint32_t target =
+            replicated() ? chain_.servers[verify_member_] : spec_.server;
+        auto handle = spec_.client->GetAttrAsync(target, cap_, oid_);
+        if (handle.ok()) {
+          call_ = std::move(*handle);
+          break;
+        }
+        // Replicated verify fails over through the chain on issue-time
+        // unreachability, same as on an errored reply.
+        if (replicated() && FailoverWorthy(handle.status()) &&
+            verify_member_ + 1 < chain_.servers.size()) {
+          ++verify_member_;
+          continue;
+        }
+        return Fail(handle.status());
+      }
       break;
     }
     default:
@@ -58,7 +100,7 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
         if (spec_.window == 0) spec_.window = 1;
         if (spec_.cap.has_value()) {
           cap_ = *spec_.cap;
-          return Issue(ctx, Stage::kCreate);
+          return Issue(ctx, replicated() ? Stage::kPlace : Stage::kCreate);
         }
         if (spec_.cred.has_value()) {
           cred_ = *spec_.cred;
@@ -82,7 +124,7 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
         auto cap = core::Client::ResolveGetCap(std::move(reply));
         if (!cap.ok()) return Fail(cap.status());
         cap_ = *cap;
-        return Issue(ctx, Stage::kCreate);
+        return Issue(ctx, replicated() ? Stage::kPlace : Stage::kCreate);
       }
 
       case Stage::kCreate: {
@@ -102,7 +144,129 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
         continue;
       }
 
+      case Stage::kPlace: {
+        Result<Buffer> reply = Buffer{};
+        if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
+        auto chain = core::Client::ResolvePlaceReplicated(std::move(reply));
+        if (!chain.ok()) return Fail(chain.status());
+        chain_ = std::move(*chain);
+        oid_ = chain_.oid;
+        // Fan the create out to every chain member at once.  An issue-time
+        // failure (down node, open breaker) is a failed *member*, not a
+        // failed write — the survivors carry the epoch.
+        creates_.clear();
+        create_states_.assign(chain_.servers.size(), 0);
+        for (std::size_t i = 0; i < chain_.servers.size(); ++i) {
+          auto handle = spec_.client->CreateObjectAtAsync(chain_.servers[i],
+                                                          cap_, oid_,
+                                                          spec_.txid);
+          creates_.emplace_back();
+          if (!handle.ok()) {
+            create_states_[i] = -1;
+            if (create_error_.ok()) create_error_ = handle.status();
+            continue;
+          }
+          creates_.back() = std::move(*handle);
+          ctx.WakeOnComplete(creates_.back());
+        }
+        stage_ = Stage::kCreateReplicas;
+        continue;
+      }
+
+      case Stage::kCreateReplicas: {
+        bool pending = false;
+        for (std::size_t i = 0; i < creates_.size(); ++i) {
+          if (create_states_[i] != 0) continue;
+          Result<Buffer> reply = Buffer{};
+          if (!creates_[i].TryAwait(&reply)) {
+            pending = true;
+            continue;
+          }
+          auto done = rpc::ResolveTyped<rpc::Void>(std::move(reply));
+          if (done.ok()) {
+            create_states_[i] = 1;
+          } else {
+            create_states_[i] = -1;
+            if (create_error_.ok()) create_error_ = done.status();
+          }
+        }
+        if (pending) return driver::Step::kBlocked;
+        // The create phase ends when the last fan-out create resolves.
+        create_done_ = ctx.clock()->Now();
+        std::vector<std::uint32_t> failed;
+        std::size_t created = 0;
+        for (std::size_t i = 0; i < creates_.size(); ++i) {
+          if (create_states_[i] == 1) {
+            ++created;
+          } else {
+            failed.push_back(chain_.servers[i]);
+          }
+        }
+        if (created == 0) return Fail(create_error_);
+        // Members unreachable at create time start out stale; the background
+        // replicator brings them back.  Best-effort: a failed report only
+        // delays repair until the first degraded write re-reports.
+        if (!failed.empty()) {
+          (void)spec_.client->ReportStaleReplicas(chain_.oid, 0, failed);
+        }
+        created_ = true;
+        if (spec_.create_only) {
+          stage_ = Stage::kDone;
+          return driver::Step::kDone;
+        }
+        stage_ = Stage::kStream;
+        continue;
+      }
+
       case Stage::kStream: {
+        if (replicated()) {
+          // Retire completed chain writes from the front of the window.  A
+          // write whose head failed over has a fresh handle; its generation
+          // moved, so re-arm the wake before blocking on it.
+          while (!rep_writes_.empty()) {
+            RepWrite& front = rep_writes_.front();
+            Result<std::uint64_t> n = std::uint64_t{0};
+            if (!front.io.TryAwait(&n)) {
+              if (front.io.generation() != front.armed) {
+                front.armed = front.io.generation();
+                ctx.WakeOnComplete(front.io.handle());
+              }
+              break;
+            }
+            rep_writes_.pop_front();
+            if (!n.ok()) return Fail(n.status());
+          }
+          const bool sliced = spec_.payload_slice.owned();
+          const std::uint64_t total =
+              sliced ? spec_.payload_slice.size() : spec_.payload.size();
+          const std::uint64_t chunk =
+              spec_.chunk_bytes == 0 ? total : spec_.chunk_bytes;
+          while (offset_ < total && rep_writes_.size() < spec_.window) {
+            const std::uint64_t n = std::min(chunk, total - offset_);
+            // Spec::payload stays valid until kDone, so a borrowed External
+            // slice is safe for the unsliced path.
+            util::SharedSlice piece =
+                sliced ? spec_.payload_slice.Slice(
+                             static_cast<std::size_t>(offset_),
+                             static_cast<std::size_t>(n))
+                       : util::SharedSlice::External(spec_.payload.subspan(
+                             static_cast<std::size_t>(offset_),
+                             static_cast<std::size_t>(n)));
+            auto io = spec_.client->WriteReplicatedSliceAsync(
+                cap_, chain_, offset_, piece);
+            if (!io.ok()) return Fail(io.status());
+            rep_writes_.push_back(RepWrite{std::move(*io), 0});
+            RepWrite& back = rep_writes_.back();
+            back.armed = back.io.generation();
+            ctx.WakeOnComplete(back.io.handle());
+            offset_ += n;
+          }
+          if (!rep_writes_.empty()) return driver::Step::kBlocked;
+          dumped_ = true;
+          if (spec_.verify_attr) return Issue(ctx, Stage::kVerify);
+          stage_ = Stage::kDone;
+          return driver::Step::kDone;
+        }
         // Retire completed chunk writes from the front of the window.
         while (!writes_.empty()) {
           Result<std::uint64_t> n = std::uint64_t{0};
@@ -145,7 +309,16 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
         Result<Buffer> reply = Buffer{};
         if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
         auto attr = core::Client::ResolveGetAttr(std::move(reply));
-        if (!attr.ok()) return Fail(attr.status());
+        if (!attr.ok()) {
+          // Replicated verify fails over through the chain: any surviving
+          // member can vouch for the committed bytes.
+          if (replicated() && FailoverWorthy(attr.status()) &&
+              verify_member_ + 1 < chain_.servers.size()) {
+            ++verify_member_;
+            return Issue(ctx, Stage::kVerify);
+          }
+          return Fail(attr.status());
+        }
         const std::uint64_t expect = spec_.payload_slice.owned()
                                          ? spec_.payload_slice.size()
                                          : spec_.payload.size();

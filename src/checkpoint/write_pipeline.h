@@ -27,6 +27,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/client.h"
 #include "driver/driver.h"
@@ -55,6 +56,13 @@ class WritePipeline final : public driver::LogicalClient {
     storage::ContainerId cid{0};      // kAcquireCap container
     std::uint32_t cap_ops = 0;        // kAcquireCap rights mask
 
+    /// >= 2 switches the pipeline to the replicated path: placement via
+    /// the naming registry (kPlace, with `server` as the placement
+    /// preference), object-create fan-out to every chain member, chain
+    /// writes with head failover, and a verify that fails over through the
+    /// chain.  0 or 1 keeps the direct single-server path.
+    std::uint32_t replication_factor = 0;
+
     txn::TxnId txid = 0;              // create joins this transaction
     ByteSpan payload{};               // must stay valid until kDone
     /// Zero-copy alternative to `payload`: an owned ref-counted slice.
@@ -81,6 +89,10 @@ class WritePipeline final : public driver::LogicalClient {
   }
   /// True once the payload was fully written (and verified, if requested).
   [[nodiscard]] bool dumped() const { return dumped_; }
+  /// The replica placement (valid once created(), replicated mode only).
+  [[nodiscard]] const core::ReplicaChain& replica_chain() const {
+    return chain_;
+  }
 
  private:
   enum class Stage {
@@ -88,10 +100,16 @@ class WritePipeline final : public driver::LogicalClient {
     kLogin,
     kAcquireCap,
     kCreate,
+    kPlace,           // replicated: registry placement RPC in flight
+    kCreateReplicas,  // replicated: create fan-out in flight
     kStream,
     kVerify,
     kDone,
   };
+
+  [[nodiscard]] bool replicated() const {
+    return spec_.replication_factor >= 2;
+  }
 
   /// Issue the next acquisition/create/verify call for `stage` and arm its
   /// completion wake.  Returns kBlocked, or fails the machine.
@@ -105,6 +123,20 @@ class WritePipeline final : public driver::LogicalClient {
   core::PendingCreate create_;       // create in flight
   std::deque<core::PendingIo> writes_;  // chunk window, retired from front
   std::uint64_t offset_ = 0;         // next payload byte to issue
+
+  // Replicated-path state.  A chain write's handle changes when head
+  // failover reissues it, so each window entry remembers the generation it
+  // armed its wake for and re-arms when the generation moves.
+  core::ReplicaChain chain_;
+  std::vector<rpc::CallHandle> creates_;  // fan-out, one per chain member
+  std::vector<int> create_states_;        // 0 pending, 1 created, -1 failed
+  Status create_error_ = OkStatus();      // first create failure
+  struct RepWrite {
+    core::PendingReplicatedWrite io;
+    std::uint64_t armed = 0;
+  };
+  std::deque<RepWrite> rep_writes_;
+  std::size_t verify_member_ = 0;  // chain index the verify targets
 
   security::Credential cred_{};
   security::Capability cap_{};

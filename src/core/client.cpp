@@ -1,11 +1,32 @@
 #include "core/client.h"
 
+#include <algorithm>
+#include <cstring>
 #include <thread>
 
 #include "core/wire.h"
 #include "rpc/service.h"
 
 namespace lwfs::core {
+
+namespace {
+
+/// Errors worth retrying on another chain member: the member is gone,
+/// unreachable, lost the object, or corrupted the transfer.  Authorization
+/// and argument errors would fail identically everywhere.
+bool FailoverWorthy(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PendingIo / PendingCreate / Batch
@@ -125,6 +146,122 @@ Status Batch::Drain() {
 }
 
 // ---------------------------------------------------------------------------
+// PendingReplicatedWrite
+// ---------------------------------------------------------------------------
+
+PendingReplicatedWrite::PendingReplicatedWrite(Client* client,
+                                               security::Capability cap,
+                                               ReplicaChain chain,
+                                               std::uint64_t offset,
+                                               util::SharedSlice data)
+    : client_(client),
+      cap_(std::move(cap)),
+      chain_(std::move(chain)),
+      members_(chain_.servers),
+      offset_(offset),
+      data_(std::move(data)) {}
+
+Status PendingReplicatedWrite::Issue() {
+  for (;;) {
+    auto head = client_->StorageNid(members_.front());
+    if (!head.ok()) return head.status();
+    wire::ReplicaWriteReq req;
+    req.cap = cap_;
+    req.oid = chain_.oid.value;
+    req.offset = offset_;
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      auto nid = client_->StorageNid(members_[i]);
+      if (!nid.ok()) return nid.status();
+      req.chain.push_back(wire::ReplicaHop{members_[i], *nid});
+    }
+    rpc::CallOptions options;
+    if (data_.owned()) {
+      options.bulk_out_slice = data_;  // one registration; head forwards it
+    } else {
+      // Borrowed (External) slices take the staged span path — the portals
+      // layer only exposes owned slices by reference.  `data_` pins the span
+      // until the call (and any failover reissue) completes.
+      options.bulk_out = data_.span();
+    }
+    auto handle = rpc::CallTypedAsync(client_->rpc_, *head, kOpReplicaWrite,
+                                      req, options);
+    if (handle.ok()) {
+      handle_ = std::move(*handle);
+      ++generation_;
+      return OkStatus();
+    }
+    // Head unreachable at issue time (down node, open breaker): fail over
+    // exactly as for a mid-call transport failure — the next member heads a
+    // shorter chain and the skipped one is reported stale by Finish().
+    if (!FailoverWorthy(handle.status()) || members_.size() == 1) {
+      return handle.status();
+    }
+    members_.erase(members_.begin());
+    client_->write_failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool PendingReplicatedWrite::Advance(Result<Buffer> reply,
+                                     Result<std::uint64_t>* out) {
+  if (!reply.ok() && FailoverWorthy(reply.status()) && members_.size() > 1) {
+    // Head unreachable: the next member heads a shorter chain.  The skipped
+    // member is accounted for in Finish() — it will be absent from the
+    // applied set, so it gets reported stale like any missed hop.
+    members_.erase(members_.begin());
+    client_->write_failovers_.fetch_add(1, std::memory_order_relaxed);
+    if (Issue().ok()) return false;
+  }
+  final_ = Finish(std::move(reply));
+  done_ = true;
+  if (out != nullptr) *out = final_;
+  return true;
+}
+
+Result<std::uint64_t> PendingReplicatedWrite::Finish(Result<Buffer> reply) {
+  auto rep = rpc::ResolveTyped<wire::ReplicaWriteRep>(std::move(reply));
+  if (!rep.ok()) return rep.status();
+  applied_ = std::move(rep->applied);
+  version_ = rep->version;
+  // A commit that missed members is a *degraded* success: report the misses
+  // (with the committed version) so the background replicator re-replicates
+  // from survivors, rather than failing a write the chain durably applied.
+  std::vector<std::uint32_t> stale;
+  for (std::uint32_t member : chain_.servers) {
+    if (std::find(applied_.begin(), applied_.end(), member) ==
+        applied_.end()) {
+      stale.push_back(member);
+    }
+  }
+  if (!stale.empty()) {
+    client_->degraded_writes_.fetch_add(1, std::memory_order_relaxed);
+    (void)client_->ReportStaleReplicas(chain_.oid, version_, stale);
+  }
+  return data_.size();
+}
+
+Result<std::uint64_t> PendingReplicatedWrite::Await() {
+  if (done_) return final_;
+  if (!handle_.valid()) {
+    return FailedPrecondition("awaiting an empty replicated write");
+  }
+  for (;;) {
+    Result<std::uint64_t> out = 0;
+    if (Advance(handle_.Await(), &out)) return out;
+  }
+}
+
+bool PendingReplicatedWrite::TryAwait(Result<std::uint64_t>* out) {
+  if (done_) {
+    if (out != nullptr) *out = final_;
+    return true;
+  }
+  if (!handle_.valid()) return false;
+  Result<Buffer> reply = Buffer{};
+  if (!handle_.TryAwait(&reply)) return false;
+  return Advance(std::move(reply), out);
+}
+
+// ---------------------------------------------------------------------------
 // RemoteParticipant
 // ---------------------------------------------------------------------------
 
@@ -156,6 +293,13 @@ Result<storage::ObjectId> RemoteObjectStore::Create(storage::ContainerId cid) {
     return PermissionDenied("capability is for a different container");
   }
   return client_->CreateObject(server_, cap_);
+}
+Status RemoteObjectStore::CreateWithId(storage::ContainerId cid,
+                                       storage::ObjectId oid) {
+  if (cid != cap_.cid) {
+    return PermissionDenied("capability is for a different container");
+  }
+  return client_->CreateObjectAt(server_, cap_, oid);
 }
 Status RemoteObjectStore::Remove(storage::ObjectId oid) {
   return client_->RemoveObject(server_, cap_, oid);
@@ -476,6 +620,266 @@ Result<Buffer> Client::FilterObjectAlloc(std::uint32_t server,
   if (!outcome.ok()) return outcome.status();
   out.resize(static_cast<std::size_t>(outcome->result_bytes));
   return out;
+}
+
+// ---- Replication (DESIGN.md §15) -------------------------------------------
+
+Result<ReplicaChain> Client::PlaceReplicated(storage::ContainerId cid,
+                                             std::uint32_t preferred,
+                                             std::uint32_t factor) {
+  auto handle = PlaceReplicatedAsync(cid, preferred, factor);
+  if (!handle.ok()) return handle.status();
+  return ResolvePlaceReplicated(handle->Await());
+}
+
+Result<rpc::CallHandle> Client::PlaceReplicatedAsync(storage::ContainerId cid,
+                                                     std::uint32_t preferred,
+                                                     std::uint32_t factor) {
+  return rpc::CallTypedAsync(rpc_, deployment_.naming, kOpReplicaPlace,
+                             wire::ReplicaPlaceReq{cid.value, preferred,
+                                                   factor});
+}
+
+Result<ReplicaChain> Client::ResolvePlaceReplicated(Result<Buffer> reply) {
+  auto rep = rpc::ResolveTyped<wire::ReplicaChainRep>(std::move(reply));
+  if (!rep.ok()) return rep.status();
+  return ReplicaChain{storage::ObjectId{rep->oid},
+                      storage::ContainerId{rep->cid},
+                      std::move(rep->servers)};
+}
+
+Result<ReplicaChain> Client::LookupReplicas(storage::ObjectId oid) {
+  auto rep = rpc::CallTyped<wire::ReplicaChainRep>(
+      rpc_, deployment_.naming, kOpReplicaLookup,
+      wire::ReplicaLookupReq{oid.value});
+  if (!rep.ok()) return rep.status();
+  return ReplicaChain{storage::ObjectId{rep->oid},
+                      storage::ContainerId{rep->cid},
+                      std::move(rep->servers)};
+}
+
+Status Client::ReportStaleReplicas(storage::ObjectId oid,
+                                   std::uint64_t version,
+                                   const std::vector<std::uint32_t>& stale) {
+  stale_reports_.fetch_add(1, std::memory_order_relaxed);
+  return rpc::CallTyped<rpc::Void>(
+             rpc_, deployment_.naming, kOpReplicaReport,
+             wire::ReplicaReportReq{oid.value, version, stale})
+      .status();
+}
+
+Result<naming::ReplicaAuditCounts> Client::AuditReplicas() {
+  auto rep = rpc::CallTyped<wire::ReplicaAuditRep>(
+      rpc_, deployment_.naming, kOpReplicaAudit, rpc::Void{});
+  if (!rep.ok()) return rep.status();
+  naming::ReplicaAuditCounts counts;
+  counts.objects = rep->objects;
+  counts.fully_replicated = rep->fully_replicated;
+  counts.under_replicated = rep->under_replicated;
+  counts.stale_members = rep->stale_members;
+  return counts;
+}
+
+Status Client::CreateObjectAt(std::uint32_t server,
+                              const security::Capability& cap,
+                              storage::ObjectId oid, txn::TxnId txid) {
+  auto handle = CreateObjectAtAsync(server, cap, oid, txid);
+  if (!handle.ok()) return handle.status();
+  return rpc::ResolveTyped<rpc::Void>(handle->Await()).status();
+}
+
+Result<rpc::CallHandle> Client::CreateObjectAtAsync(
+    std::uint32_t server, const security::Capability& cap,
+    storage::ObjectId oid, txn::TxnId txid) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  return rpc::CallTypedAsync(rpc_, *nid, kOpObjCreateAt,
+                             wire::ObjCreateAtReq{cap, oid.value, txid});
+}
+
+Result<ReplicaChain> Client::CreateReplicatedObject(
+    const security::Capability& cap, std::uint32_t preferred,
+    std::uint32_t factor, txn::TxnId txid) {
+  auto chain = PlaceReplicated(cap.cid, preferred, factor);
+  if (!chain.ok()) return chain.status();
+  std::vector<std::uint32_t> stale;
+  Status first_error = OkStatus();
+  std::size_t created = 0;
+  for (std::uint32_t member : chain->servers) {
+    Status s = CreateObjectAt(member, cap, chain->oid, txid);
+    if (s.ok()) {
+      ++created;
+    } else {
+      if (first_error.ok()) first_error = s;
+      stale.push_back(member);
+    }
+  }
+  if (created == 0) return first_error;
+  // Members unreachable at create time start out stale; the background
+  // replicator recreates them from a survivor.
+  if (!stale.empty()) (void)ReportStaleReplicas(chain->oid, 0, stale);
+  return chain;
+}
+
+Result<PendingReplicatedWrite> Client::WriteReplicatedSliceAsync(
+    const security::Capability& cap, const ReplicaChain& chain,
+    std::uint64_t offset, const util::SharedSlice& data) {
+  if (chain.servers.empty()) return InvalidArgument("empty replica chain");
+  replicated_writes_.fetch_add(1, std::memory_order_relaxed);
+  ReplicaChain ordered = chain;
+  // Prefer a head whose breaker is closed: a tripped head only fails fast
+  // and forces a failover reissue.  Rotating (not reordering) preserves the
+  // cyclic placement order for the downstream hops.
+  for (std::size_t i = 0; i < ordered.servers.size(); ++i) {
+    auto nid = StorageNid(ordered.servers[i]);
+    if (nid.ok() && !rpc_.BreakerOpen(*nid)) {
+      std::rotate(ordered.servers.begin(), ordered.servers.begin() + i,
+                  ordered.servers.end());
+      break;
+    }
+  }
+  PendingReplicatedWrite pending(this, cap, std::move(ordered), offset, data);
+  LWFS_RETURN_IF_ERROR(pending.Issue());
+  return pending;
+}
+
+Status Client::WriteReplicatedSlice(const security::Capability& cap,
+                                    const ReplicaChain& chain,
+                                    std::uint64_t offset,
+                                    const util::SharedSlice& data) {
+  auto io = WriteReplicatedSliceAsync(cap, chain, offset, data);
+  if (!io.ok()) return io.status();
+  auto n = io->Await();
+  return n.ok() ? OkStatus() : n.status();
+}
+
+Status Client::WriteReplicated(const security::Capability& cap,
+                               const ReplicaChain& chain, std::uint64_t offset,
+                               ByteSpan data) {
+  // Borrowed view is safe here: the span outlives the synchronous Await.
+  return WriteReplicatedSlice(cap, chain, offset,
+                              util::SharedSlice::External(data));
+}
+
+Result<std::uint64_t> Client::ReadReplicated(const security::Capability& cap,
+                                             const ReplicaChain& chain,
+                                             std::uint64_t offset,
+                                             MutableByteSpan out) {
+  if (chain.servers.empty()) return InvalidArgument("empty replica chain");
+
+  // Plain path: hedging off or nowhere to hedge — sequential failover.
+  if (chain.servers.size() == 1 || hedge_after_us_ == 0) {
+    Status last = OkStatus();
+    for (std::size_t i = 0; i < chain.servers.size(); ++i) {
+      auto n = ReadObject(chain.servers[i], cap, chain.oid, offset, out);
+      if (n.ok()) return n;
+      last = n.status();
+      if (!FailoverWorthy(last)) return last;
+      read_failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return last;
+  }
+
+  // Hedged path.  Each attempt lands in its own heap buffer so two servers
+  // never push into the same caller span; the winner's bytes are copied out
+  // once.  A loser's buffer must survive until its (abandoned) call
+  // completes, so every attempt pins its buffer via an OnComplete capture.
+  struct Attempt {
+    std::shared_ptr<Buffer> buf;
+    PendingIo io;
+    bool is_hedge = false;
+    bool dead = false;
+  };
+  util::Clock* clock = rpc_.clock();
+  std::vector<Attempt> attempts;
+  std::size_t next_member = 0;
+  Status last = Unavailable("no replica reachable");
+
+  auto issue = [&](bool is_hedge) -> bool {
+    while (next_member < chain.servers.size()) {
+      const std::uint32_t member = chain.servers[next_member++];
+      Attempt a;
+      a.buf = std::make_shared<Buffer>(out.size(), std::uint8_t{0});
+      auto io = ReadObjectAsync(member, cap, chain.oid, offset,
+                                MutableByteSpan(*a.buf));
+      if (!io.ok()) {
+        last = io.status();
+        if (!FailoverWorthy(last)) return false;
+        // Unreachable at issue time (down node, open breaker): fail over
+        // straight to the next member.
+        read_failovers_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      a.io = std::move(*io);
+      auto keep = a.buf;  // pin the landing buffer until the fabric is done
+      a.io.handle().OnComplete([keep](const Result<Buffer>&) {});
+      a.is_hedge = is_hedge;
+      attempts.push_back(std::move(a));
+      return true;
+    }
+    return false;
+  };
+
+  if (!issue(/*is_hedge=*/false)) return last;
+
+  // Fire the hedge immediately if the primary's breaker is already open;
+  // otherwise arm it for `hedge_after_us` on the deployment clock.
+  bool hedge_fired = false;
+  {
+    auto primary = StorageNid(chain.servers[0]);
+    if (primary.ok() && rpc_.BreakerOpen(*primary)) {
+      if (issue(/*is_hedge=*/true)) {
+        hedged_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+      hedge_fired = true;
+    }
+  }
+  const util::Clock::TimePoint hedge_at =
+      clock->Now() + std::chrono::microseconds(hedge_after_us_);
+  constexpr auto kPollStep = std::chrono::microseconds(50);
+
+  for (;;) {
+    std::size_t live = 0;
+    for (Attempt& a : attempts) {
+      if (a.dead) continue;
+      Result<std::uint64_t> n = 0;
+      if (!a.io.TryAwait(&n)) {
+        ++live;
+        continue;
+      }
+      if (n.ok()) {
+        std::memcpy(out.data(), a.buf->data(),
+                    static_cast<std::size_t>(*n));
+        if (a.is_hedge) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        return *n;
+      }
+      a.dead = true;
+      last = n.status();
+      if (!FailoverWorthy(last)) return last;
+      read_failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (issue(a.is_hedge)) ++live;  // replace the dead attempt
+    }
+    if (live == 0) return last;
+    if (!hedge_fired && clock->Now() >= hedge_at) {
+      hedge_fired = true;
+      if (issue(/*is_hedge=*/true)) {
+        hedged_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    clock->SleepFor(kPollStep);
+  }
+}
+
+ReplicationStats Client::replication_stats() const {
+  ReplicationStats s;
+  s.replicated_writes = replicated_writes_.load(std::memory_order_relaxed);
+  s.write_failovers = write_failovers_.load(std::memory_order_relaxed);
+  s.degraded_writes = degraded_writes_.load(std::memory_order_relaxed);
+  s.stale_reports = stale_reports_.load(std::memory_order_relaxed);
+  s.hedged_reads = hedged_reads_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  s.read_failovers = read_failovers_.load(std::memory_order_relaxed);
+  return s;
 }
 
 // ---- Naming ----------------------------------------------------------------

@@ -10,6 +10,7 @@
 // core policy (§3.1.1).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -21,6 +22,7 @@
 #include "core/filters.h"
 #include "core/protocol.h"
 #include "naming/naming.h"
+#include "naming/replica_map.h"
 #include "rpc/rpc.h"
 #include "security/types.h"
 #include "storage/ids.h"
@@ -95,6 +97,81 @@ class PendingCreate {
   friend class Client;
   explicit PendingCreate(rpc::CallHandle handle) : handle_(std::move(handle)) {}
   rpc::CallHandle handle_;
+};
+
+/// A replicated object's placement as handed out by the naming server's
+/// replica registry: deployment storage indices, chain head first.
+struct ReplicaChain {
+  storage::ObjectId oid = storage::kInvalidObject;
+  storage::ContainerId cid = storage::kInvalidContainer;
+  std::vector<std::uint32_t> servers;
+};
+
+/// Client-side replication counters (knobs and semantics in DESIGN.md §15).
+struct ReplicationStats {
+  std::uint64_t replicated_writes = 0;  // chain writes issued
+  std::uint64_t write_failovers = 0;    // head reissues after transport failure
+  std::uint64_t degraded_writes = 0;    // commits that missed >= 1 member
+  std::uint64_t stale_reports = 0;      // ReplicaReport ops sent to naming
+  std::uint64_t hedged_reads = 0;       // second read requests fired
+  std::uint64_t hedge_wins = 0;         // hedge finished before the primary
+  std::uint64_t read_failovers = 0;     // reads reissued on another member
+};
+
+/// Completion handle for a chain-replicated write.  One RPC carries the whole
+/// slice to the chain head, which forwards it hop by hop; the commit ack comes
+/// back from the head once the tail has applied.  If the head itself is
+/// unreachable, TryAwait/Await transparently reissue the write to the next
+/// chain member (head failover) — `generation()` bumps on every reissue so
+/// event-driven callers know to re-arm completion wakes on the new handle().
+class PendingReplicatedWrite {
+ public:
+  PendingReplicatedWrite() = default;
+
+  [[nodiscard]] bool valid() const { return handle_.valid(); }
+
+  /// Bytes written on success.  A commit that missed downstream members is
+  /// still a success (degraded write): the miss is reported to the replica
+  /// registry for background repair, not surfaced as an error.
+  Result<std::uint64_t> Await();
+  /// Non-blocking variant; true once resolved.  May synchronously reissue
+  /// the write to the next chain member on head failure (and return false).
+  bool TryAwait(Result<std::uint64_t>* out);
+
+  [[nodiscard]] rpc::CallHandle& handle() { return handle_; }
+  /// Bumped every time head failover reissues the hop; callers that armed a
+  /// wake on handle() re-arm when this changes.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  /// Committed object version (valid after a successful Await).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  /// Chain members that acked the write (valid after a successful Await).
+  [[nodiscard]] const std::vector<std::uint32_t>& applied() const {
+    return applied_;
+  }
+
+ private:
+  friend class Client;
+  PendingReplicatedWrite(Client* client, security::Capability cap,
+                         ReplicaChain chain, std::uint64_t offset,
+                         util::SharedSlice data);
+  Status Issue();
+  /// Shared completion step: true when resolved, false when a failover
+  /// reissue is now in flight.
+  bool Advance(Result<Buffer> reply, Result<std::uint64_t>* out);
+  Result<std::uint64_t> Finish(Result<Buffer> reply);
+
+  Client* client_ = nullptr;
+  security::Capability cap_;
+  ReplicaChain chain_;                   // full placement, for stale accounting
+  std::vector<std::uint32_t> members_;   // remaining candidates, current head first
+  std::uint64_t offset_ = 0;
+  util::SharedSlice data_;
+  rpc::CallHandle handle_;
+  std::uint64_t generation_ = 0;
+  bool done_ = false;
+  Result<std::uint64_t> final_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<std::uint32_t> applied_;
 };
 
 /// Issues object I/O through a bounded in-flight window and gathers the
@@ -178,9 +255,7 @@ class RemoteObjectStore final : public storage::ObjectStore {
       : client_(client), server_(server_index), cap_(std::move(cap)) {}
 
   Result<storage::ObjectId> Create(storage::ContainerId cid) override;
-  Status CreateWithId(storage::ContainerId, storage::ObjectId) override {
-    return InvalidArgument("CreateWithId is not part of the wire protocol");
-  }
+  Status CreateWithId(storage::ContainerId, storage::ObjectId oid) override;
   Status Remove(storage::ObjectId oid) override;
   Status Write(storage::ObjectId oid, std::uint64_t offset,
                ByteSpan data) override;
@@ -189,6 +264,11 @@ class RemoteObjectStore final : public storage::ObjectStore {
   Status Truncate(storage::ObjectId oid, std::uint64_t size) override;
   Result<storage::ObjAttr> GetAttr(storage::ObjectId oid) override;
   Result<std::vector<storage::ObjectId>> List(storage::ContainerId) override;
+  Status SetVersion(storage::ObjectId, std::uint64_t) override {
+    // Version catch-up is a repair-plane op (control portal), not part of
+    // the capability-gated client protocol.
+    return FailedPrecondition("SetVersion is not part of the wire protocol");
+  }
   std::uint64_t ObjectCount() override { return 0; }  // not tracked remotely
 
  private:
@@ -338,6 +418,71 @@ class Client {
                                    std::uint64_t length,
                                    const FilterSpec& spec);
 
+  // ---- Replication (DESIGN.md §15) -----------------------------------------
+  /// Ask the naming server's replica registry for an N-way placement.  The
+  /// returned chain is rack-aware and deterministic for a given registry
+  /// state, and the minted object id has the replicated bit (bit 62) set.
+  Result<ReplicaChain> PlaceReplicated(storage::ContainerId cid,
+                                       std::uint32_t preferred,
+                                       std::uint32_t factor);
+  Result<rpc::CallHandle> PlaceReplicatedAsync(storage::ContainerId cid,
+                                               std::uint32_t preferred,
+                                               std::uint32_t factor);
+  static Result<ReplicaChain> ResolvePlaceReplicated(Result<Buffer> reply);
+  Result<ReplicaChain> LookupReplicas(storage::ObjectId oid);
+  /// Tell the registry that `stale` members missed the commit at `version`
+  /// (degraded write); the background replicator repairs them later.
+  Status ReportStaleReplicas(storage::ObjectId oid, std::uint64_t version,
+                             const std::vector<std::uint32_t>& stale);
+  /// Registry-wide replica-count audit (the acceptance check for repair).
+  Result<naming::ReplicaAuditCounts> AuditReplicas();
+
+  /// Create an object under a caller-chosen (replicated) id on one member.
+  /// Idempotent: re-creating the same id in the same container succeeds.
+  Status CreateObjectAt(std::uint32_t server, const security::Capability& cap,
+                        storage::ObjectId oid, txn::TxnId txid = 0);
+  Result<rpc::CallHandle> CreateObjectAtAsync(std::uint32_t server,
+                                              const security::Capability& cap,
+                                              storage::ObjectId oid,
+                                              txn::TxnId txid = 0);
+  /// Place + fan out CreateObjectAt to every chain member.  Members that are
+  /// unreachable at create time are reported stale rather than failing the
+  /// create, as long as at least one member accepts the object.
+  Result<ReplicaChain> CreateReplicatedObject(const security::Capability& cap,
+                                              std::uint32_t preferred,
+                                              std::uint32_t factor,
+                                              txn::TxnId txid = 0);
+
+  /// Chain-replicated zero-copy write: one slice-carrying RPC to the chain
+  /// head, which forwards the same slice downstream (client -> head -> tail)
+  /// and acks after the tail commits.  See PendingReplicatedWrite for the
+  /// failover and degraded-write semantics.
+  Result<PendingReplicatedWrite> WriteReplicatedSliceAsync(
+      const security::Capability& cap, const ReplicaChain& chain,
+      std::uint64_t offset, const util::SharedSlice& data);
+  Status WriteReplicatedSlice(const security::Capability& cap,
+                              const ReplicaChain& chain, std::uint64_t offset,
+                              const util::SharedSlice& data);
+  Status WriteReplicated(const security::Capability& cap,
+                         const ReplicaChain& chain, std::uint64_t offset,
+                         ByteSpan data);
+
+  /// Read-from-any with hedging: issues to the chain head, then fires a
+  /// second request to the next member if the head's circuit breaker is open
+  /// (immediately) or its latency exceeds hedge_after_us (on the clock).
+  /// First successful reply wins; transport failures fail over through the
+  /// rest of the chain.  With hedging off (hedge_after_us == 0) this is a
+  /// plain read with sequential failover.
+  Result<std::uint64_t> ReadReplicated(const security::Capability& cap,
+                                       const ReplicaChain& chain,
+                                       std::uint64_t offset,
+                                       MutableByteSpan out);
+
+  /// Hedged-read latency knob, microseconds; 0 disables hedging.
+  void SetHedgeAfterUs(std::uint64_t us) { hedge_after_us_ = us; }
+  [[nodiscard]] std::uint64_t hedge_after_us() const { return hedge_after_us_; }
+  [[nodiscard]] ReplicationStats replication_stats() const;
+
   // ---- Naming --------------------------------------------------------------
   Status Mkdir(std::string_view path, bool recursive = false);
   Status LinkName(std::string_view path, const storage::ObjectRef& ref);
@@ -385,11 +530,22 @@ class Client {
   }
 
  private:
+  friend class PendingReplicatedWrite;
+
   Result<portals::Nid> StorageNid(std::uint32_t server) const;
 
   std::shared_ptr<portals::Nic> nic_;
   Deployment deployment_;
   rpc::RpcClient rpc_;
+
+  std::uint64_t hedge_after_us_ = 0;  // 0 = hedging off
+  std::atomic<std::uint64_t> replicated_writes_{0};
+  std::atomic<std::uint64_t> write_failovers_{0};
+  std::atomic<std::uint64_t> degraded_writes_{0};
+  std::atomic<std::uint64_t> stale_reports_{0};
+  std::atomic<std::uint64_t> hedged_reads_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> read_failovers_{0};
 };
 
 }  // namespace lwfs::core

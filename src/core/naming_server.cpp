@@ -6,8 +6,10 @@ namespace lwfs::core {
 
 NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
                            naming::NamingService* service,
-                           rpc::ServerOptions options)
+                           rpc::ServerOptions options,
+                           naming::ReplicaMap* replicas)
     : service_(service),
+      replicas_(replicas),
       server_(std::move(nic), options),
       ops_(&server_, "naming") {
   ops_.On<wire::MkdirReq, rpc::Void>(
@@ -70,6 +72,51 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
         if (!entries.ok()) return entries.status();
         return wire::ListNamesRep{std::move(*entries)};
       });
+
+  // Replica registry: placement, lookup, degraded-write reports, and the
+  // replica-count audit.  Registered only when a deployment attaches a map.
+  if (replicas_ != nullptr) {
+    ops_.On<wire::ReplicaPlaceReq, wire::ReplicaChainRep>(
+        wire::kReplicaPlaceOp,
+        [this](rpc::ServerContext&,
+               wire::ReplicaPlaceReq& req) -> Result<wire::ReplicaChainRep> {
+          auto placement = replicas_->Place(storage::ContainerId{req.cid},
+                                            req.preferred, req.factor);
+          if (!placement.ok()) return placement.status();
+          return wire::ReplicaChainRep{placement->oid.value,
+                                       placement->cid.value,
+                                       std::move(placement->chain)};
+        });
+
+    ops_.On<wire::ReplicaLookupReq, wire::ReplicaChainRep>(
+        wire::kReplicaLookupOp,
+        [this](rpc::ServerContext&,
+               wire::ReplicaLookupReq& req) -> Result<wire::ReplicaChainRep> {
+          auto placement = replicas_->Lookup(storage::ObjectId{req.oid});
+          if (!placement.ok()) return placement.status();
+          return wire::ReplicaChainRep{placement->oid.value,
+                                       placement->cid.value,
+                                       std::move(placement->chain)};
+        });
+
+    ops_.On<wire::ReplicaReportReq, rpc::Void>(
+        wire::kReplicaReportOp,
+        [this](rpc::ServerContext&,
+               wire::ReplicaReportReq& req) -> Result<rpc::Void> {
+          LWFS_RETURN_IF_ERROR(replicas_->ReportStale(
+              storage::ObjectId{req.oid}, req.version, req.stale));
+          return rpc::Void{};
+        });
+
+    ops_.On<rpc::Void, wire::ReplicaAuditRep>(
+        wire::kReplicaAuditOp,
+        [this](rpc::ServerContext&, rpc::Void&) -> Result<wire::ReplicaAuditRep> {
+          const naming::ReplicaAuditCounts counts = replicas_->Audit();
+          return wire::ReplicaAuditRep{counts.objects, counts.fully_replicated,
+                                       counts.under_replicated,
+                                       counts.stale_members};
+        });
+  }
 
   // Two-phase-commit participant endpoints.
   ops_.On<wire::TxnReq, wire::TxnVoteRep>(

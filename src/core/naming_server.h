@@ -12,6 +12,7 @@
 
 #include "core/protocol.h"
 #include "naming/naming.h"
+#include "naming/replica_map.h"
 #include "rpc/rpc.h"
 #include "rpc/service.h"
 
@@ -19,8 +20,13 @@ namespace lwfs::core {
 
 class NamingServer {
  public:
+  /// `replicas` (optional) attaches the replica-placement registry; when
+  /// set, the replica place/lookup/report/audit ops are served too.  The
+  /// registry is placement *metadata*, not namespace state: Restart()
+  /// leaves it intact the same way authz keeps its grant tables.
   NamingServer(std::shared_ptr<portals::Nic> nic,
-               naming::NamingService* service, rpc::ServerOptions options = {});
+               naming::NamingService* service, rpc::ServerOptions options = {},
+               naming::ReplicaMap* replicas = nullptr);
 
   Status Start() {
     LWFS_RETURN_IF_ERROR(ops_.init_status());
@@ -52,8 +58,11 @@ class NamingServer {
 
   [[nodiscard]] static std::string participant_name() { return "naming"; }
 
+  [[nodiscard]] naming::ReplicaMap* replicas() { return replicas_; }
+
  private:
   naming::NamingService* service_;
+  naming::ReplicaMap* replicas_;
   rpc::RpcServer server_;
   rpc::Service ops_;
 };

@@ -42,8 +42,21 @@ enum Op : rpc::Opcode {
   /// Active-storage filter: run a reduction at the server, ship the result.
   kOpObjFilter = 37,
 
+  // Replication (storage data plane).  kOpObjCreateAt creates an object
+  // under a registry-assigned id on every chain member; kOpReplicaWrite is
+  // one chain hop: pull the chunk, apply locally, forward the same bytes to
+  // the rest of the chain, reply only after the tail acked.
+  kOpObjCreateAt = 38,
+  kOpReplicaWrite = 39,
+
   // Storage service (control plane; sent to rpc::kControlPortal).
   kOpInvalidateCaps = 40,
+  // Repair plane (control portal, service-to-service like InvalidateCaps):
+  // the chunk replicator probes replica freshness and copies survivor bytes
+  // onto stale members.
+  kOpRepairProbe = 41,
+  kOpRepairRead = 42,
+  kOpRepairWrite = 43,
 
   // Two-phase-commit participant ops (storage and naming services).
   kOpTxnPrepare = 50,
@@ -59,6 +72,13 @@ enum Op : rpc::Opcode {
   kOpNameStageLink = 65,
   kOpNameRmdir = 66,
   kOpNameRename = 67,
+
+  // Replica registry (hosted by the naming server): placement, lookup,
+  // staleness reports, and the replica-count audit.
+  kOpReplicaPlace = 70,
+  kOpReplicaLookup = 71,
+  kOpReplicaReport = 72,
+  kOpReplicaAudit = 73,
 
   // Lock service.
   kOpLockTry = 80,
@@ -83,7 +103,12 @@ static_assert(rpc::kCoreOpcodeRange.Contains(kOpLogin) &&
                   rpc::kCoreOpcodeRange.Contains(kOpObjList) &&
                   rpc::kCoreOpcodeRange.Contains(kOpObjTruncate) &&
                   rpc::kCoreOpcodeRange.Contains(kOpObjFilter) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjCreateAt) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpReplicaWrite) &&
                   rpc::kCoreOpcodeRange.Contains(kOpInvalidateCaps) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpRepairProbe) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpRepairRead) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpRepairWrite) &&
                   rpc::kCoreOpcodeRange.Contains(kOpTxnPrepare) &&
                   rpc::kCoreOpcodeRange.Contains(kOpTxnCommit) &&
                   rpc::kCoreOpcodeRange.Contains(kOpTxnAbort) &&
@@ -95,6 +120,10 @@ static_assert(rpc::kCoreOpcodeRange.Contains(kOpLogin) &&
                   rpc::kCoreOpcodeRange.Contains(kOpNameStageLink) &&
                   rpc::kCoreOpcodeRange.Contains(kOpNameRmdir) &&
                   rpc::kCoreOpcodeRange.Contains(kOpNameRename) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpReplicaPlace) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpReplicaLookup) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpReplicaReport) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpReplicaAudit) &&
                   rpc::kCoreOpcodeRange.Contains(kOpLockTry) &&
                   rpc::kCoreOpcodeRange.Contains(kOpLockRelease),
               "core opcode outside the core protocol family's range");

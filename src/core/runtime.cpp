@@ -38,6 +38,13 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
       rt->authn_service_.get(), authz_key, options.authz);
   rt->naming_service_ = std::make_unique<naming::NamingService>();
 
+  naming::ReplicaMapOptions replica_options;
+  replica_options.servers =
+      static_cast<std::uint32_t>(std::max(options.storage_servers, 1));
+  replica_options.default_factor = options.replication.replication_factor;
+  replica_options.rack_size = options.replication.rack_size;
+  rt->replica_map_ = std::make_unique<naming::ReplicaMap>(replica_options);
+
   // Credential revocation must drop the authorization service's cached
   // verification (in a distributed deployment this is a control RPC; the
   // two services share a process here).
@@ -53,7 +60,7 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
       options.control_services);
   rt->naming_server_ = std::make_unique<NamingServer>(
       rt->fabric_.CreateNic(), rt->naming_service_.get(),
-      options.control_services);
+      options.control_services, rt->replica_map_.get());
   rt->lock_server_ = std::make_unique<LockServer>(
       rt->fabric_.CreateNic(), &rt->lock_table_, options.control_services);
 
@@ -70,6 +77,18 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
     storage_options.shared_key = authz_key;
   }
   storage_options.client_options = options.client_options;
+  // Restart re-registration: a restarting server reports what it actually
+  // holds to the replica registry *before* it resumes serving, so a repair
+  // scan racing the restart never mistakes it for empty (the registry and
+  // servers share a process here; a distributed deployment would make this
+  // a control RPC to the naming server).
+  naming::ReplicaMap* replicas = rt->replica_map_.get();
+  storage_options.restart_report =
+      [replicas](std::uint32_t server,
+                 const std::vector<std::pair<storage::ObjectId,
+                                             std::uint64_t>>& held) {
+        replicas->ReportHoldings(server, held);
+      };
 
   std::vector<portals::Nid> storage_nids;
   for (int i = 0; i < options.storage_servers; ++i) {
@@ -103,6 +122,13 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
     rt->storage_servers_.push_back(std::move(server));
   }
   rt->authz_server_->SetStorageNids(storage_nids);
+
+  ChunkReplicatorOptions replicator_options;
+  replicator_options.repair_mb_s = options.replication.repair_mb_s;
+  replicator_options.repair_chunk_bytes = options.replication.repair_chunk_bytes;
+  rt->replicator_ = std::make_unique<ChunkReplicator>(
+      rt->fabric_.CreateNic(), rt->replica_map_.get(), storage_nids,
+      replicator_options, options.client_options);
 
   if (!options.naming_snapshot_file.empty()) {
     std::ifstream in(options.naming_snapshot_file, std::ios::binary);
@@ -153,8 +179,10 @@ void ServiceRuntime::ResetSchedStats() {
 }
 
 std::unique_ptr<Client> ServiceRuntime::MakeClient() {
-  return std::make_unique<Client>(fabric_.CreateNic(), deployment_,
-                                  options_.client_options);
+  auto client = std::make_unique<Client>(fabric_.CreateNic(), deployment_,
+                                         options_.client_options);
+  client->SetHedgeAfterUs(options_.replication.hedge_after_us);
+  return client;
 }
 
 ServiceRuntime::RobustnessStats ServiceRuntime::TotalRobustnessStats() {

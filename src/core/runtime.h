@@ -13,6 +13,7 @@
 
 #include "core/authn_server.h"
 #include "core/authz_server.h"
+#include "core/chunk_replicator.h"
 #include "core/client.h"
 #include "core/lock_server.h"
 #include "core/naming_server.h"
@@ -57,6 +58,25 @@ struct RuntimeOptions {
   /// Backend::kFile for deployments that survive process restarts.
   std::string naming_snapshot_file;
 
+  /// Replication layer knobs (DESIGN.md §15).  The replica registry and
+  /// chunk replicator are always built; a deployment that never places a
+  /// replicated object pays nothing for them.
+  struct ReplicationOptions {
+    /// Default chain length for replica placements that pass factor = 0.
+    std::uint32_t replication_factor = 1;
+    /// Servers per rack for placement spread; <= 1 disables rack awareness.
+    std::uint32_t rack_size = 2;
+    /// Hedged-read latency threshold for clients from MakeClient();
+    /// 0 disables hedging.
+    std::uint64_t hedge_after_us = 0;
+    /// Repair bandwidth ceiling (MB/s) for the chunk replicator; <= 0
+    /// disables pacing.
+    double repair_mb_s = 64.0;
+    /// Bytes per repair read/write pair.
+    std::size_t repair_chunk_bytes = 1 << 20;
+  };
+  ReplicationOptions replication;
+
   /// Time source for the whole deployment (nullptr = real time).  Fans into
   /// the fabric (injected delivery delays), every RPC server and client,
   /// the storage servers' schedulers/medium model, and — unless a caller
@@ -99,6 +119,10 @@ class ServiceRuntime {
     return *storage_servers_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] NamingServer& naming_server() { return *naming_server_; }
+  /// The replica registry hosted by the naming server.
+  [[nodiscard]] naming::ReplicaMap& replica_map() { return *replica_map_; }
+  /// The background chunk replicator; drive it with RunScan().
+  [[nodiscard]] ChunkReplicator& replicator() { return *replicator_; }
   [[nodiscard]] AuthnServer& authn_server() { return *authn_server_; }
   [[nodiscard]] AuthzServer& authz_server() { return *authz_server_; }
   [[nodiscard]] LockServer& lock_server() { return *lock_server_; }
@@ -134,6 +158,8 @@ class ServiceRuntime {
   Deployment deployment_;
 
   security::TableAuthenticator users_;
+  std::unique_ptr<naming::ReplicaMap> replica_map_;
+  std::unique_ptr<ChunkReplicator> replicator_;
   std::unique_ptr<security::AuthnService> authn_service_;
   std::unique_ptr<security::AuthzService> authz_service_;
   std::unique_ptr<naming::NamingService> naming_service_;

@@ -44,6 +44,14 @@ rpc::ClientOptions AuthzClientOptions(const StorageServerOptions& options) {
   return client;
 }
 
+rpc::ServerOptions ReplicaOptions(const StorageServerOptions& options) {
+  rpc::ServerOptions replica;
+  replica.request_portal = rpc::kReplicaPortal;
+  replica.worker_threads = std::max(options.replica_worker_threads, 1);
+  replica.clock = options.clock;
+  return replica;
+}
+
 /// Chunks of one request kept in flight past the current pull/push.  Depth
 /// 2 overlaps the network move of chunk N+1 with medium service of chunk N
 /// while bounding per-request staging at 2 chunks — which is why the pool
@@ -73,9 +81,11 @@ StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
       participant_(participant_name()),
       data_server_(nic, DataOptions(options)),
       control_server_(nic, ControlOptions(options)),
+      replica_server_(nic, ReplicaOptions(options)),
       authz_client_(std::move(nic), AuthzClientOptions(options)),
       data_ops_(&data_server_, "storage"),
       control_ops_(&control_server_, "storage_ctl"),
+      replica_ops_(&replica_server_, "storage_rep"),
       staging_(std::max(options.staging_bytes,
                         kRequestPipelineDepth * options.bulk_chunk_bytes),
                options.clock) {
@@ -89,15 +99,26 @@ StorageServer::StorageServer(std::shared_ptr<portals::Nic> nic,
                                  std::uint32_t needed_ops) {
     return Authorize(cap, needed_ops, cap.cid);
   });
+  // Forwarded chain hops carry the client's own capability (capabilities
+  // are transferable, §3.1.2), so the replica portal authorizes exactly
+  // like the data portal.
+  replica_ops_.SetAuthorizer([this](rpc::ServerContext&,
+                                    const security::Capability& cap,
+                                    std::uint32_t needed_ops) {
+    return Authorize(cap, needed_ops, cap.cid);
+  });
   RegisterDataHandlers();
   RegisterControlHandlers();
+  RegisterReplicaHandlers();
 }
 
 Status StorageServer::Start() {
   LWFS_RETURN_IF_ERROR(data_ops_.init_status());
   LWFS_RETURN_IF_ERROR(control_ops_.init_status());
+  LWFS_RETURN_IF_ERROR(replica_ops_.init_status());
   if (scheduler_) scheduler_->Start();
   LWFS_RETURN_IF_ERROR(data_server_.Start());
+  LWFS_RETURN_IF_ERROR(replica_server_.Start());
   return control_server_.Start();
 }
 
@@ -107,18 +128,38 @@ void StorageServer::Stop() {
   // requests caught mid-transfer fail with that status — shutdown is an
   // error, never a hang.
   staging_.Close();
-  // Data workers next: they may be blocked awaiting scheduler tickets, so
-  // the scheduler must outlive them and drains afterwards.
+  // Workers next: data, replica, and control handlers may all be blocked
+  // awaiting scheduler tickets (repair reads/writes route through the
+  // scheduler too), so the scheduler must outlive every worker pool and
+  // drains last.
   data_server_.Stop();
-  if (scheduler_) scheduler_->Stop();
+  replica_server_.Stop();
   control_server_.Stop();
+  if (scheduler_) scheduler_->Stop();
 }
 
 void StorageServer::Restart() {
+  // Re-register what the persistent store still holds with the replica
+  // registry *before* any volatile state clears and before the node takes
+  // traffic again: a background repair scan racing this restart must see
+  // the survivor's real holdings, never a phantom-empty server.
+  if (options_.restart_report) {
+    std::vector<std::pair<storage::ObjectId, std::uint64_t>> held;
+    auto all = store_->ListAll();
+    if (all.ok()) {
+      for (storage::ObjectId oid : *all) {
+        if (!storage::IsReplicatedOid(oid)) continue;
+        auto attr = store_->GetAttr(oid);
+        if (attr.ok()) held.emplace_back(oid, attr->version);
+      }
+    }
+    options_.restart_report(server_id_, held);
+  }
   cap_cache_.Clear();
   participant_.Reset();
   data_server_.ResetReplyCache();
   control_server_.ResetReplyCache();
+  replica_server_.ResetReplyCache();
 }
 
 Status StorageServer::Authorize(const security::Capability& cap,
@@ -538,6 +579,22 @@ void StorageServer::RegisterDataHandlers() {
         return rpc::Void{};
       });
 
+  // Replication data plane: the idempotent fan-out create and the chain
+  // write's head hop (clients always address the chain head's data
+  // portal; forwarded hops arrive on the replica portal instead).
+  data_ops_.On<wire::ObjCreateAtReq, rpc::Void>(
+      wire::kObjCreateAtOp,
+      [this](rpc::ServerContext&,
+             wire::ObjCreateAtReq& req) -> Result<rpc::Void> {
+        return HandleObjCreateAt(req);
+      });
+  data_ops_.On<wire::ReplicaWriteReq, wire::ReplicaWriteRep>(
+      wire::kReplicaWriteOp,
+      [this](rpc::ServerContext& ctx,
+             wire::ReplicaWriteReq& req) -> Result<wire::ReplicaWriteRep> {
+        return HandleReplicaWrite(ctx, req);
+      });
+
   // Two-phase-commit participant endpoints.
   data_ops_.On<wire::TxnReq, wire::TxnVoteRep>(
       wire::kTxnPrepareOp,
@@ -569,6 +626,219 @@ void StorageServer::RegisterControlHandlers() {
         cap_cache_.Invalidate(req.cap_ids);
         return rpc::Void{};
       });
+
+  // Repair plane (chunk-replicator traffic).  Cap-free like capability
+  // invalidation: these ops originate from the deployment's own repair
+  // service, not from applications, and move data between servers the
+  // registry already placed the object on.
+  control_ops_.On<wire::RepairProbeReq, wire::RepairProbeRep>(
+      wire::kRepairProbeOp,
+      [this](rpc::ServerContext&,
+             wire::RepairProbeReq& req) -> Result<wire::RepairProbeRep> {
+        wire::RepairProbeRep rep;
+        rep.probes.reserve(req.oids.size());
+        for (std::uint64_t oid : req.oids) {
+          auto attr = store_->GetAttr(storage::ObjectId{oid});
+          if (attr.ok()) {
+            rep.probes.push_back(
+                wire::ReplicaProbe{oid, true, attr->version, attr->size});
+          } else {
+            rep.probes.push_back(wire::ReplicaProbe{oid, false, 0, 0});
+          }
+        }
+        return rep;
+      });
+
+  control_ops_.On<wire::RepairReadReq, wire::RepairReadRep>(
+      wire::kRepairReadOp,
+      [this](rpc::ServerContext& ctx,
+             wire::RepairReadReq& req) -> Result<wire::RepairReadRep> {
+        const storage::ObjectId oid{req.oid};
+        const std::uint64_t want =
+            std::min<std::uint64_t>(req.length, ctx.bulk_in_size());
+        auto data = std::make_shared<Buffer>();
+        if (scheduler_) {
+          // Repair competes for the medium through the same elevator as
+          // client traffic — rate limiting happens replicator-side, and
+          // what does get through is scheduled, not priority traffic.
+          auto ticket = scheduler_->Submit(
+              oid, /*is_write=*/false, req.offset, want,
+              [store = store_, oid, from = req.offset, want,
+               data]() -> Status {
+                auto read = store->Read(oid, from, want);
+                if (!read.ok()) return read.status();
+                *data = std::move(*read);
+                return OkStatus();
+              });
+          LWFS_RETURN_IF_ERROR(ticket->Await());
+        } else {
+          auto read = store_->Read(oid, req.offset, want);
+          if (!read.ok()) return read.status();
+          ChargeMediumTime(read->size(), /*charge_op=*/true);
+          *data = std::move(*read);
+        }
+        if (!data->empty()) {
+          LWFS_RETURN_IF_ERROR(ctx.PushBulk(ByteSpan(*data), 0));
+        }
+        auto attr = store_->GetAttr(oid);
+        if (!attr.ok()) return attr.status();
+        return wire::RepairReadRep{data->size(), attr->version, attr->size};
+      });
+
+  control_ops_.On<wire::RepairWriteReq, wire::RepairWriteRep>(
+      wire::kRepairWriteOp,
+      [this](rpc::ServerContext& ctx,
+             wire::RepairWriteReq& req) -> Result<wire::RepairWriteRep> {
+        const storage::ObjectId oid{req.oid};
+        // Create-if-missing: a member that lost the object outright gets
+        // it back; one that merely lagged keeps its bytes and is
+        // overwritten below.  Same-bytes-same-offset makes re-execution
+        // of a duplicated repair write harmless.
+        Status created =
+            store_->CreateWithId(storage::ContainerId{req.cid}, oid);
+        if (!created.ok() && created.code() != ErrorCode::kAlreadyExists) {
+          return created;
+        }
+        const auto n = static_cast<std::size_t>(ctx.bulk_out_size());
+        if (n > 0) {
+          auto chunk = ctx.PullBulkSlice(n, 0);
+          if (!chunk.ok()) return chunk.status();
+          LWFS_RETURN_IF_ERROR(ctx.VerifyPulledPayload());
+          LWFS_RETURN_IF_ERROR(ApplyChunk(oid, req.offset, *chunk));
+        }
+        if (req.target_version > 0) {
+          LWFS_RETURN_IF_ERROR(store_->SetVersion(oid, req.target_version));
+        }
+        auto attr = store_->GetAttr(oid);
+        if (!attr.ok()) return attr.status();
+        return wire::RepairWriteRep{attr->version};
+      });
+}
+
+void StorageServer::RegisterReplicaHandlers() {
+  replica_ops_.On<wire::ReplicaWriteReq, wire::ReplicaWriteRep>(
+      wire::kReplicaWriteOp,
+      [this](rpc::ServerContext& ctx,
+             wire::ReplicaWriteReq& req) -> Result<wire::ReplicaWriteRep> {
+        return HandleReplicaWrite(ctx, req);
+      });
+}
+
+Result<rpc::Void> StorageServer::HandleObjCreateAt(wire::ObjCreateAtReq& req) {
+  ChargeModeledUs(options_.modeled_create_latency_us);
+  const storage::ObjectId oid{req.oid};
+  Status created = store_->CreateWithId(req.cap.cid, oid);
+  if (!created.ok()) {
+    if (created.code() != ErrorCode::kAlreadyExists) return created;
+    // Idempotent under retransmits, repair races, and restarted reply
+    // caches: the object already existing in the *same* container is
+    // success, not failure.
+    auto attr = store_->GetAttr(oid);
+    if (!attr.ok()) return created;
+    if (attr->cid != req.cap.cid) return created;
+    return rpc::Void{};
+  }
+  if (req.txid != 0) {
+    participant_.Join(req.txid);
+    participant_.AddUndo(req.txid,
+                         [this, oid] { (void)store_->Remove(oid); });
+  }
+  return rpc::Void{};
+}
+
+Status StorageServer::ApplyChunk(storage::ObjectId oid, std::uint64_t offset,
+                                 util::SharedSlice chunk) {
+  const std::size_t n = chunk.size();
+  if (scheduler_) {
+    auto ticket = scheduler_->Submit(
+        oid, /*is_write=*/true, offset, n,
+        [store = store_, oid, offset, chunk = std::move(chunk)]() -> Status {
+          return store->WriteSlice(oid, offset, chunk);
+        });
+    return ticket->Await();
+  }
+  Status written = store_->WriteSlice(oid, offset, chunk);
+  if (written.ok()) ChargeMediumTime(n, /*charge_op=*/true);
+  return written;
+}
+
+Result<wire::ReplicaWriteRep> StorageServer::HandleReplicaWrite(
+    rpc::ServerContext& ctx, wire::ReplicaWriteReq& req) {
+  const storage::ObjectId oid{req.oid};
+  auto attr = CheckObject(req.cap, oid);
+  if (!attr.ok()) return attr.status();
+
+  // One reservation for the whole hop payload (clients chunk replicated
+  // writes, so a hop's payload is one chunk).  Blocking in Acquire is safe:
+  // this worker holds no reservation yet, and the hold-while-forwarding
+  // wait below points strictly down an acyclic chain (for factor <= 3 a
+  // forward always terminates at a non-forwarding tail).
+  const auto n = static_cast<std::size_t>(ctx.bulk_out_size());
+  LWFS_RETURN_IF_ERROR(staging_.Acquire(n));
+  StagingReservation reservation(&staging_, n);
+
+  auto chunk = ctx.PullBulkSlice(n, 0);
+  if (!chunk.ok()) return chunk.status();
+  // Per-hop CRC gate *before* forwarding or applying: bytes corrupted on
+  // the previous hop's wire must not propagate down the chain or reach
+  // the store.
+  LWFS_RETURN_IF_ERROR(ctx.VerifyPulledPayload());
+
+  // Forward the same slice downstream concurrently with the local apply —
+  // the forwarding hop costs zero copies, and chain latency is
+  // max(local, downstream), not their sum.  An unreachable hop is
+  // *skipped*, never allowed to sever the chain: the forward goes to the
+  // member after it, so one dead replica costs exactly one missed member,
+  // not everything downstream of it.
+  std::size_t hop = 0;
+  rpc::CallHandle forward;
+  auto issue_forward = [&] {
+    for (; hop < req.chain.size(); ++hop) {
+      wire::ReplicaWriteReq next;
+      next.cap = req.cap;
+      next.oid = req.oid;
+      next.offset = req.offset;
+      next.chain.assign(
+          req.chain.begin() + static_cast<std::ptrdiff_t>(hop) + 1,
+          req.chain.end());
+      rpc::CallOptions call;
+      call.bulk_out_slice = *chunk;
+      call.request_portal = rpc::kReplicaPortal;
+      auto issued = rpc::CallTypedAsync(
+          authz_client_, static_cast<portals::Nid>(req.chain[hop].nid),
+          kOpReplicaWrite, next, call);
+      if (issued.ok()) {
+        forward = std::move(*issued);
+        return;
+      }
+    }
+  };
+  issue_forward();
+
+  const Status applied = ApplyChunk(oid, req.offset, *chunk);
+
+  wire::ReplicaWriteRep rep;
+  while (forward.valid()) {
+    auto down = rpc::ResolveTyped<wire::ReplicaWriteRep>(forward.Await());
+    if (down.ok()) {
+      rep.applied = std::move(down->applied);
+      rep.version = down->version;
+      break;
+    }
+    // A failed downstream hop is *not* a failed write: skip the hop and
+    // re-forward to the member after it.  Whoever stays unreachable is
+    // absent from the applied set, reported stale by the client, and
+    // repaired from the survivors.
+    forward = rpc::CallHandle();
+    ++hop;
+    issue_forward();
+  }
+  LWFS_RETURN_IF_ERROR(applied);
+  auto post = store_->GetAttr(oid);
+  if (!post.ok()) return post.status();
+  rep.applied.push_back(server_id_);
+  rep.version = std::max(rep.version, post->version);
+  return rep;
 }
 
 }  // namespace lwfs::core

@@ -13,13 +13,16 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/filters.h"
 #include "core/io_scheduler.h"
 #include "core/protocol.h"
+#include "core/wire.h"
 #include "rpc/rpc.h"
 #include "rpc/service.h"
 #include "security/authn.h"
@@ -109,6 +112,20 @@ struct StorageServerOptions {
   /// (nullptr = real time).  Also fans into rpc/client_options when those
   /// carry no clock of their own.
   util::Clock* clock = nullptr;
+  /// Replica-portal workers for chain-forwarded write hops (the hops a
+  /// chain head or middle sends downstream).  Forwarding hops block their
+  /// worker for a full downstream round trip, so middles need headroom.
+  int replica_worker_threads = 4;
+  /// Restart re-registration hook: called from Restart() — before any
+  /// cache is cleared and before the server takes traffic again — with
+  /// (oid, version) for every *replicated* object the persistent store
+  /// still holds.  The deployment wires this to ReplicaMap::ReportHoldings
+  /// so a repair scan racing the restart never sees a phantom-empty
+  /// server.  Null = no registry attached.
+  std::function<void(
+      std::uint32_t server,
+      const std::vector<std::pair<storage::ObjectId, std::uint64_t>>& held)>
+      restart_report;
 };
 
 class StorageServer {
@@ -167,14 +184,18 @@ class StorageServer {
   [[nodiscard]] rpc::ServerStats control_rpc_stats() const {
     return control_server_.stats();
   }
+  [[nodiscard]] rpc::ServerStats replica_rpc_stats() const {
+    return replica_server_.stats();
+  }
   [[nodiscard]] rpc::ClientStats authz_client_stats() const {
     return authz_client_.stats();
   }
 
-  /// Per-op middleware metrics for both planes (data first, then control).
+  /// Per-op middleware metrics for all planes (data, control, replica).
   [[nodiscard]] std::vector<rpc::OpStats> op_stats() const {
     std::vector<rpc::OpStats> out = data_ops_.Stats();
     rpc::MergeOpStats(out, control_ops_.Stats());
+    rpc::MergeOpStats(out, replica_ops_.Stats());
     return out;
   }
   [[nodiscard]] std::vector<rpc::Opcode> registered_data_opcodes() const {
@@ -192,6 +213,24 @@ class StorageServer {
  private:
   void RegisterDataHandlers();
   void RegisterControlHandlers();
+  void RegisterReplicaHandlers();
+
+  /// Chain-replicated write hop (shared by the data portal, where the
+  /// chain head receives it from the client, and the replica portal, where
+  /// middles/tails receive forwarded hops): pull the chunk once as a
+  /// slice, CRC-check it, forward the same slice downstream concurrently
+  /// with the local apply, and reply only after both — so the reply the
+  /// client sees is the tail's commit ack.
+  Result<wire::ReplicaWriteRep> HandleReplicaWrite(rpc::ServerContext& ctx,
+                                                   wire::ReplicaWriteReq& req);
+  /// Idempotent caller-chosen-id create (replica fan-out path): a repeat
+  /// create of the same oid in the same container succeeds.
+  Result<rpc::Void> HandleObjCreateAt(wire::ObjCreateAtReq& req);
+
+  /// Apply one already-pulled chunk to the store through the scheduler
+  /// when it is on, or directly (with the medium charge) when off.
+  Status ApplyChunk(storage::ObjectId oid, std::uint64_t offset,
+                    util::SharedSlice chunk);
 
   /// Authorize `cap` for `needed_ops`: structural checks, cache lookup,
   /// remote verify on miss, then op/container check.
@@ -234,9 +273,14 @@ class StorageServer {
   txn::StagedParticipant participant_;
   rpc::RpcServer data_server_;
   rpc::RpcServer control_server_;
+  /// Chain-forwarding portal: downstream write hops land here instead of
+  /// the data portal so two servers forwarding to each other can never
+  /// exhaust each other's data workers (see rpc::kReplicaPortal).
+  rpc::RpcServer replica_server_;
   rpc::RpcClient authz_client_;
   rpc::Service data_ops_;
   rpc::Service control_ops_;
+  rpc::Service replica_ops_;
   std::atomic<std::uint64_t> remote_verifies_{0};
   std::mutex medium_mu_;
   /// Modeled disk arm: the horizon up to which the medium is committed.

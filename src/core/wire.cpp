@@ -96,12 +96,42 @@ std::vector<rpc::CodecCase> CoreWireCases() {
       rpc::MakeCodecCase("obj_filter_rep", ObjFilterRep{256, 65536}));
   cases.push_back(
       rpc::MakeCodecCase("obj_truncate_req", ObjTruncateReq{cap, 907, 1024}));
+  // Replication (data plane).
+  cases.push_back(rpc::MakeCodecCase(
+      "obj_create_at_req",
+      ObjCreateAtReq{cap, storage::kReplicatedOidBit | 17, 555}));
+  cases.push_back(rpc::MakeCodecCase(
+      "replica_write_req",
+      ReplicaWriteReq{cap, storage::kReplicatedOidBit | 17, 4096,
+                      {ReplicaHop{1, 0x1001}, ReplicaHop{2, 0x1002}}}));
+  cases.push_back(rpc::MakeCodecCase("replica_write_rep",
+                                     ReplicaWriteRep{{0, 1, 2}, 9}));
   // Transactions.
   cases.push_back(rpc::MakeCodecCase("txn_req", TxnReq{555}));
   cases.push_back(rpc::MakeCodecCase("txn_vote_rep", TxnVoteRep{true}));
   // Control plane.
   cases.push_back(rpc::MakeCodecCase("invalidate_caps_req",
                                      InvalidateCapsReq{{cap.cap_id, 1, 2}}));
+  // Repair plane.
+  cases.push_back(rpc::MakeCodecCase(
+      "repair_probe_req",
+      RepairProbeReq{{storage::kReplicatedOidBit | 17,
+                      storage::kReplicatedOidBit | 18}}));
+  cases.push_back(rpc::MakeCodecCase(
+      "repair_probe_rep",
+      RepairProbeRep{{ReplicaProbe{storage::kReplicatedOidBit | 17, true, 4,
+                                   65536},
+                      ReplicaProbe{storage::kReplicatedOidBit | 18, false, 0,
+                                   0}}}));
+  cases.push_back(rpc::MakeCodecCase(
+      "repair_read_req",
+      RepairReadReq{storage::kReplicatedOidBit | 17, 0, 65536}));
+  cases.push_back(rpc::MakeCodecCase("repair_read_rep",
+                                     RepairReadRep{65536, 4, 131072}));
+  cases.push_back(rpc::MakeCodecCase(
+      "repair_write_req",
+      RepairWriteReq{storage::kReplicatedOidBit | 17, 31337, 65536, 4}));
+  cases.push_back(rpc::MakeCodecCase("repair_write_rep", RepairWriteRep{5}));
   // Naming.
   cases.push_back(
       rpc::MakeCodecCase("mkdir_req", MkdirReq{"/a/b/c", true}));
@@ -115,6 +145,19 @@ std::vector<rpc::CodecCase> CoreWireCases() {
   cases.push_back(
       rpc::MakeCodecCase("rename_req", RenameReq{"/a/b/file", "/a/c"}));
   cases.push_back(rpc::MakeCodecCase("list_names_rep", list_names));
+  // Replica registry.
+  cases.push_back(
+      rpc::MakeCodecCase("replica_place_req", ReplicaPlaceReq{31337, 1, 3}));
+  cases.push_back(rpc::MakeCodecCase(
+      "replica_chain_rep",
+      ReplicaChainRep{storage::kReplicatedOidBit | 17, 31337, {1, 2, 0}}));
+  cases.push_back(rpc::MakeCodecCase(
+      "replica_lookup_req", ReplicaLookupReq{storage::kReplicatedOidBit | 17}));
+  cases.push_back(rpc::MakeCodecCase(
+      "replica_report_req",
+      ReplicaReportReq{storage::kReplicatedOidBit | 17, 4, {2}}));
+  cases.push_back(
+      rpc::MakeCodecCase("replica_audit_rep", ReplicaAuditRep{8, 6, 2, 3}));
   // Locks.
   cases.push_back(rpc::MakeCodecCase(
       "lock_try_req", LockTryReq{11, 907, 0, 4096, true}));

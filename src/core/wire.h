@@ -483,6 +483,127 @@ inline constexpr rpc::OpDef kObjTruncateOp{kOpObjTruncate, "obj_truncate",
                                            security::kOpWrite};
 
 // ---------------------------------------------------------------------------
+// Replication (storage data plane)
+// ---------------------------------------------------------------------------
+
+/// Create an object under a registry-assigned id (replica fan-out, repair,
+/// and remote journal replay).  Idempotent: re-creating an existing object
+/// in the same container succeeds without touching it.
+struct ObjCreateAtReq {
+  security::Capability cap;
+  std::uint64_t oid = 0;
+  std::uint64_t txid = 0;
+
+  void Encode(Encoder& enc) const {
+    cap.Encode(enc);
+    enc.PutU64(oid);
+    enc.PutU64(txid);
+  }
+  static Result<ObjCreateAtReq> Decode(Decoder& dec) {
+    auto cap = security::Capability::Decode(dec);
+    auto oid = dec.GetU64();
+    auto txid = dec.GetU64();
+    if (!cap.ok() || !oid.ok() || !txid.ok()) {
+      return InvalidArgument("malformed create-at fields");
+    }
+    return ObjCreateAtReq{*cap, *oid, *txid};
+  }
+};
+
+/// One downstream member of a replica chain: the deployment index (for
+/// registry reports) plus the nid to forward to (servers don't hold a
+/// deployment map, so the client resolves nids up front).
+struct ReplicaHop {
+  std::uint32_t index = 0;
+  std::uint64_t nid = 0;
+  auto operator<=>(const ReplicaHop&) const = default;
+};
+
+/// One chain-replicated write hop.  The receiving server pulls the chunk,
+/// applies it locally, forwards the same bytes to chain.front(), and replies
+/// only once every downstream hop acked — the reply the client sees is the
+/// tail's commit ack.  `chain` holds the hops *after* the receiver.
+struct ReplicaWriteReq {
+  security::Capability cap;
+  std::uint64_t oid = 0;
+  std::uint64_t offset = 0;
+  std::vector<ReplicaHop> chain;
+
+  void Encode(Encoder& enc) const {
+    cap.Encode(enc);
+    enc.PutU64(oid);
+    enc.PutU64(offset);
+    enc.PutU32(static_cast<std::uint32_t>(chain.size()));
+    for (const ReplicaHop& hop : chain) {
+      enc.PutU32(hop.index);
+      enc.PutU64(hop.nid);
+    }
+  }
+  static Result<ReplicaWriteReq> Decode(Decoder& dec) {
+    auto cap = security::Capability::Decode(dec);
+    auto oid = dec.GetU64();
+    auto offset = dec.GetU64();
+    auto count = dec.GetU32();
+    if (!cap.ok() || !oid.ok() || !offset.ok() || !count.ok()) {
+      return InvalidArgument("malformed replica-write fields");
+    }
+    if (*count > dec.remaining() / 12) {
+      return InvalidArgument("replica chain exceeds payload");
+    }
+    ReplicaWriteReq req{*cap, *oid, *offset, {}};
+    req.chain.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto index = dec.GetU32();
+      auto nid = dec.GetU64();
+      if (!index.ok() || !nid.ok()) {
+        return InvalidArgument("malformed replica hop");
+      }
+      req.chain.push_back(ReplicaHop{*index, *nid});
+    }
+    return req;
+  }
+};
+
+/// Which chain members applied the write (receiver + everything downstream
+/// that acked), and the receiver's post-write object version.  Members of
+/// the chain missing from `applied` must be reported stale so repair can
+/// catch them up.
+struct ReplicaWriteRep {
+  std::vector<std::uint32_t> applied;
+  std::uint64_t version = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU32(static_cast<std::uint32_t>(applied.size()));
+    for (std::uint32_t index : applied) enc.PutU32(index);
+    enc.PutU64(version);
+  }
+  static Result<ReplicaWriteRep> Decode(Decoder& dec) {
+    auto count = dec.GetU32();
+    if (!count.ok()) return count.status();
+    if (*count > dec.remaining() / 4) {
+      return InvalidArgument("applied count exceeds payload");
+    }
+    ReplicaWriteRep rep;
+    rep.applied.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto index = dec.GetU32();
+      if (!index.ok()) return index.status();
+      rep.applied.push_back(*index);
+    }
+    auto version = dec.GetU64();
+    if (!version.ok()) return version.status();
+    rep.version = *version;
+    return rep;
+  }
+};
+
+inline constexpr rpc::OpDef kObjCreateAtOp{kOpObjCreateAt, "obj_create_at",
+                                           security::kOpCreate};
+inline constexpr rpc::OpDef kReplicaWriteOp{kOpReplicaWrite, "replica_write",
+                                            security::kOpWrite,
+                                            rpc::BulkDir::kPull};
+
+// ---------------------------------------------------------------------------
 // Two-phase-commit participant ops (storage and naming services)
 // ---------------------------------------------------------------------------
 
@@ -542,6 +663,171 @@ struct InvalidateCapsReq {
 
 inline constexpr rpc::OpDef kInvalidateCapsOp{kOpInvalidateCaps,
                                               "invalidate_caps"};
+
+// ---------------------------------------------------------------------------
+// Repair plane (control portal)
+// ---------------------------------------------------------------------------
+//
+// Like kOpInvalidateCaps these are service-to-service ops on the control
+// portal: the chunk replicator is a trusted internal service, so no
+// capability travels with them.
+
+/// Which of these objects do you hold, and at what version?
+struct RepairProbeReq {
+  std::vector<std::uint64_t> oids;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU32(static_cast<std::uint32_t>(oids.size()));
+    for (std::uint64_t oid : oids) enc.PutU64(oid);
+  }
+  static Result<RepairProbeReq> Decode(Decoder& dec) {
+    auto count = dec.GetU32();
+    if (!count.ok()) return count.status();
+    if (*count > dec.remaining() / 8) {
+      return InvalidArgument("probe count exceeds payload");
+    }
+    RepairProbeReq req;
+    req.oids.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto oid = dec.GetU64();
+      if (!oid.ok()) return oid.status();
+      req.oids.push_back(*oid);
+    }
+    return req;
+  }
+};
+
+struct ReplicaProbe {
+  std::uint64_t oid = 0;
+  bool held = false;
+  std::uint64_t version = 0;
+  std::uint64_t size = 0;
+  auto operator<=>(const ReplicaProbe&) const = default;
+};
+
+struct RepairProbeRep {
+  std::vector<ReplicaProbe> probes;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU32(static_cast<std::uint32_t>(probes.size()));
+    for (const ReplicaProbe& p : probes) {
+      enc.PutU64(p.oid);
+      enc.PutBool(p.held);
+      enc.PutU64(p.version);
+      enc.PutU64(p.size);
+    }
+  }
+  static Result<RepairProbeRep> Decode(Decoder& dec) {
+    auto count = dec.GetU32();
+    if (!count.ok()) return count.status();
+    if (*count > dec.remaining() / 25) {
+      return InvalidArgument("probe count exceeds payload");
+    }
+    RepairProbeRep rep;
+    rep.probes.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto oid = dec.GetU64();
+      auto held = dec.GetBool();
+      auto version = dec.GetU64();
+      auto size = dec.GetU64();
+      if (!oid.ok() || !held.ok() || !version.ok() || !size.ok()) {
+        return InvalidArgument("malformed replica probe");
+      }
+      rep.probes.push_back(ReplicaProbe{*oid, *held, *version, *size});
+    }
+    return rep;
+  }
+};
+
+/// Read survivor bytes for repair (bulk push to the replicator).
+struct RepairReadReq {
+  std::uint64_t oid = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(oid);
+    enc.PutU64(offset);
+    enc.PutU64(length);
+  }
+  static Result<RepairReadReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    auto offset = dec.GetU64();
+    auto length = dec.GetU64();
+    if (!oid.ok() || !offset.ok() || !length.ok()) {
+      return InvalidArgument("malformed repair-read fields");
+    }
+    return RepairReadReq{*oid, *offset, *length};
+  }
+};
+
+struct RepairReadRep {
+  std::uint64_t moved = 0;
+  std::uint64_t version = 0;
+  std::uint64_t size = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(moved);
+    enc.PutU64(version);
+    enc.PutU64(size);
+  }
+  static Result<RepairReadRep> Decode(Decoder& dec) {
+    auto moved = dec.GetU64();
+    auto version = dec.GetU64();
+    auto size = dec.GetU64();
+    if (!moved.ok() || !version.ok() || !size.ok()) {
+      return InvalidArgument("malformed repair-read outcome");
+    }
+    return RepairReadRep{*moved, *version, *size};
+  }
+};
+
+/// Write repaired bytes onto a stale member (bulk pull from the
+/// replicator); creates the object in `cid` if the member lost it.
+/// `target_version` > 0 (the final chunk of a repair) sets the member's
+/// object version to the source's — versions count applied writes, and a
+/// repair applies fewer, larger writes than the client did, so without the
+/// catch-up a freshly repaired member would probe as stale forever.
+struct RepairWriteReq {
+  std::uint64_t oid = 0;
+  std::uint64_t cid = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t target_version = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(oid);
+    enc.PutU64(cid);
+    enc.PutU64(offset);
+    enc.PutU64(target_version);
+  }
+  static Result<RepairWriteReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    auto cid = dec.GetU64();
+    auto offset = dec.GetU64();
+    auto target_version = dec.GetU64();
+    if (!oid.ok() || !cid.ok() || !offset.ok() || !target_version.ok()) {
+      return InvalidArgument("malformed repair-write fields");
+    }
+    return RepairWriteReq{*oid, *cid, *offset, *target_version};
+  }
+};
+
+struct RepairWriteRep {
+  std::uint64_t version = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(version); }
+  static Result<RepairWriteRep> Decode(Decoder& dec) {
+    auto version = dec.GetU64();
+    if (!version.ok()) return version.status();
+    return RepairWriteRep{*version};
+  }
+};
+
+inline constexpr rpc::OpDef kRepairProbeOp{kOpRepairProbe, "repair_probe"};
+inline constexpr rpc::OpDef kRepairReadOp{kOpRepairRead, "repair_read", 0,
+                                          rpc::BulkDir::kPush};
+inline constexpr rpc::OpDef kRepairWriteOp{kOpRepairWrite, "repair_write", 0,
+                                           rpc::BulkDir::kPull};
 
 // ---------------------------------------------------------------------------
 // Naming service
@@ -695,6 +981,147 @@ inline constexpr rpc::OpDef kNameUnlinkOp{kOpNameUnlink, "name_unlink"};
 inline constexpr rpc::OpDef kNameRmdirOp{kOpNameRmdir, "name_rmdir"};
 inline constexpr rpc::OpDef kNameRenameOp{kOpNameRename, "name_rename"};
 inline constexpr rpc::OpDef kNameListOp{kOpNameList, "name_list"};
+
+// ---------------------------------------------------------------------------
+// Replica registry (naming service)
+// ---------------------------------------------------------------------------
+
+/// Allocate a replicated object id and a placement chain for it.
+/// `preferred` seeds the chain head (clients spread load the same way they
+/// pick `server = rank % nservers` today); `factor` = 0 uses the
+/// deployment's default replication factor.
+struct ReplicaPlaceReq {
+  std::uint64_t cid = 0;
+  std::uint32_t preferred = 0;
+  std::uint32_t factor = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(cid);
+    enc.PutU32(preferred);
+    enc.PutU32(factor);
+  }
+  static Result<ReplicaPlaceReq> Decode(Decoder& dec) {
+    auto cid = dec.GetU64();
+    auto preferred = dec.GetU32();
+    auto factor = dec.GetU32();
+    if (!cid.ok() || !preferred.ok() || !factor.ok()) {
+      return InvalidArgument("malformed place fields");
+    }
+    return ReplicaPlaceReq{*cid, *preferred, *factor};
+  }
+};
+
+/// A replica chain: ordered storage-server indices, head first.  Reply to
+/// both place and lookup.
+struct ReplicaChainRep {
+  std::uint64_t oid = 0;
+  std::uint64_t cid = 0;
+  std::vector<std::uint32_t> servers;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(oid);
+    enc.PutU64(cid);
+    enc.PutU32(static_cast<std::uint32_t>(servers.size()));
+    for (std::uint32_t s : servers) enc.PutU32(s);
+  }
+  static Result<ReplicaChainRep> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    auto cid = dec.GetU64();
+    auto count = dec.GetU32();
+    if (!oid.ok() || !cid.ok() || !count.ok()) {
+      return InvalidArgument("malformed chain fields");
+    }
+    if (*count > dec.remaining() / 4) {
+      return InvalidArgument("chain length exceeds payload");
+    }
+    ReplicaChainRep rep{*oid, *cid, {}};
+    rep.servers.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto s = dec.GetU32();
+      if (!s.ok()) return s.status();
+      rep.servers.push_back(*s);
+    }
+    return rep;
+  }
+};
+
+struct ReplicaLookupReq {
+  std::uint64_t oid = 0;
+
+  void Encode(Encoder& enc) const { enc.PutU64(oid); }
+  static Result<ReplicaLookupReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    if (!oid.ok()) return oid.status();
+    return ReplicaLookupReq{*oid};
+  }
+};
+
+/// Degraded-write report: `stale` members missed a write that committed at
+/// `version` on the surviving members.  The registry records them for the
+/// background replicator.
+struct ReplicaReportReq {
+  std::uint64_t oid = 0;
+  std::uint64_t version = 0;
+  std::vector<std::uint32_t> stale;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(oid);
+    enc.PutU64(version);
+    enc.PutU32(static_cast<std::uint32_t>(stale.size()));
+    for (std::uint32_t s : stale) enc.PutU32(s);
+  }
+  static Result<ReplicaReportReq> Decode(Decoder& dec) {
+    auto oid = dec.GetU64();
+    auto version = dec.GetU64();
+    auto count = dec.GetU32();
+    if (!oid.ok() || !version.ok() || !count.ok()) {
+      return InvalidArgument("malformed report fields");
+    }
+    if (*count > dec.remaining() / 4) {
+      return InvalidArgument("stale count exceeds payload");
+    }
+    ReplicaReportReq req{*oid, *version, {}};
+    req.stale.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto s = dec.GetU32();
+      if (!s.ok()) return s.status();
+      req.stale.push_back(*s);
+    }
+    return req;
+  }
+};
+
+/// Replica-count audit over every registry entry.
+struct ReplicaAuditRep {
+  std::uint64_t objects = 0;
+  std::uint64_t fully_replicated = 0;
+  std::uint64_t under_replicated = 0;
+  std::uint64_t stale_members = 0;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(objects);
+    enc.PutU64(fully_replicated);
+    enc.PutU64(under_replicated);
+    enc.PutU64(stale_members);
+  }
+  static Result<ReplicaAuditRep> Decode(Decoder& dec) {
+    auto objects = dec.GetU64();
+    auto full = dec.GetU64();
+    auto under = dec.GetU64();
+    auto stale = dec.GetU64();
+    if (!objects.ok() || !full.ok() || !under.ok() || !stale.ok()) {
+      return InvalidArgument("malformed audit counters");
+    }
+    return ReplicaAuditRep{*objects, *full, *under, *stale};
+  }
+};
+
+inline constexpr rpc::OpDef kReplicaPlaceOp{kOpReplicaPlace, "replica_place"};
+inline constexpr rpc::OpDef kReplicaLookupOp{kOpReplicaLookup,
+                                             "replica_lookup"};
+inline constexpr rpc::OpDef kReplicaReportOp{kOpReplicaReport,
+                                             "replica_report"};
+inline constexpr rpc::OpDef kReplicaAuditOp{kOpReplicaAudit, "replica_audit"};
 
 // ---------------------------------------------------------------------------
 // Lock service

@@ -1,0 +1,171 @@
+#include "naming/replica_map.h"
+
+#include <algorithm>
+
+namespace lwfs::naming {
+
+namespace {
+ReplicaMapOptions Sanitize(ReplicaMapOptions options) {
+  if (options.servers == 0) options.servers = 1;
+  if (options.default_factor == 0) options.default_factor = 1;
+  return options;
+}
+}  // namespace
+
+ReplicaMap::ReplicaMap(ReplicaMapOptions options)
+    : options_(Sanitize(options)) {}
+
+Result<ReplicaPlacement> ReplicaMap::Place(storage::ContainerId cid,
+                                           std::uint32_t preferred,
+                                           std::uint32_t factor) {
+  if (factor == 0) factor = options_.default_factor;
+  factor = std::min(factor, options_.servers);
+
+  // Greedy rack-aware chain: start at the preferred server, then repeatedly
+  // take the next server around the ring whose rack the chain does not
+  // occupy yet, falling back to plain ring order once every rack is used.
+  const std::uint32_t n = options_.servers;
+  const std::uint32_t rack_size = std::max<std::uint32_t>(options_.rack_size, 1);
+  auto rack_of = [rack_size](std::uint32_t server) { return server / rack_size; };
+
+  std::vector<std::uint32_t> chain;
+  chain.reserve(factor);
+  chain.push_back(preferred % n);
+  while (chain.size() < factor) {
+    std::uint32_t pick = n;  // sentinel: nothing found yet
+    for (std::uint32_t off = 1; off < n && pick == n; ++off) {
+      const std::uint32_t candidate = (chain.front() + off) % n;
+      if (std::find(chain.begin(), chain.end(), candidate) != chain.end()) {
+        continue;
+      }
+      bool rack_clash = false;
+      for (std::uint32_t member : chain) {
+        rack_clash |= rack_of(member) == rack_of(candidate);
+      }
+      if (!rack_clash) pick = candidate;
+    }
+    if (pick == n) {
+      // Every unused server shares a rack with the chain; take ring order.
+      for (std::uint32_t off = 1; off < n && pick == n; ++off) {
+        const std::uint32_t candidate = (chain.front() + off) % n;
+        if (std::find(chain.begin(), chain.end(), candidate) == chain.end()) {
+          pick = candidate;
+        }
+      }
+    }
+    if (pick == n) break;  // factor > distinct servers; clamped above
+    chain.push_back(pick);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const storage::ObjectId oid{storage::kReplicatedOidBit | next_seq_++};
+  Entry entry;
+  entry.cid = cid;
+  entry.chain = chain;
+  auto [it, inserted] = entries_.emplace(oid, std::move(entry));
+  if (!inserted) return Internal("replica id collision");
+  return ToPlacement(oid, it->second);
+}
+
+Result<ReplicaPlacement> ReplicaMap::Lookup(storage::ObjectId oid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return NotFound("unknown replicated object");
+  return ToPlacement(oid, it->second);
+}
+
+Status ReplicaMap::ReportStale(storage::ObjectId oid, std::uint64_t version,
+                               const std::vector<std::uint32_t>& stale) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return NotFound("unknown replicated object");
+  Entry& entry = it->second;
+  entry.committed_version = std::max(entry.committed_version, version);
+  for (std::uint32_t member : stale) {
+    if (std::find(entry.chain.begin(), entry.chain.end(), member) !=
+        entry.chain.end()) {
+      entry.stale.insert(member);
+    }
+  }
+  return OkStatus();
+}
+
+Status ReplicaMap::MarkRepaired(storage::ObjectId oid, std::uint32_t member,
+                                std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return NotFound("unknown replicated object");
+  Entry& entry = it->second;
+  if (version >= entry.committed_version) entry.stale.erase(member);
+  return OkStatus();
+}
+
+void ReplicaMap::ReportHoldings(
+    std::uint32_t server,
+    const std::vector<std::pair<storage::ObjectId, std::uint64_t>>& held) {
+  std::map<storage::ObjectId, std::uint64_t> by_oid;
+  for (const auto& [oid, version] : held) by_oid[oid] = version;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [oid, entry] : entries_) {
+    if (std::find(entry.chain.begin(), entry.chain.end(), server) ==
+        entry.chain.end()) {
+      continue;
+    }
+    auto it = by_oid.find(oid);
+    if (it == by_oid.end()) {
+      // The store lost the object outright (or never created it).
+      entry.stale.insert(server);
+    } else if (it->second >= entry.committed_version) {
+      entry.stale.erase(server);
+    } else {
+      entry.stale.insert(server);
+    }
+  }
+}
+
+ReplicaAuditCounts ReplicaMap::Audit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicaAuditCounts counts;
+  counts.objects = entries_.size();
+  for (const auto& [oid, entry] : entries_) {
+    (void)oid;
+    if (entry.stale.empty()) {
+      ++counts.fully_replicated;
+    } else {
+      ++counts.under_replicated;
+      counts.stale_members += entry.stale.size();
+    }
+  }
+  return counts;
+}
+
+std::vector<ReplicaPlacement> ReplicaMap::UnderReplicated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReplicaPlacement> out;
+  for (const auto& [oid, entry] : entries_) {
+    if (!entry.stale.empty()) out.push_back(ToPlacement(oid, entry));
+  }
+  return out;
+}
+
+std::vector<ReplicaPlacement> ReplicaMap::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReplicaPlacement> out;
+  out.reserve(entries_.size());
+  for (const auto& [oid, entry] : entries_) out.push_back(ToPlacement(oid, entry));
+  return out;
+}
+
+ReplicaPlacement ReplicaMap::ToPlacement(storage::ObjectId oid,
+                                         const Entry& entry) const {
+  ReplicaPlacement placement;
+  placement.oid = oid;
+  placement.cid = entry.cid;
+  placement.chain = entry.chain;
+  placement.committed_version = entry.committed_version;
+  placement.stale.assign(entry.stale.begin(), entry.stale.end());
+  return placement;
+}
+
+}  // namespace lwfs::naming

@@ -71,6 +71,11 @@ inline constexpr portals::PortalIndex kBulkPortal = 2;
 /// so control traffic can never deadlock behind blocked data-plane
 /// handlers.
 inline constexpr portals::PortalIndex kControlPortal = 3;
+/// Replica-chain forwarding between storage servers.  A chain head that
+/// forwarded a hop on its own data portal could deadlock two servers whose
+/// data workers all block awaiting each other's replies; the dedicated
+/// portal (with its own workers) breaks the cycle for the forwarding hop.
+inline constexpr portals::PortalIndex kReplicaPortal = 4;
 
 /// Client-side statistics (retries are the §3.2 resend overhead).
 struct ClientStats {

@@ -25,7 +25,9 @@ Status BlockObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
   if (oid == kInvalidObject) return InvalidArgument("invalid object id");
   std::lock_guard<std::mutex> lock(mutex_);
   if (objects_.contains(oid)) return AlreadyExists("object exists");
-  next_id_ = std::max(next_id_, oid.value + 1);
+  // Replicated (bit-62) ids must not drag the local counter into their
+  // id space — see MemObjectStore::CreateWithId.
+  if (!IsReplicatedOid(oid)) next_id_ = std::max(next_id_, oid.value + 1);
   objects_.emplace(oid, Object{cid, 0, 0, {}});
   return OkStatus();
 }
@@ -174,12 +176,29 @@ Result<ObjAttr> BlockObjectStore::GetAttr(ObjectId oid) {
   return ObjAttr{it->second.cid, it->second.size, it->second.version};
 }
 
+Status BlockObjectStore::SetVersion(ObjectId oid, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  it->second.version = std::max(it->second.version, version);
+  return OkStatus();
+}
+
 Result<std::vector<ObjectId>> BlockObjectStore::List(ContainerId cid) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ObjectId> out;
   for (const auto& [oid, obj] : objects_) {
     if (obj.cid == cid) out.push_back(oid);
   }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<ObjectId>> BlockObjectStore::ListAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [oid, obj] : objects_) out.push_back(oid);
   std::sort(out.begin(), out.end());
   return out;
 }

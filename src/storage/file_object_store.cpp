@@ -85,7 +85,9 @@ Status FileObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
   if (oid == kInvalidObject) return InvalidArgument("invalid object id");
   std::lock_guard<std::mutex> lock(mutex_);
   if (attrs_.contains(oid)) return AlreadyExists("object exists");
-  next_id_ = std::max(next_id_, oid.value + 1);
+  // Replicated (bit-62) ids must not drag the local counter into their
+  // id space — see MemObjectStore::CreateWithId.
+  if (!IsReplicatedOid(oid)) next_id_ = std::max(next_id_, oid.value + 1);
   ObjAttr attr{cid, 0, 0};
   LWFS_RETURN_IF_ERROR(WriteMetaLocked(oid, attr));
   std::ofstream(DataPath(oid), std::ios::binary | std::ios::trunc);
@@ -168,12 +170,33 @@ Result<ObjAttr> FileObjectStore::GetAttr(ObjectId oid) {
   return it->second;
 }
 
+Status FileObjectStore::SetVersion(ObjectId oid, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = attrs_.find(oid);
+  if (it == attrs_.end()) return NotFound("no such object");
+  if (version <= it->second.version) return OkStatus();
+  ObjAttr attr = it->second;
+  attr.version = version;
+  LWFS_RETURN_IF_ERROR(WriteMetaLocked(oid, attr));
+  it->second = attr;
+  return OkStatus();
+}
+
 Result<std::vector<ObjectId>> FileObjectStore::List(ContainerId cid) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ObjectId> out;
   for (const auto& [oid, attr] : attrs_) {
     if (attr.cid == cid) out.push_back(oid);
   }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<ObjectId>> FileObjectStore::ListAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  out.reserve(attrs_.size());
+  for (const auto& [oid, attr] : attrs_) out.push_back(oid);
   std::sort(out.begin(), out.end());
   return out;
 }

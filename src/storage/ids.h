@@ -24,6 +24,17 @@ struct ObjectId {
 inline constexpr ContainerId kInvalidContainer{0};
 inline constexpr ObjectId kInvalidObject{0};
 
+/// Replicated objects carry ids allocated by the replica registry instead of
+/// a store's local monotonic counter.  The registry sets this bit so the two
+/// id spaces can never collide (stores count up from 1 and will never reach
+/// bit 62), and so readers can tell from a bare ObjectRef whether a replica
+/// chain must be looked up.
+inline constexpr std::uint64_t kReplicatedOidBit = 1ULL << 62;
+
+inline constexpr bool IsReplicatedOid(ObjectId oid) {
+  return (oid.value & kReplicatedOidBit) != 0;
+}
+
 /// Fully-qualified object reference as carried in RPCs and naming entries:
 /// the container pins the access-control domain, the server id pins the
 /// placement, the object id pins the data.

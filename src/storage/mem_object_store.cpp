@@ -18,7 +18,10 @@ Status MemObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
   if (oid == kInvalidObject) return InvalidArgument("invalid object id");
   std::lock_guard<std::mutex> lock(mutex_);
   if (objects_.contains(oid)) return AlreadyExists("object exists");
-  next_id_ = std::max(next_id_, oid.value + 1);
+  // Registry-allocated replicated ids live in their own (bit-62) id space;
+  // letting one drag next_id_ past the bit would make plain Create() mint
+  // ids that *look* replicated.
+  if (!IsReplicatedOid(oid)) next_id_ = std::max(next_id_, oid.value + 1);
   objects_.emplace(oid, Object{cid, {}, 0});
   return OkStatus();
 }
@@ -75,12 +78,29 @@ Result<ObjAttr> MemObjectStore::GetAttr(ObjectId oid) {
   return ObjAttr{it->second.cid, it->second.data.size(), it->second.version};
 }
 
+Status MemObjectStore::SetVersion(ObjectId oid, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  it->second.version = std::max(it->second.version, version);
+  return OkStatus();
+}
+
 Result<std::vector<ObjectId>> MemObjectStore::List(ContainerId cid) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ObjectId> out;
   for (const auto& [oid, obj] : objects_) {
     if (obj.cid == cid) out.push_back(oid);
   }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<ObjectId>> MemObjectStore::ListAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [oid, obj] : objects_) out.push_back(oid);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -17,7 +17,9 @@ Status NullObjectStore::CreateWithId(ContainerId cid, ObjectId oid) {
   if (oid == kInvalidObject) return InvalidArgument("invalid object id");
   std::lock_guard<std::mutex> lock(mutex_);
   if (objects_.contains(oid)) return AlreadyExists("object exists");
-  next_id_ = std::max(next_id_, oid.value + 1);
+  // Replicated (bit-62) ids must not drag the local counter into their
+  // id space — see MemObjectStore::CreateWithId.
+  if (!IsReplicatedOid(oid)) next_id_ = std::max(next_id_, oid.value + 1);
   objects_.emplace(oid, ObjAttr{cid, 0, 0});
   return OkStatus();
 }
@@ -64,12 +66,29 @@ Result<ObjAttr> NullObjectStore::GetAttr(ObjectId oid) {
   return it->second;
 }
 
+Status NullObjectStore::SetVersion(ObjectId oid, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  it->second.version = std::max(it->second.version, version);
+  return OkStatus();
+}
+
 Result<std::vector<ObjectId>> NullObjectStore::List(ContainerId cid) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ObjectId> out;
   for (const auto& [oid, attr] : objects_) {
     if (attr.cid == cid) out.push_back(oid);
   }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<ObjectId>> NullObjectStore::ListAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [oid, attr] : objects_) out.push_back(oid);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -73,8 +73,22 @@ class ObjectStore {
 
   virtual Result<ObjAttr> GetAttr(ObjectId oid) = 0;
 
+  /// Raise the object's version to `version` (no-op if already past it).
+  /// Versions count applied writes, so two replicas that saw the same
+  /// write sequence agree — but a repair rebuilds a member with fewer,
+  /// larger writes, and the final repair chunk uses this to bring the
+  /// member's version up to its source's.  Data bytes are untouched.
+  virtual Status SetVersion(ObjectId oid, std::uint64_t version) = 0;
+
   /// Ids of all live objects in a container (unspecified order).
   virtual Result<std::vector<ObjectId>> List(ContainerId cid) = 0;
+
+  /// Ids of all live objects across every container, ascending.  Restart
+  /// re-registration walks this to report surviving replicated objects to
+  /// the replica registry.  Backends that cannot enumerate report failure.
+  virtual Result<std::vector<ObjectId>> ListAll() {
+    return FailedPrecondition("store cannot enumerate objects");
+  }
 
   /// Flush to stable storage where the backend supports it.
   virtual Status Sync() { return OkStatus(); }
@@ -96,7 +110,9 @@ class MemObjectStore final : public ObjectStore {
                       std::uint64_t length) override;
   Status Truncate(ObjectId oid, std::uint64_t size) override;
   Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Status SetVersion(ObjectId oid, std::uint64_t version) override;
   Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  Result<std::vector<ObjectId>> ListAll() override;
   std::uint64_t ObjectCount() override;
 
  private:
@@ -128,7 +144,9 @@ class NullObjectStore final : public ObjectStore {
                       std::uint64_t length) override;
   Status Truncate(ObjectId oid, std::uint64_t size) override;
   Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Status SetVersion(ObjectId oid, std::uint64_t version) override;
   Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  Result<std::vector<ObjectId>> ListAll() override;
   std::uint64_t ObjectCount() override;
 
  private:
@@ -153,7 +171,9 @@ class BlockObjectStore final : public ObjectStore {
                       std::uint64_t length) override;
   Status Truncate(ObjectId oid, std::uint64_t size) override;
   Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Status SetVersion(ObjectId oid, std::uint64_t version) override;
   Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  Result<std::vector<ObjectId>> ListAll() override;
   std::uint64_t ObjectCount() override;
 
   [[nodiscard]] std::uint32_t block_size() const { return block_size_; }
@@ -202,7 +222,9 @@ class FileObjectStore final : public ObjectStore {
                       std::uint64_t length) override;
   Status Truncate(ObjectId oid, std::uint64_t size) override;
   Result<ObjAttr> GetAttr(ObjectId oid) override;
+  Status SetVersion(ObjectId oid, std::uint64_t version) override;
   Result<std::vector<ObjectId>> List(ContainerId cid) override;
+  Result<std::vector<ObjectId>> ListAll() override;
   Status Sync() override;
   std::uint64_t ObjectCount() override;
 

@@ -516,6 +516,76 @@ TEST_F(ChaosTest, PartitionHealsWithoutStateDamage) {
 }
 
 // ---------------------------------------------------------------------------
+// Replica kill mid-epoch: zero data loss at replication >= 2
+// ---------------------------------------------------------------------------
+
+// The kill-a-replica matrix: for each chaos seed, one storage server is
+// crashed in the middle of every checkpoint epoch — either *before* its
+// next delivery is applied and acked (the message dies with the node) or
+// *after* it (the replica commits, acks, then dies).  At replication
+// factor 3 both arms must lose nothing: the epoch completes, restores
+// byte-exactly while the victim is still dark, and after heal + restart
+// the repair scanner restores full replication (replica-count audit).
+TEST_F(ChaosTest, ReplicatedCheckpointSurvivesReplicaKillMidEpoch) {
+  constexpr int kReplicatedEpochs = 6;
+  for (std::uint64_t seed : ChaosSeeds()) {
+    for (const bool crash_after : {false, true}) {
+      SCOPED_TRACE("LWFS_CHAOS_SEED=" + std::to_string(seed) +
+                   (crash_after ? " crash=after-ack" : " crash=before-ack"));
+      StartRuntime(/*servers=*/4, seed);
+      ASSERT_TRUE(client_->Mkdir("/rep", true).ok());
+      Rng rng(seed);
+      for (int epoch = 0; epoch < kReplicatedEpochs; ++epoch) {
+        SCOPED_TRACE("epoch " + std::to_string(epoch));
+        const auto victim = static_cast<std::uint32_t>(rng.NextBelow(4));
+        const portals::Nid victim_nid = runtime_->deployment().storage[victim];
+        if (crash_after) {
+          runtime_->fabric().injector().CrashAfterDelivery(victim_nid);
+        } else {
+          runtime_->fabric().injector().CrashBeforeDelivery(victim_nid);
+        }
+
+        checkpoint::LwfsCheckpoint::Config config;
+        config.path = "/rep/run" + std::to_string(epoch);
+        config.cid = cid_;
+        config.cap = cap_;
+        config.replication_factor = 3;
+        auto states =
+            MakeStates(4, 1024 + 256 * (epoch % 3), seed ^ (std::uint64_t)epoch);
+        auto stats = checkpoint::LwfsCheckpoint::Run(*runtime_, config, states);
+        // Zero data loss: every epoch commits despite the mid-epoch crash
+        // (a chain is 3 of 4 servers; one victim can never take out all
+        // members, so writes degrade instead of failing)...
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+        // ...and restores byte-exactly while the victim is still dark.
+        auto restored =
+            checkpoint::LwfsCheckpoint::Restore(*runtime_, cap_, config.path);
+        ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+        ASSERT_EQ(restored->size(), states.size());
+        for (std::size_t r = 0; r < states.size(); ++r) {
+          ASSERT_EQ((*restored)[r], states[r]) << "rank " << r;
+        }
+
+        // Heal: the victim restarts (re-registering its real holdings) and
+        // the repair scan restores full replication before the next epoch.
+        runtime_->fabric().SetNodeDown(victim_nid, false);
+        runtime_->storage_server(static_cast<int>(victim)).Restart();
+        auto scan = runtime_->replicator().RunScan();
+        ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+        EXPECT_EQ(scan->failed, 0u);
+        const auto audit = runtime_->replica_map().Audit();
+        EXPECT_EQ(audit.under_replicated, 0u) << "repair did not converge";
+        EXPECT_EQ(audit.stale_members, 0u);
+        EXPECT_EQ(audit.fully_replicated, audit.objects);
+      }
+      // The matrix really killed nodes.
+      EXPECT_GT(runtime_->TotalRobustnessStats().faults.crashes, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Virtual time: same seed => bit-identical chaos runs
 // ---------------------------------------------------------------------------
 
@@ -624,6 +694,145 @@ TEST(VirtualChaosTest, SameSeedRunsAreBitDeterministic) {
   for (int run = 1; run < 3; ++run) {
     SCOPED_TRACE("run " + std::to_string(run));
     EXPECT_EQ(VirtualSoakTrace(seed), golden);
+  }
+}
+
+// Replicated soak on the virtual clock: replication factor 3, a replica
+// crashed in the middle of every epoch (alternating crash-before-delivery
+// and crash-after-delivery), then heal + restart + repair scan.  The trace
+// records every epoch outcome, restore digest, scan summary, audit counts,
+// replication counters, and the per-store object CRCs, so bit-identical
+// traces mean the whole write/crash/repair cycle is deterministic.
+std::string VirtualReplicatedSoakTrace(std::uint64_t seed) {
+  constexpr int kEpochs = 6;
+  constexpr int kServers = 4;
+  util::VirtualClock clock;
+  std::ostringstream trace;
+  {
+    util::Clock::ThreadGuard guard(&clock);
+    core::RuntimeOptions options;
+    options.storage_servers = kServers;
+    options.clock = &clock;
+    options.client_options.default_timeout = std::chrono::milliseconds(50);
+    options.client_options.max_retransmits = 8;
+    options.authn.credential_ttl_us = 365LL * 24 * 3600 * 1000 * 1000;
+    options.authz.capability_ttl_us = 365LL * 24 * 3600 * 1000 * 1000;
+    options.replication.replication_factor = 3;
+    auto rt = core::ServiceRuntime::Start(options);
+    if (!rt.ok()) return "start: " + rt.status().ToString();
+    core::ServiceRuntime& runtime = **rt;
+    runtime.AddUser("app", "secret", 100);
+    auto client = runtime.MakeClient();
+    auto cred = client->Login("app", "secret");
+    if (!cred.ok()) return "login: " + cred.status().ToString();
+    auto cid = client->CreateContainer(*cred);
+    if (!cid.ok()) return "container: " + cid.status().ToString();
+    auto cap = client->GetCap(*cred, *cid, security::kOpAll);
+    if (!cap.ok()) return "cap: " + cap.status().ToString();
+    if (!client->Mkdir("/rep", true).ok()) return "mkdir failed";
+
+    runtime.fabric().injector().Seed(seed);
+    const core::Deployment& d = runtime.deployment();
+
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      const int victim = epoch % kServers;
+      const portals::Nid victim_nid = d.storage[victim];
+      if (epoch % 2 == 0) {
+        runtime.fabric().injector().CrashBeforeDelivery(victim_nid);
+      } else {
+        runtime.fabric().injector().CrashAfterDelivery(victim_nid);
+      }
+
+      checkpoint::LwfsCheckpoint::Config config;
+      config.path = "/rep/run" + std::to_string(epoch);
+      config.cid = *cid;
+      config.cap = *cap;
+      config.replication_factor = 3;
+      auto states =
+          MakeStates(4, 512 + 128 * (epoch % 3), seed ^ (std::uint64_t)epoch);
+      auto stats = checkpoint::LwfsCheckpoint::Run(runtime, config, states);
+      trace << "epoch " << epoch << ": ";
+      if (stats.ok()) {
+        trace << "ok creates=" << stats->creates << " bytes=" << stats->bytes;
+      } else {
+        trace << "err " << stats.status().ToString();
+      }
+
+      // Restore with the victim still dark: zero data loss means every
+      // rank comes back byte-exact from the surviving replicas.
+      auto restored =
+          checkpoint::LwfsCheckpoint::Restore(runtime, *cap, config.path);
+      if (!restored.ok()) {
+        trace << " restore=err:" << restored.status().ToString();
+      } else {
+        bool exact = restored->size() == states.size();
+        for (std::size_t r = 0; exact && r < states.size(); ++r) {
+          exact = (*restored)[r] == states[r];
+        }
+        trace << (exact ? " restore=exact" : " restore=MISMATCH");
+      }
+
+      // Heal and repair before the next epoch.
+      runtime.fabric().SetNodeDown(victim_nid, false);
+      runtime.storage_server(victim).Restart();
+      auto scan = runtime.replicator().RunScan();
+      if (!scan.ok()) {
+        trace << " scan=err:" << scan.status().ToString();
+      } else {
+        trace << " scan stale=" << scan->stale_members
+              << " repaired=" << scan->repaired << " failed=" << scan->failed
+              << " copied=" << scan->bytes_copied;
+      }
+      const auto audit = runtime.replica_map().Audit();
+      trace << " audit=" << audit.fully_replicated << "/" << audit.objects
+            << " under=" << audit.under_replicated
+            << " stale=" << audit.stale_members;
+      trace << " t_us=" << clock.NowUs() << "\n";
+    }
+
+    const auto rep = client->replication_stats();
+    trace << "replication writes=" << rep.replicated_writes
+          << " wfail=" << rep.write_failovers
+          << " degraded=" << rep.degraded_writes
+          << " reports=" << rep.stale_reports
+          << " rfail=" << rep.read_failovers << "\n";
+    auto rob = runtime.TotalRobustnessStats();
+    trace << "faults drops=" << rob.faults.drops
+          << " crashes=" << rob.faults.crashes
+          << " dedup=" << rob.rpc.dedup_hits << "\n";
+
+    for (int i = 0; i < runtime.storage_count(); ++i) {
+      auto oids = runtime.store(i).List(*cid);
+      if (!oids.ok()) return "list: " + oids.status().ToString();
+      std::sort(oids->begin(), oids->end());
+      for (storage::ObjectId oid : *oids) {
+        auto attr = runtime.store(i).GetAttr(oid);
+        if (!attr.ok()) return "getattr: " + attr.status().ToString();
+        auto data = runtime.store(i).Read(oid, 0, attr->size);
+        if (!data.ok()) return "read: " + data.status().ToString();
+        trace << "store " << i << " oid=" << oid.value
+              << " size=" << attr->size << " crc=" << Crc32(ByteSpan(*data))
+              << "\n";
+      }
+    }
+    trace << "t_end_us=" << clock.NowUs() << "\n";
+  }
+  return trace.str();
+}
+
+TEST(VirtualChaosTest, ReplicatedKillRepairSoakIsBitDeterministic) {
+  const std::uint64_t seed = ChaosSeeds().front();
+  SCOPED_TRACE("LWFS_CHAOS_SEED=" + std::to_string(seed));
+  const std::string golden = VirtualReplicatedSoakTrace(seed);
+  ASSERT_NE(golden.find("t_end_us="), std::string::npos) << golden;
+  // Zero data loss and full repair convergence inside the soak itself.
+  EXPECT_EQ(golden.find("restore=MISMATCH"), std::string::npos) << golden;
+  EXPECT_EQ(golden.find("restore=err"), std::string::npos) << golden;
+  EXPECT_EQ(golden.find("err "), std::string::npos) << golden;
+  EXPECT_NE(golden.find(" under=0 stale=0"), std::string::npos) << golden;
+  for (int run = 1; run < 3; ++run) {
+    SCOPED_TRACE("run " + std::to_string(run));
+    EXPECT_EQ(VirtualReplicatedSoakTrace(seed), golden);
   }
 }
 

@@ -1,0 +1,434 @@
+// Replication layer (DESIGN.md §15): rack-aware placement, chain-replicated
+// writes, hedged/failover reads, restart re-registration, and background
+// repair — each invariant checked end to end over the real RPC stack:
+//
+//  * placement is a pure function of registry state (deterministic) and
+//    spreads chains across racks;
+//  * a chain write commits on every member byte-exactly, and applies
+//    exactly once however often the fabric duplicates its messages;
+//  * a restarting server re-registers what it actually holds before taking
+//    traffic, so a racing repair scan never sees a phantom-empty server;
+//  * the repair scanner restores lost replicas from survivors and catches
+//    version-diverged members up (the audit goes back to fully replicated);
+//  * reads survive a dead chain head via failover and hedging.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "core/client.h"
+#include "core/runtime.h"
+#include "naming/replica_map.h"
+#include "storage/ids.h"
+#include "util/shared_buffer.h"
+
+namespace lwfs {
+namespace {
+
+std::vector<Buffer> MakeStates(std::uint32_t nranks, std::size_t bytes,
+                               std::uint64_t salt) {
+  std::vector<Buffer> states;
+  states.reserve(nranks);
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    states.push_back(PatternBuffer(bytes, salt * 1000 + r));
+  }
+  return states;
+}
+
+// ---------------------------------------------------------------------------
+// Placement: deterministic, rack-aware
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaMapTest, PlacementIsDeterministicAndRackAware) {
+  naming::ReplicaMapOptions options;
+  options.servers = 6;
+  options.default_factor = 3;
+  options.rack_size = 2;
+  naming::ReplicaMap a(options);
+  naming::ReplicaMap b(options);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const std::uint32_t preferred = i % options.servers;
+    auto pa = a.Place(storage::ContainerId{7}, preferred, 0);
+    auto pb = b.Place(storage::ContainerId{7}, preferred, 0);
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    // Same registry state => same oid and same chain: the placement is a
+    // pure function, which is what keeps VirtualClock runs bit-identical.
+    EXPECT_EQ(pa->oid, pb->oid);
+    EXPECT_EQ(pa->chain, pb->chain);
+    EXPECT_TRUE(storage::IsReplicatedOid(pa->oid));
+    ASSERT_EQ(pa->chain.size(), 3u);
+    EXPECT_EQ(pa->chain.front(), preferred);
+    const std::set<std::uint32_t> members(pa->chain.begin(), pa->chain.end());
+    EXPECT_EQ(members.size(), 3u) << "chain repeats a server";
+    std::set<std::uint32_t> racks;
+    for (std::uint32_t s : pa->chain) racks.insert(s / options.rack_size);
+    EXPECT_EQ(racks.size(), 3u) << "chain does not spread across racks";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack fixture
+// ---------------------------------------------------------------------------
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void StartRuntime(int servers, std::uint32_t factor,
+                    std::uint64_t hedge_after_us = 0) {
+    core::RuntimeOptions options;
+    options.storage_servers = servers;
+    options.replication.replication_factor = factor;
+    options.replication.hedge_after_us = hedge_after_us;
+    // Small repair chunks so multi-chunk repairs (and the final-chunk
+    // version stamp) are exercised by modest objects.
+    options.replication.repair_chunk_bytes = 64 << 10;
+    options.client_options.default_timeout = std::chrono::milliseconds(100);
+    options.client_options.max_retransmits = 4;
+    auto rt = core::ServiceRuntime::Start(options);
+    ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+    client_.reset();
+    runtime_ = std::move(*rt);
+    runtime_->AddUser("app", "secret", 100);
+    client_ = runtime_->MakeClient();
+    auto cred = client_->Login("app", "secret");
+    ASSERT_TRUE(cred.ok());
+    auto cid = client_->CreateContainer(*cred);
+    ASSERT_TRUE(cid.ok());
+    cid_ = *cid;
+    auto cap = client_->GetCap(*cred, *cid, security::kOpAll);
+    ASSERT_TRUE(cap.ok());
+    cap_ = *cap;
+  }
+
+  void ExpectAllMembersHold(const core::ReplicaChain& chain,
+                            const Buffer& data) {
+    for (std::uint32_t s : chain.servers) {
+      auto back =
+          runtime_->store(static_cast<int>(s)).Read(chain.oid, 0, data.size());
+      ASSERT_TRUE(back.ok()) << "server " << s << ": "
+                             << back.status().ToString();
+      EXPECT_EQ(*back, data) << "server " << s;
+    }
+  }
+
+  std::unique_ptr<core::ServiceRuntime> runtime_;
+  std::unique_ptr<core::Client> client_;
+  storage::ContainerId cid_{};
+  security::Capability cap_;
+};
+
+// ---------------------------------------------------------------------------
+// Chain writes
+// ---------------------------------------------------------------------------
+
+TEST_F(ReplicationTest, ChainWriteReachesEveryMember) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  auto chain = client_->CreateReplicatedObject(cap_, 0, 3);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->servers.size(), 3u);
+
+  Buffer data = PatternBuffer(96 << 10, 42);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(data)).ok());
+  ExpectAllMembersHold(*chain, data);
+
+  Buffer out(data.size(), 0);
+  auto n = client_->ReadReplicated(cap_, *chain, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+
+  auto audit = client_->AuditReplicas();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->objects, 1u);
+  EXPECT_EQ(audit->fully_replicated, 1u);
+  EXPECT_EQ(audit->stale_members, 0u);
+}
+
+// Satellite: replica-push and repair ops stay idempotent under the
+// at-most-once reply cache.  A duplicated chain-hop delivery must not apply
+// twice (appends would double the object) or re-forward down the chain.
+TEST_F(ReplicationTest, ChainWritesApplyOnceUnderDuplicateDelivery) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  runtime_->fabric().injector().Seed(0xD0BBED);
+  const core::Deployment& d = runtime_->deployment();
+  auto& injector = runtime_->fabric().injector();
+  const portals::FaultSpec spec{.duplicate = 0.3};
+  injector.SetNode(d.naming, spec);
+  for (portals::Nid nid : d.storage) injector.SetNode(nid, spec);
+
+  auto chain = client_->CreateReplicatedObject(cap_, 1, 3);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  Buffer first = PatternBuffer(4096, 1);
+  Buffer second = PatternBuffer(4096, 2);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(first)).ok());
+  ASSERT_TRUE(
+      client_->WriteReplicated(cap_, *chain, first.size(), ByteSpan(second))
+          .ok());
+  Buffer whole = first;
+  whole.insert(whole.end(), second.begin(), second.end());
+  for (std::uint32_t s : chain->servers) {
+    auto attr = runtime_->store(static_cast<int>(s)).GetAttr(chain->oid);
+    ASSERT_TRUE(attr.ok()) << "server " << s;
+    EXPECT_EQ(attr->size, whole.size()) << "a write applied twice on " << s;
+  }
+  ExpectAllMembersHold(*chain, whole);
+
+  // Repair ops under the same duplication: force a scan that probes and
+  // repairs, then a second scan — both must converge without damage.
+  ASSERT_TRUE(runtime_->replica_map()
+                  .ReportStale(chain->oid, 2, {chain->servers.back()})
+                  .ok());
+  auto scan = runtime_->replicator().RunScan();
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->failed, 0u);
+  auto again = runtime_->replicator().RunScan();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->failed, 0u);
+  ExpectAllMembersHold(*chain, whole);
+
+  const auto robustness = runtime_->TotalRobustnessStats();
+  EXPECT_GT(robustness.faults.duplicates, 0u) << "fabric was not hostile";
+  EXPECT_GT(robustness.rpc.dedup_hits, 0u) << "reply cache never engaged";
+}
+
+// ---------------------------------------------------------------------------
+// Restart re-registration (no phantom-empty server)
+// ---------------------------------------------------------------------------
+
+// Satellite: StorageServer::Restart reports the store's actual holdings to
+// the registry before serving traffic.  A stale mark the registry holds in
+// error (the member really has the bytes) is corrected by the restart, and
+// a racing repair scan finds nothing to do.
+TEST_F(ReplicationTest, RestartReRegistersHoldingsWithRegistry) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  auto chain = client_->CreateReplicatedObject(cap_, 0, 3);
+  ASSERT_TRUE(chain.ok());
+  Buffer data = PatternBuffer(8192, 5);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(data)).ok());
+
+  const auto member = static_cast<int>(chain->servers.front());
+  ASSERT_TRUE(runtime_->replica_map()
+                  .ReportStale(chain->oid, 1, {chain->servers.front()})
+                  .ok());
+  EXPECT_EQ(runtime_->replica_map().Audit().stale_members, 1u);
+
+  runtime_->storage_server(member).Restart();
+  EXPECT_EQ(runtime_->replica_map().Audit().stale_members, 0u)
+      << "restart did not re-register the store's holdings";
+
+  auto scan = runtime_->replicator().RunScan();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->repaired, 0u);
+  EXPECT_EQ(scan->failed, 0u);
+  EXPECT_EQ(scan->bytes_copied, 0u);
+  ExpectAllMembersHold(*chain, data);
+}
+
+// The inverse phantom: the store really lost the object across the restart.
+// The holdings report marks it stale and the next scan re-replicates it
+// from a survivor, byte-exactly, restoring the audit to fully replicated.
+TEST_F(ReplicationTest, RepairRestoresReplicaLostAcrossRestart) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  auto chain = client_->CreateReplicatedObject(cap_, 2, 3);
+  ASSERT_TRUE(chain.ok());
+  // Three repair chunks at the fixture's 64 KiB repair_chunk_bytes, so the
+  // final-chunk version stamp is exercised.
+  Buffer data = PatternBuffer(192 << 10, 9);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(data)).ok());
+
+  const auto victim = static_cast<int>(chain->servers.back());
+  ASSERT_TRUE(runtime_->store(victim).Remove(chain->oid).ok());
+  runtime_->storage_server(victim).Restart();
+  auto audit = runtime_->replica_map().Audit();
+  EXPECT_EQ(audit.under_replicated, 1u);
+  EXPECT_EQ(audit.stale_members, 1u);
+
+  auto scan = runtime_->replicator().RunScan();
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->repaired, 1u);
+  EXPECT_EQ(scan->failed, 0u);
+  EXPECT_GE(scan->bytes_copied, data.size());
+
+  ExpectAllMembersHold(*chain, data);
+  audit = runtime_->replica_map().Audit();
+  EXPECT_EQ(audit.objects, 1u);
+  EXPECT_EQ(audit.fully_replicated, 1u);
+  EXPECT_EQ(audit.stale_members, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded writes and version catch-up
+// ---------------------------------------------------------------------------
+
+TEST_F(ReplicationTest, DegradedWriteReportsStaleAndRepairCatchesUp) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  auto chain = client_->CreateReplicatedObject(cap_, 0, 3);
+  ASSERT_TRUE(chain.ok());
+  Buffer first = PatternBuffer(4096, 10);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(first)).ok());
+
+  // The tail goes dark mid-object: the next write still succeeds (degraded)
+  // and reports the unreachable member to the registry.
+  const std::uint32_t victim = chain->servers.back();
+  const portals::Nid victim_nid = runtime_->deployment().storage[victim];
+  runtime_->fabric().SetNodeDown(victim_nid, true);
+  Buffer second = PatternBuffer(4096, 11);
+  ASSERT_TRUE(
+      client_->WriteReplicated(cap_, *chain, first.size(), ByteSpan(second))
+          .ok());
+  const auto stats = client_->replication_stats();
+  EXPECT_GT(stats.degraded_writes, 0u);
+  EXPECT_GT(stats.stale_reports, 0u);
+  auto audit = client_->AuditReplicas();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->under_replicated, 1u);
+
+  // Victim comes back holding version 1 while the chain committed version
+  // 2: the scan must copy the survivor bytes *and* catch the version up,
+  // or the member would probe stale forever.
+  runtime_->fabric().SetNodeDown(victim_nid, false);
+  auto scan = runtime_->replicator().RunScan();
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->repaired, 1u);
+  EXPECT_EQ(scan->failed, 0u);
+
+  Buffer whole = first;
+  whole.insert(whole.end(), second.begin(), second.end());
+  ExpectAllMembersHold(*chain, whole);
+  audit = client_->AuditReplicas();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->fully_replicated, 1u);
+  EXPECT_EQ(audit->stale_members, 0u);
+
+  // And the registry stays converged: a second scan is a no-op.
+  auto again = runtime_->replicator().RunScan();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->repaired, 0u);
+  EXPECT_EQ(again->bytes_copied, 0u);
+}
+
+// A dead *middle* hop must be skipped, not allowed to sever the chain: the
+// head forwards past it straight to the tail, so the write commits on every
+// reachable member and only the dead one goes stale.  (Regression: the
+// forwarder used to drop everything downstream of an unreachable hop,
+// leaving a live, created-but-empty tail that reads would then trust.)
+TEST_F(ReplicationTest, DeadMiddleHopIsSkippedNotSevered) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  auto chain = client_->CreateReplicatedObject(cap_, 0, 3);
+  ASSERT_TRUE(chain.ok());
+
+  const std::uint32_t middle = chain->servers[1];
+  const std::uint32_t tail = chain->servers[2];
+  runtime_->fabric().SetNodeDown(runtime_->deployment().storage[middle], true);
+
+  Buffer data = PatternBuffer(32 << 10, 31);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(data)).ok());
+
+  // The tail holds the full bytes even though the hop before it was dark.
+  auto held = runtime_->store(static_cast<int>(tail))
+                  .Read(chain->oid, 0, data.size());
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(*held, data);
+
+  // Exactly the dead member is stale; the survivors are current.
+  auto audit = client_->AuditReplicas();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->under_replicated, 1u);
+  EXPECT_EQ(audit->stale_members, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hedged / failover reads
+// ---------------------------------------------------------------------------
+
+TEST_F(ReplicationTest, ReadsSurviveDownHeadViaFailoverAndHedging) {
+  StartRuntime(/*servers=*/4, /*factor=*/3, /*hedge_after_us=*/500);
+  auto chain = client_->CreateReplicatedObject(cap_, 0, 3);
+  ASSERT_TRUE(chain.ok());
+  Buffer data = PatternBuffer(16 << 10, 21);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(data)).ok());
+
+  const std::uint32_t head = chain->servers.front();
+  const portals::Nid head_nid = runtime_->deployment().storage[head];
+
+  // Latency hedge: the head answers, but every message touching it is
+  // delayed 5 ms.  The hedge fires at 500 us, lands on a healthy member,
+  // and its reply wins the race.
+  runtime_->fabric().injector().SetNode(head_nid,
+                                        {.delay = 1.0, .delay_us = 5000});
+  Buffer out(data.size(), 0);
+  auto n = client_->ReadReplicated(cap_, *chain, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+  auto stats = client_->replication_stats();
+  EXPECT_GT(stats.hedged_reads, 0u);
+  EXPECT_GT(stats.hedge_wins, 0u);
+  runtime_->fabric().injector().Reset();
+
+  // Dead head: the read fails over to a surviving member.
+  runtime_->fabric().SetNodeDown(head_nid, true);
+  std::fill(out.begin(), out.end(), 0);
+  n = client_->ReadReplicated(cap_, *chain, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(out, data);
+  stats = client_->replication_stats();
+  EXPECT_GT(stats.read_failovers, 0u);
+
+  // Tripped breaker: the hedge fires immediately at issue time instead of
+  // waiting out hedge_after_us.
+  for (int i = 0; i < 10 && !client_->BreakerOpen(head_nid); ++i) {
+    (void)client_->GetAttr(head, cap_, chain->oid);
+  }
+  ASSERT_TRUE(client_->BreakerOpen(head_nid));
+  const std::uint64_t hedged_before = stats.hedged_reads;
+  std::fill(out.begin(), out.end(), 0);
+  n = client_->ReadReplicated(cap_, *chain, 0, MutableByteSpan(out));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(out, data);
+  stats = client_->replication_stats();
+  EXPECT_GT(stats.hedged_reads, hedged_before);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated checkpoints end to end
+// ---------------------------------------------------------------------------
+
+TEST_F(ReplicationTest, ReplicatedCheckpointRoundTripsAndSurvivesOutage) {
+  StartRuntime(/*servers=*/4, /*factor=*/3);
+  ASSERT_TRUE(client_->Mkdir("/ckpt", true).ok());
+  checkpoint::LwfsCheckpoint::Config config;
+  config.path = "/ckpt/rep";
+  config.cid = cid_;
+  config.cap = cap_;
+  config.replication_factor = 3;
+  auto states = MakeStates(6, 2048, 77);
+  auto stats = checkpoint::LwfsCheckpoint::Run(*runtime_, config, states);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->creates, 7u);  // 6 rank objects + the metadata object
+
+  auto restored =
+      checkpoint::LwfsCheckpoint::Restore(*runtime_, cap_, config.path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), states.size());
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    EXPECT_EQ((*restored)[r], states[r]) << "rank " << r;
+  }
+
+  auto audit = client_->AuditReplicas();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->objects, 7u);
+  EXPECT_EQ(audit->fully_replicated, 7u);
+
+  // The whole checkpoint is still restorable with one server dark.
+  runtime_->fabric().SetNodeDown(runtime_->deployment().storage[0], true);
+  restored = checkpoint::LwfsCheckpoint::Restore(*runtime_, cap_, config.path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    EXPECT_EQ((*restored)[r], states[r]) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace lwfs
