@@ -148,7 +148,20 @@ driver::Step WritePipeline::Poll(driver::Context& ctx) {
         Result<Buffer> reply = Buffer{};
         if (!call_.TryAwait(&reply)) return driver::Step::kBlocked;
         auto chain = core::Client::ResolvePlaceReplicated(std::move(reply));
-        if (!chain.ok()) return Fail(chain.status());
+        if (!chain.ok()) {
+          // Sharded metadata: a mis-routed or deposed-primary placement
+          // comes back kWrongShard — refresh the client's shard map and
+          // re-issue to the shard's current primary (bounded so a broken
+          // map cannot loop forever).
+          constexpr int kMaxPlaceRetries = 3;
+          if (chain.status().code() == ErrorCode::kWrongShard &&
+              place_retries_ < kMaxPlaceRetries) {
+            ++place_retries_;
+            (void)spec_.client->RefreshShardRoute();
+            return Issue(ctx, Stage::kPlace);
+          }
+          return Fail(chain.status());
+        }
         chain_ = std::move(*chain);
         oid_ = chain_.oid;
         // Fan the create out to every chain member at once.  An issue-time

@@ -137,6 +137,7 @@ class WritePipeline final : public driver::LogicalClient {
   };
   std::deque<RepWrite> rep_writes_;
   std::size_t verify_member_ = 0;  // chain index the verify targets
+  int place_retries_ = 0;  // kWrongShard re-issues (bounded)
 
   security::Credential cred_{};
   security::Capability cap_{};

@@ -20,18 +20,44 @@ ChunkReplicator::ChunkReplicator(std::shared_ptr<portals::Nic> nic,
                                  std::vector<portals::Nid> storage_nids,
                                  ChunkReplicatorOptions options,
                                  rpc::ClientOptions rpc_options)
-    : registry_(registry),
+    : ChunkReplicator(std::move(nic),
+                      std::vector<naming::ReplicaMap*>{registry},
+                      std::move(storage_nids), options,
+                      std::move(rpc_options)) {}
+
+ChunkReplicator::ChunkReplicator(std::shared_ptr<portals::Nic> nic,
+                                 std::vector<naming::ReplicaMap*> registries,
+                                 std::vector<portals::Nid> storage_nids,
+                                 ChunkReplicatorOptions options,
+                                 rpc::ClientOptions rpc_options)
+    : registries_(std::move(registries)),
       storage_nids_(std::move(storage_nids)),
       options_(options),
       rpc_(std::move(nic), rpc_options) {}
 
 Result<RepairScanSummary> ChunkReplicator::RunScan() {
-  if (registry_ == nullptr) {
+  if (registries_.empty() || registries_[0] == nullptr) {
     return FailedPrecondition("replicator has no registry");
   }
   RepairScanSummary sum;
-  const std::vector<naming::ReplicaPlacement> snapshot = registry_->Snapshot();
-  sum.entries = snapshot.size();
+  for (naming::ReplicaMap* registry : registries_) {
+    if (registry != nullptr) ScanRegistry(registry, &sum);
+  }
+
+  ++scans_;
+  totals_.entries += sum.entries;
+  totals_.stale_members += sum.stale_members;
+  totals_.repaired += sum.repaired;
+  totals_.failed += sum.failed;
+  totals_.bytes_copied += sum.bytes_copied;
+  return sum;
+}
+
+void ChunkReplicator::ScanRegistry(naming::ReplicaMap* registry,
+                                   RepairScanSummary* out) {
+  RepairScanSummary& sum = *out;
+  const std::vector<naming::ReplicaPlacement> snapshot = registry->Snapshot();
+  sum.entries += snapshot.size();
 
   // One batched probe per server covering every object it should hold.
   std::vector<std::vector<std::uint64_t>> want(storage_nids_.size());
@@ -93,7 +119,7 @@ Result<RepairScanSummary> ChunkReplicator::RunScan() {
       const wire::ReplicaProbe* p = probe_of(m);
       if (p != nullptr && p->held && p->version >= target) {
         // Current (the source included) — clear any lingering stale mark.
-        (void)registry_->MarkRepaired(entry.oid, m, p->version);
+        (void)registry->MarkRepaired(entry.oid, m, p->version);
         continue;
       }
       ++sum.stale_members;
@@ -105,20 +131,12 @@ Result<RepairScanSummary> ChunkReplicator::RunScan() {
                                      source_size, source_version, chunk, &sum);
       if (repaired.ok()) {
         ++sum.repaired;
-        (void)registry_->MarkRepaired(entry.oid, m, source_version);
+        (void)registry->MarkRepaired(entry.oid, m, source_version);
       } else {
         ++sum.failed;
       }
     }
   }
-
-  ++scans_;
-  totals_.entries += sum.entries;
-  totals_.stale_members += sum.stale_members;
-  totals_.repaired += sum.repaired;
-  totals_.failed += sum.failed;
-  totals_.bytes_copied += sum.bytes_copied;
-  return sum;
 }
 
 Status ChunkReplicator::RepairMember(storage::ObjectId oid,

@@ -62,8 +62,16 @@ class ChunkReplicator {
                   std::vector<portals::Nid> storage_nids,
                   ChunkReplicatorOptions options = {},
                   rpc::ClientOptions rpc_options = {});
+  /// Sharded metadata plane: one replicator sweeps every shard's registry
+  /// (each shard owns a disjoint striped oid space, so the scans compose).
+  ChunkReplicator(std::shared_ptr<portals::Nic> nic,
+                  std::vector<naming::ReplicaMap*> registries,
+                  std::vector<portals::Nid> storage_nids,
+                  ChunkReplicatorOptions options = {},
+                  rpc::ClientOptions rpc_options = {});
 
-  /// Run one full scan-and-repair pass.  Not reentrant: one scan at a time.
+  /// Run one full scan-and-repair pass (all registries).  Not reentrant:
+  /// one scan at a time.
   Result<RepairScanSummary> RunScan();
 
   [[nodiscard]] std::uint64_t scans() const { return scans_; }
@@ -73,12 +81,13 @@ class ChunkReplicator {
   }
 
  private:
+  void ScanRegistry(naming::ReplicaMap* registry, RepairScanSummary* sum);
   Status RepairMember(storage::ObjectId oid, storage::ContainerId cid,
                       std::uint32_t member, std::uint32_t source,
                       std::uint64_t source_size, std::uint64_t source_version,
                       Buffer& chunk, RepairScanSummary* sum);
 
-  naming::ReplicaMap* registry_;
+  std::vector<naming::ReplicaMap*> registries_;
   std::vector<portals::Nid> storage_nids_;
   ChunkReplicatorOptions options_;
   rpc::RpcClient rpc_;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/wire.h"
+#include "naming/shard_map.h"
 #include "rpc/service.h"
 
 namespace lwfs::core {
@@ -333,7 +334,141 @@ Result<std::vector<storage::ObjectId>> RemoteObjectStore::List(
 
 Client::Client(std::shared_ptr<portals::Nic> nic, Deployment deployment,
                rpc::ClientOptions rpc_options)
-    : nic_(nic), deployment_(std::move(deployment)), rpc_(nic, rpc_options) {}
+    : nic_(nic), deployment_(std::move(deployment)), rpc_(nic, rpc_options) {
+  route_.epoch = 1;
+  route_.primaries = deployment_.naming_shards.empty()
+                         ? std::vector<portals::Nid>{deployment_.naming}
+                         : deployment_.naming_shards;
+  route_.standbys = deployment_.naming_standbys;
+  route_.standbys.resize(route_.primaries.size(), portals::kInvalidNid);
+}
+
+// ---- Shard routing ---------------------------------------------------------
+
+std::uint32_t Client::naming_shard_count() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  return static_cast<std::uint32_t>(route_.primaries.size());
+}
+
+std::uint64_t Client::shard_route_epoch() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  return route_.epoch;
+}
+
+std::uint32_t Client::ShardForPathRoute(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  return naming::ShardMap::ShardForHash(
+      naming::ShardMap::HashPath(path),
+      static_cast<std::uint32_t>(route_.primaries.size()));
+}
+
+std::uint32_t Client::ShardForOidRoute(storage::ObjectId oid) const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const auto count = static_cast<std::uint32_t>(route_.primaries.size());
+  if (count <= 1) return 0;
+  // Replicated oids are minted shard-striped, so ownership decodes from the
+  // sequence number itself (see ReplicaMapOptions::shard_index).
+  return static_cast<std::uint32_t>(
+      (oid.value & ~storage::kReplicatedOidBit) % count);
+}
+
+portals::Nid Client::ShardPrimary(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (shard >= route_.primaries.size()) return portals::kInvalidNid;
+  return route_.primaries[shard];
+}
+
+portals::Nid Client::ShardStandby(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (shard >= route_.standbys.size()) return portals::kInvalidNid;
+  return route_.standbys[shard];
+}
+
+Status Client::RefreshShardRoute() {
+  // Any live shard member can serve the map (the op is served outside the
+  // role gate, so probing a passive standby does not trigger takeover).
+  std::vector<portals::Nid> candidates;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    candidates = route_.primaries;
+    candidates.insert(candidates.end(), route_.standbys.begin(),
+                      route_.standbys.end());
+  }
+  Status last = Unavailable("no naming shard reachable for a map refresh");
+  for (portals::Nid nid : candidates) {
+    if (nid == portals::kInvalidNid) continue;
+    auto rep = rpc::CallTyped<wire::ShardMapRep>(rpc_, nid, kOpNameShardMap,
+                                                 rpc::Void{});
+    if (!rep.ok()) {
+      last = rep.status();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    if (rep->epoch >= route_.epoch &&
+        rep->primaries.size() == route_.primaries.size()) {
+      route_.epoch = rep->epoch;
+      route_.primaries.assign(rep->primaries.begin(), rep->primaries.end());
+      route_.standbys.assign(rep->standbys.begin(), rep->standbys.end());
+      route_.standbys.resize(route_.primaries.size(), portals::kInvalidNid);
+    }
+    return OkStatus();
+  }
+  return last;
+}
+
+namespace {
+
+/// Transport-level failures worth retrying on the shard's warm standby.
+/// Deliberately narrower than the replication chain's FailoverWorthy:
+/// kNotFound is an application answer for naming (missing name), not a
+/// reason to wake the standby.
+bool NamingFailoverWorthy(const Status& status) {
+  return status.code() == ErrorCode::kTimeout ||
+         status.code() == ErrorCode::kUnavailable;
+}
+
+}  // namespace
+
+template <typename Rep, typename Req>
+Result<Rep> Client::NamingCall(std::uint32_t shard, rpc::Opcode op,
+                               const Req& req) {
+  constexpr int kMaxAttempts = 4;
+  Status last = OkStatus();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const portals::Nid primary = ShardPrimary(shard);
+    auto rep = rpc::CallTyped<Rep>(rpc_, primary, op, req);
+    if (rep.ok()) return rep;
+    last = rep.status();
+    if (last.code() == ErrorCode::kWrongShard) {
+      // Stale route (shard moved under us, or a deposed primary fenced the
+      // call): refresh the epoch-stamped map and retry.
+      wrong_shard_retries_.fetch_add(1, std::memory_order_relaxed);
+      (void)RefreshShardRoute();
+      continue;
+    }
+    if (!NamingFailoverWorthy(last)) return rep;
+    const portals::Nid standby = ShardStandby(shard);
+    if (standby == portals::kInvalidNid || standby == primary) return rep;
+    // Primary unreachable: the standby's first admitted op triggers its
+    // takeover (log replay + promote).  Refresh afterwards so subsequent
+    // calls route straight to the new primary.
+    naming_failovers_.fetch_add(1, std::memory_order_relaxed);
+    auto retry = rpc::CallTyped<Rep>(rpc_, standby, op, req);
+    if (retry.ok()) {
+      (void)RefreshShardRoute();
+      return retry;
+    }
+    last = retry.status();
+    if (last.code() == ErrorCode::kWrongShard) {
+      wrong_shard_retries_.fetch_add(1, std::memory_order_relaxed);
+      (void)RefreshShardRoute();
+      continue;
+    }
+    return retry;
+  }
+  return Status{last.code(),
+                "naming shard route did not converge: " + last.message()};
+}
 
 Result<portals::Nid> Client::StorageNid(std::uint32_t server) const {
   if (server >= deployment_.storage.size()) {
@@ -627,17 +762,24 @@ Result<Buffer> Client::FilterObjectAlloc(std::uint32_t server,
 Result<ReplicaChain> Client::PlaceReplicated(storage::ContainerId cid,
                                              std::uint32_t preferred,
                                              std::uint32_t factor) {
-  auto handle = PlaceReplicatedAsync(cid, preferred, factor);
-  if (!handle.ok()) return handle.status();
-  return ResolvePlaceReplicated(handle->Await());
+  // Placements partition by preferred head so every shard mints from its
+  // own (striped) oid space; the full retry/failover protocol applies.
+  const std::uint32_t shard = preferred % naming_shard_count();
+  auto rep = NamingCall<wire::ReplicaChainRep>(
+      shard, kOpReplicaPlace, wire::ReplicaPlaceReq{cid.value, preferred,
+                                                    factor});
+  if (!rep.ok()) return rep.status();
+  return ReplicaChain{storage::ObjectId{rep->oid},
+                      storage::ContainerId{rep->cid},
+                      std::move(rep->servers)};
 }
 
 Result<rpc::CallHandle> Client::PlaceReplicatedAsync(storage::ContainerId cid,
                                                      std::uint32_t preferred,
                                                      std::uint32_t factor) {
-  return rpc::CallTypedAsync(rpc_, deployment_.naming, kOpReplicaPlace,
-                             wire::ReplicaPlaceReq{cid.value, preferred,
-                                                   factor});
+  return rpc::CallTypedAsync(
+      rpc_, ShardPrimary(preferred % naming_shard_count()), kOpReplicaPlace,
+      wire::ReplicaPlaceReq{cid.value, preferred, factor});
 }
 
 Result<ReplicaChain> Client::ResolvePlaceReplicated(Result<Buffer> reply) {
@@ -649,8 +791,8 @@ Result<ReplicaChain> Client::ResolvePlaceReplicated(Result<Buffer> reply) {
 }
 
 Result<ReplicaChain> Client::LookupReplicas(storage::ObjectId oid) {
-  auto rep = rpc::CallTyped<wire::ReplicaChainRep>(
-      rpc_, deployment_.naming, kOpReplicaLookup,
+  auto rep = NamingCall<wire::ReplicaChainRep>(
+      ShardForOidRoute(oid), kOpReplicaLookup,
       wire::ReplicaLookupReq{oid.value});
   if (!rep.ok()) return rep.status();
   return ReplicaChain{storage::ObjectId{rep->oid},
@@ -662,21 +804,25 @@ Status Client::ReportStaleReplicas(storage::ObjectId oid,
                                    std::uint64_t version,
                                    const std::vector<std::uint32_t>& stale) {
   stale_reports_.fetch_add(1, std::memory_order_relaxed);
-  return rpc::CallTyped<rpc::Void>(
-             rpc_, deployment_.naming, kOpReplicaReport,
-             wire::ReplicaReportReq{oid.value, version, stale})
+  return NamingCall<rpc::Void>(ShardForOidRoute(oid), kOpReplicaReport,
+                               wire::ReplicaReportReq{oid.value, version,
+                                                      stale})
       .status();
 }
 
 Result<naming::ReplicaAuditCounts> Client::AuditReplicas() {
-  auto rep = rpc::CallTyped<wire::ReplicaAuditRep>(
-      rpc_, deployment_.naming, kOpReplicaAudit, rpc::Void{});
-  if (!rep.ok()) return rep.status();
+  // Each shard audits its own oid space; the registry-wide answer is the sum.
   naming::ReplicaAuditCounts counts;
-  counts.objects = rep->objects;
-  counts.fully_replicated = rep->fully_replicated;
-  counts.under_replicated = rep->under_replicated;
-  counts.stale_members = rep->stale_members;
+  const std::uint32_t shards = naming_shard_count();
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    auto rep = NamingCall<wire::ReplicaAuditRep>(shard, kOpReplicaAudit,
+                                                 rpc::Void{});
+    if (!rep.ok()) return rep.status();
+    counts.objects += rep->objects;
+    counts.fully_replicated += rep->fully_replicated;
+    counts.under_replicated += rep->under_replicated;
+    counts.stale_members += rep->stale_members;
+  }
   return counts;
 }
 
@@ -885,59 +1031,139 @@ ReplicationStats Client::replication_stats() const {
 // ---- Naming ----------------------------------------------------------------
 
 Status Client::Mkdir(std::string_view path, bool recursive) {
-  return rpc::CallTyped<rpc::Void>(
-             rpc_, deployment_.naming, kOpNameMkdir,
-             wire::MkdirReq{std::string(path), recursive})
-      .status();
+  // Directories are replicated on every shard so each shard can resolve
+  // its own leaves without cross-shard hops; fan the mkdir out.
+  const std::uint32_t shards = naming_shard_count();
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    Status s = NamingCall<rpc::Void>(shard, kOpNameMkdir,
+                                     wire::MkdirReq{std::string(path),
+                                                    recursive})
+                   .status();
+    if (!s.ok()) return s;
+  }
+  return OkStatus();
 }
 
 Status Client::LinkName(std::string_view path, const storage::ObjectRef& ref) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.naming, kOpNameLink,
-                                   wire::LinkReq{std::string(path), ref})
+  return NamingCall<rpc::Void>(ShardForPathRoute(path), kOpNameLink,
+                               wire::LinkReq{std::string(path), ref})
       .status();
 }
 
 Status Client::StageLinkName(txn::TxnId txid, std::string_view path,
                              const storage::ObjectRef& ref) {
-  return rpc::CallTyped<rpc::Void>(
-             rpc_, deployment_.naming, kOpNameStageLink,
-             wire::StageLinkReq{txid, std::string(path), ref})
+  return NamingCall<rpc::Void>(ShardForPathRoute(path), kOpNameStageLink,
+                               wire::StageLinkReq{txid, std::string(path),
+                                                  ref})
+      .status();
+}
+
+Status Client::StageUnlinkName(txn::TxnId txid, std::string_view path) {
+  return NamingCall<rpc::Void>(ShardForPathRoute(path), kOpNameStageUnlink,
+                               wire::StageUnlinkReq{txid, std::string(path)})
       .status();
 }
 
 Result<storage::ObjectRef> Client::LookupName(std::string_view path) {
-  auto rep = rpc::CallTyped<wire::ObjectRefRep>(
-      rpc_, deployment_.naming, kOpNameLookup,
-      wire::PathReq{std::string(path)});
+  auto rep = NamingCall<wire::ObjectRefRep>(ShardForPathRoute(path),
+                                            kOpNameLookup,
+                                            wire::PathReq{std::string(path)});
   if (!rep.ok()) return rep.status();
   return rep->ref;
 }
 
 Status Client::UnlinkName(std::string_view path) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.naming, kOpNameUnlink,
-                                   wire::PathReq{std::string(path)})
+  return NamingCall<rpc::Void>(ShardForPathRoute(path), kOpNameUnlink,
+                               wire::PathReq{std::string(path)})
       .status();
 }
 
 Status Client::RmdirName(std::string_view path) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.naming, kOpNameRmdir,
-                                   wire::PathReq{std::string(path)})
-      .status();
+  const std::uint32_t shards = naming_shard_count();
+  if (shards > 1) {
+    // "Empty" means empty on every shard.  Probe before removing anything
+    // so a non-empty shard cannot strand a half-removed directory.
+    for (std::uint32_t shard = 0; shard < shards; ++shard) {
+      auto rep = NamingCall<wire::ListNamesRep>(
+          shard, kOpNameList, wire::PathReq{std::string(path)});
+      if (!rep.ok()) return rep.status();
+      if (!rep->entries.empty()) {
+        return FailedPrecondition("directory not empty");
+      }
+    }
+  }
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    Status s = NamingCall<rpc::Void>(shard, kOpNameRmdir,
+                                     wire::PathReq{std::string(path)})
+                   .status();
+    if (!s.ok()) return s;
+  }
+  return OkStatus();
 }
 
 Status Client::RenameName(std::string_view from, std::string_view to) {
-  return rpc::CallTyped<rpc::Void>(
-             rpc_, deployment_.naming, kOpNameRename,
-             wire::RenameReq{std::string(from), std::string(to)})
+  const std::uint32_t src = ShardForPathRoute(from);
+  const std::uint32_t dst = ShardForPathRoute(to);
+  if (src != dst) {
+    return FailedPrecondition(
+        "cross-shard rename needs a transaction (RenameNameTxn)");
+  }
+  return NamingCall<rpc::Void>(src, kOpNameRename,
+                               wire::RenameReq{std::string(from),
+                                               std::string(to)})
       .status();
+}
+
+Status Client::RenameNameTxn(std::string_view from, std::string_view to,
+                             std::uint32_t journal_server,
+                             const security::Capability& journal_cap) {
+  const std::uint32_t src = ShardForPathRoute(from);
+  const std::uint32_t dst = ShardForPathRoute(to);
+  if (src == dst) return RenameName(from, to);  // natively atomic at one shard
+
+  auto ref = LookupName(from);
+  if (!ref.ok()) return ref.status();
+
+  TxnParticipants participants;
+  participants.naming_shards = {src, dst};
+  auto txn = BeginTxn(journal_server, journal_cap, participants);
+  if (!txn.ok()) return txn.status();
+  Status staged = StageLinkName((*txn)->id(), to, *ref);
+  if (staged.ok()) staged = StageUnlinkName((*txn)->id(), from);
+  if (!staged.ok()) {
+    (void)(*txn)->Abort();
+    return staged;
+  }
+  return (*txn)->Commit();
 }
 
 Result<std::vector<naming::DirEntry>> Client::ListNames(
     std::string_view path) {
-  auto rep = rpc::CallTyped<wire::ListNamesRep>(
-      rpc_, deployment_.naming, kOpNameList, wire::PathReq{std::string(path)});
-  if (!rep.ok()) return rep.status();
-  return std::move(rep->entries);
+  const std::uint32_t shards = naming_shard_count();
+  std::vector<naming::DirEntry> merged;
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    auto rep = NamingCall<wire::ListNamesRep>(
+        shard, kOpNameList, wire::PathReq{std::string(path)});
+    if (!rep.ok()) return rep.status();
+    if (shards == 1) return std::move(rep->entries);
+    for (naming::DirEntry& entry : rep->entries) {
+      // Subdirectories exist on every shard; leaves are partitioned and
+      // appear exactly once.
+      if (entry.is_directory &&
+          std::any_of(merged.begin(), merged.end(),
+                      [&](const naming::DirEntry& seen) {
+                        return seen.name == entry.name;
+                      })) {
+        continue;
+      }
+      merged.push_back(std::move(entry));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const naming::DirEntry& a, const naming::DirEntry& b) {
+              return a.name < b.name;
+            });
+  return merged;
 }
 
 // ---- Locks -------------------------------------------------------------------
@@ -1020,9 +1246,23 @@ Result<std::unique_ptr<Transaction>> Client::BeginTxn(
         &rpc_, *nid, "storage:" + std::to_string(server)));
     raw.push_back(txn->stubs_.back().get());
   }
-  if (participants.naming) {
+  std::vector<std::uint32_t> naming_shards = participants.naming_shards;
+  if (participants.naming &&
+      std::find(naming_shards.begin(), naming_shards.end(), 0u) ==
+          naming_shards.end()) {
+    naming_shards.push_back(0);  // legacy flag = shard 0
+  }
+  const std::uint32_t shard_count = naming_shard_count();
+  for (std::uint32_t shard : naming_shards) {
+    if (shard >= shard_count) {
+      return InvalidArgument("no such naming shard");
+    }
+    // Participant identity must match the shard service's 2PC name so
+    // crash recovery can map journal records back to the right shard.
+    const std::string name =
+        shard_count <= 1 ? "naming" : "naming" + std::to_string(shard);
     txn->stubs_.push_back(std::make_unique<RemoteParticipant>(
-        &rpc_, deployment_.naming, "naming"));
+        &rpc_, ShardPrimary(shard), name));
     raw.push_back(txn->stubs_.back().get());
   }
 

@@ -15,6 +15,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,12 @@ struct Deployment {
   portals::Nid naming = portals::kInvalidNid;
   portals::Nid locks = portals::kInvalidNid;
   std::vector<portals::Nid> storage;
+  /// Sharded metadata plane: primary nid per naming shard (empty = the
+  /// single `naming` server above owns the whole namespace).  `naming`
+  /// stays equal to shard 0's primary for backward compatibility.
+  std::vector<portals::Nid> naming_shards;
+  /// Warm standby per shard (kInvalidNid = no standby for that shard).
+  std::vector<portals::Nid> naming_standbys;
 };
 
 class Client;
@@ -299,7 +306,10 @@ class Transaction {
 /// Which services participate in a transaction.
 struct TxnParticipants {
   std::vector<std::uint32_t> storage_servers;
-  bool naming = false;
+  bool naming = false;  // legacy: enlist naming shard 0
+  /// Naming shard indices to enlist (cross-shard rename enlists the source
+  /// and destination shards).  Ignores duplicates with `naming`.
+  std::vector<std::uint32_t> naming_shards;
 };
 
 class Client {
@@ -484,15 +494,47 @@ class Client {
   [[nodiscard]] ReplicationStats replication_stats() const;
 
   // ---- Naming --------------------------------------------------------------
+  // All naming ops route by shard when the deployment is sharded: leaf ops
+  // go to ShardForPath(path)'s primary, directory ops fan out to every
+  // shard (directories are replicated everywhere so any shard can resolve
+  // its own leaves).  A kWrongShard rejection refreshes the client's
+  // epoch-stamped map copy and retries; a transport failure retries the
+  // shard's warm standby, whose first admitted op triggers takeover.
   Status Mkdir(std::string_view path, bool recursive = false);
   Status LinkName(std::string_view path, const storage::ObjectRef& ref);
   Status StageLinkName(txn::TxnId txid, std::string_view path,
                        const storage::ObjectRef& ref);
+  /// Stage an unlink inside a transaction — the source half of an atomic
+  /// cross-shard rename (RenameNameTxn stages link + unlink under 2PC).
+  Status StageUnlinkName(txn::TxnId txid, std::string_view path);
   Result<storage::ObjectRef> LookupName(std::string_view path);
   Status UnlinkName(std::string_view path);
   Status RmdirName(std::string_view path);
+  /// Same-shard rename (atomic at one server).  Cross-shard leaf renames
+  /// return kFailedPrecondition — use RenameNameTxn.
   Status RenameName(std::string_view from, std::string_view to);
+  /// Atomic rename across shards: LookupName(from), then one distributed
+  /// transaction staging the link on the destination shard and the unlink
+  /// on the source shard.  Same-shard renames fall through to RenameName.
+  Status RenameNameTxn(std::string_view from, std::string_view to,
+                       std::uint32_t journal_server,
+                       const security::Capability& journal_cap);
   Result<std::vector<naming::DirEntry>> ListNames(std::string_view path);
+
+  /// Re-fetch the epoch-stamped shard map from any live naming server.
+  /// Called automatically on kWrongShard; public for event-driven callers
+  /// (the checkpoint pipeline) that resolve naming replies themselves.
+  Status RefreshShardRoute();
+  [[nodiscard]] std::uint32_t naming_shard_count() const;
+  [[nodiscard]] std::uint64_t shard_route_epoch() const;
+  /// kWrongShard rejections that forced a map refresh + retry.
+  [[nodiscard]] std::uint64_t wrong_shard_retries() const {
+    return wrong_shard_retries_.load(std::memory_order_relaxed);
+  }
+  /// Naming ops retried on a shard's warm standby after the primary died.
+  [[nodiscard]] std::uint64_t naming_failovers() const {
+    return naming_failovers_.load(std::memory_order_relaxed);
+  }
 
   // ---- Locks ----------------------------------------------------------------
   Result<txn::LockId> TryLock(const txn::LockKey& key,
@@ -534,9 +576,31 @@ class Client {
 
   Result<portals::Nid> StorageNid(std::uint32_t server) const;
 
+  /// Client copy of the shard map (primary + standby nid per shard),
+  /// initialized from the deployment and refreshed via kOpNameShardMap.
+  struct ShardRoute {
+    std::uint64_t epoch = 0;
+    std::vector<portals::Nid> primaries;
+    std::vector<portals::Nid> standbys;
+  };
+  [[nodiscard]] std::uint32_t ShardForPathRoute(std::string_view path) const;
+  [[nodiscard]] std::uint32_t ShardForOidRoute(storage::ObjectId oid) const;
+  [[nodiscard]] portals::Nid ShardPrimary(std::uint32_t shard) const;
+  [[nodiscard]] portals::Nid ShardStandby(std::uint32_t shard) const;
+  /// One naming-plane call with the full routing protocol: kWrongShard →
+  /// refresh map + retry (bounded); transport failure → retry the shard's
+  /// standby (first admitted op triggers its takeover).
+  template <typename Rep, typename Req>
+  Result<Rep> NamingCall(std::uint32_t shard, rpc::Opcode op, const Req& req);
+
   std::shared_ptr<portals::Nic> nic_;
   Deployment deployment_;
   rpc::RpcClient rpc_;
+
+  mutable std::mutex route_mutex_;
+  ShardRoute route_;  // guarded by route_mutex_
+  std::atomic<std::uint64_t> wrong_shard_retries_{0};
+  std::atomic<std::uint64_t> naming_failovers_{0};
 
   std::uint64_t hedge_after_us_ = 0;  // 0 = hedging off
   std::atomic<std::uint64_t> replicated_writes_{0};

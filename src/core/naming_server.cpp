@@ -1,5 +1,8 @@
 #include "core/naming_server.h"
 
+#include <string>
+#include <utility>
+
 #include "core/wire.h"
 
 namespace lwfs::core {
@@ -7,14 +10,18 @@ namespace lwfs::core {
 NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
                            naming::NamingService* service,
                            rpc::ServerOptions options,
-                           naming::ReplicaMap* replicas)
+                           naming::ReplicaMap* replicas,
+                           NamingShardConfig shard)
     : service_(service),
       replicas_(replicas),
+      shard_(std::move(shard)),
       server_(std::move(nic), options),
-      ops_(&server_, "naming") {
+      ops_(&server_, "naming"),
+      active_(!shard_.standby) {
   ops_.On<wire::MkdirReq, rpc::Void>(
       wire::kNameMkdirOp,
       [this](rpc::ServerContext&, wire::MkdirReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr));  // dirs live on every shard
         LWFS_RETURN_IF_ERROR(service_->Mkdir(req.path, req.recursive));
         return rpc::Void{};
       });
@@ -22,6 +29,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<wire::LinkReq, rpc::Void>(
       wire::kNameLinkOp,
       [this](rpc::ServerContext&, wire::LinkReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(&req.path));
         LWFS_RETURN_IF_ERROR(service_->Link(req.path, req.ref));
         return rpc::Void{};
       });
@@ -30,7 +38,17 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
       wire::kNameStageLinkOp,
       [this](rpc::ServerContext&,
              wire::StageLinkReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(&req.path));
         LWFS_RETURN_IF_ERROR(service_->StageLink(req.txid, req.path, req.ref));
+        return rpc::Void{};
+      });
+
+  ops_.On<wire::StageUnlinkReq, rpc::Void>(
+      wire::kNameStageUnlinkOp,
+      [this](rpc::ServerContext&,
+             wire::StageUnlinkReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(&req.path));
+        LWFS_RETURN_IF_ERROR(service_->StageUnlink(req.txid, req.path));
         return rpc::Void{};
       });
 
@@ -38,6 +56,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
       wire::kNameLookupOp,
       [this](rpc::ServerContext&,
              wire::PathReq& req) -> Result<wire::ObjectRefRep> {
+        LWFS_RETURN_IF_ERROR(Admit(&req.path));
         auto ref = service_->Lookup(req.path);
         if (!ref.ok()) return ref.status();
         return wire::ObjectRefRep{*ref};
@@ -46,6 +65,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<wire::PathReq, rpc::Void>(
       wire::kNameUnlinkOp,
       [this](rpc::ServerContext&, wire::PathReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(&req.path));
         LWFS_RETURN_IF_ERROR(service_->Unlink(req.path));
         return rpc::Void{};
       });
@@ -53,6 +73,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<wire::PathReq, rpc::Void>(
       wire::kNameRmdirOp,
       [this](rpc::ServerContext&, wire::PathReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr));  // dirs live on every shard
         LWFS_RETURN_IF_ERROR(service_->Rmdir(req.path));
         return rpc::Void{};
       });
@@ -60,6 +81,22 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<wire::RenameReq, rpc::Void>(
       wire::kNameRenameOp,
       [this](rpc::ServerContext&, wire::RenameReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr));
+        if (shard_.shard_map != nullptr &&
+            shard_.shard_map->shard_count() > 1) {
+          // Partitioned namespace: a directory rename cannot be atomic on
+          // one shard (its children hash everywhere), and a cross-shard
+          // link rename must go through the 2PC stage-link/stage-unlink
+          // path the client drives.
+          if (service_->IsDirectory(req.from)) {
+            return FailedPrecondition(
+                "directory rename is not atomic across a sharded namespace");
+          }
+          if (shard_.shard_map->ShardForPath(req.from) != shard_.shard_index ||
+              shard_.shard_map->ShardForPath(req.to) != shard_.shard_index) {
+            return WrongShard("cross-shard rename must use the 2PC path");
+          }
+        }
         LWFS_RETURN_IF_ERROR(service_->Rename(req.from, req.to));
         return rpc::Void{};
       });
@@ -68,9 +105,34 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
       wire::kNameListOp,
       [this](rpc::ServerContext&,
              wire::PathReq& req) -> Result<wire::ListNamesRep> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr));  // clients merge across shards
         auto entries = service_->List(req.path);
         if (!entries.ok()) return entries.status();
         return wire::ListNamesRep{std::move(*entries)};
+      });
+
+  // Epoch-stamped shard-map snapshot.  Served without the role gate: a
+  // passive standby answering a map fetch must not trigger a takeover, and
+  // a deposed primary can still point clients at the new map.
+  ops_.On<rpc::Void, wire::ShardMapRep>(
+      wire::kNameShardMapOp,
+      [this](rpc::ServerContext&, rpc::Void&) -> Result<wire::ShardMapRep> {
+        wire::ShardMapRep rep;
+        if (shard_.shard_map == nullptr) {
+          rep.epoch = 1;
+          rep.primaries = {nid()};
+          rep.standbys = {portals::kInvalidNid};
+          return rep;
+        }
+        const naming::ShardMap::Snapshot snap = shard_.shard_map->snapshot();
+        rep.epoch = snap.epoch;
+        rep.primaries.reserve(snap.shards.size());
+        rep.standbys.reserve(snap.shards.size());
+        for (const naming::ShardMap::Shard& s : snap.shards) {
+          rep.primaries.push_back(s.primary);
+          rep.standbys.push_back(s.standby);
+        }
+        return rep;
       });
 
   // Replica registry: placement, lookup, degraded-write reports, and the
@@ -80,6 +142,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
         wire::kReplicaPlaceOp,
         [this](rpc::ServerContext&,
                wire::ReplicaPlaceReq& req) -> Result<wire::ReplicaChainRep> {
+          LWFS_RETURN_IF_ERROR(Admit(nullptr));
           auto placement = replicas_->Place(storage::ContainerId{req.cid},
                                             req.preferred, req.factor);
           if (!placement.ok()) return placement.status();
@@ -92,6 +155,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
         wire::kReplicaLookupOp,
         [this](rpc::ServerContext&,
                wire::ReplicaLookupReq& req) -> Result<wire::ReplicaChainRep> {
+          LWFS_RETURN_IF_ERROR(AdmitOid(req.oid));
           auto placement = replicas_->Lookup(storage::ObjectId{req.oid});
           if (!placement.ok()) return placement.status();
           return wire::ReplicaChainRep{placement->oid.value,
@@ -103,6 +167,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
         wire::kReplicaReportOp,
         [this](rpc::ServerContext&,
                wire::ReplicaReportReq& req) -> Result<rpc::Void> {
+          LWFS_RETURN_IF_ERROR(AdmitOid(req.oid));
           LWFS_RETURN_IF_ERROR(replicas_->ReportStale(
               storage::ObjectId{req.oid}, req.version, req.stale));
           return rpc::Void{};
@@ -111,6 +176,7 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
     ops_.On<rpc::Void, wire::ReplicaAuditRep>(
         wire::kReplicaAuditOp,
         [this](rpc::ServerContext&, rpc::Void&) -> Result<wire::ReplicaAuditRep> {
+          LWFS_RETURN_IF_ERROR(Admit(nullptr, /*charge=*/false));
           const naming::ReplicaAuditCounts counts = replicas_->Audit();
           return wire::ReplicaAuditRep{counts.objects, counts.fully_replicated,
                                        counts.under_replicated,
@@ -118,11 +184,14 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
         });
   }
 
-  // Two-phase-commit participant endpoints.
+  // Two-phase-commit participant endpoints.  Role-gated (a commit sent to
+  // a standby after takeover must land on the replayed state) but free of
+  // the modeled op cost — votes are not metadata ops.
   ops_.On<wire::TxnReq, wire::TxnVoteRep>(
       wire::kTxnPrepareOp,
       [this](rpc::ServerContext&,
              wire::TxnReq& req) -> Result<wire::TxnVoteRep> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr, /*charge=*/false));
         auto vote = service_->participant()->Prepare(req.txid);
         if (!vote.ok()) return vote.status();
         return wire::TxnVoteRep{*vote};
@@ -130,15 +199,122 @@ NamingServer::NamingServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<wire::TxnReq, rpc::Void>(
       wire::kTxnCommitOp,
       [this](rpc::ServerContext&, wire::TxnReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr, /*charge=*/false));
         LWFS_RETURN_IF_ERROR(service_->participant()->Commit(req.txid));
         return rpc::Void{};
       });
   ops_.On<wire::TxnReq, rpc::Void>(
       wire::kTxnAbortOp,
       [this](rpc::ServerContext&, wire::TxnReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit(nullptr, /*charge=*/false));
         LWFS_RETURN_IF_ERROR(service_->participant()->Abort(req.txid));
         return rpc::Void{};
       });
+}
+
+Status NamingServer::Admit(const std::string* leaf_path, bool charge) {
+  if (shard_.shard_map != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(takeover_mutex_);
+      LWFS_RETURN_IF_ERROR(EnsureActiveLocked());
+    }
+    if (leaf_path != nullptr &&
+        shard_.shard_map->ShardForPath(*leaf_path) != shard_.shard_index) {
+      return WrongShard("path belongs to another metadata shard");
+    }
+  }
+  if (charge && shard_.op_delay) shard_.op_delay();
+  return OkStatus();
+}
+
+Status NamingServer::AdmitOid(std::uint64_t oid) {
+  if (shard_.shard_map != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(takeover_mutex_);
+      LWFS_RETURN_IF_ERROR(EnsureActiveLocked());
+    }
+    if (shard_.shard_map->ShardForOid(storage::ObjectId{oid}) !=
+        shard_.shard_index) {
+      return WrongShard("oid belongs to another metadata shard");
+    }
+  }
+  if (shard_.op_delay) shard_.op_delay();
+  return OkStatus();
+}
+
+Status NamingServer::EnsureActiveLocked() {
+  naming::ShardMap& map = *shard_.shard_map;
+  if (active_) {
+    // Fencing: a deposed primary stops mutating the moment the map moves
+    // on, so a takeover can never race it into split-brain.
+    if (!map.IsActivePrimary(shard_.shard_index, nid())) {
+      active_ = false;
+      return WrongShard("shard primary deposed");
+    }
+    return OkStatus();
+  }
+  if (map.IsActivePrimary(shard_.shard_index, nid())) {
+    active_ = true;  // promoted out of band
+    return OkStatus();
+  }
+  if (!map.IsStandby(shard_.shard_index, nid())) {
+    return WrongShard("not a member of this shard");
+  }
+  // Warm-standby takeover: the client only lands here after the primary
+  // stopped answering (breaker/timeout).  Replay every committed mutation,
+  // step in as primary (epoch bump invalidates cached client maps), then
+  // pull real holdings so repair state reflects the storage tier's truth.
+  std::uint64_t replayed = 0;
+  if (shard_.oplog != nullptr) {
+    for (const naming::OpRecord& rec : shard_.oplog->ReadFrom(0)) {
+      Status applied;
+      switch (rec.kind) {
+        case naming::OpRecord::Kind::kReplicaPlace:
+        case naming::OpRecord::Kind::kReplicaReportStale:
+        case naming::OpRecord::Kind::kReplicaMarkRepaired:
+        case naming::OpRecord::Kind::kReplicaHoldings:
+          applied = replicas_ != nullptr
+                        ? replicas_->Replay(rec)
+                        : Internal("registry record without a registry");
+          break;
+        default:
+          applied = service_->Replay(rec);
+          break;
+      }
+      if (applied.ok()) {
+        ++replayed;
+      } else {
+        ++takeover_replay_errors_;
+      }
+    }
+    // From here on this server is the shard's writer: continue the log so
+    // the audit trail (and any future standby) stays complete.
+    service_->SetOpLog(shard_.oplog);
+    if (replicas_ != nullptr) replicas_->SetOpLog(shard_.oplog);
+  }
+  LWFS_RETURN_IF_ERROR(map.Promote(shard_.shard_index, nid()));
+  if (shard_.reregister_holdings && replicas_ != nullptr) {
+    shard_.reregister_holdings(replicas_);
+  }
+  ++takeovers_;
+  takeover_replayed_ += replayed;
+  active_ = true;
+  return OkStatus();
+}
+
+std::uint64_t NamingServer::takeovers() const {
+  std::lock_guard<std::mutex> lock(takeover_mutex_);
+  return takeovers_;
+}
+
+std::uint64_t NamingServer::takeover_replayed() const {
+  std::lock_guard<std::mutex> lock(takeover_mutex_);
+  return takeover_replayed_;
+}
+
+std::uint64_t NamingServer::takeover_replay_errors() const {
+  std::lock_guard<std::mutex> lock(takeover_mutex_);
+  return takeover_replay_errors_;
 }
 
 }  // namespace lwfs::core

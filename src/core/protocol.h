@@ -72,6 +72,12 @@ enum Op : rpc::Opcode {
   kOpNameStageLink = 65,
   kOpNameRmdir = 66,
   kOpNameRename = 67,
+  /// Stage an unlink inside a 2PC transaction (the source half of an
+  /// atomic cross-shard rename; the destination shard stages the link).
+  kOpNameStageUnlink = 68,
+  /// Epoch-stamped shard-map snapshot; servable by any live shard, used by
+  /// clients to refresh routing after a kWrongShard rejection.
+  kOpNameShardMap = 69,
 
   // Replica registry (hosted by the naming server): placement, lookup,
   // staleness reports, and the replica-count audit.
@@ -120,6 +126,8 @@ static_assert(rpc::kCoreOpcodeRange.Contains(kOpLogin) &&
                   rpc::kCoreOpcodeRange.Contains(kOpNameStageLink) &&
                   rpc::kCoreOpcodeRange.Contains(kOpNameRmdir) &&
                   rpc::kCoreOpcodeRange.Contains(kOpNameRename) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameStageUnlink) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpNameShardMap) &&
                   rpc::kCoreOpcodeRange.Contains(kOpReplicaPlace) &&
                   rpc::kCoreOpcodeRange.Contains(kOpReplicaLookup) &&
                   rpc::kCoreOpcodeRange.Contains(kOpReplicaReport) &&

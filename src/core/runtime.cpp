@@ -36,14 +36,31 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
       &rt->users_, authn_key, options.authn);
   rt->authz_service_ = std::make_unique<security::AuthzService>(
       rt->authn_service_.get(), authz_key, options.authz);
-  rt->naming_service_ = std::make_unique<naming::NamingService>();
 
   naming::ReplicaMapOptions replica_options;
   replica_options.servers =
       static_cast<std::uint32_t>(std::max(options.storage_servers, 1));
   replica_options.default_factor = options.replication.replication_factor;
   replica_options.rack_size = options.replication.rack_size;
-  rt->replica_map_ = std::make_unique<naming::ReplicaMap>(replica_options);
+
+  // Metadata plane: `shards` naming services, each owning a hash slice of
+  // the namespace and a striped slice of the replicated-oid space, plus an
+  // optional warm standby per shard.  One shard reproduces the classic
+  // single-server deployment bit for bit.
+  const std::uint32_t shards = std::max<std::uint32_t>(options.naming_shards, 1);
+  rt->shard_map_ = std::make_shared<naming::ShardMap>();
+  replica_options.shard_count = shards;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    rt->naming_oplogs_.push_back(std::make_unique<naming::OpLog>());
+    naming::OpLog* oplog = rt->naming_oplogs_.back().get();
+    const std::string participant =
+        shards <= 1 ? "naming" : "naming" + std::to_string(i);
+    rt->naming_services_.push_back(
+        std::make_unique<naming::NamingService>(participant, oplog));
+    replica_options.shard_index = i;
+    rt->replica_maps_.push_back(
+        std::make_unique<naming::ReplicaMap>(replica_options, oplog));
+  }
 
   // Credential revocation must drop the authorization service's cached
   // verification (in a distributed deployment this is a control RPC; the
@@ -58,15 +75,71 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
   rt->authz_server_ = std::make_unique<AuthzServer>(
       rt->fabric_.CreateNic(), rt->authz_service_.get(),
       options.control_services);
-  rt->naming_server_ = std::make_unique<NamingServer>(
-      rt->fabric_.CreateNic(), rt->naming_service_.get(),
-      options.control_services, rt->replica_map_.get());
+
+  ServiceRuntime* rtp = rt.get();
+  // Post-takeover holdings pull: report every store's actual replicated
+  // holdings to the freshly promoted registry (each registry ignores oids
+  // outside its stripe), mirroring what storage restarts report.
+  auto pull_holdings = [rtp](naming::ReplicaMap* registry) {
+    for (std::size_t s = 0; s < rtp->stores_.size(); ++s) {
+      auto all = rtp->stores_[s]->ListAll();
+      if (!all.ok()) continue;
+      std::vector<std::pair<storage::ObjectId, std::uint64_t>> held;
+      for (storage::ObjectId oid : *all) {
+        if (!storage::IsReplicatedOid(oid)) continue;
+        auto attr = rtp->stores_[s]->GetAttr(oid);
+        if (attr.ok()) held.emplace_back(oid, attr->version);
+      }
+      registry->ReportHoldings(static_cast<std::uint32_t>(s), held);
+    }
+  };
+
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    NamingShardConfig primary_cfg;
+    primary_cfg.shard_index = i;
+    primary_cfg.shard_map = rt->shard_map_;
+    primary_cfg.oplog = rt->naming_oplogs_[i].get();
+    if (options.naming_op_delay) {
+      primary_cfg.op_delay = [hook = options.naming_op_delay, i] { hook(i); };
+    }
+    rt->naming_servers_.push_back(std::make_unique<NamingServer>(
+        rt->fabric_.CreateNic(), rt->naming_services_[i].get(),
+        options.control_services, rt->replica_maps_[i].get(), primary_cfg));
+
+    portals::Nid standby_nid = portals::kInvalidNid;
+    if (options.naming_standby) {
+      const std::string participant =
+          shards <= 1 ? "naming" : "naming" + std::to_string(i);
+      // No op log attached: the standby replays it at takeover, through
+      // the public mutators, then attaches it.
+      rt->standby_services_.push_back(
+          std::make_unique<naming::NamingService>(participant, nullptr));
+      replica_options.shard_index = i;
+      rt->standby_replica_maps_.push_back(
+          std::make_unique<naming::ReplicaMap>(replica_options, nullptr));
+      NamingShardConfig standby_cfg = primary_cfg;
+      standby_cfg.standby = true;
+      standby_cfg.reregister_holdings = pull_holdings;
+      rt->standby_servers_.push_back(std::make_unique<NamingServer>(
+          rt->fabric_.CreateNic(), rt->standby_services_.back().get(),
+          options.control_services, rt->standby_replica_maps_.back().get(),
+          standby_cfg));
+      standby_nid = rt->standby_servers_.back()->nid();
+    }
+    rt->shard_map_->AddShard(rt->naming_servers_[i]->nid(), standby_nid);
+  }
+
   rt->lock_server_ = std::make_unique<LockServer>(
       rt->fabric_.CreateNic(), &rt->lock_table_, options.control_services);
 
   LWFS_RETURN_IF_ERROR(rt->authn_server_->Start());
   LWFS_RETURN_IF_ERROR(rt->authz_server_->Start());
-  LWFS_RETURN_IF_ERROR(rt->naming_server_->Start());
+  for (auto& server : rt->naming_servers_) {
+    LWFS_RETURN_IF_ERROR(server->Start());
+  }
+  for (auto& server : rt->standby_servers_) {
+    LWFS_RETURN_IF_ERROR(server->Start());
+  }
   LWFS_RETURN_IF_ERROR(rt->lock_server_->Start());
 
   // The NASD-contrast mode hands the signing key to the storage servers —
@@ -78,16 +151,22 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
   }
   storage_options.client_options = options.client_options;
   // Restart re-registration: a restarting server reports what it actually
-  // holds to the replica registry *before* it resumes serving, so a repair
-  // scan racing the restart never mistakes it for empty (the registry and
-  // servers share a process here; a distributed deployment would make this
-  // a control RPC to the naming server).
-  naming::ReplicaMap* replicas = rt->replica_map_.get();
+  // holds to every replica registry *before* it resumes serving, so a
+  // repair scan racing the restart never mistakes it for empty (the
+  // registries and servers share a process here; a distributed deployment
+  // would make this a control RPC per shard).  Each registry only updates
+  // entries in its own oid stripe; standby registries are empty until a
+  // takeover replays them, after which they take these reports too.
   storage_options.restart_report =
-      [replicas](std::uint32_t server,
-                 const std::vector<std::pair<storage::ObjectId,
-                                             std::uint64_t>>& held) {
-        replicas->ReportHoldings(server, held);
+      [rtp](std::uint32_t server,
+            const std::vector<std::pair<storage::ObjectId,
+                                        std::uint64_t>>& held) {
+        for (auto& registry : rtp->replica_maps_) {
+          registry->ReportHoldings(server, held);
+        }
+        for (auto& registry : rtp->standby_replica_maps_) {
+          registry->ReportHoldings(server, held);
+        }
       };
 
   std::vector<portals::Nid> storage_nids;
@@ -126,8 +205,16 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
   ChunkReplicatorOptions replicator_options;
   replicator_options.repair_mb_s = options.replication.repair_mb_s;
   replicator_options.repair_chunk_bytes = options.replication.repair_chunk_bytes;
+  // One replicator sweeps every shard's registry (stripes are disjoint).
+  // Standby registries are included: empty before a takeover, and the
+  // authoritative copy after one.
+  std::vector<naming::ReplicaMap*> registries;
+  for (auto& registry : rt->replica_maps_) registries.push_back(registry.get());
+  for (auto& registry : rt->standby_replica_maps_) {
+    registries.push_back(registry.get());
+  }
   rt->replicator_ = std::make_unique<ChunkReplicator>(
-      rt->fabric_.CreateNic(), rt->replica_map_.get(), storage_nids,
+      rt->fabric_.CreateNic(), std::move(registries), storage_nids,
       replicator_options, options.client_options);
 
   if (!options.naming_snapshot_file.empty()) {
@@ -135,15 +222,22 @@ Result<std::unique_ptr<ServiceRuntime>> ServiceRuntime::Start(
     if (in) {
       Buffer snapshot((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-      LWFS_RETURN_IF_ERROR(rt->naming_service_->Restore(ByteSpan(snapshot)));
+      LWFS_RETURN_IF_ERROR(
+          rt->naming_services_[0]->Restore(ByteSpan(snapshot)));
     }
   }
 
   rt->deployment_.authn = rt->authn_server_->nid();
   rt->deployment_.authz = rt->authz_server_->nid();
-  rt->deployment_.naming = rt->naming_server_->nid();
+  rt->deployment_.naming = rt->naming_servers_[0]->nid();
   rt->deployment_.locks = rt->lock_server_->nid();
   rt->deployment_.storage = std::move(storage_nids);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    rt->deployment_.naming_shards.push_back(rt->naming_servers_[i]->nid());
+    rt->deployment_.naming_standbys.push_back(
+        options.naming_standby ? rt->standby_servers_[i]->nid()
+                               : portals::kInvalidNid);
+  }
   return rt;
 }
 
@@ -151,7 +245,8 @@ ServiceRuntime::~ServiceRuntime() {
   // Stop order: storage first (they call into authz), then control services.
   for (auto& server : storage_servers_) server->Stop();
   if (lock_server_) lock_server_->Stop();
-  if (naming_server_) naming_server_->Stop();
+  for (auto& server : standby_servers_) server->Stop();
+  for (auto& server : naming_servers_) server->Stop();
   if (authz_server_) authz_server_->Stop();
   if (authn_server_) authn_server_->Stop();
 }
@@ -198,9 +293,22 @@ ServiceRuntime::RobustnessStats ServiceRuntime::TotalRobustnessStats() {
   }
   add(authn_server_->rpc_stats());
   add(authz_server_->rpc_stats());
-  add(naming_server_->rpc_stats());
+  for (const auto& server : naming_servers_) add(server->rpc_stats());
+  for (const auto& server : standby_servers_) add(server->rpc_stats());
   add(lock_server_->rpc_stats());
   total.faults = fabric_.injector().TotalCounters();
+  return total;
+}
+
+ServiceRuntime::TakeoverStats ServiceRuntime::TotalTakeoverStats() const {
+  TakeoverStats total;
+  auto add = [&total](const NamingServer& server) {
+    total.takeovers += server.takeovers();
+    total.replayed += server.takeover_replayed();
+    total.replay_errors += server.takeover_replay_errors();
+  };
+  for (const auto& server : naming_servers_) add(*server);
+  for (const auto& server : standby_servers_) add(*server);
   return total;
 }
 
@@ -211,7 +319,12 @@ std::vector<rpc::OpStats> ServiceRuntime::TotalOpStats() const {
   }
   rpc::MergeOpStats(total, authn_server_->op_stats());
   rpc::MergeOpStats(total, authz_server_->op_stats());
-  rpc::MergeOpStats(total, naming_server_->op_stats());
+  for (const auto& server : naming_servers_) {
+    rpc::MergeOpStats(total, server->op_stats());
+  }
+  for (const auto& server : standby_servers_) {
+    rpc::MergeOpStats(total, server->op_stats());
+  }
   rpc::MergeOpStats(total, lock_server_->op_stats());
   return total;
 }
@@ -220,7 +333,7 @@ Status ServiceRuntime::SaveNamingSnapshot() {
   if (options_.naming_snapshot_file.empty()) {
     return FailedPrecondition("no naming_snapshot_file configured");
   }
-  Buffer snapshot = naming_service_->Serialize();
+  Buffer snapshot = naming_services_[0]->Serialize();
   std::ofstream out(options_.naming_snapshot_file,
                     std::ios::binary | std::ios::trunc);
   if (!out) return Internal("cannot open naming snapshot file");

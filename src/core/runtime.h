@@ -7,6 +7,7 @@
 // this.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,6 +78,20 @@ struct RuntimeOptions {
   };
   ReplicationOptions replication;
 
+  /// Sharded metadata plane (DESIGN.md §16): number of naming shards.  The
+  /// namespace partitions by leaf-path hash over a deterministic
+  /// consistent-hash ring; each shard hosts its own replica-registry slice
+  /// (striped oid space).  1 = the classic single naming server, with
+  /// identical behavior and oid sequences.
+  std::uint32_t naming_shards = 1;
+  /// Give every shard a warm standby that tails the shard's committed-op
+  /// log and takes over (log replay + map promote) when the primary dies.
+  bool naming_standby = false;
+  /// Modeled per-metadata-op service cost, charged by the owning shard
+  /// (bench/fig10 --shards drives each shard's busy-clock through this so
+  /// the shard-scaling sweep is host-independent).
+  std::function<void(std::uint32_t shard)> naming_op_delay;
+
   /// Time source for the whole deployment (nullptr = real time).  Fans into
   /// the fabric (injected delivery delays), every RPC server and client,
   /// the storage servers' schedulers/medium model, and — unless a caller
@@ -110,7 +125,7 @@ class ServiceRuntime {
   [[nodiscard]] util::Clock* clock() const { return clock_; }
   [[nodiscard]] security::AuthnService& authn() { return *authn_service_; }
   [[nodiscard]] security::AuthzService& authz() { return *authz_service_; }
-  [[nodiscard]] naming::NamingService& naming() { return *naming_service_; }
+  [[nodiscard]] naming::NamingService& naming() { return *naming_services_[0]; }
   [[nodiscard]] txn::LockTable& locks() { return lock_table_; }
   [[nodiscard]] int storage_count() const {
     return static_cast<int>(storage_servers_.size());
@@ -118,9 +133,34 @@ class ServiceRuntime {
   [[nodiscard]] StorageServer& storage_server(int i) {
     return *storage_servers_[static_cast<std::size_t>(i)];
   }
-  [[nodiscard]] NamingServer& naming_server() { return *naming_server_; }
-  /// The replica registry hosted by the naming server.
-  [[nodiscard]] naming::ReplicaMap& replica_map() { return *replica_map_; }
+  [[nodiscard]] NamingServer& naming_server() { return *naming_servers_[0]; }
+  [[nodiscard]] NamingServer& naming_server(std::uint32_t shard) {
+    return *naming_servers_[shard];
+  }
+  /// Shard `shard`'s warm standby; nullptr when naming_standby is off.
+  [[nodiscard]] NamingServer* naming_standby_server(std::uint32_t shard) {
+    return shard < standby_servers_.size() ? standby_servers_[shard].get()
+                                           : nullptr;
+  }
+  [[nodiscard]] std::uint32_t naming_shard_count() const {
+    return static_cast<std::uint32_t>(naming_servers_.size());
+  }
+  /// The deployment's authoritative shard map (epoch bumps on takeover).
+  [[nodiscard]] const std::shared_ptr<naming::ShardMap>& shard_map() const {
+    return shard_map_;
+  }
+  /// The replica registry hosted by the naming server (shard 0).
+  [[nodiscard]] naming::ReplicaMap& replica_map() { return *replica_maps_[0]; }
+  [[nodiscard]] naming::ReplicaMap& replica_map(std::uint32_t shard) {
+    return *replica_maps_[shard];
+  }
+  /// Standby takeover counters summed over every naming endpoint.
+  struct TakeoverStats {
+    std::uint64_t takeovers = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t replay_errors = 0;
+  };
+  [[nodiscard]] TakeoverStats TotalTakeoverStats() const;
   /// The background chunk replicator; drive it with RunScan().
   [[nodiscard]] ChunkReplicator& replicator() { return *replicator_; }
   [[nodiscard]] AuthnServer& authn_server() { return *authn_server_; }
@@ -158,16 +198,24 @@ class ServiceRuntime {
   Deployment deployment_;
 
   security::TableAuthenticator users_;
-  std::unique_ptr<naming::ReplicaMap> replica_map_;
+  std::shared_ptr<naming::ShardMap> shard_map_;
+  std::vector<std::unique_ptr<naming::OpLog>> naming_oplogs_;
+  std::vector<std::unique_ptr<naming::ReplicaMap>> replica_maps_;
   std::unique_ptr<ChunkReplicator> replicator_;
   std::unique_ptr<security::AuthnService> authn_service_;
   std::unique_ptr<security::AuthzService> authz_service_;
-  std::unique_ptr<naming::NamingService> naming_service_;
+  std::vector<std::unique_ptr<naming::NamingService>> naming_services_;
   txn::LockTable lock_table_;
 
   std::unique_ptr<AuthnServer> authn_server_;
   std::unique_ptr<AuthzServer> authz_server_;
-  std::unique_ptr<NamingServer> naming_server_;
+  std::vector<std::unique_ptr<NamingServer>> naming_servers_;
+  // Warm standbys (parallel to naming_servers_; empty when standby off).
+  // A standby's service/registry start empty and WITHOUT the op log; its
+  // takeover replays the log, then attaches it (see NamingServer).
+  std::vector<std::unique_ptr<naming::NamingService>> standby_services_;
+  std::vector<std::unique_ptr<naming::ReplicaMap>> standby_replica_maps_;
+  std::vector<std::unique_ptr<NamingServer>> standby_servers_;
   std::unique_ptr<LockServer> lock_server_;
   std::vector<std::unique_ptr<storage::ObjectStore>> stores_;
   std::vector<std::unique_ptr<StorageServer>> storage_servers_;

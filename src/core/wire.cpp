@@ -145,6 +145,13 @@ std::vector<rpc::CodecCase> CoreWireCases() {
   cases.push_back(
       rpc::MakeCodecCase("rename_req", RenameReq{"/a/b/file", "/a/c"}));
   cases.push_back(rpc::MakeCodecCase("list_names_rep", list_names));
+  cases.push_back(rpc::MakeCodecCase("stage_unlink_req",
+                                     StageUnlinkReq{555, "/a/b/file"}));
+  ShardMapRep shard_map;
+  shard_map.epoch = 9;
+  shard_map.primaries = {3, 4, 5, 6};
+  shard_map.standbys = {7, 8, 0, 0};
+  cases.push_back(rpc::MakeCodecCase("shard_map_rep", shard_map));
   // Replica registry.
   cases.push_back(
       rpc::MakeCodecCase("replica_place_req", ReplicaPlaceReq{31337, 1, 3}));

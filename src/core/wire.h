@@ -890,6 +890,24 @@ struct StageLinkReq {
   }
 };
 
+struct StageUnlinkReq {
+  std::uint64_t txid = 0;
+  std::string path;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(txid);
+    enc.PutString(path);
+  }
+  static Result<StageUnlinkReq> Decode(Decoder& dec) {
+    auto txid = dec.GetU64();
+    auto path = dec.GetString();
+    if (!txid.ok() || !path.ok()) {
+      return InvalidArgument("malformed staged-unlink fields");
+    }
+    return StageUnlinkReq{*txid, std::move(*path)};
+  }
+};
+
 /// Lookup, unlink, rmdir, and list requests are all just a path.
 struct PathReq {
   std::string path;
@@ -972,6 +990,48 @@ struct ListNamesRep {
   }
 };
 
+/// Epoch-stamped shard-map snapshot: which nid is the active primary (and
+/// which the standby) for each metadata shard.  Any live shard serves it;
+/// clients refresh after a kWrongShard rejection and compare epochs.
+struct ShardMapRep {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> primaries;  // nid per shard
+  std::vector<std::uint32_t> standbys;   // kInvalidNid when absent
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(epoch);
+    enc.PutU32(static_cast<std::uint32_t>(primaries.size()));
+    for (std::size_t i = 0; i < primaries.size(); ++i) {
+      enc.PutU32(primaries[i]);
+      enc.PutU32(i < standbys.size() ? standbys[i] : 0);
+    }
+  }
+  static Result<ShardMapRep> Decode(Decoder& dec) {
+    auto epoch = dec.GetU64();
+    auto count = dec.GetU32();
+    if (!epoch.ok() || !count.ok()) {
+      return InvalidArgument("malformed shard-map fields");
+    }
+    if (*count > dec.remaining() / 8) {
+      return InvalidArgument("shard count exceeds payload");
+    }
+    ShardMapRep rep;
+    rep.epoch = *epoch;
+    rep.primaries.reserve(*count);
+    rep.standbys.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto primary = dec.GetU32();
+      auto standby = dec.GetU32();
+      if (!primary.ok() || !standby.ok()) {
+        return InvalidArgument("malformed shard entry");
+      }
+      rep.primaries.push_back(*primary);
+      rep.standbys.push_back(*standby);
+    }
+    return rep;
+  }
+};
+
 inline constexpr rpc::OpDef kNameMkdirOp{kOpNameMkdir, "name_mkdir"};
 inline constexpr rpc::OpDef kNameLinkOp{kOpNameLink, "name_link"};
 inline constexpr rpc::OpDef kNameStageLinkOp{kOpNameStageLink,
@@ -981,6 +1041,10 @@ inline constexpr rpc::OpDef kNameUnlinkOp{kOpNameUnlink, "name_unlink"};
 inline constexpr rpc::OpDef kNameRmdirOp{kOpNameRmdir, "name_rmdir"};
 inline constexpr rpc::OpDef kNameRenameOp{kOpNameRename, "name_rename"};
 inline constexpr rpc::OpDef kNameListOp{kOpNameList, "name_list"};
+inline constexpr rpc::OpDef kNameStageUnlinkOp{kOpNameStageUnlink,
+                                               "name_stage_unlink"};
+inline constexpr rpc::OpDef kNameShardMapOp{kOpNameShardMap,
+                                            "name_shard_map"};
 
 // ---------------------------------------------------------------------------
 // Replica registry (naming service)

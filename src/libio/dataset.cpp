@@ -161,6 +161,27 @@ Status Dataset::WriteSlab(std::span<const std::uint64_t> start,
   return OkStatus();
 }
 
+Status Dataset::WriteSlabSlice(std::span<const std::uint64_t> start,
+                               std::span<const std::uint64_t> count,
+                               const util::SharedSlice& data) {
+  auto runs = MapHyperslab(spec_, start, count);
+  if (!runs.ok()) return runs.status();
+  std::uint64_t consumed = 0;
+  for (const SlabRun& run : *runs) consumed += run.length;
+  if (consumed != data.size()) {
+    return InvalidArgument("data size does not match hyperslab");
+  }
+  std::uint64_t pos = 0;
+  for (const SlabRun& run : *runs) {
+    LWFS_RETURN_IF_ERROR(fs_->WriteSlice(
+        file_, run.file_offset,
+        data.Slice(static_cast<std::size_t>(pos),
+                   static_cast<std::size_t>(run.length))));
+    pos += run.length;
+  }
+  return OkStatus();
+}
+
 Result<Buffer> Dataset::ReadSlab(std::span<const std::uint64_t> start,
                                  std::span<const std::uint64_t> count) {
   auto runs = MapHyperslab(spec_, start, count);

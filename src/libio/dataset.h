@@ -60,6 +60,14 @@ class Dataset {
   Status WriteSlab(std::span<const std::uint64_t> start,
                    std::span<const std::uint64_t> count, ByteSpan data);
 
+  /// Zero-copy WriteSlab: each contiguous run goes out as an O(1)
+  /// sub-slice of `data` (no staging copy on either side), and the slice
+  /// keeps the slab alive until every run retires.  Non-owned slices fall
+  /// back to the span path.
+  Status WriteSlabSlice(std::span<const std::uint64_t> start,
+                        std::span<const std::uint64_t> count,
+                        const util::SharedSlice& data);
+
   /// Read the hyperslab into a freshly allocated buffer.
   Result<Buffer> ReadSlab(std::span<const std::uint64_t> start,
                           std::span<const std::uint64_t> count);

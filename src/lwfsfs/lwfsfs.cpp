@@ -47,6 +47,10 @@ struct FileIo::State {
   bool is_read = false;
   std::uint64_t offset = 0;
   ByteSpan data{};          // write payload
+  // Ref-counted write payload (WriteSliceAsync): chunks register O(1)
+  // sub-slices of this for the server pull instead of raw spans, and the
+  // slice keeps the payload alive past caller scope.
+  util::SharedSlice data_slice{};
   MutableByteSpan out{};    // read destination
 
   // kPosix: the byte-range lock is acquired lazily in Await() so a driver
@@ -368,10 +372,18 @@ Status LwfsFs::IssueFileChunk(FileIo::State& s) {
     s.inflight.push_back(
         FileIo::State::Issued{std::move(*io), span, chunk.length});
   } else {
-    auto io = client_->WriteObjectAsync(
-        chunk.server, cap_, chunk.oid, chunk.object_offset,
-        s.data.subspan(chunk.span_offset,
-                       static_cast<std::size_t>(chunk.length)));
+    Result<core::PendingIo> io = InvalidArgument("unplanned chunk");
+    if (s.data_slice.owned()) {
+      io = client_->WriteObjectSliceAsync(
+          chunk.server, cap_, chunk.oid, chunk.object_offset,
+          s.data_slice.Slice(chunk.span_offset,
+                             static_cast<std::size_t>(chunk.length)));
+    } else {
+      io = client_->WriteObjectAsync(
+          chunk.server, cap_, chunk.oid, chunk.object_offset,
+          s.data.subspan(chunk.span_offset,
+                         static_cast<std::size_t>(chunk.length)));
+    }
     if (!io.ok()) return io.status();
     s.inflight.push_back(
         FileIo::State::Issued{std::move(*io), MutableByteSpan{},
@@ -405,6 +417,49 @@ Result<FileIo> LwfsFs::WriteAsync(FileHandle& file, std::uint64_t offset,
 
   // No chunk may go out before the lock is held; kPosix defers issuance
   // to Await().  Otherwise prime the window now for overlap.
+  while (!s.need_lock && s.inflight.size() < options_.io_window &&
+         s.next_chunk < s.chunks.size()) {
+    Status issued = IssueFileChunk(s);
+    if (!issued.ok()) {
+      (void)io.Await();  // drain before reporting
+      return issued;
+    }
+  }
+  return io;
+}
+
+Status LwfsFs::WriteSlice(FileHandle& file, std::uint64_t offset,
+                          const util::SharedSlice& data) {
+  auto io = WriteSliceAsync(file, offset, data);
+  if (!io.ok()) return io.status();
+  auto n = io->Await();
+  return n.ok() ? OkStatus() : n.status();
+}
+
+Result<FileIo> LwfsFs::WriteSliceAsync(FileHandle& file, std::uint64_t offset,
+                                       const util::SharedSlice& data) {
+  FileIo io;
+  io.state_ = std::make_unique<FileIo::State>();
+  FileIo::State& s = *io.state_;
+  s.fs = this;
+  s.file = &file;
+  s.is_read = false;
+  s.offset = offset;
+  s.data = data.span();
+  s.data_slice = data;  // before priming: every chunk rides the slice path
+  s.need_lock = options_.consistency == FsConsistency::kPosix;
+
+  const auto chunks = pfs::MapExtent(
+      file.stripe_size, static_cast<std::uint32_t>(file.stripes.size()),
+      offset, data.size());
+  s.chunks.reserve(chunks.size());
+  for (const pfs::StripeChunk& chunk : chunks) {
+    const pfs::StripeTarget& target = file.stripes[chunk.stripe_index];
+    s.chunks.push_back(FileIo::State::Chunk{
+        target.ost_index, target.oid, chunk.object_offset, chunk.length,
+        static_cast<std::size_t>(chunk.file_offset - offset)});
+  }
+
   while (!s.need_lock && s.inflight.size() < options_.io_window &&
          s.next_chunk < s.chunks.size()) {
     Status issued = IssueFileChunk(s);

@@ -124,6 +124,13 @@ class LwfsFs {
   /// lock first.
   Result<FileIo> WriteAsync(FileHandle& file, std::uint64_t offset,
                             ByteSpan data);
+  /// Zero-copy write: each per-stripe chunk registers an O(1) sub-slice of
+  /// `data` for the storage server's pull, and the slice keeps the payload
+  /// alive past caller scope.  Non-owned slices fall back to the span path.
+  Status WriteSlice(FileHandle& file, std::uint64_t offset,
+                    const util::SharedSlice& data);
+  Result<FileIo> WriteSliceAsync(FileHandle& file, std::uint64_t offset,
+                                 const util::SharedSlice& data);
   Result<FileIo> ReadAsync(FileHandle& file, std::uint64_t offset,
                            MutableByteSpan out);
   Status Truncate(FileHandle& file, std::uint64_t size);

@@ -24,8 +24,15 @@ Result<std::vector<std::string>> SplitPath(std::string_view path) {
   return parts;
 }
 
-NamingService::NamingService()
-    : root_(std::make_unique<Node>()), participant_("naming") {}
+NamingService::NamingService(std::string participant_name, OpLog* oplog)
+    : root_(std::make_unique<Node>()),
+      participant_(std::move(participant_name)),
+      oplog_(oplog) {}
+
+void NamingService::SetOpLog(OpLog* oplog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  oplog_ = oplog;
+}
 
 NamingService::Node* NamingService::WalkLocked(
     const std::vector<std::string>& parts) const {
@@ -60,6 +67,13 @@ Status NamingService::Mkdir(std::string_view path, bool recursive) {
       node = it->second.get();
     }
   }
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kMkdir;
+    rec.a = std::string(path);
+    rec.flag = recursive;
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -81,6 +95,13 @@ Status NamingService::Link(std::string_view path,
   node->ref = ref;
   dir->children.emplace(leaf, std::move(node));
   ++links_;
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kLink;
+    rec.a = std::string(path);
+    rec.ref = ref;
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -94,6 +115,26 @@ Status NamingService::StageLink(txn::TxnId txid, std::string_view path,
   std::string owned_path(path);
   participant_.StageApply(
       txid, [this, owned_path, ref] { return Link(owned_path, ref); });
+  return OkStatus();
+}
+
+Status NamingService::StageUnlink(txn::TxnId txid, std::string_view path) {
+  // Validate eagerly so obvious errors surface before commit time; the name
+  // stays visible (and unlinked-able by others) until the decision lands —
+  // the coordinator's prepare vote is what fences concurrent writers.
+  auto parts = SplitPath(path);
+  if (!parts.ok()) return parts.status();
+  if (parts->empty()) return InvalidArgument("cannot unlink root");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node* node = WalkLocked(*parts);
+    if (node == nullptr) return NotFound("no such name");
+    if (node->is_directory) return InvalidArgument("is a directory");
+  }
+  participant_.Join(txid);
+  std::string owned_path(path);
+  participant_.StageApply(txid,
+                          [this, owned_path] { return Unlink(owned_path); });
   return OkStatus();
 }
 
@@ -119,6 +160,12 @@ Status NamingService::Unlink(std::string_view path) {
   if (it == dir->children.end()) return NotFound("no such name");
   if (it->second->is_directory) return InvalidArgument("is a directory");
   dir->children.erase(it);
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kUnlink;
+    rec.a = std::string(path);
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -137,6 +184,12 @@ Status NamingService::Rmdir(std::string_view path) {
     return FailedPrecondition("directory not empty");
   }
   dir->children.erase(it);
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kRmdir;
+    rec.a = std::string(path);
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -164,6 +217,13 @@ Status NamingService::Rename(std::string_view from, std::string_view to) {
   }
   dst_dir->children.emplace(to_parts->back(), std::move(src->second));
   src_dir->children.erase(src);
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kRename;
+    rec.a = std::string(from);
+    rec.b = std::string(to);
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -188,6 +248,31 @@ bool NamingService::Exists(std::string_view path) const {
   if (!parts.ok()) return false;
   std::lock_guard<std::mutex> lock(mutex_);
   return WalkLocked(*parts) != nullptr;
+}
+
+bool NamingService::IsDirectory(std::string_view path) const {
+  auto parts = SplitPath(path);
+  if (!parts.ok()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = WalkLocked(*parts);
+  return node != nullptr && node->is_directory;
+}
+
+Status NamingService::Replay(const OpRecord& record) {
+  switch (record.kind) {
+    case OpRecord::Kind::kMkdir:
+      return Mkdir(record.a, record.flag);
+    case OpRecord::Kind::kLink:
+      return Link(record.a, record.ref);
+    case OpRecord::Kind::kUnlink:
+      return Unlink(record.a);
+    case OpRecord::Kind::kRmdir:
+      return Rmdir(record.a);
+    case OpRecord::Kind::kRename:
+      return Rename(record.a, record.b);
+    default:
+      return InvalidArgument("not a namespace record");
+  }
 }
 
 std::uint64_t NamingService::link_count() const {

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "naming/op_log.h"
 #include "storage/ids.h"
 #include "txn/two_phase.h"
 #include "util/bytes.h"
@@ -38,7 +39,14 @@ struct DirEntry {
 
 class NamingService {
  public:
-  NamingService();
+  /// `participant_name` is this service's identity at the 2PC coordinator
+  /// ("naming" for a single-shard deployment, "naming<i>" for shard i —
+  /// recovery matches journal records to participants by name).  `oplog`,
+  /// when set, receives a record for every committed mutation *before* the
+  /// mutating call returns, so a warm standby replaying the log loses no
+  /// acknowledged operation.
+  explicit NamingService(std::string participant_name = "naming",
+                         OpLog* oplog = nullptr);
 
   /// Create a directory (and parents with `recursive`).
   Status Mkdir(std::string_view path, bool recursive = false);
@@ -52,6 +60,12 @@ class NamingService {
   Status StageLink(txn::TxnId txid, std::string_view path,
                    const storage::ObjectRef& ref);
 
+  /// Stage an unlink inside transaction `txid`: the name stays visible
+  /// until commit.  The other half of an atomic cross-shard rename (the
+  /// destination shard stages the link, the source shard stages the
+  /// unlink, and the journalled 2PC decision flips both together).
+  Status StageUnlink(txn::TxnId txid, std::string_view path);
+
   Result<storage::ObjectRef> Lookup(std::string_view path) const;
 
   Status Unlink(std::string_view path);
@@ -64,6 +78,20 @@ class NamingService {
   Result<std::vector<DirEntry>> List(std::string_view dir_path) const;
 
   [[nodiscard]] bool Exists(std::string_view path) const;
+
+  /// True iff `path` exists and is a directory (used by shard servers to
+  /// reject directory renames that cannot be atomic under partitioning).
+  [[nodiscard]] bool IsDirectory(std::string_view path) const;
+
+  /// Standby replay: apply one op-log record through the normal mutators.
+  /// Call only while no op log is attached (a standby attaches the log via
+  /// SetOpLog *after* catching up, so replay never re-logs).
+  Status Replay(const OpRecord& record);
+
+  /// Attach (or detach) the committed-mutation log.  A shard primary is
+  /// constructed with the log; its standby starts detached, replays, then
+  /// attaches before taking traffic.
+  void SetOpLog(OpLog* oplog);
 
   /// The two-phase-commit participant representing this service.
   [[nodiscard]] txn::Participant* participant() { return &participant_; }
@@ -100,6 +128,7 @@ class NamingService {
   std::unique_ptr<Node> root_;
   std::uint64_t links_ = 0;
   txn::StagedParticipant participant_;
+  OpLog* oplog_ = nullptr;  // guarded by mutex_; appended under the lock
 };
 
 }  // namespace lwfs::naming

@@ -1,0 +1,81 @@
+// Metadata operation log: the journal a warm standby tails.
+//
+// Every *committed* namespace or replica-registry mutation on a shard
+// primary is appended here before the operation is acknowledged, so a
+// standby that replays the log to its end reconstructs exactly the
+// committed state — nothing a client saw succeed can be lost across a
+// takeover.  Prepared-but-undecided 2PC state is deliberately NOT logged:
+// it is volatile by the participant contract and resolves via the
+// coordinator's presumed-abort recovery, the same way a primary restart
+// resolves it.
+//
+// The log is an in-process structure (the deployment's shared memory);
+// a durable deployment would back it with a journal object the same way
+// txn::Journal is an object on a storage server.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/ids.h"
+
+namespace lwfs::naming {
+
+/// One committed mutation.  A single record type covers both the namespace
+/// tree and the replica registry so a shard's standby replays one ordered
+/// stream; unused fields stay at their defaults.
+struct OpRecord {
+  enum class Kind : std::uint8_t {
+    kMkdir,               // a = path, flag = recursive
+    kLink,                // a = path, ref
+    kUnlink,              // a = path
+    kRmdir,               // a = path
+    kRename,              // a = from, b = to
+    kReplicaPlace,        // u0 = cid, s0 = preferred, s1 = factor, u1 = oid
+    kReplicaReportStale,  // u0 = oid, u1 = version, members = stale
+    kReplicaMarkRepaired, // u0 = oid, u1 = version, s0 = member
+    kReplicaHoldings,     // s0 = server, pairs = (oid, version)
+  };
+
+  Kind kind = Kind::kMkdir;
+  std::string a;
+  std::string b;
+  bool flag = false;
+  storage::ObjectRef ref{};
+  std::uint64_t u0 = 0;
+  std::uint64_t u1 = 0;
+  std::uint32_t s0 = 0;
+  std::uint32_t s1 = 0;
+  std::vector<std::uint32_t> members;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+};
+
+class OpLog {
+ public:
+  void Append(OpRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+  }
+
+  [[nodiscard]] std::uint64_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
+
+  /// Copy of every record at index >= `cursor`, in append order.
+  [[nodiscard]] std::vector<OpRecord> ReadFrom(std::uint64_t cursor) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cursor >= records_.size()) return {};
+    return {records_.begin() + static_cast<std::ptrdiff_t>(cursor),
+            records_.end()};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace lwfs::naming

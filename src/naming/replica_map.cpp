@@ -8,12 +8,19 @@ namespace {
 ReplicaMapOptions Sanitize(ReplicaMapOptions options) {
   if (options.servers == 0) options.servers = 1;
   if (options.default_factor == 0) options.default_factor = 1;
+  if (options.shard_count == 0) options.shard_count = 1;
+  if (options.shard_index >= options.shard_count) options.shard_index = 0;
   return options;
 }
 }  // namespace
 
-ReplicaMap::ReplicaMap(ReplicaMapOptions options)
-    : options_(Sanitize(options)) {}
+ReplicaMap::ReplicaMap(ReplicaMapOptions options, OpLog* oplog)
+    : options_(Sanitize(options)), oplog_(oplog) {}
+
+void ReplicaMap::SetOpLog(OpLog* oplog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  oplog_ = oplog;
+}
 
 Result<ReplicaPlacement> ReplicaMap::Place(storage::ContainerId cid,
                                            std::uint32_t preferred,
@@ -58,12 +65,27 @@ Result<ReplicaPlacement> ReplicaMap::Place(storage::ContainerId cid,
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
-  const storage::ObjectId oid{storage::kReplicatedOidBit | next_seq_++};
+  // Shard-striped sequence: shard i of N mints seq*N+i, so oid % N names
+  // the owning shard and shards never collide (N=1 degenerates to the
+  // original dense sequence).
+  const storage::ObjectId oid{
+      storage::kReplicatedOidBit |
+      (next_seq_ * options_.shard_count + options_.shard_index)};
+  ++next_seq_;
   Entry entry;
   entry.cid = cid;
   entry.chain = chain;
   auto [it, inserted] = entries_.emplace(oid, std::move(entry));
   if (!inserted) return Internal("replica id collision");
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kReplicaPlace;
+    rec.u0 = cid.value;
+    rec.s0 = preferred;
+    rec.s1 = factor;
+    rec.u1 = oid.value;
+    oplog_->Append(std::move(rec));
+  }
   return ToPlacement(oid, it->second);
 }
 
@@ -71,7 +93,17 @@ Result<ReplicaPlacement> ReplicaMap::Lookup(storage::ObjectId oid) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(oid);
   if (it == entries_.end()) return NotFound("unknown replicated object");
-  return ToPlacement(oid, it->second);
+  ReplicaPlacement placement = ToPlacement(oid, it->second);
+  // Read-path ordering: demote known-stale members to the back (stable
+  // within each group) so hedged/failover readers try current bytes first.
+  if (!it->second.stale.empty()) {
+    std::stable_partition(placement.chain.begin(), placement.chain.end(),
+                          [&](std::uint32_t member) {
+                            return it->second.stale.count(member) == 0;
+                          });
+    if (placement.chain != it->second.chain) ++stale_demotions_;
+  }
+  return placement;
 }
 
 Status ReplicaMap::ReportStale(storage::ObjectId oid, std::uint64_t version,
@@ -87,6 +119,14 @@ Status ReplicaMap::ReportStale(storage::ObjectId oid, std::uint64_t version,
       entry.stale.insert(member);
     }
   }
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kReplicaReportStale;
+    rec.u0 = oid.value;
+    rec.u1 = version;
+    rec.members = stale;
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -97,6 +137,14 @@ Status ReplicaMap::MarkRepaired(storage::ObjectId oid, std::uint32_t member,
   if (it == entries_.end()) return NotFound("unknown replicated object");
   Entry& entry = it->second;
   if (version >= entry.committed_version) entry.stale.erase(member);
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kReplicaMarkRepaired;
+    rec.u0 = oid.value;
+    rec.u1 = version;
+    rec.s0 = member;
+    oplog_->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -121,6 +169,16 @@ void ReplicaMap::ReportHoldings(
     } else {
       entry.stale.insert(server);
     }
+  }
+  if (oplog_ != nullptr) {
+    OpRecord rec;
+    rec.kind = OpRecord::Kind::kReplicaHoldings;
+    rec.s0 = server;
+    rec.pairs.reserve(held.size());
+    for (const auto& [oid, version] : held) {
+      rec.pairs.emplace_back(oid.value, version);
+    }
+    oplog_->Append(std::move(rec));
   }
 }
 
@@ -155,6 +213,41 @@ std::vector<ReplicaPlacement> ReplicaMap::Snapshot() const {
   out.reserve(entries_.size());
   for (const auto& [oid, entry] : entries_) out.push_back(ToPlacement(oid, entry));
   return out;
+}
+
+std::uint64_t ReplicaMap::stale_demotions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stale_demotions_;
+}
+
+Status ReplicaMap::Replay(const OpRecord& record) {
+  switch (record.kind) {
+    case OpRecord::Kind::kReplicaPlace: {
+      auto placement = Place(storage::ContainerId{record.u0}, record.s0,
+                             record.s1);
+      if (!placement.ok()) return placement.status();
+      if (placement->oid.value != record.u1) {
+        return Internal("replayed placement minted a different oid");
+      }
+      return OkStatus();
+    }
+    case OpRecord::Kind::kReplicaReportStale:
+      return ReportStale(storage::ObjectId{record.u0}, record.u1,
+                         record.members);
+    case OpRecord::Kind::kReplicaMarkRepaired:
+      return MarkRepaired(storage::ObjectId{record.u0}, record.s0, record.u1);
+    case OpRecord::Kind::kReplicaHoldings: {
+      std::vector<std::pair<storage::ObjectId, std::uint64_t>> held;
+      held.reserve(record.pairs.size());
+      for (const auto& [oid, version] : record.pairs) {
+        held.emplace_back(storage::ObjectId{oid}, version);
+      }
+      ReportHoldings(record.s0, held);
+      return OkStatus();
+    }
+    default:
+      return InvalidArgument("not a registry record");
+  }
 }
 
 ReplicaPlacement ReplicaMap::ToPlacement(storage::ObjectId oid,

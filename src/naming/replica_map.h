@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "naming/op_log.h"
 #include "storage/ids.h"
 #include "util/status.h"
 
@@ -36,6 +37,13 @@ struct ReplicaMapOptions {
   std::uint32_t default_factor = 1;
   /// Servers per rack for placement spread; <= 1 disables rack awareness.
   std::uint32_t rack_size = 2;
+  /// Identity of the metadata shard hosting this registry.  Shard i of N
+  /// mints oids of the form bit62 | (seq * N + i), so every replicated oid
+  /// names its owning shard statelessly (ShardMap::ShardForOid is a modulo)
+  /// and shards never collide.  The defaults reproduce the unsharded oid
+  /// sequence exactly.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 /// One registry entry, snapshot form.
@@ -58,7 +66,10 @@ struct ReplicaAuditCounts {
 
 class ReplicaMap {
  public:
-  explicit ReplicaMap(ReplicaMapOptions options);
+  /// `oplog`, when set, records every committed registry mutation before
+  /// the mutating call returns (see NamingService: commit-before-ack, so a
+  /// warm standby replaying the log loses nothing acknowledged).
+  explicit ReplicaMap(ReplicaMapOptions options, OpLog* oplog = nullptr);
 
   /// Allocate a replicated oid (kReplicatedOidBit | counter) and its chain.
   /// The chain starts at `preferred % servers` and spreads across racks.
@@ -66,6 +77,11 @@ class ReplicaMap {
                                  std::uint32_t preferred,
                                  std::uint32_t factor);
 
+  /// Registry read path.  Known-stale members are demoted to the back of
+  /// the returned chain (stable order within each group) so hedged and
+  /// failover reads try current members first; `stale_demotions()` counts
+  /// lookups that reordered.  Snapshot()/UnderReplicated() keep registry
+  /// order — the repair scanner wants the truth, not the read preference.
   Result<ReplicaPlacement> Lookup(storage::ObjectId oid) const;
 
   /// Degraded-write report: `stale` members missed the write committed at
@@ -95,6 +111,17 @@ class ReplicaMap {
 
   [[nodiscard]] const ReplicaMapOptions& options() const { return options_; }
 
+  /// Lookups whose chain was reordered because a member was stale.
+  [[nodiscard]] std::uint64_t stale_demotions() const;
+
+  /// Standby replay: apply one registry op-log record without re-logging
+  /// (call only while no op log is attached; see SetOpLog).
+  Status Replay(const OpRecord& record);
+
+  /// Attach (or detach) the committed-mutation log; a standby attaches it
+  /// only after catching up so replay never re-logs.
+  void SetOpLog(OpLog* oplog);
+
  private:
   struct Entry {
     storage::ContainerId cid;
@@ -110,6 +137,8 @@ class ReplicaMap {
   mutable std::mutex mutex_;
   std::uint64_t next_seq_ = 1;
   std::map<storage::ObjectId, Entry> entries_;
+  OpLog* oplog_ = nullptr;  // guarded by mutex_; appended under the lock
+  mutable std::uint64_t stale_demotions_ = 0;
 };
 
 }  // namespace lwfs::naming

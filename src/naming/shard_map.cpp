@@ -1,0 +1,126 @@
+#include "naming/shard_map.h"
+
+namespace lwfs::naming {
+
+namespace {
+
+// SplitMix64 finalizer: the ring-point generator.  Seed-free and
+// platform-independent, so placement is bit-identical everywhere.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Ring point for (shard, vnode): a pure function independent of the total
+// shard count, which is what makes growth minimal-movement — new shards add
+// points, existing points never move.
+std::uint64_t RingPoint(std::uint32_t shard, std::uint32_t vnode) {
+  return Mix64((static_cast<std::uint64_t>(shard) << 32) |
+               (static_cast<std::uint64_t>(vnode) + 1));
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::uint32_t vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+void ShardMap::AddShard(portals::Nid primary, portals::Nid standby) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(Shard{primary, standby});
+}
+
+std::uint32_t ShardMap::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::uint32_t>(shards_.size());
+}
+
+std::uint64_t ShardMap::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+ShardMap::Snapshot ShardMap::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Snapshot{epoch_, shards_};
+}
+
+std::uint32_t ShardMap::ShardForPath(std::string_view path) const {
+  return ShardForHash(HashPath(path), shard_count(), vnodes_);
+}
+
+std::uint32_t ShardMap::ShardForOid(storage::ObjectId oid) const {
+  const std::uint32_t count = shard_count();
+  if (count <= 1) return 0;
+  return static_cast<std::uint32_t>((oid.value & ~storage::kReplicatedOidBit) %
+                                    count);
+}
+
+bool ShardMap::IsActivePrimary(std::uint32_t shard, portals::Nid nid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shard < shards_.size() && shards_[shard].primary == nid;
+}
+
+bool ShardMap::IsStandby(std::uint32_t shard, portals::Nid nid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shard < shards_.size() && shards_[shard].standby == nid &&
+         nid != portals::kInvalidNid;
+}
+
+Status ShardMap::Promote(std::uint32_t shard, portals::Nid nid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= shards_.size()) return InvalidArgument("no such shard");
+  Shard& entry = shards_[shard];
+  if (entry.primary == nid) return OkStatus();  // already promoted
+  if (entry.standby != nid || nid == portals::kInvalidNid) {
+    return FailedPrecondition("nid is not this shard's standby");
+  }
+  entry.standby = entry.primary;  // the deposed (likely dead) primary
+  entry.primary = nid;
+  ++epoch_;
+  return OkStatus();
+}
+
+std::uint64_t ShardMap::HashPath(std::string_view path) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : path) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint32_t ShardMap::ShardForHash(std::uint64_t hash,
+                                     std::uint32_t shard_count,
+                                     std::uint32_t vnodes) {
+  if (shard_count <= 1) return 0;
+  if (vnodes == 0) vnodes = 1;
+  // Smallest ring point >= hash owns the key; wrap to the global minimum
+  // when the hash lies past every point.
+  std::uint32_t best_shard = 0;
+  std::uint64_t best_point = 0;
+  bool have_best = false;
+  std::uint32_t min_shard = 0;
+  std::uint64_t min_point = 0;
+  bool have_min = false;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    for (std::uint32_t v = 0; v < vnodes; ++v) {
+      const std::uint64_t p = RingPoint(s, v);
+      if (!have_min || p < min_point) {
+        min_point = p;
+        min_shard = s;
+        have_min = true;
+      }
+      if (p >= hash && (!have_best || p < best_point)) {
+        best_point = p;
+        best_shard = s;
+        have_best = true;
+      }
+    }
+  }
+  return have_best ? best_shard : min_shard;
+}
+
+}  // namespace lwfs::naming

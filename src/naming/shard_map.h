@@ -1,0 +1,88 @@
+// Consistent-hash shard map for the metadata plane.
+//
+// Partitions the namespace across N naming-server shards with a fixed
+// virtual-node hash ring: shard i owns every key whose hash lands on one of
+// its ring arcs.  The ring points are a pure function of (shard index,
+// vnode index), so two maps built with the same shard count place every key
+// identically (bit-determinism), and growing from N to N+1 shards only adds
+// points — keys move *to* the new shard or not at all (minimal movement).
+//
+// Each shard entry carries the active primary's nid plus an optional warm
+// standby.  `Promote` swaps them and bumps the epoch; clients cache
+// epoch-stamped snapshots and refresh on kWrongShard.
+//
+// Directory placement: directories are replicated on every shard (clients
+// fan Mkdir/Rmdir/List out), only leaf links are partitioned by full-path
+// hash — so any shard can resolve its own links without remote parent
+// lookups.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "portals/portals.h"
+#include "storage/ids.h"
+#include "util/status.h"
+
+namespace lwfs::naming {
+
+class ShardMap {
+ public:
+  static constexpr std::uint32_t kDefaultVnodes = 64;
+
+  struct Shard {
+    portals::Nid primary = portals::kInvalidNid;
+    portals::Nid standby = portals::kInvalidNid;
+  };
+
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::vector<Shard> shards;
+  };
+
+  explicit ShardMap(std::uint32_t vnodes = kDefaultVnodes);
+
+  /// Register the next shard (build time, before traffic).
+  void AddShard(portals::Nid primary,
+                portals::Nid standby = portals::kInvalidNid);
+
+  [[nodiscard]] std::uint32_t shard_count() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Owning shard for a full path (leaf links; directories live everywhere).
+  [[nodiscard]] std::uint32_t ShardForPath(std::string_view path) const;
+
+  /// Owning shard for a replicated oid.  Shards mint disjoint oid spaces
+  /// (seq * shard_count + shard_index under bit 62), so ownership decodes
+  /// statelessly from the oid itself.
+  [[nodiscard]] std::uint32_t ShardForOid(storage::ObjectId oid) const;
+
+  [[nodiscard]] bool IsActivePrimary(std::uint32_t shard,
+                                     portals::Nid nid) const;
+  [[nodiscard]] bool IsStandby(std::uint32_t shard, portals::Nid nid) const;
+
+  /// Fail the shard over to `nid` (its registered standby): the standby
+  /// becomes primary, the deposed primary becomes the (dead) standby, and
+  /// the epoch advances so cached client snapshots go stale.
+  Status Promote(std::uint32_t shard, portals::Nid nid);
+
+  /// FNV-1a 64 of the path bytes (deterministic, seed-free).
+  static std::uint64_t HashPath(std::string_view path);
+
+  /// Ring lookup for `hash` over `shard_count` shards — pure function, used
+  /// by the determinism/minimal-movement tests and the instance methods.
+  static std::uint32_t ShardForHash(std::uint64_t hash,
+                                    std::uint32_t shard_count,
+                                    std::uint32_t vnodes = kDefaultVnodes);
+
+ private:
+  const std::uint32_t vnodes_;
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 1;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lwfs::naming

@@ -127,37 +127,61 @@ Result<std::uint64_t> PfsIo::Await() {
 // PfsClient
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Only transport-level failures move a metadata op to the other MDS
+/// endpoint.  Application-level answers (kNotFound, kAlreadyExists, ...)
+/// are real results and must not wake the standby.
+bool MdsFailoverWorthy(ErrorCode code) {
+  return code == ErrorCode::kTimeout || code == ErrorCode::kUnavailable;
+}
+
+}  // namespace
+
 PfsClient::PfsClient(std::shared_ptr<portals::Nic> nic,
                      PfsDeployment deployment, ConsistencyMode mode,
                      rpc::ClientOptions client_options)
     : deployment_(std::move(deployment)),
       mode_(mode),
-      rpc_(std::move(nic), client_options) {}
+      rpc_(std::move(nic), client_options),
+      active_mds_(deployment_.mds) {}
+
+template <typename Rep, typename Req>
+Result<Rep> PfsClient::CallMds(rpc::Opcode op, const Req& req) {
+  const portals::Nid first = active_mds_.load();
+  auto rep = rpc::CallTyped<Rep>(rpc_, first, op, req);
+  if (rep.ok() || !MdsFailoverWorthy(rep.status().code())) return rep;
+  const portals::Nid other =
+      first == deployment_.mds ? deployment_.mds_standby : deployment_.mds;
+  if (other == portals::kInvalidNid || other == first) return rep;
+  auto retry = rpc::CallTyped<Rep>(rpc_, other, op, req);
+  if (retry.ok() || !MdsFailoverWorthy(retry.status().code())) {
+    active_mds_.store(other);  // stick with the endpoint that answered
+    ++mds_failovers_;
+  }
+  return retry;
+}
 
 Result<OpenFile> PfsClient::Create(const std::string& path,
                                    std::uint32_t stripe_count) {
-  auto attr = rpc::CallTyped<wire::FileAttrRep>(
-      rpc_, deployment_.mds, kPfsCreate, wire::PfsCreateReq{path, stripe_count});
+  auto attr = CallMds<wire::FileAttrRep>(kPfsCreate,
+                                         wire::PfsCreateReq{path, stripe_count});
   if (!attr.ok()) return attr.status();
   return OpenFile{path, std::move(attr->attr)};
 }
 
 Result<OpenFile> PfsClient::Open(const std::string& path) {
-  auto attr = rpc::CallTyped<wire::FileAttrRep>(rpc_, deployment_.mds, kPfsOpen,
-                                                wire::PfsPathReq{path});
+  auto attr = CallMds<wire::FileAttrRep>(kPfsOpen, wire::PfsPathReq{path});
   if (!attr.ok()) return attr.status();
   return OpenFile{path, std::move(attr->attr)};
 }
 
 Status PfsClient::Unlink(const std::string& path) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.mds, kPfsUnlink,
-                                   wire::PfsPathReq{path})
-      .status();
+  return CallMds<rpc::Void>(kPfsUnlink, wire::PfsPathReq{path}).status();
 }
 
 Result<FileAttr> PfsClient::GetAttr(const std::string& path) {
-  auto attr = rpc::CallTyped<wire::FileAttrRep>(
-      rpc_, deployment_.mds, kPfsGetAttr, wire::PfsPathReq{path});
+  auto attr = CallMds<wire::FileAttrRep>(kPfsGetAttr, wire::PfsPathReq{path});
   if (!attr.ok()) return attr.status();
   return std::move(attr->attr);
 }
@@ -174,9 +198,8 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
       std::chrono::duration_cast<std::chrono::milliseconds>(
           rpc_.options().default_timeout));
   for (;;) {
-    auto rep = rpc::CallTyped<wire::PfsLockIdRep>(
-        rpc_, deployment_.mds, kPfsLockTry,
-        wire::PfsLockTryReq{ino, start, end, /*exclusive=*/true});
+    auto rep = CallMds<wire::PfsLockIdRep>(
+        kPfsLockTry, wire::PfsLockTryReq{ino, start, end, /*exclusive=*/true});
     if (rep.ok()) return rep->id;
     if (rep.status().code() != ErrorCode::kResourceExhausted) {
       return rep.status();
@@ -190,8 +213,7 @@ Result<txn::LockId> PfsClient::LockExtent(Ino ino, std::uint64_t start,
 }
 
 Status PfsClient::UnlockExtent(txn::LockId id) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.mds, kPfsLockRelease,
-                                   wire::PfsLockReleaseReq{id})
+  return CallMds<rpc::Void>(kPfsLockRelease, wire::PfsLockReleaseReq{id})
       .status();
 }
 
@@ -337,8 +359,8 @@ Result<PfsIo> PfsClient::ReadAsync(const OpenFile& file, std::uint64_t offset,
 }
 
 Status PfsClient::Sync(const OpenFile& file, std::uint64_t size_hint) {
-  return rpc::CallTyped<rpc::Void>(rpc_, deployment_.mds, kPfsSetSize,
-                                   wire::PfsSetSizeReq{file.path, size_hint})
+  return CallMds<rpc::Void>(kPfsSetSize,
+                            wire::PfsSetSizeReq{file.path, size_hint})
       .status();
 }
 

@@ -7,7 +7,9 @@
 // checkpoint throughput in Figure 9.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -32,6 +34,10 @@ enum class ConsistencyMode {
 
 struct PfsDeployment {
   portals::Nid mds = portals::kInvalidNid;
+  /// Warm standby for the MDS; kInvalidNid = none.  On a transport-level
+  /// failure of the active MDS (timeout / unavailable) the client retries
+  /// the op against the other endpoint and sticks with whichever answered.
+  portals::Nid mds_standby = portals::kInvalidNid;
   std::vector<portals::Nid> osts;
 };
 
@@ -116,6 +122,11 @@ class PfsClient {
   [[nodiscard]] ConsistencyMode mode() const { return mode_; }
   [[nodiscard]] rpc::ClientStats rpc_stats() const { return rpc_.stats(); }
 
+  /// Times a metadata op was retried against the other MDS endpoint.
+  [[nodiscard]] std::uint64_t mds_failovers() const {
+    return mds_failovers_.load();
+  }
+
   /// Per-opcode call/error tallies of the underlying RPC client.
   [[nodiscard]] std::map<rpc::Opcode, rpc::ClientOpTally> rpc_op_tallies()
       const {
@@ -124,6 +135,12 @@ class PfsClient {
 
  private:
   friend class PfsIo;
+
+  /// One MDS metadata round trip with standby failover: call the active
+  /// endpoint; on timeout/unavailable try the other one and remember
+  /// whichever answers.  Defined in client.cpp (all uses are local).
+  template <typename Rep, typename Req>
+  Result<Rep> CallMds(rpc::Opcode op, const Req& req);
 
   Result<txn::LockId> LockExtent(Ino ino, std::uint64_t start,
                                  std::uint64_t end);
@@ -137,6 +154,8 @@ class PfsClient {
   PfsDeployment deployment_;
   ConsistencyMode mode_;
   rpc::RpcClient rpc_;
+  std::atomic<portals::Nid> active_mds_;
+  std::atomic<std::uint64_t> mds_failovers_{0};
 };
 
 }  // namespace lwfs::pfs

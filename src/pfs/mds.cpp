@@ -47,6 +47,13 @@ Result<FileAttr> MdsService::Create(const std::string& path,
   }
   files_[path] = attr;
   ++creates_;
+  if (options_.oplog != nullptr) {
+    MdsOpRecord rec;
+    rec.kind = MdsOpRecord::Kind::kCreate;
+    rec.path = path;
+    rec.attr = attr;
+    options_.oplog->Append(std::move(rec));
+  }
   return attr;
 }
 
@@ -67,6 +74,12 @@ Status MdsService::Unlink(const std::string& path) {
     (void)ost_remove_(t.ost_index, t.oid);
   }
   files_.erase(it);
+  if (options_.oplog != nullptr) {
+    MdsOpRecord rec;
+    rec.kind = MdsOpRecord::Kind::kUnlink;
+    rec.path = path;
+    options_.oplog->Append(std::move(rec));
+  }
   return OkStatus();
 }
 
@@ -80,7 +93,44 @@ Status MdsService::SetSize(const std::string& path, std::uint64_t size) {
   auto it = files_.find(path);
   if (it == files_.end()) return NotFound("no such file");
   it->second.size = std::max(it->second.size, size);
+  if (options_.oplog != nullptr) {
+    MdsOpRecord rec;
+    rec.kind = MdsOpRecord::Kind::kSetSize;
+    rec.path = path;
+    rec.size = size;
+    options_.oplog->Append(std::move(rec));
+  }
   return OkStatus();
+}
+
+Status MdsService::Replay(const MdsOpRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (record.kind) {
+    case MdsOpRecord::Kind::kCreate: {
+      // Install the logged attr verbatim; the stripe objects already exist
+      // on the OSTs.  Advance the mint cursors so post-takeover creates
+      // continue the primary's sequences.
+      files_[record.path] = record.attr;
+      next_ino_ = std::max(next_ino_, record.attr.ino + 1);
+      if (!record.attr.layout.stripes.empty() && ost_count_ > 0) {
+        next_ost_ =
+            (record.attr.layout.stripes.back().ost_index + 1) % ost_count_;
+      }
+      return OkStatus();
+    }
+    case MdsOpRecord::Kind::kSetSize: {
+      auto it = files_.find(record.path);
+      if (it == files_.end()) return NotFound("no such file");
+      it->second.size = std::max(it->second.size, record.size);
+      return OkStatus();
+    }
+    case MdsOpRecord::Kind::kUnlink: {
+      // Namespace-only: the primary already removed the stripe objects.
+      files_.erase(record.path);
+      return OkStatus();
+    }
+  }
+  return InvalidArgument("unknown MDS log record");
 }
 
 Result<std::vector<std::string>> MdsService::List() const {

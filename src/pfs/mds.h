@@ -29,6 +29,43 @@ struct FileAttr {
   Layout layout;
 };
 
+/// One committed MDS mutation, as logged for the warm standby.  kCreate
+/// carries the full resulting attr (ino + layout), so replay installs the
+/// file without re-running the OST creates — the stripe objects already
+/// exist.
+struct MdsOpRecord {
+  enum class Kind : std::uint8_t { kCreate, kSetSize, kUnlink };
+  Kind kind = Kind::kCreate;
+  std::string path;
+  FileAttr attr;           // kCreate
+  std::uint64_t size = 0;  // kSetSize
+};
+
+/// Commit-before-ack log shared between an MDS primary and its warm
+/// standby: the primary appends every committed mutation before the call
+/// returns, the standby replays the log at takeover.  Thread-safe.
+class MdsLog {
+ public:
+  void Append(MdsOpRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+  }
+  [[nodiscard]] std::uint64_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
+  [[nodiscard]] std::vector<MdsOpRecord> ReadFrom(std::uint64_t cursor) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cursor >= records_.size()) return {};
+    return {records_.begin() + static_cast<std::ptrdiff_t>(cursor),
+            records_.end()};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<MdsOpRecord> records_;
+};
+
 struct MdsOptions {
   std::uint32_t default_stripe_size = 1 << 20;
   /// Extent-lock ranges are rounded out to multiples of this (Lustre-style
@@ -37,6 +74,9 @@ struct MdsOptions {
   /// Simulated per-metadata-op service cost; 0 in unit tests.  Models the
   /// MDS CPU+disk work that bounds create throughput on real systems.
   std::function<void()> create_delay_hook;
+  /// When set, every committed namespace mutation is appended before the
+  /// call returns (the standby's takeover source).
+  MdsLog* oplog = nullptr;
 };
 
 /// Creates stripe objects on an OST; the MDS is wired to the OST servers
@@ -72,6 +112,11 @@ class MdsService {
 
   [[nodiscard]] std::uint64_t creates_served() const;
   [[nodiscard]] std::uint64_t metadata_ops() const;
+
+  /// Apply one logged mutation (standby takeover).  kCreate installs the
+  /// logged attr without touching the OSTs; kUnlink drops the namespace
+  /// entry only (the primary already removed the stripe objects).
+  Status Replay(const MdsOpRecord& record);
 
  private:
   const std::uint32_t ost_count_;

@@ -8,11 +8,13 @@ namespace lwfs::pfs {
 MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
                      std::vector<portals::Nid> ost_nids,
                      MdsOptions mds_options, rpc::ServerOptions rpc_options,
-                     rpc::ClientOptions ost_client_options)
+                     rpc::ClientOptions ost_client_options,
+                     MdsStandbyConfig standby)
     : ost_nids_(std::move(ost_nids)),
       ost_client_(nic, ost_client_options),
       server_(std::move(nic), rpc_options),
-      ops_(&server_, "mds") {
+      ops_(&server_, "mds"),
+      standby_cfg_(std::move(standby)) {
   auto create_on_ost =
       [this](std::uint32_t ost) -> Result<storage::ObjectId> {
     if (ost >= ost_nids_.size()) return InvalidArgument("bad ost index");
@@ -36,6 +38,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
       wire::kPfsCreateOp,
       [this](rpc::ServerContext&,
              wire::PfsCreateReq& req) -> Result<wire::FileAttrRep> {
+        LWFS_RETURN_IF_ERROR(Admit());
         auto attr = service_->Create(req.path, req.stripes);
         if (!attr.ok()) return attr.status();
         return wire::FileAttrRep{std::move(*attr)};
@@ -45,6 +48,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
       wire::kPfsOpenOp,
       [this](rpc::ServerContext&,
              wire::PfsPathReq& req) -> Result<wire::FileAttrRep> {
+        LWFS_RETURN_IF_ERROR(Admit());
         auto attr = service_->Open(req.path);
         if (!attr.ok()) return attr.status();
         return wire::FileAttrRep{std::move(*attr)};
@@ -54,6 +58,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
       wire::kPfsGetAttrOp,
       [this](rpc::ServerContext&,
              wire::PfsPathReq& req) -> Result<wire::FileAttrRep> {
+        LWFS_RETURN_IF_ERROR(Admit());
         auto attr = service_->GetAttr(req.path);
         if (!attr.ok()) return attr.status();
         return wire::FileAttrRep{std::move(*attr)};
@@ -62,6 +67,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<wire::PfsPathReq, rpc::Void>(
       wire::kPfsUnlinkOp,
       [this](rpc::ServerContext&, wire::PfsPathReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit());
         LWFS_RETURN_IF_ERROR(service_->Unlink(req.path));
         return rpc::Void{};
       });
@@ -70,6 +76,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
       wire::kPfsSetSizeOp,
       [this](rpc::ServerContext&,
              wire::PfsSetSizeReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit());
         LWFS_RETURN_IF_ERROR(service_->SetSize(req.path, req.size));
         return rpc::Void{};
       });
@@ -77,6 +84,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
   ops_.On<rpc::Void, wire::PfsListRep>(
       wire::kPfsListOp,
       [this](rpc::ServerContext&, rpc::Void&) -> Result<wire::PfsListRep> {
+        LWFS_RETURN_IF_ERROR(Admit());
         auto names = service_->List();
         if (!names.ok()) return names.status();
         return wire::PfsListRep{std::move(*names)};
@@ -86,6 +94,7 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
       wire::kPfsLockTryOp,
       [this](rpc::ServerContext& ctx,
              wire::PfsLockTryReq& req) -> Result<wire::PfsLockIdRep> {
+        LWFS_RETURN_IF_ERROR(Admit());
         auto id = service_->TryLock(
             req.ino, req.start, req.end,
             req.exclusive ? txn::LockMode::kExclusive : txn::LockMode::kShared,
@@ -98,9 +107,38 @@ MdsServer::MdsServer(std::shared_ptr<portals::Nic> nic,
       wire::kPfsLockReleaseOp,
       [this](rpc::ServerContext&,
              wire::PfsLockReleaseReq& req) -> Result<rpc::Void> {
+        LWFS_RETURN_IF_ERROR(Admit());
         LWFS_RETURN_IF_ERROR(service_->ReleaseLock(req.id));
         return rpc::Void{};
       });
+}
+
+Status MdsServer::Admit() {
+  if (!standby_cfg_.active) return OkStatus();  // standalone MDS
+  if (standby_cfg_.active->load() == standby_cfg_.self) return OkStatus();
+  if (!standby_cfg_.standby) {
+    // Deposed primary: the standby already claimed the namespace.  Refuse
+    // so a lagging client fails over instead of reading stale state.
+    return Unavailable("mds deposed: standby took over");
+  }
+  return Takeover();
+}
+
+Status MdsServer::Takeover() {
+  std::lock_guard<std::mutex> lock(takeover_mutex_);
+  if (standby_cfg_.active->load() == standby_cfg_.self) return OkStatus();
+  if (standby_cfg_.log != nullptr) {
+    for (const MdsOpRecord& rec : standby_cfg_.log->ReadFrom(0)) {
+      if (service_->Replay(rec).ok()) {
+        ++takeover_replayed_;
+      } else {
+        ++takeover_replay_errors_;
+      }
+    }
+  }
+  standby_cfg_.active->store(standby_cfg_.self);
+  ++takeovers_;
+  return OkStatus();
 }
 
 Status MdsServer::Start() {

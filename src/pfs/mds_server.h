@@ -6,7 +6,10 @@
 // bottleneck.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pfs/mds.h"
@@ -16,13 +19,27 @@
 
 namespace lwfs::pfs {
 
+/// Warm-standby wiring for an MDS pair.  Primary and standby share one
+/// `active` cell (initialized to the primary's `self`) and one MdsLog; the
+/// standby stays passive until a client, having seen the primary time out,
+/// sends it a request — its first admitted op replays the log and flips
+/// `active` to itself.  The deposed primary then answers kUnavailable, so a
+/// lagging client refreshes instead of split-braining the namespace.
+struct MdsStandbyConfig {
+  bool standby = false;  ///< start passive, take over on first request
+  MdsLog* log = nullptr; ///< primary's commit-before-ack log (takeover source)
+  std::shared_ptr<std::atomic<int>> active;  ///< index of the live MDS
+  int self = 0;          ///< this server's index in `active`
+};
+
 class MdsServer {
  public:
   /// `ost_nids[i]` is the OST for stripe placement index i.
   MdsServer(std::shared_ptr<portals::Nic> nic,
             std::vector<portals::Nid> ost_nids, MdsOptions mds_options = {},
             rpc::ServerOptions rpc_options = {},
-            rpc::ClientOptions ost_client_options = {});
+            rpc::ClientOptions ost_client_options = {},
+            MdsStandbyConfig standby = {});
 
   Status Start();
   void Stop() { server_.Stop(); }
@@ -38,12 +55,33 @@ class MdsServer {
     return server_.RegisteredOpcodes();
   }
 
+  /// Standby takeover stats (0 on a standalone or never-promoted server).
+  [[nodiscard]] std::uint64_t takeovers() const { return takeovers_; }
+  [[nodiscard]] std::uint64_t takeover_replayed() const {
+    return takeover_replayed_;
+  }
+  [[nodiscard]] std::uint64_t takeover_replay_errors() const {
+    return takeover_replay_errors_;
+  }
+
  private:
+  /// Role gate run at the top of every handler.  Active server: OK.
+  /// Passive standby: replay the log, claim `active`, then OK.  Deposed
+  /// primary: kUnavailable (fencing).
+  Status Admit();
+  Status Takeover();
+
   std::vector<portals::Nid> ost_nids_;
   rpc::RpcClient ost_client_;
   std::unique_ptr<MdsService> service_;
   rpc::RpcServer server_;
   rpc::Service ops_;
+
+  MdsStandbyConfig standby_cfg_;
+  std::mutex takeover_mutex_;
+  std::atomic<std::uint64_t> takeovers_{0};
+  std::atomic<std::uint64_t> takeover_replayed_{0};
+  std::atomic<std::uint64_t> takeover_replay_errors_{0};
 };
 
 }  // namespace lwfs::pfs

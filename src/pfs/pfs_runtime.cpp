@@ -27,10 +27,34 @@ Result<std::unique_ptr<PfsRuntime>> PfsRuntime::Start(
     rt->ost_servers_.push_back(std::move(ost));
   }
 
+  MdsStandbyConfig primary_cfg;
+  MdsOptions primary_options = options.mds;
+  if (options.mds_standby) {
+    rt->mds_log_ = std::make_unique<MdsLog>();
+    primary_options.oplog = rt->mds_log_.get();
+    primary_cfg.active = std::make_shared<std::atomic<int>>(0);
+    primary_cfg.self = 0;
+  }
   rt->mds_server_ = std::make_unique<MdsServer>(
-      fabric->CreateNic(), ost_nids, options.mds, options.mds_rpc,
-      options.client_options);
+      fabric->CreateNic(), ost_nids, primary_options, options.mds_rpc,
+      options.client_options, primary_cfg);
   LWFS_RETURN_IF_ERROR(rt->mds_server_->Start());
+
+  if (options.mds_standby) {
+    // The standby owns no log (nothing tails it) and replays the primary's
+    // at takeover; until then every request it receives runs the takeover
+    // path, so only failed-over clients can wake it.
+    MdsStandbyConfig standby_cfg;
+    standby_cfg.standby = true;
+    standby_cfg.log = rt->mds_log_.get();
+    standby_cfg.active = primary_cfg.active;
+    standby_cfg.self = 1;
+    rt->mds_standby_server_ = std::make_unique<MdsServer>(
+        fabric->CreateNic(), ost_nids, options.mds, options.mds_rpc,
+        options.client_options, standby_cfg);
+    LWFS_RETURN_IF_ERROR(rt->mds_standby_server_->Start());
+    rt->deployment_.mds_standby = rt->mds_standby_server_->nid();
+  }
 
   rt->deployment_.mds = rt->mds_server_->nid();
   rt->deployment_.osts = std::move(ost_nids);
@@ -38,6 +62,7 @@ Result<std::unique_ptr<PfsRuntime>> PfsRuntime::Start(
 }
 
 PfsRuntime::~PfsRuntime() {
+  if (mds_standby_server_) mds_standby_server_->Stop();
   if (mds_server_) mds_server_->Stop();
   for (auto& ost : ost_servers_) ost->Stop();
 }

@@ -14,6 +14,10 @@ namespace lwfs::pfs {
 
 struct PfsRuntimeOptions {
   int ost_count = 4;
+  /// Start a warm-standby MDS next to the primary.  The pair shares a
+  /// commit-before-ack MdsLog; the standby replays it and claims the
+  /// namespace when a failed-over client first reaches it.
+  bool mds_standby = false;
   MdsOptions mds;
   OstOptions ost;
   rpc::ServerOptions mds_rpc;
@@ -44,6 +48,10 @@ class PfsRuntime {
   [[nodiscard]] util::Clock* clock() const { return clock_; }
   [[nodiscard]] MdsService& mds() { return mds_server_->service(); }
   [[nodiscard]] MdsServer& mds_server() { return *mds_server_; }
+  /// nullptr unless started with mds_standby.
+  [[nodiscard]] MdsServer* mds_standby_server() {
+    return mds_standby_server_.get();
+  }
   [[nodiscard]] OstServer& ost_server(int i) {
     return *ost_servers_[static_cast<std::size_t>(i)];
   }
@@ -63,7 +71,9 @@ class PfsRuntime {
   PfsDeployment deployment_;
   std::vector<std::unique_ptr<storage::ObjectStore>> stores_;
   std::vector<std::unique_ptr<OstServer>> ost_servers_;
+  std::unique_ptr<MdsLog> mds_log_;  // shared primary -> standby
   std::unique_ptr<MdsServer> mds_server_;
+  std::unique_ptr<MdsServer> mds_standby_server_;
 };
 
 }  // namespace lwfs::pfs

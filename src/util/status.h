@@ -33,6 +33,7 @@ enum class ErrorCode : int {
   kTimeout,
   kDataLoss,           // journal/object corruption detected
   kInternal,
+  kWrongShard,         // request routed to a server that does not own the key
 };
 
 /// Human-readable name for an error code (stable, used in logs and tests).
@@ -52,6 +53,7 @@ constexpr std::string_view ErrorCodeName(ErrorCode c) {
     case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kDataLoss: return "DATA_LOSS";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kWrongShard: return "WRONG_SHARD";
   }
   return "UNKNOWN";
 }
@@ -127,6 +129,9 @@ inline Status DataLoss(std::string m) {
 }
 inline Status Internal(std::string m) {
   return {ErrorCode::kInternal, std::move(m)};
+}
+inline Status WrongShard(std::string m) {
+  return {ErrorCode::kWrongShard, std::move(m)};
 }
 
 /// Result<T>: either a value or a non-OK Status.
