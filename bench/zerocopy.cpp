@@ -13,6 +13,7 @@
 // bench-regression gate: the process exits nonzero if the zero-copy write
 // path's copies-per-byte exceeds kWriteCopyBudget (a copy snuck back into
 // the data path) or if the legacy path stops costing measurably more.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,16 +31,22 @@ using namespace lwfs;
 // The zero-copy write path performs exactly one budgeted copy per byte
 // (the store-medium copy); allow headroom for control-plane writes.
 constexpr double kWriteCopyBudget = 1.25;
+// Same bound on the read side: the slice read's only budgeted copy is the
+// medium-store one; the reply frame hands the same bytes to the client.
+constexpr double kReadCopyBudget = 1.25;
 
 struct SizeResult {
   std::size_t payload_bytes = 0;
   int iters = 0;
-  // Per mode: copies-per-byte on the write path, throughputs, copy bytes.
+  // Per mode: copies-per-byte on each path, throughputs, copy bytes.
   double write_cpb[2] = {0, 0};    // [0]=legacy, [1]=zerocopy
+  double read_cpb[2] = {0, 0};
   double write_mb_s[2] = {0, 0};
   double read_mb_s[2] = {0, 0};
   std::uint64_t stage_bytes[2] = {0, 0};
   std::uint64_t store_bytes[2] = {0, 0};
+  std::uint64_t read_stage_bytes[2] = {0, 0};
+  std::uint64_t read_store_bytes[2] = {0, 0};
 };
 
 struct ModeSetup {
@@ -95,18 +102,52 @@ Result<SizeResult> RunSize(std::size_t payload_bytes, int iters) {
     r.stage_bytes[mode] = wd.bytes_of(util::CopyKind::kStage);
     r.store_bytes[mode] = wd.bytes_of(util::CopyKind::kStore);
 
-    // Read phase (the path is shared; measured for completeness).
+    // Read phase A/B: the legacy mode reads through the span API (the
+    // server stages the payload before pushing it), the zero-copy mode
+    // through the slice API (the reply frame carries the store's own
+    // slice end to end).
     Buffer out(payload_bytes);
+    // Untimed warmup (identical for both modes): lets the reply cache and
+    // the store's recycled read buffers reach steady state, so the timed
+    // loop measures the data path, not allocator cold-start.
+    const int warmup = std::min(iters / 4, 48);
+    for (int i = 0; i < warmup; ++i) {
+      if (kModes[mode].zero_copy) {
+        auto got = client->ReadObjectSlice(0, *cap, *oid, 0, payload_bytes);
+        if (!got.ok()) return got.status();
+      } else {
+        auto n = client->ReadObject(0, *cap, *oid, 0, MutableByteSpan(out));
+        if (!n.ok()) return n.status();
+      }
+    }
+    const util::CopySnapshot rbefore = util::CopyStats::Snapshot();
     const auto r0 = wall.Now();
     for (int i = 0; i < iters; ++i) {
-      auto n = client->ReadObject(0, *cap, *oid, 0, MutableByteSpan(out));
-      if (!n.ok()) return n.status();
-      if (*n != payload_bytes) return Internal("short read in bench");
+      if (kModes[mode].zero_copy) {
+        auto got = client->ReadObjectSlice(0, *cap, *oid, 0, payload_bytes);
+        if (!got.ok()) return got.status();
+        if (got->size() != payload_bytes) return Internal("short read in bench");
+        if (i == 0 &&
+            !std::equal(got->span().begin(), got->span().end(),
+                        pattern.begin())) {
+          return DataLoss("bench slice read back wrong bytes");
+        }
+      } else {
+        auto n = client->ReadObject(0, *cap, *oid, 0, MutableByteSpan(out));
+        if (!n.ok()) return n.status();
+        if (*n != payload_bytes) return Internal("short read in bench");
+      }
     }
     const double read_s =
         std::chrono::duration<double>(wall.Now() - r0).count();
+    const util::CopySnapshot rd = util::CopyStats::Snapshot().Since(rbefore);
+    r.read_cpb[mode] = static_cast<double>(rd.budget_bytes()) / total;
     r.read_mb_s[mode] = total / 1e6 / read_s;
-    if (out != pattern) return DataLoss("bench read back wrong bytes");
+    r.read_stage_bytes[mode] = rd.bytes_of(util::CopyKind::kStage);
+    r.read_store_bytes[mode] = rd.bytes_of(util::CopyKind::kStore);
+    if (!kModes[mode].zero_copy && out != pattern) {
+      return DataLoss("bench read back wrong bytes");
+    }
   }
   return r;
 }
@@ -122,9 +163,10 @@ void DumpJson(const std::vector<SizeResult>& results, bool smoke) {
                "  \"benchmark\": \"zerocopy_data_path\",\n"
                "  \"smoke\": %s,\n"
                "  \"copy_budget_write\": %.2f,\n"
+               "  \"copy_budget_read\": %.2f,\n"
                "  \"counts_copies\": %s,\n"
                "  \"sizes\": [\n",
-               smoke ? "true" : "false", kWriteCopyBudget,
+               smoke ? "true" : "false", kWriteCopyBudget, kReadCopyBudget,
                util::CopyStats::Enabled() ? "true" : "false");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
@@ -141,13 +183,28 @@ void DumpJson(const std::vector<SizeResult>& results, bool smoke) {
                    "        \"read_mb_s\": %.1f,\n"
                    "        \"stage_bytes\": %llu,\n"
                    "        \"store_bytes\": %llu\n"
-                   "      }%s\n",
+                   "      },\n",
                    kModes[m].name, r.write_cpb[m], r.write_mb_s[m],
                    r.read_mb_s[m],
                    static_cast<unsigned long long>(r.stage_bytes[m]),
-                   static_cast<unsigned long long>(r.store_bytes[m]),
+                   static_cast<unsigned long long>(r.store_bytes[m]));
+    }
+    std::fprintf(out,
+                 "      \"read\": {\n");
+    for (int m = 0; m < 2; ++m) {
+      std::fprintf(out,
+                   "        \"%s\": {\n"
+                   "          \"copies_per_byte\": %.3f,\n"
+                   "          \"mb_s\": %.1f,\n"
+                   "          \"stage_bytes\": %llu,\n"
+                   "          \"store_bytes\": %llu\n"
+                   "        }%s\n",
+                   kModes[m].name, r.read_cpb[m], r.read_mb_s[m],
+                   static_cast<unsigned long long>(r.read_stage_bytes[m]),
+                   static_cast<unsigned long long>(r.read_store_bytes[m]),
                    m == 0 ? "," : "");
     }
+    std::fprintf(out, "      }\n");
     std::fprintf(out, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -176,8 +233,8 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader(
       "Zero-copy data path: staged (legacy) vs ref-counted slices");
-  std::printf("%10s %10s | %-8s %11s %11s %11s\n", "payload", "iters", "mode",
-              "copies/B", "write MB/s", "read MB/s");
+  std::printf("%10s %10s | %-8s %11s %11s %11s %11s\n", "payload", "iters",
+              "mode", "w copies/B", "write MB/s", "r copies/B", "read MB/s");
 
   std::vector<SizeResult> results;
   for (const SizeSpec& s : sizes) {
@@ -187,9 +244,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (int m = 0; m < 2; ++m) {
-      std::printf("%10zu %10d | %-8s %11.3f %11.1f %11.1f\n", s.bytes, s.iters,
-                  kModes[m].name, r->write_cpb[m], r->write_mb_s[m],
-                  r->read_mb_s[m]);
+      std::printf("%10zu %10d | %-8s %11.3f %11.1f %11.3f %11.1f\n", s.bytes,
+                  s.iters, kModes[m].name, r->write_cpb[m], r->write_mb_s[m],
+                  r->read_cpb[m], r->read_mb_s[m]);
     }
     results.push_back(*r);
   }
@@ -217,9 +274,27 @@ int main(int argc, char** argv) {
                      r.write_cpb[0], r.write_cpb[1], r.payload_bytes);
         return 1;
       }
+      if (r.read_cpb[1] > kReadCopyBudget) {
+        std::fprintf(stderr,
+                     "FAIL: slice read path copies %.3f bytes per byte read "
+                     "at %zu B payloads (budget %.2f) — an extra copy crept "
+                     "into the read path\n",
+                     r.read_cpb[1], r.payload_bytes, kReadCopyBudget);
+        return 1;
+      }
+      if (r.read_cpb[0] <= r.read_cpb[1]) {
+        std::fprintf(stderr,
+                     "FAIL: staged read path (%.3f copies/B) no longer costs "
+                     "more than the slice read (%.3f copies/B) at %zu B — "
+                     "the A/B knob is broken\n",
+                     r.read_cpb[0], r.read_cpb[1], r.payload_bytes);
+        return 1;
+      }
     }
-    std::printf("copy budget check: zero-copy path within %.2f copies/byte\n",
-                kWriteCopyBudget);
+    std::printf(
+        "copy budget check: zero-copy write within %.2f and slice read "
+        "within %.2f copies/byte\n",
+        kWriteCopyBudget, kReadCopyBudget);
   }
   return 0;
 }

@@ -301,6 +301,24 @@ Result<CheckpointStats> LwfsCheckpoint::Run(
 Result<std::vector<Buffer>> LwfsCheckpoint::Restore(
     core::ServiceRuntime& runtime, const security::Capability& cap,
     const std::string& path) {
+  auto slices = RestoreSlices(runtime, cap, path);
+  if (!slices.ok()) return slices.status();
+  // Final delivery into caller-owned buffers (kDeliver — outside the
+  // staging budget); callers wanting the slices themselves use
+  // RestoreSlices directly.
+  std::vector<Buffer> states;
+  states.reserve(slices->size());
+  for (const util::SharedSlice& s : *slices) {
+    Buffer state(s.span().begin(), s.span().end());
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, state.size());
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+Result<std::vector<util::SharedSlice>> LwfsCheckpoint::RestoreSlices(
+    core::ServiceRuntime& runtime, const security::Capability& cap,
+    const std::string& path) {
   auto client = runtime.MakeClient();
   auto md_ref = client->LookupName(path);
   if (!md_ref.ok()) return md_ref.status();
@@ -340,20 +358,20 @@ Result<std::vector<Buffer>> LwfsCheckpoint::Restore(
   }
 
   // Rank-state reads flow through one windowed batch over one client; the
-  // RPC engine overlaps the per-server transfers.
-  std::vector<Buffer> states(*nranks);
-  std::vector<std::uint64_t> bytes_read(*nranks, 0);
+  // RPC engine overlaps the per-server transfers, and every rank's payload
+  // lands as the reply frame's store-owned slice — no per-rank landing
+  // buffer is allocated here.
+  std::vector<util::SharedSlice> states(*nranks);
   core::Batch batch(client.get());
   std::vector<std::uint32_t> replicated_ranks;
   for (std::uint32_t r = 0; r < *nranks; ++r) {
-    states[r] = Buffer(entries[r].size, 0);
     if (storage::IsReplicatedOid(entries[r].ref.oid)) {
       replicated_ranks.push_back(r);
       continue;
     }
     Status issued =
-        batch.Read(entries[r].ref.server_index, cap, entries[r].ref.oid, 0,
-                   MutableByteSpan(states[r]), &bytes_read[r]);
+        batch.ReadSlice(entries[r].ref.server_index, cap, entries[r].ref.oid,
+                        0, entries[r].size, &states[r]);
     if (!issued.ok()) break;
   }
   LWFS_RETURN_IF_ERROR(batch.Drain());
@@ -362,12 +380,9 @@ Result<std::vector<Buffer>> LwfsCheckpoint::Restore(
   for (std::uint32_t r : replicated_ranks) {
     auto chain = client->LookupReplicas(entries[r].ref.oid);
     if (!chain.ok()) return chain.status();
-    auto n = client->ReadReplicated(cap, *chain, 0, MutableByteSpan(states[r]));
-    if (!n.ok()) return n.status();
-    bytes_read[r] = *n;
-  }
-  for (std::uint32_t r = 0; r < *nranks; ++r) {
-    states[r].resize(static_cast<std::size_t>(bytes_read[r]));
+    auto got = client->ReadReplicatedSlice(cap, *chain, 0, entries[r].size);
+    if (!got.ok()) return got.status();
+    states[r] = std::move(*got);
   }
   return states;
 }

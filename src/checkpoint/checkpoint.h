@@ -84,10 +84,17 @@ class LwfsCheckpoint {
       const std::vector<util::SharedSlice>& states);
 
   /// Restore: look up `path`, read the metadata object, read every state
-  /// object through a windowed async batch.
+  /// object through a windowed async batch.  Delegates to RestoreSlices
+  /// and copies each rank's slice into a caller-owned Buffer.
   static Result<std::vector<Buffer>> Restore(core::ServiceRuntime& runtime,
                                              const security::Capability& cap,
                                              const std::string& path);
+  /// Zero-copy restore: each rank's state comes back as the store-owned
+  /// slice the reply frame carried — no landing buffer anywhere on the
+  /// client, so a full restore holds exactly one payload per rank.
+  static Result<std::vector<util::SharedSlice>> RestoreSlices(
+      core::ServiceRuntime& runtime, const security::Capability& cap,
+      const std::string& path);
 };
 
 // ---------------------------------------------------------------------------

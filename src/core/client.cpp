@@ -60,6 +60,34 @@ bool PendingIo::TryAwait(Result<std::uint64_t>* out) {
   return true;
 }
 
+Result<util::SharedSlice> PendingSliceIo::Resolve(Result<Buffer> reply) {
+  auto moved = rpc::ResolveTyped<wire::IoMovedRep>(std::move(reply));
+  if (!moved.ok()) return moved.status();
+  util::SharedSlice bulk = handle_.ReplyBulk();
+  if (bulk.size() != moved->moved) {
+    // The frame CRC already vouches for the bytes; a mismatch here means
+    // the reply body and its bulk parts disagree — treat it like any other
+    // corrupt transfer.
+    return DataLoss("slice read bulk does not match reported byte count");
+  }
+  return bulk;
+}
+
+Result<util::SharedSlice> PendingSliceIo::Await() {
+  if (!handle_.valid()) {
+    return FailedPrecondition("awaiting an empty io handle");
+  }
+  return Resolve(handle_.Await());
+}
+
+bool PendingSliceIo::TryAwait(Result<util::SharedSlice>* out) {
+  if (!handle_.valid()) return false;
+  Result<Buffer> reply = Buffer{};
+  if (!handle_.TryAwait(&reply)) return false;
+  if (out != nullptr) *out = Resolve(std::move(reply));
+  return true;
+}
+
 Result<storage::ObjectId> PendingCreate::Await() {
   if (!handle_.valid()) {
     return FailedPrecondition("awaiting an empty create handle");
@@ -87,6 +115,15 @@ bool PendingCreate::TryAwait(Result<storage::ObjectId>* out) {
 Status Batch::RetireOldest() {
   Op op = std::move(inflight_.front());
   inflight_.pop_front();
+  if (op.slice_io.valid()) {
+    auto slice = op.slice_io.Await();
+    if (!slice.ok()) {
+      if (first_error_.ok()) first_error_ = slice.status();
+      return slice.status();
+    }
+    if (op.slice_out != nullptr) *op.slice_out = std::move(*slice);
+    return OkStatus();
+  }
   auto n = op.io.Await();
   if (!n.ok()) {
     if (first_error_.ok()) first_error_ = n.status();
@@ -107,7 +144,9 @@ Status Batch::Write(std::uint32_t server, const security::Capability& cap,
     if (first_error_.ok()) first_error_ = io.status();
     return io.status();
   }
-  inflight_.push_back(Op{std::move(*io), nullptr});
+  Op op;
+  op.io = std::move(*io);
+  inflight_.push_back(std::move(op));
   return OkStatus();
 }
 
@@ -122,7 +161,9 @@ Status Batch::WriteSlice(std::uint32_t server, const security::Capability& cap,
     if (first_error_.ok()) first_error_ = io.status();
     return io.status();
   }
-  inflight_.push_back(Op{std::move(*io), nullptr});
+  Op op;
+  op.io = std::move(*io);
+  inflight_.push_back(std::move(op));
   return OkStatus();
 }
 
@@ -137,7 +178,28 @@ Status Batch::Read(std::uint32_t server, const security::Capability& cap,
     if (first_error_.ok()) first_error_ = io.status();
     return io.status();
   }
-  inflight_.push_back(Op{std::move(*io), bytes_read});
+  Op op;
+  op.io = std::move(*io);
+  op.bytes_read = bytes_read;
+  inflight_.push_back(std::move(op));
+  return OkStatus();
+}
+
+Status Batch::ReadSlice(std::uint32_t server, const security::Capability& cap,
+                        storage::ObjectId oid, std::uint64_t offset,
+                        std::uint64_t length, util::SharedSlice* out) {
+  if (!first_error_.ok()) return first_error_;
+  while (inflight_.size() >= window_) (void)RetireOldest();
+  if (!first_error_.ok()) return first_error_;
+  auto io = client_->ReadObjectSliceAsync(server, cap, oid, offset, length);
+  if (!io.ok()) {
+    if (first_error_.ok()) first_error_ = io.status();
+    return io.status();
+  }
+  Op op;
+  op.slice_io = std::move(*io);
+  op.slice_out = out;
+  inflight_.push_back(std::move(op));
   return OkStatus();
 }
 
@@ -313,6 +375,11 @@ Result<Buffer> RemoteObjectStore::Read(storage::ObjectId oid,
                                        std::uint64_t offset,
                                        std::uint64_t length) {
   return client_->ReadObjectAlloc(server_, cap_, oid, offset, length);
+}
+Result<util::SharedSlice> RemoteObjectStore::ReadSlice(storage::ObjectId oid,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t length) {
+  return client_->ReadObjectSlice(server_, cap_, oid, offset, length);
 }
 Status RemoteObjectStore::Truncate(storage::ObjectId oid, std::uint64_t size) {
   return client_->TruncateObject(server_, cap_, oid, size);
@@ -656,6 +723,31 @@ Result<PendingIo> Client::ReadObjectAsync(std::uint32_t server,
   return PendingIo(std::move(*handle), /*decode_reply=*/true, out.size());
 }
 
+Result<PendingSliceIo> Client::ReadObjectSliceAsync(
+    std::uint32_t server, const security::Capability& cap,
+    storage::ObjectId oid, std::uint64_t offset, std::uint64_t length) {
+  auto nid = StorageNid(server);
+  if (!nid.ok()) return nid.status();
+  // No bulk_in region: the payload rides the reply frame as store-owned
+  // slices and surfaces through PendingSliceIo::Await as a ref-counted
+  // alias of the received bytes.
+  auto handle = rpc::CallTypedAsync(
+      rpc_, *nid, kOpObjReadSlice,
+      wire::ObjReadReq{cap, oid.value, offset, length});
+  if (!handle.ok()) return handle.status();
+  return PendingSliceIo(std::move(*handle));
+}
+
+Result<util::SharedSlice> Client::ReadObjectSlice(std::uint32_t server,
+                                                  const security::Capability& cap,
+                                                  storage::ObjectId oid,
+                                                  std::uint64_t offset,
+                                                  std::uint64_t length) {
+  auto io = ReadObjectSliceAsync(server, cap, oid, offset, length);
+  if (!io.ok()) return io.status();
+  return io->Await();
+}
+
 Result<Buffer> Client::ReadObjectAlloc(std::uint32_t server,
                                        const security::Capability& cap,
                                        storage::ObjectId oid,
@@ -911,28 +1003,44 @@ Result<std::uint64_t> Client::ReadReplicated(const security::Capability& cap,
                                              const ReplicaChain& chain,
                                              std::uint64_t offset,
                                              MutableByteSpan out) {
+  auto slice = ReadReplicatedSlice(cap, chain, offset, out.size());
+  if (!slice.ok()) return slice.status();
+  // Final delivery into the caller's span — outside the kStage+kStore
+  // budget, like the RPC layer's own gather fallbacks.
+  const std::size_t n = std::min<std::size_t>(slice->size(), out.size());
+  if (n > 0) {
+    std::memcpy(out.data(), slice->span().data(), n);
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, n);
+  }
+  return n;
+}
+
+Result<util::SharedSlice> Client::ReadReplicatedSlice(
+    const security::Capability& cap, const ReplicaChain& chain,
+    std::uint64_t offset, std::uint64_t length) {
   if (chain.servers.empty()) return InvalidArgument("empty replica chain");
 
   // Plain path: hedging off or nowhere to hedge — sequential failover.
   if (chain.servers.size() == 1 || hedge_after_us_ == 0) {
     Status last = OkStatus();
     for (std::size_t i = 0; i < chain.servers.size(); ++i) {
-      auto n = ReadObject(chain.servers[i], cap, chain.oid, offset, out);
-      if (n.ok()) return n;
-      last = n.status();
+      auto got =
+          ReadObjectSlice(chain.servers[i], cap, chain.oid, offset, length);
+      if (got.ok()) return got;
+      last = got.status();
       if (!FailoverWorthy(last)) return last;
       read_failovers_.fetch_add(1, std::memory_order_relaxed);
     }
     return last;
   }
 
-  // Hedged path.  Each attempt lands in its own heap buffer so two servers
-  // never push into the same caller span; the winner's bytes are copied out
-  // once.  A loser's buffer must survive until its (abandoned) call
-  // completes, so every attempt pins its buffer via an OnComplete capture.
+  // Hedged path.  Attempts register no landing buffer at all: each reply
+  // arrives as a ref-counted slice in its own call state, so a losing
+  // attempt never pins memory proportional to the read size — when its
+  // (abandoned) reply lands, the completion callback tallies the payload
+  // into hedge_loser_bytes and the slice's refcount drops on the spot.
   struct Attempt {
-    std::shared_ptr<Buffer> buf;
-    PendingIo io;
+    PendingSliceIo io;
     bool is_hedge = false;
     bool dead = false;
   };
@@ -944,10 +1052,7 @@ Result<std::uint64_t> Client::ReadReplicated(const security::Capability& cap,
   auto issue = [&](bool is_hedge) -> bool {
     while (next_member < chain.servers.size()) {
       const std::uint32_t member = chain.servers[next_member++];
-      Attempt a;
-      a.buf = std::make_shared<Buffer>(out.size(), std::uint8_t{0});
-      auto io = ReadObjectAsync(member, cap, chain.oid, offset,
-                                MutableByteSpan(*a.buf));
+      auto io = ReadObjectSliceAsync(member, cap, chain.oid, offset, length);
       if (!io.ok()) {
         last = io.status();
         if (!FailoverWorthy(last)) return false;
@@ -956,14 +1061,25 @@ Result<std::uint64_t> Client::ReadReplicated(const security::Capability& cap,
         read_failovers_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      Attempt a;
       a.io = std::move(*io);
-      auto keep = a.buf;  // pin the landing buffer until the fabric is done
-      a.io.handle().OnComplete([keep](const Result<Buffer>&) {});
       a.is_hedge = is_hedge;
       attempts.push_back(std::move(a));
       return true;
     }
     return false;
+  };
+
+  // Account a still-inflight loser the moment its reply lands.  The
+  // callback captures its own handle, which keeps the call state alive
+  // until the one-shot callback is extracted and destroyed at completion
+  // — at which point the loser's bulk slice is released too.
+  auto abandon = [this](Attempt& a) {
+    rpc::CallHandle h = a.io.handle();
+    auto tally = hedge_loser_bytes_;
+    h.OnComplete([h, tally](const Result<Buffer>&) {
+      tally->fetch_add(h.ReplyBulk().size(), std::memory_order_relaxed);
+    });
   };
 
   if (!issue(/*is_hedge=*/false)) return last;
@@ -988,19 +1104,20 @@ Result<std::uint64_t> Client::ReadReplicated(const security::Capability& cap,
     std::size_t live = 0;
     for (Attempt& a : attempts) {
       if (a.dead) continue;
-      Result<std::uint64_t> n = 0;
-      if (!a.io.TryAwait(&n)) {
+      Result<util::SharedSlice> got = util::SharedSlice();
+      if (!a.io.TryAwait(&got)) {
         ++live;
         continue;
       }
-      if (n.ok()) {
-        std::memcpy(out.data(), a.buf->data(),
-                    static_cast<std::size_t>(*n));
+      if (got.ok()) {
+        for (Attempt& b : attempts) {
+          if (&b != &a && !b.dead) abandon(b);
+        }
         if (a.is_hedge) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
-        return *n;
+        return std::move(*got);
       }
       a.dead = true;
-      last = n.status();
+      last = got.status();
       if (!FailoverWorthy(last)) return last;
       read_failovers_.fetch_add(1, std::memory_order_relaxed);
       if (issue(a.is_hedge)) ++live;  // replace the dead attempt
@@ -1025,6 +1142,7 @@ ReplicationStats Client::replication_stats() const {
   s.hedged_reads = hedged_reads_.load(std::memory_order_relaxed);
   s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
   s.read_failovers = read_failovers_.load(std::memory_order_relaxed);
+  s.hedge_loser_bytes = hedge_loser_bytes_->load(std::memory_order_relaxed);
   return s;
 }
 

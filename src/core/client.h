@@ -90,6 +90,35 @@ class PendingIo {
   std::uint64_t nominal_ = 0;  // write payload size
 };
 
+/// Completion handle for a zero-copy object read (issued via
+/// Client::ReadObjectSliceAsync).  Resolves to a ref-counted slice aliasing
+/// the reply frame's received bytes — the client registers no landing
+/// buffer, so there is no span-lifetime discipline to keep and an abandoned
+/// read costs a refcount drop instead of a pinned buffer.
+class PendingSliceIo {
+ public:
+  PendingSliceIo() = default;
+
+  [[nodiscard]] bool valid() const { return handle_.valid(); }
+
+  /// The object bytes (short at EOF, empty past it).  The slice stays
+  /// valid for as long as the caller holds it, independent of the handle.
+  Result<util::SharedSlice> Await();
+
+  /// Non-blocking variant; true once the call has completed.
+  bool TryAwait(Result<util::SharedSlice>* out);
+
+  [[nodiscard]] rpc::CallHandle& handle() { return handle_; }
+
+ private:
+  friend class Client;
+  explicit PendingSliceIo(rpc::CallHandle handle)
+      : handle_(std::move(handle)) {}
+  Result<util::SharedSlice> Resolve(Result<Buffer> reply);
+
+  rpc::CallHandle handle_;
+};
+
 /// Completion handle for an asynchronous object create.
 class PendingCreate {
  public:
@@ -123,6 +152,11 @@ struct ReplicationStats {
   std::uint64_t hedged_reads = 0;       // second read requests fired
   std::uint64_t hedge_wins = 0;         // hedge finished before the primary
   std::uint64_t read_failovers = 0;     // reads reissued on another member
+  /// Payload bytes that arrived on losing hedge attempts and were released
+  /// on the spot (a refcount drop).  Under the old per-attempt pinned
+  /// buffer scheme each of these was a full-size allocation held until the
+  /// losing call completed.
+  std::uint64_t hedge_loser_bytes = 0;
 };
 
 /// Completion handle for a chain-replicated write.  One RPC carries the whole
@@ -213,6 +247,12 @@ class Batch {
   Status Read(std::uint32_t server, const security::Capability& cap,
               storage::ObjectId oid, std::uint64_t offset, MutableByteSpan out,
               std::uint64_t* bytes_read = nullptr);
+  /// Zero-copy read: `*out` receives a store-backed slice when the op
+  /// retires (short at EOF).  `out` must stay valid until then; no landing
+  /// buffer is registered.
+  Status ReadSlice(std::uint32_t server, const security::Capability& cap,
+                   storage::ObjectId oid, std::uint64_t offset,
+                   std::uint64_t length, util::SharedSlice* out);
 
   /// Retire everything in flight; returns the first error seen across the
   /// whole batch.
@@ -227,7 +267,9 @@ class Batch {
 
   struct Op {
     PendingIo io;
-    std::uint64_t* bytes_read;
+    std::uint64_t* bytes_read = nullptr;
+    PendingSliceIo slice_io;               // slice reads only
+    util::SharedSlice* slice_out = nullptr;
   };
   Client* client_;
   std::size_t window_;
@@ -268,6 +310,9 @@ class RemoteObjectStore final : public storage::ObjectStore {
                ByteSpan data) override;
   Result<Buffer> Read(storage::ObjectId oid, std::uint64_t offset,
                       std::uint64_t length) override;
+  Result<util::SharedSlice> ReadSlice(storage::ObjectId oid,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) override;
   Status Truncate(storage::ObjectId oid, std::uint64_t size) override;
   Result<storage::ObjAttr> GetAttr(storage::ObjectId oid) override;
   Result<std::vector<storage::ObjectId>> List(storage::ContainerId) override;
@@ -398,6 +443,20 @@ class Client {
                                  const security::Capability& cap,
                                  storage::ObjectId oid, std::uint64_t offset,
                                  std::uint64_t length);
+  /// Zero-copy read: the reply frame carries the payload as store-owned
+  /// slices, so the bytes land exactly once (the store's medium copy) and
+  /// arrive as a ref-counted alias — no registered region, no push, no
+  /// client-side landing buffer.
+  Result<PendingSliceIo> ReadObjectSliceAsync(std::uint32_t server,
+                                              const security::Capability& cap,
+                                              storage::ObjectId oid,
+                                              std::uint64_t offset,
+                                              std::uint64_t length);
+  Result<util::SharedSlice> ReadObjectSlice(std::uint32_t server,
+                                            const security::Capability& cap,
+                                            storage::ObjectId oid,
+                                            std::uint64_t offset,
+                                            std::uint64_t length);
   Status RemoveObject(std::uint32_t server, const security::Capability& cap,
                       storage::ObjectId oid, txn::TxnId txid = 0);
   Result<storage::ObjAttr> GetAttr(std::uint32_t server,
@@ -487,6 +546,15 @@ class Client {
                                        const ReplicaChain& chain,
                                        std::uint64_t offset,
                                        MutableByteSpan out);
+  /// Slice form of the hedged read — the primitive ReadReplicated wraps.
+  /// Attempts carry no landing buffer: each reply arrives as a ref-counted
+  /// slice in its own call state, so a losing hedge releases its payload
+  /// with a refcount drop (tallied in hedge_loser_bytes) instead of
+  /// holding a full-size pinned buffer until the abandoned call completes.
+  Result<util::SharedSlice> ReadReplicatedSlice(const security::Capability& cap,
+                                                const ReplicaChain& chain,
+                                                std::uint64_t offset,
+                                                std::uint64_t length);
 
   /// Hedged-read latency knob, microseconds; 0 disables hedging.
   void SetHedgeAfterUs(std::uint64_t us) { hedge_after_us_ = us; }
@@ -610,6 +678,11 @@ class Client {
   std::atomic<std::uint64_t> hedged_reads_{0};
   std::atomic<std::uint64_t> hedge_wins_{0};
   std::atomic<std::uint64_t> read_failovers_{0};
+  /// Shared (not a plain member) so a losing attempt's completion callback
+  /// can tally its released payload even if this client is torn down while
+  /// the abandoned call is still in flight.
+  std::shared_ptr<std::atomic<std::uint64_t>> hedge_loser_bytes_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
 };
 
 }  // namespace lwfs::core

@@ -48,6 +48,11 @@ Status IoTicket::Await() {
   return status_;
 }
 
+util::SharedSlice IoTicket::TakeSlice() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(slice_);
+}
+
 Status StagingPool::Acquire(std::size_t n) {
   if (n > capacity_) n = capacity_;  // chunking should prevent this
   std::unique_lock<std::mutex> lock(mutex_);
@@ -124,7 +129,35 @@ std::shared_ptr<IoTicket> IoScheduler::Submit(storage::ObjectId oid,
     }
     queue_.push_back(
         QueuedIo{PendingExtent{oid, is_write, offset, length}, std::move(fn),
-                 ticket});
+                 nullptr, ticket});
+    depth = queue_.size();
+  }
+  clock_->NotifyAll(cv_);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    stats_.queue_depth_hwm = std::max<std::uint64_t>(stats_.queue_depth_hwm,
+                                                     depth);
+  }
+  return ticket;
+}
+
+std::shared_ptr<IoTicket> IoScheduler::SubmitSliceRead(storage::ObjectId oid,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t length,
+                                                       SliceReadFn reader) {
+  auto ticket = std::make_shared<IoTicket>();
+  ticket->clock_ = clock_;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ || stopping_) {
+      Complete(*ticket, Unavailable("io scheduler stopped"));
+      return ticket;
+    }
+    queue_.push_back(QueuedIo{PendingExtent{oid, /*is_write=*/false, offset,
+                                            length},
+                              nullptr, std::move(reader), ticket});
     depth = queue_.size();
   }
   clock_->NotifyAll(cv_);
@@ -170,6 +203,12 @@ void IoScheduler::ServiceBatch(std::vector<QueuedIo> batch) {
 
   for (const MergedRun& run : runs) {
     ChargeRun(run.bytes());
+    const bool slice_run =
+        !run.is_write &&
+        std::all_of(run.members.begin(), run.members.end(),
+                    [&](std::size_t idx) {
+                      return static_cast<bool>(batch[idx].slice_fn);
+                    });
     {
       // Account the run before completing its members, so a caller that
       // has awaited every ticket observes fully up-to-date counters.
@@ -179,9 +218,47 @@ void IoScheduler::ServiceBatch(std::vector<QueuedIo> batch) {
         stats_.merges += run.members.size() - 1;
         stats_.coalesced_bytes += run.bytes();
       }
+      if (slice_run) ++stats_.slice_runs;
+    }
+    if (slice_run) {
+      // One store access for the whole run; members fan back out as O(1)
+      // sub-slices of the run slice (refcount bumps, no staging copy).
+      // Slice() clamps, so a short run read (EOF inside the run) yields
+      // short or empty member slices — the same EOF signal the staged
+      // path derives from a short chunk.
+      auto run_slice =
+          batch[run.members.front()].slice_fn(run.offset, run.bytes());
+      for (std::size_t idx : run.members) {
+        QueuedIo& io = batch[idx];
+        if (run_slice.ok()) {
+          util::SharedSlice sub = run_slice->Slice(
+              io.extent.offset - run.offset, io.extent.length);
+          {
+            std::lock_guard<std::mutex> lock(io.ticket->mutex_);
+            io.ticket->slice_ = std::move(sub);
+          }
+          Complete(*io.ticket, OkStatus());
+        } else {
+          Complete(*io.ticket, run_slice.status());
+        }
+        io.slice_fn = nullptr;
+      }
+      continue;
     }
     for (std::size_t idx : run.members) {
       QueuedIo& io = batch[idx];
+      if (io.slice_fn) {
+        // Slice read merged into a run with legacy extents: no shared run
+        // slice to carve from, so read just this extent.
+        auto got = io.slice_fn(io.extent.offset, io.extent.length);
+        if (got.ok()) {
+          std::lock_guard<std::mutex> lock(io.ticket->mutex_);
+          io.ticket->slice_ = std::move(*got);
+        }
+        io.slice_fn = nullptr;
+        Complete(*io.ticket, got.ok() ? OkStatus() : got.status());
+        continue;
+      }
       Status status = io.fn ? io.fn() : OkStatus();
       io.fn = nullptr;  // release staged buffers promptly
       Complete(*io.ticket, std::move(status));

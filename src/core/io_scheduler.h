@@ -42,6 +42,7 @@
 
 #include "storage/ids.h"
 #include "util/clock.h"
+#include "util/shared_buffer.h"
 #include "util/status.h"
 
 namespace lwfs::core {
@@ -80,6 +81,12 @@ class IoTicket {
  public:
   Status Await();
 
+  /// Slice-read submissions only: the extent's bytes as a ref-counted
+  /// sub-slice of the run's single store read.  Valid (possibly shorter
+  /// than asked — EOF — or empty) once Await returned OkStatus; moves the
+  /// slice out, so call it once.
+  [[nodiscard]] util::SharedSlice TakeSlice();
+
  private:
   friend class IoScheduler;
   util::Clock* clock_ = nullptr;  // set by Submit; nullptr = real time
@@ -87,6 +94,7 @@ class IoTicket {
   std::condition_variable cv_;
   bool done_ = false;
   Status status_ = OkStatus();
+  util::SharedSlice slice_;
 };
 
 /// Bounded staging memory for in-flight bulk chunks.  Acquire blocks until
@@ -165,6 +173,7 @@ struct IoSchedulerStats {
   std::uint64_t merges = 0;          ///< extents absorbed into a larger run
   std::uint64_t coalesced_bytes = 0; ///< bytes serviced via multi-extent runs
   std::uint64_t queue_depth_hwm = 0; ///< max extents queued at once
+  std::uint64_t slice_runs = 0;      ///< read runs serviced by one slice read
 };
 
 class IoScheduler {
@@ -172,6 +181,14 @@ class IoScheduler {
   /// Performs the actual store access for one extent once the scheduler has
   /// charged the medium for its run.
   using ServiceFn = std::function<Status()>;
+  /// Reads an arbitrary span of the submitted object as a store-owned
+  /// slice.  The scheduler calls it ONCE per merged run — with the run's
+  /// (offset, length), not the extent's — and hands every member of the
+  /// run an O(1) sub-slice of the result.  This is the read path's
+  /// coalescing without a staging copy: N queued extents still cost one
+  /// medium access, and fan back out as refcount bumps.
+  using SliceReadFn = std::function<Result<util::SharedSlice>(
+      std::uint64_t offset, std::uint64_t length)>;
 
   explicit IoScheduler(IoSchedulerOptions options)
       : options_(options), clock_(util::OrReal(options.clock)) {}
@@ -191,6 +208,17 @@ class IoScheduler {
                                    std::uint64_t offset, std::uint64_t length,
                                    ServiceFn fn);
 
+  /// Queue one READ extent whose result is a store-owned slice.  When a
+  /// whole merged run consists of slice reads, `reader` runs once for the
+  /// run and each member's ticket receives its clamped sub-slice
+  /// (TakeSlice); a run mixed with legacy extents falls back to one
+  /// reader call per member.  A short run read (EOF inside the run)
+  /// yields correspondingly short or empty member slices.
+  std::shared_ptr<IoTicket> SubmitSliceRead(storage::ObjectId oid,
+                                            std::uint64_t offset,
+                                            std::uint64_t length,
+                                            SliceReadFn reader);
+
   [[nodiscard]] IoSchedulerStats stats() const;
   /// Zero all counters (including the queue-depth high-water mark) so a
   /// caller can scope measurements to one phase of a workload.
@@ -200,6 +228,7 @@ class IoScheduler {
   struct QueuedIo {
     PendingExtent extent;
     ServiceFn fn;
+    SliceReadFn slice_fn;  // set instead of fn for slice-read extents
     std::shared_ptr<IoTicket> ticket;
   };
 

@@ -58,6 +58,11 @@ enum Op : rpc::Opcode {
   kOpRepairRead = 42,
   kOpRepairWrite = 43,
 
+  // Storage service (data plane, cont.): slice read — the reply frame
+  // itself carries the payload as store-owned slices (no client-registered
+  // bulk-in region, no server push, no staging copy).
+  kOpObjReadSlice = 44,
+
   // Two-phase-commit participant ops (storage and naming services).
   kOpTxnPrepare = 50,
   kOpTxnCommit = 51,
@@ -115,6 +120,7 @@ static_assert(rpc::kCoreOpcodeRange.Contains(kOpLogin) &&
                   rpc::kCoreOpcodeRange.Contains(kOpRepairProbe) &&
                   rpc::kCoreOpcodeRange.Contains(kOpRepairRead) &&
                   rpc::kCoreOpcodeRange.Contains(kOpRepairWrite) &&
+                  rpc::kCoreOpcodeRange.Contains(kOpObjReadSlice) &&
                   rpc::kCoreOpcodeRange.Contains(kOpTxnPrepare) &&
                   rpc::kCoreOpcodeRange.Contains(kOpTxnCommit) &&
                   rpc::kCoreOpcodeRange.Contains(kOpTxnAbort) &&

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <deque>
 
 #include "core/wire.h"
@@ -400,6 +401,66 @@ Result<std::uint64_t> StorageServer::ScheduledRead(rpc::ServerContext& ctx,
   return moved;
 }
 
+Result<util::SharedSlice> StorageServer::ScheduledReadSlice(
+    storage::ObjectId oid, std::uint64_t offset, std::uint64_t want) {
+  // Flow control: reserve staging for the materialized read (Acquire
+  // clamps oversized requests to pool capacity) while the medium services
+  // it.  Blocking here is safe — this worker holds no reservation yet.
+  // After the handler returns, the slice's retention in the reply frame
+  // and reply cache is bounded by the cache's eviction, not the pool.
+  LWFS_RETURN_IF_ERROR(staging_.Acquire(static_cast<std::size_t>(want)));
+  StagingReservation reservation(&staging_, static_cast<std::size_t>(want));
+  auto ticket = scheduler_->SubmitSliceRead(
+      oid, offset, want,
+      [store = store_, oid](std::uint64_t off,
+                            std::uint64_t len) -> Result<util::SharedSlice> {
+        return store->ReadSlice(oid, off, len);
+      });
+  LWFS_RETURN_IF_ERROR(ticket->Await());
+  return ticket->TakeSlice();
+}
+
+Result<util::SharedSlice> StorageServer::StagedReadSlice(
+    storage::ObjectId oid, std::uint64_t offset, std::uint64_t want) {
+  Buffer staged(static_cast<std::size_t>(want));
+  std::uint64_t moved = 0;
+  while (moved < want) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(options_.bulk_chunk_bytes, want - moved);
+    // Per-chunk reservation, released each iteration — never held across
+    // the next Acquire, so the pool invariant holds.
+    LWFS_RETURN_IF_ERROR(staging_.Acquire(static_cast<std::size_t>(n)));
+    StagingReservation reservation(&staging_, static_cast<std::size_t>(n));
+    auto data = std::make_shared<Buffer>();
+    const std::uint64_t from = offset + moved;
+    if (scheduler_) {
+      auto ticket = scheduler_->Submit(
+          oid, /*is_write=*/false, from, n,
+          [store = store_, oid, from, n, data]() -> Status {
+            auto read = store->Read(oid, from, n);
+            if (!read.ok()) return read.status();
+            *data = std::move(*read);
+            return OkStatus();
+          });
+      LWFS_RETURN_IF_ERROR(ticket->Await());
+    } else {
+      auto read = store_->Read(oid, from, n);
+      if (!read.ok()) return read.status();
+      ChargeMediumTime(read->size(), /*charge_op=*/moved == 0);
+      *data = std::move(*read);
+    }
+    if (data->empty()) break;  // EOF
+    // The staging copy the zero-copy path exists to avoid: assemble the
+    // chunk into the reply buffer and charge it against the budget.
+    std::memcpy(staged.data() + moved, data->data(), data->size());
+    LWFS_COUNT_COPY(util::CopyKind::kStage, data->size());
+    moved += data->size();
+    if (data->size() < n) break;  // short read: EOF
+  }
+  staged.resize(static_cast<std::size_t>(moved));
+  return util::SharedSlice::FromBuffer(std::move(staged));
+}
+
 void StorageServer::RegisterDataHandlers() {
   // Authorization for every capability-gated op below runs in the service
   // middleware (required_ops in each OpDef), before the handler body.
@@ -502,6 +563,42 @@ void StorageServer::RegisterDataHandlers() {
             moved += data->size();
             if (data->size() < n) break;  // short read: EOF
           }
+        }
+        return wire::IoMovedRep{moved};
+      });
+
+  // Slice read: the zero-copy read path.  No client-registered bulk-in
+  // region and no server push — the store-owned slice is appended to the
+  // reply frame itself (PushBulkSlice) and fans out to the client as
+  // refcount bumps.  The store's medium copy is the path's only copy.
+  data_ops_.On<wire::ObjReadReq, wire::IoMovedRep>(
+      wire::kObjReadSliceOp,
+      [this](rpc::ServerContext& ctx,
+             wire::ObjReadReq& req) -> Result<wire::IoMovedRep> {
+        auto attr = CheckObject(req.cap, storage::ObjectId{req.oid});
+        if (!attr.ok()) return attr.status();
+        const storage::ObjectId oid{req.oid};
+        util::SharedSlice slice;
+        if (!options_.zero_copy) {
+          // A/B baseline: synthesize the reply slice through the legacy
+          // staged copy so the zerocopy bench can isolate what the
+          // slice path saves.
+          auto staged = StagedReadSlice(oid, req.offset, req.length);
+          if (!staged.ok()) return staged.status();
+          slice = std::move(*staged);
+        } else if (scheduler_) {
+          auto got = ScheduledReadSlice(oid, req.offset, req.length);
+          if (!got.ok()) return got.status();
+          slice = std::move(*got);
+        } else {
+          auto got = store_->ReadSlice(oid, req.offset, req.length);
+          if (!got.ok()) return got.status();
+          ChargeMediumTime(got->size(), /*charge_op=*/true);
+          slice = std::move(*got);
+        }
+        const std::uint64_t moved = slice.size();
+        if (moved > 0) {
+          LWFS_RETURN_IF_ERROR(ctx.PushBulkSlice(std::move(slice)));
         }
         return wire::IoMovedRep{moved};
       });

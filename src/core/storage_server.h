@@ -263,6 +263,20 @@ class StorageServer {
                                       std::uint64_t offset,
                                       std::uint64_t want);
 
+  /// Scheduler-on slice read: submits ONE extent for the whole request;
+  /// the scheduler services the merged run containing it with a single
+  /// store ReadSlice and hands back this request's sub-slice.  The store's
+  /// medium copy is the only copy — the slice then rides the reply frame.
+  Result<util::SharedSlice> ScheduledReadSlice(storage::ObjectId oid,
+                                               std::uint64_t offset,
+                                               std::uint64_t want);
+  /// Legacy-staged slice synthesis (options.zero_copy off): chunked medium
+  /// reads assembled into one buffer through a counted staging copy — the
+  /// A/B baseline that shows what the slice path saves.
+  Result<util::SharedSlice> StagedReadSlice(storage::ObjectId oid,
+                                            std::uint64_t offset,
+                                            std::uint64_t want);
+
   const std::uint32_t server_id_;
   util::Clock* const clock_;
   storage::ObjectStore* store_;

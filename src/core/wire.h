@@ -481,6 +481,12 @@ inline constexpr rpc::OpDef kObjFilterOp{kOpObjFilter, "obj_filter",
                                          rpc::BulkDir::kPush};
 inline constexpr rpc::OpDef kObjTruncateOp{kOpObjTruncate, "obj_truncate",
                                            security::kOpWrite};
+/// Slice read shares ObjReadReq/IoMovedRep with the legacy read; the
+/// payload travels as store-owned slices in the reply frame itself
+/// (BulkDir::kReply), so the client registers no bulk-in region.
+inline constexpr rpc::OpDef kObjReadSliceOp{kOpObjReadSlice, "obj_read_slice",
+                                            security::kOpRead,
+                                            rpc::BulkDir::kReply};
 
 // ---------------------------------------------------------------------------
 // Replication (storage data plane)

@@ -1,6 +1,7 @@
 #include "libio/dataset.h"
 
 #include <algorithm>
+#include <deque>
 
 namespace lwfs::io {
 
@@ -189,15 +190,75 @@ Result<Buffer> Dataset::ReadSlab(std::span<const std::uint64_t> start,
   std::uint64_t total = 0;
   for (const SlabRun& run : *runs) total += run.length;
   Buffer out(static_cast<std::size_t>(total), 0);
+
+  // Pipeline the per-run reads: a bounded window of async file handles
+  // keeps runs on different stripes in flight together instead of paying
+  // one full round trip per run.  Retire in issue order; every handle is
+  // drained even after an error so `out` is quiescent on return.
+  std::deque<fs::FileIo> inflight;
+  Status error = OkStatus();
   std::uint64_t pos = 0;
-  for (const SlabRun& run : *runs) {
+  std::size_t next = 0;
+  auto retire = [&] {
+    auto n = inflight.front().Await();
+    inflight.pop_front();
+    if (!n.ok() && error.ok()) error = n.status();
+  };
+  while (error.ok() && next < runs->size()) {
+    if (inflight.size() >= fs_->options().io_window) {
+      retire();
+      continue;
+    }
+    const SlabRun& run = (*runs)[next++];
     auto span = MutableByteSpan(out).subspan(
         static_cast<std::size_t>(pos), static_cast<std::size_t>(run.length));
-    auto n = fs_->Read(file_, run.file_offset, span);
-    if (!n.ok()) return n.status();
+    pos += run.length;
+    auto io = fs_->ReadAsync(file_, run.file_offset, span);
+    if (!io.ok()) {
+      error = io.status();
+      break;
+    }
+    inflight.push_back(std::move(*io));
+  }
+  while (!inflight.empty()) retire();
+  if (!error.ok()) return error;
+  return out;
+}
+
+Result<util::SharedSlice> Dataset::ReadSlabSlice(
+    std::span<const std::uint64_t> start,
+    std::span<const std::uint64_t> count) {
+  auto runs = MapHyperslab(spec_, start, count);
+  if (!runs.ok()) return runs.status();
+  std::uint64_t total = 0;
+  for (const SlabRun& run : *runs) total += run.length;
+
+  // Contiguous slab: the file system's slice comes straight through, so a
+  // full-dataset restore holds exactly one store-owned payload.
+  if (runs->size() == 1) {
+    const SlabRun& run = runs->front();
+    auto got = fs_->ReadSlice(file_, run.file_offset, run.length);
+    if (!got.ok()) return got.status();
+    if (got->size() == run.length) return got;
+    Buffer padded(static_cast<std::size_t>(run.length), std::uint8_t{0});
+    std::copy(got->span().begin(), got->span().end(), padded.begin());
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, got->size());
+    return util::SharedSlice::FromBuffer(std::move(padded));
+  }
+
+  // Fragmented slab: gather per-run slices into one allocation (a single
+  // delivery copy per byte); short runs leave zeros.
+  Buffer out(static_cast<std::size_t>(total), std::uint8_t{0});
+  std::uint64_t pos = 0;
+  for (const SlabRun& run : *runs) {
+    auto got = fs_->ReadSlice(file_, run.file_offset, run.length);
+    if (!got.ok()) return got.status();
+    std::copy(got->span().begin(), got->span().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(pos));
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, got->size());
     pos += run.length;
   }
-  return out;
+  return util::SharedSlice::FromBuffer(std::move(out));
 }
 
 }  // namespace lwfs::io

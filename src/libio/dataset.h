@@ -68,9 +68,18 @@ class Dataset {
                         std::span<const std::uint64_t> count,
                         const util::SharedSlice& data);
 
-  /// Read the hyperslab into a freshly allocated buffer.
+  /// Read the hyperslab into a freshly allocated buffer.  Per-run file
+  /// reads are pipelined through a bounded window of async handles (like
+  /// the striped write path), so runs on different stripes overlap.
   Result<Buffer> ReadSlab(std::span<const std::uint64_t> start,
                           std::span<const std::uint64_t> count);
+
+  /// Zero-copy ReadSlab: a slab that maps to one contiguous run returns
+  /// the file system's store-owned slice unchanged (no dataset-layer
+  /// copy); fragmented slabs gather per-run slices into one freshly
+  /// allocated slice.  Holes read as zero; always exactly the slab size.
+  Result<util::SharedSlice> ReadSlabSlice(std::span<const std::uint64_t> start,
+                                          std::span<const std::uint64_t> count);
 
   [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
   [[nodiscard]] const std::map<std::string, std::string>& attributes() const {

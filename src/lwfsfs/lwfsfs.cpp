@@ -501,6 +501,93 @@ Result<FileIo> LwfsFs::ReadAsync(FileHandle& file, std::uint64_t offset,
   return io;
 }
 
+Result<util::SharedSlice> LwfsFs::ReadSlice(FileHandle& file,
+                                            std::uint64_t offset,
+                                            std::uint64_t length) {
+  // kPosix: shared byte-range lock over the extent, exactly like Read.
+  std::optional<txn::LockId> lock;
+  if (options_.consistency == FsConsistency::kPosix) {
+    auto id = client_->LockBlocking(FileLockKey(cap_, file.inode),
+                                    {offset, offset + length},
+                                    txn::LockMode::kShared);
+    if (!id.ok()) return id.status();
+    lock = *id;
+  }
+  auto unlock = [&](Result<util::SharedSlice> r) -> Result<util::SharedSlice> {
+    if (lock) {
+      Status unlocked = client_->Unlock(*lock);
+      if (r.ok() && !unlocked.ok()) return unlocked;
+    }
+    return r;
+  };
+
+  auto size = Size(file);
+  if (!size.ok()) return unlock(size.status());
+  if (offset >= *size) return unlock(util::SharedSlice());
+  const std::uint64_t want = std::min<std::uint64_t>(length, *size - offset);
+  const auto chunks = pfs::MapExtent(
+      file.stripe_size, static_cast<std::uint32_t>(file.stripes.size()),
+      offset, want);
+
+  // Fast path: the extent lives in one stripe object — hand the server's
+  // store-owned slice straight through.  A short slice here is a hole
+  // inside the file extent; pad it below like the span path zero-fills.
+  if (chunks.size() == 1) {
+    const pfs::StripeTarget& target = file.stripes[chunks[0].stripe_index];
+    auto got = client_->ReadObjectSlice(target.ost_index, cap_, target.oid,
+                                        chunks[0].object_offset, want);
+    if (!got.ok()) return unlock(got.status());
+    if (got->size() == want) return unlock(std::move(*got));
+    Buffer padded(static_cast<std::size_t>(want), std::uint8_t{0});
+    std::copy(got->span().begin(), got->span().end(), padded.begin());
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, got->size());
+    return unlock(util::SharedSlice::FromBuffer(std::move(padded)));
+  }
+
+  // Gather path: per-stripe slices flow through the bounded window and are
+  // copied once (kDeliver — final delivery, outside the staging budget)
+  // into a single freshly allocated slice.  Holes stay zero.
+  Buffer out(static_cast<std::size_t>(want), std::uint8_t{0});
+  struct Issued {
+    core::PendingSliceIo io;
+    std::size_t span_offset = 0;
+  };
+  std::deque<Issued> inflight;
+  Status error = OkStatus();
+  std::size_t next = 0;
+  auto retire = [&] {
+    Issued op = std::move(inflight.front());
+    inflight.pop_front();
+    auto got = op.io.Await();
+    if (!got.ok()) {
+      if (error.ok()) error = got.status();
+      return;
+    }
+    std::copy(got->span().begin(), got->span().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(op.span_offset));
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, got->size());
+  };
+  while (error.ok() && next < chunks.size()) {
+    if (inflight.size() >= options_.io_window) {
+      retire();
+      continue;
+    }
+    const pfs::StripeChunk& chunk = chunks[next++];
+    const pfs::StripeTarget& target = file.stripes[chunk.stripe_index];
+    auto io = client_->ReadObjectSliceAsync(target.ost_index, cap_, target.oid,
+                                            chunk.object_offset, chunk.length);
+    if (!io.ok()) {
+      error = io.status();
+      break;
+    }
+    inflight.push_back(Issued{
+        std::move(*io), static_cast<std::size_t>(chunk.file_offset - offset)});
+  }
+  while (!inflight.empty()) retire();
+  if (!error.ok()) return unlock(error);
+  return unlock(util::SharedSlice::FromBuffer(std::move(out)));
+}
+
 Status LwfsFs::Truncate(FileHandle& file, std::uint64_t size) {
   std::optional<txn::LockId> lock;
   if (options_.consistency == FsConsistency::kPosix) {

@@ -133,6 +133,13 @@ class LwfsFs {
                                  const util::SharedSlice& data);
   Result<FileIo> ReadAsync(FileHandle& file, std::uint64_t offset,
                            MutableByteSpan out);
+  /// Zero-copy read: an extent inside one stripe returns the storage
+  /// server's store-owned slice unchanged — no client-side landing buffer
+  /// at all.  Extents spanning stripes gather per-stripe slices (fetched
+  /// through the same bounded window) into one freshly allocated slice;
+  /// holes read as zero.  Short at EOF.
+  Result<util::SharedSlice> ReadSlice(FileHandle& file, std::uint64_t offset,
+                                      std::uint64_t length);
   Status Truncate(FileHandle& file, std::uint64_t size);
   /// Publish the current size to the inode object (POSIX close/fsync
   /// semantics); refreshes `file.size`.

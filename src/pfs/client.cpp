@@ -124,6 +124,151 @@ Result<std::uint64_t> PfsIo::Await() {
 }
 
 // ---------------------------------------------------------------------------
+// PfsSliceIo
+// ---------------------------------------------------------------------------
+
+struct PfsSliceIo::State {
+  PfsClient* client = nullptr;
+  std::size_t window = PfsClient::kDefaultOstWindow;
+
+  // Same deferred-lock discipline as PfsIo (see the comment there).
+  bool need_lock = false;
+  Ino lock_ino = 0;
+  std::uint64_t lock_start = 0;
+  std::uint64_t lock_end = 0;
+  std::optional<txn::LockId> lock;
+
+  struct Chunk {
+    portals::Nid ost = portals::kInvalidNid;
+    std::uint64_t oid = 0;
+    std::uint64_t object_offset = 0;
+    std::uint64_t length = 0;
+    std::size_t span_offset = 0;  // into the gathered extent
+  };
+  std::vector<Chunk> chunks;
+  std::size_t next_chunk = 0;
+
+  struct Issued {
+    rpc::CallHandle handle;
+    std::uint64_t length = 0;
+    std::size_t span_offset = 0;
+  };
+  std::deque<Issued> inflight;
+
+  bool completed = false;
+  Result<util::SharedSlice> result = util::SharedSlice();
+};
+
+PfsSliceIo::PfsSliceIo() = default;
+PfsSliceIo::PfsSliceIo(PfsSliceIo&&) noexcept = default;
+PfsSliceIo& PfsSliceIo::operator=(PfsSliceIo&&) noexcept = default;
+
+PfsSliceIo::~PfsSliceIo() {
+  if (state_ && !state_->completed) (void)Await();
+}
+
+Result<util::SharedSlice> PfsSliceIo::Await() {
+  if (!state_) return FailedPrecondition("awaiting an empty pfs slice handle");
+  State& s = *state_;
+  if (s.completed) return s.result;
+
+  if (s.need_lock && !s.lock) {
+    auto id = s.client->LockExtent(s.lock_ino, s.lock_start, s.lock_end);
+    if (!id.ok()) {
+      s.completed = true;
+      s.result = id.status();
+      return s.result;
+    }
+    s.lock = *id;
+  }
+
+  // Retired per-stripe slices in chunk order; assembled after the drain.
+  struct Piece {
+    util::SharedSlice slice;
+    std::uint64_t length = 0;      // what the chunk asked for
+    std::size_t span_offset = 0;
+  };
+  std::vector<Piece> pieces;
+  pieces.reserve(s.chunks.size());
+  Status error = OkStatus();
+  bool eof = false;
+  for (;;) {
+    while (error.ok() && !eof && s.inflight.size() < s.window &&
+           s.next_chunk < s.chunks.size()) {
+      const State::Chunk& chunk = s.chunks[s.next_chunk++];
+      auto handle = rpc::CallTypedAsync(
+          s.client->rpc_, chunk.ost, kOstReadSlice,
+          wire::OstReadReq{chunk.oid, chunk.object_offset, chunk.length});
+      if (!handle.ok()) {
+        error = handle.status();
+        break;
+      }
+      s.inflight.push_back(
+          State::Issued{std::move(*handle), chunk.length, chunk.span_offset});
+    }
+    if (s.inflight.empty()) break;
+    State::Issued op = std::move(s.inflight.front());
+    s.inflight.pop_front();
+    auto reply = op.handle.Await();
+    if (!reply.ok()) {
+      if (error.ok()) error = reply.status();
+      continue;
+    }
+    if (eof || !error.ok()) continue;
+    auto moved = rpc::ResolveTyped<wire::OstMovedRep>(std::move(reply));
+    if (!moved.ok()) {
+      error = moved.status();
+      continue;
+    }
+    util::SharedSlice bulk = op.handle.ReplyBulk();
+    if (bulk.size() != moved->moved) {
+      error = DataLoss("ost slice read bulk does not match reported count");
+      continue;
+    }
+    if (moved->moved < op.length) eof = true;  // EOF within this stripe object
+    pieces.push_back(Piece{std::move(bulk), op.length, op.span_offset});
+  }
+
+  if (s.lock) {
+    Status unlock = s.client->UnlockExtent(*s.lock);
+    if (error.ok()) error = unlock;
+    s.lock.reset();
+  }
+  s.completed = true;
+  if (!error.ok()) {
+    s.result = error;
+    return s.result;
+  }
+
+  // Fast path: one stripe chunk — hand the OST's slice straight through
+  // (short at EOF by construction).
+  if (pieces.size() == 1 && pieces[0].span_offset == 0) {
+    s.result = std::move(pieces[0].slice);
+    return s.result;
+  }
+
+  // Gather: the extent ends at the first short chunk (retired in chunk
+  // order).  One delivery copy per byte — final delivery, outside the
+  // staging budget.
+  std::uint64_t total = 0;
+  for (const Piece& p : pieces) {
+    total = p.span_offset + p.slice.size();
+    if (p.slice.size() < p.length) break;
+  }
+  Buffer out(static_cast<std::size_t>(total), std::uint8_t{0});
+  for (const Piece& p : pieces) {
+    if (p.span_offset >= total) break;
+    const std::size_t n = std::min<std::size_t>(
+        p.slice.size(), static_cast<std::size_t>(total) - p.span_offset);
+    std::copy_n(p.slice.span().begin(), n,
+                out.begin() + static_cast<std::ptrdiff_t>(p.span_offset));
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, n);
+  }
+  s.result = util::SharedSlice::FromBuffer(std::move(out));
+  return s.result;
+}
+
+// ---------------------------------------------------------------------------
 // PfsClient
 // ---------------------------------------------------------------------------
 
@@ -355,6 +500,55 @@ Result<PfsIo> PfsClient::ReadAsync(const OpenFile& file, std::uint64_t offset,
       return issued;
     }
   }
+  return io;
+}
+
+Result<util::SharedSlice> PfsClient::ReadSlice(const OpenFile& file,
+                                               std::uint64_t offset,
+                                               std::uint64_t length) {
+  auto io = ReadSliceAsync(file, offset, length);
+  if (!io.ok()) return io.status();
+  return io->Await();
+}
+
+Result<PfsSliceIo> PfsClient::ReadSliceAsync(const OpenFile& file,
+                                             std::uint64_t offset,
+                                             std::uint64_t length,
+                                             std::size_t window) {
+  PfsSliceIo io;
+  io.state_ = std::make_unique<PfsSliceIo::State>();
+  PfsSliceIo::State& s = *io.state_;
+  s.client = this;
+  s.window = window == 0 ? 1 : window;
+
+  const auto chunks = MapExtent(
+      file.attr.layout.stripe_size,
+      static_cast<std::uint32_t>(file.attr.layout.stripes.size()), offset,
+      length);
+  s.chunks.reserve(chunks.size());
+  for (const StripeChunk& chunk : chunks) {
+    const StripeTarget& target = file.attr.layout.stripes[chunk.stripe_index];
+    if (target.ost_index >= deployment_.osts.size()) {
+      return Internal("layout names unknown OST");
+    }
+    PfsSliceIo::State::Chunk planned;
+    planned.ost = deployment_.osts[target.ost_index];
+    planned.oid = target.oid.value;
+    planned.object_offset = chunk.object_offset;
+    planned.length = chunk.length;
+    planned.span_offset = static_cast<std::size_t>(chunk.file_offset - offset);
+    s.chunks.push_back(planned);
+  }
+
+  if (mode_ == ConsistencyMode::kPosixLocking) {
+    s.need_lock = true;
+    s.lock_ino = file.attr.ino;
+    s.lock_start = offset;
+    s.lock_end = offset + length;
+  }
+  // Issuance happens inside Await() for both modes: kPosixLocking must
+  // take the extent lock first, and the slice path has no caller-owned
+  // landing span to protect, so there is nothing to gain from priming.
   return io;
 }
 

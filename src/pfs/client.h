@@ -76,6 +76,29 @@ class PfsIo {
   std::unique_ptr<State> state_;
 };
 
+/// A pending zero-copy striped read.  Per-stripe OST calls register no
+/// bulk-in region: each reply arrives as store-owned slices in the reply
+/// frame.  A single-stripe extent resolves to that slice unchanged; a
+/// multi-stripe extent gathers the per-stripe slices into one freshly
+/// allocated slice.  Short at EOF (first short stripe chunk ends the
+/// extent, matching PfsIo's read accounting).
+class PfsSliceIo {
+ public:
+  PfsSliceIo();
+  PfsSliceIo(PfsSliceIo&&) noexcept;
+  PfsSliceIo& operator=(PfsSliceIo&&) noexcept;
+  ~PfsSliceIo();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  Result<util::SharedSlice> Await();
+
+ private:
+  friend class PfsClient;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
 class PfsClient {
  public:
   /// Default bound on overlapped per-stripe OST calls within one PfsIo.
@@ -115,6 +138,15 @@ class PfsClient {
   Result<PfsIo> ReadAsync(const OpenFile& file, std::uint64_t offset,
                           MutableByteSpan out,
                           std::size_t window = kDefaultOstWindow);
+  /// Zero-copy read: no client landing buffer is registered; the payload
+  /// arrives as store-owned slices in the OST reply frames.  Thin
+  /// ReadSliceAsync+Await wrapper.
+  Result<util::SharedSlice> ReadSlice(const OpenFile& file,
+                                      std::uint64_t offset,
+                                      std::uint64_t length);
+  Result<PfsSliceIo> ReadSliceAsync(const OpenFile& file, std::uint64_t offset,
+                                    std::uint64_t length,
+                                    std::size_t window = kDefaultOstWindow);
 
   /// Publish the file size to the MDS (close/sync semantics).
   Status Sync(const OpenFile& file, std::uint64_t size_hint);
@@ -135,6 +167,7 @@ class PfsClient {
 
  private:
   friend class PfsIo;
+  friend class PfsSliceIo;
 
   /// One MDS metadata round trip with standby failover: call the active
   /// endpoint; on timeout/unavailable try the other one and remember

@@ -65,6 +65,23 @@ OstServer::OstServer(std::shared_ptr<portals::Nic> nic,
         return wire::OstMovedRep{moved};
       });
 
+  ops_.On<wire::OstReadReq, wire::OstMovedRep>(
+      wire::kOstReadSliceOp,
+      [this](rpc::ServerContext& ctx,
+             wire::OstReadReq& req) -> Result<wire::OstMovedRep> {
+        // Zero-copy read: the store's slice is attached to the reply frame
+        // itself and stays alive through retransmits via the reply cache.
+        auto slice =
+            store_->ReadSlice(storage::ObjectId{req.oid}, req.offset,
+                              req.length);
+        if (!slice.ok()) return slice.status();
+        const std::uint64_t moved = slice->size();
+        if (moved > 0) {
+          LWFS_RETURN_IF_ERROR(ctx.PushBulkSlice(std::move(*slice)));
+        }
+        return wire::OstMovedRep{moved};
+      });
+
   ops_.On<wire::OstOidReq, rpc::Void>(
       wire::kOstRemoveOp,
       [this](rpc::ServerContext&, wire::OstOidReq& req) -> Result<rpc::Void> {

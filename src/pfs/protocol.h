@@ -32,6 +32,7 @@ enum PfsOp : rpc::Opcode {
   kOstRead = 122,
   kOstRemove = 123,
   kOstGetAttr = 124,
+  kOstReadSlice = 125,  // read whose payload rides the reply frame as slices
 };
 
 // Every pfs opcode must live inside the pfs protocol family's range so the
@@ -49,7 +50,8 @@ static_assert(rpc::kPfsOpcodeRange.Contains(kPfsCreate) &&
                   rpc::kPfsOpcodeRange.Contains(kOstWrite) &&
                   rpc::kPfsOpcodeRange.Contains(kOstRead) &&
                   rpc::kPfsOpcodeRange.Contains(kOstRemove) &&
-                  rpc::kPfsOpcodeRange.Contains(kOstGetAttr),
+                  rpc::kPfsOpcodeRange.Contains(kOstGetAttr) &&
+                  rpc::kPfsOpcodeRange.Contains(kOstReadSlice),
               "pfs opcode outside the pfs protocol family's range");
 
 inline void EncodeLayout(Encoder& enc, const Layout& layout) {

@@ -279,6 +279,11 @@ inline constexpr rpc::OpDef kOstReadOp{kOstRead, "ost_read", 0,
                                        rpc::BulkDir::kPush};
 inline constexpr rpc::OpDef kOstRemoveOp{kOstRemove, "ost_remove"};
 inline constexpr rpc::OpDef kOstGetAttrOp{kOstGetAttr, "ost_getattr"};
+/// Slice read shares OstReadReq/OstMovedRep with the legacy read; the
+/// payload travels as store-owned slices in the reply frame itself
+/// (BulkDir::kReply), so the client registers no bulk-in region.
+inline constexpr rpc::OpDef kOstReadSliceOp{kOstReadSlice, "ost_read_slice", 0,
+                                            rpc::BulkDir::kReply};
 
 // ---------------------------------------------------------------------------
 // Codec registry for table-driven tests

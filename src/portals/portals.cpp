@@ -274,9 +274,18 @@ Status Nic::AcceptPut(Nid initiator, PortalIndex portal, MatchBits match_bits,
   ev.user_data = me->user_data;
 
   if (me->options.message_mode) {
+    const bool all_owned =
+        std::all_of(parts.begin(), parts.end(),
+                    [](const util::SharedSlice& p) { return p.owned(); });
     if (parts.size() == 1 && parts.front().owned()) {
       // Zero-copy delivery: the event references the sender's bytes.
       ev.payload = parts.front();
+    } else if (me->options.deliver_parts && parts.size() > 1 && all_owned) {
+      // Zero-copy scatter delivery: the event carries the sender's part
+      // list by reference.  Each part bumps a refcount, so a bulk slice
+      // riding a reply frame reaches the receiver still backed by the
+      // store's (or reply cache's) memory.
+      ev.parts.assign(parts.begin(), parts.end());
     } else {
       // Gather (or borrow-copy) at the delivery point — the one host copy
       // a scattered or externally owned message pays.

@@ -71,6 +71,11 @@ struct Event {
   /// slice (or frame), this *is* the sender's buffer — zero-copy delivery —
   /// so receivers must treat it as immutable.
   util::SharedSlice payload;
+  /// Message-mode, `deliver_parts` entries only.  A multi-part frame whose
+  /// parts are all owned arrives as the sender's part list by reference
+  /// (refcount bumps, no gather); `payload` stays empty.  Single-part and
+  /// gathered messages use `payload` as before.
+  std::vector<util::SharedSlice> parts;
 };
 
 /// Event queue handed to Attach(); bounded capacity models finite
@@ -114,6 +119,12 @@ struct MeOptions {
   /// Message mode: payload is copied into the event instead of a registered
   /// region (used for request/reply queues).  `region` must be empty.
   bool message_mode = false;
+  /// Message mode only: a fully owned multi-part frame is delivered as the
+  /// sender's part list (Event::parts) instead of being gathered into one
+  /// contiguous payload.  Receivers opting in must parse across part
+  /// boundaries; this is how reply frames carry bulk read slices without a
+  /// delivery copy.
+  bool deliver_parts = false;
 };
 
 /// Handle to an attached match entry; pass to Detach().

@@ -1,6 +1,7 @@
 #include "rpc/rpc.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <utility>
@@ -49,6 +50,162 @@ bool VerifyAndStripCrc(const util::SharedSlice& frame,
   *payload = frame.Slice(0, stripped.size());
   return true;
 }
+
+/// Multi-part flavor for reply frames delivered by reference
+/// (MeOptions::deliver_parts): verify the CRC trailer by streaming across
+/// the part list — never gathering — and trim the trailing 4 bytes off the
+/// list in place.  Returns false on a mismatch or a short frame.
+bool VerifyAndStripCrcParts(std::vector<util::SharedSlice>& parts) {
+  std::size_t total = 0;
+  for (const util::SharedSlice& p : parts) total += p.size();
+  if (total < kCrcTrailerBytes) return false;
+  const std::size_t body = total - kCrcTrailerBytes;
+  // Collect the trailer by walking parts back from the frame's tail — it
+  // may straddle a part boundary, but never more than the last few parts,
+  // so a bulk payload riding the frame is never rescanned here.
+  std::uint8_t trailer[kCrcTrailerBytes];
+  std::size_t end = total;
+  for (auto it = parts.rbegin(); it != parts.rend() && end > body; ++it) {
+    const std::size_t start = end - it->size();
+    const std::size_t lo = std::max(start, body);
+    for (std::size_t i = lo; i < end; ++i) {
+      trailer[i - body] = it->data()[i - start];
+    }
+    end = start;
+  }
+  std::uint32_t crc = 0;  // CRC32 of the empty prefix
+  std::size_t seen = 0;
+  for (const util::SharedSlice& p : parts) {
+    if (seen >= body) break;
+    const std::size_t take = std::min(p.size(), body - seen);
+    if (take == p.size() && p.has_cached_crc()) {
+      // A bulk payload delivered by reference is the producer's own
+      // immutable bytes, so its cached CRC folds in via Crc32Combine with
+      // no second pass.  Anything rewritten in flight (a corruption
+      // clone, a gather copy) arrives as a fresh cache-less slice and is
+      // streamed for real below.
+      crc = Crc32Combine(crc, p.cached_crc(), take);
+    } else {
+      crc = Crc32Combine(crc, Crc32(ByteSpan(p.data(), take)), take);
+    }
+    seen += take;
+  }
+  const std::uint32_t stored = static_cast<std::uint32_t>(trailer[0]) |
+                               static_cast<std::uint32_t>(trailer[1]) << 8 |
+                               static_cast<std::uint32_t>(trailer[2]) << 16 |
+                               static_cast<std::uint32_t>(trailer[3]) << 24;
+  if (crc != stored) return false;
+  // Trim the trailer off the part list (it may span parts).
+  std::size_t drop = kCrcTrailerBytes;
+  while (drop > 0 && !parts.empty()) {
+    util::SharedSlice& last = parts.back();
+    if (last.size() <= drop) {
+      drop -= last.size();
+      parts.pop_back();
+    } else {
+      last = last.Slice(0, last.size() - drop);
+      drop = 0;
+    }
+  }
+  return true;
+}
+
+/// Sequential decoder over a reply frame's part list.  Scalars and small
+/// strings are read byte-wise across part boundaries (tiny header memcpys,
+/// uncounted); TakeSlice() hands back a zero-copy sub-slice whenever the
+/// requested range lies within one owned part — which is exactly where
+/// dispatch placed a PushBulkSlice payload.
+class PartsCursor {
+ public:
+  explicit PartsCursor(std::span<const util::SharedSlice> parts)
+      : parts_(parts) {
+    for (const util::SharedSlice& p : parts_) remaining_ += p.size();
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return remaining_; }
+
+  bool ReadRaw(std::uint8_t* dst, std::size_t n) {
+    if (n > remaining_) return false;
+    while (n > 0) {
+      const util::SharedSlice& p = parts_[part_];
+      const std::size_t take = std::min(n, p.size() - off_);
+      std::memcpy(dst, p.data() + off_, take);
+      dst += take;
+      Advance(take);
+      n -= take;
+    }
+    return true;
+  }
+
+  Result<std::uint32_t> GetU32() {
+    std::uint8_t b[4];
+    if (!ReadRaw(b, 4)) return InvalidArgument("truncated reply frame");
+    return static_cast<std::uint32_t>(b[0]) |
+           static_cast<std::uint32_t>(b[1]) << 8 |
+           static_cast<std::uint32_t>(b[2]) << 16 |
+           static_cast<std::uint32_t>(b[3]) << 24;
+  }
+
+  Result<std::uint64_t> GetU64() {
+    std::uint8_t b[8];
+    if (!ReadRaw(b, 8)) return InvalidArgument("truncated reply frame");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    if (*len > remaining_) return InvalidArgument("truncated reply string");
+    std::string out(*len, '\0');
+    (void)ReadRaw(reinterpret_cast<std::uint8_t*>(out.data()), *len);
+    return out;
+  }
+
+  Result<Buffer> GetBytes() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    if (*len > remaining_) return InvalidArgument("truncated reply bytes");
+    Buffer out(*len, 0);
+    (void)ReadRaw(out.data(), *len);
+    return out;
+  }
+
+  /// The next `n` bytes as a slice.  Zero-copy (a ref-counted sub-slice of
+  /// the delivered part) when the range sits inside one owned part; a
+  /// boundary-straddling or unowned range gathers with one counted
+  /// delivery copy.
+  Result<util::SharedSlice> TakeSlice(std::size_t n) {
+    if (n > remaining_) return InvalidArgument("truncated reply slice");
+    if (n == 0) return util::SharedSlice{};
+    if (part_ < parts_.size() && off_ + n <= parts_[part_].size() &&
+        parts_[part_].owned()) {
+      util::SharedSlice out = parts_[part_].Slice(off_, n);
+      Advance(n);
+      return out;
+    }
+    Buffer flat(n, 0);
+    (void)ReadRaw(flat.data(), n);
+    LWFS_COUNT_COPY(util::CopyKind::kDeliver, n);
+    return util::SharedSlice::FromBuffer(std::move(flat));
+  }
+
+ private:
+  void Advance(std::size_t n) {
+    remaining_ -= n;
+    off_ += n;
+    while (part_ < parts_.size() && off_ >= parts_[part_].size()) {
+      off_ -= parts_[part_].size();
+      ++part_;
+    }
+  }
+
+  std::span<const util::SharedSlice> parts_;
+  std::size_t part_ = 0;
+  std::size_t off_ = 0;
+  std::size_t remaining_ = 0;
+};
 
 // Request header layout; see rpc.h for the portal conventions.
 void EncodeHeader(Encoder& enc, Opcode opcode, std::uint64_t request_id,
@@ -112,6 +269,13 @@ bool CallHandle::TryAwait(Result<Buffer>* out) {
   if (!state_->done) return false;
   if (out != nullptr) *out = state_->result;
   return true;
+}
+
+util::SharedSlice CallHandle::ReplyBulk() const {
+  if (!state_) return {};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->done) return {};
+  return state_->reply_bulk;  // refcount bump, no copy
 }
 
 void CallHandle::OnComplete(std::function<void(const Result<Buffer>&)> fn) {
@@ -217,6 +381,7 @@ Status RpcClient::ReattachReplySlot(detail::CallState& state) {
   reply_opts.allow_put = true;
   reply_opts.message_mode = true;
   reply_opts.unlink_on_use = true;
+  reply_opts.deliver_parts = true;  // frame-carried bulk arrives zero-copy
   auto me = nic_->Attach(kReplyPortal, state.request_id, 0, {}, reply_opts,
                          &completions_);
   if (!me.ok()) return me.status();
@@ -333,11 +498,14 @@ Result<CallHandle> RpcClient::CallAsync(portals::Nid server, Opcode opcode,
       Backoff((static_cast<std::uint64_t>(nic_->nid()) << 32) ^ request_id);
 
   // Reply slot: one message-mode entry matched by request id, delivering
-  // into the client-wide completion queue.
+  // into the client-wide completion queue.  deliver_parts lets a reply
+  // frame carrying a bulk slice arrive as the sender's part list by
+  // reference — the zero-copy read delivery.
   portals::MeOptions reply_opts;
   reply_opts.allow_put = true;
   reply_opts.message_mode = true;
   reply_opts.unlink_on_use = true;
+  reply_opts.deliver_parts = true;
   auto reply_me = nic_->Attach(kReplyPortal, request_id, 0, {}, reply_opts,
                                &completions_);
   if (!reply_me.ok()) return reply_me.status();
@@ -439,18 +607,29 @@ Result<Buffer> RpcClient::Call(portals::Nid server, Opcode opcode,
   return handle->Await();
 }
 
-Result<Buffer> RpcClient::ResolveReply(detail::CallState& state,
-                                       ByteSpan payload) {
-  // Reply frame (CRC trailer already stripped):
-  //   u32 code | string msg | bytes body | u32 push_crc | u64 push_bytes
-  Decoder dec(payload);
-  auto code = dec.GetU32();
-  auto message = dec.GetString();
-  auto body = dec.GetBytes();
-  auto push_crc = dec.GetU32();
-  auto push_bytes = dec.GetU64();
-  if (!code.ok() || !message.ok() || !body.ok() || !push_crc.ok() ||
-      !push_bytes.ok()) {
+Result<Buffer> RpcClient::ResolveReply(
+    detail::CallState& state, std::span<const util::SharedSlice> parts) {
+  // Reply frame (CRC trailer already stripped), possibly multi-part:
+  //   u32 code | string msg | bytes body | u64 bulk_len | bulk bytes
+  //   | u32 push_crc | u64 push_bytes
+  // The bulk bytes are a scatter-gather part of their own, so TakeSlice
+  // aliases them zero-copy; the frame CRC already proved them intact.
+  PartsCursor cur(parts);
+  auto code = cur.GetU32();
+  auto message = cur.GetString();
+  auto body = cur.GetBytes();
+  auto bulk_len = cur.GetU64();
+  if (!code.ok() || !message.ok() || !body.ok() || !bulk_len.ok()) {
+    return Internal("malformed rpc reply");
+  }
+  if (*bulk_len > 0) {
+    auto bulk = cur.TakeSlice(static_cast<std::size_t>(*bulk_len));
+    if (!bulk.ok()) return Internal("malformed rpc reply bulk");
+    state.reply_bulk = std::move(*bulk);
+  }
+  auto push_crc = cur.GetU32();
+  auto push_bytes = cur.GetU64();
+  if (!push_crc.ok() || !push_bytes.ok()) {
     return Internal("malformed rpc reply");
   }
   if (*code != static_cast<std::uint32_t>(ErrorCode::kOk)) {
@@ -553,9 +732,16 @@ void RpcClient::EngineLoop() {
 
     // A reply: verify frame integrity, then route it to its call by request
     // id (completions for calls that already finished find no entry and are
-    // dropped).
-    ByteSpan payload;
-    const bool frame_ok = VerifyAndStripCrc(event->payload.span(), &payload);
+    // dropped).  The frame arrives either as a referenced part list
+    // (deliver_parts — zero-copy) or as one gathered/corruption-flattened
+    // payload; both verify through the streaming multi-part path.
+    std::vector<util::SharedSlice> reply_parts;
+    if (!event->parts.empty()) {
+      reply_parts = std::move(event->parts);
+    } else {
+      reply_parts.push_back(event->payload);
+    }
+    const bool frame_ok = VerifyAndStripCrcParts(reply_parts);
     std::shared_ptr<detail::CallState> state;
     Status corrupt_failure = OkStatus();
     {
@@ -596,7 +782,8 @@ void RpcClient::EngineLoop() {
     }
     if (state) {
       if (frame_ok) {
-        FinishCall(state, ResolveReply(*state, payload), Contact::kReplied);
+        FinishCall(state, ResolveReply(*state, reply_parts),
+                   Contact::kReplied);
       } else {
         // Something did arrive, so the server is alive — but the call is
         // out of retransmit budget (or the slot could not be re-armed).
@@ -658,6 +845,10 @@ Status ServerContext::PushBulk(ByteSpan data, std::size_t offset) {
   }
   Status s = nic_->Put(client_, kBulkPortal, request_id_, data, offset);
   if (!s.ok()) return s;
+  // A span push by definition pushes from volatile server-side staging
+  // memory the read was copied into; PushBulkSlice is the uncounted
+  // (zero-copy) alternative that rides store-owned bytes.
+  LWFS_COUNT_COPY(util::CopyKind::kStage, data.size());
   total_pushed_ += data.size();
   if (pushed_in_order_ && offset == pushed_.bytes()) {
     pushed_.Update(data);
@@ -665,6 +856,17 @@ Status ServerContext::PushBulk(ByteSpan data, std::size_t offset) {
     pushed_in_order_ = false;
   }
   return s;
+}
+
+Status ServerContext::PushBulkSlice(util::SharedSlice data) {
+  if (!data.owned()) {
+    return InvalidArgument("reply-frame bulk needs an owned slice");
+  }
+  if (data.empty()) return OkStatus();
+  total_pushed_ += data.size();
+  reply_bulk_bytes_ += data.size();
+  reply_bulk_.push_back(std::move(data));
+  return OkStatus();
 }
 
 Status ServerContext::VerifyPulledPayload() const {
@@ -742,6 +944,15 @@ void RpcServer::ResetReplyCache() {
   reply_cache_.clear();
   in_progress_.clear();
   cache_fifo_.clear();
+  bulk_fifo_.clear();
+  cache_bulk_bytes_ = 0;
+}
+
+void RpcServer::EraseCacheEntryLocked(const DedupKey& key) {
+  auto it = reply_cache_.find(key);
+  if (it == reply_cache_.end()) return;  // already evicted by the other bound
+  cache_bulk_bytes_ -= it->second.bulk_bytes;
+  reply_cache_.erase(it);
 }
 
 void RpcServer::WorkerLoop() {
@@ -781,14 +992,16 @@ void RpcServer::Dispatch(const portals::Event& event) {
       auto cached = reply_cache_.find(key);
       if (cached != reply_cache_.end()) {
         // At-most-once: a retransmitted request re-sends the recorded
-        // reply; the handler does not run again.  (Bulk pushes are not
-        // replayed — the original execution already landed them, and the
-        // reply's push checksum lets the client detect the rare case it
-        // did not.)  Copying the Frame only bumps slice refcounts; the
-        // resend Put runs outside the lock because an injected delivery
-        // delay may sleep inside it.
+        // reply; the handler does not run again.  (Region bulk pushes are
+        // not replayed — the original execution already landed them, and
+        // the reply's push checksum lets the client detect the rare case
+        // it did not.  Frame-carried bulk *is* replayed: the cached frame
+        // holds the payload slices by reference, so the resend aliases
+        // the very same bytes.)  Copying the Frame only bumps slice
+        // refcounts; the resend Put runs outside the lock because an
+        // injected delivery delay may sleep inside it.
         have_cached = true;
-        cached_reply = cached->second;
+        cached_reply = cached->second.wire;
       } else if (!in_progress_.insert(key).second) {
         // The original delivery is still executing; drop the duplicate —
         // the client's next retransmit will find the cached reply.
@@ -816,6 +1029,8 @@ void RpcServer::Dispatch(const portals::Event& event) {
   Result<Buffer> result = Buffer{};
   std::uint32_t push_crc = 0;
   std::uint64_t push_bytes = 0;
+  std::vector<util::SharedSlice> reply_bulk;
+  std::uint64_t reply_bulk_bytes = 0;
   auto it = handlers_.find(header->opcode);
   if (it == handlers_.end()) {
     result = InvalidArgument("unknown opcode");
@@ -826,11 +1041,18 @@ void RpcServer::Dispatch(const portals::Event& event) {
     result = it->second(ctx, dec);
     push_crc = ctx.pushed_crc();
     push_bytes = ctx.pushed_bytes();
+    if (result.ok()) {
+      // Frame-carried bulk (PushBulkSlice): the slices ride the reply as
+      // scatter-gather parts.  On an error reply the payload is dropped —
+      // bulk_len 0 — so the client never aliases bytes of a failed read.
+      reply_bulk_bytes = ctx.reply_bulk_bytes();
+      reply_bulk = ctx.TakeReplyBulk();
+    }
   }
 
   // Assemble the reply as a scatter-gather frame: the handler's body buffer
-  // is adopted as a slice and never re-copied — not into the frame, not
-  // into the reply cache, not for a dedup resend.
+  // and any PushBulkSlice payload are adopted as slices and never re-copied
+  // — not into the frame, not into the reply cache, not for a dedup resend.
   util::FrameBuilder fb;
   Encoder& head = fb.header();
   if (result.ok()) {
@@ -843,6 +1065,9 @@ void RpcServer::Dispatch(const portals::Event& event) {
     head.PutString(result.status().message());
     head.PutU32(0);  // empty body
   }
+  Encoder& mid = fb.header();
+  mid.PutU64(reply_bulk_bytes);
+  for (util::SharedSlice& part : reply_bulk) fb.Append(std::move(part));
   Encoder& tail = fb.header();
   tail.PutU32(push_crc);
   tail.PutU64(push_bytes);
@@ -851,11 +1076,25 @@ void RpcServer::Dispatch(const portals::Event& event) {
   if (dedup) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     in_progress_.erase(key);
-    if (reply_cache_.emplace(key, wire).second) {
+    if (reply_cache_.emplace(key, CachedReply{wire, reply_bulk_bytes}).second) {
       cache_fifo_.push_back(key);
+      if (reply_bulk_bytes > 0) {
+        bulk_fifo_.push_back(key);
+        cache_bulk_bytes_ += reply_bulk_bytes;
+      }
       while (cache_fifo_.size() > options_.reply_cache_entries) {
-        reply_cache_.erase(cache_fifo_.front());
+        EraseCacheEntryLocked(cache_fifo_.front());
         cache_fifo_.pop_front();
+      }
+      // Payload bytes are bounded separately — and much more tightly —
+      // than entries: a slice-carrying reply pins its store-owned payload
+      // for as long as it is cached, so the oldest bulk replies give
+      // theirs back first.  A retransmit that misses one just re-runs the
+      // (idempotent) read handler.
+      while (cache_bulk_bytes_ > options_.reply_cache_bulk_bytes &&
+             !bulk_fifo_.empty()) {
+        EraseCacheEntryLocked(bulk_fifo_.front());
+        bulk_fifo_.pop_front();
       }
     }
   }

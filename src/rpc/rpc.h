@@ -197,6 +197,13 @@ struct CallState {
   int max_retransmits = 0;
   MutableByteSpan bulk_in{};  // for client-side bulk CRC verification
 
+  /// Bulk payload that rode the reply frame itself (slice read path).  When
+  /// the fabric delivered the frame's parts by reference this aliases the
+  /// server-side bytes — store-owned memory on a first execution, the reply
+  /// cache's frame on a retransmit.  Written by the engine before `done` is
+  /// published; read through CallHandle::ReplyBulk() afterwards.
+  util::SharedSlice reply_bulk;
+
   util::Clock* clock = nullptr;  // set at issue, used by Await/FinishCall
 
   // Engine bookkeeping; guarded by the owning RpcClient's mutex.
@@ -265,6 +272,13 @@ class CallHandle {
   ///  - At most one callback per call; a second OnComplete replaces an
   ///    unfired predecessor.
   void OnComplete(std::function<void(const Result<Buffer>&)> fn);
+
+  /// The bulk payload that rode the reply frame (server PushBulkSlice).
+  /// Empty until the call completes successfully.  Returns a ref-counted
+  /// alias of the received bytes — zero-copy when the fabric delivered the
+  /// reply's parts by reference — so it stays valid for as long as the
+  /// caller holds it, independent of the handle.
+  [[nodiscard]] util::SharedSlice ReplyBulk() const;
 
  private:
   friend class RpcClient;
@@ -349,9 +363,13 @@ class RpcClient {
                   Result<Buffer> result, Contact contact);
   /// Re-arm the (unlink_on_use) reply slot after a corrupt reply consumed it.
   Status ReattachReplySlot(detail::CallState& state);
-  /// Decode a CRC-verified reply frame; for reads, check the pushed bulk
-  /// payload against the checksum the server reported.
-  Result<Buffer> ResolveReply(detail::CallState& state, ByteSpan payload);
+  /// Decode a CRC-verified reply frame, delivered as one or more parts (the
+  /// CRC trailer already stripped).  Region-push reads verify the pushed
+  /// bulk payload against the checksum the server reported; a frame-carried
+  /// bulk slice is extracted zero-copy into `state.reply_bulk` (the frame
+  /// CRC already covered it).
+  Result<Buffer> ResolveReply(detail::CallState& state,
+                              std::span<const util::SharedSlice> parts);
   /// Admission check against `server`'s breaker; fails fast when open.
   Status AdmitLocked(portals::Nid server);
   void RecordContactLocked(portals::Nid server, Contact contact);
@@ -443,6 +461,26 @@ class ServerContext {
   /// client can verify what landed in its region.
   Status PushBulk(ByteSpan data, std::size_t offset = 0);
 
+  /// Zero-copy push: queue an *owned* slice to ride the reply frame itself
+  /// as a scatter-gather part.  No staging buffer, no region registration:
+  /// the client receives a sub-slice of these very bytes (store-owned
+  /// memory), the reply cache holds the same slice by reference, and a
+  /// retransmitted reply re-delivers the identical payload — closing the
+  /// "bulk lost but reply cached" window the region-push path tolerates.
+  /// Covered by the reply frame's CRC trailer, so no separate checksum.
+  /// Multiple pushes concatenate in push order.
+  Status PushBulkSlice(util::SharedSlice data);
+
+  /// Drain the queued reply-frame bulk parts (dispatch assembles them into
+  /// the reply frame after the handler returns).
+  [[nodiscard]] std::vector<util::SharedSlice> TakeReplyBulk() {
+    return std::move(reply_bulk_);
+  }
+  /// Total bytes queued via PushBulkSlice.
+  [[nodiscard]] std::uint64_t reply_bulk_bytes() const {
+    return reply_bulk_bytes_;
+  }
+
   /// After pulling the client's entire payload: check it against the
   /// checksum the client sent in the request header.  Corruption on the
   /// bulk wire surfaces as kDataLoss (the client application retries).
@@ -479,6 +517,8 @@ class ServerContext {
   bool pushed_in_order_ = true;
   std::uint64_t total_pulled_ = 0;
   std::uint64_t total_pushed_ = 0;
+  std::vector<util::SharedSlice> reply_bulk_;
+  std::uint64_t reply_bulk_bytes_ = 0;
 };
 
 /// Handler: consume the request body, perform the op (using ctx for bulk
@@ -498,6 +538,15 @@ struct ServerOptions {
   /// a retransmitted request re-sends the recorded reply instead of
   /// re-running the handler.  0 disables dedup (at-least-once semantics).
   std::size_t reply_cache_entries = 1024;
+  /// Separate, tighter bound on frame-carried bulk payload bytes pinned by
+  /// the cache.  A slice-carrying read reply keeps its store-owned payload
+  /// alive for as long as it sits in the cache; without a byte bound a
+  /// burst of large reads pins payloads long after the client has consumed
+  /// them (and starves the store's recycled read buffers).  Oldest
+  /// bulk-carrying entries are evicted first once the bound is exceeded.
+  /// Evicting one only forfeits the replay shortcut — a retransmit then
+  /// re-runs the read handler, which is idempotent.
+  std::size_t reply_cache_bulk_bytes = 2u << 20;
   /// Time source for the request queue, workers, and per-op latency
   /// metrics (nullptr = real time).
   util::Clock* clock = nullptr;
@@ -555,6 +604,9 @@ class RpcServer {
 
   void WorkerLoop();
   void Dispatch(const portals::Event& event);
+  /// Drop one cached reply, returning its pinned bulk bytes to the bound.
+  /// No-op if the other eviction path already removed it.
+  void EraseCacheEntryLocked(const DedupKey& key);
 
   std::shared_ptr<portals::Nic> nic_;
   ServerOptions options_;
@@ -569,12 +621,21 @@ class RpcServer {
   std::atomic<std::uint64_t> crc_drops_{0};
   bool started_ = false;
 
+  /// A cached reply plus the frame-carried bulk bytes it pins (0 for
+  /// replies with no slice payload).
+  struct CachedReply {
+    util::Frame wire;
+    std::uint64_t bulk_bytes = 0;
+  };
+
   std::mutex cache_mutex_;
   /// Completed request -> wire reply frame.  Frames hold slice references,
   /// so caching and resending a reply never clones its body.
-  std::map<DedupKey, util::Frame> reply_cache_;
+  std::map<DedupKey, CachedReply> reply_cache_;
   std::set<DedupKey> in_progress_;           // running now: drop duplicates
   std::deque<DedupKey> cache_fifo_;          // eviction order
+  std::deque<DedupKey> bulk_fifo_;           // bulk-carrying entries only
+  std::uint64_t cache_bulk_bytes_ = 0;       // bulk pinned by the cache
 };
 
 }  // namespace lwfs::rpc

@@ -9,6 +9,7 @@ std::string_view BulkDirName(BulkDir dir) {
     case BulkDir::kNone: return "none";
     case BulkDir::kPull: return "pull";
     case BulkDir::kPush: return "push";
+    case BulkDir::kReply: return "reply";
   }
   return "unknown";
 }

@@ -127,9 +127,10 @@ Result<T> DecodeMessage(ByteSpan bytes) {
 
 /// Which way bulk data moves for an op (server-directed, Figure 6).
 enum class BulkDir : std::uint8_t {
-  kNone,  // small request/reply only
-  kPull,  // server pulls the client's write payload
-  kPush,  // server pushes into the client's read region
+  kNone,   // small request/reply only
+  kPull,   // server pulls the client's write payload
+  kPush,   // server pushes into the client's read region
+  kReply,  // read payload rides the reply frame as store-owned slices
 };
 
 /// Declarative description of one op: everything the middleware needs that

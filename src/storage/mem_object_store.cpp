@@ -2,8 +2,12 @@
 #include <cstring>
 
 #include "storage/object_store.h"
+#include "util/buffer_pool.h"
 
 namespace lwfs::storage {
+
+MemObjectStore::MemObjectStore()
+    : read_pool_(util::ReadBufferPool::Create()) {}
 
 Result<ObjectId> MemObjectStore::Create(ContainerId cid) {
   if (cid == kInvalidContainer) return InvalidArgument("invalid container");
@@ -60,6 +64,24 @@ Result<Buffer> MemObjectStore::Read(ObjectId oid, std::uint64_t offset,
   LWFS_COUNT_COPY(util::CopyKind::kStore, n);
   return Buffer(data.begin() + static_cast<std::ptrdiff_t>(offset),
                 data.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+Result<util::SharedSlice> MemObjectStore::ReadSlice(ObjectId oid,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return NotFound("no such object");
+  const Buffer& data = it->second.data;
+  const std::uint64_t n =
+      offset < data.size()
+          ? std::min<std::uint64_t>(length, data.size() - offset)
+          : 0;
+  if (n == 0) return util::SharedSlice::FromBuffer(Buffer{});
+  // Medium -> pooled host buffer: the read path's one budgeted copy.
+  return read_pool_->CopyOut(
+      ByteSpan(data.data() + offset, static_cast<std::size_t>(n)),
+      util::CopyKind::kStore);
 }
 
 Status MemObjectStore::Truncate(ObjectId oid, std::uint64_t size) {

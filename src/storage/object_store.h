@@ -28,6 +28,10 @@
 #include "util/shared_buffer.h"
 #include "util/status.h"
 
+namespace lwfs::util {
+class ReadBufferPool;
+}  // namespace lwfs::util
+
 namespace lwfs::storage {
 
 /// Per-object attributes.
@@ -68,6 +72,21 @@ class ObjectStore {
   virtual Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
                               std::uint64_t length) = 0;
 
+  /// Slice read — the zero-copy read path's origin.  Returns a ref-counted
+  /// slice backed by store memory; the store's copy out of its own medium
+  /// (counted as CopyKind::kStore) is the read path's single budgeted copy,
+  /// and every layer above hands the same bytes along by reference.  Reads
+  /// beyond EOF return a short (possibly empty) slice; holes read as zero.
+  /// The default forwards to Read() and adopts the buffer without a second
+  /// copy.
+  virtual Result<util::SharedSlice> ReadSlice(ObjectId oid,
+                                              std::uint64_t offset,
+                                              std::uint64_t length) {
+    auto data = Read(oid, offset, length);
+    if (!data.ok()) return data.status();
+    return util::SharedSlice::FromBuffer(std::move(*data));
+  }
+
   /// Truncate the object to `size` bytes (grow fills with zeros).
   virtual Status Truncate(ObjectId oid, std::uint64_t size) = 0;
 
@@ -100,7 +119,7 @@ class ObjectStore {
 /// In-memory store: each object is a contiguous grow-on-write buffer.
 class MemObjectStore final : public ObjectStore {
  public:
-  MemObjectStore() = default;
+  MemObjectStore();
 
   Result<ObjectId> Create(ContainerId cid) override;
   Status CreateWithId(ContainerId cid, ObjectId oid) override;
@@ -108,6 +127,12 @@ class MemObjectStore final : public ObjectStore {
   Status Write(ObjectId oid, std::uint64_t offset, ByteSpan data) override;
   Result<Buffer> Read(ObjectId oid, std::uint64_t offset,
                       std::uint64_t length) override;
+  /// Overrides the adopt-a-Read default: copies into a pooled block so
+  /// steady-state slice reads land on warm pages (see util/buffer_pool.h)
+  /// instead of paying a fresh multi-megabyte allocation per read.  Still
+  /// exactly one budgeted kStore copy.
+  Result<util::SharedSlice> ReadSlice(ObjectId oid, std::uint64_t offset,
+                                      std::uint64_t length) override;
   Status Truncate(ObjectId oid, std::uint64_t size) override;
   Result<ObjAttr> GetAttr(ObjectId oid) override;
   Status SetVersion(ObjectId oid, std::uint64_t version) override;
@@ -125,6 +150,7 @@ class MemObjectStore final : public ObjectStore {
   std::mutex mutex_;
   std::uint64_t next_id_ = 1;
   std::unordered_map<ObjectId, Object> objects_;
+  std::shared_ptr<util::ReadBufferPool> read_pool_;
 };
 
 /// Attribute-only store: tracks per-object metadata (container, size,

@@ -35,10 +35,12 @@ namespace lwfs::util {
 // CopyStats
 // ---------------------------------------------------------------------------
 
-/// Why a payload byte got memcpy'd.  The write-path budget charges kStage +
-/// kStore; kEncode/kDeliver cover (small) frame assembly and message-mode
-/// delivery; kInjected copies exist only so the fault injector can corrupt
-/// a delivery without mutating the sender's shared bytes.
+/// Why a payload byte got memcpy'd.  The bulk-path budget (both directions)
+/// charges kStage + kStore: a write stages into server memory and lands in
+/// the medium, a read leaves the medium and (legacy path only) stages into
+/// a push buffer.  kEncode/kDeliver cover (small) frame assembly and
+/// message-mode delivery; kInjected copies exist only so the fault injector
+/// can corrupt a delivery without mutating the sender's shared bytes.
 enum class CopyKind : int {
   kEncode = 0,   // flattening parts into a contiguous frame
   kDeliver = 1,  // message-mode delivery / multi-part gather at the NIC
@@ -186,7 +188,13 @@ class SharedSlice {
                                   std::size_t length) const {
     if (offset > size_) offset = size_;
     if (length > size_ - offset) length = size_ - offset;
-    return SharedSlice(owner_, ByteSpan(data_ + offset, length));
+    SharedSlice out(owner_, ByteSpan(data_ + offset, length));
+    // A full-range sub-slice is the same bytes, so the cached CRC (if
+    // any) stays valid; a proper sub-range drops it.
+    if (offset == 0 && length == size_ && has_cached_crc_) {
+      out.SetCachedCrc(cached_crc_);
+    }
+    return out;
   }
 
   [[nodiscard]] const std::uint8_t* data() const { return data_; }
@@ -199,6 +207,20 @@ class SharedSlice {
     return owner_;
   }
   [[nodiscard]] long use_count() const { return owner_.use_count(); }
+
+  /// Producer-attached CRC32 of exactly this slice's bytes.  Frame
+  /// checksums Crc32Combine() a cached value instead of re-streaming the
+  /// payload, which is safe because slices are immutable — and because
+  /// every path that rewrites delivered bytes (the fault injector's
+  /// corruption clone, gather copies) builds a *new* slice that carries no
+  /// cached CRC, so tampered bytes always get re-checksummed for real.
+  /// Sub-slices drop the cache: it covers the full range only.
+  [[nodiscard]] bool has_cached_crc() const { return has_cached_crc_; }
+  [[nodiscard]] std::uint32_t cached_crc() const { return cached_crc_; }
+  void SetCachedCrc(std::uint32_t crc) {
+    cached_crc_ = crc;
+    has_cached_crc_ = true;
+  }
 
   /// Materialize as an owned Buffer (counted as `kind`).
   [[nodiscard]] Buffer ToBuffer(CopyKind kind) const {
@@ -214,6 +236,8 @@ class SharedSlice {
   std::shared_ptr<const void> owner_;
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
+  std::uint32_t cached_crc_ = 0;
+  bool has_cached_crc_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -228,11 +252,17 @@ struct Frame {
 
   [[nodiscard]] bool empty() const { return total_bytes == 0; }
 
-  /// CRC32 of the concatenated parts (no flatten).
+  /// CRC32 of the concatenated parts (no flatten).  Parts carrying a
+  /// producer-cached CRC are folded in with Crc32Combine — O(log n) per
+  /// part instead of a second full pass over a bulk payload.
   [[nodiscard]] std::uint32_t Crc() const {
-    Crc32Accumulator acc;
-    for (const SharedSlice& p : parts) acc.Update(p.span());
-    return acc.value();
+    std::uint32_t crc = 0;  // CRC32 of the empty prefix
+    for (const SharedSlice& p : parts) {
+      crc = Crc32Combine(
+          crc, p.has_cached_crc() ? p.cached_crc() : lwfs::Crc32(p.span()),
+          p.size());
+    }
+    return crc;
   }
 
   /// Materialize the concatenation (one counted encode copy) — tests and

@@ -3,11 +3,14 @@
 // caching, immediate revocation, naming, locks, and distributed txns.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "core/runtime.h"
 #include "util/clock.h"
+#include "util/shared_buffer.h"
 
 namespace lwfs::core {
 namespace {
@@ -371,6 +374,48 @@ TEST_F(CoreTest, ConcurrentClientsOnDistinctServers) {
       }
       auto back = c->ReadObjectAlloc(server, cap_, *oid, 0, data.size());
       if (!back.ok() || *back != data) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// TSan target: many clients pull overlapping sub-ranges of one object as
+// store-owned slices concurrently.  Every reply aliases the same backing
+// store buffer while refcounts churn across threads; each reader also keeps
+// its previous slice alive one iteration so lifetimes overlap and the last
+// drop happens on an arbitrary thread.
+TEST_F(CoreTest, ConcurrentSliceReadersShareOneStoreBuffer) {
+  StartRuntime();
+  SetupAliceWorkspace();
+  auto oid = client_->CreateObject(0, cap_);
+  ASSERT_TRUE(oid.ok());
+  const Buffer data = PatternBuffer(256 << 10, 37);
+  ASSERT_TRUE(client_->WriteObject(0, cap_, *oid, 0, ByteSpan(data)).ok());
+
+  constexpr int kReaders = 8;
+  constexpr int kIterations = 24;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = runtime_->MakeClient();
+      util::SharedSlice held;  // overlaps this iteration's slice lifetime
+      for (int i = 0; i < kIterations; ++i) {
+        // Overlapping, shifting windows: every pair of readers shares bytes.
+        const std::uint64_t offset =
+            static_cast<std::uint64_t>((t * 13 + i * 7) % 128) << 10;
+        const std::uint64_t length = 64 << 10;
+        auto slice = c->ReadObjectSlice(0, cap_, *oid, offset, length);
+        if (!slice.ok() || slice->size() != length ||
+            !std::equal(slice->span().begin(), slice->span().end(),
+                        data.begin() + static_cast<std::ptrdiff_t>(offset))) {
+          failures.fetch_add(1);
+          return;
+        }
+        held = std::move(*slice);
+      }
     });
   }
   for (auto& t : threads) t.join();

@@ -2,6 +2,8 @@
 // collective writes, data sieving, and prefetching.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/runtime.h"
 #include "libio/collective.h"
 #include "libio/dataset.h"
@@ -145,6 +147,34 @@ TEST_F(LibIoTest, HyperslabWriteReadRoundTrip) {
       }
     }
   }
+}
+
+TEST_F(LibIoTest, ReadSlabSliceMatchesReadSlab) {
+  DatasetSpec spec{{8, 8}, 8};
+  auto ds = Dataset::Create(fs_.get(), "/gridslice", spec).value();
+  Buffer all = PatternBuffer(static_cast<std::size_t>(spec.ByteSize()), 6);
+  std::uint64_t zero[] = {0, 0};
+  std::uint64_t full[] = {8, 8};
+  ASSERT_TRUE(ds.WriteSlab(zero, full, ByteSpan(all)).ok());
+
+  // Fragmented interior slab: one run per row, gathered into one slice.
+  std::uint64_t start[] = {2, 3};
+  std::uint64_t count[] = {3, 4};
+  auto slab = ds.ReadSlab(start, count).value();
+  auto slice = ds.ReadSlabSlice(start, count);
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  ASSERT_EQ(slice->size(), slab.size());
+  EXPECT_TRUE(std::equal(slab.begin(), slab.end(), slice->span().begin()));
+
+  // Contiguous slab (full trailing dimension): single run, so the file
+  // system's store-owned slice passes straight through.
+  std::uint64_t rows_start[] = {1, 0};
+  std::uint64_t rows_count[] = {4, 8};
+  auto rows = ds.ReadSlabSlice(rows_start, rows_count);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 4u * 8 * 8);
+  EXPECT_TRUE(std::equal(rows->span().begin(), rows->span().end(),
+                         all.begin() + 1 * 8 * 8));
 }
 
 TEST_F(LibIoTest, SlabSizeMismatchRejected) {

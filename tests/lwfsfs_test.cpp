@@ -2,6 +2,7 @@
 // both POSIX and relaxed consistency flavours.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -101,6 +102,49 @@ TEST_F(LwfsFsTest, ReadAtEofAndBeyond) {
   auto beyond = fs_->Read(file, 500, MutableByteSpan(out));
   ASSERT_TRUE(beyond.ok());
   EXPECT_EQ(*beyond, 0u);
+}
+
+TEST_F(LwfsFsTest, ReadSliceRoundTripsAcrossStripesAndAtEof) {
+  Mount(FsConsistency::kPosix, /*stripe_size=*/512);
+  auto file = fs_->Create("/sliced").value();
+  Buffer data = PatternBuffer(10000, 3);
+  ASSERT_TRUE(fs_->Write(file, 0, ByteSpan(data)).ok());
+  ASSERT_TRUE(fs_->Flush(file).ok());
+
+  // Spanning read: per-extent slices gathered into one, byte-equal to the
+  // span path.
+  auto whole = fs_->ReadSlice(file, 0, data.size());
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_EQ(whole->size(), data.size());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), whole->span().begin()));
+
+  // Single-extent read: the store-owned slice passes through unchanged.
+  auto one = fs_->ReadSlice(file, 512, 256);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one->size(), 256u);
+  EXPECT_TRUE(std::equal(data.begin() + 512, data.begin() + 768,
+                         one->span().begin()));
+
+  // Short at EOF, empty past it — same clamping as the span Read.
+  auto tail = fs_->ReadSlice(file, 9000, 5000);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 1000u);
+  auto beyond = fs_->ReadSlice(file, 50000, 100);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_EQ(beyond->size(), 0u);
+}
+
+TEST_F(LwfsFsTest, ReadSliceFillsHolesWithZeros) {
+  Mount(FsConsistency::kRelaxed, 512);
+  auto file = fs_->Create("/sparseslice").value();
+  Buffer data = {1, 2, 3};
+  ASSERT_TRUE(fs_->Write(file, 5000, ByteSpan(data)).ok());
+  auto got = fs_->ReadSlice(file, 0, 5003);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), 5003u);
+  for (std::size_t i = 0; i < 5000; ++i) ASSERT_EQ(got->span()[i], 0) << i;
+  EXPECT_EQ(got->span()[5000], 1);
+  EXPECT_EQ(got->span()[5002], 3);
 }
 
 TEST_F(LwfsFsTest, SparseWriteReadsZeros) {

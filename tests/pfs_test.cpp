@@ -2,6 +2,7 @@
 // and the full client/MDS/OST stack.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -189,6 +190,38 @@ TEST_F(PfsTest, WriteAtOffsetAndSparseRead) {
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 3000u);
   EXPECT_EQ(back, data);
+}
+
+TEST_F(PfsTest, ReadSliceRoundTripsAndClampsAtEof) {
+  PfsRuntimeOptions options;
+  options.ost_count = 4;
+  options.mds.default_stripe_size = 4096;
+  StartRuntime(options);
+  // Default (POSIX-locking) client: the slice read takes and releases the
+  // MDS extent lock like the span path does.
+  auto client = runtime_->MakeClient();
+  auto file = client->Create("/slices", 4);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  Buffer data = PatternBuffer(100000, 23);
+  ASSERT_TRUE(client->Write(*file, 0, ByteSpan(data)).ok());
+
+  // Striped read: per-OST slices gather into one payload.
+  auto whole = client->ReadSlice(*file, 0, data.size());
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_EQ(whole->size(), data.size());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), whole->span().begin()));
+
+  // Single-stripe read: the OST's store-owned slice passes through.
+  auto one = client->ReadSlice(*file, 4096, 2048);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one->size(), 2048u);
+  EXPECT_TRUE(std::equal(data.begin() + 4096, data.begin() + 4096 + 2048,
+                         one->span().begin()));
+
+  // Short at EOF, like the span Read.
+  auto tail = client->ReadSlice(*file, 99000, 5000);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 1000u);
 }
 
 TEST_F(PfsTest, SyncPublishesSize) {

@@ -13,6 +13,7 @@
 //  * reads survive a dead chain head via failover and hedging.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "core/runtime.h"
 #include "naming/replica_map.h"
 #include "storage/ids.h"
+#include "util/clock.h"
 #include "util/shared_buffer.h"
 
 namespace lwfs {
@@ -391,6 +393,44 @@ TEST_F(ReplicationTest, ReadsSurviveDownHeadViaFailoverAndHedging) {
   EXPECT_GT(stats.hedged_reads, hedged_before);
 }
 
+// Satellite regression: a losing hedge must not strand its payload.  Before
+// the slice read path, the loser's reply pushed a full object into a pinned
+// landing buffer that was then thrown away; now the loser resolves to a
+// ref-counted slice whose arrival is tallied (hedge_loser_bytes) and whose
+// only cost is a refcount drop.
+TEST_F(ReplicationTest, LosingHedgeReplyIsTalliedAndReleased) {
+  StartRuntime(/*servers=*/4, /*factor=*/3, /*hedge_after_us=*/500);
+  auto chain = client_->CreateReplicatedObject(cap_, 0, 3);
+  ASSERT_TRUE(chain.ok());
+  Buffer data = PatternBuffer(32 << 10, 23);
+  ASSERT_TRUE(client_->WriteReplicated(cap_, *chain, 0, ByteSpan(data)).ok());
+
+  // The head still answers, just 5 ms late: the hedge wins the race and the
+  // head's full-payload reply lands as a loser after the read returned.
+  const portals::Nid head_nid =
+      runtime_->deployment().storage[chain->servers.front()];
+  runtime_->fabric().injector().SetNode(head_nid,
+                                        {.delay = 1.0, .delay_us = 5000});
+
+  auto slice = client_->ReadReplicatedSlice(cap_, *chain, 0, data.size());
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  ASSERT_EQ(slice->size(), data.size());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), slice->span().begin()));
+  auto stats = client_->replication_stats();
+  EXPECT_GT(stats.hedged_reads, 0u);
+  EXPECT_GT(stats.hedge_wins, 0u);
+
+  // The loser's late reply carries the whole object; poll until the tally
+  // proves it was received, counted, and released rather than stranded.
+  std::uint64_t tallied = 0;
+  for (int i = 0; i < 500 && tallied < data.size(); ++i) {
+    tallied = client_->replication_stats().hedge_loser_bytes;
+    util::RealClockInstance()->SleepFor(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(tallied, data.size())
+      << "the losing hedge's payload was never tallied (stranded or lost)";
+}
+
 // ---------------------------------------------------------------------------
 // Replicated checkpoints end to end
 // ---------------------------------------------------------------------------
@@ -414,6 +454,19 @@ TEST_F(ReplicationTest, ReplicatedCheckpointRoundTripsAndSurvivesOutage) {
   ASSERT_EQ(restored->size(), states.size());
   for (std::size_t r = 0; r < states.size(); ++r) {
     EXPECT_EQ((*restored)[r], states[r]) << "rank " << r;
+  }
+
+  // The zero-copy restore returns every rank as a store-owned slice (the
+  // hedged replicated reads ride the slice path too), byte-equal to Restore.
+  auto slices =
+      checkpoint::LwfsCheckpoint::RestoreSlices(*runtime_, cap_, config.path);
+  ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+  ASSERT_EQ(slices->size(), states.size());
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    ASSERT_EQ((*slices)[r].size(), states[r].size()) << "rank " << r;
+    EXPECT_TRUE(std::equal(states[r].begin(), states[r].end(),
+                           (*slices)[r].span().begin()))
+        << "rank " << r;
   }
 
   auto audit = client_->AuditReplicas();

@@ -471,6 +471,122 @@ TEST_F(RpcTest, CorruptedBulkDataIsNeverSilentlyAccepted) {
   EXPECT_GE(stats.bulk_crc_failures + stats.crc_rejects, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Slice-carrying replies: PushBulkSlice → reply frame → CallHandle::ReplyBulk
+// ---------------------------------------------------------------------------
+
+constexpr Opcode kFetchSlice = 9;  // pushes a store-owned slice in the reply
+
+TEST_F(RpcTest, SliceReplyAliasesTheServerBufferEndToEnd) {
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, {});
+  const util::SharedSlice payload =
+      util::SharedSlice::FromBuffer(PatternBuffer(64 << 10, 13));
+  server.RegisterHandler(
+      kFetchSlice, [&](ServerContext& ctx, Decoder&) -> Result<Buffer> {
+        LWFS_RETURN_IF_ERROR(ctx.PushBulkSlice(payload));
+        return Buffer{};
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcClient client(fabric_.CreateNic());
+  auto handle = client.CallAsync(nic->nid(), kFetchSlice, {});
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->Await().ok());
+  const util::SharedSlice got = handle->ReplyBulk();
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.span().begin(), payload.span().end(),
+                         got.span().begin()));
+  // The whole path — reply frame, wire, delivery, ReplyBulk — passed the
+  // server's allocation by reference: the client reads the same bytes the
+  // server owns, and the reply cache still holds an alias for replays.
+  EXPECT_EQ(got.span().data(), payload.span().data());
+  EXPECT_GE(payload.use_count(), 2);
+  server.Stop();
+}
+
+TEST_F(RpcTest, ReplayedSliceReplyServesTheSameCachedSlice) {
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, {});
+  const util::SharedSlice payload =
+      util::SharedSlice::FromBuffer(PatternBuffer(32 << 10, 17));
+  std::atomic<int> executed{0};
+  server.RegisterHandler(
+      kFetchSlice, [&](ServerContext& ctx, Decoder&) -> Result<Buffer> {
+        executed.fetch_add(1);
+        LWFS_RETURN_IF_ERROR(ctx.PushBulkSlice(payload));
+        return Buffer{};
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(50);
+  copts.max_retransmits = 10;
+  RpcClient client(fabric_.CreateNic(), copts);
+
+  // Drop every reply: the handler runs once, its frame parks in the reply
+  // cache, and after the link heals a retransmission replays that frame.
+  fabric_.injector().SetLink(nic->nid(), client.nid(), {.drop = 1.0});
+  auto handle = client.CallAsync(nic->nid(), kFetchSlice, {});
+  ASSERT_TRUE(handle.ok());
+  while (executed.load() == 0) std::this_thread::yield();
+  util::RealClockInstance()->SleepFor(std::chrono::milliseconds(20));
+  fabric_.injector().ClearFaults();
+
+  ASSERT_TRUE(handle->Await().ok());
+  EXPECT_EQ(executed.load(), 1);  // dedup absorbed the duplicate requests
+  EXPECT_GE(server.stats().dedup_hits, 1u);
+  // The duplicate delivery aliases the one cached slice — same bytes, same
+  // allocation.  However many times the reply crossed the wire, there is
+  // exactly one payload in the process.
+  const util::SharedSlice got = handle->ReplyBulk();
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got.span().data(), payload.span().data());
+  server.Stop();
+}
+
+TEST_F(RpcTest, CorruptedSliceReplyNeverMutatesTheServerSlice) {
+  auto nic = fabric_.CreateNic();
+  RpcServer server(nic, {});
+  const util::SharedSlice payload =
+      util::SharedSlice::FromBuffer(PatternBuffer(16 << 10, 19));
+  const Buffer pristine(payload.span().begin(), payload.span().end());
+  server.RegisterHandler(
+      kFetchSlice, [&](ServerContext& ctx, Decoder&) -> Result<Buffer> {
+        LWFS_RETURN_IF_ERROR(ctx.PushBulkSlice(payload));
+        return Buffer{};
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.default_timeout = std::chrono::milliseconds(100);
+  copts.max_retransmits = 2;
+  copts.breaker_threshold = 0;
+  RpcClient client(fabric_.CreateNic(), copts);
+
+  // Because reply frames alias the server-owned slice, the injector's bit
+  // flips must land in a copy-on-write clone — never in the slice itself,
+  // or one hostile wire event would corrupt every future read of the
+  // object.
+  fabric_.injector().SetLink(nic->nid(), client.nid(), {.corrupt = 1.0});
+  auto reply = client.Call(nic->nid(), kFetchSlice, {});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(
+      std::equal(pristine.begin(), pristine.end(), payload.span().begin()))
+      << "fault injection mutated the server-owned slice";
+
+  // After healing, the same cached/re-served bytes arrive intact.
+  fabric_.injector().ClearFaults();
+  auto handle = client.CallAsync(nic->nid(), kFetchSlice, {});
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->Await().ok());
+  const util::SharedSlice got = handle->ReplyBulk();
+  ASSERT_EQ(got.size(), pristine.size());
+  EXPECT_TRUE(
+      std::equal(pristine.begin(), pristine.end(), got.span().begin()));
+  server.Stop();
+}
+
 TEST_F(RpcTest, BreakerOpensFastFailsAndRecoversViaProbe) {
   StartServer();
   ClientOptions copts;

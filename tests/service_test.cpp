@@ -283,17 +283,30 @@ void ExerciseCopyBudget(util::Clock* clock) {
   EXPECT_EQ(d.bytes_of(util::CopyKind::kStore), n);
   EXPECT_EQ(d.budget_bytes(), n);  // exactly one copy per byte written
 
-  // Read path: medium -> host buffer is the only budgeted copy; the push
-  // into the client's registered region is the wire transfer itself.
+  // Slice read: medium -> store slice is the only budgeted copy; the
+  // reply frame hands those same bytes to the client by reference.
+  base = util::CopyStats::Snapshot();
+  auto slice_read = client->ReadObjectSlice(0, *cap, *oid, 0, n);
+  ASSERT_TRUE(slice_read.ok());
+  ASSERT_EQ(slice_read->size(), n);
+  d = util::CopyStats::Snapshot().Since(base);
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStage), 0u) << "slice read staged";
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStore), n);
+  EXPECT_EQ(d.budget_bytes(), n);  // exactly one copy per byte read
+  EXPECT_EQ(slice_read->ToBuffer(util::CopyKind::kDeliver),
+            payload.ToBuffer(util::CopyKind::kDeliver));
+
+  // Legacy span read for contrast: the server stages the payload into the
+  // push buffer before the wire transfer, doubling the budget.
   Buffer out(n);
   base = util::CopyStats::Snapshot();
   auto read = client->ReadObject(0, *cap, *oid, 0, MutableByteSpan(out));
   ASSERT_TRUE(read.ok());
   ASSERT_EQ(*read, n);
   d = util::CopyStats::Snapshot().Since(base);
-  EXPECT_EQ(d.bytes_of(util::CopyKind::kStage), 0u) << "read path staged";
+  EXPECT_EQ(d.bytes_of(util::CopyKind::kStage), n) << "span read must stage";
   EXPECT_EQ(d.bytes_of(util::CopyKind::kStore), n);
-  EXPECT_EQ(d.budget_bytes(), n);  // exactly one copy per byte read
+  EXPECT_EQ(d.budget_bytes(), 2 * n);
   EXPECT_EQ(out, payload.ToBuffer(util::CopyKind::kDeliver));
 
   // Legacy span write for contrast: staging doubles the budget.

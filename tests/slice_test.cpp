@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/crc32.h"
 #include "util/shared_buffer.h"
@@ -143,6 +144,90 @@ TEST(SharedSlice, ConcurrentCopyAndDropIsRaceFree) {
   EXPECT_EQ(root.use_count(), 1);
 }
 
+TEST(Crc32, MatchesKnownCastagnoliVector) {
+  // The canonical CRC32-C check value: crc32c("123456789") = 0xE3069283.
+  // Pins the polynomial so the table fallback and the SSE4.2 instruction
+  // can never drift apart silently.
+  const char* s = "123456789";
+  EXPECT_EQ(
+      lwfs::Crc32(ByteSpan(reinterpret_cast<const std::uint8_t*>(s), 9)),
+      0xE3069283u);
+}
+
+#ifdef LWFS_CRC32_HW
+TEST(Crc32, HardwareAndTableFallbackAgree) {
+  if (!lwfs::detail::Crc32HwAvailable()) GTEST_SKIP() << "no SSE4.2";
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 4097u, 65536u}) {
+    Buffer b = MakeBytes(n, static_cast<std::uint8_t>(n * 31 + 5));
+    const std::uint32_t sw = lwfs::Crc32Final(
+        lwfs::detail::Crc32UpdateSw(lwfs::Crc32Init(), b.data(), n));
+    const std::uint32_t hw = lwfs::Crc32Final(
+        lwfs::detail::Crc32UpdateHw(lwfs::Crc32Init(), b.data(), n));
+    EXPECT_EQ(sw, hw) << "size " << n;
+  }
+}
+#endif
+
+TEST(Crc32, CombineMatchesDirectConcatenation) {
+  Buffer all = MakeBytes(50000, 9);
+  for (std::size_t split : {0u, 1u, 3u, 255u, 4096u, 49999u, 50000u}) {
+    const std::uint32_t a = lwfs::Crc32(ByteSpan(all.data(), split));
+    const std::uint32_t b =
+        lwfs::Crc32(ByteSpan(all.data() + split, all.size() - split));
+    EXPECT_EQ(lwfs::Crc32Combine(a, b, all.size() - split),
+              lwfs::Crc32(ByteSpan(all)))
+        << "split " << split;
+  }
+}
+
+TEST(SharedSlice, CachedCrcSurvivesFullRangeSliceOnly) {
+  Buffer b = MakeBytes(256, 4);
+  const std::uint32_t crc = lwfs::Crc32(ByteSpan(b));
+  SharedSlice s = SharedSlice::FromBuffer(std::move(b));
+  EXPECT_FALSE(s.has_cached_crc());
+  s.SetCachedCrc(crc);
+  ASSERT_TRUE(s.has_cached_crc());
+  // Copies and full-range sub-slices are the same bytes: cache survives.
+  SharedSlice copy = s;
+  EXPECT_TRUE(copy.has_cached_crc());
+  EXPECT_EQ(copy.cached_crc(), crc);
+  EXPECT_TRUE(s.Slice(0, 256).has_cached_crc());
+  EXPECT_TRUE(s.Slice(0, 10000).has_cached_crc());  // clamped to full range
+  // A proper sub-range covers different bytes: cache must drop.
+  EXPECT_FALSE(s.Slice(1, 255).has_cached_crc());
+  EXPECT_FALSE(s.Slice(0, 255).has_cached_crc());
+}
+
+TEST(Frame, CrcUsesCachedSliceCrcWhenPresent) {
+  Buffer payload = MakeBytes(20000, 6);
+  const std::uint32_t payload_crc = lwfs::Crc32(ByteSpan(payload));
+
+  // A frame whose bulk part carries a correct cached CRC must checksum
+  // identically to one whose part streams — combine is an optimization,
+  // not a different answer.
+  FrameBuilder fb1;
+  fb1.header().PutU32(7);
+  SharedSlice cached = SharedSlice::FromBuffer(Buffer(payload));
+  cached.SetCachedCrc(payload_crc);
+  fb1.Append(std::move(cached));
+  fb1.header().PutU64(11);
+  Frame with_cache = fb1.Build(/*with_crc_trailer=*/false);
+
+  Buffer flat = with_cache.Flatten();
+  EXPECT_EQ(with_cache.Crc(), Crc32(ByteSpan(flat)));
+
+  // And the cached value is really being consulted: poisoning it changes
+  // the frame CRC.
+  FrameBuilder fb2;
+  fb2.header().PutU32(7);
+  SharedSlice poisoned = SharedSlice::FromBuffer(Buffer(payload));
+  poisoned.SetCachedCrc(payload_crc ^ 0xDEADBEEFu);
+  fb2.Append(std::move(poisoned));
+  fb2.header().PutU64(11);
+  Frame with_poison = fb2.Build(/*with_crc_trailer=*/false);
+  EXPECT_NE(with_poison.Crc(), Crc32(ByteSpan(flat)));
+}
+
 TEST(Frame, CrcMatchesFlattenedBytes) {
   FrameBuilder fb;
   fb.header().PutU32(42);
@@ -207,6 +292,67 @@ TEST(Frame, PayloadPartsRideByReference) {
     if (p.data() == raw) found = true;
   }
   EXPECT_TRUE(found) << "payload was copied into the frame";
+}
+
+TEST(ReadBufferPool, CopyOutAttachesBytesAndCrc) {
+  auto pool = ReadBufferPool::Create();
+  Buffer src = MakeBytes(4096, 8);
+  SharedSlice s = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+  ASSERT_EQ(s.size(), src.size());
+  EXPECT_TRUE(s.owned());
+  EXPECT_EQ(0, std::memcmp(s.data(), src.data(), src.size()));
+  ASSERT_TRUE(s.has_cached_crc());
+  EXPECT_EQ(s.cached_crc(), lwfs::Crc32(ByteSpan(src)));
+}
+
+TEST(ReadBufferPool, BlocksRecycleAfterLastReferenceDrops) {
+  auto pool = ReadBufferPool::Create();
+  Buffer src = MakeBytes(2048, 2);
+  const std::uint8_t* first_block = nullptr;
+  {
+    SharedSlice s = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+    first_block = s.data();
+    EXPECT_EQ(pool->retained_bytes(), 0u);  // block is out on loan
+  }
+  EXPECT_EQ(pool->retained_bytes(), 2048u);  // returned on release
+  SharedSlice again = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+  EXPECT_EQ(again.data(), first_block);  // same block, warm pages
+  EXPECT_EQ(pool->retained_bytes(), 0u);
+}
+
+TEST(ReadBufferPool, SliceKeepsPoolAliveAfterCreatorDropsIt) {
+  Buffer src = MakeBytes(512, 3);
+  SharedSlice s;
+  {
+    auto pool = ReadBufferPool::Create();
+    s = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+  }
+  // The pool handle is gone; the slice's owner holds the pool.  ASan
+  // validates the bytes are still live.
+  EXPECT_EQ(0, std::memcmp(s.data(), src.data(), src.size()));
+  s = SharedSlice();  // final release returns the block, then the pool dies
+}
+
+TEST(ReadBufferPool, RetainedBytesRespectTheBound) {
+  auto pool = ReadBufferPool::Create(/*max_retained_bytes=*/4096);
+  Buffer src = MakeBytes(4096, 1);
+  SharedSlice a = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+  SharedSlice b = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+  a = SharedSlice();
+  b = SharedSlice();
+  // Only one block fits under the bound; the second release frees.
+  EXPECT_EQ(pool->retained_bytes(), 4096u);
+}
+
+TEST(ReadBufferPool, CrossThreadReleaseReturnsTheBlock) {
+  auto pool = ReadBufferPool::Create();
+  Buffer src = MakeBytes(1024, 5);
+  SharedSlice s = pool->CopyOut(ByteSpan(src), CopyKind::kStore);
+  std::thread releaser([moved = std::move(s)]() mutable {
+    moved = SharedSlice();
+  });
+  releaser.join();
+  EXPECT_EQ(pool->retained_bytes(), 1024u);
 }
 
 TEST(Encoder, ReservePreservesContentsAndGrowsCapacity) {
